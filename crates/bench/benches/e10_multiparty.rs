@@ -1,0 +1,24 @@
+//! E10: secure-sum ring cost vs party count, against the plain sum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_multiparty");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [2usize, 8, 16] {
+        let inputs: Vec<u64> = (0..k as u64).map(|i| i * 131 + 7).collect();
+        group.bench_with_input(BenchmarkId::new("secure_sum", k), &inputs, |b, inputs| {
+            b.iter(|| black_box(secure_sum(1, black_box(inputs))))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_sum", k), &inputs, |b, inputs| {
+            b.iter(|| black_box(black_box(inputs).iter().sum::<u64>()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

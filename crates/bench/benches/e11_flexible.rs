@@ -1,0 +1,50 @@
+//! E11: request throughput through the stack at different enforcement
+//! levels (the paper's "100% vs 30% security").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::hospital_doc;
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+fn make_stack(level: u8) -> SecureWebStack {
+    let mut stack = SecureWebStack::new([5u8; 32]);
+    stack.add_document(
+        "h.xml",
+        hospital_doc(100),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("h.xml".into()),
+        Privilege::Read,
+    ));
+    stack.gate = FlexibleEnforcer::new(level, [5u8; 32]);
+    stack
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_flexible");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let path = Path::parse("//patient[@id='p7']").unwrap();
+    for level in [0u8, 30, 100] {
+        group.bench_with_input(BenchmarkId::new("stack_query", level), &level, |b, &lvl| {
+            let mut stack = make_stack(lvl);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let profile = SubjectProfile::new(&format!("u{i}"));
+                let r = stack
+                    .query(&profile, Clearance(Level::TopSecret), "h.xml", &path)
+                    .unwrap();
+                black_box(r.0.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

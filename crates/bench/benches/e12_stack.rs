@@ -1,0 +1,55 @@
+//! E12: end-to-end stack latency with layers toggled on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::hospital_doc;
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+fn make_stack(protected_channel: bool) -> SecureWebStack {
+    let mut stack = SecureWebStack::new([5u8; 32]);
+    stack.channel_protected = protected_channel;
+    stack.add_document(
+        "h.xml",
+        hospital_doc(100),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("h.xml".into()),
+        Privilege::Read,
+    ));
+    stack
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_stack");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let path = Path::parse("//patient[@id='p7']").unwrap();
+    let profile = SubjectProfile::new("u");
+
+    group.bench_function("full_stack", |b| {
+        let mut stack = make_stack(true);
+        b.iter(|| {
+            let r = stack
+                .query(&profile, Clearance(Level::TopSecret), "h.xml", &path)
+                .unwrap();
+            black_box(r.1.total_ns())
+        })
+    });
+    group.bench_function("plaintext_channel", |b| {
+        let mut stack = make_stack(false);
+        b.iter(|| {
+            let r = stack
+                .query(&profile, Clearance(Level::TopSecret), "h.xml", &path)
+                .unwrap();
+            black_box(r.1.total_ns())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E1: access-control evaluation cost vs policy-base size and subject
+//! qualification mechanism (identity vs role vs credential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::{hospital_doc, matching_profile, policy_base, SubjectMode};
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let doc = hospital_doc(50);
+    let engine = PolicyEngine::default();
+    let mut group = c.benchmark_group("e1_access_control");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for mode in [SubjectMode::Identity, SubjectMode::Role, SubjectMode::Credential] {
+        for n in [16usize, 256] {
+            let store = policy_base(n, mode, "h.xml");
+            let profile = matching_profile(mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let d = engine.evaluate_document(
+                            black_box(&store),
+                            black_box(&profile),
+                            "h.xml",
+                            black_box(&doc),
+                            Privilege::Read,
+                        );
+                        black_box(d.allowed_count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2: view computation vs document size and policy granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::hospital_doc;
+use websec_core::prelude::*;
+
+fn store_for(granularity: &str) -> PolicyStore {
+    let mut store = PolicyStore::new();
+    let object = match granularity {
+        "document" => ObjectSpec::Document("h.xml".into()),
+        "subtree" => ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("/hospital/patients").unwrap(),
+        },
+        "element" => ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("//patient/name").unwrap(),
+        },
+        _ => ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("//patient/@id").unwrap(),
+        },
+    };
+    store.add(Authorization::grant(0, SubjectSpec::Anyone, object, Privilege::Read));
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = PolicyEngine::default();
+    let profile = SubjectProfile::new("u");
+    let mut group = c.benchmark_group("e2_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n_patients in [15usize, 150] {
+        let doc = hospital_doc(n_patients);
+        for granularity in ["document", "subtree", "element", "attribute"] {
+            let store = store_for(granularity);
+            group.bench_with_input(
+                BenchmarkId::new(granularity, doc.node_count()),
+                &doc,
+                |b, doc| {
+                    b.iter(|| {
+                        let v = engine.compute_view(&store, &profile, "h.xml", black_box(doc));
+                        black_box(v.node_count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

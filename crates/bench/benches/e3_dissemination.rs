@@ -1,0 +1,45 @@
+//! E3: region partitioning and package sealing cost vs policy count,
+//! including the naive per-subject-copy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::{hospital_doc, policy_base, SubjectMode};
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let doc = hospital_doc(100);
+    let mut group = c.benchmark_group("e3_dissemination");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 16, 64] {
+        let store = policy_base(n, SubjectMode::Identity, "h.xml");
+        group.bench_with_input(BenchmarkId::new("partition+seal", n), &n, |b, _| {
+            b.iter(|| {
+                let map = RegionMap::build(black_box(&store), "h.xml", black_box(&doc));
+                let authority = KeyAuthority::new("h.xml", [1u8; 32]);
+                let pkg =
+                    DissemPackage::seal(&map, b"seed", |r| authority.region_key(&map, r.id));
+                black_box(pkg.size_bytes())
+            })
+        });
+        // Naive baseline: encrypt one full per-subject view per policy.
+        group.bench_with_input(BenchmarkId::new("naive_per_subject", n), &n, |b, _| {
+            let engine = PolicyEngine::default();
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..n {
+                    let profile = SubjectProfile::new(&format!("user-{i}"));
+                    let view = engine.compute_view(&store, &profile, "h.xml", &doc);
+                    let bytes = view.to_xml_string().into_bytes();
+                    let ct = ChaCha20::process(&[7u8; 32], &[0u8; 12], 1, &bytes);
+                    total += ct.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

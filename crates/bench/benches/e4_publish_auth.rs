@@ -1,0 +1,61 @@
+//! E4: third-party publishing — answer generation and client verification
+//! cost vs document size, against the owner-online re-signing baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::hospital_doc;
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_publish_auth");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = SecureRng::seeded(4);
+    for n_patients in [10usize, 100] {
+        let doc = hospital_doc(n_patients);
+        let mut owner = Owner::new(&mut rng, 2);
+        let (auth, sig) = owner.publish("d.xml", &doc).unwrap();
+        let mut publisher = Publisher::new();
+        publisher.host(doc.clone(), auth, sig);
+        let pk = owner.public_key();
+        let path = Path::parse("//record[@severity='high']").unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("publisher_answer", doc.node_count()),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    let a = publisher.answer("d.xml", black_box(path)).unwrap();
+                    black_box(a.verification_object_size())
+                })
+            },
+        );
+        let answer = publisher.answer("d.xml", &path).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("client_verify", doc.node_count()),
+            &answer,
+            |b, answer| {
+                b.iter(|| {
+                    let v = verify_answer(black_box(answer), &pk, "d.xml", &path).unwrap();
+                    black_box(v.matched.len())
+                })
+            },
+        );
+        // Baseline: the owner re-signs the whole document per answer.
+        group.bench_with_input(
+            BenchmarkId::new("owner_resign_baseline", doc.node_count()),
+            &doc,
+            |b, doc| {
+                b.iter(|| {
+                    let mut o = Owner::new(&mut SecureRng::seeded(5), 1);
+                    let (_, s) = o.publish("d.xml", black_box(doc)).unwrap();
+                    black_box(s.n_leaves)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5: UDDI inquiry latency — two-party trusted vs third-party
+//! (unverified and verified) architectures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::{uddi_agency, uddi_registry};
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_uddi");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [64usize, 256] {
+        let registry = uddi_registry(n);
+        let (agency, provider) = uddi_agency(n);
+        let key = format!("biz-{}", n / 2);
+        let q = FindQualifier::NameApprox(format!("Business {}", n / 2));
+        let path = Path::parse("/businessEntity").unwrap();
+        let pk = provider.public_key();
+
+        group.bench_with_input(BenchmarkId::new("two_party", n), &q, |b, q| {
+            b.iter(|| {
+                let rows = registry.find_business(black_box(q));
+                let d = registry.get_business_detail(&rows[0].business_key).unwrap();
+                black_box(d.services.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("third_party_unverified", n), &q, |b, q| {
+            b.iter(|| {
+                let rows = agency.find_business(black_box(q));
+                let a = agency.get_detail(&rows[0].business_key, &path).unwrap();
+                black_box(a.revealed.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("third_party_verified", n), &key, |b, key| {
+            b.iter(|| {
+                let a = agency.get_detail(black_box(key), &path).unwrap();
+                let v = websec_core::uddi::auth::verify_entry(&a, &pk, key, &path).unwrap();
+                black_box(v.business_key.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

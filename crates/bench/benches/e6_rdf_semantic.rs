@@ -1,0 +1,57 @@
+//! E6: syntactic vs semantic RDF query enforcement — the cost of querying
+//! the closure, and closure materialization vs query-time entailment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::rdf_taxonomy;
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_rdf_semantic");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for depth in [2usize, 6] {
+        let (ss, probe) = rdf_taxonomy(depth, 4);
+        let profile = SubjectProfile::new("u");
+        let clearance = Clearance(Level::TopSecret);
+        let ctx = SecurityContext::new();
+
+        group.bench_with_input(BenchmarkId::new("syntactic", depth), &probe, |b, probe| {
+            b.iter(|| {
+                let r = ss.query_as(
+                    &profile,
+                    clearance,
+                    &ctx,
+                    black_box(probe),
+                    EnforcementMode::Syntactic,
+                );
+                black_box(r.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("semantic", depth), &probe, |b, probe| {
+            b.iter(|| {
+                let r = ss.query_as(
+                    &profile,
+                    clearance,
+                    &ctx,
+                    black_box(probe),
+                    EnforcementMode::Semantic,
+                );
+                black_box(r.len())
+            })
+        });
+        // Ablation: closure materialized once, queried many times.
+        let closed = Schema::closure(&ss.store);
+        group.bench_with_input(
+            BenchmarkId::new("materialized_closure_query", depth),
+            &probe,
+            |b, probe| {
+                b.iter(|| black_box(closed.query(black_box(probe)).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

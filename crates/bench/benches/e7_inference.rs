@@ -1,0 +1,32 @@
+//! E7: inference-controller gating cost vs constraint count, against the
+//! ungated query baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_bench::{constraint_base, patient_table};
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_inference");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let table = patient_table(2000);
+    let query = Query::select(&["name", "ward"]).filter("ward", "w3");
+    group.bench_function("ungated_baseline", |b| {
+        b.iter(|| black_box(query.run(&table).1.len()))
+    });
+    for n in [1usize, 8, 32] {
+        let constraints = constraint_base(n);
+        group.bench_with_input(BenchmarkId::new("gated", n), &n, |b, _| {
+            b.iter_batched(
+                || InferenceController::new(table.clone(), "id", constraints.clone()),
+                |mut controller| black_box(controller.execute("analyst", &query)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

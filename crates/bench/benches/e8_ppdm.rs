@@ -1,0 +1,41 @@
+//! E8: distribution reconstruction cost vs noise level and iteration count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ppdm");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let data = gaussian_mixture(8, 5_000, &[(0.5, 25.0, 5.0), (0.5, 75.0, 5.0)]);
+    for alpha in [10.0f64, 50.0] {
+        let noise = NoiseModel::Uniform { alpha };
+        let randomized = noise.randomize(9, &data);
+        group.bench_with_input(
+            BenchmarkId::new("randomize", alpha as u64),
+            &data,
+            |b, data| b.iter(|| black_box(noise.randomize(10, black_box(data)).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_20iters", alpha as u64),
+            &randomized,
+            |b, randomized| {
+                b.iter(|| {
+                    let f = reconstruct_distribution(
+                        black_box(randomized),
+                        &noise,
+                        20,
+                        (0.0, 100.0),
+                        20,
+                    );
+                    black_box(f[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

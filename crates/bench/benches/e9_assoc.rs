@@ -1,0 +1,35 @@
+//! E9: association mining — plaintext Apriori vs MASK-estimated supports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use websec_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_assoc");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let data = zipf_baskets(9, 5_000, 30, 5, 1.2);
+    let miner = Apriori::new(0.05, 0.4);
+
+    group.bench_function("apriori_plaintext", |b| {
+        b.iter(|| black_box(miner.frequent_itemsets(black_box(&data)).len()))
+    });
+
+    for p in [0.1f64, 0.3] {
+        let masked = MaskedBaskets::mask(10, &data, p);
+        group.bench_with_input(
+            BenchmarkId::new("mask", (p * 100.0) as u64),
+            &data,
+            |b, data| b.iter(|| black_box(MaskedBaskets::mask(11, black_box(data), p).rows.len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("estimate_2itemset", (p * 100.0) as u64),
+            &masked,
+            |b, masked| b.iter(|| black_box(masked.estimated_support(&[0, 1]))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! # websec-core
+//!
+//! The facade of the `websec` workspace: a from-scratch reproduction of the
+//! systems inventoried in *Ferrari & Thuraisingham, "Security and Privacy
+//! for Web Databases and Services", EDBT 2004*.
+//!
+//! Re-exports every subsystem crate and provides:
+//!
+//! * [`stack`] — the layered **secure semantic web stack** of §5 ("security
+//!   cuts across all layers… one needs secure TCP/IP… next layer is XML…
+//!   the next step is securing RDF"), with per-layer instrumentation (E12);
+//! * [`query`] — security-aware query processing (§3.1: "query processing
+//!   algorithms may need to take into consideration the access control
+//!   policies"), with view-first and filter-after strategies;
+//! * [`federation`] — secure interoperability of autonomous sites (§5),
+//!   each enforcing its own policy base;
+//! * [`metadata`] — the §2.1 metadata-placement question (centralized vs
+//!   per-site vs replicated) with probe/staleness accounting, and
+//!   clearance-filtered lookups ("use metadata to enhance security");
+//! * [`trust`] — the §5 trust layer: voucher chains establishing provider
+//!   keys from configured roots ("logic, proof and trust are at the
+//!   highest layers of the semantic web");
+//! * [`blobs`] — §2.1 multimedia/mass-storage integration: a
+//!   content-addressed, sealed-at-rest blob store whose retrieval is gated
+//!   by the XML-level access decision of the referencing element.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use websec_core::prelude::*;
+//!
+//! // A document, a credential-based policy, and a view.
+//! let doc = Document::parse(
+//!     "<hospital><patient id=\"p1\"><name>Alice</name></patient></hospital>",
+//! ).unwrap();
+//! let mut store = PolicyStore::new();
+//! store.add(Authorization::grant(
+//!     0,
+//!     SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into())),
+//!     ObjectSpec::Document("h.xml".into()),
+//!     Privilege::Read,
+//! ));
+//! let engine = PolicyEngine::default();
+//! let doctor = SubjectProfile::new("alice")
+//!     .with_credential(Credential::new("physician", "alice"));
+//! let view = engine.compute_view(&store, &doctor, "h.xml", &doc);
+//! assert!(view.to_xml_string().contains("Alice"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blobs;
+pub mod federation;
+pub mod metadata;
+pub mod query;
+pub mod stack;
+pub mod trust;
+
+pub use websec_crypto as crypto;
+pub use websec_dissem as dissem;
+pub use websec_mining as mining;
+pub use websec_policy as policy;
+pub use websec_privacy as privacy;
+pub use websec_publish as publish;
+pub use websec_rdf as rdf;
+pub use websec_services as services;
+pub use websec_uddi as uddi;
+pub use websec_xml as xml;
+
+pub use blobs::{attach_blob, fetch_authorized, BlobError, BlobRef, BlobStore};
+pub use federation::{FederatedHit, Federation, Site};
+pub use metadata::{DocumentMeta, MetadataRepository, Placement};
+pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
+pub use stack::{LayerTimings, SecureWebStack, StackError};
+pub use trust::{issue_voucher, TrustError, TrustStore, Voucher};
+
+/// Convenience glob import for examples and downstream users.
+pub mod prelude {
+    pub use crate::federation::{FederatedHit, Federation, Site};
+    pub use crate::query::{QueryStrategy, SecureQueryProcessor};
+    pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
+    pub use websec_crypto::{
+        sha256, wots_verify, ChaCha20, Keypair, MerkleTree, SecureRng, WotsKeypair,
+    };
+    pub use websec_dissem::{DissemPackage, KeyAuthority, RegionMap};
+    pub use websec_mining::{
+        gaussian_mixture, histogram, reconstruct_distribution, secure_sum, zipf_baskets, Apriori,
+        DecisionTree, DistributedMiners, MaskedBaskets, NoiseModel, PrivacyMetric,
+    };
+    pub use websec_policy::{
+        AccessDecision, AdministeredStore, Authorization, Clearance, ConflictStrategy,
+        Credential, CredentialExpr, CredentialIssuer, FlexibleEnforcer, Level, ObjectSpec,
+        PolicyEngine, PolicyStore, Privilege, Propagation, Role, RoleHierarchy,
+        SecurityContext, Sign, SubjectProfile, SubjectSpec,
+    };
+    pub use websec_privacy::{
+        AggregateDecision, AggregateQuery, ConsentLedger, InferenceController,
+        HistoryGranularity, PrivacyConstraint, PrivacyLevel, PrivacyPolicy, Query, QueryDecision, StatisticalGate,
+        Table, UserPreferences, Value, WsaChecklist,
+    };
+    pub use websec_publish::{verify_answer, Owner, Publisher};
+    pub use websec_rdf::{
+        ClassAuthorization, ClassLabel, EnforcementMode, OntologyGuard, PatternTerm,
+        RdfAuthorization, Schema, SecureStore, Term, Triple, TriplePattern, TripleStore,
+    };
+    pub use websec_services::{Envelope, SecureChannel, ServiceDescription, ServiceHost,
+        ServiceRequestor};
+    pub use websec_uddi::{
+        BusinessEntity, BusinessService, FindQualifier, Registry, ServiceProvider,
+        UntrustedAgency,
+    };
+    pub use websec_xml::{
+        Auction, AuctionState, Document, DocumentStore, Dtd, Path, VersionedStore,
+    };
+}

@@ -1,0 +1,261 @@
+//! Security-aware query processing (§3.1 of the paper).
+//!
+//! "We need to examine the security impact on all of the web data
+//! management functions… query processing algorithms may need to take into
+//! consideration the access control policies."
+//!
+//! Two strategies with identical semantics but different cost profiles:
+//!
+//! * **view-first** — materialize the subject's authorized view, then run
+//!   the query on it (simple; pays full view cost even for selective
+//!   queries);
+//! * **filter-after** — run the query on the raw document, then keep only
+//!   hits whose entire subtree the subject may read (cheap for selective
+//!   queries; never leaks, because results are re-checked node by node).
+//!
+//! The equivalence of the two is asserted by integration property tests;
+//! their cost difference is the query-processing "security impact" the
+//! paper asks about.
+
+use websec_policy::{DocumentDecision, PolicyEngine, PolicyStore, Privilege, SubjectProfile};
+use websec_xml::{Document, Path};
+
+/// Evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStrategy {
+    /// Materialize the view, then query it.
+    ViewFirst,
+    /// Query the raw document, then filter hits by per-node decisions.
+    FilterAfter,
+}
+
+/// A secure query processor bound to one policy base.
+pub struct SecureQueryProcessor<'a> {
+    /// The policy base.
+    pub store: &'a PolicyStore,
+    /// The evaluation engine.
+    pub engine: PolicyEngine,
+}
+
+/// One query result: the matched subtree serialized from the authorized
+/// view (so partially-readable subtrees appear pruned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureHit {
+    /// XML of the authorized portion of the matched subtree.
+    pub xml: String,
+}
+
+impl<'a> SecureQueryProcessor<'a> {
+    /// Creates a processor.
+    #[must_use]
+    pub fn new(store: &'a PolicyStore, engine: PolicyEngine) -> Self {
+        SecureQueryProcessor { store, engine }
+    }
+
+    /// Runs `path` over `doc` for `profile` under the chosen strategy.
+    #[must_use]
+    pub fn query(
+        &self,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+        path: &Path,
+        strategy: QueryStrategy,
+    ) -> Vec<SecureHit> {
+        match strategy {
+            QueryStrategy::ViewFirst => {
+                let view = self.engine.compute_view(self.store, profile, doc_name, doc);
+                // The view keeps unauthorized *ancestors* as structural
+                // shells (Author-X path visibility); those must not count
+                // as query results. Node ids are stable across pruning, so
+                // the per-node decision filters them out.
+                let decision = self.engine.evaluate_document(
+                    self.store,
+                    profile,
+                    doc_name,
+                    doc,
+                    Privilege::Read,
+                );
+                path.select_nodes(&view)
+                    .into_iter()
+                    .filter(|&n| decision.is_allowed(n))
+                    .map(|n| SecureHit {
+                        xml: subtree_xml(&view, n),
+                    })
+                    .collect()
+            }
+            QueryStrategy::FilterAfter => {
+                let decision = self.engine.evaluate_document(
+                    self.store,
+                    profile,
+                    doc_name,
+                    doc,
+                    Privilege::Read,
+                );
+                // A hit is returned iff the matched node itself is
+                // readable; its subtree is pruned to the readable portion
+                // (matching what the view would contain).
+                let hits = path.select_nodes(doc);
+                hits.into_iter()
+                    .filter(|&n| decision.is_allowed(n))
+                    .map(|n| SecureHit {
+                        xml: pruned_subtree_xml(doc, n, &decision),
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Serializes the subtree at `node` of an (already pruned) view.
+fn subtree_xml(view: &Document, node: websec_xml::NodeId) -> String {
+    emit(view, node)
+}
+
+/// Serializes the subtree at `node` of the raw document, omitting nodes
+/// and attributes the decision forbids.
+fn pruned_subtree_xml(doc: &Document, node: websec_xml::NodeId, decision: &DocumentDecision) -> String {
+    let mut out = String::new();
+    emit_filtered(doc, node, decision, &mut out);
+    out
+}
+
+fn emit(doc: &Document, node: websec_xml::NodeId) -> String {
+    let mut out = String::new();
+    emit_all(doc, node, &mut out);
+    out
+}
+
+fn emit_all(doc: &Document, node: websec_xml::NodeId, out: &mut String) {
+    match doc.kind(node) {
+        websec_xml::NodeKind::Text(t) => out.push_str(&websec_xml::node::escape_text(t)),
+        websec_xml::NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attributes {
+                out.push_str(&format!(" {k}=\"{}\"", websec_xml::node::escape_attr(v)));
+            }
+            let children: Vec<_> = doc.children(node).collect();
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    emit_all(doc, c, out);
+                }
+                out.push_str(&format!("</{name}>"));
+            }
+        }
+    }
+}
+
+fn emit_filtered(
+    doc: &Document,
+    node: websec_xml::NodeId,
+    decision: &DocumentDecision,
+    out: &mut String,
+) {
+    if !decision.is_allowed(node) {
+        return;
+    }
+    match doc.kind(node) {
+        websec_xml::NodeKind::Text(t) => out.push_str(&websec_xml::node::escape_text(t)),
+        websec_xml::NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attributes {
+                if decision.attr_allowed(node, k) {
+                    out.push_str(&format!(" {k}=\"{}\"", websec_xml::node::escape_attr(v)));
+                }
+            }
+            let children: Vec<_> = doc
+                .children(node)
+                .filter(|&c| decision.is_allowed(c))
+                .collect();
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    emit_filtered(doc, c, decision, out);
+                }
+                out.push_str(&format!("</{name}>"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::{Authorization, ObjectSpec, SubjectSpec};
+
+    fn setup() -> (PolicyStore, Document) {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient/@ssn").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        let doc = Document::parse(
+            "<hospital>\
+               <patient id=\"p1\" ssn=\"123\"><name>Alice</name></patient>\
+               <patient id=\"p2\" ssn=\"456\"><name>Bob</name></patient>\
+               <admin><budget>9</budget></admin>\
+             </hospital>",
+        )
+        .unwrap();
+        (store, doc)
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let (store, doc) = setup();
+        let processor = SecureQueryProcessor::new(&store, PolicyEngine::default());
+        let profile = SubjectProfile::new("u");
+        for q in ["//patient", "//name", "/hospital/admin", "//patient[@id='p2']"] {
+            let path = Path::parse(q).unwrap();
+            let a = processor.query(&profile, "h.xml", &doc, &path, QueryStrategy::ViewFirst);
+            let b = processor.query(&profile, "h.xml", &doc, &path, QueryStrategy::FilterAfter);
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn hits_prune_denied_attributes() {
+        let (store, doc) = setup();
+        let processor = SecureQueryProcessor::new(&store, PolicyEngine::default());
+        let profile = SubjectProfile::new("u");
+        let path = Path::parse("//patient[@id='p1']").unwrap();
+        let hits = processor.query(&profile, "h.xml", &doc, &path, QueryStrategy::FilterAfter);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].xml.contains("Alice"), "{}", hits[0].xml);
+        assert!(!hits[0].xml.contains("ssn"), "{}", hits[0].xml);
+    }
+
+    #[test]
+    fn unauthorized_region_yields_no_hits() {
+        let (store, doc) = setup();
+        let processor = SecureQueryProcessor::new(&store, PolicyEngine::default());
+        let profile = SubjectProfile::new("u");
+        let path = Path::parse("//budget").unwrap();
+        for strategy in [QueryStrategy::ViewFirst, QueryStrategy::FilterAfter] {
+            assert!(processor
+                .query(&profile, "h.xml", &doc, &path, strategy)
+                .is_empty());
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The layered secure semantic web stack of §5.
+//!
+//! "For the semantic web to be secure all of its components have to be
+//! secure… consider the lowest layer. One needs secure TCP/IP… Next layer
+//! is XML… The next step is securing RDF… Once XML and RDF have been
+//! secured the next step is to examine security for ontologies and
+//! interoperation."
+//!
+//! [`SecureWebStack`] wires four layers around a document query:
+//!
+//! 1. **Channel** — the request and response transit a [`SecureChannel`].
+//! 2. **XML security** — the policy engine computes the subject's view.
+//! 3. **RDF security** — document metadata (catalog triples with context
+//!    labels) is consulted: a document whose effective label dominates the
+//!    subject's clearance is refused entirely.
+//! 4. **Flexible policy** — the enforcement-level gate decides whether the
+//!    full evaluation runs (§5's "thirty percent security").
+//!
+//! Every layer is timed; [`LayerTimings`] feeds experiment E12.
+
+use std::time::Instant;
+use websec_policy::mls::{Clearance, ContextLabel, SecurityContext};
+use websec_policy::{FlexibleEnforcer, PolicyEngine, PolicyStore, SubjectProfile};
+use websec_rdf::{PatternTerm, Term, Triple, TriplePattern, TripleStore};
+use websec_services::SecureChannel;
+use websec_xml::{Document, DocumentStore, Path};
+
+/// Per-layer elapsed time for one request, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerTimings {
+    /// Secure-channel transit (both directions).
+    pub channel_ns: u128,
+    /// RDF metadata / label checking.
+    pub rdf_ns: u128,
+    /// Policy evaluation and view computation.
+    pub xml_ns: u128,
+    /// Flexible-enforcement gating.
+    pub gate_ns: u128,
+}
+
+impl LayerTimings {
+    /// Total time across layers.
+    #[must_use]
+    pub fn total_ns(&self) -> u128 {
+        self.channel_ns + self.rdf_ns + self.xml_ns + self.gate_ns
+    }
+}
+
+/// Stack processing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackError {
+    /// Unknown document.
+    UnknownDocument(String),
+    /// The document's effective label dominates the subject's clearance.
+    ClearanceViolation,
+    /// Transport failure.
+    Channel(String),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
+            StackError::ClearanceViolation => write!(f, "document label exceeds clearance"),
+            StackError::Channel(m) => write!(f, "channel failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// Metadata vocabulary for the catalog graph.
+pub mod vocab {
+    /// Links a catalog entry to its document name literal.
+    pub const DOC_NAME: &str = "http://websec.example/cat#documentName";
+    /// Marks a document classified (object: level literal "U"/"C"/"S"/"TS").
+    pub const CLASSIFIED: &str = "http://websec.example/cat#classifiedAs";
+}
+
+/// The layered stack.
+pub struct SecureWebStack {
+    /// Documents under management.
+    pub documents: DocumentStore,
+    /// XML-layer policy base.
+    pub policies: PolicyStore,
+    /// XML-layer evaluation engine.
+    pub engine: PolicyEngine,
+    /// RDF metadata catalog: one entry per document, with labels.
+    pub catalog: TripleStore,
+    /// Context labels per document name (evaluated against the context).
+    labels: Vec<(String, ContextLabel)>,
+    /// The evaluation context (epoch, conditions).
+    pub context: SecurityContext,
+    /// Flexible enforcement gate.
+    pub gate: FlexibleEnforcer,
+    session_key: [u8; 32],
+    /// Toggle for the channel layer (false = plaintext transport baseline).
+    pub channel_protected: bool,
+}
+
+impl SecureWebStack {
+    /// Creates a stack at full (100%) enforcement.
+    #[must_use]
+    pub fn new(session_key: [u8; 32]) -> Self {
+        SecureWebStack {
+            documents: DocumentStore::new(),
+            policies: PolicyStore::new(),
+            engine: PolicyEngine::default(),
+            catalog: TripleStore::new(),
+            labels: Vec::new(),
+            context: SecurityContext::new(),
+            gate: FlexibleEnforcer::new(100, session_key),
+            session_key,
+            channel_protected: true,
+        }
+    }
+
+    /// Adds a document with a context label, registering catalog metadata.
+    pub fn add_document(&mut self, name: &str, doc: Document, label: ContextLabel) {
+        let entry = self.catalog.fresh_blank();
+        self.catalog.insert(&Triple::new(
+            entry.clone(),
+            Term::iri(vocab::DOC_NAME),
+            Term::lit(name),
+        ));
+        self.catalog.insert(&Triple::new(
+            entry,
+            Term::iri(vocab::CLASSIFIED),
+            Term::lit(&label.effective(&self.context).to_string()),
+        ));
+        self.labels.push((name.to_string(), label));
+        self.documents.insert(name, doc);
+    }
+
+    /// Names of catalogued documents (via the RDF layer).
+    #[must_use]
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.catalog
+            .query(&TriplePattern::new(
+                PatternTerm::Any,
+                PatternTerm::Const(Term::iri(vocab::DOC_NAME)),
+                PatternTerm::Any,
+            ))
+            .into_iter()
+            .filter_map(|t| match t.o {
+                Term::Literal(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Processes one query through all four layers, returning the view's
+    /// XML plus the per-layer timings.
+    pub fn query(
+        &mut self,
+        profile: &SubjectProfile,
+        clearance: Clearance,
+        doc_name: &str,
+        path: &Path,
+    ) -> Result<(String, LayerTimings), StackError> {
+        let mut timings = LayerTimings::default();
+
+        // Layer 1 (inbound): the query transits the secure channel.
+        let t = Instant::now();
+        let mut client = SecureChannel::new(&self.session_key, self.channel_protected);
+        let mut server = SecureChannel::new(&self.session_key, self.channel_protected);
+        let wire = client.seal(path.source().as_bytes());
+        let _query_bytes = server
+            .open(&wire)
+            .map_err(|e| StackError::Channel(e.to_string()))?;
+        timings.channel_ns += t.elapsed().as_nanos();
+
+        // Layer 4 gate first: is this request fully enforced?
+        let t = Instant::now();
+        let gate_key = format!("{}|{}|{}", profile.identity, doc_name, path.source());
+        let enforce = matches!(
+            self.gate.gate(gate_key.as_bytes()),
+            websec_policy::flexible::GateOutcome::Enforce
+        );
+        timings.gate_ns += t.elapsed().as_nanos();
+
+        // Layer 3: RDF metadata — label vs clearance.
+        let t = Instant::now();
+        if enforce {
+            if let Some((_, label)) = self.labels.iter().find(|(n, _)| n == doc_name) {
+                if !clearance.can_read(label, &self.context) {
+                    return Err(StackError::ClearanceViolation);
+                }
+            }
+        }
+        timings.rdf_ns += t.elapsed().as_nanos();
+
+        // Layer 2: XML security — view computation and query.
+        let t = Instant::now();
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| StackError::UnknownDocument(doc_name.to_string()))?;
+        let result_xml = if enforce {
+            let view = self
+                .engine
+                .compute_view(&self.policies, profile, doc_name, doc);
+            let matched = path.select_nodes(&view);
+            matched
+                .iter()
+                .map(|&n| {
+                    let mut sub = view.clone();
+                    // Serialize the matched subtree only.
+                    let keep: std::collections::HashSet<_> =
+                        view.descendants(n).into_iter().collect();
+                    sub = sub.prune_to_view(&keep, &std::collections::HashMap::new());
+                    sub.to_xml_string()
+                })
+                .collect::<Vec<_>>()
+                .join("")
+        } else {
+            // Unchecked fast path: raw query on the stored document.
+            path.select_nodes(doc)
+                .iter()
+                .map(|&n| String::from_utf8_lossy(&doc.canonical_bytes(n)).to_string())
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        timings.xml_ns += t.elapsed().as_nanos();
+
+        // Layer 1 (outbound): response transits the channel.
+        let t = Instant::now();
+        let mut server_tx = SecureChannel::new(&self.session_key, self.channel_protected);
+        let mut client_rx = SecureChannel::new(&self.session_key, self.channel_protected);
+        let wire = server_tx.seal(result_xml.as_bytes());
+        let received = client_rx
+            .open(&wire)
+            .map_err(|e| StackError::Channel(e.to_string()))?;
+        timings.channel_ns += t.elapsed().as_nanos();
+
+        let text = String::from_utf8(received)
+            .map_err(|_| StackError::Channel("response not UTF-8".into()))?;
+        Ok((text, timings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::Level;
+    use websec_policy::{Authorization, ObjectSpec, Privilege, SubjectSpec};
+
+    fn stack() -> SecureWebStack {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        let doc = Document::parse(
+            "<hospital><patient id=\"p1\"><name>Alice</name></patient><admin><budget>9</budget></admin></hospital>",
+        )
+        .unwrap();
+        s.add_document("h.xml", doc, ContextLabel::fixed(Level::Unclassified));
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        s
+    }
+
+    #[test]
+    fn query_through_all_layers() {
+        let mut s = stack();
+        let path = Path::parse("//patient").unwrap();
+        let (xml, timings) = s
+            .query(
+                &SubjectProfile::new("doctor"),
+                Clearance(Level::Unclassified),
+                "h.xml",
+                &path,
+            )
+            .unwrap();
+        assert!(xml.contains("Alice"), "{xml}");
+        assert!(!xml.contains("budget"), "{xml}");
+        assert!(timings.total_ns() > 0);
+    }
+
+    #[test]
+    fn policy_denies_unauthorized_subject() {
+        let mut s = stack();
+        let path = Path::parse("//patient").unwrap();
+        let (xml, _) = s
+            .query(
+                &SubjectProfile::new("stranger"),
+                Clearance(Level::Unclassified),
+                "h.xml",
+                &path,
+            )
+            .unwrap();
+        assert!(!xml.contains("Alice"), "{xml}");
+    }
+
+    #[test]
+    fn clearance_violation_blocks() {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        s.add_document(
+            "secret.xml",
+            Document::parse("<ops><plan>x</plan></ops>").unwrap(),
+            ContextLabel::fixed(Level::Secret),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        let path = Path::parse("//plan").unwrap();
+        let err = s
+            .query(
+                &SubjectProfile::new("public"),
+                Clearance(Level::Unclassified),
+                "secret.xml",
+                &path,
+            )
+            .unwrap_err();
+        assert_eq!(err, StackError::ClearanceViolation);
+        // A cleared analyst gets through.
+        assert!(s
+            .query(
+                &SubjectProfile::new("analyst"),
+                Clearance(Level::Secret),
+                "secret.xml",
+                &path,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn declassification_at_the_stack_level() {
+        let mut s = SecureWebStack::new([4u8; 32]);
+        s.add_document(
+            "war.xml",
+            Document::parse("<ops><plan>x</plan></ops>").unwrap(),
+            ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        s.context = SecurityContext::new().with_condition("wartime");
+        let path = Path::parse("//plan").unwrap();
+        let journalist = SubjectProfile::new("journalist");
+        assert_eq!(
+            s.query(&journalist, Clearance(Level::Unclassified), "war.xml", &path)
+                .unwrap_err(),
+            StackError::ClearanceViolation
+        );
+        // The war ends; the same query now succeeds.
+        s.context = SecurityContext::new();
+        assert!(s
+            .query(&journalist, Clearance(Level::Unclassified), "war.xml", &path)
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_document_error() {
+        let mut s = stack();
+        let path = Path::parse("//x").unwrap();
+        assert_eq!(
+            s.query(
+                &SubjectProfile::new("doctor"),
+                Clearance(Level::TopSecret),
+                "nope.xml",
+                &path,
+            )
+            .unwrap_err(),
+            StackError::UnknownDocument("nope.xml".into())
+        );
+    }
+
+    #[test]
+    fn catalog_lists_documents() {
+        let s = stack();
+        assert_eq!(s.catalog_names(), vec!["h.xml".to_string()]);
+    }
+
+    #[test]
+    fn reduced_enforcement_skips_checks() {
+        let mut s = stack();
+        s.gate = FlexibleEnforcer::new(0, [3u8; 32]);
+        let path = Path::parse("//patient").unwrap();
+        // At 0% enforcement even a stranger gets the fast path (exposure!).
+        let (xml, _) = s
+            .query(
+                &SubjectProfile::new("stranger"),
+                Clearance(Level::Unclassified),
+                "h.xml",
+                &path,
+            )
+            .unwrap();
+        assert!(xml.contains("Alice"), "{xml}");
+        assert!(s.gate.exposure() > 0.99);
+    }
+}

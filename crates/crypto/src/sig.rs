@@ -1,0 +1,294 @@
+//! Hash-based digital signatures: Lamport one-time signatures lifted to a
+//! many-time Merkle signature scheme (MSS).
+//!
+//! The paper's third-party architectures need the owner to *sign* summary
+//! digests (Merkle roots of XML documents and UDDI entries) so requestors can
+//! authenticate answers from untrusted intermediaries. A hash-based scheme
+//! keeps the whole workspace self-contained: its security reduces to the
+//! preimage resistance of SHA-256 and requires no number theory.
+//!
+//! Layout: a keypair with height `h` contains `2^h` Lamport one-time keys,
+//! each derived deterministically from the master seed. The public key is
+//! the Merkle root over the hashes of the one-time public keys. A signature
+//! reveals one secret value per message-digest bit, ships the one-time public
+//! key, and proves its membership under the root.
+//!
+//! The scheme is stateful: each one-time key must be used at most once, so
+//! [`Keypair::sign`] consumes leaf indices and errors when exhausted.
+
+use crate::merkle::{self, MerkleProof, MerkleTree};
+use crate::rng::SecureRng;
+use crate::sha256::{sha256, Digest, Sha256};
+
+/// Number of digest bits, hence of secret-value pairs per one-time key.
+const BITS: usize = 256;
+
+/// Errors from signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignError {
+    /// All `2^h` one-time keys have been used.
+    KeysExhausted,
+}
+
+impl std::fmt::Display for SignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignError::KeysExhausted => write!(f, "all one-time signature keys are used up"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// The compact public key: Merkle root over the one-time public keys plus the
+/// number of leaves (needed to validate proofs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Merkle root over one-time public-key hashes.
+    pub root: Digest,
+    /// Number of one-time keys under the root.
+    pub n_keys: usize,
+}
+
+/// A many-time signature: the Lamport part plus the authentication path that
+/// binds the one-time key to the keypair's root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Index of the one-time key used.
+    pub leaf_index: usize,
+    /// The `256` revealed secret values, one per digest bit.
+    pub revealed: Vec<Digest>,
+    /// The full one-time public key (both hash halves per bit).
+    pub ots_public: Vec<[Digest; 2]>,
+    /// Merkle proof that `ots_public` belongs under the signer's root.
+    pub auth_path: MerkleProof,
+}
+
+impl Signature {
+    /// Wire size of the signature in bytes, for experiment reports.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        32 * self.revealed.len() + 64 * self.ots_public.len() + 32 * self.auth_path.siblings.len()
+    }
+}
+
+/// A stateful MSS keypair.
+pub struct Keypair {
+    seed: [u8; 32],
+    tree: MerkleTree,
+    next_leaf: usize,
+    n_keys: usize,
+}
+
+/// Derives the `(leaf, bit, half)` secret value from the master seed.
+fn secret_value(seed: &[u8; 32], leaf: usize, bit: usize, half: usize) -> Digest {
+    let mut h = Sha256::new();
+    h.update(seed);
+    h.update(&(leaf as u64).to_le_bytes());
+    h.update(&(bit as u32).to_le_bytes());
+    h.update(&[half as u8]);
+    h.finalize()
+}
+
+/// Computes the one-time public key (hashes of every secret value) for `leaf`.
+fn ots_public(seed: &[u8; 32], leaf: usize) -> Vec<[Digest; 2]> {
+    (0..BITS)
+        .map(|bit| {
+            [
+                sha256(&secret_value(seed, leaf, bit, 0)),
+                sha256(&secret_value(seed, leaf, bit, 1)),
+            ]
+        })
+        .collect()
+}
+
+/// Serializes a one-time public key into the Merkle-leaf payload.
+fn ots_public_bytes(pk: &[[Digest; 2]]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pk.len() * 64);
+    for pair in pk {
+        out.extend_from_slice(&pair[0]);
+        out.extend_from_slice(&pair[1]);
+    }
+    out
+}
+
+impl Keypair {
+    /// Generates a keypair with `2^height` one-time keys from RNG entropy.
+    #[must_use]
+    pub fn generate(rng: &mut SecureRng, height: u32) -> Self {
+        let seed = rng.gen_key();
+        Self::from_seed(seed, height)
+    }
+
+    /// Deterministically derives the keypair from a seed (used in tests and
+    /// for credential issuers that must be reproducible across runs).
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32], height: u32) -> Self {
+        let n_keys = 1usize << height;
+        let leaves: Vec<Digest> = (0..n_keys)
+            .map(|leaf| merkle::leaf_hash(&ots_public_bytes(&ots_public(&seed, leaf))))
+            .collect();
+        let tree = MerkleTree::from_leaf_hashes(leaves);
+        Keypair {
+            seed,
+            tree,
+            next_leaf: 0,
+            n_keys,
+        }
+    }
+
+    /// The compact public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey {
+            root: self.tree.root(),
+            n_keys: self.n_keys,
+        }
+    }
+
+    /// Remaining one-time keys.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.n_keys - self.next_leaf
+    }
+
+    /// Signs `message`, consuming the next one-time key.
+    pub fn sign(&mut self, message: &[u8]) -> Result<Signature, SignError> {
+        if self.next_leaf >= self.n_keys {
+            return Err(SignError::KeysExhausted);
+        }
+        let leaf = self.next_leaf;
+        self.next_leaf += 1;
+
+        let digest = sha256(message);
+        let revealed: Vec<Digest> = (0..BITS)
+            .map(|bit| {
+                let b = (digest[bit / 8] >> (7 - bit % 8)) & 1;
+                secret_value(&self.seed, leaf, bit, b as usize)
+            })
+            .collect();
+        let ots_pub = ots_public(&self.seed, leaf);
+        let auth_path = self.tree.prove(leaf);
+        Ok(Signature {
+            leaf_index: leaf,
+            revealed,
+            ots_public: ots_pub,
+            auth_path,
+        })
+    }
+}
+
+/// Verifies `signature` over `message` under `public_key`.
+#[must_use]
+pub fn verify(public_key: &PublicKey, message: &[u8], signature: &Signature) -> bool {
+    if signature.revealed.len() != BITS || signature.ots_public.len() != BITS {
+        return false;
+    }
+    if signature.auth_path.n_leaves != public_key.n_keys
+        || signature.auth_path.leaf_index != signature.leaf_index
+    {
+        return false;
+    }
+    // 1. Each revealed secret must hash to the committed half selected by the
+    //    corresponding digest bit.
+    let digest = sha256(message);
+    for bit in 0..BITS {
+        let b = ((digest[bit / 8] >> (7 - bit % 8)) & 1) as usize;
+        let expected = &signature.ots_public[bit][b];
+        if !crate::ct_eq(&sha256(&signature.revealed[bit]), expected) {
+            return false;
+        }
+    }
+    // 2. The one-time public key must belong under the signer's root.
+    let leaf = merkle::leaf_hash(&ots_public_bytes(&signature.ots_public));
+    merkle::verify_hash(&public_key.root, &leaf, &signature.auth_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair() -> Keypair {
+        Keypair::from_seed([42u8; 32], 2)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kp = keypair();
+        let pk = kp.public_key();
+        let sig = kp.sign(b"hello web databases").unwrap();
+        assert!(verify(&pk, b"hello web databases", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let mut kp = keypair();
+        let pk = kp.public_key();
+        let sig = kp.sign(b"original").unwrap();
+        assert!(!verify(&pk, b"forged", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut kp = keypair();
+        let other = Keypair::from_seed([7u8; 32], 2).public_key();
+        let sig = kp.sign(b"msg").unwrap();
+        assert!(!verify(&other, b"msg", &sig));
+    }
+
+    #[test]
+    fn rejects_tampered_reveal() {
+        let mut kp = keypair();
+        let pk = kp.public_key();
+        let mut sig = kp.sign(b"msg").unwrap();
+        sig.revealed[0][0] ^= 1;
+        assert!(!verify(&pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn rejects_leaf_index_mismatch() {
+        let mut kp = keypair();
+        let pk = kp.public_key();
+        let mut sig = kp.sign(b"msg").unwrap();
+        sig.leaf_index = 1;
+        assert!(!verify(&pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn each_signature_uses_fresh_key() {
+        let mut kp = keypair();
+        let pk = kp.public_key();
+        let s1 = kp.sign(b"m1").unwrap();
+        let s2 = kp.sign(b"m2").unwrap();
+        assert_ne!(s1.leaf_index, s2.leaf_index);
+        assert!(verify(&pk, b"m1", &s1));
+        assert!(verify(&pk, b"m2", &s2));
+        // Cross-verification must fail.
+        assert!(!verify(&pk, b"m2", &s1));
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut kp = Keypair::from_seed([1u8; 32], 1); // 2 keys
+        assert_eq!(kp.remaining(), 2);
+        kp.sign(b"a").unwrap();
+        kp.sign(b"b").unwrap();
+        assert_eq!(kp.remaining(), 0);
+        assert_eq!(kp.sign(b"c").unwrap_err(), SignError::KeysExhausted);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Keypair::from_seed([9u8; 32], 2).public_key();
+        let b = Keypair::from_seed([9u8; 32], 2).public_key();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_size_reported() {
+        let mut kp = keypair();
+        let sig = kp.sign(b"m").unwrap();
+        // 256 reveals * 32 + 256 pairs * 64 + auth path.
+        assert!(sig.size_bytes() >= 256 * 32 + 256 * 64);
+    }
+}

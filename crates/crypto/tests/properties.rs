@@ -1,0 +1,106 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+use websec_crypto::merkle::{leaf_hash, MerkleTree};
+use websec_crypto::{sha256, ChaCha20, Sha256};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental hashing equals one-shot hashing for arbitrary chunkings.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(1usize..64, 0..8),
+    ) {
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for c in cuts {
+            let take = c.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Different inputs hash differently (collision would be news).
+    #[test]
+    fn sha256_injective_in_practice(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a), sha256(&b));
+    }
+
+    /// ChaCha20 decryption inverts encryption for any key/nonce/message.
+    #[test]
+    fn chacha_roundtrip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        counter in any::<u32>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let ct = ChaCha20::process(&key, &nonce, counter, &msg);
+        let pt = ChaCha20::process(&key, &nonce, counter, &ct);
+        prop_assert_eq!(pt, msg);
+    }
+
+    /// Every single-leaf proof of every tree verifies; a proof for leaf i
+    /// never verifies leaf j's data (i ≠ j, distinct data).
+    #[test]
+    fn merkle_proofs_sound_and_binding(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..24),
+    ) {
+        let tree = MerkleTree::from_data(&leaves);
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(websec_crypto::merkle::verify(&root, leaf, &proof));
+            // Cross-verification fails whenever the data differs.
+            for (j, other) in leaves.iter().enumerate() {
+                if j != i && other != leaf {
+                    prop_assert!(!websec_crypto::merkle::verify(&root, other, &proof));
+                }
+            }
+        }
+    }
+
+    /// Multi-proofs verify exactly the claimed subset and reject supersets
+    /// or permutations of the leaf data.
+    #[test]
+    fn multiproof_subset_integrity(
+        n in 1usize..20,
+        picks in proptest::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let data: Vec<Vec<u8>> = (0..n).map(|i| format!("L{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_data(&data);
+        let mut subset: Vec<usize> = picks.iter().map(|&p| p as usize % n).collect();
+        subset.sort_unstable();
+        subset.dedup();
+        let proof = tree.prove_multi(&subset);
+        let hashes: Vec<_> = subset.iter().map(|&i| leaf_hash(&data[i])).collect();
+        prop_assert!(proof.verify(&tree.root(), &hashes));
+        // Swapping two distinct leaves breaks verification.
+        if hashes.len() >= 2 && hashes[0] != hashes[1] {
+            let mut swapped = hashes.clone();
+            swapped.swap(0, 1);
+            prop_assert!(!proof.verify(&tree.root(), &swapped));
+        }
+    }
+
+    /// MSS signatures verify under their own key and fail under any other.
+    #[test]
+    fn signatures_bind_key_and_message(seed_a in any::<u8>(), seed_b in any::<u8>(), msg in ".*") {
+        prop_assume!(seed_a != seed_b);
+        use websec_crypto::sig::{verify, Keypair};
+        let mut kp_a = Keypair::from_seed([seed_a; 32], 1);
+        let kp_b = Keypair::from_seed([seed_b; 32], 1);
+        let sig = kp_a.sign(msg.as_bytes()).unwrap();
+        prop_assert!(verify(&kp_a.public_key(), msg.as_bytes(), &sig));
+        prop_assert!(!verify(&kp_b.public_key(), msg.as_bytes(), &sig));
+        let altered = format!("{msg}!");
+        prop_assert!(!verify(&kp_a.public_key(), altered.as_bytes(), &sig));
+    }
+}

@@ -1,0 +1,35 @@
+//! # websec-dissem
+//!
+//! Secure and **selective dissemination** of XML documents, after the
+//! Bertino–Ferrari TISSEC 2002 approach the paper cites in §3.2 and applies
+//! to UDDI in §4.1: "the service provider encrypts the entries … according to
+//! its access control policies: all the entry portions to which the same
+//! policies apply are encrypted with the same key. … the service provider is
+//! responsible for distributing keys to the service requestors in such a way
+//! that each service requestor receives all and only the keys corresponding
+//! to the information it is entitled to access."
+//!
+//! Pipeline:
+//!
+//! 1. [`region`] partitions a document into **policy-equivalence regions**
+//!    (one per distinct set of granting authorizations).
+//! 2. [`keyring`] derives one key per region from a document master key and
+//!    hands each subject exactly the keys its credentials entitle it to.
+//! 3. [`package`] encrypts each region's node records into a broadcast
+//!    package (**push** mode) and reconstructs a subject's view from
+//!    whichever regions its keys open, with per-region integrity.
+//! 4. [`pull`] is the on-demand alternative: the server computes the view
+//!    at request time and encrypts it under the subscriber's session key.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod keyring;
+pub mod package;
+pub mod pull;
+pub mod region;
+
+pub use keyring::{KeyAuthority, SubjectKeyring};
+pub use package::{DissemError, DissemPackage, EncryptedRegion};
+pub use pull::{open_pull, PullError, PullResponse, PullServer};
+pub use region::{Region, RegionId, RegionMap};

@@ -1,0 +1,227 @@
+//! Apriori frequent-itemset and association-rule mining — the plaintext
+//! baseline the privacy-preserving variants are measured against.
+
+use crate::dataset::BasketDataset;
+use std::collections::{BTreeSet, HashMap};
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items.
+    pub antecedent: Vec<usize>,
+    /// Right-hand side items.
+    pub consequent: Vec<usize>,
+    /// Joint support of antecedent ∪ consequent.
+    pub support: f64,
+    /// Confidence `support(A∪C)/support(A)`.
+    pub confidence: f64,
+}
+
+/// Levelwise Apriori miner.
+pub struct Apriori {
+    /// Minimum support threshold (fraction of baskets).
+    pub min_support: f64,
+    /// Minimum rule confidence.
+    pub min_confidence: f64,
+}
+
+impl Apriori {
+    /// Creates a miner with the given thresholds.
+    #[must_use]
+    pub fn new(min_support: f64, min_confidence: f64) -> Self {
+        Apriori {
+            min_support,
+            min_confidence,
+        }
+    }
+
+    /// Mines all frequent itemsets with their supports.
+    #[must_use]
+    pub fn frequent_itemsets(&self, data: &BasketDataset) -> HashMap<Vec<usize>, f64> {
+        let n = data.baskets.len();
+        if n == 0 {
+            return HashMap::new();
+        }
+        let mut frequent: HashMap<Vec<usize>, f64> = HashMap::new();
+
+        // L1.
+        let mut counts = vec![0usize; data.n_items];
+        for b in &data.baskets {
+            for &i in b {
+                counts[i] += 1;
+            }
+        }
+        let mut current: Vec<Vec<usize>> = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let s = c as f64 / n as f64;
+            if s >= self.min_support {
+                frequent.insert(vec![i], s);
+                current.push(vec![i]);
+            }
+        }
+
+        // Levelwise extension.
+        while !current.is_empty() {
+            // Candidate generation: join itemsets sharing a (k-1)-prefix.
+            let mut candidates: BTreeSet<Vec<usize>> = BTreeSet::new();
+            for (ai, a) in current.iter().enumerate() {
+                for b in &current[ai + 1..] {
+                    if a[..a.len() - 1] == b[..b.len() - 1] {
+                        let mut c = a.clone();
+                        c.push(b[b.len() - 1]);
+                        c.sort_unstable();
+                        // Apriori pruning: every (k-1)-subset must be frequent.
+                        let all_subsets_frequent = (0..c.len()).all(|skip| {
+                            let sub: Vec<usize> = c
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != skip)
+                                .map(|(_, &x)| x)
+                                .collect();
+                            frequent.contains_key(&sub)
+                        });
+                        if all_subsets_frequent {
+                            candidates.insert(c);
+                        }
+                    }
+                }
+            }
+            // Support counting.
+            let mut next = Vec::new();
+            for c in candidates {
+                let s = data.support(&c);
+                if s >= self.min_support {
+                    frequent.insert(c.clone(), s);
+                    next.push(c);
+                }
+            }
+            current = next;
+        }
+        frequent
+    }
+
+    /// Derives association rules from the frequent itemsets.
+    #[must_use]
+    pub fn rules(&self, data: &BasketDataset) -> Vec<AssociationRule> {
+        let frequent = self.frequent_itemsets(data);
+        let mut rules = Vec::new();
+        for (itemset, &support) in &frequent {
+            if itemset.len() < 2 {
+                continue;
+            }
+            // Every non-empty proper subset as antecedent.
+            let k = itemset.len();
+            for mask in 1..(1u32 << k) - 1 {
+                let antecedent: Vec<usize> = (0..k)
+                    .filter(|&j| mask & (1 << j) != 0)
+                    .map(|j| itemset[j])
+                    .collect();
+                let consequent: Vec<usize> = (0..k)
+                    .filter(|&j| mask & (1 << j) == 0)
+                    .map(|j| itemset[j])
+                    .collect();
+                let Some(&ant_support) = frequent.get(&antecedent) else {
+                    continue;
+                };
+                let confidence = support / ant_support;
+                if confidence >= self.min_confidence {
+                    rules.push(AssociationRule {
+                        antecedent,
+                        consequent,
+                        support,
+                        confidence,
+                    });
+                }
+            }
+        }
+        rules.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic textbook dataset with known frequent itemsets.
+    fn data() -> BasketDataset {
+        BasketDataset {
+            n_items: 5,
+            baskets: vec![
+                vec![0, 1, 4],
+                vec![1, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 2],
+                vec![0, 1, 2, 4],
+                vec![0, 1, 2],
+            ],
+        }
+    }
+
+    #[test]
+    fn frequent_singletons() {
+        let f = Apriori::new(2.0 / 9.0, 0.5).frequent_itemsets(&data());
+        // All five items appear ≥ 2 times.
+        for i in 0..5 {
+            assert!(f.contains_key(&vec![i]), "item {i}");
+        }
+    }
+
+    #[test]
+    fn known_pair_supports() {
+        let f = Apriori::new(2.0 / 9.0, 0.5).frequent_itemsets(&data());
+        assert!((f[&vec![0, 1]] - 4.0 / 9.0).abs() < 1e-12);
+        assert!((f[&vec![1, 2]] - 4.0 / 9.0).abs() < 1e-12);
+        assert!((f[&vec![0, 4]] - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_triple() {
+        let f = Apriori::new(2.0 / 9.0, 0.5).frequent_itemsets(&data());
+        assert!(f.contains_key(&vec![0, 1, 4]));
+        assert!(f.contains_key(&vec![0, 1, 2]));
+        // {1,3} is frequent but {0,3} is not, so {0,1,3} must be pruned.
+        assert!(!f.contains_key(&vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn higher_threshold_fewer_sets() {
+        let low = Apriori::new(0.2, 0.5).frequent_itemsets(&data()).len();
+        let high = Apriori::new(0.5, 0.5).frequent_itemsets(&data()).len();
+        assert!(high < low);
+    }
+
+    #[test]
+    fn rules_confidence() {
+        let rules = Apriori::new(2.0 / 9.0, 0.9).rules(&data());
+        // 4 ⇒ {0,1} holds with confidence 1.0 (both baskets with 4 contain 0 and 1).
+        assert!(rules.iter().any(|r| r.antecedent == vec![4]
+            && r.consequent == vec![0, 1]
+            && (r.confidence - 1.0).abs() < 1e-12));
+        // Every reported rule respects the threshold.
+        assert!(rules.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let rules = Apriori::new(0.2, 0.1).rules(&data());
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = BasketDataset {
+            n_items: 3,
+            baskets: vec![],
+        };
+        assert!(Apriori::new(0.1, 0.5).frequent_itemsets(&d).is_empty());
+        assert!(Apriori::new(0.1, 0.5).rules(&d).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic workload generators.
+//!
+//! The privacy-mining studies the paper cites ran on data we do not have
+//! (retail baskets, census records); these generators produce distributions
+//! with the same relevant shape — multi-modal numeric data for
+//! reconstruction experiments, and skewed (Zipfian) co-occurring items for
+//! association mining — under caller-controlled seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `n` values from a mixture of Gaussians given as
+/// `(weight, mean, std_dev)` components (weights need not be normalized).
+///
+/// # Panics
+/// Panics if `components` is empty or all weights are zero.
+#[must_use]
+pub fn gaussian_mixture(seed: u64, n: usize, components: &[(f64, f64, f64)]) -> Vec<f64> {
+    assert!(!components.is_empty(), "need at least one component");
+    let total: f64 = components.iter().map(|(w, _, _)| w).sum();
+    assert!(total > 0.0, "weights must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = components[components.len() - 1];
+            for &c in components {
+                if pick < c.0 {
+                    chosen = c;
+                    break;
+                }
+                pick -= c.0;
+            }
+            let (_, mean, sd) = chosen;
+            // Box-Muller.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            mean + sd * z
+        })
+        .collect()
+}
+
+/// A market-basket dataset: transactions over items `0..n_items`.
+#[derive(Debug, Clone)]
+pub struct BasketDataset {
+    /// Number of distinct items.
+    pub n_items: usize,
+    /// Transactions: sorted, deduplicated item ids.
+    pub baskets: Vec<Vec<usize>>,
+}
+
+impl BasketDataset {
+    /// Support (fraction of baskets) of an itemset.
+    #[must_use]
+    pub fn support(&self, itemset: &[usize]) -> f64 {
+        if self.baskets.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .baskets
+            .iter()
+            .filter(|b| itemset.iter().all(|i| b.contains(i)))
+            .count();
+        hits as f64 / self.baskets.len() as f64
+    }
+
+    /// Renders baskets as bit vectors (for randomized-response masking).
+    #[must_use]
+    pub fn to_bitvectors(&self) -> Vec<Vec<bool>> {
+        self.baskets
+            .iter()
+            .map(|b| {
+                let mut v = vec![false; self.n_items];
+                for &i in b {
+                    v[i] = true;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// Generates `n_baskets` transactions over `n_items` items with Zipfian
+/// item popularity (exponent `s`) and `avg_len` expected items per basket.
+/// Popular items co-occur, giving Apriori real structure to find.
+#[must_use]
+pub fn zipf_baskets(
+    seed: u64,
+    n_baskets: usize,
+    n_items: usize,
+    avg_len: usize,
+    s: f64,
+) -> BasketDataset {
+    assert!(n_items > 0 && avg_len > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf CDF.
+    let weights: Vec<f64> = (1..=n_items).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n_items);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let draw = |rng: &mut StdRng| -> usize {
+        let u: f64 = rng.gen();
+        cdf.iter().position(|&c| u <= c).unwrap_or(n_items - 1)
+    };
+
+    let baskets = (0..n_baskets)
+        .map(|_| {
+            // Poisson-ish basket length via geometric accumulation.
+            let len = 1 + rng.gen_range(0..avg_len * 2);
+            let mut b: Vec<usize> = (0..len).map(|_| draw(&mut rng)).collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        })
+        .collect();
+    BasketDataset { n_items, baskets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_deterministic_and_sized() {
+        let a = gaussian_mixture(1, 100, &[(1.0, 0.0, 1.0)]);
+        let b = gaussian_mixture(1, 100, &[(1.0, 0.0, 1.0)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn mixture_statistics() {
+        let data = gaussian_mixture(42, 20_000, &[(1.0, 10.0, 2.0)]);
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn mixture_is_multimodal() {
+        let data = gaussian_mixture(7, 10_000, &[(0.5, -5.0, 1.0), (0.5, 5.0, 1.0)]);
+        let left = data.iter().filter(|&&x| x < 0.0).count();
+        let frac = left as f64 / data.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "left fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn mixture_rejects_empty() {
+        let _ = gaussian_mixture(1, 10, &[]);
+    }
+
+    #[test]
+    fn baskets_shape() {
+        let d = zipf_baskets(3, 500, 50, 5, 1.2);
+        assert_eq!(d.baskets.len(), 500);
+        assert!(d.baskets.iter().all(|b| b.windows(2).all(|w| w[0] < w[1])));
+        assert!(d.baskets.iter().all(|b| b.iter().all(|&i| i < 50)));
+    }
+
+    #[test]
+    fn zipf_popularity_skew() {
+        let d = zipf_baskets(5, 2_000, 100, 6, 1.3);
+        let s0 = d.support(&[0]);
+        let s50 = d.support(&[50]);
+        assert!(s0 > s50 * 3.0, "item 0 support {s0}, item 50 support {s50}");
+    }
+
+    #[test]
+    fn support_and_bitvectors_agree() {
+        let d = BasketDataset {
+            n_items: 4,
+            baskets: vec![vec![0, 1], vec![1, 2], vec![0, 1, 3]],
+        };
+        assert!((d.support(&[1]) - 1.0).abs() < 1e-12);
+        assert!((d.support(&[0, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.support(&[3, 2]), 0.0);
+        let bits = d.to_bitvectors();
+        assert_eq!(bits[0], vec![true, true, false, false]);
+        assert_eq!(bits[2], vec![true, true, false, true]);
+    }
+}

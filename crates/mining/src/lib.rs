@@ -1,0 +1,45 @@
+//! # websec-mining
+//!
+//! Data-mining substrate with the privacy-preserving variants §3.3 of the
+//! paper points to: "there is now research at various laboratories on
+//! privacy enhanced/sensitive data mining (e.g., Agrawal at IBM Almaden,
+//! Gehrke at Cornell University and Clifton at Purdue University). The idea
+//! here is to continue with mining but at the same time ensure privacy as
+//! much as possible."
+//!
+//! * [`dataset`] — synthetic workload generators (Gaussian mixtures for
+//!   numeric data, Zipfian market baskets), substituting for the
+//!   proprietary data the original studies used.
+//! * [`randomize`] — Agrawal–Srikant value distortion (uniform / Gaussian
+//!   noise), the interval-based privacy metric, and Bayes-iteration
+//!   distribution reconstruction.
+//! * [`apriori`] — plaintext Apriori frequent itemsets and association
+//!   rules (the utility baseline).
+//! * [`mask`] — MASK-style randomized response over basket bit vectors
+//!   with unbiased support estimation by per-item matrix inversion.
+//! * [`tree`] — ID3 decision trees (information-gain splits).
+//! * [`privtree`] — the AS00 classification experiment: ByClass
+//!   reconstruction re-materializes training data from randomized values,
+//!   and trees trained on it approach original accuracy.
+//! * [`multiparty`] — Clifton-style secure multiparty computation: secure
+//!   sum over additive masking, and distributed Apriori support counting
+//!   on top of it, so "no party learns others' inputs".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod dataset;
+pub mod mask;
+pub mod multiparty;
+pub mod privtree;
+pub mod randomize;
+pub mod tree;
+
+pub use apriori::{AssociationRule, Apriori};
+pub use dataset::{gaussian_mixture, zipf_baskets, BasketDataset};
+pub use mask::MaskedBaskets;
+pub use multiparty::{secure_sum, DistributedMiners};
+pub use privtree::{classification_experiment, synthetic_task, ClassificationAccuracy, NumericRecord};
+pub use randomize::{reconstruct_distribution, histogram, NoiseModel, PrivacyMetric};
+pub use tree::{DecisionTree, Sample};

@@ -1,0 +1,196 @@
+//! MASK-style randomized response for market-basket data.
+//!
+//! Each basket is a bit vector; every bit is flipped independently with
+//! probability `p` before leaving the client. The miner sees only flipped
+//! vectors, yet can estimate itemset supports unbiasedly by inverting the
+//! per-item flip channel `A = [[1-p, p], [p, 1-p]]` on the empirical joint
+//! distribution. Privacy grows with `p` (at `p = 0.5` the data is pure
+//! noise); estimation error grows with `p` and itemset size — exactly the
+//! trade-off experiment E9 charts.
+
+use crate::dataset::BasketDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Basket data after randomized response.
+#[derive(Debug, Clone)]
+pub struct MaskedBaskets {
+    /// Flip probability used.
+    pub p: f64,
+    /// Number of items.
+    pub n_items: usize,
+    /// Flipped bit vectors.
+    pub rows: Vec<Vec<bool>>,
+}
+
+impl MaskedBaskets {
+    /// Masks `data` by flipping each bit with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 0.5` (at 0.5 the channel is non-invertible).
+    #[must_use]
+    pub fn mask(seed: u64, data: &BasketDataset, p: f64) -> Self {
+        assert!((0.0..0.5).contains(&p), "flip probability must be in [0, 0.5)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = data
+            .to_bitvectors()
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|bit| {
+                        if rng.gen::<f64>() < p {
+                            !bit
+                        } else {
+                            bit
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        MaskedBaskets {
+            p,
+            n_items: data.n_items,
+            rows,
+        }
+    }
+
+    /// Observed (raw) support of `itemset` in the masked data.
+    #[must_use]
+    pub fn observed_support(&self, itemset: &[usize]) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .rows
+            .iter()
+            .filter(|r| itemset.iter().all(|&i| r[i]))
+            .count();
+        hits as f64 / self.rows.len() as f64
+    }
+
+    /// Unbiased estimate of the *true* support of `itemset`.
+    ///
+    /// Builds the empirical joint distribution over the `2^k` observed
+    /// patterns of the itemset's items, applies the inverse flip channel on
+    /// each axis, and reads off the all-ones cell. Estimates are clamped to
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics for itemsets larger than 16 items (2^k table).
+    #[must_use]
+    pub fn estimated_support(&self, itemset: &[usize]) -> f64 {
+        let k = itemset.len();
+        assert!(k > 0 && k <= 16, "itemset size out of range");
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let cells = 1usize << k;
+        // Empirical distribution over observed patterns.
+        let mut dist = vec![0.0f64; cells];
+        for row in &self.rows {
+            let mut pattern = 0usize;
+            for (j, &item) in itemset.iter().enumerate() {
+                if row[item] {
+                    pattern |= 1 << j;
+                }
+            }
+            dist[pattern] += 1.0;
+        }
+        let n = self.rows.len() as f64;
+        for v in &mut dist {
+            *v /= n;
+        }
+        // Invert the channel per axis: A⁻¹ = 1/(1−2p) · [[1−p, −p], [−p, 1−p]].
+        let q = 1.0 - self.p;
+        let denom = 1.0 - 2.0 * self.p;
+        for axis in 0..k {
+            let stride = 1usize << axis;
+            let mut next = dist.clone();
+            for cell in 0..cells {
+                if cell & stride == 0 {
+                    let zero = dist[cell];
+                    let one = dist[cell | stride];
+                    next[cell] = (q * zero - self.p * one) / denom;
+                    next[cell | stride] = (q * one - self.p * zero) / denom;
+                }
+            }
+            dist = next;
+        }
+        dist[cells - 1].clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::zipf_baskets;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let d = zipf_baskets(1, 500, 20, 4, 1.1);
+        let m = MaskedBaskets::mask(2, &d, 0.0);
+        for items in [vec![0], vec![0, 1], vec![2, 5]] {
+            assert!((m.estimated_support(&items) - d.support(&items)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn masking_changes_bits() {
+        let d = zipf_baskets(1, 200, 20, 4, 1.1);
+        let m = MaskedBaskets::mask(3, &d, 0.3);
+        let orig = d.to_bitvectors();
+        let flipped: usize = orig
+            .iter()
+            .zip(&m.rows)
+            .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x != y).count())
+            .sum();
+        let total = 200 * 20;
+        let rate = flipped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "flip rate {rate}");
+    }
+
+    #[test]
+    fn estimator_beats_observed_support() {
+        let d = zipf_baskets(7, 20_000, 30, 5, 1.2);
+        let m = MaskedBaskets::mask(8, &d, 0.25);
+        for items in [vec![0], vec![0, 1]] {
+            let truth = d.support(&items);
+            let est = m.estimated_support(&items);
+            let obs = m.observed_support(&items);
+            assert!(
+                (est - truth).abs() < (obs - truth).abs(),
+                "items {items:?}: est {est:.4}, obs {obs:.4}, truth {truth:.4}"
+            );
+            assert!((est - truth).abs() < 0.02, "estimate off: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn error_grows_with_p() {
+        let d = zipf_baskets(9, 5_000, 20, 4, 1.2);
+        let truth = d.support(&[0, 1]);
+        let mut errs = Vec::new();
+        for (i, p) in [0.05, 0.4].iter().enumerate() {
+            let m = MaskedBaskets::mask(10 + i as u64, &d, *p);
+            errs.push((m.estimated_support(&[0, 1]) - truth).abs());
+        }
+        assert!(errs[1] > errs[0], "errors {errs:?}");
+    }
+
+    #[test]
+    fn estimates_clamped() {
+        // Rare itemset + heavy noise can push the raw estimate negative;
+        // the API clamps.
+        let d = zipf_baskets(11, 200, 50, 3, 1.5);
+        let m = MaskedBaskets::mask(12, &d, 0.45);
+        let est = m.estimated_support(&[40, 41, 42]);
+        assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn rejects_half() {
+        let d = zipf_baskets(1, 10, 5, 2, 1.0);
+        let _ = MaskedBaskets::mask(1, &d, 0.5);
+    }
+}

@@ -1,0 +1,358 @@
+//! Clifton-style secure multiparty computation for distributed mining.
+//!
+//! §3.3: "Clifton has proposed the use of the multiparty security policy
+//! approach for carrying out privacy sensitive data mining." The canonical
+//! building block is the **secure sum**: parties arranged in a ring
+//! compute Σ xᵢ without any party learning another's input — the initiator
+//! adds a random mask, each party adds its value to the running total, and
+//! the initiator removes the mask at the end.
+//!
+//! [`DistributedMiners`] layers distributed Apriori support counting on
+//! top: each site holds a private basket partition; global supports are
+//! computed by secure sums over local counts.
+
+use crate::dataset::BasketDataset;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::thread;
+
+/// Modulus for the masked ring sum (large enough for any realistic count).
+const MODULUS: u64 = 1 << 62;
+
+/// Computes Σ inputs with a threaded ring protocol: each party runs on its
+/// own thread and sees only `mask + Σ_{j<i} x_j (mod M)`, which is uniform
+/// given the random mask. Returns the exact sum.
+///
+/// # Panics
+/// Panics if `inputs` is empty or a party value exceeds the modulus.
+#[must_use]
+pub fn secure_sum(seed: u64, inputs: &[u64]) -> u64 {
+    assert!(!inputs.is_empty(), "need at least one party");
+    assert!(inputs.iter().all(|&x| x < MODULUS), "input exceeds modulus");
+    let n = inputs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: u64 = rng.gen_range(0..MODULUS);
+
+    // Ring of channels: initiator -> p1 -> p2 -> ... -> initiator.
+    let mut senders: Vec<Sender<u64>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<u64>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = bounded(1);
+        senders.push(s);
+        receivers.push(r);
+    }
+
+    // Party i receives on receivers[i], sends on senders[(i+1) % n].
+    let mut handles = Vec::new();
+    for i in 1..n {
+        let value = inputs[i];
+        let rx = receivers.remove(1); // receivers[1] shifts left each time
+        let tx = senders[(i + 1) % n].clone();
+        handles.push(thread::spawn(move || {
+            let partial = rx.recv().expect("ring broken");
+            tx.send((partial + value) % MODULUS).expect("ring broken");
+        }));
+    }
+
+    // Initiator (party 0): inject mask + own value, collect, unmask.
+    senders[1 % n]
+        .send((mask + inputs[0]) % MODULUS)
+        .expect("ring broken");
+    let masked_total = receivers[0].recv().expect("ring broken");
+    for h in handles {
+        h.join().expect("party panicked");
+    }
+    (masked_total + MODULUS - mask) % MODULUS
+}
+
+/// What an honest-but-curious party observes during the protocol (used by
+/// tests to check the privacy property): the single partial sum it receives.
+#[must_use]
+pub fn observed_partials(seed: u64, inputs: &[u64]) -> Vec<u64> {
+    // Re-run the arithmetic deterministically (no threads needed).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: u64 = rng.gen_range(0..MODULUS);
+    let mut partials = Vec::with_capacity(inputs.len());
+    let mut acc = (mask + inputs[0]) % MODULUS;
+    for &x in &inputs[1..] {
+        partials.push(acc); // what the next party sees
+        acc = (acc + x) % MODULUS;
+    }
+    partials.push(acc); // what the initiator gets back
+    partials
+}
+
+/// Pseudonymized secure set union (the Clifton toolkit's union primitive,
+/// simplified): parties share a PRF key unknown to the coordinator; each
+/// party submits `HMAC(key, item)` pseudonyms; the coordinator unions the
+/// pseudonyms — learning the union's *size* and which pseudonyms repeat,
+/// but not the items — and returns them; parties map pseudonyms back
+/// locally. (The original uses commutative encryption; the PRF variant has
+/// the same information flow for an honest-but-curious coordinator.)
+pub mod union {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// A pseudonym: HMAC-SHA256 of the item under the shared key.
+    pub type Pseudonym = [u8; 32];
+
+    fn pseudonym(shared_key: &[u8; 32], item: u64) -> Pseudonym {
+        websec_crypto::hmac_sha256(shared_key, &item.to_le_bytes())
+    }
+
+    /// Party side: pseudonymizes a local item set.
+    #[must_use]
+    pub fn blind(shared_key: &[u8; 32], items: &[u64]) -> BTreeSet<Pseudonym> {
+        items.iter().map(|&i| pseudonym(shared_key, i)).collect()
+    }
+
+    /// Coordinator side: unions the blinded sets. Sees only pseudonyms.
+    #[must_use]
+    pub fn coordinate(blinded: &[BTreeSet<Pseudonym>]) -> BTreeSet<Pseudonym> {
+        let mut out = BTreeSet::new();
+        for set in blinded {
+            out.extend(set.iter().copied());
+        }
+        out
+    }
+
+    /// Party side: maps union pseudonyms back to items, given the party's
+    /// candidate universe (parties know which items exist; the coordinator
+    /// does not).
+    #[must_use]
+    pub fn unblind(
+        shared_key: &[u8; 32],
+        union: &BTreeSet<Pseudonym>,
+        universe: &[u64],
+    ) -> Vec<u64> {
+        let lookup: BTreeMap<Pseudonym, u64> = universe
+            .iter()
+            .map(|&i| (pseudonym(shared_key, i), i))
+            .collect();
+        union.iter().filter_map(|p| lookup.get(p).copied()).collect()
+    }
+}
+
+/// Distributed miners: one basket partition per site.
+pub struct DistributedMiners {
+    sites: Vec<BasketDataset>,
+}
+
+impl DistributedMiners {
+    /// Wraps the per-site partitions.
+    ///
+    /// # Panics
+    /// Panics if sites disagree on the item universe or no site is given.
+    #[must_use]
+    pub fn new(sites: Vec<BasketDataset>) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        let n_items = sites[0].n_items;
+        assert!(
+            sites.iter().all(|s| s.n_items == n_items),
+            "sites must share the item universe"
+        );
+        DistributedMiners { sites }
+    }
+
+    /// Number of participating sites.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total number of baskets across sites (via secure sum).
+    #[must_use]
+    pub fn total_baskets(&self, seed: u64) -> u64 {
+        let counts: Vec<u64> = self.sites.iter().map(|s| s.baskets.len() as u64).collect();
+        secure_sum(seed, &counts)
+    }
+
+    /// Global support of `itemset`, computed with secure sums over local
+    /// counts — no site reveals its local count in the clear.
+    #[must_use]
+    pub fn global_support(&self, seed: u64, itemset: &[usize]) -> f64 {
+        let local_hits: Vec<u64> = self
+            .sites
+            .iter()
+            .map(|s| {
+                s.baskets
+                    .iter()
+                    .filter(|b| itemset.iter().all(|i| b.contains(i)))
+                    .count() as u64
+            })
+            .collect();
+        let hits = secure_sum(seed, &local_hits);
+        let total = self.total_baskets(seed.wrapping_add(1));
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Distributed candidate generation (the FDM structure): each site
+    /// proposes its locally frequent single items; the pseudonymized union
+    /// forms the global candidate set without revealing which site
+    /// contributed which item to the coordinator.
+    #[must_use]
+    pub fn global_candidates(&self, shared_key: &[u8; 32], min_local_support: f64) -> Vec<u64> {
+        let blinded: Vec<_> = self
+            .sites
+            .iter()
+            .map(|site| {
+                let locally_frequent: Vec<u64> = (0..site.n_items as u64)
+                    .filter(|&i| site.support(&[i as usize]) >= min_local_support)
+                    .collect();
+                union::blind(shared_key, &locally_frequent)
+            })
+            .collect();
+        let unioned = union::coordinate(&blinded);
+        let universe: Vec<u64> = (0..self.sites[0].n_items as u64).collect();
+        union::unblind(shared_key, &unioned, &universe)
+    }
+
+    /// Centralized (privacy-free) baseline: pools all baskets.
+    #[must_use]
+    pub fn pooled(&self) -> BasketDataset {
+        let n_items = self.sites[0].n_items;
+        let baskets = self
+            .sites
+            .iter()
+            .flat_map(|s| s.baskets.iter().cloned())
+            .collect();
+        BasketDataset { n_items, baskets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::zipf_baskets;
+
+    #[test]
+    fn secure_sum_exact() {
+        assert_eq!(secure_sum(1, &[5]), 5);
+        assert_eq!(secure_sum(2, &[1, 2, 3, 4]), 10);
+        assert_eq!(secure_sum(3, &[0, 0, 0]), 0);
+        // Large values are fine as long as the total stays below the modulus.
+        let big = (MODULUS >> 3) - 1;
+        assert_eq!(secure_sum(4, &[big; 4]), big * 4);
+    }
+
+    #[test]
+    fn secure_sum_many_parties() {
+        let inputs: Vec<u64> = (0..16).collect();
+        assert_eq!(secure_sum(9, &inputs), 120);
+    }
+
+    #[test]
+    fn partials_hide_inputs() {
+        // No party's observed partial equals any prefix sum of the raw
+        // inputs (the mask hides them); and different seeds give different
+        // views for the same inputs.
+        let inputs = [10u64, 20, 30, 40];
+        let partials_a = observed_partials(100, &inputs);
+        let partials_b = observed_partials(101, &inputs);
+        assert_ne!(partials_a, partials_b);
+        let prefixes: Vec<u64> = inputs
+            .iter()
+            .scan(0u64, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect();
+        for p in &partials_a {
+            assert!(!prefixes.contains(p), "partial leaked a prefix sum");
+        }
+    }
+
+    #[test]
+    fn distributed_support_matches_pooled() {
+        let sites = vec![
+            zipf_baskets(1, 400, 20, 4, 1.2),
+            zipf_baskets(2, 300, 20, 4, 1.2),
+            zipf_baskets(3, 300, 20, 4, 1.2),
+        ];
+        let dm = DistributedMiners::new(sites);
+        let pooled = dm.pooled();
+        for items in [vec![0], vec![0, 1], vec![2, 3]] {
+            let secure = dm.global_support(7, &items);
+            let clear = pooled.support(&items);
+            assert!(
+                (secure - clear).abs() < 1e-12,
+                "items {items:?}: {secure} vs {clear}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_baskets_counted() {
+        let dm = DistributedMiners::new(vec![
+            zipf_baskets(1, 100, 10, 3, 1.1),
+            zipf_baskets(2, 250, 10, 3, 1.1),
+        ]);
+        assert_eq!(dm.total_baskets(5), 350);
+        assert_eq!(dm.n_sites(), 2);
+    }
+
+    #[test]
+    fn pseudonymized_union_roundtrip() {
+        let key = [7u8; 32];
+        let a = union::blind(&key, &[1, 2, 3]);
+        let b = union::blind(&key, &[3, 4]);
+        let unioned = union::coordinate(&[a, b]);
+        assert_eq!(unioned.len(), 4); // {1,2,3,4} as pseudonyms
+        let items = union::unblind(&key, &unioned, &(0..10).collect::<Vec<_>>());
+        let mut sorted = items;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn coordinator_sees_no_items() {
+        // Pseudonyms are PRF outputs: none equals any item encoding, and a
+        // coordinator without the key cannot unblind.
+        let key = [8u8; 32];
+        let blinded = union::blind(&key, &[42]);
+        let p = blinded.iter().next().unwrap();
+        assert_ne!(&p[..8], &42u64.to_le_bytes());
+        let wrong_key = [9u8; 32];
+        assert!(union::unblind(&wrong_key, &blinded, &(0..100).collect::<Vec<_>>()).is_empty());
+    }
+
+    #[test]
+    fn global_candidates_cover_frequent_items() {
+        let dm = DistributedMiners::new(vec![
+            zipf_baskets(1, 1000, 20, 5, 1.3),
+            zipf_baskets(2, 1000, 20, 5, 1.3),
+        ]);
+        let key = [3u8; 32];
+        let candidates = dm.global_candidates(&key, 0.10);
+        // Item 0 is frequent everywhere under Zipf.
+        assert!(candidates.contains(&0));
+        // Every globally frequent item appears among the candidates (FDM's
+        // completeness property: globally frequent ⇒ locally frequent at
+        // some site).
+        let pooled = dm.pooled();
+        for i in 0..20usize {
+            if pooled.support(&[i]) >= 0.10 {
+                assert!(candidates.contains(&(i as u64)), "item {i} missing");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share the item universe")]
+    fn mismatched_sites_rejected() {
+        let _ = DistributedMiners::new(vec![
+            zipf_baskets(1, 10, 10, 3, 1.1),
+            zipf_baskets(2, 10, 20, 3, 1.1),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn empty_sum_rejected() {
+        let _ = secure_sum(1, &[]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Agrawal–Srikant value distortion and distribution reconstruction
+//! (SIGMOD 2000, the paper's reference \[1\]).
+//!
+//! Each user submits `w = x + y` where `y` is noise drawn from a public
+//! [`NoiseModel`]. The miner never sees `x`, yet can recover the *aggregate*
+//! distribution of `x` by Bayes iteration — "continue with mining but at
+//! the same time ensure privacy as much as possible" (§3.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The public randomization operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Additive uniform noise on `[-alpha, +alpha]`.
+    Uniform {
+        /// Noise half-width.
+        alpha: f64,
+    },
+    /// Additive Gaussian noise with the given standard deviation.
+    Gaussian {
+        /// Noise standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Density of the noise at `y`.
+    #[must_use]
+    pub fn density(&self, y: f64) -> f64 {
+        match self {
+            NoiseModel::Uniform { alpha } => {
+                if y.abs() <= *alpha {
+                    1.0 / (2.0 * alpha)
+                } else {
+                    0.0
+                }
+            }
+            NoiseModel::Gaussian { std_dev } => {
+                let z = y / std_dev;
+                (-0.5 * z * z).exp() / (std_dev * (2.0 * std::f64::consts::PI).sqrt())
+            }
+        }
+    }
+
+    /// Randomizes a dataset: returns `x_i + y_i`.
+    #[must_use]
+    pub fn randomize(&self, seed: u64, data: &[f64]) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        data.iter()
+            .map(|&x| {
+                let y = match self {
+                    NoiseModel::Uniform { alpha } => rng.gen_range(-alpha..=*alpha),
+                    NoiseModel::Gaussian { std_dev } => {
+                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.gen();
+                        std_dev
+                            * (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos()
+                    }
+                };
+                x + y
+            })
+            .collect()
+    }
+}
+
+/// The AS00 interval-based privacy metric: the width of the interval that
+/// contains the true value with the given confidence, expressed as a
+/// percentage of the data range ("privacy level").
+#[derive(Debug, Clone, Copy)]
+pub struct PrivacyMetric {
+    /// Confidence (e.g. 0.95).
+    pub confidence: f64,
+    /// Data range the percentage is relative to.
+    pub data_range: f64,
+}
+
+impl PrivacyMetric {
+    /// Privacy percentage offered by `noise` under this metric.
+    #[must_use]
+    pub fn privacy_percent(&self, noise: &NoiseModel) -> f64 {
+        let width = match noise {
+            // For uniform noise the c-confidence interval has width 2αc.
+            NoiseModel::Uniform { alpha } => 2.0 * alpha * self.confidence,
+            // For Gaussian noise use ±zσ with z from the confidence.
+            NoiseModel::Gaussian { std_dev } => {
+                let z = match self.confidence {
+                    c if c >= 0.999 => 3.29,
+                    c if c >= 0.99 => 2.58,
+                    c if c >= 0.95 => 1.96,
+                    c if c >= 0.90 => 1.64,
+                    _ => 1.0,
+                };
+                2.0 * z * std_dev
+            }
+        };
+        width / self.data_range * 100.0
+    }
+}
+
+/// Histogram of `data` over `bins` equal cells spanning `range`.
+#[must_use]
+pub fn histogram(data: &[f64], bins: usize, range: (f64, f64)) -> Vec<f64> {
+    assert!(bins > 0 && range.1 > range.0);
+    let mut h = vec![0.0; bins];
+    let width = (range.1 - range.0) / bins as f64;
+    for &x in data {
+        let mut b = ((x - range.0) / width) as isize;
+        b = b.clamp(0, bins as isize - 1);
+        h[b as usize] += 1.0;
+    }
+    let n: f64 = h.iter().sum();
+    if n > 0.0 {
+        for v in &mut h {
+            *v /= n;
+        }
+    }
+    h
+}
+
+/// AS00 Bayes-iteration reconstruction: estimates the distribution of the
+/// original values from the randomized ones.
+///
+/// Returns bin probabilities over `bins` cells spanning `range`. Iterates
+/// the update
+/// `f'(a) = (1/n) Σ_i  fY(w_i − a) f(a) / Σ_b fY(w_i − b) f(b)`
+/// from a uniform prior for `iterations` rounds.
+#[must_use]
+pub fn reconstruct_distribution(
+    randomized: &[f64],
+    noise: &NoiseModel,
+    bins: usize,
+    range: (f64, f64),
+    iterations: usize,
+) -> Vec<f64> {
+    assert!(bins > 0 && range.1 > range.0);
+    let width = (range.1 - range.0) / bins as f64;
+    let centers: Vec<f64> = (0..bins)
+        .map(|b| range.0 + (b as f64 + 0.5) * width)
+        .collect();
+    let mut f = vec![1.0 / bins as f64; bins];
+    if randomized.is_empty() {
+        return f;
+    }
+
+    for _ in 0..iterations {
+        let mut next = vec![0.0; bins];
+        for &w in randomized {
+            // Posterior over bins for this observation.
+            let mut post: Vec<f64> = centers
+                .iter()
+                .zip(&f)
+                .map(|(&a, &fa)| noise.density(w - a) * fa)
+                .collect();
+            let z: f64 = post.iter().sum();
+            if z <= 0.0 {
+                continue; // observation incompatible with every bin
+            }
+            for p in &mut post {
+                *p /= z;
+            }
+            for (n, p) in next.iter_mut().zip(&post) {
+                *n += p;
+            }
+        }
+        let total: f64 = next.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        for v in &mut next {
+            *v /= total;
+        }
+        f = next;
+    }
+    f
+}
+
+/// Total-variation distance between two bin distributions (reconstruction
+/// accuracy metric; 0 = identical, 1 = disjoint).
+#[must_use]
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    0.5 * a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::gaussian_mixture;
+
+    #[test]
+    fn uniform_density() {
+        let n = NoiseModel::Uniform { alpha: 2.0 };
+        assert!((n.density(0.0) - 0.25).abs() < 1e-12);
+        assert!((n.density(1.9) - 0.25).abs() < 1e-12);
+        assert_eq!(n.density(2.1), 0.0);
+    }
+
+    #[test]
+    fn gaussian_density_peak() {
+        let n = NoiseModel::Gaussian { std_dev: 1.0 };
+        assert!((n.density(0.0) - 0.3989).abs() < 1e-3);
+        assert!(n.density(0.0) > n.density(1.0));
+    }
+
+    #[test]
+    fn randomize_perturbs_but_preserves_mean() {
+        let data = vec![5.0; 10_000];
+        let noise = NoiseModel::Uniform { alpha: 3.0 };
+        let r = noise.randomize(1, &data);
+        assert_ne!(r[0], 5.0);
+        let mean: f64 = r.iter().sum::<f64>() / r.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        // All within the noise bound.
+        assert!(r.iter().all(|&w| (w - 5.0).abs() <= 3.0 + 1e-9));
+    }
+
+    #[test]
+    fn privacy_metric_scales_with_alpha() {
+        let m = PrivacyMetric {
+            confidence: 0.95,
+            data_range: 100.0,
+        };
+        let p_small = m.privacy_percent(&NoiseModel::Uniform { alpha: 10.0 });
+        let p_large = m.privacy_percent(&NoiseModel::Uniform { alpha: 50.0 });
+        assert!(p_large > p_small);
+        assert!((p_small - 19.0).abs() < 1e-9); // 2*10*0.95 = 19% of 100
+    }
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = histogram(&[0.5, 1.5, 1.6, 2.5], 3, (0.0, 3.0));
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_recovers_bimodal_shape() {
+        // The AS00 headline result: even with heavy noise, the aggregate
+        // shape is recoverable.
+        let data = gaussian_mixture(11, 5_000, &[(0.5, 25.0, 5.0), (0.5, 75.0, 5.0)]);
+        let noise = NoiseModel::Uniform { alpha: 25.0 };
+        let randomized = noise.randomize(12, &data);
+
+        let bins = 20;
+        let range = (0.0, 100.0);
+        let truth = histogram(&data, bins, range);
+        let naive = histogram(&randomized, bins, range);
+        let reconstructed = reconstruct_distribution(&randomized, &noise, bins, range, 50);
+
+        let err_naive = total_variation(&truth, &naive);
+        let err_recon = total_variation(&truth, &reconstructed);
+        assert!(
+            err_recon < err_naive * 0.6,
+            "reconstruction ({err_recon:.3}) should beat naive ({err_naive:.3})"
+        );
+        // The two modes are visible: bins near 25 and 75 dominate bins near 50.
+        let mode1 = reconstructed[4] + reconstructed[5];
+        let valley = reconstructed[9] + reconstructed[10];
+        let mode2 = reconstructed[14] + reconstructed[15];
+        assert!(mode1 > valley && mode2 > valley, "{reconstructed:?}");
+    }
+
+    #[test]
+    fn more_noise_worse_reconstruction() {
+        let data = gaussian_mixture(13, 3_000, &[(1.0, 50.0, 8.0)]);
+        let bins = 20;
+        let range = (0.0, 100.0);
+        let truth = histogram(&data, bins, range);
+        let mut errs = Vec::new();
+        for alpha in [5.0, 60.0] {
+            let noise = NoiseModel::Uniform { alpha };
+            let randomized = noise.randomize(14, &data);
+            let rec = reconstruct_distribution(&randomized, &noise, bins, range, 40);
+            errs.push(total_variation(&truth, &rec));
+        }
+        assert!(errs[1] > errs[0], "errors {errs:?}");
+    }
+
+    #[test]
+    fn reconstruction_handles_empty_input() {
+        let f = reconstruct_distribution(&[], &NoiseModel::Uniform { alpha: 1.0 }, 4, (0.0, 1.0), 5);
+        assert_eq!(f, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

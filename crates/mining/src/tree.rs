@@ -1,0 +1,281 @@
+//! ID3 decision trees over categorical attributes.
+//!
+//! The AS00 study demonstrated that classifiers can be trained on
+//! reconstructed (privacy-preserving) data; this module provides the
+//! classifier substrate: information-gain splits, majority-vote leaves,
+//! depth limiting.
+
+use std::collections::HashMap;
+
+/// One training/query sample: categorical attribute values by position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Attribute values (dense, by attribute index).
+    pub attributes: Vec<String>,
+    /// Class label (empty for query samples).
+    pub label: String,
+}
+
+impl Sample {
+    /// Builds a sample from string slices.
+    #[must_use]
+    pub fn new(attributes: &[&str], label: &str) -> Self {
+        Sample {
+            attributes: attributes.iter().map(|s| (*s).to_string()).collect(),
+            label: label.to_string(),
+        }
+    }
+}
+
+/// A trained decision tree.
+#[derive(Debug)]
+pub enum DecisionTree {
+    /// Leaf with the predicted label.
+    Leaf(String),
+    /// Internal split on an attribute index.
+    Node {
+        /// Attribute index split on.
+        attribute: usize,
+        /// Child per observed attribute value.
+        children: HashMap<String, DecisionTree>,
+        /// Majority label at this node (fallback for unseen values).
+        majority: String,
+    },
+}
+
+fn entropy(samples: &[&Sample]) -> f64 {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for s in samples {
+        *counts.entry(s.label.as_str()).or_default() += 1;
+    }
+    let n = samples.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn majority_label(samples: &[&Sample]) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for s in samples {
+        *counts.entry(s.label.as_str()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label.to_string())))
+        .map(|(l, _)| l.to_string())
+        .unwrap_or_default()
+}
+
+impl DecisionTree {
+    /// Trains a tree with ID3 information-gain splits, up to `max_depth`.
+    ///
+    /// # Panics
+    /// Panics on an empty training set or inconsistent arities.
+    #[must_use]
+    pub fn train(samples: &[Sample], max_depth: usize) -> DecisionTree {
+        assert!(!samples.is_empty(), "empty training set");
+        let arity = samples[0].attributes.len();
+        assert!(
+            samples.iter().all(|s| s.attributes.len() == arity),
+            "inconsistent attribute arity"
+        );
+        let refs: Vec<&Sample> = samples.iter().collect();
+        Self::train_inner(&refs, &(0..arity).collect::<Vec<_>>(), max_depth)
+    }
+
+    fn train_inner(samples: &[&Sample], available: &[usize], depth: usize) -> DecisionTree {
+        let majority = majority_label(samples);
+        if depth == 0 || available.is_empty() {
+            return DecisionTree::Leaf(majority);
+        }
+        let base = entropy(samples);
+        if base == 0.0 {
+            return DecisionTree::Leaf(majority);
+        }
+
+        // Best information-gain attribute.
+        let mut best: Option<(usize, f64)> = None;
+        for &attr in available {
+            let mut partitions: HashMap<&str, Vec<&Sample>> = HashMap::new();
+            for s in samples {
+                partitions
+                    .entry(s.attributes[attr].as_str())
+                    .or_default()
+                    .push(s);
+            }
+            let n = samples.len() as f64;
+            let cond: f64 = partitions
+                .values()
+                .map(|part| part.len() as f64 / n * entropy(part))
+                .sum();
+            let gain = base - cond;
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((attr, gain));
+            }
+        }
+        let (attribute, gain) = best.expect("available attributes");
+        if gain <= 1e-12 {
+            return DecisionTree::Leaf(majority);
+        }
+
+        let mut partitions: HashMap<String, Vec<&Sample>> = HashMap::new();
+        for s in samples {
+            partitions
+                .entry(s.attributes[attribute].clone())
+                .or_default()
+                .push(s);
+        }
+        let remaining: Vec<usize> = available
+            .iter()
+            .copied()
+            .filter(|&a| a != attribute)
+            .collect();
+        let children = partitions
+            .into_iter()
+            .map(|(value, part)| {
+                (
+                    value,
+                    Self::train_inner(&part, &remaining, depth - 1),
+                )
+            })
+            .collect();
+        DecisionTree::Node {
+            attribute,
+            children,
+            majority,
+        }
+    }
+
+    /// Predicts the label for `attributes`.
+    #[must_use]
+    pub fn predict(&self, attributes: &[String]) -> &str {
+        match self {
+            DecisionTree::Leaf(label) => label,
+            DecisionTree::Node {
+                attribute,
+                children,
+                majority,
+            } => match attributes
+                .get(*attribute)
+                .and_then(|v| children.get(v.as_str()))
+            {
+                Some(child) => child.predict(attributes),
+                None => majority,
+            },
+        }
+    }
+
+    /// Fraction of `samples` classified correctly.
+    #[must_use]
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(&s.attributes) == s.label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Tree depth (leaf = 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            DecisionTree::Leaf(_) => 0,
+            DecisionTree::Node { children, .. } => {
+                1 + children.values().map(DecisionTree::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic "play tennis" dataset.
+    fn tennis() -> Vec<Sample> {
+        // outlook, temperature, humidity, wind → play
+        vec![
+            Sample::new(&["sunny", "hot", "high", "weak"], "no"),
+            Sample::new(&["sunny", "hot", "high", "strong"], "no"),
+            Sample::new(&["overcast", "hot", "high", "weak"], "yes"),
+            Sample::new(&["rain", "mild", "high", "weak"], "yes"),
+            Sample::new(&["rain", "cool", "normal", "weak"], "yes"),
+            Sample::new(&["rain", "cool", "normal", "strong"], "no"),
+            Sample::new(&["overcast", "cool", "normal", "strong"], "yes"),
+            Sample::new(&["sunny", "mild", "high", "weak"], "no"),
+            Sample::new(&["sunny", "cool", "normal", "weak"], "yes"),
+            Sample::new(&["rain", "mild", "normal", "weak"], "yes"),
+            Sample::new(&["sunny", "mild", "normal", "strong"], "yes"),
+            Sample::new(&["overcast", "mild", "high", "strong"], "yes"),
+            Sample::new(&["overcast", "hot", "normal", "weak"], "yes"),
+            Sample::new(&["rain", "mild", "high", "strong"], "no"),
+        ]
+    }
+
+    #[test]
+    fn perfect_fit_on_training_data() {
+        let data = tennis();
+        let tree = DecisionTree::train(&data, 10);
+        assert!((tree.accuracy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splits_on_outlook_first() {
+        // Information gain on the tennis data famously picks outlook.
+        let tree = DecisionTree::train(&tennis(), 10);
+        match tree {
+            DecisionTree::Node { attribute, .. } => assert_eq!(attribute, 0),
+            DecisionTree::Leaf(_) => panic!("should split"),
+        }
+    }
+
+    #[test]
+    fn overcast_always_yes() {
+        let tree = DecisionTree::train(&tennis(), 10);
+        let q = ["overcast", "hot", "high", "strong"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        assert_eq!(tree.predict(&q), "yes");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let tree = DecisionTree::train(&tennis(), 1);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn unseen_value_falls_back_to_majority() {
+        let tree = DecisionTree::train(&tennis(), 10);
+        let q = ["foggy", "hot", "high", "weak"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        // Majority of the dataset is "yes" (9/14).
+        assert_eq!(tree.predict(&q), "yes");
+    }
+
+    #[test]
+    fn pure_dataset_is_leaf() {
+        let data = vec![
+            Sample::new(&["a"], "x"),
+            Sample::new(&["b"], "x"),
+        ];
+        let tree = DecisionTree::train(&data, 5);
+        assert!(matches!(tree, DecisionTree::Leaf(ref l) if l == "x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_panics() {
+        let _ = DecisionTree::train(&[], 3);
+    }
+}

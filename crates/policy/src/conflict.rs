@@ -1,0 +1,240 @@
+//! Conflict resolution between positive and negative authorizations.
+//!
+//! When several authorizations apply to the same (subject, node, privilege)
+//! with different signs, a strategy decides the outcome. The strategies here
+//! are the classical ones from the database-security literature the paper
+//! builds on (Castano et al., *Database Security*, cited as \[6\]).
+
+use crate::authz::{Authorization, Sign};
+
+/// Available strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictStrategy {
+    /// Any applicable denial wins (the safest default).
+    #[default]
+    DenialsTakePrecedence,
+    /// Any applicable grant wins.
+    PermissionsTakePrecedence,
+    /// The authorization with the most specific subject spec wins; ties are
+    /// broken by denials-take-precedence.
+    MostSpecificSubject,
+    /// The authorization with the finest-granularity object spec wins; ties
+    /// are broken by denials-take-precedence.
+    MostSpecificObject,
+    /// The highest explicit priority wins; ties are broken by
+    /// denials-take-precedence.
+    ExplicitPriority,
+}
+
+impl ConflictStrategy {
+    /// Resolves a non-empty set of applicable authorizations to a decision.
+    /// Returns `None` when no authorization applies (the closed-policy
+    /// default is then "deny", applied by the engine).
+    #[must_use]
+    pub fn resolve(self, applicable: &[&Authorization]) -> Option<Sign> {
+        if applicable.is_empty() {
+            return None;
+        }
+        let winner_sign = |auths: &[&Authorization]| {
+            if auths.iter().any(|a| a.sign == Sign::Minus) {
+                Sign::Minus
+            } else {
+                Sign::Plus
+            }
+        };
+        Some(match self {
+            ConflictStrategy::DenialsTakePrecedence => winner_sign(applicable),
+            ConflictStrategy::PermissionsTakePrecedence => {
+                if applicable.iter().any(|a| a.sign == Sign::Plus) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                }
+            }
+            ConflictStrategy::MostSpecificSubject => {
+                let top = applicable
+                    .iter()
+                    .map(|a| a.subject.specificity())
+                    .max()
+                    .expect("non-empty");
+                let best: Vec<&Authorization> = applicable
+                    .iter()
+                    .copied()
+                    .filter(|a| a.subject.specificity() == top)
+                    .collect();
+                winner_sign(&best)
+            }
+            ConflictStrategy::MostSpecificObject => {
+                let top = applicable
+                    .iter()
+                    .map(|a| a.object.granularity())
+                    .max()
+                    .expect("non-empty");
+                let best: Vec<&Authorization> = applicable
+                    .iter()
+                    .copied()
+                    .filter(|a| a.object.granularity() == top)
+                    .collect();
+                winner_sign(&best)
+            }
+            ConflictStrategy::ExplicitPriority => {
+                let top = applicable
+                    .iter()
+                    .map(|a| a.priority)
+                    .max()
+                    .expect("non-empty");
+                let best: Vec<&Authorization> = applicable
+                    .iter()
+                    .copied()
+                    .filter(|a| a.priority == top)
+                    .collect();
+                winner_sign(&best)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::{ObjectSpec, Privilege, SubjectSpec};
+    use crate::subject::Role;
+
+    fn grant_all(id: u32) -> Authorization {
+        Authorization::grant(
+            id,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        )
+    }
+
+    fn deny_identity(id: u32) -> Authorization {
+        Authorization::deny(
+            id,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        )
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(ConflictStrategy::default().resolve(&[]), None);
+    }
+
+    #[test]
+    fn denials_take_precedence() {
+        let g = grant_all(1);
+        let d = deny_identity(2);
+        let s = ConflictStrategy::DenialsTakePrecedence;
+        assert_eq!(s.resolve(&[&g]), Some(Sign::Plus));
+        assert_eq!(s.resolve(&[&g, &d]), Some(Sign::Minus));
+    }
+
+    #[test]
+    fn permissions_take_precedence() {
+        let g = grant_all(1);
+        let d = deny_identity(2);
+        let s = ConflictStrategy::PermissionsTakePrecedence;
+        assert_eq!(s.resolve(&[&g, &d]), Some(Sign::Plus));
+        assert_eq!(s.resolve(&[&d]), Some(Sign::Minus));
+    }
+
+    #[test]
+    fn most_specific_subject() {
+        // Identity-level denial beats role-level grant...
+        let g = Authorization::grant(
+            1,
+            SubjectSpec::InRole(Role::new("doctor")),
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        let d = deny_identity(2);
+        let s = ConflictStrategy::MostSpecificSubject;
+        assert_eq!(s.resolve(&[&g, &d]), Some(Sign::Minus));
+        // ...and an identity-level grant beats an anyone-level denial.
+        let g2 = Authorization::grant(
+            3,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        let d2 = Authorization::deny(
+            4,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        assert_eq!(s.resolve(&[&g2, &d2]), Some(Sign::Plus));
+    }
+
+    #[test]
+    fn most_specific_subject_tie_denies() {
+        let g = Authorization::grant(
+            1,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        let d = deny_identity(2);
+        assert_eq!(
+            ConflictStrategy::MostSpecificSubject.resolve(&[&g, &d]),
+            Some(Sign::Minus)
+        );
+    }
+
+    #[test]
+    fn most_specific_object() {
+        use websec_xml::Path;
+        let doc_grant = Authorization::grant(
+            1,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("d".into()),
+            Privilege::Read,
+        );
+        let portion_deny = Authorization::deny(
+            2,
+            SubjectSpec::Anyone,
+            ObjectSpec::Portion {
+                document: "d".into(),
+                path: Path::parse("/a/b").unwrap(),
+            },
+            Privilege::Read,
+        );
+        assert_eq!(
+            ConflictStrategy::MostSpecificObject.resolve(&[&doc_grant, &portion_deny]),
+            Some(Sign::Minus)
+        );
+        // Finer grant beats coarser denial.
+        let all_deny = Authorization::deny(
+            3,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        let portion_grant = Authorization::grant(
+            4,
+            SubjectSpec::Anyone,
+            ObjectSpec::Portion {
+                document: "d".into(),
+                path: Path::parse("/a").unwrap(),
+            },
+            Privilege::Read,
+        );
+        assert_eq!(
+            ConflictStrategy::MostSpecificObject.resolve(&[&all_deny, &portion_grant]),
+            Some(Sign::Plus)
+        );
+    }
+
+    #[test]
+    fn explicit_priority() {
+        let g = grant_all(1).with_priority(10);
+        let d = deny_identity(2).with_priority(1);
+        let s = ConflictStrategy::ExplicitPriority;
+        assert_eq!(s.resolve(&[&g, &d]), Some(Sign::Plus));
+        let d_hi = deny_identity(3).with_priority(20);
+        assert_eq!(s.resolve(&[&g, &d_hi]), Some(Sign::Minus));
+    }
+}

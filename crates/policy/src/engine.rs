@@ -1,0 +1,899 @@
+//! Policy evaluation: per-node decisions, Author-X views, and the
+//! policy-equivalence classes used by secure dissemination.
+
+use crate::authz::{
+    Authorization, AuthzId, ObjectSpec, Privilege, Propagation, Sign,
+};
+use crate::conflict::ConflictStrategy;
+use crate::subject::{RoleHierarchy, SubjectProfile};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use websec_xml::{Document, NodeId, Selection};
+
+/// A policy base: authorizations plus the role hierarchy and collection
+/// membership needed to interpret them.
+#[derive(Debug, Default)]
+pub struct PolicyStore {
+    authorizations: Vec<Authorization>,
+    /// Role seniority used for `SubjectSpec::InRole`.
+    pub hierarchy: RoleHierarchy,
+    collections: BTreeMap<String, BTreeSet<String>>,
+    next_id: u32,
+}
+
+impl PolicyStore {
+    /// Creates an empty policy base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an authorization, assigning it a fresh id (any id set by the
+    /// caller is overwritten).
+    pub fn add(&mut self, mut authorization: Authorization) -> AuthzId {
+        let id = AuthzId(self.next_id);
+        self.next_id += 1;
+        authorization.id = id;
+        self.authorizations.push(authorization);
+        id
+    }
+
+    /// Removes an authorization by id; returns whether it existed.
+    pub fn revoke(&mut self, id: AuthzId) -> bool {
+        let before = self.authorizations.len();
+        self.authorizations.retain(|a| a.id != id);
+        self.authorizations.len() != before
+    }
+
+    /// The current authorizations.
+    #[must_use]
+    pub fn authorizations(&self) -> &[Authorization] {
+        &self.authorizations
+    }
+
+    /// Number of authorizations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.authorizations.len()
+    }
+
+    /// True when the base is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.authorizations.is_empty()
+    }
+
+    /// Registers `document` as a member of `collection`.
+    pub fn add_collection_member(&mut self, collection: &str, document: &str) {
+        self.collections
+            .entry(collection.to_string())
+            .or_default()
+            .insert(document.to_string());
+    }
+
+    fn collection_contains(&self, collection: &str, document: &str) -> bool {
+        self.collections
+            .get(collection)
+            .is_some_and(|m| m.contains(document))
+    }
+}
+
+/// Outcome of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Access is permitted.
+    Granted,
+    /// Access is denied (explicitly or by the closed-policy default).
+    Denied,
+}
+
+/// Per-document evaluation result for one subject and privilege.
+#[derive(Debug)]
+pub struct DocumentDecision {
+    node_allowed: HashMap<NodeId, bool>,
+    /// `(element, attribute)` decisions where an attribute-specific
+    /// authorization applied.
+    attr_decisions: HashMap<(NodeId, String), bool>,
+}
+
+impl DocumentDecision {
+    /// Is `node` readable under this decision?
+    #[must_use]
+    pub fn is_allowed(&self, node: NodeId) -> bool {
+        self.node_allowed.get(&node).copied().unwrap_or(false)
+    }
+
+    /// Is `attribute` of `node` visible? Attributes inherit the element's
+    /// decision unless an attribute-specific authorization overrides it.
+    #[must_use]
+    pub fn attr_allowed(&self, node: NodeId, attribute: &str) -> bool {
+        match self.attr_decisions.get(&(node, attribute.to_string())) {
+            Some(&explicit) => explicit && self.is_allowed(node),
+            None => self.is_allowed(node),
+        }
+    }
+
+    /// All allowed nodes.
+    #[must_use]
+    pub fn allowed_nodes(&self) -> HashSet<NodeId> {
+        self.node_allowed
+            .iter()
+            .filter_map(|(&n, &ok)| ok.then_some(n))
+            .collect()
+    }
+
+    /// Count of allowed nodes (used by the flexible-enforcement exposure
+    /// metric and by tests).
+    #[must_use]
+    pub fn allowed_count(&self) -> usize {
+        self.node_allowed.values().filter(|&&ok| ok).count()
+    }
+}
+
+/// The evaluation engine: a conflict-resolution strategy applied to a policy
+/// base.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyEngine {
+    /// Conflict resolution strategy.
+    pub strategy: ConflictStrategy,
+}
+
+impl PolicyEngine {
+    /// Creates an engine with the given strategy.
+    #[must_use]
+    pub fn new(strategy: ConflictStrategy) -> Self {
+        PolicyEngine { strategy }
+    }
+
+    /// Expands one authorization's object spec to the set of covered nodes
+    /// of `doc` (named `doc_name`), or `None` when the spec does not apply
+    /// to this document at all. Attribute-targeting portions return the
+    /// element set separately from the `(node, attr)` pairs.
+    fn covered_nodes(
+        store: &PolicyStore,
+        auth: &Authorization,
+        doc_name: &str,
+        doc: &Document,
+    ) -> Option<(Vec<NodeId>, Vec<(NodeId, String)>)> {
+        let whole_doc = || (vec![doc.root()], Vec::new());
+        let base: (Vec<NodeId>, Vec<(NodeId, String)>) = match &auth.object {
+            ObjectSpec::AllDocuments => whole_doc(),
+            ObjectSpec::Document(name) => {
+                if name != doc_name {
+                    return None;
+                }
+                whole_doc()
+            }
+            ObjectSpec::Collection(c) => {
+                if !store.collection_contains(c, doc_name) {
+                    return None;
+                }
+                whole_doc()
+            }
+            ObjectSpec::Portion { document, path } => {
+                if document != doc_name {
+                    return None;
+                }
+                match path.select(doc) {
+                    Selection::Nodes(nodes) => (nodes, Vec::new()),
+                    Selection::Attributes(pairs) => (Vec::new(), pairs),
+                }
+            }
+            ObjectSpec::PortionAll(path) => match path.select(doc) {
+                Selection::Nodes(nodes) => (nodes, Vec::new()),
+                Selection::Attributes(pairs) => (Vec::new(), pairs),
+            },
+        };
+
+        // Apply propagation to the element set.
+        let (selected, attrs) = base;
+        let mut expanded: Vec<NodeId> = Vec::new();
+        match auth.propagation {
+            Propagation::None => expanded.extend(&selected),
+            Propagation::FirstLevel => {
+                for &n in &selected {
+                    expanded.push(n);
+                    expanded.extend(doc.children(n));
+                }
+            }
+            Propagation::Cascade => {
+                for &n in &selected {
+                    expanded.extend(doc.descendants(n));
+                }
+            }
+        }
+        expanded.sort_unstable();
+        expanded.dedup();
+        Some((expanded, attrs))
+    }
+
+    /// True when `auth` bears on a request for `privilege`:
+    /// a grant of `q` supports requests for `p ≤ q`; a denial of `q` blocks
+    /// requests for `p ≥ q` (denying Read also blocks Write, not Browse).
+    fn relevant(auth: &Authorization, privilege: Privilege) -> bool {
+        match auth.sign {
+            Sign::Plus => auth.privilege.implies(privilege),
+            Sign::Minus => privilege.implies(auth.privilege),
+        }
+    }
+
+    /// Evaluates the policy base over a whole document for one subject and
+    /// privilege, producing per-node and per-attribute decisions.
+    #[must_use]
+    pub fn evaluate_document(
+        &self,
+        store: &PolicyStore,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+        privilege: Privilege,
+    ) -> DocumentDecision {
+        // Gather, per node, the applicable authorizations.
+        let mut per_node: HashMap<NodeId, Vec<&Authorization>> = HashMap::new();
+        let mut per_attr: HashMap<(NodeId, String), Vec<&Authorization>> = HashMap::new();
+
+        for auth in store.authorizations() {
+            if !Self::relevant(auth, privilege) {
+                continue;
+            }
+            if !auth.subject.matches(profile, &store.hierarchy) {
+                continue;
+            }
+            let Some((nodes, attrs)) = Self::covered_nodes(store, auth, doc_name, doc) else {
+                continue;
+            };
+            for n in nodes {
+                per_node.entry(n).or_default().push(auth);
+            }
+            for pair in attrs {
+                per_attr.entry(pair).or_default().push(auth);
+            }
+        }
+
+        let mut node_allowed = HashMap::new();
+        for node in doc.all_nodes() {
+            let applicable = per_node.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            let decision = self
+                .strategy
+                .resolve(applicable)
+                .map(|s| s == Sign::Plus)
+                .unwrap_or(false); // closed policy: no authorization => deny
+            node_allowed.insert(node, decision);
+        }
+
+        let mut attr_decisions = HashMap::new();
+        for ((node, attr), auths) in per_attr {
+            // Attribute decisions also consider element-level authorizations
+            // covering the element: the attribute-specific ones are simply
+            // more applicable rules at a finer granularity.
+            let mut applicable = auths;
+            if let Some(elem_auths) = per_node.get(&node) {
+                applicable.extend(elem_auths.iter().copied());
+            }
+            let decision = self
+                .strategy
+                .resolve(&applicable)
+                .map(|s| s == Sign::Plus)
+                .unwrap_or(false);
+            attr_decisions.insert((node, attr), decision);
+        }
+
+        DocumentDecision {
+            node_allowed,
+            attr_decisions,
+        }
+    }
+
+    /// Single-node access check (convenience wrapper over
+    /// [`Self::evaluate_document`]).
+    #[must_use]
+    pub fn check(
+        &self,
+        store: &PolicyStore,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+        node: NodeId,
+        privilege: Privilege,
+    ) -> AccessDecision {
+        let decision = self.evaluate_document(store, profile, doc_name, doc, privilege);
+        if decision.is_allowed(node) {
+            AccessDecision::Granted
+        } else {
+            AccessDecision::Denied
+        }
+    }
+
+    /// Computes the subject's **view** of the document: the pruning that
+    /// keeps exactly the readable nodes and visible attributes (Author-X).
+    #[must_use]
+    pub fn compute_view(
+        &self,
+        store: &PolicyStore,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+    ) -> Document {
+        let decision = self.evaluate_document(store, profile, doc_name, doc, Privilege::Read);
+        let keep = decision.allowed_nodes();
+        // Attribute pruning: for kept elements, keep attributes whose
+        // (possibly inherited) decision is positive.
+        let mut keep_attrs: HashMap<NodeId, Vec<String>> = HashMap::new();
+        for &node in &keep {
+            let attrs = doc.attributes(node);
+            if attrs.is_empty() {
+                continue;
+            }
+            let visible: Vec<String> = attrs
+                .iter()
+                .filter(|(name, _)| decision.attr_allowed(node, name))
+                .map(|(name, _)| name.clone())
+                .collect();
+            if visible.len() != attrs.len() {
+                keep_attrs.insert(node, visible);
+            }
+        }
+        doc.prune_to_view(&keep, &keep_attrs)
+    }
+
+    /// Computes, per node, the set of **granting** authorizations for
+    /// `privilege` irrespective of subject — the policy-equivalence classes
+    /// that `websec-dissem` encrypts with one key each ("all the entry
+    /// portions to which the same policies apply are encrypted with the same
+    /// key").
+    #[must_use]
+    pub fn policy_equivalence_classes(
+        store: &PolicyStore,
+        doc_name: &str,
+        doc: &Document,
+        privilege: Privilege,
+    ) -> BTreeMap<BTreeSet<AuthzId>, Vec<NodeId>> {
+        let mut node_policies: HashMap<NodeId, BTreeSet<AuthzId>> = HashMap::new();
+        for auth in store.authorizations() {
+            if auth.sign != Sign::Plus || !auth.privilege.implies(privilege) {
+                continue;
+            }
+            let Some((nodes, _attrs)) = Self::covered_nodes(store, auth, doc_name, doc) else {
+                continue;
+            };
+            for n in nodes {
+                node_policies.entry(n).or_default().insert(auth.id);
+            }
+        }
+        let mut classes: BTreeMap<BTreeSet<AuthzId>, Vec<NodeId>> = BTreeMap::new();
+        for node in doc.all_nodes() {
+            let set = node_policies.remove(&node).unwrap_or_default();
+            classes.entry(set).or_default().push(node);
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::SubjectSpec;
+    use crate::subject::{Credential, CredentialExpr, Role};
+    use websec_xml::Path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<hospital>\
+               <patient id=\"p1\" ssn=\"123\"><name>Alice</name><record>flu</record></patient>\
+               <patient id=\"p2\" ssn=\"456\"><name>Bob</name><record>injury</record></patient>\
+               <admin><budget>100</budget></admin>\
+             </hospital>",
+        )
+        .unwrap()
+    }
+
+    fn portion(path: &str) -> ObjectSpec {
+        ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse(path).unwrap(),
+        }
+    }
+
+    #[test]
+    fn closed_policy_denies_by_default() {
+        let store = PolicyStore::new();
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let profile = SubjectProfile::new("alice");
+        assert_eq!(
+            engine.check(&store, &profile, "h.xml", &d, d.root(), Privilege::Read),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn document_grant_cascades() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let profile = SubjectProfile::new("anyone");
+        let decision = engine.evaluate_document(&store, &profile, "h.xml", &d, Privilege::Read);
+        assert_eq!(decision.allowed_count(), d.node_count());
+    }
+
+    #[test]
+    fn wrong_document_name_does_not_apply() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("other.xml".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let decision = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        assert_eq!(decision.allowed_count(), 0);
+    }
+
+    #[test]
+    fn portion_grant_with_denial_override() {
+        let mut store = PolicyStore::new();
+        // Grant the whole document, deny the admin subtree.
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            portion("/hospital/admin"),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let view = engine.compute_view(&store, &SubjectProfile::new("x"), "h.xml", &d);
+        let s = view.to_xml_string();
+        assert!(!s.contains("budget"), "{s}");
+        assert!(s.contains("Alice"));
+    }
+
+    #[test]
+    fn role_based_grant_respects_hierarchy() {
+        let mut store = PolicyStore::new();
+        store
+            .hierarchy
+            .add_seniority(Role::new("chief"), Role::new("doctor"));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("doctor")),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let chief = SubjectProfile::new("carol").with_role(Role::new("chief"));
+        let nurse = SubjectProfile::new("nina").with_role(Role::new("nurse"));
+        assert_eq!(
+            engine.check(&store, &chief, "h.xml", &d, d.root(), Privilege::Read),
+            AccessDecision::Granted
+        );
+        assert_eq!(
+            engine.check(&store, &nurse, "h.xml", &d, d.root(), Privilege::Read),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn credential_based_grant() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::WithCredentials(
+                CredentialExpr::OfType("physician".into())
+                    .and(CredentialExpr::AttrGe("years".into(), 5)),
+            ),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let senior = SubjectProfile::new("a")
+            .with_credential(Credential::new("physician", "a").with_attr("years", 10i64));
+        let junior = SubjectProfile::new("b")
+            .with_credential(Credential::new("physician", "b").with_attr("years", 2i64));
+        assert_eq!(
+            engine.check(&store, &senior, "h.xml", &d, d.root(), Privilege::Read),
+            AccessDecision::Granted
+        );
+        assert_eq!(
+            engine.check(&store, &junior, "h.xml", &d, d.root(), Privilege::Read),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn propagation_modes() {
+        let d = doc();
+        let engine = PolicyEngine::default();
+        let patient1_path = "/hospital/patient[@id='p1']";
+
+        // No propagation: only the patient element itself.
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::grant(0, SubjectSpec::Anyone, portion(patient1_path), Privilege::Read)
+                .with_propagation(Propagation::None),
+        );
+        let dec = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        assert_eq!(dec.allowed_count(), 1);
+
+        // First level: patient + name + record (not their text children).
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::grant(0, SubjectSpec::Anyone, portion(patient1_path), Privilege::Read)
+                .with_propagation(Propagation::FirstLevel),
+        );
+        let dec = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        assert_eq!(dec.allowed_count(), 3);
+
+        // Cascade: the whole subtree (patient, name, text, record, text).
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            portion(patient1_path),
+            Privilege::Read,
+        ));
+        let dec = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        assert_eq!(dec.allowed_count(), 5);
+    }
+
+    #[test]
+    fn attribute_level_denial() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            portion("//patient/@ssn"),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let view = engine.compute_view(&store, &SubjectProfile::new("x"), "h.xml", &d);
+        let s = view.to_xml_string();
+        assert!(!s.contains("ssn"), "{s}");
+        assert!(s.contains("id=\"p1\""), "{s}");
+    }
+
+    #[test]
+    fn attribute_decision_requires_visible_element() {
+        let mut store = PolicyStore::new();
+        // Only an attribute grant, element itself not readable.
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            portion("//patient/@id"),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let dec = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        let patient = Path::parse("//patient[@id='p1']").unwrap().select_nodes(&d)[0];
+        assert!(!dec.is_allowed(patient));
+        assert!(!dec.attr_allowed(patient, "id"));
+    }
+
+    #[test]
+    fn write_grant_implies_read() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Write,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Granted
+        );
+        // But a Read grant does not imply Write.
+        let mut store2 = PolicyStore::new();
+        store2.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        assert_eq!(
+            engine.check(
+                &store2,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Write
+            ),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn read_denial_blocks_write_request() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Admin,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Identity("mallory".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let mallory = SubjectProfile::new("mallory");
+        assert_eq!(
+            engine.check(&store, &mallory, "h.xml", &d, d.root(), Privilege::Write),
+            AccessDecision::Denied
+        );
+        // Browse is below Read, so the Read denial does not block it.
+        assert_eq!(
+            engine.check(&store, &mallory, "h.xml", &d, d.root(), Privilege::Browse),
+            AccessDecision::Granted
+        );
+    }
+
+    #[test]
+    fn collection_grant() {
+        let mut store = PolicyStore::new();
+        store.add_collection_member("wards", "h.xml");
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Collection("wards".into()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Granted
+        );
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "other.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn equivalence_classes_partition_document() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("doctor")),
+            portion("//patient"),
+            Privilege::Read,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("admin")),
+            portion("/hospital/admin"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let classes =
+            PolicyEngine::policy_equivalence_classes(&store, "h.xml", &d, Privilege::Read);
+        let total: usize = classes.values().map(Vec::len).sum();
+        assert_eq!(total, d.node_count());
+        // Classes: {} (root etc.), {doctor-auth}, {admin-auth}.
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn equivalence_classes_overlapping_policies() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("doctor")),
+            portion("//patient"),
+            Privilege::Read,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("auditor")),
+            portion("//patient[@id='p1']"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let classes =
+            PolicyEngine::policy_equivalence_classes(&store, "h.xml", &d, Privilege::Read);
+        // {} , {doctor}, {doctor, auditor} — patient p1's subtree is covered
+        // by both.
+        assert_eq!(classes.len(), 3);
+        assert!(classes.keys().any(|k| k.len() == 2));
+    }
+
+    #[test]
+    fn revoke_removes_grant() {
+        let mut store = PolicyStore::new();
+        let id = store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Granted
+        );
+        assert!(store.revoke(id));
+        assert!(!store.revoke(id));
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn portion_all_spans_documents() {
+        // A PortionAll grant applies to every document the engine sees.
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::PortionAll(Path::parse("//patient").unwrap()),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        for name in ["h.xml", "other.xml", "third.xml"] {
+            let dec = engine.evaluate_document(
+                &store,
+                &SubjectProfile::new("x"),
+                name,
+                &d,
+                Privilege::Read,
+            );
+            assert!(dec.allowed_count() > 0, "document {name}");
+        }
+    }
+
+    #[test]
+    fn browse_privilege_is_distinct() {
+        // A Browse-only grant exposes structure checks but not Read.
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Browse,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Browse
+            ),
+            AccessDecision::Granted
+        );
+        assert_eq!(
+            engine.check(
+                &store,
+                &SubjectProfile::new("x"),
+                "h.xml",
+                &d,
+                d.root(),
+                Privilege::Read
+            ),
+            AccessDecision::Denied
+        );
+    }
+
+    #[test]
+    fn content_dependent_policy() {
+        // Content-dependent: only records whose text is 'flu' are readable.
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            portion("//record[text()='flu']"),
+            Privilege::Read,
+        ));
+        let engine = PolicyEngine::default();
+        let d = doc();
+        let dec = engine.evaluate_document(
+            &store,
+            &SubjectProfile::new("x"),
+            "h.xml",
+            &d,
+            Privilege::Read,
+        );
+        // record + its text node.
+        assert_eq!(dec.allowed_count(), 2);
+    }
+}

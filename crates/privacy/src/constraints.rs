@@ -1,0 +1,115 @@
+//! Privacy constraints: attribute combinations classified by sensitivity.
+//!
+//! "Privacy constraints determine which patterns are private and to what
+//! extent. For example, suppose one could extract the names and healthcare
+//! records. If we have a privacy constraint that states that names and
+//! healthcare records are private then this information is not released to
+//! the general public. If the information is semi-private, then it is
+//! released to those who have a need to know." (§3.3)
+
+use std::collections::BTreeSet;
+
+/// Sensitivity of an attribute combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PrivacyLevel {
+    /// Anyone may learn the combination.
+    Public,
+    /// Released only to subjects with a registered need to know.
+    SemiPrivate,
+    /// Never released through the public interface.
+    Private,
+}
+
+/// A constraint: disclosing together all of `attributes` (for the same
+/// individual) is classified at `level`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivacyConstraint {
+    /// The attribute combination.
+    pub attributes: BTreeSet<String>,
+    /// Its sensitivity.
+    pub level: PrivacyLevel,
+}
+
+impl PrivacyConstraint {
+    /// Builds a constraint over the given attributes.
+    #[must_use]
+    pub fn new(attributes: &[&str], level: PrivacyLevel) -> Self {
+        PrivacyConstraint {
+            attributes: attributes.iter().map(|s| (*s).to_string()).collect(),
+            level,
+        }
+    }
+
+    /// Is the constraint triggered when `disclosed` attributes are known
+    /// together? (Triggered iff the constraint set is a subset.)
+    #[must_use]
+    pub fn triggered_by(&self, disclosed: &BTreeSet<String>) -> bool {
+        self.attributes.is_subset(disclosed)
+    }
+}
+
+/// Classifies a disclosure (a set of co-disclosed attributes) against a
+/// constraint base: the *highest* triggered level wins; no trigger means
+/// public.
+#[must_use]
+pub fn classify(constraints: &[PrivacyConstraint], disclosed: &BTreeSet<String>) -> PrivacyLevel {
+    constraints
+        .iter()
+        .filter(|c| c.triggered_by(disclosed))
+        .map(|c| c.level)
+        .max()
+        .unwrap_or(PrivacyLevel::Public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(attrs: &[&str]) -> BTreeSet<String> {
+        attrs.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn subset_triggering() {
+        let c = PrivacyConstraint::new(&["name", "diagnosis"], PrivacyLevel::Private);
+        assert!(c.triggered_by(&set(&["name", "diagnosis"])));
+        assert!(c.triggered_by(&set(&["name", "diagnosis", "ward"])));
+        assert!(!c.triggered_by(&set(&["name"])));
+        assert!(!c.triggered_by(&set(&["diagnosis", "ward"])));
+    }
+
+    #[test]
+    fn classify_picks_highest() {
+        let cs = vec![
+            PrivacyConstraint::new(&["name", "ward"], PrivacyLevel::SemiPrivate),
+            PrivacyConstraint::new(&["name", "diagnosis"], PrivacyLevel::Private),
+        ];
+        assert_eq!(classify(&cs, &set(&["name"])), PrivacyLevel::Public);
+        assert_eq!(
+            classify(&cs, &set(&["name", "ward"])),
+            PrivacyLevel::SemiPrivate
+        );
+        assert_eq!(
+            classify(&cs, &set(&["name", "ward", "diagnosis"])),
+            PrivacyLevel::Private
+        );
+    }
+
+    #[test]
+    fn empty_base_is_public() {
+        assert_eq!(classify(&[], &set(&["anything"])), PrivacyLevel::Public);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(PrivacyLevel::Public < PrivacyLevel::SemiPrivate);
+        assert!(PrivacyLevel::SemiPrivate < PrivacyLevel::Private);
+    }
+
+    #[test]
+    fn single_attribute_constraint() {
+        let c = PrivacyConstraint::new(&["ssn"], PrivacyLevel::Private);
+        assert!(c.triggered_by(&set(&["ssn"])));
+        assert!(c.triggered_by(&set(&["ssn", "name"])));
+    }
+}

@@ -1,0 +1,47 @@
+//! # websec-privacy
+//!
+//! Privacy machinery for web databases and services (§3.3 and §4.2 of the
+//! paper):
+//!
+//! * [`table`] — a relational-lite substrate (the "web database" whose
+//!   privacy must be protected) with projection/selection queries.
+//! * [`constraints`] — privacy constraints in the Thuraisingham style: "if
+//!   we have a privacy constraint that states that names and healthcare
+//!   records are private then this information is not released to the
+//!   general public. If the information is semi-private, then it is
+//!   released to those who have a need to know."
+//! * [`inference`] — the **inference controller** (\[14\]): a query gate that
+//!   tracks what each subject has already learned (release history) and
+//!   blocks or sanitizes queries whose answers would *combine* with past
+//!   answers into a private attribute combination.
+//! * [`statistical`] — aggregate queries with small-count suppression and
+//!   the differencing (tracker) defense — the statistical-database face of
+//!   the same inference problem.
+//! * [`p3p`] — P3P-lite machine-readable privacy policies, APPEL-lite user
+//!   preferences, policy–preference matching, the W3C WSA privacy
+//!   requirement checklist of §4.2, and a consent ledger enforcing
+//!   "collected personal information must not be used or disclosed for
+//!   purposes other than performing the operations for which it was
+//!   collected, except with the consent of the subject".
+//! * [`xml_config`] — constraints and policies expressed *in XML* ("XML
+//!   may be extended to include privacy constraints", §3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod inference;
+pub mod p3p;
+pub mod statistical;
+pub mod table;
+pub mod xml_config;
+
+pub use constraints::{PrivacyConstraint, PrivacyLevel};
+pub use inference::{HistoryGranularity, InferenceController, QueryDecision};
+pub use p3p::{
+    ConsentLedger, DataCategory, PolicyMatch, PrivacyPolicy, Purpose, Recipient, Retention,
+    Statement, UserPreferences, WsaChecklist,
+};
+pub use statistical::{Aggregate, AggregateDecision, AggregateQuery, StatisticalGate};
+pub use table::{Query, Table, Value};
+pub use xml_config::{constraints_from_xml, constraints_to_xml, policy_from_xml, policy_to_xml};

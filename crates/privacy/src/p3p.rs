@@ -1,0 +1,436 @@
+//! P3P-lite privacy policies, preference matching, the WSA privacy
+//! checklist, and the consent ledger.
+//!
+//! §4.2: "the WSA must enable privacy policy statements to be expressed
+//! about web services; advertised web service privacy policies must be
+//! expressed in P3P; the WSA must enable a consumer to access a web
+//! service's advertised privacy policy statement; the WSA must enable
+//! delegation and propagation of privacy policy; web services must not be
+//! precluded from supporting interactions where one or more parties of the
+//! interaction are anonymous."
+
+use std::collections::BTreeMap;
+
+/// What data a statement covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DataCategory {
+    /// Name, address, email.
+    Contact,
+    /// Purchase/interaction history.
+    Behaviour,
+    /// Health records.
+    Health,
+    /// Financial records.
+    Financial,
+    /// Device / clickstream data.
+    Telemetry,
+}
+
+/// Why data is collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Purpose {
+    /// Completing the current interaction only.
+    CurrentTransaction,
+    /// Site administration and security.
+    Admin,
+    /// Research and development (aggregated).
+    Research,
+    /// Marketing to the individual.
+    Marketing,
+    /// Profiling across services.
+    Profiling,
+}
+
+/// Who receives the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Recipient {
+    /// Only the collecting service.
+    Ours,
+    /// Agents completing the transaction (e.g. couriers).
+    Delivery,
+    /// Unrelated third parties.
+    ThirdParty,
+    /// Published openly.
+    Public,
+}
+
+/// How long data is retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Retention {
+    /// Deleted after the interaction.
+    NoRetention,
+    /// Kept as long as the stated purpose requires — the §4.2 requirement
+    /// "retained only as long as necessary for performing the required
+    /// operations".
+    StatedPurpose,
+    /// Kept per legal requirement.
+    Legal,
+    /// Kept indefinitely.
+    Indefinite,
+}
+
+/// One policy statement: these categories are used for this purpose, go to
+/// this recipient, and are retained this long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Covered data categories.
+    pub categories: Vec<DataCategory>,
+    /// Collection purpose.
+    pub purpose: Purpose,
+    /// Recipient class.
+    pub recipient: Recipient,
+    /// Retention policy.
+    pub retention: Retention,
+}
+
+/// A service's machine-readable privacy policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrivacyPolicy {
+    /// Service/entity the policy belongs to.
+    pub entity: String,
+    /// The statements.
+    pub statements: Vec<Statement>,
+    /// Whether anonymous interaction is supported (WSA requirement 5).
+    pub supports_anonymous: bool,
+}
+
+impl PrivacyPolicy {
+    /// Creates an empty policy for `entity`.
+    #[must_use]
+    pub fn new(entity: &str) -> Self {
+        PrivacyPolicy {
+            entity: entity.to_string(),
+            statements: Vec::new(),
+            supports_anonymous: false,
+        }
+    }
+
+    /// Adds a statement (builder style).
+    #[must_use]
+    pub fn with_statement(mut self, statement: Statement) -> Self {
+        self.statements.push(statement);
+        self
+    }
+
+    /// Propagates this policy to a delegate service: the delegate's policy
+    /// must be at least as restrictive; returns the statements of `other`
+    /// that *weaken* this policy (empty = safe delegation). Implements the
+    /// WSA "delegation and propagation of privacy policy" requirement.
+    #[must_use]
+    pub fn delegation_violations(&self, other: &PrivacyPolicy) -> Vec<Statement> {
+        other
+            .statements
+            .iter()
+            .filter(|os| {
+                // A delegate statement is a violation when it covers a
+                // category we cover, but with a broader recipient, a more
+                // invasive purpose, or longer retention than ANY of our
+                // statements for that category allows.
+                os.categories.iter().any(|cat| {
+                    let ours: Vec<&Statement> = self
+                        .statements
+                        .iter()
+                        .filter(|s| s.categories.contains(cat))
+                        .collect();
+                    if ours.is_empty() {
+                        return true; // we never collect it; delegate must not either
+                    }
+                    !ours.iter().any(|s| {
+                        os.recipient <= s.recipient
+                            && os.purpose <= s.purpose
+                            && os.retention <= s.retention
+                    })
+                })
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// Outcome of matching a policy against user preferences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyMatch {
+    /// Every statement is acceptable.
+    Acceptable,
+    /// At least one statement violates a preference rule; the offending
+    /// statements are listed.
+    Rejected(Vec<Statement>),
+}
+
+/// APPEL-lite user preferences: a list of rejection rules.
+#[derive(Debug, Clone, Default)]
+pub struct UserPreferences {
+    /// `(category, max purpose, max recipient, max retention)` caps; a
+    /// statement covering the category must not exceed any cap.
+    rules: Vec<(DataCategory, Purpose, Recipient, Retention)>,
+}
+
+impl UserPreferences {
+    /// No preferences: everything acceptable.
+    #[must_use]
+    pub fn permissive() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cap for a category (builder style).
+    #[must_use]
+    pub fn cap(
+        mut self,
+        category: DataCategory,
+        max_purpose: Purpose,
+        max_recipient: Recipient,
+        max_retention: Retention,
+    ) -> Self {
+        self.rules
+            .push((category, max_purpose, max_recipient, max_retention));
+        self
+    }
+
+    /// Validates `policy` — the requestor-side step of §4: "a service
+    /// requestor may want to validate the privacy policy of the discovery
+    /// agency before interacting with this entity".
+    #[must_use]
+    pub fn check(&self, policy: &PrivacyPolicy) -> PolicyMatch {
+        let mut offending = Vec::new();
+        for s in &policy.statements {
+            let violated = self.rules.iter().any(|(cat, p, r, ret)| {
+                s.categories.contains(cat)
+                    && (s.purpose > *p || s.recipient > *r || s.retention > *ret)
+            });
+            if violated {
+                offending.push(s.clone());
+            }
+        }
+        if offending.is_empty() {
+            PolicyMatch::Acceptable
+        } else {
+            PolicyMatch::Rejected(offending)
+        }
+    }
+}
+
+/// The five WSA privacy requirements of §4.2, checkable against a service
+/// deployment description.
+#[derive(Debug, Clone, Default)]
+pub struct WsaChecklist {
+    /// 1. Privacy policy statements can be expressed about the service.
+    pub policy_expressed: bool,
+    /// 2. The advertised policy is in P3P (machine-readable).
+    pub policy_in_p3p: bool,
+    /// 3. Consumers can access the advertised policy statement.
+    pub policy_accessible: bool,
+    /// 4. Delegation/propagation of privacy policy is enabled.
+    pub delegation_supported: bool,
+    /// 5. Anonymous interactions are not precluded.
+    pub anonymous_supported: bool,
+}
+
+impl WsaChecklist {
+    /// All five requirements hold.
+    #[must_use]
+    pub fn compliant(&self) -> bool {
+        self.policy_expressed
+            && self.policy_in_p3p
+            && self.policy_accessible
+            && self.delegation_supported
+            && self.anonymous_supported
+    }
+
+    /// Names of the failed requirements.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if !self.policy_expressed {
+            out.push("privacy policy statements not expressed");
+        }
+        if !self.policy_in_p3p {
+            out.push("policy not machine-readable (P3P)");
+        }
+        if !self.policy_accessible {
+            out.push("policy not accessible to consumers");
+        }
+        if !self.delegation_supported {
+            out.push("no delegation/propagation of privacy policy");
+        }
+        if !self.anonymous_supported {
+            out.push("anonymous interaction precluded");
+        }
+        out
+    }
+}
+
+/// Consent ledger: records the purpose each datum was collected for and
+/// gates later uses, per §4.2's "must not be used or disclosed for purposes
+/// other than performing the operations for which it was collected, except
+/// with the consent of the subject".
+#[derive(Debug, Default)]
+pub struct ConsentLedger {
+    /// (data subject, category) → collection purpose.
+    collected: BTreeMap<(String, DataCategory), Purpose>,
+    /// (data subject, category, purpose) explicitly consented.
+    consents: BTreeMap<(String, DataCategory), Vec<Purpose>>,
+}
+
+impl ConsentLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a collection event.
+    pub fn record_collection(&mut self, subject: &str, category: DataCategory, purpose: Purpose) {
+        self.collected
+            .insert((subject.to_string(), category), purpose);
+    }
+
+    /// Records an explicit consent by the data subject for an additional
+    /// purpose.
+    pub fn record_consent(&mut self, subject: &str, category: DataCategory, purpose: Purpose) {
+        self.consents
+            .entry((subject.to_string(), category))
+            .or_default()
+            .push(purpose);
+    }
+
+    /// May `subject`'s data in `category` be used for `purpose`? Allowed
+    /// iff it matches the collection purpose or an explicit consent.
+    #[must_use]
+    pub fn use_permitted(&self, subject: &str, category: DataCategory, purpose: Purpose) -> bool {
+        let key = (subject.to_string(), category);
+        match self.collected.get(&key) {
+            None => false, // never collected: nothing to use
+            Some(collected_for) => {
+                *collected_for == purpose
+                    || self
+                        .consents
+                        .get(&key)
+                        .is_some_and(|ps| ps.contains(&purpose))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shop_policy() -> PrivacyPolicy {
+        PrivacyPolicy::new("shop.example")
+            .with_statement(Statement {
+                categories: vec![DataCategory::Contact],
+                purpose: Purpose::CurrentTransaction,
+                recipient: Recipient::Delivery,
+                retention: Retention::StatedPurpose,
+            })
+            .with_statement(Statement {
+                categories: vec![DataCategory::Behaviour],
+                purpose: Purpose::Marketing,
+                recipient: Recipient::ThirdParty,
+                retention: Retention::Indefinite,
+            })
+    }
+
+    #[test]
+    fn permissive_prefs_accept() {
+        assert_eq!(
+            UserPreferences::permissive().check(&shop_policy()),
+            PolicyMatch::Acceptable
+        );
+    }
+
+    #[test]
+    fn strict_prefs_reject_marketing() {
+        let prefs = UserPreferences::permissive().cap(
+            DataCategory::Behaviour,
+            Purpose::Admin,
+            Recipient::Ours,
+            Retention::StatedPurpose,
+        );
+        match prefs.check(&shop_policy()) {
+            PolicyMatch::Rejected(offending) => {
+                assert_eq!(offending.len(), 1);
+                assert_eq!(offending[0].purpose, Purpose::Marketing);
+            }
+            PolicyMatch::Acceptable => panic!("should reject"),
+        }
+    }
+
+    #[test]
+    fn prefs_scope_by_category() {
+        // Capping Health doesn't affect a policy not touching Health.
+        let prefs = UserPreferences::permissive().cap(
+            DataCategory::Health,
+            Purpose::CurrentTransaction,
+            Recipient::Ours,
+            Retention::NoRetention,
+        );
+        assert_eq!(prefs.check(&shop_policy()), PolicyMatch::Acceptable);
+    }
+
+    #[test]
+    fn delegation_violations_detected() {
+        let upstream = PrivacyPolicy::new("front").with_statement(Statement {
+            categories: vec![DataCategory::Contact],
+            purpose: Purpose::CurrentTransaction,
+            recipient: Recipient::Ours,
+            retention: Retention::NoRetention,
+        });
+        // Delegate widens recipient and retention: violation.
+        let delegate = PrivacyPolicy::new("fulfiller").with_statement(Statement {
+            categories: vec![DataCategory::Contact],
+            purpose: Purpose::CurrentTransaction,
+            recipient: Recipient::ThirdParty,
+            retention: Retention::Indefinite,
+        });
+        assert_eq!(upstream.delegation_violations(&delegate).len(), 1);
+        // Identical policy: safe.
+        assert!(upstream.delegation_violations(&upstream).is_empty());
+    }
+
+    #[test]
+    fn delegate_collecting_new_category_is_violation() {
+        let upstream = PrivacyPolicy::new("front").with_statement(Statement {
+            categories: vec![DataCategory::Contact],
+            purpose: Purpose::CurrentTransaction,
+            recipient: Recipient::Ours,
+            retention: Retention::NoRetention,
+        });
+        let delegate = PrivacyPolicy::new("d").with_statement(Statement {
+            categories: vec![DataCategory::Health],
+            purpose: Purpose::CurrentTransaction,
+            recipient: Recipient::Ours,
+            retention: Retention::NoRetention,
+        });
+        assert_eq!(upstream.delegation_violations(&delegate).len(), 1);
+    }
+
+    #[test]
+    fn wsa_checklist() {
+        let mut c = WsaChecklist::default();
+        assert!(!c.compliant());
+        assert_eq!(c.failures().len(), 5);
+        c.policy_expressed = true;
+        c.policy_in_p3p = true;
+        c.policy_accessible = true;
+        c.delegation_supported = true;
+        c.anonymous_supported = true;
+        assert!(c.compliant());
+        assert!(c.failures().is_empty());
+    }
+
+    #[test]
+    fn consent_ledger_gates_secondary_use() {
+        let mut ledger = ConsentLedger::new();
+        ledger.record_collection("alice", DataCategory::Contact, Purpose::CurrentTransaction);
+        // Primary use allowed.
+        assert!(ledger.use_permitted("alice", DataCategory::Contact, Purpose::CurrentTransaction));
+        // Secondary use (marketing) blocked without consent.
+        assert!(!ledger.use_permitted("alice", DataCategory::Contact, Purpose::Marketing));
+        // With consent, allowed.
+        ledger.record_consent("alice", DataCategory::Contact, Purpose::Marketing);
+        assert!(ledger.use_permitted("alice", DataCategory::Contact, Purpose::Marketing));
+        // Never-collected data cannot be used at all.
+        assert!(!ledger.use_permitted("bob", DataCategory::Contact, Purpose::CurrentTransaction));
+    }
+}

@@ -1,0 +1,35 @@
+//! # websec-publish
+//!
+//! Third-party secure publishing of XML documents, after the
+//! Bertino–Carminati–Ferrari–Thuraisingham–Gupta approach the paper cites as
+//! \[3\]/\[4\]: "owners … publish documents, subjects … request access to the
+//! documents, and untrusted publishers … give the subjects the views of the
+//! documents they are authorized to see, making at the same time the
+//! subjects able to verify the **authenticity and completeness** of the
+//! received answer."
+//!
+//! Mechanism (§4.1): the owner computes a Merkle hash tree over the document
+//! and signs only its root — the **summary signature**. The untrusted
+//! publisher answers path queries with the matched content plus (a) the
+//! structural summaries of every node the query evaluation examined and (b)
+//! "a set of additional hash values, referring to the missing portions, that
+//! make it able to locally perform the computation of the summary
+//! signature". The client recomputes the root, checks the signature, and
+//! re-runs the query over the authenticated structure to detect omissions.
+//!
+//! Modules: [`authentic`] (Merkle leaf layout over documents), [`owner`]
+//! (summary signatures), [`publisher`] (untrusted query answering),
+//! [`client`] (verification).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authentic;
+pub mod client;
+pub mod owner;
+pub mod publisher;
+
+pub use authentic::{AuthenticDocument, NodeSummary, SummaryKind};
+pub use client::{verify_answer, VerifiedView, VerifyError};
+pub use owner::{Owner, SummarySignature};
+pub use publisher::{Publisher, QueryAnswer};

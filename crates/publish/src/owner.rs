@@ -1,0 +1,126 @@
+//! The document owner: computes and signs summary signatures.
+
+use crate::authentic::AuthenticDocument;
+use websec_crypto::sha256::Digest;
+use websec_crypto::sig::{self, Keypair, PublicKey, SignError, Signature};
+use websec_crypto::SecureRng;
+use websec_xml::Document;
+
+/// The owner's signature over a document's Merkle root plus its binding
+/// metadata (name and leaf count).
+#[derive(Debug, Clone)]
+pub struct SummarySignature {
+    /// Document name the signature covers.
+    pub document: String,
+    /// Number of Merkle leaves (== nodes).
+    pub n_leaves: usize,
+    /// The signed Merkle root.
+    pub root: Digest,
+    /// Owner signature over [`summary_message`].
+    pub signature: Signature,
+}
+
+/// The byte string the owner signs: domain tag ‖ name ‖ leaf count ‖ root.
+#[must_use]
+pub fn summary_message(document: &str, n_leaves: usize, root: &Digest) -> Vec<u8> {
+    let mut msg = b"websec-publish-summary-v1:".to_vec();
+    msg.extend_from_slice(&(document.len() as u32).to_le_bytes());
+    msg.extend_from_slice(document.as_bytes());
+    msg.extend_from_slice(&(n_leaves as u64).to_le_bytes());
+    msg.extend_from_slice(root);
+    msg
+}
+
+/// A document owner with a signing key.
+pub struct Owner {
+    keypair: Keypair,
+}
+
+impl Owner {
+    /// Creates an owner able to sign `2^height` documents.
+    #[must_use]
+    pub fn new(rng: &mut SecureRng, height: u32) -> Self {
+        Owner {
+            keypair: Keypair::generate(rng, height),
+        }
+    }
+
+    /// The owner's verification key, distributed out of band to clients.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public_key()
+    }
+
+    /// Builds the authentication structure for `doc` and signs its summary.
+    /// Returns the structure (handed to the publisher together with the
+    /// document) and the signature.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        doc: &Document,
+    ) -> Result<(AuthenticDocument, SummarySignature), SignError> {
+        let auth = AuthenticDocument::build(doc);
+        let msg = summary_message(name, auth.len(), &auth.root());
+        let signature = self.keypair.sign(&msg)?;
+        let sig = SummarySignature {
+            document: name.to_string(),
+            n_leaves: auth.len(),
+            root: auth.root(),
+            signature,
+        };
+        Ok((auth, sig))
+    }
+}
+
+/// Verifies a summary signature under the owner's key.
+#[must_use]
+pub fn verify_summary(public_key: &PublicKey, summary: &SummarySignature) -> bool {
+    let msg = summary_message(&summary.document, summary.n_leaves, &summary.root);
+    sig::verify(public_key, &msg, &summary.signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_verify() {
+        let mut rng = SecureRng::seeded(1);
+        let mut owner = Owner::new(&mut rng, 2);
+        let doc = Document::parse("<a><b>x</b></a>").unwrap();
+        let (auth, sig) = owner.publish("a.xml", &doc).unwrap();
+        assert_eq!(sig.root, auth.root());
+        assert_eq!(sig.n_leaves, 3);
+        assert!(verify_summary(&owner.public_key(), &sig));
+    }
+
+    #[test]
+    fn tampered_root_rejected() {
+        let mut rng = SecureRng::seeded(2);
+        let mut owner = Owner::new(&mut rng, 2);
+        let doc = Document::parse("<a/>").unwrap();
+        let (_, mut sig) = owner.publish("a.xml", &doc).unwrap();
+        sig.root[0] ^= 1;
+        assert!(!verify_summary(&owner.public_key(), &sig));
+    }
+
+    #[test]
+    fn renamed_document_rejected() {
+        let mut rng = SecureRng::seeded(3);
+        let mut owner = Owner::new(&mut rng, 2);
+        let doc = Document::parse("<a/>").unwrap();
+        let (_, mut sig) = owner.publish("a.xml", &doc).unwrap();
+        sig.document = "b.xml".into();
+        assert!(!verify_summary(&owner.public_key(), &sig));
+    }
+
+    #[test]
+    fn wrong_owner_rejected() {
+        let mut rng = SecureRng::seeded(4);
+        let mut owner = Owner::new(&mut rng, 2);
+        let other = Owner::new(&mut rng, 2);
+        let doc = Document::parse("<a/>").unwrap();
+        let (_, sig) = owner.publish("a.xml", &doc).unwrap();
+        assert!(!verify_summary(&other.public_key(), &sig));
+    }
+}

@@ -1,0 +1,42 @@
+//! # websec-rdf
+//!
+//! An RDF triple store with RDFS entailment and **semantic-level access
+//! control**, after §3.2 of the paper: "with RDF we also need to ensure that
+//! security is preserved at the semantic level. The issues include the
+//! security implications of the concepts resource, properties and
+//! statements… How can bags, lists and alternatives be protected? Can we
+//! specify security policies in RDF? … What are the security implications
+//! of statements about statements?"
+//!
+//! * [`term`]/[`store`] — dictionary-encoded triples with SPO/POS/OSP
+//!   indexes, triple patterns, basic-graph-pattern joins, RDF containers
+//!   (Bag/Seq/Alt) and reification (statements about statements).
+//! * [`schema`] — RDFS vocabulary and closure: `subClassOf` /
+//!   `subPropertyOf` transitivity, type propagation, `domain`/`range`
+//!   inference.
+//! * [`ontology`] — ontology-driven security: class-scoped authorizations
+//!   resolved through the closure, and security levels attached to
+//!   ontology classes (§5).
+//! * [`secure`] — pattern-scoped authorizations with two enforcement modes:
+//!   **syntactic** (filters stored triples only — demonstrably leaky, the
+//!   strawman the paper warns about) and **semantic** (filters the RDFS
+//!   closure, protecting also what can be *inferred*); multilevel context
+//!   labels on triples (the "declassify once the war is over" example);
+//!   and policies expressed *in RDF itself*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ntriples;
+pub mod ontology;
+pub mod schema;
+pub mod secure;
+pub mod store;
+pub mod term;
+
+pub use ntriples::{from_ntriples, to_ntriples};
+pub use ontology::{ClassAuthorization, ClassLabel, OntologyGuard};
+pub use schema::Schema;
+pub use secure::{EnforcementMode, RdfAuthorization, SecureStore};
+pub use store::{ContainerKind, PatternTerm, Triple, TriplePattern, TripleStore};
+pub use term::Term;

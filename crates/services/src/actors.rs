@@ -1,0 +1,411 @@
+//! The Web Service Architecture roles (§2.2): "the service provider, which
+//! is the person or organization that provides the web service, the service
+//! requestor, which … wishes to make use of the services offered by a
+//! provider, and the discovery agency, which manages UDDI registries."
+//!
+//! [`ServiceHost`] is the provider runtime: WSDL validation, access control
+//! over operations, handler execution, response signing. [`ServiceRequestor`]
+//! drives the full secure pipeline: discover via UDDI, open a secure
+//! channel, send a (optionally encrypted) SOAP request, verify the signed
+//! response.
+
+use crate::channel::SecureChannel;
+use crate::security::{
+    decrypt_body, encrypt_body, sign_envelope, verify_envelope, SecurityError,
+};
+use crate::soap::Envelope;
+use crate::wsdl::ServiceDescription;
+use std::collections::HashMap;
+use websec_crypto::sig::{Keypair, PublicKey};
+use websec_policy::{RoleHierarchy, SubjectProfile, SubjectSpec};
+use websec_xml::Document;
+
+/// Why an invocation failed.
+#[derive(Debug)]
+pub enum InvocationError {
+    /// Request body does not match any described operation.
+    InvalidRequest,
+    /// The authenticated subject may not call the operation.
+    AccessDenied,
+    /// Transport failure.
+    Channel(crate::channel::ChannelError),
+    /// Message-security failure.
+    Security(SecurityError),
+    /// Request could not be parsed.
+    Malformed(String),
+    /// A message id was replayed.
+    Replay(String),
+}
+
+impl std::fmt::Display for InvocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvocationError::InvalidRequest => write!(f, "request does not match the WSDL"),
+            InvocationError::AccessDenied => write!(f, "access denied"),
+            InvocationError::Channel(e) => write!(f, "channel error: {e}"),
+            InvocationError::Security(e) => write!(f, "security error: {e}"),
+            InvocationError::Malformed(m) => write!(f, "malformed request: {m}"),
+            InvocationError::Replay(id) => write!(f, "replayed message id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for InvocationError {}
+
+type Handler = Box<dyn Fn(&Document) -> Document + Send>;
+
+/// The service-provider runtime.
+pub struct ServiceHost {
+    /// The advertised interface.
+    pub description: ServiceDescription,
+    handlers: HashMap<String, Handler>,
+    /// Per-operation subject requirements (no entry = open operation).
+    access: HashMap<String, SubjectSpec>,
+    /// Authenticated sessions: identity → full profile (stands in for an
+    /// authentication layer; credentials were verified at session setup).
+    sessions: HashMap<String, SubjectProfile>,
+    hierarchy: RoleHierarchy,
+    keypair: Keypair,
+    seen_message_ids: std::collections::HashSet<String>,
+    /// Optional shared key for encrypted request/response bodies.
+    pub body_key: Option<[u8; 32]>,
+}
+
+impl ServiceHost {
+    /// Creates a host for `description`, signing responses with `keypair`.
+    #[must_use]
+    pub fn new(description: ServiceDescription, keypair: Keypair) -> Self {
+        ServiceHost {
+            description,
+            handlers: HashMap::new(),
+            access: HashMap::new(),
+            sessions: HashMap::new(),
+            hierarchy: RoleHierarchy::new(),
+            keypair,
+            seen_message_ids: std::collections::HashSet::new(),
+            body_key: None,
+        }
+    }
+
+    /// The host's signature verification key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public_key()
+    }
+
+    /// Registers the handler for an operation.
+    pub fn handle(&mut self, operation: &str, handler: impl Fn(&Document) -> Document + Send + 'static) {
+        self.handlers.insert(operation.to_string(), Box::new(handler));
+    }
+
+    /// Restricts an operation to subjects matching `spec`.
+    pub fn require(&mut self, operation: &str, spec: SubjectSpec) {
+        self.access.insert(operation.to_string(), spec);
+    }
+
+    /// Registers an authenticated session profile.
+    pub fn register_session(&mut self, profile: SubjectProfile) {
+        self.sessions.insert(profile.identity.clone(), profile);
+    }
+
+    /// Role hierarchy used for role-based operation access.
+    pub fn hierarchy_mut(&mut self) -> &mut RoleHierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Processes one request envelope, returning the signed response
+    /// envelope.
+    pub fn serve(&mut self, request: &Envelope) -> Result<Envelope, InvocationError> {
+        // Replay protection: a MessageId may be used only once per host.
+        if let Some(id) = request.header("MessageId") {
+            if !self.seen_message_ids.insert(id.to_string()) {
+                return Err(InvocationError::Replay(id.to_string()));
+            }
+        }
+        // Decrypt if needed.
+        let request = match (request.header(crate::security::ENCRYPTION_HEADER), self.body_key) {
+            (Some(_), Some(key)) => {
+                decrypt_body(request, &key).map_err(InvocationError::Security)?
+            }
+            (Some(_), None) => {
+                return Err(InvocationError::Security(SecurityError::NoCiphertext))
+            }
+            _ => request.clone(),
+        };
+
+        // WSDL validation.
+        if !self.description.validates_request(&request.body) {
+            return Err(InvocationError::InvalidRequest);
+        }
+        let operation = request
+            .body
+            .name(request.body.root())
+            .expect("validated body has a root element")
+            .to_string();
+
+        // Access control.
+        if let Some(spec) = self.access.get(&operation) {
+            let identity = request.header("Subject").unwrap_or("");
+            let anonymous = SubjectProfile::new(identity);
+            let profile = self.sessions.get(identity).unwrap_or(&anonymous);
+            if !spec.matches(profile, &self.hierarchy) {
+                return Err(InvocationError::AccessDenied);
+            }
+        }
+
+        // Execute.
+        let handler = self
+            .handlers
+            .get(&operation)
+            .ok_or(InvocationError::InvalidRequest)?;
+        let result = handler(&request.body);
+
+        // Sign (and encrypt) the response.
+        let mut response = Envelope::new(result);
+        if let Some(id) = request.header("MessageId") {
+            response = response.with_header("RelatesTo", id);
+        }
+        let signed = sign_envelope(response, &mut self.keypair)
+            .map_err(|_| InvocationError::Security(SecurityError::NoSignature))?;
+        if let Some(key) = self.body_key {
+            // Nonce derived from the remaining signature-key counter, which
+            // decrements with every signed response: unique per response.
+            let mut nonce = [0u8; 12];
+            nonce[..8].copy_from_slice(&(self.keypair.remaining() as u64).to_le_bytes());
+            nonce[8] = 0x52; // domain byte separating response nonces from request nonces
+            Ok(encrypt_body(&signed, &key, &nonce))
+        } else {
+            Ok(signed)
+        }
+    }
+}
+
+/// The requestor: drives discovery + secure invocation.
+pub struct ServiceRequestor {
+    /// Identity presented in the `Subject` header.
+    pub identity: String,
+    /// Provider verification key.
+    pub provider_key: PublicKey,
+    /// Optional shared key for body encryption.
+    pub body_key: Option<[u8; 32]>,
+    next_message: u64,
+}
+
+impl ServiceRequestor {
+    /// Creates a requestor trusting `provider_key`.
+    #[must_use]
+    pub fn new(identity: &str, provider_key: PublicKey) -> Self {
+        ServiceRequestor {
+            identity: identity.to_string(),
+            provider_key,
+            body_key: None,
+            next_message: 0,
+        }
+    }
+
+    /// Invokes `host` with `body` through paired secure channels,
+    /// end to end: seal → serve → open → decrypt → verify signature.
+    pub fn call(
+        &mut self,
+        host: &mut ServiceHost,
+        body: Document,
+        channel_key: &[u8; 32],
+        protected_channel: bool,
+    ) -> Result<Envelope, InvocationError> {
+        let message_id = format!("m-{}-{}", self.identity, self.next_message);
+        self.next_message += 1;
+        let mut request = Envelope::new(body)
+            .with_header("MessageId", &message_id)
+            .with_header("Subject", &self.identity);
+        if let Some(key) = self.body_key {
+            let mut nonce = [0u8; 12];
+            nonce[..8].copy_from_slice(&self.next_message.to_le_bytes());
+            request = encrypt_body(&request, &key, &nonce);
+        }
+
+        // Transport: requestor -> host.
+        let mut client_tx = SecureChannel::new(channel_key, protected_channel);
+        let mut host_rx = SecureChannel::new(channel_key, protected_channel);
+        let record = client_tx.seal(request.to_xml().as_bytes());
+        let received = host_rx.open(&record).map_err(InvocationError::Channel)?;
+        let request_at_host = Envelope::parse(
+            std::str::from_utf8(&received)
+                .map_err(|_| InvocationError::Malformed("not UTF-8".into()))?,
+        )
+        .map_err(|e| InvocationError::Malformed(e.message))?;
+
+        // Host processing.
+        let response = host.serve(&request_at_host)?;
+
+        // Transport: host -> requestor.
+        let mut host_tx = SecureChannel::new(channel_key, protected_channel);
+        let mut client_rx = SecureChannel::new(channel_key, protected_channel);
+        let record = host_tx.seal(response.to_xml().as_bytes());
+        let received = client_rx.open(&record).map_err(InvocationError::Channel)?;
+        let mut response = Envelope::parse(
+            std::str::from_utf8(&received)
+                .map_err(|_| InvocationError::Malformed("not UTF-8".into()))?,
+        )
+        .map_err(|e| InvocationError::Malformed(e.message))?;
+
+        // Decrypt + verify.
+        if let Some(key) = self.body_key {
+            response = decrypt_body(&response, &key).map_err(InvocationError::Security)?;
+        }
+        verify_envelope(&response, &self.provider_key).map_err(InvocationError::Security)?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsdl::Operation;
+    use websec_crypto::SecureRng;
+
+    fn quote_host(rng: &mut SecureRng) -> ServiceHost {
+        let desc = ServiceDescription::new("QuoteService", "local://quotes")
+            .with_operation(Operation::new("getQuote", &["symbol"], &["price"]));
+        let mut host = ServiceHost::new(desc, Keypair::generate(rng, 4));
+        host.handle("getQuote", |req| {
+            let symbol = req.attribute(req.root(), "symbol").unwrap_or("?");
+            let mut d = Document::new("quote");
+            d.set_attribute(d.root(), "symbol", symbol);
+            d.add_text(d.root(), "42.5");
+            d
+        });
+        host
+    }
+
+    #[test]
+    fn end_to_end_call() {
+        let mut rng = SecureRng::seeded(41);
+        let mut host = quote_host(&mut rng);
+        let mut requestor = ServiceRequestor::new("alice", host.public_key());
+        let body = Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+        let response = requestor
+            .call(&mut host, body, &[8u8; 32], true)
+            .unwrap();
+        assert!(response.body.to_xml_string().contains("42.5"));
+        assert_eq!(response.header("RelatesTo"), Some("m-alice-0"));
+    }
+
+    #[test]
+    fn invalid_request_rejected() {
+        let mut rng = SecureRng::seeded(42);
+        let mut host = quote_host(&mut rng);
+        let mut requestor = ServiceRequestor::new("alice", host.public_key());
+        let body = Document::parse("<bogus/>").unwrap();
+        let err = requestor.call(&mut host, body, &[8u8; 32], true).unwrap_err();
+        assert!(matches!(err, InvocationError::InvalidRequest), "{err}");
+    }
+
+    #[test]
+    fn operation_access_control() {
+        let mut rng = SecureRng::seeded(43);
+        let mut host = quote_host(&mut rng);
+        host.require("getQuote", SubjectSpec::Identity("vip".into()));
+        host.register_session(SubjectProfile::new("vip"));
+        let body = || Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+
+        let mut vip = ServiceRequestor::new("vip", host.public_key());
+        assert!(vip.call(&mut host, body(), &[8u8; 32], true).is_ok());
+
+        let mut other = ServiceRequestor::new("mallory", host.public_key());
+        let err = other.call(&mut host, body(), &[8u8; 32], true).unwrap_err();
+        assert!(matches!(err, InvocationError::AccessDenied), "{err}");
+    }
+
+    #[test]
+    fn role_based_operation_access() {
+        let mut rng = SecureRng::seeded(44);
+        let mut host = quote_host(&mut rng);
+        host.require(
+            "getQuote",
+            SubjectSpec::InRole(websec_policy::Role::new("trader")),
+        );
+        host.register_session(
+            SubjectProfile::new("bob").with_role(websec_policy::Role::new("trader")),
+        );
+        let body = Document::parse("<getQuote symbol=\"A\"/>").unwrap();
+        let mut bob = ServiceRequestor::new("bob", host.public_key());
+        assert!(bob.call(&mut host, body, &[8u8; 32], true).is_ok());
+    }
+
+    #[test]
+    fn encrypted_bodies_end_to_end() {
+        let mut rng = SecureRng::seeded(45);
+        let mut host = quote_host(&mut rng);
+        let shared = [6u8; 32];
+        host.body_key = Some(shared);
+        let mut requestor = ServiceRequestor::new("alice", host.public_key());
+        requestor.body_key = Some(shared);
+        let body = Document::parse("<getQuote symbol=\"SECRET\"/>").unwrap();
+        let response = requestor.call(&mut host, body, &[8u8; 32], true).unwrap();
+        assert!(response.body.to_xml_string().contains("SECRET"));
+    }
+
+    #[test]
+    fn forged_response_detected() {
+        // A host signing with a key the requestor does not trust.
+        let mut rng = SecureRng::seeded(46);
+        let mut host = quote_host(&mut rng);
+        let other_key = Keypair::generate(&mut rng, 2).public_key();
+        let mut requestor = ServiceRequestor::new("alice", other_key);
+        let body = Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+        let err = requestor.call(&mut host, body, &[8u8; 32], true).unwrap_err();
+        assert!(
+            matches!(err, InvocationError::Security(SecurityError::BadSignature)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unprotected_channel_works_but_is_clear() {
+        let mut rng = SecureRng::seeded(47);
+        let mut host = quote_host(&mut rng);
+        let mut requestor = ServiceRequestor::new("alice", host.public_key());
+        let body = Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+        assert!(requestor.call(&mut host, body, &[8u8; 32], false).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod replay_tests {
+    use super::*;
+    use crate::wsdl::Operation;
+    use websec_crypto::SecureRng;
+
+    #[test]
+    fn replayed_envelope_rejected() {
+        let mut rng = SecureRng::seeded(61);
+        let desc = ServiceDescription::new("S", "local://s")
+            .with_operation(Operation::new("ping", &[], &["pong"]));
+        let mut host = ServiceHost::new(desc, Keypair::generate(&mut rng, 3));
+        host.handle("ping", |_| Document::new("pong"));
+
+        let request = Envelope::new(Document::new("ping")).with_header("MessageId", "m-1");
+        assert!(host.serve(&request).is_ok());
+        // The captured envelope is replayed verbatim.
+        let err = host.serve(&request).unwrap_err();
+        assert!(matches!(err, InvocationError::Replay(ref id) if id == "m-1"), "{err}");
+        // A fresh id goes through.
+        let fresh = Envelope::new(Document::new("ping")).with_header("MessageId", "m-2");
+        assert!(host.serve(&fresh).is_ok());
+    }
+
+    #[test]
+    fn requestor_ids_are_unique_across_calls() {
+        let mut rng = SecureRng::seeded(62);
+        let desc = ServiceDescription::new("S", "local://s")
+            .with_operation(Operation::new("ping", &[], &["pong"]));
+        let mut host = ServiceHost::new(desc, Keypair::generate(&mut rng, 3));
+        host.handle("ping", |_| Document::new("pong"));
+        let mut requestor = ServiceRequestor::new("u", host.public_key());
+        for _ in 0..3 {
+            requestor
+                .call(&mut host, Document::new("ping"), &[1u8; 32], true)
+                .expect("fresh message ids never collide");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Network-lite secure channel.
+//!
+//! §5: "consider the lowest layer. One needs secure TCP/IP, secure sockets,
+//! and secure HTTP… One needs end-to-end security. That is, one cannot just
+//! have secure TCP/IP built on untrusted communication layers." The channel
+//! is an in-process byte pipe with optional record protection
+//! (ChaCha20 + HMAC with per-direction keys and sequence numbers), standing
+//! in for TLS so the stack experiment can toggle and measure the transport
+//! security layer.
+
+use websec_crypto::{hkdf, hmac_sha256, ChaCha20};
+
+/// Channel failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Record MAC failed (tampering or wrong session key).
+    BadRecord,
+    /// Record truncated.
+    Truncated,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::BadRecord => write!(f, "record authentication failed"),
+            ChannelError::Truncated => write!(f, "record truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// One endpoint of a protected channel. Both endpoints are constructed
+/// from the same session key (exchanged out of band — key agreement is not
+/// modelled); sequence numbers prevent reordering/replay within a session.
+pub struct SecureChannel {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+    send_seq: u64,
+    recv_seq: u64,
+    /// When false, the channel passes plaintext (the "untrusted
+    /// communication layer" baseline for E12).
+    pub protected: bool,
+}
+
+impl SecureChannel {
+    /// Creates an endpoint from a session key.
+    #[must_use]
+    pub fn new(session_key: &[u8; 32], protected: bool) -> Self {
+        let okm = hkdf(b"websec-channel", session_key, b"enc+mac", 64);
+        let mut enc_key = [0u8; 32];
+        let mut mac_key = [0u8; 32];
+        enc_key.copy_from_slice(&okm[..32]);
+        mac_key.copy_from_slice(&okm[32..]);
+        SecureChannel {
+            enc_key,
+            mac_key,
+            send_seq: 0,
+            recv_seq: 0,
+            protected,
+        }
+    }
+
+    fn nonce_for(seq: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&seq.to_le_bytes());
+        n
+    }
+
+    /// Wraps a message into a wire record.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        if !self.protected {
+            return plaintext.to_vec();
+        }
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let nonce = Self::nonce_for(seq);
+        let mut ct = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key, &nonce, 1).apply(&mut ct);
+        let mut mac_input = seq.to_le_bytes().to_vec();
+        mac_input.extend_from_slice(&ct);
+        let mac = hmac_sha256(&self.mac_key, &mac_input);
+        let mut record = seq.to_le_bytes().to_vec();
+        record.extend_from_slice(&mac);
+        record.extend_from_slice(&ct);
+        record
+    }
+
+    /// Unwraps a wire record.
+    pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if !self.protected {
+            return Ok(record.to_vec());
+        }
+        if record.len() < 8 + 32 {
+            return Err(ChannelError::Truncated);
+        }
+        let seq = u64::from_le_bytes(record[..8].try_into().expect("checked"));
+        let mac = &record[8..40];
+        let ct = &record[40..];
+        if seq != self.recv_seq {
+            return Err(ChannelError::BadRecord); // replay or reorder
+        }
+        let mut mac_input = seq.to_le_bytes().to_vec();
+        mac_input.extend_from_slice(ct);
+        let expected = hmac_sha256(&self.mac_key, &mac_input);
+        if !websec_crypto::ct_eq(&expected, mac) {
+            return Err(ChannelError::BadRecord);
+        }
+        self.recv_seq += 1;
+        let nonce = Self::nonce_for(seq);
+        let mut pt = ct.to_vec();
+        ChaCha20::new(&self.enc_key, &nonce, 1).apply(&mut pt);
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(protected: bool) -> (SecureChannel, SecureChannel) {
+        let key = [5u8; 32];
+        (
+            SecureChannel::new(&key, protected),
+            SecureChannel::new(&key, protected),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut a, mut b) = pair(true);
+        let record = a.seal(b"hello over tls-lite");
+        assert_ne!(record, b"hello over tls-lite");
+        assert_eq!(b.open(&record).unwrap(), b"hello over tls-lite");
+    }
+
+    #[test]
+    fn sequence_of_messages() {
+        let (mut a, mut b) = pair(true);
+        for i in 0..5 {
+            let msg = format!("msg {i}");
+            let rec = a.seal(msg.as_bytes());
+            assert_eq!(b.open(&rec).unwrap(), msg.as_bytes());
+        }
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut a, mut b) = pair(true);
+        let rec = a.seal(b"once");
+        assert!(b.open(&rec).is_ok());
+        assert_eq!(b.open(&rec).unwrap_err(), ChannelError::BadRecord);
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut a, mut b) = pair(true);
+        let r1 = a.seal(b"first");
+        let r2 = a.seal(b"second");
+        assert_eq!(b.open(&r2).unwrap_err(), ChannelError::BadRecord);
+        let _ = r1;
+    }
+
+    #[test]
+    fn tamper_rejected() {
+        let (mut a, mut b) = pair(true);
+        let mut rec = a.seal(b"payload");
+        let last = rec.len() - 1;
+        rec[last] ^= 1;
+        assert_eq!(b.open(&rec).unwrap_err(), ChannelError::BadRecord);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut a = SecureChannel::new(&[1u8; 32], true);
+        let mut b = SecureChannel::new(&[2u8; 32], true);
+        let rec = a.seal(b"x");
+        assert_eq!(b.open(&rec).unwrap_err(), ChannelError::BadRecord);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (_, mut b) = pair(true);
+        assert_eq!(b.open(&[0u8; 10]).unwrap_err(), ChannelError::Truncated);
+    }
+
+    #[test]
+    fn unprotected_passthrough() {
+        let (mut a, mut b) = pair(false);
+        let rec = a.seal(b"clear");
+        assert_eq!(rec, b"clear");
+        assert_eq!(b.open(&rec).unwrap(), b"clear");
+    }
+}

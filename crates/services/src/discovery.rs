@@ -1,0 +1,180 @@
+//! UDDI inquiries over SOAP: the discovery agency as a web service.
+//!
+//! §2.2's architecture has the requestor talk to the discovery agency the
+//! same way it talks to any service — over SOAP. This module wraps a
+//! [`Registry`] behind a [`ServiceHost`] exposing the two inquiry patterns
+//! (`find_business`, `get_businessDetail`) as operations, and gives the
+//! requestor typed client calls that parse the XML answers back.
+
+use crate::actors::{InvocationError, ServiceHost, ServiceRequestor};
+use crate::wsdl::{Operation, ServiceDescription};
+use std::sync::{Arc, Mutex};
+use websec_crypto::sig::Keypair;
+use websec_uddi::{BusinessOverview, FindQualifier, Registry};
+use websec_xml::{Document, Path};
+
+/// The WSDL for a discovery agency.
+#[must_use]
+pub fn discovery_description(endpoint: &str) -> ServiceDescription {
+    ServiceDescription::new("DiscoveryAgency", endpoint)
+        .with_operation(Operation::new("find_business", &["name"], &["overview"]))
+        .with_operation(Operation::new(
+            "get_businessDetail",
+            &["businessKey"],
+            &["businessEntity"],
+        ))
+}
+
+/// Builds a SOAP host serving inquiries from `registry`.
+pub fn discovery_host(registry: Arc<Mutex<Registry>>, keypair: Keypair) -> ServiceHost {
+    let mut host = ServiceHost::new(discovery_description("local://uddi"), keypair);
+
+    let reg = Arc::clone(&registry);
+    host.handle("find_business", move |req| {
+        let prefix = req.attribute(req.root(), "name").unwrap_or("");
+        let rows = reg
+            .lock()
+            .expect("registry lock")
+            .find_business(&FindQualifier::NameApprox(prefix.to_string()));
+        let mut d = Document::new("overview");
+        for row in rows {
+            let e = d.add_element(d.root(), "businessInfo");
+            d.set_attribute(e, "businessKey", &row.business_key);
+            d.set_attribute(e, "name", &row.name);
+        }
+        d
+    });
+
+    let reg = Arc::clone(&registry);
+    host.handle("get_businessDetail", move |req| {
+        let key = req.attribute(req.root(), "businessKey").unwrap_or("");
+        match reg.lock().expect("registry lock").get_business_detail(key) {
+            Ok(be) => be.to_document(),
+            Err(e) => {
+                let mut d = Document::new("fault");
+                d.add_text(d.root(), &e.to_string());
+                d
+            }
+        }
+    });
+
+    host
+}
+
+/// Requestor-side typed call: `find_business` over SOAP.
+pub fn find_business_over_soap(
+    requestor: &mut ServiceRequestor,
+    host: &mut ServiceHost,
+    channel_key: &[u8; 32],
+    name_prefix: &str,
+) -> Result<Vec<BusinessOverview>, InvocationError> {
+    let mut body = Document::new("find_business");
+    body.set_attribute(body.root(), "name", name_prefix);
+    let response = requestor.call(host, body, channel_key, true)?;
+    let rows = Path::parse("/overview/businessInfo")
+        .expect("static path")
+        .select_nodes(&response.body)
+        .into_iter()
+        .map(|n| BusinessOverview {
+            business_key: response
+                .body
+                .attribute(n, "businessKey")
+                .unwrap_or_default()
+                .to_string(),
+            name: response
+                .body
+                .attribute(n, "name")
+                .unwrap_or_default()
+                .to_string(),
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Requestor-side typed call: `get_businessDetail` over SOAP. Returns the
+/// entry document, or `None` when the agency faulted.
+pub fn get_business_detail_over_soap(
+    requestor: &mut ServiceRequestor,
+    host: &mut ServiceHost,
+    channel_key: &[u8; 32],
+    business_key: &str,
+) -> Result<Option<Document>, InvocationError> {
+    let mut body = Document::new("get_businessDetail");
+    body.set_attribute(body.root(), "businessKey", business_key);
+    let response = requestor.call(host, body, channel_key, true)?;
+    if response.body.name(response.body.root()) == Some("fault") {
+        return Ok(None);
+    }
+    Ok(Some(response.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_crypto::SecureRng;
+    use websec_uddi::{BusinessEntity, BusinessService};
+
+    fn setup() -> (ServiceHost, ServiceRequestor) {
+        let mut registry = Registry::new();
+        let mut be = BusinessEntity::new("biz-acme", "Acme Healthcare");
+        be.services.push(BusinessService::new("svc-1", "Scheduling"));
+        registry.save_business(be);
+        registry.save_business(BusinessEntity::new("biz-beta", "Beta Logistics"));
+
+        let mut rng = SecureRng::seeded(91);
+        let host = discovery_host(Arc::new(Mutex::new(registry)), Keypair::generate(&mut rng, 4));
+        let requestor = ServiceRequestor::new("client", host.public_key());
+        (host, requestor)
+    }
+
+    #[test]
+    fn find_business_over_the_wire() {
+        let (mut host, mut requestor) = setup();
+        let rows =
+            find_business_over_soap(&mut requestor, &mut host, &[4u8; 32], "acme").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].business_key, "biz-acme");
+        assert_eq!(rows[0].name, "Acme Healthcare");
+    }
+
+    #[test]
+    fn empty_prefix_lists_all() {
+        let (mut host, mut requestor) = setup();
+        let rows = find_business_over_soap(&mut requestor, &mut host, &[4u8; 32], "").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn drill_down_over_the_wire() {
+        let (mut host, mut requestor) = setup();
+        let doc =
+            get_business_detail_over_soap(&mut requestor, &mut host, &[4u8; 32], "biz-acme")
+                .unwrap()
+                .expect("entry exists");
+        let s = doc.to_xml_string();
+        assert!(s.contains("Acme Healthcare"), "{s}");
+        assert!(s.contains("Scheduling"), "{s}");
+    }
+
+    #[test]
+    fn unknown_key_faults_gracefully() {
+        let (mut host, mut requestor) = setup();
+        let result =
+            get_business_detail_over_soap(&mut requestor, &mut host, &[4u8; 32], "nope").unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn responses_are_signed_by_the_agency() {
+        // The typed wrappers go through ServiceRequestor::call, which
+        // verifies the agency's signature; a requestor trusting a different
+        // key must fail.
+        let (mut host, _) = setup();
+        let mut rng = SecureRng::seeded(92);
+        let wrong_key = Keypair::generate(&mut rng, 2).public_key();
+        let mut requestor = ServiceRequestor::new("client", wrong_key);
+        let err = find_business_over_soap(&mut requestor, &mut host, &[4u8; 32], "acme")
+            .unwrap_err();
+        assert!(matches!(err, InvocationError::Security(_)), "{err}");
+    }
+}

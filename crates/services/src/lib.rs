@@ -1,0 +1,41 @@
+//! # websec-services
+//!
+//! Web services substrate (§2.2 of the paper): "web services … are based on
+//! a set of XML standards, namely, the Simple Object Access Protocol (SOAP)
+//! to expose the service functionalities, the Web Services Description
+//! Language (WSDL) to provide an XML-based description of the service
+//! interface, and … UDDI to publish information regarding the web service."
+//!
+//! * [`soap`] — SOAP-lite envelopes (header blocks + body document).
+//! * [`wsdl`] — WSDL-lite service descriptions (operations with typed
+//!   message parts) rendered as XML.
+//! * [`security`] — WS-Security-lite message protection: body signatures
+//!   and body encryption carried in envelope headers, built on the
+//!   workspace's own crypto ("ensuring integrity means ensuring that the
+//!   information are not altered during its transmission", §4.1).
+//! * [`channel`] — the network-lite secure channel ("one needs secure
+//!   TCP/IP, secure sockets… end-to-end security", §5): an in-process pipe
+//!   with optional encryption+MAC, so the stack experiment can measure
+//!   each layer.
+//! * [`discovery`] — UDDI inquiries exposed as SOAP operations, so the
+//!   discovery agency is itself a (signed, access-controllable) service.
+//! * [`actors`] — the Web Service Architecture roles of §2.2: service
+//!   provider, service requestor, discovery agency, wired into an
+//!   end-to-end secure invocation pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod channel;
+pub mod discovery;
+pub mod security;
+pub mod soap;
+pub mod wsdl;
+
+pub use actors::{InvocationError, ServiceHost, ServiceRequestor};
+pub use discovery::{discovery_host, find_business_over_soap, get_business_detail_over_soap};
+pub use channel::SecureChannel;
+pub use security::{decrypt_body, encrypt_body, sign_envelope, verify_envelope, SecurityError};
+pub use soap::Envelope;
+pub use wsdl::{Operation, ServiceDescription};

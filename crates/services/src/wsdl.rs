@@ -1,0 +1,147 @@
+//! WSDL-lite service descriptions.
+
+use websec_xml::Document;
+
+/// One operation: a named request/response exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (the body payload's root element name).
+    pub name: String,
+    /// Input message part names.
+    pub inputs: Vec<String>,
+    /// Output message part names.
+    pub outputs: Vec<String>,
+}
+
+impl Operation {
+    /// Builds an operation.
+    #[must_use]
+    pub fn new(name: &str, inputs: &[&str], outputs: &[&str]) -> Self {
+        Operation {
+            name: name.to_string(),
+            inputs: inputs.iter().map(|s| (*s).to_string()).collect(),
+            outputs: outputs.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+}
+
+/// A service interface description ("an XML-based description of the
+/// service interface", §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name.
+    pub name: String,
+    /// Invocation endpoint.
+    pub endpoint: String,
+    /// Offered operations.
+    pub operations: Vec<Operation>,
+}
+
+impl ServiceDescription {
+    /// Builds a description.
+    #[must_use]
+    pub fn new(name: &str, endpoint: &str) -> Self {
+        ServiceDescription {
+            name: name.to_string(),
+            endpoint: endpoint.to_string(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds an operation (builder style).
+    #[must_use]
+    pub fn with_operation(mut self, operation: Operation) -> Self {
+        self.operations.push(operation);
+        self
+    }
+
+    /// Looks up an operation by name.
+    #[must_use]
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Renders the description as a WSDL-lite XML document.
+    #[must_use]
+    pub fn to_document(&self) -> Document {
+        let mut d = Document::new("definitions");
+        let root = d.root();
+        d.set_attribute(root, "name", &self.name);
+        let service = d.add_element(root, "service");
+        d.set_attribute(service, "endpoint", &self.endpoint);
+        for op in &self.operations {
+            let o = d.add_element(service, "operation");
+            d.set_attribute(o, "name", &op.name);
+            for part in &op.inputs {
+                let p = d.add_element(o, "input");
+                d.set_attribute(p, "part", part);
+            }
+            for part in &op.outputs {
+                let p = d.add_element(o, "output");
+                d.set_attribute(p, "part", part);
+            }
+        }
+        d
+    }
+
+    /// Validates a request body against the described operation: the root
+    /// element must name an operation and carry every input part as an
+    /// attribute or child element.
+    #[must_use]
+    pub fn validates_request(&self, body: &Document) -> bool {
+        let Some(op_name) = body.name(body.root()) else {
+            return false;
+        };
+        let Some(op) = self.operation(op_name) else {
+            return false;
+        };
+        op.inputs.iter().all(|part| {
+            body.attribute(body.root(), part).is_some()
+                || body
+                    .children(body.root())
+                    .any(|c| body.name(c) == Some(part.as_str()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> ServiceDescription {
+        ServiceDescription::new("QuoteService", "local://quotes")
+            .with_operation(Operation::new("getQuote", &["symbol"], &["price"]))
+            .with_operation(Operation::new("listSymbols", &[], &["symbols"]))
+    }
+
+    #[test]
+    fn render() {
+        let xml = desc().to_document().to_xml_string();
+        assert!(xml.contains("name=\"QuoteService\""), "{xml}");
+        assert!(xml.contains("endpoint=\"local://quotes\""), "{xml}");
+        assert!(xml.contains("<operation name=\"getQuote\"><input part=\"symbol\"/>"), "{xml}");
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let d = desc();
+        assert!(d.operation("getQuote").is_some());
+        assert!(d.operation("nope").is_none());
+    }
+
+    #[test]
+    fn request_validation() {
+        let d = desc();
+        let ok_attr = Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+        let ok_child = Document::parse("<getQuote><symbol>ACME</symbol></getQuote>").unwrap();
+        let missing = Document::parse("<getQuote/>").unwrap();
+        let unknown = Document::parse("<bogus symbol=\"X\"/>").unwrap();
+        assert!(d.validates_request(&ok_attr));
+        assert!(d.validates_request(&ok_child));
+        assert!(!d.validates_request(&missing));
+        assert!(!d.validates_request(&unknown));
+        // Zero-input operation validates trivially.
+        let list = Document::parse("<listSymbols/>").unwrap();
+        assert!(d.validates_request(&list));
+    }
+}

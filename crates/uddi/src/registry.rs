@@ -1,0 +1,532 @@
+//! The registry: publisher API, browse/drill-down inquiries, and the
+//! two-party (trusted) deployment with access-controlled answers.
+//!
+//! "If UDDI registries are managed according to a two-party architecture,
+//! integrity and confidentiality can be ensured using the standard
+//! mechanisms adopted by conventional DBMSs. In particular, an access
+//! control mechanism can be used to ensure that UDDI entries are accessed
+//! and modified only according to the specified access control policies"
+//! (§4.1). Entries are addressed by their business key, so `websec-policy`
+//! object specifications apply directly to entry documents.
+
+use crate::model::{BusinessEntity, PublisherAssertion, TModel};
+use std::collections::BTreeMap;
+use websec_policy::{PolicyEngine, PolicyStore, Privilege, SubjectProfile};
+use websec_xml::{Document, Path};
+
+/// Registry operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No entry under the given key.
+    UnknownKey(String),
+    /// The requesting subject may not perform the operation.
+    AccessDenied,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownKey(k) => write!(f, "unknown key '{k}'"),
+            RegistryError::AccessDenied => write!(f, "access denied"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Browse-pattern result row for businesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusinessOverview {
+    /// Business key (drill-down handle).
+    pub business_key: String,
+    /// Business name.
+    pub name: String,
+}
+
+/// Browse-pattern result row for services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceOverview {
+    /// Service key.
+    pub service_key: String,
+    /// Owning business key.
+    pub business_key: String,
+    /// Service name.
+    pub name: String,
+}
+
+/// Search criteria for `find_xxx` inquiries.
+#[derive(Debug, Clone)]
+pub enum FindQualifier {
+    /// Case-insensitive name prefix match (UDDI "approximateMatch").
+    NameApprox(String),
+    /// Category-bag match on `(tmodel_key, key_value)`.
+    Category {
+        /// Taxonomy tModel.
+        tmodel_key: String,
+        /// Category value to match.
+        key_value: String,
+    },
+    /// Matches services/bindings referencing this tModel.
+    UsesTModel(String),
+}
+
+impl FindQualifier {
+    fn matches_name(&self, name: &str) -> bool {
+        match self {
+            FindQualifier::NameApprox(prefix) => {
+                name.to_lowercase().starts_with(&prefix.to_lowercase())
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An in-memory UDDI registry.
+#[derive(Default)]
+pub struct Registry {
+    businesses: BTreeMap<String, BusinessEntity>,
+    tmodels: BTreeMap<String, TModel>,
+    assertions: Vec<PublisherAssertion>,
+    /// Two-party access control: policies over entry documents (named by
+    /// business key).
+    pub policies: PolicyStore,
+    /// Evaluation engine for `policies`.
+    pub engine: PolicyEngine,
+}
+
+impl Registry {
+    /// Creates an empty registry with an empty (deny-nothing-to-internal,
+    /// closed-to-subjects) policy base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- publisher API -----------------------------------------------------
+
+    /// Saves (inserts or replaces) a business entity.
+    pub fn save_business(&mut self, entity: BusinessEntity) {
+        self.businesses.insert(entity.business_key.clone(), entity);
+    }
+
+    /// Deletes a business entity.
+    pub fn delete_business(&mut self, key: &str) -> Result<(), RegistryError> {
+        self.businesses
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
+    }
+
+    /// Saves (inserts or replaces) a tModel.
+    pub fn save_tmodel(&mut self, tmodel: TModel) {
+        self.tmodels.insert(tmodel.tmodel_key.clone(), tmodel);
+    }
+
+    /// Deletes a tModel.
+    pub fn delete_tmodel(&mut self, key: &str) -> Result<(), RegistryError> {
+        self.tmodels
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
+    }
+
+    /// Records a publisher assertion. The relationship only becomes visible
+    /// once **both** parties have asserted it.
+    pub fn add_assertion(&mut self, assertion: PublisherAssertion) {
+        self.assertions.push(assertion);
+    }
+
+    /// Number of stored business entries.
+    #[must_use]
+    pub fn business_count(&self) -> usize {
+        self.businesses.len()
+    }
+
+    // --- browse-pattern inquiries (find_xxx) --------------------------------
+
+    /// `find_business`: overview rows for entries matching the qualifier.
+    #[must_use]
+    pub fn find_business(&self, q: &FindQualifier) -> Vec<BusinessOverview> {
+        self.businesses
+            .values()
+            .filter(|be| match q {
+                FindQualifier::NameApprox(_) => q.matches_name(&be.name),
+                FindQualifier::Category {
+                    tmodel_key,
+                    key_value,
+                } => be
+                    .category_bag
+                    .iter()
+                    .any(|kr| &kr.tmodel_key == tmodel_key && &kr.key_value == key_value),
+                FindQualifier::UsesTModel(tk) => be.services.iter().any(|s| {
+                    s.binding_templates
+                        .iter()
+                        .any(|bt| bt.tmodel_keys.iter().any(|k| k == tk))
+                }),
+            })
+            .map(|be| BusinessOverview {
+                business_key: be.business_key.clone(),
+                name: be.name.clone(),
+            })
+            .collect()
+    }
+
+    /// `find_service`: overview rows for services matching the qualifier.
+    #[must_use]
+    pub fn find_service(&self, q: &FindQualifier) -> Vec<ServiceOverview> {
+        let mut out = Vec::new();
+        for be in self.businesses.values() {
+            for s in &be.services {
+                let hit = match q {
+                    FindQualifier::NameApprox(_) => q.matches_name(&s.name),
+                    FindQualifier::Category {
+                        tmodel_key,
+                        key_value,
+                    } => s
+                        .category_bag
+                        .iter()
+                        .any(|kr| &kr.tmodel_key == tmodel_key && &kr.key_value == key_value),
+                    FindQualifier::UsesTModel(tk) => s
+                        .binding_templates
+                        .iter()
+                        .any(|bt| bt.tmodel_keys.iter().any(|k| k == tk)),
+                };
+                if hit {
+                    out.push(ServiceOverview {
+                        service_key: s.service_key.clone(),
+                        business_key: be.business_key.clone(),
+                        name: s.name.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// `find_tModel`: keys and names of matching tModels.
+    #[must_use]
+    pub fn find_tmodel(&self, q: &FindQualifier) -> Vec<(String, String)> {
+        self.tmodels
+            .values()
+            .filter(|tm| q.matches_name(&tm.name))
+            .map(|tm| (tm.tmodel_key.clone(), tm.name.clone()))
+            .collect()
+    }
+
+    /// Businesses related to `key` by **completed** publisher assertions
+    /// (asserted in both directions).
+    #[must_use]
+    pub fn find_related_businesses(&self, key: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for a in &self.assertions {
+            if a.from_key == key {
+                let reciprocal = self.assertions.iter().any(|b| {
+                    b.from_key == a.to_key && b.to_key == a.from_key && b.relationship == a.relationship
+                });
+                if reciprocal && !out.contains(&a.to_key) {
+                    out.push(a.to_key.clone());
+                }
+            }
+        }
+        out
+    }
+
+    // --- drill-down inquiries (get_xxx) --------------------------------------
+
+    /// `get_businessDetail`: the full entry (trusted/internal access).
+    pub fn get_business_detail(&self, key: &str) -> Result<&BusinessEntity, RegistryError> {
+        self.businesses
+            .get(key)
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
+    }
+
+    /// `get_serviceDetail`: a service (and its owning business key) by
+    /// service key.
+    pub fn get_service_detail(
+        &self,
+        key: &str,
+    ) -> Result<(&str, &crate::model::BusinessService), RegistryError> {
+        for be in self.businesses.values() {
+            if let Some(svc) = be.services.iter().find(|s| s.service_key == key) {
+                return Ok((be.business_key.as_str(), svc));
+            }
+        }
+        Err(RegistryError::UnknownKey(key.to_string()))
+    }
+
+    /// `get_bindingDetail`: a binding template by binding key.
+    pub fn get_binding_detail(
+        &self,
+        key: &str,
+    ) -> Result<&crate::model::BindingTemplate, RegistryError> {
+        for be in self.businesses.values() {
+            for svc in &be.services {
+                if let Some(bt) = svc
+                    .binding_templates
+                    .iter()
+                    .find(|b| b.binding_key == key)
+                {
+                    return Ok(bt);
+                }
+            }
+        }
+        Err(RegistryError::UnknownKey(key.to_string()))
+    }
+
+    /// `get_tModelDetail`.
+    pub fn get_tmodel_detail(&self, key: &str) -> Result<&TModel, RegistryError> {
+        self.tmodels
+            .get(key)
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
+    }
+
+    // --- two-party access-controlled inquiries --------------------------------
+
+    /// `get_businessDetail` under access control: the subject receives the
+    /// **authorized view** of the entry document (possibly with portions
+    /// pruned), or `AccessDenied` when nothing is visible.
+    pub fn get_business_detail_for(
+        &self,
+        key: &str,
+        profile: &SubjectProfile,
+    ) -> Result<Document, RegistryError> {
+        let be = self.get_business_detail(key)?;
+        let doc = be.to_document();
+        let view = self.engine.compute_view(&self.policies, profile, key, &doc);
+        if view.node_count() == 0 {
+            return Err(RegistryError::AccessDenied);
+        }
+        Ok(view)
+    }
+
+    /// `find_business` under access control: only entries whose *name* the
+    /// subject may read appear in the overview (confidential listings stay
+    /// hidden).
+    #[must_use]
+    pub fn find_business_for(
+        &self,
+        q: &FindQualifier,
+        profile: &SubjectProfile,
+    ) -> Vec<BusinessOverview> {
+        let name_path = Path::parse("/businessEntity/name").expect("static path");
+        self.find_business(q)
+            .into_iter()
+            .filter(|row| {
+                let Ok(be) = self.get_business_detail(&row.business_key) else {
+                    return false;
+                };
+                let doc = be.to_document();
+                let decision = self.engine.evaluate_document(
+                    &self.policies,
+                    profile,
+                    &row.business_key,
+                    &doc,
+                    Privilege::Read,
+                );
+                name_path
+                    .select_nodes(&doc)
+                    .iter()
+                    .all(|&n| decision.is_allowed(n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BusinessService, KeyedReference};
+    use websec_policy::{Authorization, ObjectSpec, SubjectSpec};
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        let mut acme = BusinessEntity::new("biz-acme", "Acme Healthcare");
+        acme.category_bag.push(KeyedReference {
+            tmodel_key: "uddi:naics".into(),
+            key_name: "sector".into(),
+            key_value: "62".into(),
+        });
+        let mut svc = BusinessService::new("svc-sched", "Scheduling");
+        svc.binding_templates.push(crate::model::BindingTemplate {
+            binding_key: "b1".into(),
+            access_point: "https://acme.example".into(),
+            description: String::new(),
+            tmodel_keys: vec!["uddi:tm-sched".into()],
+        });
+        acme.services.push(svc);
+        r.save_business(acme);
+
+        let mut beta = BusinessEntity::new("biz-beta", "Beta Logistics");
+        beta.services.push(BusinessService::new("svc-track", "Tracking"));
+        r.save_business(beta);
+
+        r.save_tmodel(TModel::new("uddi:tm-sched", "Scheduling Interface"));
+        r
+    }
+
+    #[test]
+    fn find_business_by_name_prefix() {
+        let r = registry();
+        let rows = r.find_business(&FindQualifier::NameApprox("acme".into()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].business_key, "biz-acme");
+        assert!(r
+            .find_business(&FindQualifier::NameApprox("zzz".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn find_business_by_category() {
+        let r = registry();
+        let rows = r.find_business(&FindQualifier::Category {
+            tmodel_key: "uddi:naics".into(),
+            key_value: "62".into(),
+        });
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn find_business_by_tmodel() {
+        let r = registry();
+        let rows = r.find_business(&FindQualifier::UsesTModel("uddi:tm-sched".into()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].business_key, "biz-acme");
+    }
+
+    #[test]
+    fn find_service() {
+        let r = registry();
+        let rows = r.find_service(&FindQualifier::NameApprox("track".into()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].business_key, "biz-beta");
+    }
+
+    #[test]
+    fn find_tmodel() {
+        let r = registry();
+        let rows = r.find_tmodel(&FindQualifier::NameApprox("sched".into()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "uddi:tm-sched");
+    }
+
+    #[test]
+    fn drill_down_and_delete() {
+        let mut r = registry();
+        assert!(r.get_business_detail("biz-acme").is_ok());
+        assert!(r.get_tmodel_detail("uddi:tm-sched").is_ok());
+        assert_eq!(
+            r.get_business_detail("nope"),
+            Err(RegistryError::UnknownKey("nope".into()))
+        );
+        r.delete_business("biz-acme").unwrap();
+        assert!(r.get_business_detail("biz-acme").is_err());
+        assert!(r.delete_business("biz-acme").is_err());
+    }
+
+    #[test]
+    fn service_and_binding_drilldown() {
+        let r = registry();
+        let (biz, svc) = r.get_service_detail("svc-sched").unwrap();
+        assert_eq!(biz, "biz-acme");
+        assert_eq!(svc.name, "Scheduling");
+        let bt = r.get_binding_detail("b1").unwrap();
+        assert_eq!(bt.access_point, "https://acme.example");
+        assert!(r.get_service_detail("nope").is_err());
+        assert!(r.get_binding_detail("nope").is_err());
+    }
+
+    #[test]
+    fn assertions_require_reciprocity() {
+        let mut r = registry();
+        r.add_assertion(PublisherAssertion {
+            from_key: "biz-acme".into(),
+            to_key: "biz-beta".into(),
+            relationship: "peer-peer".into(),
+        });
+        // One-sided: not visible.
+        assert!(r.find_related_businesses("biz-acme").is_empty());
+        r.add_assertion(PublisherAssertion {
+            from_key: "biz-beta".into(),
+            to_key: "biz-acme".into(),
+            relationship: "peer-peer".into(),
+        });
+        assert_eq!(r.find_related_businesses("biz-acme"), vec!["biz-beta"]);
+        assert_eq!(r.find_related_businesses("biz-beta"), vec!["biz-acme"]);
+    }
+
+    #[test]
+    fn access_controlled_detail() {
+        let mut r = registry();
+        r.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("partner".into()),
+            ObjectSpec::Document("biz-acme".into()),
+            Privilege::Read,
+        ));
+        let partner = SubjectProfile::new("partner");
+        let stranger = SubjectProfile::new("stranger");
+        let view = r.get_business_detail_for("biz-acme", &partner).unwrap();
+        assert!(view.to_xml_string().contains("Acme"));
+        assert_eq!(
+            r.get_business_detail_for("biz-acme", &stranger).unwrap_err(),
+            RegistryError::AccessDenied
+        );
+    }
+
+    #[test]
+    fn access_controlled_portion_pruning() {
+        let mut r = registry();
+        // Partner may read everything except binding templates.
+        r.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("partner".into()),
+            ObjectSpec::Document("biz-acme".into()),
+            Privilege::Read,
+        ));
+        r.policies.add(Authorization::deny(
+            0,
+            SubjectSpec::Identity("partner".into()),
+            ObjectSpec::Portion {
+                document: "biz-acme".into(),
+                path: Path::parse("//bindingTemplates").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        let view = r
+            .get_business_detail_for("biz-acme", &SubjectProfile::new("partner"))
+            .unwrap();
+        let s = view.to_xml_string();
+        assert!(!s.contains("accessPoint"), "{s}");
+        assert!(s.contains("Scheduling"), "{s}");
+    }
+
+    #[test]
+    fn access_controlled_find_hides_unreadable() {
+        let mut r = registry();
+        r.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("partner".into()),
+            ObjectSpec::Document("biz-acme".into()),
+            Privilege::Read,
+        ));
+        let q = FindQualifier::NameApprox("".into());
+        let all = r.find_business(&q);
+        assert_eq!(all.len(), 2);
+        let partner_rows = r.find_business_for(&q, &SubjectProfile::new("partner"));
+        assert_eq!(partner_rows.len(), 1);
+        assert_eq!(partner_rows[0].business_key, "biz-acme");
+        assert!(r
+            .find_business_for(&q, &SubjectProfile::new("stranger"))
+            .is_empty());
+    }
+
+    #[test]
+    fn save_replaces() {
+        let mut r = registry();
+        let mut acme2 = BusinessEntity::new("biz-acme", "Acme Renamed");
+        acme2.description = "v2".into();
+        r.save_business(acme2);
+        assert_eq!(r.business_count(), 2);
+        assert_eq!(r.get_business_detail("biz-acme").unwrap().name, "Acme Renamed");
+    }
+}

@@ -1,0 +1,32 @@
+//! # websec-xml
+//!
+//! XML substrate for the `websec` workspace: an arena-based document model,
+//! a parser and serializer for a well-formed XML subset, an XPath-lite path
+//! language, and an in-memory document store.
+//!
+//! The paper treats XML as the representation layer of web databases: access
+//! control policies select *portions* of documents ("ranging from sets of
+//! documents, to single documents, to specific portions within a document"),
+//! so the model exposes stable node identities ([`NodeId`]), path selection
+//! down to attribute granularity ([`path::Path`]), view pruning
+//! ([`Document::prune_to_view`]) and canonical byte serialization used by the
+//! Merkle machinery in `websec-publish`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtd;
+pub mod index;
+pub mod node;
+pub mod parser;
+pub mod path;
+pub mod store;
+pub mod txn;
+
+pub use dtd::{Dtd, ElementDecl, Violation};
+pub use index::{IndexedDocument, NameIndex};
+pub use node::{Document, NodeId, NodeKind};
+pub use parser::ParseError;
+pub use path::{EvaluationTrace, Path, PathError, Selection};
+pub use store::DocumentStore;
+pub use txn::{Auction, AuctionState, Bid, TxnError, Version, VersionedStore};

@@ -1,0 +1,430 @@
+//! Recursive-descent parser for a well-formed XML subset.
+//!
+//! Supported: elements, attributes (single- or double-quoted), text content,
+//! the five predefined entities, numeric character references, comments,
+//! processing instructions and an XML declaration (both skipped), and a
+//! `<!DOCTYPE ...>` prolog (skipped). Not supported: namespaces-as-semantics
+//! (prefixes are kept verbatim in names), CDATA sections, DTD internal
+//! subsets.
+
+use crate::node::{Document, NodeId};
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal subset support).
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'>' {
+                        break;
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        while self.pos < self.input.len() {
+            if self.starts_with(end) {
+                self.bump(end.len());
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        self.err(format!("unterminated construct, expected '{end}'"))
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "name is not valid UTF-8".into(),
+            })?
+            .to_string();
+        if name.as_bytes()[0].is_ascii_digit() {
+            return self.err("names may not start with a digit");
+        }
+        Ok(name)
+    }
+
+    fn parse_reference(&mut self) -> Result<char, ParseError> {
+        // self.pos is at '&'
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b';' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() != Some(b';') {
+            return self.err("unterminated entity reference");
+        }
+        let body = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "entity is not valid UTF-8".into(),
+        })?;
+        self.pos += 1; // consume ';'
+        match body {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let code = u32::from_str_radix(&body[2..], 16).map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("bad hex character reference '&{body};'"),
+                })?;
+                char::from_u32(code).ok_or(ParseError {
+                    offset: start,
+                    message: format!("invalid code point {code}"),
+                })
+            }
+            _ if body.starts_with('#') => {
+                let code: u32 = body[1..].parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("bad character reference '&{body};'"),
+                })?;
+                char::from_u32(code).ok_or(ParseError {
+                    offset: start,
+                    message: format!("invalid code point {code}"),
+                })
+            }
+            _ => Err(ParseError {
+                offset: start,
+                message: format!("unknown entity '&{body};'"),
+            }),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(value);
+                }
+                Some(b'&') => value.push(self.parse_reference()?),
+                Some(b'<') => return self.err("'<' not allowed in attribute value"),
+                Some(_) => {
+                    let ch = self.next_char()?;
+                    value.push(ch);
+                }
+            }
+        }
+    }
+
+    fn next_char(&mut self) -> Result<char, ParseError> {
+        let rest = std::str::from_utf8(&self.input[self.pos..]).map_err(|_| ParseError {
+            offset: self.pos,
+            message: "input is not valid UTF-8".into(),
+        })?;
+        let ch = rest.chars().next().ok_or(ParseError {
+            offset: self.pos,
+            message: "unexpected end of input".into(),
+        })?;
+        self.pos += ch.len_utf8();
+        Ok(ch)
+    }
+
+    /// Parses one element (cursor at `<`); adds it under `parent`.
+    fn parse_element(&mut self, doc: &mut Document, parent: Option<NodeId>) -> Result<NodeId, ParseError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let id = match parent {
+            Some(p) => doc.add_element(p, &name),
+            None => {
+                // The Document was created with this root name already.
+                doc.root()
+            }
+        };
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(id);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if doc.attribute(id, &attr_name).is_some() {
+                        return self.err(format!("duplicate attribute '{attr_name}'"));
+                    }
+                    doc.set_attribute(id, &attr_name, &value);
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err(format!("missing closing tag for <{name}>")),
+                Some(b'<') => {
+                    if !text.trim().is_empty() {
+                        doc.add_text(id, &text);
+                    }
+                    text.clear();
+                    if self.starts_with("</") {
+                        self.bump(2);
+                        let close = self.parse_name()?;
+                        if close != name {
+                            return self.err(format!(
+                                "mismatched closing tag: expected </{name}>, found </{close}>"
+                            ));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        return Ok(id);
+                    } else if self.starts_with("<!--") {
+                        self.skip_until("-->")?;
+                    } else if self.starts_with("<?") {
+                        self.skip_until("?>")?;
+                    } else {
+                        self.parse_element(doc, Some(id))?;
+                    }
+                }
+                Some(b'&') => text.push(self.parse_reference()?),
+                Some(_) => text.push(self.next_char()?),
+            }
+        }
+    }
+}
+
+impl Document {
+    /// Parses an XML string into a document.
+    pub fn parse(input: &str) -> Result<Document, ParseError> {
+        let mut p = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_misc()?;
+        if p.peek() != Some(b'<') {
+            return p.err("expected root element");
+        }
+        // Peek the root name to construct the Document.
+        let save = p.pos;
+        p.pos += 1;
+        let root_name = p.parse_name()?;
+        p.pos = save;
+        let mut doc = Document::new(&root_name);
+        p.parse_element(&mut doc, None)?;
+        p.skip_misc()?;
+        if p.pos != p.input.len() {
+            return p.err("trailing content after root element");
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn parse_simple() {
+        let d = Document::parse("<a><b x=\"1\">hi</b></a>").unwrap();
+        assert_eq!(d.name(d.root()), Some("a"));
+        let b = d.children(d.root()).next().unwrap();
+        assert_eq!(d.name(b), Some("b"));
+        assert_eq!(d.attribute(b, "x"), Some("1"));
+        assert_eq!(d.text_content(b), "hi");
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize() {
+        let src = "<catalog><item id=\"i1\"><price>10</price></item><item id=\"i2\"/></catalog>";
+        let d = Document::parse(src).unwrap();
+        assert_eq!(d.to_xml_string(), src);
+    }
+
+    #[test]
+    fn parses_declaration_comments_doctype() {
+        let src = "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE r><r><!-- inner -->x</r>";
+        let d = Document::parse(src).unwrap();
+        assert_eq!(d.text_content(d.root()), "x");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let d = Document::parse("<r a=\"&quot;q&quot;\">&lt;&amp;&gt; &#65;&#x42;</r>").unwrap();
+        assert_eq!(d.attribute(d.root(), "a"), Some("\"q\""));
+        assert_eq!(d.text_content(d.root()), "<&> AB");
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let d = Document::parse("<r a='v'/>").unwrap();
+        assert_eq!(d.attribute(d.root(), "a"), Some("v"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let d = Document::parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        let kinds: Vec<bool> = d
+            .children(d.root())
+            .map(|c| matches!(d.kind(c), NodeKind::Element { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, true]);
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let e = Document::parse("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn error_unterminated() {
+        assert!(Document::parse("<a><b>").is_err());
+        assert!(Document::parse("<a").is_err());
+    }
+
+    #[test]
+    fn error_duplicate_attribute() {
+        let e = Document::parse("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn error_trailing_content() {
+        let e = Document::parse("<a/><b/>").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_entity() {
+        assert!(Document::parse("<a>&bogus;</a>").is_err());
+    }
+
+    #[test]
+    fn error_digit_leading_name() {
+        assert!(Document::parse("<1a/>").is_err());
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut src = String::new();
+        for i in 0..100 {
+            src.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..100).rev() {
+            src.push_str(&format!("</n{i}>"));
+        }
+        let d = Document::parse(&src).unwrap();
+        assert_eq!(d.node_count(), 100);
+    }
+
+    #[test]
+    fn unicode_content() {
+        let d = Document::parse("<r>héllo wörld — ✓</r>").unwrap();
+        assert_eq!(d.text_content(d.root()), "héllo wörld — ✓");
+    }
+
+    #[test]
+    fn reparse_of_serialized_escapes() {
+        let mut d = Document::new("r");
+        d.add_text(d.root(), "a<b&c>d\"e");
+        let s = d.to_xml_string();
+        let d2 = Document::parse(&s).unwrap();
+        assert_eq!(d2.text_content(d2.root()), "a<b&c>d\"e");
+    }
+}

@@ -1,0 +1,221 @@
+//! In-memory document store with name lookup and cross-document queries.
+//!
+//! The paper's web database is "multiple data sources scattered across
+//! several sites"; the store models one site's XML database: named documents,
+//! collection membership, and path queries evaluated over one document, a
+//! collection, or the whole store.
+
+use crate::node::{Document, NodeId};
+use crate::path::Path;
+use std::collections::BTreeMap;
+
+/// A named collection of XML documents.
+#[derive(Default)]
+pub struct DocumentStore {
+    docs: BTreeMap<String, Document>,
+    collections: BTreeMap<String, Vec<String>>,
+}
+
+/// A query hit: document name plus selected node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Name of the document containing the node.
+    pub document: String,
+    /// The matched node.
+    pub node: NodeId,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a document under `name`.
+    pub fn insert(&mut self, name: &str, doc: Document) {
+        self.docs.insert(name.to_string(), doc);
+    }
+
+    /// Removes a document; returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Document> {
+        for members in self.collections.values_mut() {
+            members.retain(|m| m != name);
+        }
+        self.docs.remove(name)
+    }
+
+    /// Fetches a document by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Document> {
+        self.docs.get(name)
+    }
+
+    /// Mutable access to a document.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Document> {
+        self.docs.get_mut(name)
+    }
+
+    /// All document names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.docs.keys().map(String::as_str).collect()
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the store holds no documents.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Adds `doc_name` to collection `collection` (created on demand).
+    ///
+    /// # Panics
+    /// Panics if the document does not exist.
+    pub fn add_to_collection(&mut self, collection: &str, doc_name: &str) {
+        assert!(
+            self.docs.contains_key(doc_name),
+            "unknown document '{doc_name}'"
+        );
+        let members = self.collections.entry(collection.to_string()).or_default();
+        if !members.iter().any(|m| m == doc_name) {
+            members.push(doc_name.to_string());
+        }
+    }
+
+    /// Members of a collection (empty if unknown).
+    #[must_use]
+    pub fn collection(&self, name: &str) -> Vec<&str> {
+        self.collections
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Evaluates `path` over a single document.
+    #[must_use]
+    pub fn query_document(&self, doc_name: &str, path: &Path) -> Vec<Hit> {
+        match self.docs.get(doc_name) {
+            Some(doc) => path
+                .select_nodes(doc)
+                .into_iter()
+                .map(|node| Hit {
+                    document: doc_name.to_string(),
+                    node,
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Evaluates `path` over every document in the store.
+    #[must_use]
+    pub fn query_all(&self, path: &Path) -> Vec<Hit> {
+        self.docs
+            .keys()
+            .flat_map(|name| self.query_document(name, path))
+            .collect()
+    }
+
+    /// Evaluates `path` over the members of a collection.
+    #[must_use]
+    pub fn query_collection(&self, collection: &str, path: &Path) -> Vec<Hit> {
+        self.collection(collection)
+            .into_iter()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|name| self.query_document(&name, path))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocumentStore {
+        let mut s = DocumentStore::new();
+        s.insert(
+            "ward1.xml",
+            Document::parse("<ward><patient id=\"p1\"/><patient id=\"p2\"/></ward>").unwrap(),
+        );
+        s.insert(
+            "ward2.xml",
+            Document::parse("<ward><patient id=\"p3\"/></ward>").unwrap(),
+        );
+        s.insert(
+            "staff.xml",
+            Document::parse("<staff><doctor id=\"d1\"/></staff>").unwrap(),
+        );
+        s
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = store();
+        assert_eq!(s.len(), 3);
+        assert!(s.get("ward1.xml").is_some());
+        assert!(s.remove("ward1.xml").is_some());
+        assert!(s.get("ward1.xml").is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn query_single_document() {
+        let s = store();
+        let p = Path::parse("//patient").unwrap();
+        assert_eq!(s.query_document("ward1.xml", &p).len(), 2);
+        assert_eq!(s.query_document("missing.xml", &p).len(), 0);
+    }
+
+    #[test]
+    fn query_all_documents() {
+        let s = store();
+        let p = Path::parse("//patient").unwrap();
+        assert_eq!(s.query_all(&p).len(), 3);
+        let hits = s.query_all(&p);
+        let docs: std::collections::HashSet<&str> =
+            hits.iter().map(|h| h.document.as_str()).collect();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn collections() {
+        let mut s = store();
+        s.add_to_collection("wards", "ward1.xml");
+        s.add_to_collection("wards", "ward2.xml");
+        s.add_to_collection("wards", "ward1.xml"); // duplicate ignored
+        assert_eq!(s.collection("wards").len(), 2);
+        let p = Path::parse("//patient").unwrap();
+        assert_eq!(s.query_collection("wards", &p).len(), 3);
+        assert_eq!(s.query_collection("unknown", &p).len(), 0);
+    }
+
+    #[test]
+    fn remove_cleans_collections() {
+        let mut s = store();
+        s.add_to_collection("wards", "ward1.xml");
+        s.remove("ward1.xml");
+        assert!(s.collection("wards").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown document")]
+    fn collection_requires_existing_doc() {
+        let mut s = store();
+        s.add_to_collection("wards", "nope.xml");
+    }
+
+    #[test]
+    fn names_sorted() {
+        let s = store();
+        assert_eq!(s.names(), vec!["staff.xml", "ward1.xml", "ward2.xml"]);
+    }
+}

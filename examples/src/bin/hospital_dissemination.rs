@@ -1,0 +1,117 @@
+//! Secure and selective dissemination (§4.1): one encrypted broadcast, many
+//! differently-authorized subscribers.
+//!
+//! Run with: `cargo run -p websec-examples --bin hospital_dissemination`
+//!
+//! A hospital pushes its ward report to every subscriber as a single
+//! encrypted package. Regions of the document are encrypted under keys
+//! derived from the access control policies — "all the entry portions to
+//! which the same policies apply are encrypted with the same key" — and
+//! each subscriber holds exactly the keys its policies entitle it to.
+
+use websec_core::prelude::*;
+
+fn main() {
+    let doc = Document::parse(
+        "<wardReport date=\"2004-03-14\">\
+           <patients>\
+             <patient id=\"p1\"><name>Alice</name><treatment>chemo</treatment></patient>\
+             <patient id=\"p2\"><name>Bob</name><treatment>physio</treatment></patient>\
+           </patients>\
+           <pharmacy><order drug=\"cisplatin\" qty=\"12\"/></pharmacy>\
+           <finance><cost center=\"onco\">50000</cost></finance>\
+         </wardReport>",
+    )
+    .expect("well-formed");
+
+    // --- policies define the regions -------------------------------------
+    let mut store = PolicyStore::new();
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("dr-smith".into()),
+        ObjectSpec::Portion {
+            document: "ward.xml".into(),
+            path: Path::parse("//patients").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("pharmacist".into()),
+        ObjectSpec::Portion {
+            document: "ward.xml".into(),
+            path: Path::parse("//pharmacy").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("cfo".into()),
+        ObjectSpec::Portion {
+            document: "ward.xml".into(),
+            path: Path::parse("//finance").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    // The CFO also sees pharmacy orders (overlapping region).
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("cfo".into()),
+        ObjectSpec::Portion {
+            document: "ward.xml".into(),
+            path: Path::parse("//pharmacy").unwrap(),
+        },
+        Privilege::Read,
+    ));
+
+    // --- partition, derive keys, seal --------------------------------------
+    let map = RegionMap::build(&store, "ward.xml", &doc);
+    println!(
+        "Document partitioned into {} policy-equivalence regions ({} undisclosed nodes):",
+        map.key_count(),
+        map.undisclosed_nodes
+    );
+    for region in &map.regions {
+        println!(
+            "  region {:?}: {} records, granted by policies {:?}",
+            region.id,
+            region.records.len(),
+            region.policies
+        );
+    }
+
+    let authority = KeyAuthority::new("ward.xml", [7u8; 32]);
+    let package = DissemPackage::seal(&map, b"broadcast-2004-03-14", |r| {
+        authority.region_key(&map, r.id)
+    });
+    println!(
+        "\nSealed broadcast package: {} encrypted regions, {} bytes total\n",
+        package.regions.len(),
+        package.size_bytes()
+    );
+
+    // --- subscribers open what they can ------------------------------------
+    for identity in ["dr-smith", "pharmacist", "cfo", "outsider"] {
+        let profile = SubjectProfile::new(identity);
+        let keyring = authority.keys_for(&store, &map, &profile);
+        print!("{identity} ({} keys): ", keyring.len());
+        match package.open(&keyring) {
+            Ok(view) => println!("{}", view.to_xml_string()),
+            Err(e) => println!("cannot open package: {e}"),
+        }
+    }
+
+    // --- tampering is detected ----------------------------------------------
+    let mut tampered = package.clone();
+    tampered.regions[0].ciphertext[0] ^= 0xFF;
+    let profile = SubjectProfile::new("dr-smith");
+    let keyring = authority.keys_for(&store, &map, &profile);
+    let pharm_keyring = authority.keys_for(&store, &map, &SubjectProfile::new("pharmacist"));
+    println!("\nAfter in-transit tampering with region 0:");
+    for (who, kr) in [("dr-smith", &keyring), ("pharmacist", &pharm_keyring)] {
+        match tampered.open(kr) {
+            Ok(_) => println!("  {who}: opened (region 0 not in their keyring)"),
+            Err(e) => println!("  {who}: rejected — {e}"),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Quickstart: credential-based access control over an XML web database.
+//!
+//! Run with: `cargo run -p websec-examples --bin quickstart`
+//!
+//! Builds a small hospital document, defines role/credential policies at
+//! several granularities (the paper's §3.1–3.2), and prints the views three
+//! different subjects are authorized to see.
+
+use websec_core::prelude::*;
+
+fn main() {
+    // --- the web database -----------------------------------------------
+    let doc = Document::parse(
+        "<hospital>\
+           <patient id=\"p1\" ssn=\"123-45-6789\">\
+             <name>Alice</name><ward>oncology</ward><record severity=\"high\">carcinoma</record>\
+           </patient>\
+           <patient id=\"p2\" ssn=\"987-65-4321\">\
+             <name>Bob</name><ward>general</ward><record severity=\"low\">sprain</record>\
+           </patient>\
+           <admin><budget currency=\"EUR\">1200000</budget></admin>\
+         </hospital>",
+    )
+    .expect("well-formed document");
+    println!("Document ({} nodes):\n  {}\n", doc.node_count(), doc.to_xml_string());
+
+    // --- subjects: identity, role, credential -----------------------------
+    let mut store = PolicyStore::new();
+    store
+        .hierarchy
+        .add_seniority(Role::new("chief-of-medicine"), Role::new("doctor"));
+
+    // Credential issuance (signed with the workspace's hash-based scheme).
+    let mut rng = SecureRng::seeded(2024);
+    let mut issuer = CredentialIssuer::new("hospital-ca", &mut rng, 3);
+    let physician_cred = issuer
+        .issue(Credential::new("physician", "carol").with_attr("years", 12i64))
+        .expect("keys available");
+    assert!(
+        websec_core::policy::subject::verify_credential(&physician_cred, &issuer.public_key()),
+        "credential must verify"
+    );
+
+    // --- policies at different granularities ------------------------------
+    // 1. Doctors (and seniors) read all patient subtrees.
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::InRole(Role::new("doctor")),
+        ObjectSpec::Portion {
+            document: "hospital.xml".into(),
+            path: Path::parse("//patient").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    // 2. ...but SSNs are attribute-level denied to everyone except the chief.
+    store.add(Authorization::deny(
+        0,
+        SubjectSpec::InRole(Role::new("doctor")),
+        ObjectSpec::Portion {
+            document: "hospital.xml".into(),
+            path: Path::parse("//patient/@ssn").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store.add(
+        Authorization::grant(
+            0,
+            SubjectSpec::InRole(Role::new("chief-of-medicine")),
+            ObjectSpec::Portion {
+                document: "hospital.xml".into(),
+                path: Path::parse("//patient/@ssn").unwrap(),
+            },
+            Privilege::Read,
+        )
+        .with_priority(10),
+    );
+    // 3. Accountants see the admin subtree only.
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("dana-accounting".into()),
+        ObjectSpec::Portion {
+            document: "hospital.xml".into(),
+            path: Path::parse("/hospital/admin").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    // 4. Senior physicians (credential-qualified) read high-severity records.
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::WithCredentials(
+            CredentialExpr::OfType("physician".into())
+                .and(CredentialExpr::AttrGe("years".into(), 10)),
+        ),
+        ObjectSpec::Portion {
+            document: "hospital.xml".into(),
+            path: Path::parse("//record[@severity='high']").unwrap(),
+        },
+        Privilege::Read,
+    ));
+
+    let engine = PolicyEngine::new(ConflictStrategy::ExplicitPriority);
+
+    // --- evaluate views ----------------------------------------------------
+    let subjects = [
+        (
+            "junior doctor (role: doctor)",
+            SubjectProfile::new("dr-jones").with_role(Role::new("doctor")),
+        ),
+        (
+            "chief of medicine (senior role)",
+            SubjectProfile::new("dr-house").with_role(Role::new("chief-of-medicine")),
+        ),
+        (
+            "accountant (identity policy)",
+            SubjectProfile::new("dana-accounting"),
+        ),
+        (
+            "senior physician (credential policy)",
+            SubjectProfile::new("carol").with_credential(physician_cred),
+        ),
+        ("stranger (no grants)", SubjectProfile::new("nobody")),
+    ];
+
+    for (label, profile) in &subjects {
+        let view = engine.compute_view(&store, profile, "hospital.xml", &doc);
+        println!("View for {label}:\n  {}\n", view.to_xml_string());
+    }
+
+    // --- single access checks -----------------------------------------------
+    let budget = Path::parse("//budget").unwrap().select_nodes(&doc)[0];
+    let decision = engine.check(
+        &store,
+        &subjects[0].1,
+        "hospital.xml",
+        &doc,
+        budget,
+        Privilege::Read,
+    );
+    println!("doctor reads <budget>? {decision:?}");
+    assert_eq!(decision, AccessDecision::Denied);
+}

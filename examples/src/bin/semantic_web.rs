@@ -1,0 +1,159 @@
+//! Securing the semantic web layer by layer (§3.2 and §5): RDF triples,
+//! RDFS inference, the syntactic-vs-semantic enforcement gap, reification,
+//! ontology labels, and policies written in RDF.
+//!
+//! Run with: `cargo run -p websec-examples --bin semantic_web`
+
+use websec_core::prelude::*;
+use websec_core::rdf::schema::rdfs;
+use websec_core::rdf::secure::vocab;
+use websec_core::rdf::store::rdf as rdf_ns;
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+fn main() {
+    inference_gap();
+    reification_protection();
+    ontology_labels();
+    policies_in_rdf();
+}
+
+/// The paper's central RDF-security point: protecting stored triples is not
+/// enough when the protected fact is *derivable*.
+fn inference_gap() {
+    println!("== Syntactic vs semantic enforcement ==");
+    let mut store = SecureStore::new();
+    store
+        .store
+        .insert(&t("CovertOperative", rdfs::SUB_CLASS_OF, "SecretAgent"));
+    store.store.insert(&t("agent-x", rdf_ns::TYPE, "CovertOperative"));
+    // Deny: nobody may learn who is a SecretAgent.
+    let probe = TriplePattern::new(
+        PatternTerm::Any,
+        PatternTerm::Const(Term::iri(rdf_ns::TYPE)),
+        PatternTerm::Const(Term::iri("SecretAgent")),
+    );
+    store.add_authorization(RdfAuthorization {
+        subject: SubjectSpec::Anyone,
+        pattern: probe.clone(),
+        sign: Sign::Minus,
+    });
+
+    let profile = SubjectProfile::new("adversary");
+    let ctx = SecurityContext::new();
+    let clearance = Clearance(Level::TopSecret);
+    for mode in [EnforcementMode::Syntactic, EnforcementMode::Semantic] {
+        let leak = store.leakage(&profile, clearance, &ctx, &probe, mode);
+        println!("  {mode:?}: adversary can still infer {leak} protected fact(s)");
+    }
+    println!("  (closing the channel requires also denying the implying typing —");
+    println!("   the leakage metric makes the residual inference channel visible)\n");
+}
+
+/// "What are the security implications of statements about statements?"
+fn reification_protection() {
+    println!("== Statements about statements (reification) ==");
+    let mut store = SecureStore::new();
+    let sensitive = t("informant-7", "reportsTo", "handler-3");
+    let stmt = store.store.reify(&sensitive);
+    println!("  reified {} as {stmt}", sensitive);
+    // The fact itself was never asserted; protect the reification quad.
+    store.add_authorization(RdfAuthorization {
+        subject: SubjectSpec::Anyone,
+        pattern: TriplePattern::new(
+            PatternTerm::Const(stmt.clone()),
+            PatternTerm::Any,
+            PatternTerm::Any,
+        ),
+        sign: Sign::Minus,
+    });
+    let visible = store.query_as(
+        &SubjectProfile::new("u"),
+        Clearance(Level::TopSecret),
+        &SecurityContext::new(),
+        &TriplePattern::new(PatternTerm::Any, PatternTerm::Any, PatternTerm::Any),
+        EnforcementMode::Syntactic,
+    );
+    println!("  triples visible to the public: {}\n", visible.len());
+    assert!(visible.is_empty());
+}
+
+/// §5: "ontologies may have security levels attached to them."
+fn ontology_labels() {
+    println!("== Ontology security levels ==");
+    let mut store = TripleStore::new();
+    store.insert(&t("FieldAgent", rdfs::SUB_CLASS_OF, "Employee"));
+    store.insert(&t("kim", rdf_ns::TYPE, "FieldAgent"));
+    store.insert(&t("kim", "stationedIn", "station-9"));
+    store.insert(&t("pat", rdf_ns::TYPE, "Accountant"));
+    store.insert(&t("pat", "worksIn", "finance"));
+
+    let mut guard = OntologyGuard::new();
+    guard.add_label(ClassLabel {
+        class: Term::iri("FieldAgent"),
+        label: websec_core::policy::mls::ContextLabel::fixed(Level::Secret),
+    });
+    let everything = TriplePattern::new(PatternTerm::Any, PatternTerm::Any, PatternTerm::Any);
+    for (who, clearance) in [("public", Level::Unclassified), ("analyst", Level::Secret)] {
+        let visible = guard.query(
+            &store,
+            &SubjectProfile::new(who),
+            clearance,
+            &SecurityContext::new(),
+            &everything,
+        );
+        let mentions_kim = visible.iter().any(|tr| tr.s == Term::iri("kim"));
+        println!(
+            "  {who} (clearance {clearance:?}): {} triples visible, kim visible: {mentions_kim}",
+            visible.len()
+        );
+    }
+    println!();
+}
+
+/// "Can we specify security policies in RDF?" — yes: the policy itself is a
+/// graph, loaded into the enforcement engine.
+fn policies_in_rdf() {
+    println!("== Policies expressed in RDF ==");
+    let mut policy_graph = TripleStore::new();
+    let pol = Term::iri("http://example.org/policy/salary-privacy");
+    policy_graph.insert(&Triple::new(
+        pol.clone(),
+        Term::iri(rdf_ns::TYPE),
+        Term::iri(vocab::POLICY),
+    ));
+    policy_graph.insert(&Triple::new(
+        pol.clone(),
+        Term::iri(vocab::APPLIES_TO),
+        Term::lit("contractor"),
+    ));
+    policy_graph.insert(&Triple::new(
+        pol.clone(),
+        Term::iri(vocab::PATTERN_P),
+        Term::iri("salary"),
+    ));
+    policy_graph.insert(&Triple::new(pol, Term::iri(vocab::SIGN), Term::lit("deny")));
+
+    let mut store = SecureStore::new();
+    store.store.insert(&t("alice", "salary", "100k"));
+    store.store.insert(&t("alice", "office", "b-204"));
+    store.load_policies_from_rdf(&policy_graph);
+    println!("  loaded {} authorization(s) from the policy graph", store.authorization_count());
+
+    let everything = TriplePattern::new(PatternTerm::Any, PatternTerm::Any, PatternTerm::Any);
+    for who in ["contractor", "hr-officer"] {
+        let visible = store.query_as(
+            &SubjectProfile::new(who),
+            Clearance(Level::TopSecret),
+            &SecurityContext::new(),
+            &everything,
+            EnforcementMode::Syntactic,
+        );
+        println!("  {who} sees {} triple(s):", visible.len());
+        for v in &visible {
+            println!("    {v}");
+        }
+    }
+}

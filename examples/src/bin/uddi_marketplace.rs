@@ -1,0 +1,99 @@
+//! Third-party UDDI marketplace (§2.2 / §4.1): untrusted discovery agency,
+//! Merkle summary signatures, and requestor-side verification.
+//!
+//! Run with: `cargo run -p websec-examples --bin uddi_marketplace`
+
+use websec_core::prelude::*;
+use websec_core::uddi::{BindingTemplate, KeyedReference};
+use websec_core::publish::VerifyError;
+
+fn main() {
+    let mut rng = SecureRng::seeded(77);
+
+    // --- providers sign their entries ---------------------------------------
+    let mut acme = ServiceProvider::new("acme-corp", &mut rng, 4);
+    let mut globex = ServiceProvider::new("globex", &mut rng, 4);
+    let mut agency = UntrustedAgency::new();
+
+    let mut acme_entry = BusinessEntity::new("biz-acme", "Acme Healthcare Services");
+    acme_entry.description = "Clinical web services".into();
+    acme_entry.category_bag.push(KeyedReference {
+        tmodel_key: "uddi:naics".into(),
+        key_name: "sector".into(),
+        key_value: "62".into(),
+    });
+    let mut scheduling = BusinessService::new("svc-sched", "Appointment Scheduling");
+    scheduling.binding_templates.push(BindingTemplate {
+        binding_key: "bind-1".into(),
+        access_point: "https://acme.example/soap/scheduling".into(),
+        description: "production endpoint".into(),
+        tmodel_keys: vec!["uddi:tm-sched-v1".into()],
+    });
+    acme_entry.services.push(scheduling);
+    acme.publish_to(&mut agency, &acme_entry).expect("signing keys");
+
+    let mut globex_entry = BusinessEntity::new("biz-globex", "Globex Logistics");
+    globex_entry
+        .services
+        .push(BusinessService::new("svc-track", "Parcel Tracking"));
+    globex
+        .publish_to(&mut agency, &globex_entry)
+        .expect("signing keys");
+
+    println!("Agency hosts {} signed entries.\n", agency.len());
+
+    // --- browse-pattern inquiry (find_xxx) -----------------------------------
+    let hits = agency.find_business(&FindQualifier::NameApprox("acme".into()));
+    println!("find_business(name≈'acme'):");
+    for h in &hits {
+        println!("  {} — {}", h.business_key, h.name);
+    }
+
+    // --- drill-down with verification (get_xxx) ------------------------------
+    let path = Path::parse("/businessEntity").unwrap();
+    let answer = agency
+        .get_detail("biz-acme", &path)
+        .expect("entry exists");
+    println!(
+        "\nDrill-down answer: {} revealed nodes, verification object {} bytes",
+        answer.revealed.len(),
+        answer.verification_object_size()
+    );
+    let verified =
+        websec_core::uddi::auth::verify_entry(&answer, &acme.public_key(), "biz-acme", &path)
+            .expect("honest agency verifies");
+    println!("Verified entry:\n  {}\n", verified.view.to_xml_string());
+
+    // --- a malicious agency rewrites the access point -------------------------
+    let mut forged = answer.clone();
+    for (_, content) in &mut forged.revealed {
+        let text = String::from_utf8_lossy(content).to_string();
+        if text.contains("acme.example") {
+            *content = text.replace("acme.example", "evil.example").into_bytes();
+        }
+    }
+    match websec_core::uddi::auth::verify_entry(&forged, &acme.public_key(), "biz-acme", &path) {
+        Err(VerifyError::ContentMismatch(leaf)) => {
+            println!("Hijack attempt detected: content mismatch at leaf {leaf} — the requestor rejects the answer.")
+        }
+        Err(e) => println!("Hijack attempt detected: {e}"),
+        Ok(_) => unreachable!("tampering must not verify"),
+    }
+
+    // --- partial disclosure: service names without binding details ------------
+    let names_path =
+        Path::parse("/businessEntity/businessServices/businessService/name").unwrap();
+    let partial = agency.get_detail("biz-acme", &names_path).expect("entry");
+    let view = websec_core::uddi::auth::verify_entry(
+        &partial,
+        &acme.public_key(),
+        "biz-acme",
+        &names_path,
+    )
+    .expect("verifies");
+    println!(
+        "\nPartial (names-only) verified view — bindings stay confidential:\n  {}",
+        view.view.to_xml_string()
+    );
+    assert!(!view.view.to_xml_string().contains("accessPoint"));
+}

@@ -1,0 +1,93 @@
+//! Web transaction models (§2.1): open-bid auctions without locking, over
+//! an optimistic versioned store, with DTD-validated catalogue entries.
+//!
+//! Run with: `cargo run -p websec-examples --bin web_auction`
+//!
+//! "Various items may be sold through the Internet. In this case, the item
+//! should not be locked immediately when a potential buyer makes a bid. It
+//! has to be left open until several bids are received and the item is
+//! sold."
+
+use websec_core::xml::dtd::ElementDecl;
+use websec_core::xml::{Auction, AuctionState, Document, Dtd, VersionedStore};
+
+fn main() {
+    // --- catalogue integrity: DTD-lite validation on ingest ---------------
+    let dtd = Dtd::new("item")
+        .declare(
+            "item",
+            ElementDecl::default()
+                .with_children(&["title", "seller"])
+                .require_attrs(&["sku"]),
+        )
+        .declare("title", ElementDecl::default().with_text())
+        .declare("seller", ElementDecl::default().with_text());
+
+    let listing = Document::parse(
+        "<item sku=\"lamp-1\"><title>Antique lamp</title><seller>alice</seller></item>",
+    )
+    .expect("well-formed");
+    let violations = dtd.validate(&listing);
+    println!("listing validation: {} violations", violations.len());
+    assert!(violations.is_empty());
+
+    let bad_listing = Document::parse("<item><title>No SKU!</title><price>9</price></item>")
+        .expect("well-formed");
+    println!("a malformed listing is quarantined:");
+    for v in dtd.validate(&bad_listing) {
+        println!("  - {v}");
+    }
+
+    // --- the versioned catalogue -------------------------------------------
+    let mut store = VersionedStore::new();
+    store.put("lamp-1", listing);
+
+    // Concurrent description edits: optimistic, first committer wins.
+    let (v_a, mut doc_a) = store.read("lamp-1").unwrap();
+    let (v_b, mut doc_b) = store.read("lamp-1").unwrap();
+    doc_a.set_attribute(doc_a.root(), "condition", "good");
+    doc_b.set_attribute(doc_b.root(), "condition", "mint");
+    store.commit("lamp-1", v_a, doc_a).unwrap();
+    match store.commit("lamp-1", v_b, doc_b) {
+        Err(e) => println!("\nconcurrent edit detected: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    // --- the open-bid transaction --------------------------------------------
+    let mut auction = Auction::open("lamp-1", 100);
+    println!("\nauction open (reserve 100); bids arrive without locking the item:");
+    for (bidder, amount) in [("bob", 110), ("carol", 145), ("dave", 95), ("erin", 145)] {
+        match auction.place_bid(bidder, amount) {
+            Ok(()) => println!("  {bidder} bids {amount} — accepted (item still open)"),
+            Err(e) => println!("  {bidder} bids {amount} — rejected: {e}"),
+        }
+    }
+
+    // Atomic close: highest bid wins, earliest breaks the tie.
+    match auction.close() {
+        AuctionState::Sold { winner } => {
+            println!("\nsold to {} for {}", winner.bidder, winner.amount)
+        }
+        other => println!("\noutcome: {other:?}"),
+    }
+    if let Err(e) = auction.place_bid("latecomer", 999) {
+        println!("late bid rejected: {e}");
+    }
+
+    // Persist the outcome through the optimistic store.
+    auction.record_outcome(&mut store).unwrap();
+    let (version, doc) = store.read("lamp-1").unwrap();
+    println!(
+        "\ncatalogue v{}: {}",
+        version.0,
+        doc.to_xml_string()
+    );
+    println!(
+        "commit log: {:?}",
+        store
+            .log()
+            .iter()
+            .map(|(n, v)| format!("{n}@v{}", v.0))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: policy engine × regions × encrypted packages.
+//!
+//! The dissemination pipeline must agree with direct policy evaluation: a
+//! subscriber's decrypted view contains exactly the content the engine
+//! says it may read.
+
+use websec_core::prelude::*;
+
+fn hospital() -> Document {
+    Document::parse(
+        "<hospital>\
+           <patient id=\"p1\"><name>Alice</name><record>flu</record></patient>\
+           <patient id=\"p2\"><name>Bob</name><record>injury</record></patient>\
+           <staff><doctor id=\"d1\"><phone>555</phone></doctor></staff>\
+           <admin><budget>100</budget></admin>\
+         </hospital>",
+    )
+    .unwrap()
+}
+
+fn policies() -> PolicyStore {
+    let mut store = PolicyStore::new();
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("doctor".into()),
+        ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("//patient").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("doctor".into()),
+        ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("//staff").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("accountant".into()),
+        ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse("//admin").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    store
+}
+
+/// Every piece of text visible in the decrypted package view must also be
+/// visible in the engine-computed view, and vice versa.
+#[test]
+fn package_view_matches_engine_view() {
+    let doc = hospital();
+    let store = policies();
+    let engine = PolicyEngine::default();
+    let map = RegionMap::build(&store, "h.xml", &doc);
+    let authority = KeyAuthority::new("h.xml", [1u8; 32]);
+    let package = DissemPackage::seal(&map, b"t1", |r| authority.region_key(&map, r.id));
+
+    for identity in ["doctor", "accountant"] {
+        let profile = SubjectProfile::new(identity);
+        let engine_view = engine.compute_view(&store, &profile, "h.xml", &doc);
+        let keyring = authority.keys_for(&store, &map, &profile);
+        let package_view = package.open(&keyring).unwrap();
+
+        // Text contents must coincide (structure may differ in shells).
+        let mut engine_text: Vec<String> = engine_view
+            .all_nodes()
+            .iter()
+            .filter_map(|&n| match engine_view.kind(n) {
+                websec_core::xml::NodeKind::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut package_text: Vec<String> = package_view
+            .all_nodes()
+            .iter()
+            .filter_map(|&n| match package_view.kind(n) {
+                websec_core::xml::NodeKind::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        engine_text.sort();
+        package_text.sort();
+        assert_eq!(engine_text, package_text, "subject {identity}");
+    }
+}
+
+#[test]
+fn no_region_leaks_across_subjects() {
+    let doc = hospital();
+    let store = policies();
+    let map = RegionMap::build(&store, "h.xml", &doc);
+    let authority = KeyAuthority::new("h.xml", [1u8; 32]);
+    let package = DissemPackage::seal(&map, b"t2", |r| authority.region_key(&map, r.id));
+
+    let accountant = authority.keys_for(&store, &map, &SubjectProfile::new("accountant"));
+    let view = package.open(&accountant).unwrap();
+    let xml = view.to_xml_string();
+    assert!(xml.contains("budget"));
+    for secret in ["Alice", "Bob", "flu", "injury", "555"] {
+        assert!(!xml.contains(secret), "leaked {secret}: {xml}");
+    }
+}
+
+#[test]
+fn key_count_is_minimal() {
+    // Number of keys equals the number of distinct non-empty policy sets,
+    // not the number of subjects or policies.
+    let doc = hospital();
+    let mut store = policies();
+    // Add three more identities sharing the same patient policy shape.
+    for who in ["d2", "d3", "d4"] {
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity((*who).into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+    }
+    let map = RegionMap::build(&store, "h.xml", &doc);
+    // Regions: {patients: doctor+d2+d3+d4}, {staff: doctor}, {admin: accountant}.
+    assert_eq!(map.key_count(), 3);
+}
+
+#[test]
+fn revocation_changes_regions_and_keys() {
+    let doc = hospital();
+    let mut store = policies();
+    let map_before = RegionMap::build(&store, "h.xml", &doc);
+    let authority = KeyAuthority::new("h.xml", [1u8; 32]);
+    let doctor_keys_before =
+        authority.keys_for(&store, &map_before, &SubjectProfile::new("doctor"));
+    assert_eq!(doctor_keys_before.len(), 2);
+
+    // Revoke the staff grant.
+    let staff_auth = store.authorizations()[1].id;
+    assert!(store.revoke(staff_auth));
+    let map_after = RegionMap::build(&store, "h.xml", &doc);
+    let doctor_keys_after =
+        authority.keys_for(&store, &map_after, &SubjectProfile::new("doctor"));
+    assert_eq!(doctor_keys_after.len(), 1);
+
+    // The re-sealed package no longer contains the staff region at all.
+    let package = DissemPackage::seal(&map_after, b"t3", |r| {
+        authority.region_key(&map_after, r.id)
+    });
+    let view = package.open(&doctor_keys_after).unwrap();
+    assert!(!view.to_xml_string().contains("555"));
+}

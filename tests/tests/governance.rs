@@ -1,0 +1,227 @@
+//! Cross-crate integration: administered policies, XML-expressed privacy
+//! configuration, ontology security and the statistical gate.
+
+use websec_core::prelude::*;
+use websec_core::privacy::xml_config;
+use websec_core::rdf::schema::rdfs;
+use websec_core::rdf::store::rdf as rdf_vocab;
+
+/// Delegated administration drives the live policy base that the engine
+/// evaluates.
+#[test]
+fn delegated_administration_to_enforcement() {
+    let mut admin = AdministeredStore::new();
+    admin.register_owner("h.xml", "alice");
+    admin
+        .delegate_admin("alice", "h.xml", "bob", false)
+        .unwrap();
+
+    // Bob (delegate) grants a read to the doctors role.
+    let bob = SubjectProfile::new("bob");
+    admin
+        .try_add(
+            &bob,
+            Authorization::grant(
+                0,
+                SubjectSpec::InRole(Role::new("doctor")),
+                ObjectSpec::Document("h.xml".into()),
+                Privilege::Read,
+            ),
+        )
+        .unwrap();
+    // Mallory cannot.
+    let mallory = SubjectProfile::new("mallory");
+    assert!(admin
+        .try_add(
+            &mallory,
+            Authorization::grant(
+                0,
+                SubjectSpec::Identity("mallory".into()),
+                ObjectSpec::Document("h.xml".into()),
+                Privilege::Read,
+            ),
+        )
+        .is_err());
+
+    // The grant is live in the engine.
+    let doc = Document::parse("<hospital><patient/></hospital>").unwrap();
+    let engine = PolicyEngine::default();
+    let doctor = SubjectProfile::new("dr-x").with_role(Role::new("doctor"));
+    assert_eq!(
+        engine.check(&admin.store, &doctor, "h.xml", &doc, doc.root(), Privilege::Read),
+        AccessDecision::Granted
+    );
+}
+
+/// Privacy constraints shipped as XML configure a live inference
+/// controller ("XML may be extended to include privacy constraints").
+#[test]
+fn xml_constraints_drive_inference_controller() {
+    let config = Document::parse(
+        "<privacyConstraints>\
+           <constraint level=\"private\">\
+             <attribute>name</attribute><attribute>diagnosis</attribute>\
+           </constraint>\
+         </privacyConstraints>",
+    )
+    .unwrap();
+    let constraints = xml_config::constraints_from_xml(&config).unwrap();
+
+    let mut table = Table::new("patients", &["id", "name", "diagnosis"]);
+    table.insert(vec![1i64.into(), "Alice".into(), "flu".into()]);
+    let mut controller = InferenceController::new(table, "id", constraints);
+
+    let d = controller.execute("analyst", &Query::select(&["name", "diagnosis"]));
+    assert!(matches!(d, QueryDecision::Sanitized { .. }), "{d:?}");
+}
+
+/// A P3P policy survives the full wire path: build → XML → text → parse →
+/// preference check.
+#[test]
+fn p3p_policy_over_the_wire() {
+    use websec_core::privacy::{DataCategory, PolicyMatch, Purpose, Recipient, Retention, Statement};
+    let policy = PrivacyPolicy::new("svc").with_statement(Statement {
+        categories: vec![DataCategory::Behaviour],
+        purpose: Purpose::Profiling,
+        recipient: Recipient::ThirdParty,
+        retention: Retention::Indefinite,
+    });
+    let wire = xml_config::policy_to_xml(&policy).to_xml_string();
+    let received = xml_config::policy_from_xml(&Document::parse(&wire).unwrap()).unwrap();
+    let prefs = UserPreferences::permissive().cap(
+        DataCategory::Behaviour,
+        Purpose::Admin,
+        Recipient::Ours,
+        Retention::Legal,
+    );
+    assert!(matches!(prefs.check(&received), PolicyMatch::Rejected(_)));
+}
+
+/// Ontology-level protection composes with the plain triple store: the
+/// guard blocks instance data of protected classes even when typed only
+/// through subclasses.
+#[test]
+fn ontology_guard_over_shared_store() {
+    let mut store = TripleStore::new();
+    let t = |s: &str, p: &str, o: &str| {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    };
+    store.insert(&t("VipPatient", rdfs::SUB_CLASS_OF, "Patient"));
+    store.insert(&t("p-9", rdf_vocab::TYPE, "VipPatient"));
+    store.insert(&t("p-9", "admittedTo", "ward-3"));
+    store.insert(&t("visitor-1", "visited", "ward-3"));
+
+    let mut guard = OntologyGuard::new();
+    guard.add_authorization(ClassAuthorization {
+        subject: SubjectSpec::Anyone,
+        class: Term::iri("Patient"),
+        sign: Sign::Minus,
+    });
+    let everything = TriplePattern::new(PatternTerm::Any, PatternTerm::Any, PatternTerm::Any);
+    let visible = guard.query(
+        &store,
+        &SubjectProfile::new("u"),
+        Level::TopSecret,
+        &SecurityContext::new(),
+        &everything,
+    );
+    // Nothing about p-9 (a Patient via the subclass) is visible; the
+    // visitor triple and the schema triple are.
+    assert!(visible.iter().all(|tr| tr.s != Term::iri("p-9")), "{visible:?}");
+    assert!(visible.iter().any(|tr| tr.s == Term::iri("visitor-1")));
+}
+
+/// The statistical gate protects an aggregate reporting service: a
+/// tracker-style query pair is blocked.
+#[test]
+fn statistical_gate_blocks_tracker_pair() {
+    let mut table = Table::new("staff", &["id", "dept", "team", "salary"]);
+    for (id, dept, team, salary) in [
+        (1i64, "eng", "alpha", 100i64),
+        (2, "eng", "beta", 110),
+        (3, "eng", "beta", 120),
+        (4, "eng", "beta", 130),
+        (5, "ops", "gamma", 90),
+        (6, "ops", "gamma", 95),
+        (7, "ops", "gamma", 105),
+    ] {
+        table.insert(vec![id.into(), dept.into(), team.into(), salary.into()]);
+    }
+    let mut gate = StatisticalGate::new(table, 2);
+    let q_all_eng = AggregateQuery::sum("salary").filter("dept", "eng");
+    let q_beta = AggregateQuery::sum("salary")
+        .filter("dept", "eng")
+        .filter("team", "beta");
+    assert!(matches!(
+        gate.execute("snoop", &q_all_eng),
+        AggregateDecision::Answer(460)
+    ));
+    // Differs by exactly the alpha victim: blocked.
+    assert!(matches!(
+        gate.execute("snoop", &q_beta),
+        AggregateDecision::SuppressedDifferencing { overlap_gap: 1 }
+    ));
+}
+
+/// Auction outcomes recorded into a DTD-validated, versioned catalogue,
+/// then disseminated selectively: the full web-database lifecycle.
+#[test]
+fn auction_to_dissemination_lifecycle() {
+    // 1. A validated listing enters the versioned catalogue.
+    let listing =
+        Document::parse("<item sku=\"lamp\"><title>Lamp</title></item>").unwrap();
+    let dtd = websec_core::xml::Dtd::new("item")
+        .declare(
+            "item",
+            websec_core::xml::dtd::ElementDecl::default()
+                .with_children(&["title"])
+                .require_attrs(&["sku"]),
+        )
+        .declare(
+            "title",
+            websec_core::xml::dtd::ElementDecl::default().with_text(),
+        );
+    assert!(dtd.is_valid(&listing));
+    let mut catalogue = VersionedStore::new();
+    catalogue.put("lamp", listing);
+
+    // 2. The auction runs and commits its outcome.
+    let mut auction = Auction::open("lamp", 50);
+    auction.place_bid("bob", 80).unwrap();
+    auction.close();
+    auction.record_outcome(&mut catalogue).unwrap();
+
+    // 3. The sold record is disseminated: buyers see price, the public
+    //    does not.
+    let (_, sold_doc) = catalogue.read("lamp").unwrap();
+    let mut store = PolicyStore::new();
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("auditor".into()),
+        ObjectSpec::Document("lamp".into()),
+        Privilege::Read,
+    ));
+    store.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Portion {
+            document: "lamp".into(),
+            path: Path::parse("/item/title").unwrap(),
+        },
+        Privilege::Read,
+    ));
+    let map = RegionMap::build(&store, "lamp", &sold_doc);
+    let authority = KeyAuthority::new("lamp", [3u8; 32]);
+    let package = DissemPackage::seal(&map, b"post-sale", |r| authority.region_key(&map, r.id));
+
+    let auditor_view = package
+        .open(&authority.keys_for(&store, &map, &SubjectProfile::new("auditor")))
+        .unwrap();
+    assert!(auditor_view.to_xml_string().contains("buyer"));
+    let public_view = package
+        .open(&authority.keys_for(&store, &map, &SubjectProfile::new("public")))
+        .unwrap();
+    let s = public_view.to_xml_string();
+    assert!(s.contains("Lamp"), "{s}");
+    assert!(!s.contains("bob"), "{s}");
+}

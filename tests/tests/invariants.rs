@@ -1,0 +1,177 @@
+//! Property-based invariants across subsystems: RDFS closure laws,
+//! dissemination confidentiality, statistical-gate safety, secure-query
+//! strategy equivalence.
+
+use proptest::prelude::*;
+use websec_core::prelude::*;
+use websec_core::rdf::schema::rdfs;
+use websec_core::rdf::store::rdf as rdf_ns;
+
+fn iri(i: u8) -> Term {
+    Term::iri(&format!("r{i}"))
+}
+
+/// Strategy: a random small RDF graph mixing schema and instance triples.
+fn arb_graph() -> impl Strategy<Value = TripleStore> {
+    proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 1..25).prop_map(|edges| {
+        let mut store = TripleStore::new();
+        for (s, p, o) in edges {
+            let pred = match p {
+                0 => Term::iri(rdfs::SUB_CLASS_OF),
+                1 => Term::iri(rdf_ns::TYPE),
+                2 => Term::iri("knows"),
+                _ => Term::iri(rdfs::SUB_PROPERTY_OF),
+            };
+            store.insert(&Triple::new(iri(s), pred, iri(o)));
+        }
+        store
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Closure laws: contains the input, idempotent, monotone.
+    #[test]
+    fn closure_laws(graph in arb_graph()) {
+        let closed = Schema::closure(&graph);
+        // Contains the input.
+        for t in graph.all() {
+            prop_assert!(closed.contains(&t));
+        }
+        // Idempotent.
+        let twice = Schema::closure(&closed);
+        prop_assert_eq!(closed.len(), twice.len());
+        // Monotone: adding a triple never shrinks the closure.
+        let mut bigger = graph.clone();
+        bigger.insert(&Triple::new(iri(0), Term::iri(rdfs::SUB_CLASS_OF), iri(7)));
+        let closed_bigger = Schema::closure(&bigger);
+        prop_assert!(closed_bigger.len() >= closed.len());
+        for t in closed.all() {
+            prop_assert!(closed_bigger.contains(&t));
+        }
+    }
+
+    /// Dissemination confidentiality: whatever policies exist, a subject
+    /// with no matching policy opens nothing, and any subject's view text
+    /// is a subset of the document's text.
+    #[test]
+    fn dissemination_confidentiality(
+        patient_count in 1usize..6,
+        granted_subjects in proptest::collection::vec(0u8..4, 0..4),
+    ) {
+        let mut xml = String::from("<hospital>");
+        for i in 0..patient_count {
+            xml.push_str(&format!("<patient id=\"p{i}\"><name>N{i}</name></patient>"));
+        }
+        xml.push_str("</hospital>");
+        let doc = Document::parse(&xml).unwrap();
+
+        let mut store = PolicyStore::new();
+        for (k, &s) in granted_subjects.iter().enumerate() {
+            store.add(Authorization::grant(
+                0,
+                SubjectSpec::Identity(format!("user-{s}")),
+                ObjectSpec::Portion {
+                    document: "d".into(),
+                    path: Path::parse(&format!("//patient[@id='p{}']", k % patient_count))
+                        .unwrap(),
+                },
+                Privilege::Read,
+            ));
+        }
+        let map = RegionMap::build(&store, "d", &doc);
+        let authority = KeyAuthority::new("d", [9u8; 32]);
+        let package = DissemPackage::seal(&map, b"prop", |r| authority.region_key(&map, r.id));
+
+        // A subject with no grants opens nothing.
+        let stranger = authority.keys_for(&store, &map, &SubjectProfile::new("stranger"));
+        prop_assert!(stranger.is_empty());
+
+        // Every granted subject's view mentions only its own patients.
+        for &s in &granted_subjects {
+            let profile = SubjectProfile::new(&format!("user-{s}"));
+            let keyring = authority.keys_for(&store, &map, &profile);
+            if keyring.is_empty() {
+                continue;
+            }
+            let view = package.open(&keyring).unwrap();
+            let text = view.to_xml_string();
+            // Whatever is visible must exist in the original.
+            for i in 0..patient_count {
+                let marker = format!("N{i}");
+                if text.contains(&marker) {
+                    // The subject must hold a grant on patient i.
+                    let entitled = granted_subjects
+                        .iter()
+                        .enumerate()
+                        .any(|(k, &gs)| gs == s && k % patient_count == i);
+                    prop_assert!(entitled, "user-{s} sees {marker} without a grant");
+                }
+            }
+        }
+    }
+
+    /// The statistical gate never answers a query over fewer than k rows
+    /// (or its complement), for any query in the equality language.
+    #[test]
+    fn statistical_gate_small_sets_never_answered(
+        k in 2usize..5,
+        dept_of in proptest::collection::vec(0u8..4, 6..20),
+        probe_dept in 0u8..4,
+    ) {
+        let mut table = Table::new("staff", &["id", "dept", "salary"]);
+        for (i, &d) in dept_of.iter().enumerate() {
+            table.insert(vec![
+                (i as i64).into(),
+                format!("d{d}").as_str().into(),
+                (100 + i as i64).into(),
+            ]);
+        }
+        let n = table.len();
+        let mut gate = StatisticalGate::new(table, k);
+        let q = AggregateQuery::sum("salary").filter("dept", format!("d{probe_dept}").as_str());
+        let matching = dept_of.iter().filter(|&&d| d == probe_dept).count();
+        let decision = gate.execute("subject", &q);
+        if matching < k || n - matching < k {
+            prop_assert!(
+                !matches!(decision, AggregateDecision::Answer(_)),
+                "answered a {matching}-row set with k={k}: {decision:?}"
+            );
+        } else {
+            prop_assert!(matches!(decision, AggregateDecision::Answer(_)));
+        }
+    }
+
+    /// Secure query processing: the two strategies agree on arbitrary
+    /// policy bases (closed under the generators used by E1).
+    #[test]
+    fn query_strategies_agree(
+        rules in proptest::collection::vec((any::<bool>(), 0u8..3), 0..5),
+        query_name in 0u8..3,
+    ) {
+        let doc = Document::parse(
+            "<r><n0 a=\"1\"><n1>x</n1></n0><n1><n2/></n1><n2>y</n2></r>",
+        )
+        .unwrap();
+        let mut store = PolicyStore::new();
+        for (grant, name) in &rules {
+            let object = ObjectSpec::Portion {
+                document: "d".into(),
+                path: Path::parse(&format!("//n{name}")).unwrap(),
+            };
+            let auth = if *grant {
+                Authorization::grant(0, SubjectSpec::Anyone, object, Privilege::Read)
+            } else {
+                Authorization::deny(0, SubjectSpec::Anyone, object, Privilege::Read)
+            };
+            store.add(auth);
+        }
+        let processor = SecureQueryProcessor::new(&store, PolicyEngine::default());
+        let profile = SubjectProfile::new("u");
+        let path = Path::parse(&format!("//n{query_name}")).unwrap();
+        let a = processor.query(&profile, "d", &doc, &path, QueryStrategy::ViewFirst);
+        let b = processor.query(&profile, "d", &doc, &path, QueryStrategy::FilterAfter);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration for the privacy-preserving mining stack:
+//! distributed candidate generation → secure global supports → rules, and
+//! the randomization→reconstruction→classification pipeline end to end.
+
+use websec_core::mining::multiparty::union;
+use websec_core::prelude::*;
+
+/// The full FDM-style distributed association pipeline: sites agree on
+/// candidates through the pseudonymized union, then compute global
+/// supports via secure sums, and the resulting frequent set matches the
+/// centralized computation.
+#[test]
+fn distributed_association_matches_centralized() {
+    let sites = vec![
+        zipf_baskets(10, 2_000, 25, 5, 1.25),
+        zipf_baskets(11, 1_500, 25, 5, 1.25),
+        zipf_baskets(12, 2_500, 25, 5, 1.25),
+    ];
+    let miners = DistributedMiners::new(sites);
+    let pooled = miners.pooled();
+    let min_support = 0.08;
+
+    // 1. Candidates via pseudonymized union.
+    let key = [17u8; 32];
+    let candidates = miners.global_candidates(&key, min_support);
+
+    // 2. Global support per candidate via secure sum; keep the frequent.
+    let mut distributed_frequent: Vec<u64> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| miners.global_support(23 + i, &[i as usize]) >= min_support)
+        .collect();
+    distributed_frequent.sort_unstable();
+
+    // 3. Centralized baseline.
+    let mut centralized: Vec<u64> = (0..25u64)
+        .filter(|&i| pooled.support(&[i as usize]) >= min_support)
+        .collect();
+    centralized.sort_unstable();
+
+    assert_eq!(distributed_frequent, centralized);
+}
+
+/// The union's privacy property in the integration setting: a coordinator
+/// holding only blinded sets cannot identify any item without the shared
+/// key.
+#[test]
+fn coordinator_learns_only_cardinalities() {
+    let key = [5u8; 32];
+    let site_a = union::blind(&key, &[3, 7, 9]);
+    let site_b = union::blind(&key, &[7, 11]);
+    let unioned = union::coordinate(&[site_a.clone(), site_b.clone()]);
+    // Cardinalities are visible...
+    assert_eq!(site_a.len(), 3);
+    assert_eq!(site_b.len(), 2);
+    assert_eq!(unioned.len(), 4);
+    // ...items are not: a key-less unblind over the whole universe yields
+    // nothing.
+    assert!(union::unblind(&[0u8; 32], &unioned, &(0..1000).collect::<Vec<_>>()).is_empty());
+}
+
+/// Randomize → reconstruct → train: the privacy pipeline preserves
+/// downstream utility (classification) while individual records stay
+/// distorted.
+#[test]
+fn privacy_pipeline_preserves_utility() {
+    use websec_core::mining::{classification_experiment, synthetic_task};
+    let (train, test) = synthetic_task(99, 2_500);
+    let noise = NoiseModel::Uniform { alpha: 35.0 };
+    let acc = classification_experiment(&train, &test, &noise, 3, 10, (0.0, 100.0));
+    assert!(acc.original > 0.9);
+    assert!(
+        acc.reconstructed > acc.original - 0.1,
+        "reconstructed {:.3} too far below original {:.3}",
+        acc.reconstructed,
+        acc.original
+    );
+    // And the individual values really were distorted.
+    let column: Vec<f64> = train.iter().map(|r| r.values[0]).collect();
+    let noisy = noise.randomize(3, &column);
+    let moved = column
+        .iter()
+        .zip(&noisy)
+        .filter(|(a, b)| (**a - **b).abs() > 1.0)
+        .count();
+    assert!(moved as f64 / column.len() as f64 > 0.9);
+}
+
+/// Inference controller + randomized release compose: aggregates about a
+/// table can be mined from randomized data even while the row-level
+/// interface refuses the private combination.
+#[test]
+fn row_interface_refuses_while_aggregate_flows() {
+    // Row-level: gated.
+    let mut table = Table::new("patients", &["id", "name", "age"]);
+    let ages = gaussian_mixture(7, 3_000, &[(1.0, 50.0, 10.0)]);
+    for (i, age) in ages.iter().enumerate() {
+        table.insert(vec![
+            (i as i64).into(),
+            format!("P{i}").as_str().into(),
+            (*age as i64).into(),
+        ]);
+    }
+    let mut controller = InferenceController::new(
+        table,
+        "id",
+        vec![PrivacyConstraint::new(&["name", "age"], PrivacyLevel::Private)],
+    );
+    let d = controller.execute("miner", &Query::select(&["name", "age"]));
+    assert!(matches!(d, QueryDecision::Sanitized { .. }), "{d:?}");
+
+    // Aggregate-level: the same ages, randomized per AS00, still yield the
+    // population distribution.
+    let noise = NoiseModel::Uniform { alpha: 20.0 };
+    let randomized = noise.randomize(8, &ages);
+    let truth = histogram(&ages, 10, (0.0, 100.0));
+    let recon = reconstruct_distribution(&randomized, &noise, 10, (0.0, 100.0), 40);
+    let err = websec_core::mining::randomize::total_variation(&truth, &recon);
+    assert!(err < 0.12, "reconstruction error {err}");
+}

@@ -1,0 +1,224 @@
+//! Cross-crate integration: UDDI discovery → WSDL validation → secured
+//! SOAP invocation, plus P3P gating of the whole interaction.
+
+use websec_core::prelude::*;
+use websec_core::privacy::{DataCategory, PolicyMatch, Purpose, Recipient, Retention, Statement};
+use websec_core::services::wsdl::Operation;
+use websec_core::uddi::BindingTemplate;
+
+/// The full WSA triangle (§2.2): provider publishes to the discovery
+/// agency; requestor finds the service, checks its privacy policy, then
+/// invokes it over the secured pipeline.
+#[test]
+fn discover_check_invoke() {
+    let mut rng = SecureRng::seeded(501);
+
+    // --- provider side -----------------------------------------------------
+    let description = ServiceDescription::new("QuoteService", "local://quotes")
+        .with_operation(Operation::new("getQuote", &["symbol"], &["price"]));
+    let mut host = ServiceHost::new(description.clone(), Keypair::generate(&mut rng, 4));
+    host.handle("getQuote", |req| {
+        let symbol = req.attribute(req.root(), "symbol").unwrap_or("?");
+        let mut d = Document::new("price");
+        d.set_attribute(d.root(), "symbol", symbol);
+        d.add_text(d.root(), "101.25");
+        d
+    });
+
+    // Publish the business + service to a registry.
+    let mut registry = Registry::new();
+    let mut business = BusinessEntity::new("biz-quotes", "Quotes Inc");
+    let mut service = BusinessService::new("svc-quotes", "QuoteService");
+    service.binding_templates.push(BindingTemplate {
+        binding_key: "bind-1".into(),
+        access_point: description.endpoint.clone(),
+        description: String::new(),
+        tmodel_keys: vec![],
+    });
+    business.services.push(service);
+    registry.save_business(business);
+
+    // The provider advertises a privacy policy.
+    let advertised = PrivacyPolicy::new("Quotes Inc").with_statement(Statement {
+        categories: vec![DataCategory::Behaviour],
+        purpose: Purpose::CurrentTransaction,
+        recipient: Recipient::Ours,
+        retention: Retention::StatedPurpose,
+    });
+
+    // --- requestor side ------------------------------------------------------
+    // 1. Discover.
+    let found = registry.find_service(&FindQualifier::NameApprox("quote".into()));
+    assert_eq!(found.len(), 1);
+    let entry = registry.get_business_detail(&found[0].business_key).unwrap();
+    let endpoint = &entry.services[0].binding_templates[0].access_point;
+    assert_eq!(endpoint, "local://quotes");
+
+    // 2. Validate the privacy policy before interacting (§4: "a service
+    //    requestor may want to validate the privacy policy … before
+    //    interacting with this entity").
+    let prefs = UserPreferences::permissive().cap(
+        DataCategory::Behaviour,
+        Purpose::Admin,
+        Recipient::Delivery,
+        Retention::Legal,
+    );
+    assert_eq!(prefs.check(&advertised), PolicyMatch::Acceptable);
+
+    // 3. Invoke over the secured pipeline.
+    let mut requestor = ServiceRequestor::new("trader-7", host.public_key());
+    let body = Document::parse("<getQuote symbol=\"ACME\"/>").unwrap();
+    let response = requestor.call(&mut host, body, &[77u8; 32], true).unwrap();
+    assert!(response.body.to_xml_string().contains("101.25"));
+}
+
+/// A privacy-hostile service is rejected before any invocation happens.
+#[test]
+fn privacy_policy_gate_rejects() {
+    let hostile = PrivacyPolicy::new("DataBroker").with_statement(Statement {
+        categories: vec![DataCategory::Behaviour],
+        purpose: Purpose::Profiling,
+        recipient: Recipient::ThirdParty,
+        retention: Retention::Indefinite,
+    });
+    let prefs = UserPreferences::permissive().cap(
+        DataCategory::Behaviour,
+        Purpose::Admin,
+        Recipient::Delivery,
+        Retention::Legal,
+    );
+    assert!(matches!(prefs.check(&hostile), PolicyMatch::Rejected(_)));
+}
+
+/// Two-party vs third-party discovery: the same entry, verified both ways.
+#[test]
+fn two_party_and_third_party_agree() {
+    let mut rng = SecureRng::seeded(502);
+    let mut provider = ServiceProvider::new("prov", &mut rng, 3);
+    let mut agency = UntrustedAgency::new();
+    let mut registry = Registry::new();
+
+    let mut be = BusinessEntity::new("biz-1", "Example Org");
+    be.description = "web services".into();
+    be.services.push(BusinessService::new("svc-1", "Echo"));
+
+    registry.save_business(be.clone());
+    provider.publish_to(&mut agency, &be).unwrap();
+
+    // Two-party: direct (trusted) drill-down.
+    let direct = registry.get_business_detail("biz-1").unwrap();
+    let direct_xml = direct.to_document().to_xml_string();
+
+    // Third-party: verified drill-down against the provider key.
+    let path = Path::parse("/businessEntity").unwrap();
+    let answer = agency.get_detail("biz-1", &path).unwrap();
+    let verified = websec_core::uddi::auth::verify_entry(
+        &answer,
+        &provider.public_key(),
+        "biz-1",
+        &path,
+    )
+    .unwrap();
+    assert_eq!(verified.view.to_xml_string(), direct_xml);
+}
+
+/// The inference controller and the service layer compose: a service
+/// operation backed by a gated table sanitizes its answers.
+#[test]
+fn service_backed_by_inference_controller() {
+    use std::sync::{Arc, Mutex};
+
+    let mut table = Table::new("patients", &["id", "name", "diagnosis"]);
+    table.insert(vec![1i64.into(), "Alice".into(), "flu".into()]);
+    let controller = Arc::new(Mutex::new(InferenceController::new(
+        table,
+        "id",
+        vec![PrivacyConstraint::new(
+            &["name", "diagnosis"],
+            PrivacyLevel::Private,
+        )],
+    )));
+
+    let mut rng = SecureRng::seeded(503);
+    let description = ServiceDescription::new("RecordsService", "local://records")
+        .with_operation(Operation::new("listPatients", &[], &["rows"]));
+    let mut host = ServiceHost::new(description, Keypair::generate(&mut rng, 3));
+    let c = Arc::clone(&controller);
+    host.handle("listPatients", move |_req| {
+        let mut ctl = c.lock().expect("controller");
+        let decision = ctl.execute("service-client", &Query::select(&["name", "diagnosis"]));
+        let mut d = Document::new("rows");
+        match decision {
+            QueryDecision::Allowed { rows } | QueryDecision::Sanitized { rows, .. } => {
+                for row in rows {
+                    let r = d.add_element(d.root(), "row");
+                    let text = row
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    d.add_text(r, &text);
+                }
+            }
+            QueryDecision::Denied => {
+                d.set_attribute(d.root(), "denied", "true");
+            }
+        }
+        d
+    });
+
+    let mut requestor = ServiceRequestor::new("client", host.public_key());
+    let body = Document::parse("<listPatients/>").unwrap();
+    let response = requestor.call(&mut host, body, &[9u8; 32], true).unwrap();
+    let xml = response.body.to_xml_string();
+    // The private (name, diagnosis) pair must not appear together.
+    assert!(
+        !(xml.contains("Alice") && xml.contains("flu")),
+        "private combination leaked: {xml}"
+    );
+}
+
+/// Full third-party bootstrap: the requestor has never seen the provider's
+/// key; a voucher chain from a configured trust root establishes it, and
+/// only then is the agency's answer accepted.
+#[test]
+fn trust_bootstrap_then_verified_discovery() {
+    use websec_core::trust::{issue_voucher, TrustStore};
+
+    let mut rng = SecureRng::seeded(601);
+    // The marketplace CA is the requestor's configured root.
+    let mut ca = Keypair::generate(&mut rng, 3);
+    let mut trust = TrustStore::new(2);
+    trust.trust_root("marketplace-ca", ca.public_key());
+
+    // The provider publishes a signed entry to the untrusted agency.
+    let mut provider = ServiceProvider::new("acme", &mut rng, 3);
+    let mut agency = UntrustedAgency::new();
+    provider
+        .publish_to(&mut agency, &BusinessEntity::new("biz-acme", "Acme"))
+        .unwrap();
+
+    // The CA vouches for the provider's key.
+    let voucher = issue_voucher("marketplace-ca", &mut ca, "acme", provider.public_key()).unwrap();
+
+    // Requestor: establish the key, then verify the answer under it.
+    trust
+        .establish("acme", &provider.public_key(), &[voucher])
+        .expect("voucher chain establishes the provider key");
+    let path = Path::parse("/businessEntity").unwrap();
+    let answer = agency.get_detail("biz-acme", &path).unwrap();
+    let entry = websec_core::uddi::auth::verify_entry(
+        &answer,
+        &provider.public_key(),
+        "biz-acme",
+        &path,
+    )
+    .unwrap();
+    assert!(entry.view.to_xml_string().contains("Acme"));
+
+    // A key with no chain to the root is rejected before any verification.
+    let impostor = Keypair::generate(&mut rng, 2);
+    assert!(trust
+        .establish("acme", &impostor.public_key(), &[])
+        .is_err());
+}

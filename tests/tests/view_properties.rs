@@ -1,0 +1,165 @@
+//! Property-based tests on the access-control engine's core invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use websec_core::prelude::*;
+
+/// Strategy: a random document over a small name alphabet.
+fn arb_document() -> impl Strategy<Value = Document> {
+    proptest::collection::vec((0u8..4, 0u8..3, any::<bool>()), 1..20).prop_map(|nodes| {
+        let mut doc = Document::new("root");
+        let mut parents = vec![doc.root()];
+        for (name, parent_pick, with_text) in nodes {
+            let parent = parents[parent_pick as usize % parents.len()];
+            let e = doc.add_element(parent, &format!("n{name}"));
+            if with_text {
+                doc.add_text(e, "content");
+            }
+            parents.push(e);
+        }
+        doc
+    })
+}
+
+/// Strategy: a random small policy base over that alphabet.
+fn arb_policies() -> impl Strategy<Value = Vec<(bool, String, u8)>> {
+    // (is_grant, path, subject selector 0..3)
+    proptest::collection::vec(
+        (any::<bool>(), 0u8..4, any::<bool>(), 0u8..3),
+        0..6,
+    )
+    .prop_map(|rules| {
+        rules
+            .into_iter()
+            .map(|(grant, name, descendant, subj)| {
+                let path = if descendant {
+                    format!("//n{name}")
+                } else {
+                    format!("/root/n{name}")
+                };
+                (grant, path, subj)
+            })
+            .collect()
+    })
+}
+
+fn build_store(rules: &[(bool, String, u8)]) -> PolicyStore {
+    let mut store = PolicyStore::new();
+    for (grant, path, subj) in rules {
+        let subject = match subj {
+            0 => SubjectSpec::Anyone,
+            1 => SubjectSpec::Identity("alice".into()),
+            _ => SubjectSpec::InRole(Role::new("staff")),
+        };
+        let object = ObjectSpec::Portion {
+            document: "d.xml".into(),
+            path: Path::parse(path).unwrap(),
+        };
+        let auth = if *grant {
+            Authorization::grant(0, subject, object, Privilege::Read)
+        } else {
+            Authorization::deny(0, subject, object, Privilege::Read)
+        };
+        store.add(auth);
+    }
+    store
+}
+
+fn text_set(doc: &Document) -> HashSet<String> {
+    doc.all_nodes()
+        .iter()
+        .filter_map(|&n| doc.name(n).map(|s| s.to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A view never contains an element name absent from the original.
+    #[test]
+    fn view_is_subset_of_document(doc in arb_document(), rules in arb_policies()) {
+        let store = build_store(&rules);
+        let engine = PolicyEngine::default();
+        let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
+        let view = engine.compute_view(&store, &profile, "d.xml", &doc);
+        prop_assert!(view.node_count() <= doc.node_count());
+        prop_assert!(text_set(&view).is_subset(&text_set(&doc)));
+    }
+
+    /// With no policies, the closed-policy default yields an empty view.
+    #[test]
+    fn empty_policy_base_empty_view(doc in arb_document()) {
+        let store = PolicyStore::new();
+        let engine = PolicyEngine::default();
+        let view = engine.compute_view(&store, &SubjectProfile::new("x"), "d.xml", &doc);
+        prop_assert_eq!(view.node_count(), 0);
+    }
+
+    /// Denials-take-precedence views are contained in
+    /// permissions-take-precedence views.
+    #[test]
+    fn dtp_view_subset_of_ptp_view(doc in arb_document(), rules in arb_policies()) {
+        let store = build_store(&rules);
+        let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
+        let dtp = PolicyEngine::new(ConflictStrategy::DenialsTakePrecedence)
+            .evaluate_document(&store, &profile, "d.xml", &doc, Privilege::Read);
+        let ptp = PolicyEngine::new(ConflictStrategy::PermissionsTakePrecedence)
+            .evaluate_document(&store, &profile, "d.xml", &doc, Privilege::Read);
+        for node in doc.all_nodes() {
+            if dtp.is_allowed(node) {
+                prop_assert!(ptp.is_allowed(node), "node {node:?} allowed by DTP but not PTP");
+            }
+        }
+    }
+
+    /// Adding a grant never shrinks a DTP view; adding a denial never grows it.
+    #[test]
+    fn monotonicity(doc in arb_document(), rules in arb_policies()) {
+        let engine = PolicyEngine::default();
+        let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
+
+        let store = build_store(&rules);
+        let base = engine
+            .evaluate_document(&store, &profile, "d.xml", &doc, Privilege::Read)
+            .allowed_count();
+
+        // Add a universal grant.
+        let mut grown = build_store(&rules);
+        grown.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("d.xml".into()),
+            Privilege::Read,
+        ));
+        let more = engine
+            .evaluate_document(&grown, &profile, "d.xml", &doc, Privilege::Read)
+            .allowed_count();
+        prop_assert!(more >= base);
+
+        // Add a universal denial.
+        let mut shrunk = build_store(&rules);
+        shrunk.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("d.xml".into()),
+            Privilege::Read,
+        ));
+        let less = engine
+            .evaluate_document(&shrunk, &profile, "d.xml", &doc, Privilege::Read)
+            .allowed_count();
+        prop_assert_eq!(less, 0); // universal cascade denial wipes everything under DTP
+    }
+
+    /// The flexible enforcer's empirical rate tracks its level.
+    #[test]
+    fn flexible_rate_tracks_level(level in 0u8..=100) {
+        let mut gate = FlexibleEnforcer::new(level, [9u8; 32]);
+        for i in 0..2000u32 {
+            gate.gate(&i.to_le_bytes());
+        }
+        let (enforced, _) = gate.stats();
+        let rate = enforced as f64 / 2000.0;
+        prop_assert!((rate - level as f64 / 100.0).abs() < 0.06,
+            "level {level}: rate {rate}");
+    }
+}
