@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository gate: offline build, full test suite, and the websec-lint
+# static checks (which also run the WS001-WS005 analyzer unit tests as
+# part of the workspace tests). Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline"
+cargo test -q --offline
+
+echo "==> websec-lint --deny-warnings"
+cargo run --release --offline --bin websec-lint -- --deny-warnings
+
+echo "check.sh: all gates passed"

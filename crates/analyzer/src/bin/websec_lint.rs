@@ -1,0 +1,276 @@
+//! `websec-lint`: a zero-dependency source linter for this repository.
+//!
+//! Walks `crates/*/src` (plus `examples/src` and `tests/tests`) with plain
+//! `std::fs` and flags:
+//!
+//! * `.unwrap()` or `panic!` in non-test library code — fallible paths must
+//!   return `Result` (`.expect("...")` is allowed: it documents an
+//!   invariant);
+//! * crate roots (`src/lib.rs`) missing `#![forbid(unsafe_code)]`.
+//!
+//! Test code is exempt: by repository convention the `#[cfg(test)]` module
+//! sits at the end of each file, so everything after the first `#[cfg(test)]`
+//! line is treated as test code. Doc-comment lines (`///`, `//!`) and plain
+//! `//` comments are skipped.
+//!
+//! Exit status: 0 when clean, 1 on errors (or on warnings with
+//! `--deny-warnings`), 2 on usage/IO failure.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    warning: bool,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: websec-lint [--root DIR] [--deny-warnings]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    match collect_lint_targets(&root) {
+        Ok(targets) => {
+            if targets.is_empty() {
+                eprintln!(
+                    "no Rust sources found under {} (expected crates/*/src, \
+                     examples/src or tests/tests)",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+            for (file, is_crate_root) in targets {
+                match std::fs::read_to_string(&file) {
+                    Ok(source) => lint_file(&file, &source, is_crate_root, &mut findings),
+                    Err(e) => {
+                        eprintln!("cannot read {}: {e}", file.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &findings {
+        let kind = if f.warning { "warning" } else { "error" };
+        if f.warning {
+            warnings += 1;
+        } else {
+            errors += 1;
+        }
+        println!("{kind}: {}:{}: {}", f.file.display(), f.line, f.message);
+    }
+    println!("websec-lint: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Rust files to lint, each tagged with whether it is a crate root.
+/// Scans `crates/*/src` recursively plus `examples/src` and `tests/tests`.
+fn collect_lint_targets(root: &Path) -> std::io::Result<Vec<(PathBuf, bool)>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut out)?;
+            }
+        }
+    }
+    for extra in ["examples/src", "tests/tests"] {
+        let dir = root.join(extra);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<(PathBuf, bool)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // `src/bin` holds CLI entry points (including this linter, whose
+            // diagnostic strings mention the banned tokens); the lint targets
+            // library code.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let is_crate_root = path.file_name().is_some_and(|n| n == "lib.rs")
+                && path.parent().and_then(Path::file_name).is_some_and(|n| n == "src");
+            out.push((path, is_crate_root));
+        }
+    }
+    Ok(())
+}
+
+/// True for whole-file test targets (integration tests, benches): banned
+/// patterns are allowed everywhere in them.
+fn is_test_file(file: &Path) -> bool {
+    file.components().any(|c| {
+        let s = c.as_os_str();
+        s == "tests" || s == "benches"
+    })
+}
+
+fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<Finding>) {
+    if is_crate_root && !source.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: 1,
+            warning: false,
+            message: "crate root missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+
+    if is_test_file(file) {
+        return;
+    }
+
+    let mut in_test_code = false;
+    for (idx, line) in source.lines().enumerate() {
+        // Repository convention: the test module is the last item of a file,
+        // so the first #[cfg(test)] marks the start of test-only code.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_test_code = true;
+        }
+        if in_test_code {
+            continue;
+        }
+        let code = strip_comment(line);
+        if code.contains(".unwrap()") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                warning: false,
+                message: ".unwrap() in non-test code: return a Result or use \
+                          .expect(\"documented invariant\")"
+                    .to_string(),
+            });
+        }
+        if code.contains("panic!") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                warning: false,
+                message: "panic! in non-test code: return an error instead".to_string(),
+            });
+        }
+        if code.contains("unsafe ") || code.contains("unsafe{") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                warning: true,
+                message: "unsafe block (should be impossible under \
+                          #![forbid(unsafe_code)])"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Removes doc-comment and line-comment content so banned tokens in prose
+/// don't trip the lint. (String literals containing the tokens would still
+/// trip it; none exist in this repository.)
+fn strip_comment(line: &str) -> &str {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") {
+        return "";
+    }
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Renders findings for tests.
+#[allow(dead_code)]
+fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}",
+            f.file.display(),
+            f.line,
+            f.message
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_outside_tests() {
+        let mut findings = Vec::new();
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        lint_file(Path::new("crates/x/src/a.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn flags_panic_and_missing_forbid() {
+        let mut findings = Vec::new();
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        lint_file(Path::new("crates/x/src/lib.rs"), src, true, &mut findings);
+        assert_eq!(findings.len(), 2); // missing forbid + panic
+    }
+
+    #[test]
+    fn comments_and_expect_are_fine() {
+        let mut findings = Vec::new();
+        let src = "#![forbid(unsafe_code)]\n// call .unwrap() never\n/// panic! docs\nfn f() { x.expect(\"invariant\"); }\n";
+        lint_file(Path::new("crates/x/src/lib.rs"), src, true, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn test_files_are_exempt() {
+        let mut findings = Vec::new();
+        let src = "fn f() { x.unwrap(); panic!(); }\n";
+        lint_file(Path::new("tests/tests/a.rs"), src, false, &mut findings);
+        assert!(findings.is_empty());
+    }
+}

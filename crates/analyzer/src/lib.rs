@@ -1,0 +1,25 @@
+//! Static analysis for websec stacks.
+//!
+//! The analyzer inspects a configured policy/privacy/metadata stack *without
+//! executing any query* and reports misconfigurations as [`Diagnostic`]s:
+//!
+//! | code  | pass                                        |
+//! |-------|---------------------------------------------|
+//! | WS001 | authorization conflict detection            |
+//! | WS002 | shadowed / unreachable rule detection       |
+//! | WS003 | MLS label flow analysis                     |
+//! | WS004 | privacy inference-channel detection         |
+//! | WS005 | dangling reference check                    |
+//!
+//! Each pass is a pure function over borrowed stores; the [`Analyzer`]
+//! aggregates them into a [`Report`] with human-readable and line-oriented
+//! machine output.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diagnostics;
+pub mod passes;
+
+pub use diagnostics::{Diagnostic, Report, Severity};
+pub use passes::{Analyzer, AnalyzerInput};

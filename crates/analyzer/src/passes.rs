@@ -1,0 +1,1026 @@
+//! The five analysis passes (WS001–WS005) and their shared input.
+//!
+//! All passes are static: they inspect a configured stack — policy base,
+//! documents, labels, privacy constraints, catalogs — without executing a
+//! single query. Approximations are conservative and documented per pass.
+
+use crate::diagnostics::{Diagnostic, Report, Severity};
+use std::collections::BTreeSet;
+use websec_policy::mls::ContextLabel;
+use websec_policy::{
+    Authorization, AuthzId, ConflictStrategy, CredentialExpr, ObjectSpec, PolicyEngine,
+    PolicyStore, Privilege, RoleHierarchy, SecurityContext, Sign, SubjectSpec,
+};
+use websec_privacy::constraints::classify;
+use websec_privacy::PrivacyConstraint;
+use websec_xml::{Document, NodeId};
+
+/// All privileges, ascending.
+const PRIVILEGES: [Privilege; 4] = [
+    Privilege::Browse,
+    Privilege::Read,
+    Privilege::Write,
+    Privilege::Admin,
+];
+
+/// Everything the analyzer looks at. Borrowed views over the configured
+/// stack; optional fields simply disable the checks that need them.
+pub struct AnalyzerInput<'a> {
+    /// The policy base under analysis.
+    pub store: &'a PolicyStore,
+    /// The conflict strategy the stack's engine is configured with.
+    pub strategy: ConflictStrategy,
+    /// Named documents the policies govern.
+    pub documents: Vec<(&'a str, &'a Document)>,
+    /// Per-document MLS labels (WS003).
+    pub labels: Vec<(&'a str, &'a ContextLabel)>,
+    /// Object names registered in RDF/UDDI catalogs (WS005 cross-check).
+    pub catalog_names: Vec<&'a str>,
+    /// Privacy constraints guarding tabular releases (WS004).
+    pub constraints: &'a [PrivacyConstraint],
+    /// Queryable table schemas as `(table name, column names)` (WS004).
+    pub schemas: Vec<(&'a str, Vec<String>)>,
+    /// The universe of known subject identities, when the deployment can
+    /// enumerate it; `None` disables the WS005 subject check.
+    pub known_subjects: Option<BTreeSet<String>>,
+    /// The universe of credential types some issuer can mint; `None`
+    /// disables the WS005 credential-type check.
+    pub known_credential_types: Option<BTreeSet<String>>,
+}
+
+impl<'a> AnalyzerInput<'a> {
+    /// Minimal input: a policy base and a strategy, nothing else configured.
+    #[must_use]
+    pub fn new(store: &'a PolicyStore, strategy: ConflictStrategy) -> Self {
+        AnalyzerInput {
+            store,
+            strategy,
+            documents: Vec::new(),
+            labels: Vec::new(),
+            catalog_names: Vec::new(),
+            constraints: &[],
+            schemas: Vec::new(),
+            known_subjects: None,
+            known_credential_types: None,
+        }
+    }
+
+    /// Registers a document (builder style).
+    #[must_use]
+    pub fn with_document(mut self, name: &'a str, doc: &'a Document) -> Self {
+        self.documents.push((name, doc));
+        self
+    }
+
+    /// Registers a label (builder style).
+    #[must_use]
+    pub fn with_label(mut self, name: &'a str, label: &'a ContextLabel) -> Self {
+        self.labels.push((name, label));
+        self
+    }
+
+    /// Registers a table schema (builder style).
+    #[must_use]
+    pub fn with_schema(mut self, name: &'a str, columns: &[String]) -> Self {
+        self.schemas.push((name, columns.to_vec()));
+        self
+    }
+}
+
+/// Entry point: runs every pass and aggregates the findings.
+pub struct Analyzer;
+
+impl Analyzer {
+    /// Runs WS001–WS005 over `input`.
+    #[must_use]
+    pub fn analyze(input: &AnalyzerInput<'_>) -> Report {
+        let mut diagnostics = Vec::new();
+        diagnostics.extend(ws001_conflicts(input));
+        diagnostics.extend(ws002_shadowed_rules(input));
+        diagnostics.extend(ws003_mls_flows(input));
+        diagnostics.extend(ws004_inference_channels(input));
+        diagnostics.extend(ws005_dangling_references(input));
+        Report { diagnostics }
+    }
+}
+
+fn auth_span(a: &Authorization) -> String {
+    format!("authorization #{}", a.id.0)
+}
+
+fn pair_span(a: &Authorization, b: &Authorization) -> String {
+    format!("authorizations #{} and #{}", a.id.0, b.id.0)
+}
+
+/// Could a single subject match both specs? Conservative, except that two
+/// *unrelated* roles are treated as disjoint — a profile activating both at
+/// once is possible but rare enough that flagging every role pair would
+/// drown real findings.
+fn subjects_may_overlap(a: &SubjectSpec, b: &SubjectSpec, hierarchy: &RoleHierarchy) -> bool {
+    match (a, b) {
+        (SubjectSpec::Anyone, _) | (_, SubjectSpec::Anyone) => true,
+        (SubjectSpec::Identity(x), SubjectSpec::Identity(y)) => x == y,
+        (SubjectSpec::InRole(r), SubjectSpec::InRole(s)) => {
+            hierarchy.dominates(r, s) || hierarchy.dominates(s, r)
+        }
+        // Identity vs role, anything vs credentials: membership is not
+        // statically known, so assume overlap.
+        _ => true,
+    }
+}
+
+/// Does every subject matched by `inner` also match `outer`? (Static
+/// under-approximation used to decide which rules are guaranteed to apply
+/// alongside a given rule.)
+fn subject_covers(outer: &SubjectSpec, inner: &SubjectSpec, hierarchy: &RoleHierarchy) -> bool {
+    match (outer, inner) {
+        (SubjectSpec::Anyone, _) => true,
+        (SubjectSpec::Identity(x), SubjectSpec::Identity(y)) => x == y,
+        // inner-role subjects activate `ri`; they also activate `ro` when
+        // `ri` dominates `ro` (their activating role then dominates both).
+        (SubjectSpec::InRole(ro), SubjectSpec::InRole(ri)) => hierarchy.dominates(ri, ro),
+        (SubjectSpec::WithCredentials(x), SubjectSpec::WithCredentials(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Per-authorization coverage over one document.
+type Coverage = (Vec<NodeId>, Vec<(NodeId, String)>);
+
+/// Coverage of every authorization over every document:
+/// `coverage[auth_index][doc_index]`.
+fn coverage_matrix(input: &AnalyzerInput<'_>) -> Vec<Vec<Option<Coverage>>> {
+    input
+        .store
+        .authorizations()
+        .iter()
+        .map(|auth| {
+            input
+                .documents
+                .iter()
+                .map(|(name, doc)| PolicyEngine::covered_nodes(input.store, auth, name, doc))
+                .collect()
+        })
+        .collect()
+}
+
+/// WS001: opposite-sign pairs that can collide on the same subject, object
+/// and privilege. A pair whose outcome is decided only by the strategy's
+/// silent denial tiebreak is an error; a pair that different strategies
+/// resolve differently is a warning.
+pub fn ws001_conflicts(input: &AnalyzerInput<'_>) -> Vec<Diagnostic> {
+    let auths = input.store.authorizations();
+    let coverage = coverage_matrix(input);
+    let mut out = Vec::new();
+
+    for (gi, g) in auths.iter().enumerate() {
+        if g.sign != Sign::Plus {
+            continue;
+        }
+        for (di, d) in auths.iter().enumerate() {
+            if d.sign != Sign::Minus {
+                continue;
+            }
+            // Privileges collide iff some privilege is both supported by the
+            // grant and blocked by the denial: d.privilege ≤ g.privilege.
+            if !g.privilege.implies(d.privilege) {
+                continue;
+            }
+            if !subjects_may_overlap(&g.subject, &d.subject, &input.store.hierarchy) {
+                continue;
+            }
+            let Some(doc_name) = object_overlap_witness(input, &coverage, gi, di) else {
+                continue;
+            };
+
+            let pair: [&Authorization; 2] = [g, d];
+            let tie = match input.strategy {
+                ConflictStrategy::DenialsTakePrecedence
+                | ConflictStrategy::PermissionsTakePrecedence => false,
+                ConflictStrategy::MostSpecificSubject => {
+                    g.subject.specificity() == d.subject.specificity()
+                }
+                ConflictStrategy::MostSpecificObject => {
+                    g.object.granularity() == d.object.granularity()
+                }
+                ConflictStrategy::ExplicitPriority => g.priority == d.priority,
+            };
+
+            if tie {
+                out.push(
+                    Diagnostic::new(
+                        "WS001",
+                        Severity::Error,
+                        pair_span(g, d),
+                        format!(
+                            "grant #{} and denial #{} collide on '{doc_name}' and are \
+                             unresolvable under {:?}: the outcome falls back to the \
+                             silent denials-take-precedence tiebreak",
+                            g.id.0, d.id.0, input.strategy
+                        ),
+                    )
+                    .with_suggestion(
+                        "disambiguate the pair (distinct priorities, or more specific \
+                         subject/object specs) or drop one rule",
+                    ),
+                );
+            } else {
+                let configured = input
+                    .strategy
+                    .resolve(&pair)
+                    .map_or("deny", |s| if s == Sign::Plus { "grant" } else { "deny" });
+                out.push(
+                    Diagnostic::new(
+                        "WS001",
+                        Severity::Warning,
+                        pair_span(g, d),
+                        format!(
+                            "grant #{} and denial #{} collide on '{doc_name}'; {:?} \
+                             resolves the pair to '{configured}', but the outcome is \
+                             strategy-dependent (other strategies disagree)",
+                            g.id.0, d.id.0, input.strategy
+                        ),
+                    )
+                    .with_suggestion(
+                        "make the intended winner explicit instead of relying on the \
+                         configured strategy",
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// First document on which both authorizations cover a common node or
+/// attribute, if any.
+fn object_overlap_witness(
+    input: &AnalyzerInput<'_>,
+    coverage: &[Vec<Option<Coverage>>],
+    ai: usize,
+    bi: usize,
+) -> Option<String> {
+    for (doc_idx, (name, _)) in input.documents.iter().enumerate() {
+        let (Some((na, aa)), Some((nb, ab))) = (&coverage[ai][doc_idx], &coverage[bi][doc_idx])
+        else {
+            continue;
+        };
+        let node_hit = na.iter().any(|n| nb.binary_search(n).is_ok());
+        // An attribute-targeting rule also collides with an element-level
+        // rule covering the owning element (the engine merges both sets).
+        let attr_hit = aa.iter().any(|p| ab.contains(p))
+            || aa.iter().any(|(n, _)| nb.binary_search(n).is_ok())
+            || ab.iter().any(|(n, _)| na.binary_search(n).is_ok());
+        if node_hit || attr_hit {
+            return Some((*name).to_string());
+        }
+    }
+    None
+}
+
+/// WS002: rules that can never matter — either they match no object in any
+/// configured document (unreachable), or removing them changes no decision
+/// for any statically comparable subject (shadowed). Grant reachability is
+/// checked against [`PolicyEngine::policy_equivalence_classes`], the same
+/// oracle secure dissemination keys off.
+pub fn ws002_shadowed_rules(input: &AnalyzerInput<'_>) -> Vec<Diagnostic> {
+    let auths = input.store.authorizations();
+    let coverage = coverage_matrix(input);
+    let mut out = Vec::new();
+
+    // Grants reachable per the equivalence-class oracle. Browse is the
+    // weakest privilege, so every grant is eligible for inclusion.
+    let mut oracle_reachable: BTreeSet<AuthzId> = BTreeSet::new();
+    for (name, doc) in &input.documents {
+        let classes =
+            PolicyEngine::policy_equivalence_classes(input.store, name, doc, Privilege::Browse);
+        for key in classes.keys() {
+            oracle_reachable.extend(key.iter().copied());
+        }
+    }
+
+    for (ai, a) in auths.iter().enumerate() {
+        let covers_something = coverage[ai]
+            .iter()
+            .any(|c| c.as_ref().is_some_and(|(n, at)| !n.is_empty() || !at.is_empty()));
+        let reachable = match a.sign {
+            // Attribute-only grants never enter the node-level classes, so
+            // fall back to raw coverage for them.
+            Sign::Plus => oracle_reachable.contains(&a.id) || covers_something,
+            Sign::Minus => covers_something,
+        };
+        if !reachable {
+            if input.documents.is_empty() {
+                continue; // nothing configured: reachability is undecidable
+            }
+            out.push(
+                Diagnostic::new(
+                    "WS002",
+                    Severity::Warning,
+                    auth_span(a),
+                    "rule matches no node or attribute of any configured document \
+                     (unreachable)",
+                )
+                .with_suggestion("fix the object spec or remove the rule"),
+            );
+            continue;
+        }
+        if is_shadowed(input, &coverage, ai, a) {
+            out.push(
+                Diagnostic::new(
+                    "WS002",
+                    Severity::Warning,
+                    auth_span(a),
+                    "rule is shadowed: removing it changes no access decision for \
+                     any statically comparable subject",
+                )
+                .with_suggestion("remove the rule or reorder the policy intent \
+                     (e.g. adjust signs, priorities or specificity)"),
+            );
+        }
+    }
+    out
+}
+
+/// Replays the engine's per-node resolution with and without rule `a` for
+/// every *witness subject class* — each subject spec in the store that is
+/// fully inside `a`'s subject set. For each witness class, exactly the rules
+/// whose specs cover the class are guaranteed applicable, so the with/without
+/// comparison is exact at that granularity. True when no decision ever
+/// changes for any witness.
+fn is_shadowed(
+    input: &AnalyzerInput<'_>,
+    coverage: &[Vec<Option<Coverage>>],
+    ai: usize,
+    a: &Authorization,
+) -> bool {
+    let auths = input.store.authorizations();
+    let hierarchy = &input.store.hierarchy;
+    let closed = |sign: Option<Sign>| sign == Some(Sign::Plus); // None ⇒ deny
+
+    // Witness classes: subject specs appearing in the store that `a`'s spec
+    // fully contains (its own spec always qualifies).
+    let witnesses: Vec<&SubjectSpec> = auths
+        .iter()
+        .map(|b| &b.subject)
+        .filter(|spec| subject_covers(&a.subject, spec, hierarchy))
+        .collect();
+
+    for witness in witnesses {
+        for (doc_idx, _) in input.documents.iter().enumerate() {
+            let Some((nodes, attrs)) = &coverage[ai][doc_idx] else {
+                continue;
+            };
+            for &p in &PRIVILEGES {
+                if !PolicyEngine::relevant(a, p) {
+                    continue;
+                }
+                // Rules guaranteed to apply to every subject in the witness
+                // class, for privilege `p`.
+                let others: Vec<(usize, &Authorization)> = auths
+                    .iter()
+                    .enumerate()
+                    .filter(|(bi, b)| {
+                        *bi != ai
+                            && PolicyEngine::relevant(b, p)
+                            && subject_covers(&b.subject, witness, hierarchy)
+                    })
+                    .collect();
+
+                for &n in nodes {
+                    let mut with_a: Vec<&Authorization> = vec![a];
+                    let mut without_a: Vec<&Authorization> = Vec::new();
+                    for (bi, b) in &others {
+                        if coverage[*bi][doc_idx]
+                            .as_ref()
+                            .is_some_and(|(ns, _)| ns.binary_search(&n).is_ok())
+                        {
+                            with_a.push(b);
+                            without_a.push(b);
+                        }
+                    }
+                    if closed(input.strategy.resolve(&with_a))
+                        != closed(input.strategy.resolve(&without_a))
+                    {
+                        return false;
+                    }
+                }
+                for (n, attr) in attrs {
+                    // Mirror the engine: attribute decisions merge the
+                    // attribute-specific rules with element-level rules on
+                    // the owning element.
+                    let mut with_a: Vec<&Authorization> = vec![a];
+                    let mut without_a: Vec<&Authorization> = Vec::new();
+                    for (bi, b) in &others {
+                        let hits = coverage[*bi][doc_idx].as_ref().is_some_and(|(ns, ats)| {
+                            ns.binary_search(n).is_ok()
+                                || ats.iter().any(|(m, at)| m == n && at == attr)
+                        });
+                        if hits {
+                            with_a.push(b);
+                            without_a.push(b);
+                        }
+                    }
+                    if closed(input.strategy.resolve(&with_a))
+                        != closed(input.strategy.resolve(&without_a))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// WS003: context-dependent labels whose effective level varies across
+/// reachable contexts. Any variation is a potential downward flow — content
+/// written while the object is highly classified becomes readable by lower
+/// clearances after the transition. Epoch-only variation (scheduled,
+/// monotone declassification) is reported as info; condition-toggled
+/// variation (reversible) as a warning.
+pub fn ws003_mls_flows(input: &AnalyzerInput<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, label) in &input.labels {
+        let conditions: Vec<String> = label.conditions().into_iter().collect();
+        // Each epoch breakpoint plus a point strictly before it, and 0.
+        let mut epochs: Vec<u64> = vec![0];
+        for e in label.epoch_breakpoints() {
+            epochs.push(e.saturating_sub(1));
+            epochs.push(e);
+        }
+        epochs.sort_unstable();
+        epochs.dedup();
+
+        // Enumerate condition subsets (capped: 2^10 contexts is plenty for
+        // hand-written labels; beyond that, sample the corners).
+        let n = conditions.len().min(10);
+        let mut samples: Vec<(String, websec_policy::Level)> = Vec::new();
+        for mask in 0u32..(1u32 << n) {
+            let mut ctx = SecurityContext::new();
+            let mut active: Vec<&str> = Vec::new();
+            for (i, c) in conditions.iter().take(n).enumerate() {
+                if mask & (1 << i) != 0 {
+                    ctx = ctx.with_condition(c);
+                    active.push(c);
+                }
+            }
+            for &e in &epochs {
+                let ctx_e = ctx.clone().at_epoch(e);
+                let desc = if active.is_empty() {
+                    format!("epoch {e}")
+                } else {
+                    format!("epoch {e}, conditions {{{}}}", active.join(", "))
+                };
+                samples.push((desc, label.effective(&ctx_e)));
+            }
+        }
+
+        let Some(&(_, min_level)) = samples.iter().min_by_key(|(_, l)| *l) else {
+            continue;
+        };
+        let Some(&(_, max_level)) = samples.iter().max_by_key(|(_, l)| *l) else {
+            continue;
+        };
+        if max_level <= min_level {
+            continue;
+        }
+        let low_ctx = samples.iter().find(|(_, l)| *l == min_level).map(|(d, _)| d.clone());
+        let high_ctx = samples.iter().find(|(_, l)| *l == max_level).map(|(d, _)| d.clone());
+        let severity = if conditions.is_empty() {
+            Severity::Info
+        } else {
+            Severity::Warning
+        };
+        out.push(
+            Diagnostic::new(
+                "WS003",
+                severity,
+                format!("label for '{name}'"),
+                format!(
+                    "effective level varies from {min_level} ({}) to {max_level} ({}): a \
+                     subject cleared at {min_level} can read content that was writable \
+                     only at {max_level}, a downward flow across the transition",
+                    low_ctx.unwrap_or_default(),
+                    high_ctx.unwrap_or_default(),
+                ),
+            )
+            .with_suggestion(if conditions.is_empty() {
+                "scheduled declassification: confirm the epoch and that the content is \
+                 safe to release afterwards"
+            } else {
+                "condition-toggled relabeling is reversible; purge or re-encrypt content \
+                 before the label drops, or gate the condition change"
+            }),
+        );
+    }
+    out
+}
+
+/// WS004: privacy constraints assemblable through separate allowed queries —
+/// the static twin of the inference controller's history check. A
+/// constraint's combination leaks when every attribute lives in one table
+/// and each attribute alone classifies *below* the constraint's level, so a
+/// stateless per-query gate passes each probe while the union violates the
+/// constraint.
+pub fn ws004_inference_channels(input: &AnalyzerInput<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for constraint in input.constraints {
+        if constraint.level == websec_privacy::PrivacyLevel::Public
+            || constraint.attributes.len() < 2
+        {
+            continue;
+        }
+        for (table, columns) in &input.schemas {
+            if !constraint
+                .attributes
+                .iter()
+                .all(|a| columns.iter().any(|c| c == a))
+            {
+                continue;
+            }
+            let assemblable = constraint.attributes.iter().all(|a| {
+                let single: BTreeSet<String> = std::iter::once(a.clone()).collect();
+                classify(input.constraints, &single) < constraint.level
+            });
+            if assemblable {
+                let attrs: Vec<&str> =
+                    constraint.attributes.iter().map(String::as_str).collect();
+                out.push(
+                    Diagnostic::new(
+                        "WS004",
+                        Severity::Warning,
+                        format!("constraint {{{}}} over table '{table}'", attrs.join(", ")),
+                        format!(
+                            "each attribute can be fetched by a separate query that \
+                             classifies below {:?}; together the answers complete the \
+                             protected combination",
+                            constraint.level
+                        ),
+                    )
+                    .with_suggestion(
+                        "gate this table with an InferenceController (release-history \
+                         tracking) rather than a stateless per-query check",
+                    ),
+                );
+                break; // one finding per constraint is enough
+            }
+        }
+    }
+    out
+}
+
+fn credential_types(expr: &CredentialExpr, out: &mut BTreeSet<String>) {
+    match expr {
+        CredentialExpr::OfType(t) => {
+            out.insert(t.clone());
+        }
+        CredentialExpr::And(a, b) | CredentialExpr::Or(a, b) => {
+            credential_types(a, out);
+            credential_types(b, out);
+        }
+        CredentialExpr::Not(e) => credential_types(e, out),
+        CredentialExpr::AttrEq(..)
+        | CredentialExpr::AttrGe(..)
+        | CredentialExpr::AttrLe(..)
+        | CredentialExpr::HasAttr(_) => {}
+    }
+}
+
+/// WS005: names referenced by policies, labels or catalogs that resolve to
+/// nothing. Unknown documents and collections are errors (the rule can
+/// never apply); unknown subjects and credential types are warnings (the
+/// principal may simply not have enrolled yet).
+pub fn ws005_dangling_references(input: &AnalyzerInput<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let doc_names: BTreeSet<&str> = input.documents.iter().map(|(n, _)| *n).collect();
+    let check_docs = !input.documents.is_empty();
+
+    for a in input.store.authorizations() {
+        match &a.object {
+            ObjectSpec::Document(name)
+            | ObjectSpec::Portion {
+                document: name, ..
+            } => {
+                if check_docs && !doc_names.contains(name.as_str()) {
+                    out.push(
+                        Diagnostic::new(
+                            "WS005",
+                            Severity::Error,
+                            auth_span(a),
+                            format!("references document '{name}', which is not in the store"),
+                        )
+                        .with_suggestion("add the document or fix the name"),
+                    );
+                }
+            }
+            ObjectSpec::Collection(c) => {
+                match input.store.collection_members(c) {
+                    None => out.push(
+                        Diagnostic::new(
+                            "WS005",
+                            Severity::Error,
+                            auth_span(a),
+                            format!("references collection '{c}', which was never registered"),
+                        )
+                        .with_suggestion("register the collection or fix the name"),
+                    ),
+                    Some(members) if check_docs => {
+                        for m in members {
+                            if !doc_names.contains(m.as_str()) {
+                                out.push(Diagnostic::new(
+                                    "WS005",
+                                    Severity::Warning,
+                                    format!("collection '{c}'"),
+                                    format!(
+                                        "member document '{m}' is not in the store"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            ObjectSpec::AllDocuments | ObjectSpec::PortionAll(_) => {}
+        }
+
+        match &a.subject {
+            SubjectSpec::Identity(id) => {
+                if let Some(known) = &input.known_subjects {
+                    if !known.contains(id) {
+                        out.push(Diagnostic::new(
+                            "WS005",
+                            Severity::Warning,
+                            auth_span(a),
+                            format!("references subject '{id}', unknown to the deployment"),
+                        ));
+                    }
+                }
+            }
+            SubjectSpec::WithCredentials(expr) => {
+                if let Some(known) = &input.known_credential_types {
+                    let mut types = BTreeSet::new();
+                    credential_types(expr, &mut types);
+                    for t in types {
+                        if !known.contains(&t) {
+                            out.push(Diagnostic::new(
+                                "WS005",
+                                Severity::Warning,
+                                auth_span(a),
+                                format!(
+                                    "references credential type '{t}', which no issuer mints"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            SubjectSpec::Anyone | SubjectSpec::InRole(_) => {}
+        }
+    }
+
+    if check_docs {
+        for (name, _) in &input.labels {
+            if !doc_names.contains(name) {
+                out.push(
+                    Diagnostic::new(
+                        "WS005",
+                        Severity::Error,
+                        format!("label for '{name}'"),
+                        "labelled document is not in the store",
+                    )
+                    .with_suggestion("remove the stale label or restore the document"),
+                );
+            }
+        }
+        for name in &input.catalog_names {
+            if !doc_names.contains(name) {
+                out.push(
+                    Diagnostic::new(
+                        "WS005",
+                        Severity::Error,
+                        format!("catalog entry '{name}'"),
+                        "catalogued object is not in the store",
+                    )
+                    .with_suggestion("remove the stale catalog entry or restore the document"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::Level;
+    use websec_policy::Role;
+    use websec_privacy::PrivacyLevel;
+    use websec_xml::Path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<hospital><patient id=\"p1\" ssn=\"1\"><name>A</name></patient>\
+             <admin><budget>9</budget></admin></hospital>",
+        )
+        .unwrap()
+    }
+
+    fn portion(path: &str) -> ObjectSpec {
+        ObjectSpec::Portion {
+            document: "h.xml".into(),
+            path: Path::parse(path).unwrap(),
+        }
+    }
+
+    #[test]
+    fn clean_base_has_no_findings() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doc".into()),
+            portion("//patient"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let report = Analyzer::analyze(&input);
+        assert!(report.is_clean(), "{}", report.human());
+    }
+
+    #[test]
+    fn ws001_strategy_dependent_conflict() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Identity("eve".into()),
+            portion("/hospital/admin"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let report = Analyzer::analyze(&input);
+        let hits = report.with_code("WS001");
+        assert_eq!(hits.len(), 1, "{}", report.human());
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn ws001_priority_tie_is_error() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::ExplicitPriority)
+            .with_document("h.xml", &d);
+        let report = Analyzer::analyze(&input);
+        assert!(
+            report
+                .with_code("WS001")
+                .iter()
+                .any(|f| f.severity == Severity::Error),
+            "{}",
+            report.human()
+        );
+    }
+
+    #[test]
+    fn ws001_disjoint_subjects_do_not_conflict() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Identity("bob".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        assert!(ws001_conflicts(&input).is_empty());
+    }
+
+    #[test]
+    fn ws002_unreachable_rule() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            portion("//nonexistent"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let report = Analyzer::analyze(&input);
+        let hits = report.with_code("WS002");
+        assert_eq!(hits.len(), 1, "{}", report.human());
+        assert!(hits[0].message.contains("unreachable"));
+    }
+
+    #[test]
+    fn ws002_shadowed_grant() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::deny(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Browse,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("bob".into()),
+            portion("//patient"),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let shadows = ws002_shadowed_rules(&input);
+        assert!(
+            shadows
+                .iter()
+                .any(|f| f.span.contains("#1") && f.message.contains("shadowed")),
+            "{shadows:?}"
+        );
+    }
+
+    #[test]
+    fn ws003_condition_toggle_is_warning() {
+        let store = PolicyStore::new();
+        let d = doc();
+        let label =
+            ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified);
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("war.xml", &d)
+            .with_label("war.xml", &label);
+        let report = Analyzer::analyze(&input);
+        let hits = report.with_code("WS003");
+        assert_eq!(hits.len(), 1, "{}", report.human());
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn ws003_epoch_declassification_is_info() {
+        let store = PolicyStore::new();
+        let d = doc();
+        let label = ContextLabel::fixed(Level::Secret).after_epoch(100, Level::Unclassified);
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("old.xml", &d)
+            .with_label("old.xml", &label);
+        let hits = ws003_mls_flows(&input);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn ws003_fixed_label_is_silent() {
+        let store = PolicyStore::new();
+        let d = doc();
+        let label = ContextLabel::fixed(Level::Secret);
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("s.xml", &d)
+            .with_label("s.xml", &label);
+        assert!(ws003_mls_flows(&input).is_empty());
+    }
+
+    #[test]
+    fn ws004_assemblable_combination() {
+        let store = PolicyStore::new();
+        let constraints = vec![PrivacyConstraint::new(
+            &["name", "diagnosis"],
+            PrivacyLevel::Private,
+        )];
+        let columns: Vec<String> =
+            ["id", "name", "diagnosis"].iter().map(|s| s.to_string()).collect();
+        let mut input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_schema("patients", &columns);
+        input.constraints = &constraints;
+        let hits = ws004_inference_channels(&input);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].code, "WS004");
+    }
+
+    #[test]
+    fn ws004_singleton_guard_blocks_channel() {
+        // A sub-constraint at the same level already blocks single-attribute
+        // probes, so no channel.
+        let store = PolicyStore::new();
+        let constraints = vec![
+            PrivacyConstraint::new(&["name", "diagnosis"], PrivacyLevel::Private),
+            PrivacyConstraint::new(&["diagnosis"], PrivacyLevel::Private),
+        ];
+        let columns: Vec<String> =
+            ["id", "name", "diagnosis"].iter().map(|s| s.to_string()).collect();
+        let mut input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_schema("patients", &columns);
+        input.constraints = &constraints;
+        let hits = ws004_inference_channels(&input);
+        assert!(hits.iter().all(|h| !h.span.contains("name")), "{hits:?}");
+    }
+
+    #[test]
+    fn ws005_dangling_document() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("ghost.xml".into()),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let report = Analyzer::analyze(&input);
+        let hits = report.with_code("WS005");
+        assert!(
+            hits.iter()
+                .any(|f| f.severity == Severity::Error && f.message.contains("ghost.xml")),
+            "{}",
+            report.human()
+        );
+    }
+
+    #[test]
+    fn ws005_unregistered_collection() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Collection("wards".into()),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        let hits = ws005_dangling_references(&input);
+        assert!(hits.iter().any(|f| f.message.contains("never registered")));
+    }
+
+    #[test]
+    fn ws005_unknown_subject_and_credential() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("ghost".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::WithCredentials(CredentialExpr::OfType("unicorn-wrangler".into())),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let d = doc();
+        let mut input = AnalyzerInput::new(&store, ConflictStrategy::default())
+            .with_document("h.xml", &d);
+        input.known_subjects = Some(["alice".to_string()].into_iter().collect());
+        input.known_credential_types = Some(["physician".to_string()].into_iter().collect());
+        let hits = ws005_dangling_references(&input);
+        assert!(hits.iter().any(|f| f.message.contains("ghost")));
+        assert!(hits.iter().any(|f| f.message.contains("unicorn-wrangler")));
+    }
+
+    #[test]
+    fn subject_cover_role_hierarchy() {
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(Role::new("chief"), Role::new("doctor"));
+        // Everyone activating "chief" also activates "doctor", so a
+        // doctor-rule covers a chief-rule's subjects.
+        assert!(subject_covers(
+            &SubjectSpec::InRole(Role::new("doctor")),
+            &SubjectSpec::InRole(Role::new("chief")),
+            &h
+        ));
+        assert!(!subject_covers(
+            &SubjectSpec::InRole(Role::new("chief")),
+            &SubjectSpec::InRole(Role::new("doctor")),
+            &h
+        ));
+    }
+}

@@ -4,6 +4,8 @@
 //! Criterion benches and the `run_experiments` report binary measure the
 //! same thing. All generators are deterministic under fixed seeds.
 
+#![forbid(unsafe_code)]
+
 use websec_core::prelude::*;
 
 /// Builds a hospital-style document with `n_patients` patient subtrees

@@ -48,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod blobs;
 pub mod federation;
@@ -57,6 +57,7 @@ pub mod query;
 pub mod stack;
 pub mod trust;
 
+pub use websec_analyzer as analyzer;
 pub use websec_crypto as crypto;
 pub use websec_dissem as dissem;
 pub use websec_mining as mining;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::federation::{FederatedHit, Federation, Site};
     pub use crate::query::{QueryStrategy, SecureQueryProcessor};
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
+    pub use websec_analyzer::{Analyzer, AnalyzerInput, Diagnostic, Report, Severity};
     pub use websec_crypto::{
         sha256, wots_verify, ChaCha20, Keypair, MerkleTree, SecureRng, WotsKeypair,
     };

@@ -95,9 +95,13 @@ impl MetadataRepository {
             }
             Placement::PerSite | Placement::Replicated => {
                 let site = meta.site.clone();
+                assert!(
+                    self.stores.contains_key(&site),
+                    "unknown site '{site}'"
+                );
                 self.stores
                     .get_mut(&site)
-                    .unwrap_or_else(|| panic!("unknown site '{site}'"))
+                    .expect("site checked above")
                     .insert(meta.document.clone(), meta);
             }
         }

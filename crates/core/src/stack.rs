@@ -55,6 +55,9 @@ pub enum StackError {
     ClearanceViolation,
     /// Transport failure.
     Channel(String),
+    /// Static analysis found error-severity misconfigurations (strict mode);
+    /// carries the machine rendering of the findings.
+    Misconfigured(String),
 }
 
 impl std::fmt::Display for StackError {
@@ -63,6 +66,7 @@ impl std::fmt::Display for StackError {
             StackError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
             StackError::ClearanceViolation => write!(f, "document label exceeds clearance"),
             StackError::Channel(m) => write!(f, "channel failure: {m}"),
+            StackError::Misconfigured(m) => write!(f, "stack misconfigured:\n{m}"),
         }
     }
 }
@@ -147,6 +151,36 @@ impl SecureWebStack {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Runs the five static-analysis passes (WS001–WS005) over the stack's
+    /// current configuration — policy base, documents, labels and catalog —
+    /// without executing any query.
+    #[must_use]
+    pub fn analyze(&self) -> websec_analyzer::Report {
+        let catalog: Vec<String> = self.catalog_names();
+        let mut input =
+            websec_analyzer::AnalyzerInput::new(&self.policies, self.engine.strategy);
+        for name in self.documents.names() {
+            if let Some(doc) = self.documents.get(name) {
+                input.documents.push((name, doc));
+            }
+        }
+        for (name, label) in &self.labels {
+            input.labels.push((name.as_str(), label));
+        }
+        input.catalog_names = catalog.iter().map(String::as_str).collect();
+        websec_analyzer::Analyzer::analyze(&input)
+    }
+
+    /// Strict boot gate: refuses service when [`Self::analyze`] reports any
+    /// error-severity finding, returning the report otherwise.
+    pub fn analyze_strict(&self) -> Result<websec_analyzer::Report, StackError> {
+        let report = self.analyze();
+        if report.has_errors() {
+            return Err(StackError::Misconfigured(report.machine()));
+        }
+        Ok(report)
     }
 
     /// Processes one query through all four layers, returning the view's

@@ -26,7 +26,7 @@
 //! simulation workloads, not production deployment.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chacha20;
 pub mod hmac;

@@ -1,18 +1,28 @@
-//! Property-based tests for the cryptographic substrate.
+//! Property-style tests for the cryptographic substrate, driven by seeded
+//! [`SecureRng`] iteration (the workspace builds fully offline, so no
+//! external property-testing framework is used).
 
-use proptest::prelude::*;
 use websec_crypto::merkle::{leaf_hash, MerkleTree};
-use websec_crypto::{sha256, ChaCha20, Sha256};
+use websec_crypto::{sha256, ChaCha20, SecureRng, Sha256};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Incremental hashing equals one-shot hashing for arbitrary chunkings.
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        cuts in proptest::collection::vec(1usize..64, 0..8),
-    ) {
+fn random_bytes(rng: &mut SecureRng, max_len: u64) -> Vec<u8> {
+    let len = rng.gen_range(max_len) as usize;
+    let mut out = vec![0u8; len];
+    rng.fill(&mut out);
+    out
+}
+
+/// Incremental hashing equals one-shot hashing for arbitrary chunkings.
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let mut rng = SecureRng::seeded(0x5ea1);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 2048);
+        let n_cuts = rng.gen_range(8) as usize;
+        let cuts: Vec<usize> = (0..n_cuts).map(|_| 1 + rng.gen_range(63) as usize).collect();
+
         let mut h = Sha256::new();
         let mut rest: &[u8] = &data;
         for c in cuts {
@@ -21,86 +31,103 @@ proptest! {
             rest = &rest[take..];
         }
         h.update(rest);
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
+}
 
-    /// Different inputs hash differently (collision would be news).
-    #[test]
-    fn sha256_injective_in_practice(
-        a in proptest::collection::vec(any::<u8>(), 0..256),
-        b in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        prop_assume!(a != b);
-        prop_assert_ne!(sha256(&a), sha256(&b));
+/// Different inputs hash differently (a collision would be news).
+#[test]
+fn sha256_injective_in_practice() {
+    let mut rng = SecureRng::seeded(0x5ea2);
+    for _ in 0..CASES {
+        let a = random_bytes(&mut rng, 256);
+        let b = random_bytes(&mut rng, 256);
+        if a == b {
+            continue;
+        }
+        assert_ne!(sha256(&a), sha256(&b));
     }
+}
 
-    /// ChaCha20 decryption inverts encryption for any key/nonce/message.
-    #[test]
-    fn chacha_roundtrip(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform12(any::<u8>()),
-        counter in any::<u32>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
+/// ChaCha20 decryption inverts encryption for any key/nonce/message.
+#[test]
+fn chacha_roundtrip() {
+    let mut rng = SecureRng::seeded(0x5ea3);
+    for _ in 0..CASES {
+        let key = rng.gen_key();
+        let nonce = rng.gen_nonce();
+        let counter = rng.next_u32();
+        let msg = random_bytes(&mut rng, 1024);
         let ct = ChaCha20::process(&key, &nonce, counter, &msg);
         let pt = ChaCha20::process(&key, &nonce, counter, &ct);
-        prop_assert_eq!(pt, msg);
+        assert_eq!(pt, msg);
     }
+}
 
-    /// Every single-leaf proof of every tree verifies; a proof for leaf i
-    /// never verifies leaf j's data (i ≠ j, distinct data).
-    #[test]
-    fn merkle_proofs_sound_and_binding(
-        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..24),
-    ) {
+/// Every single-leaf proof of every tree verifies; a proof for leaf i never
+/// verifies leaf j's data (i ≠ j, distinct data).
+#[test]
+fn merkle_proofs_sound_and_binding() {
+    let mut rng = SecureRng::seeded(0x5ea4);
+    for _ in 0..CASES {
+        let n_leaves = 1 + rng.gen_range(23) as usize;
+        let leaves: Vec<Vec<u8>> = (0..n_leaves).map(|_| random_bytes(&mut rng, 32)).collect();
         let tree = MerkleTree::from_data(&leaves);
         let root = tree.root();
         for (i, leaf) in leaves.iter().enumerate() {
             let proof = tree.prove(i);
-            prop_assert!(websec_crypto::merkle::verify(&root, leaf, &proof));
-            // Cross-verification fails whenever the data differs.
+            assert!(websec_crypto::merkle::verify(&root, leaf, &proof));
             for (j, other) in leaves.iter().enumerate() {
                 if j != i && other != leaf {
-                    prop_assert!(!websec_crypto::merkle::verify(&root, other, &proof));
+                    assert!(!websec_crypto::merkle::verify(&root, other, &proof));
                 }
             }
         }
     }
+}
 
-    /// Multi-proofs verify exactly the claimed subset and reject supersets
-    /// or permutations of the leaf data.
-    #[test]
-    fn multiproof_subset_integrity(
-        n in 1usize..20,
-        picks in proptest::collection::vec(any::<u16>(), 1..8),
-    ) {
+/// Multi-proofs verify exactly the claimed subset and reject permutations of
+/// the leaf data.
+#[test]
+fn multiproof_subset_integrity() {
+    let mut rng = SecureRng::seeded(0x5ea5);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range(19) as usize;
         let data: Vec<Vec<u8>> = (0..n).map(|i| format!("L{i}").into_bytes()).collect();
         let tree = MerkleTree::from_data(&data);
-        let mut subset: Vec<usize> = picks.iter().map(|&p| p as usize % n).collect();
+        let n_picks = 1 + rng.gen_range(7) as usize;
+        let mut subset: Vec<usize> =
+            (0..n_picks).map(|_| rng.gen_range(n as u64) as usize).collect();
         subset.sort_unstable();
         subset.dedup();
         let proof = tree.prove_multi(&subset);
         let hashes: Vec<_> = subset.iter().map(|&i| leaf_hash(&data[i])).collect();
-        prop_assert!(proof.verify(&tree.root(), &hashes));
+        assert!(proof.verify(&tree.root(), &hashes));
         // Swapping two distinct leaves breaks verification.
         if hashes.len() >= 2 && hashes[0] != hashes[1] {
             let mut swapped = hashes.clone();
             swapped.swap(0, 1);
-            prop_assert!(!proof.verify(&tree.root(), &swapped));
+            assert!(!proof.verify(&tree.root(), &swapped));
         }
     }
+}
 
-    /// MSS signatures verify under their own key and fail under any other.
-    #[test]
-    fn signatures_bind_key_and_message(seed_a in any::<u8>(), seed_b in any::<u8>(), msg in ".*") {
-        prop_assume!(seed_a != seed_b);
-        use websec_crypto::sig::{verify, Keypair};
+/// MSS signatures verify under their own key and fail under any other.
+#[test]
+fn signatures_bind_key_and_message() {
+    use websec_crypto::sig::{verify, Keypair};
+    let mut rng = SecureRng::seeded(0x5ea6);
+    for case in 0..16 {
+        let seed_a = (2 * case) as u8;
+        let seed_b = (2 * case + 1) as u8;
+        let msg = random_bytes(&mut rng, 64);
         let mut kp_a = Keypair::from_seed([seed_a; 32], 1);
         let kp_b = Keypair::from_seed([seed_b; 32], 1);
-        let sig = kp_a.sign(msg.as_bytes()).unwrap();
-        prop_assert!(verify(&kp_a.public_key(), msg.as_bytes(), &sig));
-        prop_assert!(!verify(&kp_b.public_key(), msg.as_bytes(), &sig));
-        let altered = format!("{msg}!");
-        prop_assert!(!verify(&kp_a.public_key(), altered.as_bytes(), &sig));
+        let sig = kp_a.sign(&msg).unwrap();
+        assert!(verify(&kp_a.public_key(), &msg, &sig));
+        assert!(!verify(&kp_b.public_key(), &msg, &sig));
+        let mut altered = msg.clone();
+        altered.push(b'!');
+        assert!(!verify(&kp_a.public_key(), &altered, &sig));
     }
 }

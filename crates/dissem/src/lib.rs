@@ -22,7 +22,7 @@
 //!    at request time and encrypts it under the subscriber's session key.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod keyring;
 pub mod package;

@@ -6,8 +6,7 @@
 //! reconstruction experiments, and skewed (Zipfian) co-occurring items for
 //! association mining — under caller-controlled seeds.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use websec_crypto::SecureRng;
 
 /// Draws `n` values from a mixture of Gaussians given as
 /// `(weight, mean, std_dev)` components (weights need not be normalized).
@@ -19,10 +18,10 @@ pub fn gaussian_mixture(seed: u64, n: usize, components: &[(f64, f64, f64)]) -> 
     assert!(!components.is_empty(), "need at least one component");
     let total: f64 = components.iter().map(|(w, _, _)| w).sum();
     assert!(total > 0.0, "weights must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SecureRng::seeded(seed);
     (0..n)
         .map(|_| {
-            let mut pick = rng.gen::<f64>() * total;
+            let mut pick = rng.next_f64() * total;
             let mut chosen = components[components.len() - 1];
             for &c in components {
                 if pick < c.0 {
@@ -33,8 +32,8 @@ pub fn gaussian_mixture(seed: u64, n: usize, components: &[(f64, f64, f64)]) -> 
             }
             let (_, mean, sd) = chosen;
             // Box-Muller.
-            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen();
+            let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             mean + sd * z
         })
@@ -93,7 +92,7 @@ pub fn zipf_baskets(
     s: f64,
 ) -> BasketDataset {
     assert!(n_items > 0 && avg_len > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SecureRng::seeded(seed);
     // Zipf CDF.
     let weights: Vec<f64> = (1..=n_items).map(|k| 1.0 / (k as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
@@ -103,15 +102,15 @@ pub fn zipf_baskets(
         acc += w / total;
         cdf.push(acc);
     }
-    let draw = |rng: &mut StdRng| -> usize {
-        let u: f64 = rng.gen();
+    let draw = |rng: &mut SecureRng| -> usize {
+        let u: f64 = rng.next_f64();
         cdf.iter().position(|&c| u <= c).unwrap_or(n_items - 1)
     };
 
     let baskets = (0..n_baskets)
         .map(|_| {
             // Poisson-ish basket length via geometric accumulation.
-            let len = 1 + rng.gen_range(0..avg_len * 2);
+            let len = 1 + rng.gen_range((avg_len * 2) as u64) as usize;
             let mut b: Vec<usize> = (0..len).map(|_| draw(&mut rng)).collect();
             b.sort_unstable();
             b.dedup();

@@ -26,7 +26,7 @@
 //!   on top of it, so "no party learns others' inputs".
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apriori;
 pub mod dataset;

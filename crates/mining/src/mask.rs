@@ -9,8 +9,7 @@
 //! trade-off experiment E9 charts.
 
 use crate::dataset::BasketDataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use websec_crypto::SecureRng;
 
 /// Basket data after randomized response.
 #[derive(Debug, Clone)]
@@ -31,14 +30,14 @@ impl MaskedBaskets {
     #[must_use]
     pub fn mask(seed: u64, data: &BasketDataset, p: f64) -> Self {
         assert!((0.0..0.5).contains(&p), "flip probability must be in [0, 0.5)");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SecureRng::seeded(seed);
         let rows = data
             .to_bitvectors()
             .into_iter()
             .map(|row| {
                 row.into_iter()
                     .map(|bit| {
-                        if rng.gen::<f64>() < p {
+                        if rng.next_f64() < p {
                             !bit
                         } else {
                             bit

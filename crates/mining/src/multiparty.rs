@@ -12,10 +12,9 @@
 //! computed by secure sums over local counts.
 
 use crate::dataset::BasketDataset;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
+use websec_crypto::SecureRng;
 
 /// Modulus for the masked ring sum (large enough for any realistic count).
 const MODULUS: u64 = 1 << 62;
@@ -31,14 +30,14 @@ pub fn secure_sum(seed: u64, inputs: &[u64]) -> u64 {
     assert!(!inputs.is_empty(), "need at least one party");
     assert!(inputs.iter().all(|&x| x < MODULUS), "input exceeds modulus");
     let n = inputs.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mask: u64 = rng.gen_range(0..MODULUS);
+    let mut rng = SecureRng::seeded(seed);
+    let mask: u64 = rng.gen_range(MODULUS);
 
     // Ring of channels: initiator -> p1 -> p2 -> ... -> initiator.
-    let mut senders: Vec<Sender<u64>> = Vec::with_capacity(n);
+    let mut senders: Vec<SyncSender<u64>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<u64>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (s, r) = bounded(1);
+        let (s, r) = sync_channel(1);
         senders.push(s);
         receivers.push(r);
     }
@@ -71,8 +70,8 @@ pub fn secure_sum(seed: u64, inputs: &[u64]) -> u64 {
 #[must_use]
 pub fn observed_partials(seed: u64, inputs: &[u64]) -> Vec<u64> {
     // Re-run the arithmetic deterministically (no threads needed).
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mask: u64 = rng.gen_range(0..MODULUS);
+    let mut rng = SecureRng::seeded(seed);
+    let mask: u64 = rng.gen_range(MODULUS);
     let mut partials = Vec::with_capacity(inputs.len());
     let mut acc = (mask + inputs[0]) % MODULUS;
     for &x in &inputs[1..] {

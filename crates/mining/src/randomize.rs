@@ -6,8 +6,7 @@
 //! distribution of `x` by Bayes iteration — "continue with mining but at
 //! the same time ensure privacy as much as possible" (§3.3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use websec_crypto::SecureRng;
 
 /// The public randomization operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,14 +45,14 @@ impl NoiseModel {
     /// Randomizes a dataset: returns `x_i + y_i`.
     #[must_use]
     pub fn randomize(&self, seed: u64, data: &[f64]) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SecureRng::seeded(seed);
         data.iter()
             .map(|&x| {
                 let y = match self {
-                    NoiseModel::Uniform { alpha } => rng.gen_range(-alpha..=*alpha),
+                    NoiseModel::Uniform { alpha } => -alpha + rng.next_f64() * (2.0 * alpha),
                     NoiseModel::Gaussian { std_dev } => {
-                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                        let u2: f64 = rng.gen();
+                        let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.next_f64();
                         std_dev
                             * (-2.0 * u1.ln()).sqrt()
                             * (2.0 * std::f64::consts::PI * u2).cos()

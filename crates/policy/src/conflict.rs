@@ -237,4 +237,113 @@ mod tests {
         let d_hi = deny_identity(3).with_priority(20);
         assert_eq!(s.resolve(&[&g, &d_hi]), Some(Sign::Minus));
     }
+
+    const ALL_STRATEGIES: [ConflictStrategy; 5] = [
+        ConflictStrategy::DenialsTakePrecedence,
+        ConflictStrategy::PermissionsTakePrecedence,
+        ConflictStrategy::MostSpecificSubject,
+        ConflictStrategy::MostSpecificObject,
+        ConflictStrategy::ExplicitPriority,
+    ];
+
+    #[test]
+    fn every_strategy_returns_none_only_on_empty() {
+        let g = grant_all(1);
+        for s in ALL_STRATEGIES {
+            assert_eq!(s.resolve(&[]), None, "{s:?}");
+            assert!(s.resolve(&[&g]).is_some(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_is_identity_on_singletons() {
+        let g = grant_all(1);
+        let d = deny_identity(2);
+        for s in ALL_STRATEGIES {
+            assert_eq!(s.resolve(&[&g]), Some(Sign::Plus), "{s:?}");
+            assert_eq!(s.resolve(&[&d]), Some(Sign::Minus), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_agrees_on_uniform_signs() {
+        // With no sign mixture there is no conflict to resolve: the answer
+        // is the common sign, whatever the strategy.
+        let g1 = grant_all(1).with_priority(5);
+        let g2 = Authorization::grant(
+            2,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::Document("d".into()),
+            Privilege::Read,
+        );
+        let d1 = deny_identity(3).with_priority(7);
+        let d2 = Authorization::deny(
+            4,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        );
+        for s in ALL_STRATEGIES {
+            assert_eq!(s.resolve(&[&g1, &g2]), Some(Sign::Plus), "{s:?}");
+            assert_eq!(s.resolve(&[&d1, &d2]), Some(Sign::Minus), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_sign_matrix_across_strategies() {
+        // One grant (specific subject, coarse object, high priority) against
+        // one denial (generic subject, fine object, low priority): each
+        // strategy picks its own winner.
+        use websec_xml::Path;
+        let g = Authorization::grant(
+            1,
+            SubjectSpec::Identity("alice".into()),
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        )
+        .with_priority(10);
+        let d = Authorization::deny(
+            2,
+            SubjectSpec::Anyone,
+            ObjectSpec::Portion {
+                document: "d".into(),
+                path: Path::parse("/a").unwrap(),
+            },
+            Privilege::Read,
+        )
+        .with_priority(1);
+        let expected = [
+            (ConflictStrategy::DenialsTakePrecedence, Sign::Minus),
+            (ConflictStrategy::PermissionsTakePrecedence, Sign::Plus),
+            (ConflictStrategy::MostSpecificSubject, Sign::Plus),
+            (ConflictStrategy::MostSpecificObject, Sign::Minus),
+            (ConflictStrategy::ExplicitPriority, Sign::Plus),
+        ];
+        for (s, want) in expected {
+            assert_eq!(s.resolve(&[&g, &d]), Some(want), "{s:?}");
+            // Order of the applicable slice must not matter.
+            assert_eq!(s.resolve(&[&d, &g]), Some(want), "{s:?} reversed");
+        }
+    }
+
+    #[test]
+    fn all_tiebreaks_fall_to_denial() {
+        // Equal specificity / granularity / priority: every strategy that
+        // compares them falls back to denials-take-precedence.
+        let g = grant_all(1).with_priority(3);
+        let d = Authorization::deny(
+            2,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        )
+        .with_priority(3);
+        for s in [
+            ConflictStrategy::MostSpecificSubject,
+            ConflictStrategy::MostSpecificObject,
+            ConflictStrategy::ExplicitPriority,
+        ] {
+            assert_eq!(s.resolve(&[&g, &d]), Some(Sign::Minus), "{s:?}");
+        }
+    }
 }

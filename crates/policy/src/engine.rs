@@ -70,10 +70,24 @@ impl PolicyStore {
             .insert(document.to_string());
     }
 
-    fn collection_contains(&self, collection: &str, document: &str) -> bool {
+    /// True when `document` is a registered member of `collection`.
+    #[must_use]
+    pub fn collection_contains(&self, collection: &str, document: &str) -> bool {
         self.collections
             .get(collection)
             .is_some_and(|m| m.contains(document))
+    }
+
+    /// Names of all registered collections, sorted.
+    #[must_use]
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    /// The members of `collection`, or `None` when it was never registered.
+    #[must_use]
+    pub fn collection_members(&self, collection: &str) -> Option<&BTreeSet<String>> {
+        self.collections.get(collection)
     }
 }
 
@@ -148,7 +162,10 @@ impl PolicyEngine {
     /// of `doc` (named `doc_name`), or `None` when the spec does not apply
     /// to this document at all. Attribute-targeting portions return the
     /// element set separately from the `(node, attr)` pairs.
-    fn covered_nodes(
+    ///
+    /// Public so that static analysis (`websec-analyzer`) can reuse the
+    /// exact coverage semantics the engine applies at evaluation time.
+    pub fn covered_nodes(
         store: &PolicyStore,
         auth: &Authorization,
         doc_name: &str,
@@ -209,7 +226,7 @@ impl PolicyEngine {
     /// True when `auth` bears on a request for `privilege`:
     /// a grant of `q` supports requests for `p ≤ q`; a denial of `q` blocks
     /// requests for `p ≥ q` (denying Read also blocks Write, not Browse).
-    fn relevant(auth: &Authorization, privilege: Privilege) -> bool {
+    pub fn relevant(auth: &Authorization, privilege: Privilege) -> bool {
         match auth.sign {
             Sign::Plus => auth.privilege.implies(privilege),
             Sign::Minus => privilege.implies(auth.privilege),

@@ -28,7 +28,7 @@
 //!   security may be sufficient").
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod admin;
 pub mod authz;

@@ -134,6 +134,46 @@ impl ContextLabel {
         self
     }
 
+    /// Condition names referenced by any rule of this label, sorted and
+    /// deduplicated. Static analysis uses these to enumerate the contexts
+    /// under which the effective level can change.
+    #[must_use]
+    pub fn conditions(&self) -> BTreeSet<String> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                LabelRule::AfterEpoch(..) => None,
+                LabelRule::WhileCondition(c, _) | LabelRule::UnlessCondition(c, _) => {
+                    Some(c.clone())
+                }
+            })
+            .collect()
+    }
+
+    /// Epochs at which an `AfterEpoch` rule starts firing, sorted and
+    /// deduplicated. Together with epoch 0 these are the only epochs at
+    /// which the effective level can change (for a fixed condition set).
+    #[must_use]
+    pub fn epoch_breakpoints(&self) -> Vec<u64> {
+        let mut epochs: Vec<u64> = self
+            .rules
+            .iter()
+            .filter_map(|r| match r {
+                LabelRule::AfterEpoch(e, _) => Some(*e),
+                _ => None,
+            })
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
+    /// Number of context-dependent rules attached to this label.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
     /// The effective level in `context`. When several rules fire, the
     /// *highest* resulting level wins (fail-secure); when none fire, the
     /// base level applies.

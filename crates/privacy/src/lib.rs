@@ -27,7 +27,7 @@
 //!   may be extended to include privacy constraints", §3.3).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod constraints;
 pub mod inference;

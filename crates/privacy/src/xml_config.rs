@@ -69,7 +69,9 @@ pub fn constraints_from_xml(doc: &Document) -> Result<Vec<PrivacyConstraint>, Co
     if doc.name(doc.root()) != Some("privacyConstraints") {
         return err("root must be <privacyConstraints>");
     }
-    let constraint_path = Path::parse("/privacyConstraints/constraint").expect("static");
+    let Ok(constraint_path) = Path::parse("/privacyConstraints/constraint") else {
+        return err("internal: constraint selector failed to parse");
+    };
     let mut out = Vec::new();
     for node in constraint_path.select_nodes(doc) {
         let level = match doc.attribute(node, "level") {
@@ -168,7 +170,10 @@ pub fn policy_from_xml(doc: &Document) -> Result<PrivacyPolicy, ConfigError> {
     let mut policy = PrivacyPolicy::new(&entity);
     policy.supports_anonymous = doc.attribute(doc.root(), "anonymous") == Some("true");
 
-    for st in Path::parse("/POLICY/STATEMENT").expect("static").select_nodes(doc) {
+    let Ok(statement_path) = Path::parse("/POLICY/STATEMENT") else {
+        return err("internal: statement selector failed to parse");
+    };
+    for st in statement_path.select_nodes(doc) {
         let purpose = match doc.attribute(st, "purpose") {
             Some("current") => Purpose::CurrentTransaction,
             Some("admin") => Purpose::Admin,

@@ -22,7 +22,7 @@
 //! [`client`] (verification).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod authentic;
 pub mod client;

@@ -25,7 +25,7 @@
 //!   and policies expressed *in RDF itself*.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ntriples;
 pub mod ontology;

@@ -24,7 +24,7 @@
 //!   end-to-end secure invocation pipeline.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod actors;
 pub mod channel;

@@ -21,7 +21,7 @@
 //!   discovery agency has altered the content of the query answer".
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod auth;
 pub mod model;

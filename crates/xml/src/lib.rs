@@ -13,7 +13,7 @@
 //! Merkle machinery in `websec-publish`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dtd;
 pub mod index;

@@ -1,0 +1,199 @@
+//! End-to-end exercise of the static analyzer (WS001–WS005) through the
+//! public stack API: every diagnostic class fires on a purpose-built
+//! misconfiguration, and a well-formed stack analyzes clean.
+
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+fn hospital() -> Document {
+    Document::parse(
+        "<hospital><patient id=\"p1\" ssn=\"1\"><name>Alice</name></patient>\
+         <admin><budget>9</budget></admin></hospital>",
+    )
+    .unwrap()
+}
+
+fn portion(path: &str) -> ObjectSpec {
+    ObjectSpec::Portion {
+        document: "h.xml".into(),
+        path: Path::parse(path).unwrap(),
+    }
+}
+
+fn base_stack() -> SecureWebStack {
+    let mut s = SecureWebStack::new([7u8; 32]);
+    s.add_document("h.xml", hospital(), ContextLabel::fixed(Level::Unclassified));
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("doctor".into()),
+        portion("//patient"),
+        Privilege::Read,
+    ));
+    s
+}
+
+#[test]
+fn default_stack_analyzes_clean() {
+    let s = base_stack();
+    let report = s.analyze();
+    assert!(report.is_clean(), "{}", report.human());
+    assert!(s.analyze_strict().is_ok());
+}
+
+#[test]
+fn ws001_conflict_surfaces_through_stack() {
+    let mut s = base_stack();
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("h.xml".into()),
+        Privilege::Read,
+    ));
+    s.policies.add(Authorization::deny(
+        0,
+        SubjectSpec::Identity("eve".into()),
+        portion("/hospital/admin"),
+        Privilege::Read,
+    ));
+    let report = s.analyze();
+    let hits = report.with_code("WS001");
+    assert!(!hits.is_empty(), "{}", report.human());
+    assert!(hits.iter().all(|d| d.code == "WS001"));
+    // Strategy-dependent but resolvable: warning, not a strict-boot error.
+    assert!(s.analyze_strict().is_ok());
+}
+
+#[test]
+fn ws001_priority_tie_refuses_strict_boot() {
+    let mut s = base_stack();
+    s.engine = PolicyEngine::new(ConflictStrategy::ExplicitPriority);
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("h.xml".into()),
+        Privilege::Read,
+    ));
+    s.policies.add(Authorization::deny(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("h.xml".into()),
+        Privilege::Read,
+    ));
+    let report = s.analyze();
+    assert!(
+        report
+            .with_code("WS001")
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+        "{}",
+        report.human()
+    );
+    match s.analyze_strict() {
+        Err(StackError::Misconfigured(m)) => assert!(m.contains("WS001"), "{m}"),
+        other => panic!("expected Misconfigured, got {other:?}"),
+    }
+}
+
+#[test]
+fn ws002_unreachable_rule_is_flagged() {
+    let mut s = base_stack();
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        portion("//cafeteria"),
+        Privilege::Read,
+    ));
+    let report = s.analyze();
+    let hits = report.with_code("WS002");
+    assert_eq!(hits.len(), 1, "{}", report.human());
+    assert!(hits[0].message.contains("unreachable"));
+    // Warnings do not block a strict boot.
+    assert!(s.analyze_strict().is_ok());
+}
+
+#[test]
+fn ws003_context_label_flow_is_flagged() {
+    let mut s = SecureWebStack::new([7u8; 32]);
+    s.add_document(
+        "war.xml",
+        Document::parse("<ops><plan>x</plan></ops>").unwrap(),
+        ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified),
+    );
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Identity("analyst".into()),
+        ObjectSpec::Document("war.xml".into()),
+        Privilege::Read,
+    ));
+    let report = s.analyze();
+    let hits = report.with_code("WS003");
+    assert_eq!(hits.len(), 1, "{}", report.human());
+    assert_eq!(hits[0].severity, Severity::Warning);
+}
+
+#[test]
+fn ws004_inference_channel_via_direct_input() {
+    // Privacy constraints live outside the stack facade, so WS004 is fed
+    // through the analyzer's own input type.
+    let store = PolicyStore::new();
+    let constraints = vec![PrivacyConstraint::new(
+        &["name", "diagnosis"],
+        PrivacyLevel::Private,
+    )];
+    let columns: Vec<String> = ["id", "name", "diagnosis"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut input = AnalyzerInput::new(&store, ConflictStrategy::default())
+        .with_schema("patients", &columns);
+    input.constraints = &constraints;
+    let report = Analyzer::analyze(&input);
+    let hits = report.with_code("WS004");
+    assert_eq!(hits.len(), 1, "{}", report.human());
+    assert!(hits[0].message.contains("separate query"));
+}
+
+#[test]
+fn ws005_dangling_reference_refuses_strict_boot() {
+    let mut s = base_stack();
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("ghost.xml".into()),
+        Privilege::Read,
+    ));
+    let report = s.analyze();
+    assert!(
+        report
+            .with_code("WS005")
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains("ghost.xml")),
+        "{}",
+        report.human()
+    );
+    assert!(matches!(
+        s.analyze_strict(),
+        Err(StackError::Misconfigured(_))
+    ));
+}
+
+#[test]
+fn machine_output_is_line_oriented() {
+    let mut s = base_stack();
+    s.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("ghost.xml".into()),
+        Privilege::Read,
+    ));
+    let machine = s.analyze().machine();
+    for line in machine.lines() {
+        let fields: Vec<&str> = line.split('|').collect();
+        assert!(fields.len() >= 4, "malformed line: {line}");
+        assert!(fields[0].starts_with("WS"), "bad code in: {line}");
+        assert!(
+            matches!(fields[1], "info" | "warning" | "error"),
+            "bad severity in: {line}"
+        );
+    }
+}

@@ -1,8 +1,8 @@
-//! Property-based invariants across subsystems: RDFS closure laws,
+//! Property-style invariants across subsystems: RDFS closure laws,
 //! dissemination confidentiality, statistical-gate safety, secure-query
-//! strategy equivalence.
+//! strategy equivalence. Randomized cases are driven by seeded
+//! [`SecureRng`] iteration (the workspace builds fully offline).
 
-use proptest::prelude::*;
 use websec_core::prelude::*;
 use websec_core::rdf::schema::rdfs;
 use websec_core::rdf::store::rdf as rdf_ns;
@@ -11,55 +11,62 @@ fn iri(i: u8) -> Term {
     Term::iri(&format!("r{i}"))
 }
 
-/// Strategy: a random small RDF graph mixing schema and instance triples.
-fn arb_graph() -> impl Strategy<Value = TripleStore> {
-    proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 1..25).prop_map(|edges| {
-        let mut store = TripleStore::new();
-        for (s, p, o) in edges {
-            let pred = match p {
-                0 => Term::iri(rdfs::SUB_CLASS_OF),
-                1 => Term::iri(rdf_ns::TYPE),
-                2 => Term::iri("knows"),
-                _ => Term::iri(rdfs::SUB_PROPERTY_OF),
-            };
-            store.insert(&Triple::new(iri(s), pred, iri(o)));
-        }
-        store
-    })
+/// A random small RDF graph mixing schema and instance triples.
+fn random_graph(rng: &mut SecureRng) -> TripleStore {
+    let mut store = TripleStore::new();
+    let edges = 1 + rng.gen_range(24) as usize;
+    for _ in 0..edges {
+        let s = rng.gen_range(8) as u8;
+        let p = rng.gen_range(4) as u8;
+        let o = rng.gen_range(8) as u8;
+        let pred = match p {
+            0 => Term::iri(rdfs::SUB_CLASS_OF),
+            1 => Term::iri(rdf_ns::TYPE),
+            2 => Term::iri("knows"),
+            _ => Term::iri(rdfs::SUB_PROPERTY_OF),
+        };
+        store.insert(&Triple::new(iri(s), pred, iri(o)));
+    }
+    store
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Closure laws: contains the input, idempotent, monotone.
-    #[test]
-    fn closure_laws(graph in arb_graph()) {
+/// Closure laws: contains the input, idempotent, monotone.
+#[test]
+fn closure_laws() {
+    let mut rng = SecureRng::seeded(0x11a1);
+    for _ in 0..48 {
+        let graph = random_graph(&mut rng);
         let closed = Schema::closure(&graph);
         // Contains the input.
         for t in graph.all() {
-            prop_assert!(closed.contains(&t));
+            assert!(closed.contains(&t));
         }
         // Idempotent.
         let twice = Schema::closure(&closed);
-        prop_assert_eq!(closed.len(), twice.len());
+        assert_eq!(closed.len(), twice.len());
         // Monotone: adding a triple never shrinks the closure.
         let mut bigger = graph.clone();
         bigger.insert(&Triple::new(iri(0), Term::iri(rdfs::SUB_CLASS_OF), iri(7)));
         let closed_bigger = Schema::closure(&bigger);
-        prop_assert!(closed_bigger.len() >= closed.len());
+        assert!(closed_bigger.len() >= closed.len());
         for t in closed.all() {
-            prop_assert!(closed_bigger.contains(&t));
+            assert!(closed_bigger.contains(&t));
         }
     }
+}
 
-    /// Dissemination confidentiality: whatever policies exist, a subject
-    /// with no matching policy opens nothing, and any subject's view text
-    /// is a subset of the document's text.
-    #[test]
-    fn dissemination_confidentiality(
-        patient_count in 1usize..6,
-        granted_subjects in proptest::collection::vec(0u8..4, 0..4),
-    ) {
+/// Dissemination confidentiality: whatever policies exist, a subject with
+/// no matching policy opens nothing, and any subject's view text is a
+/// subset of the document's text.
+#[test]
+fn dissemination_confidentiality() {
+    let mut rng = SecureRng::seeded(0x11a2);
+    for _ in 0..48 {
+        let patient_count = 1 + rng.gen_range(5) as usize;
+        let n_grants = rng.gen_range(4) as usize;
+        let granted_subjects: Vec<u8> =
+            (0..n_grants).map(|_| rng.gen_range(4) as u8).collect();
+
         let mut xml = String::from("<hospital>");
         for i in 0..patient_count {
             xml.push_str(&format!("<patient id=\"p{i}\"><name>N{i}</name></patient>"));
@@ -86,7 +93,7 @@ proptest! {
 
         // A subject with no grants opens nothing.
         let stranger = authority.keys_for(&store, &map, &SubjectProfile::new("stranger"));
-        prop_assert!(stranger.is_empty());
+        assert!(stranger.is_empty());
 
         // Every granted subject's view mentions only its own patients.
         for &s in &granted_subjects {
@@ -97,7 +104,6 @@ proptest! {
             }
             let view = package.open(&keyring).unwrap();
             let text = view.to_xml_string();
-            // Whatever is visible must exist in the original.
             for i in 0..patient_count {
                 let marker = format!("N{i}");
                 if text.contains(&marker) {
@@ -106,20 +112,24 @@ proptest! {
                         .iter()
                         .enumerate()
                         .any(|(k, &gs)| gs == s && k % patient_count == i);
-                    prop_assert!(entitled, "user-{s} sees {marker} without a grant");
+                    assert!(entitled, "user-{s} sees {marker} without a grant");
                 }
             }
         }
     }
+}
 
-    /// The statistical gate never answers a query over fewer than k rows
-    /// (or its complement), for any query in the equality language.
-    #[test]
-    fn statistical_gate_small_sets_never_answered(
-        k in 2usize..5,
-        dept_of in proptest::collection::vec(0u8..4, 6..20),
-        probe_dept in 0u8..4,
-    ) {
+/// The statistical gate never answers a query over fewer than k rows (or
+/// its complement), for any query in the equality language.
+#[test]
+fn statistical_gate_small_sets_never_answered() {
+    let mut rng = SecureRng::seeded(0x11a3);
+    for _ in 0..48 {
+        let k = 2 + rng.gen_range(3) as usize;
+        let rows = 6 + rng.gen_range(14) as usize;
+        let dept_of: Vec<u8> = (0..rows).map(|_| rng.gen_range(4) as u8).collect();
+        let probe_dept = rng.gen_range(4) as u8;
+
         let mut table = Table::new("staff", &["id", "dept", "salary"]);
         for (i, &d) in dept_of.iter().enumerate() {
             table.insert(vec![
@@ -134,22 +144,28 @@ proptest! {
         let matching = dept_of.iter().filter(|&&d| d == probe_dept).count();
         let decision = gate.execute("subject", &q);
         if matching < k || n - matching < k {
-            prop_assert!(
+            assert!(
                 !matches!(decision, AggregateDecision::Answer(_)),
                 "answered a {matching}-row set with k={k}: {decision:?}"
             );
         } else {
-            prop_assert!(matches!(decision, AggregateDecision::Answer(_)));
+            assert!(matches!(decision, AggregateDecision::Answer(_)));
         }
     }
+}
 
-    /// Secure query processing: the two strategies agree on arbitrary
-    /// policy bases (closed under the generators used by E1).
-    #[test]
-    fn query_strategies_agree(
-        rules in proptest::collection::vec((any::<bool>(), 0u8..3), 0..5),
-        query_name in 0u8..3,
-    ) {
+/// Secure query processing: the two strategies agree on arbitrary policy
+/// bases (closed under the generators used by E1).
+#[test]
+fn query_strategies_agree() {
+    let mut rng = SecureRng::seeded(0x11a4);
+    for _ in 0..48 {
+        let n_rules = rng.gen_range(5) as usize;
+        let rules: Vec<(bool, u8)> = (0..n_rules)
+            .map(|_| (rng.gen_range(2) == 0, rng.gen_range(3) as u8))
+            .collect();
+        let query_name = rng.gen_range(3) as u8;
+
         let doc = Document::parse(
             "<r><n0 a=\"1\"><n1>x</n1></n0><n1><n2/></n1><n2>y</n2></r>",
         )
@@ -172,6 +188,6 @@ proptest! {
         let path = Path::parse(&format!("//n{query_name}")).unwrap();
         let a = processor.query(&profile, "d", &doc, &path, QueryStrategy::ViewFirst);
         let b = processor.query(&profile, "d", &doc, &path, QueryStrategy::FilterAfter);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -1,87 +1,57 @@
-//! Property-based tests for third-party publishing: random documents and
+//! Property-style tests for third-party publishing: random documents and
 //! queries; honest answers always verify, tampered answers never do.
+//! Randomized cases are driven by seeded [`SecureRng`] iteration.
 
-use proptest::prelude::*;
 use websec_core::prelude::*;
 use websec_core::publish::VerifyError;
 
-/// Strategy: a small random XML document.
-fn arb_document() -> impl Strategy<Value = Document> {
-    // Random tree described as a nesting plan: at each node, a name index,
-    // an optional attribute, optional text, and children.
-    #[derive(Debug, Clone)]
-    struct Plan {
-        name: u8,
-        attr: Option<u8>,
-        text: Option<u8>,
-        children: Vec<Plan>,
+/// A small random XML document: a random nesting plan with names from a
+/// five-letter alphabet, optional attributes and text.
+fn random_subtree(rng: &mut SecureRng, doc: &mut Document, parent: websec_core::xml::NodeId, depth: u32) {
+    let e = doc.add_element(parent, &format!("n{}", rng.gen_range(5)));
+    if rng.gen_range(2) == 0 {
+        let a = rng.gen_range(4);
+        doc.set_attribute(e, "a", &format!("v{a}"));
     }
-    fn arb_plan(depth: u32) -> BoxedStrategy<Plan> {
-        let leaf = (0u8..5, proptest::option::of(0u8..4), proptest::option::of(0u8..6)).prop_map(
-            |(name, attr, text)| Plan {
-                name,
-                attr,
-                text,
-                children: Vec::new(),
-            },
-        );
-        if depth == 0 {
-            leaf.boxed()
-        } else {
-            (
-                0u8..5,
-                proptest::option::of(0u8..4),
-                proptest::option::of(0u8..6),
-                proptest::collection::vec(arb_plan(depth - 1), 0..4),
-            )
-                .prop_map(|(name, attr, text, children)| Plan {
-                    name,
-                    attr,
-                    text,
-                    children,
-                })
-                .boxed()
+    if rng.gen_range(2) == 0 {
+        let t = rng.gen_range(6);
+        doc.add_text(e, &format!("text-{t}"));
+    }
+    if depth > 0 {
+        let children = rng.gen_range(4);
+        for _ in 0..children {
+            random_subtree(rng, doc, e, depth - 1);
         }
     }
-    fn build(doc: &mut Document, parent: websec_core::xml::NodeId, plan: &Plan) {
-        let e = doc.add_element(parent, &format!("n{}", plan.name));
-        if let Some(a) = plan.attr {
-            doc.set_attribute(e, "a", &format!("v{a}"));
-        }
-        if let Some(t) = plan.text {
-            doc.add_text(e, &format!("text-{t}"));
-        }
-        for c in &plan.children {
-            build(doc, e, c);
-        }
-    }
-    arb_plan(3).prop_map(|plan| {
-        let mut doc = Document::new("root");
-        let root = doc.root();
-        build(&mut doc, root, &plan);
-        doc
-    })
 }
 
-/// Strategy: a random path over the generated name alphabet.
-fn arb_path() -> impl Strategy<Value = Path> {
-    (0u8..5, 0u8..5, any::<bool>()).prop_map(|(a, b, descendant)| {
-        let src = if descendant {
-            format!("//n{a}/n{b}")
-        } else {
-            format!("/root/n{a}//n{b}")
-        };
-        Path::parse(&src).expect("valid path")
-    })
+fn random_document(rng: &mut SecureRng) -> Document {
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    random_subtree(rng, &mut doc, root, 3);
+    doc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random path over the generated name alphabet.
+fn random_path(rng: &mut SecureRng) -> Path {
+    let a = rng.gen_range(5);
+    let b = rng.gen_range(5);
+    let src = if rng.gen_range(2) == 0 {
+        format!("//n{a}/n{b}")
+    } else {
+        format!("/root/n{a}//n{b}")
+    };
+    Path::parse(&src).expect("valid path")
+}
 
-    #[test]
-    fn honest_answers_always_verify(doc in arb_document(), path in arb_path()) {
-        let mut rng = SecureRng::seeded(1);
-        let mut owner = Owner::new(&mut rng, 1);
+#[test]
+fn honest_answers_always_verify() {
+    let mut rng = SecureRng::seeded(0x9b1);
+    for _ in 0..48 {
+        let doc = random_document(&mut rng);
+        let path = random_path(&mut rng);
+        let mut owner_rng = SecureRng::seeded(1);
+        let mut owner = Owner::new(&mut owner_rng, 1);
         let (auth, sig) = owner.publish("d.xml", &doc).unwrap();
         let mut publisher = Publisher::new();
         publisher.host(doc.clone(), auth, sig);
@@ -90,39 +60,54 @@ proptest! {
         let expected_matches = path.select_nodes(&doc).len();
         let verified = verify_answer(&answer, &owner.public_key(), "d.xml", &path)
             .expect("honest answer must verify");
-        prop_assert_eq!(verified.matched.len(), expected_matches);
+        assert_eq!(verified.matched.len(), expected_matches);
     }
+}
 
-    #[test]
-    fn dropped_match_is_always_detected(doc in arb_document(), path in arb_path()) {
-        let mut rng = SecureRng::seeded(2);
-        let mut owner = Owner::new(&mut rng, 1);
+#[test]
+fn dropped_match_is_always_detected() {
+    let mut rng = SecureRng::seeded(0x9b2);
+    for _ in 0..48 {
+        let doc = random_document(&mut rng);
+        let path = random_path(&mut rng);
+        let mut owner_rng = SecureRng::seeded(2);
+        let mut owner = Owner::new(&mut owner_rng, 1);
         let (auth, sig) = owner.publish("d.xml", &doc).unwrap();
         let mut publisher = Publisher::new();
         publisher.host(doc.clone(), auth, sig);
 
         let mut answer = publisher.answer("d.xml", &path).unwrap();
-        prop_assume!(!answer.matched.is_empty());
+        if answer.matched.is_empty() {
+            continue;
+        }
         answer.matched.remove(0);
         let err = verify_answer(&answer, &owner.public_key(), "d.xml", &path).unwrap_err();
         let incomplete = matches!(err, VerifyError::Incomplete { .. });
-        prop_assert!(incomplete);
+        assert!(incomplete);
     }
+}
 
-    #[test]
-    fn content_tamper_is_always_detected(doc in arb_document(), path in arb_path(), victim in 0usize..8) {
-        let mut rng = SecureRng::seeded(3);
-        let mut owner = Owner::new(&mut rng, 1);
+#[test]
+fn content_tamper_is_always_detected() {
+    let mut rng = SecureRng::seeded(0x9b3);
+    for _ in 0..48 {
+        let doc = random_document(&mut rng);
+        let path = random_path(&mut rng);
+        let victim = rng.gen_range(8) as usize;
+        let mut owner_rng = SecureRng::seeded(3);
+        let mut owner = Owner::new(&mut owner_rng, 1);
         let (auth, sig) = owner.publish("d.xml", &doc).unwrap();
         let mut publisher = Publisher::new();
         publisher.host(doc.clone(), auth, sig);
 
         let mut answer = publisher.answer("d.xml", &path).unwrap();
-        prop_assume!(!answer.revealed.is_empty());
+        if answer.revealed.is_empty() {
+            continue;
+        }
         let idx = victim % answer.revealed.len();
         answer.revealed[idx].1.push(b'X'); // append garbage to the content
         let result = verify_answer(&answer, &owner.public_key(), "d.xml", &path);
-        prop_assert!(result.is_err());
+        assert!(result.is_err());
     }
 }
 

@@ -1,46 +1,43 @@
-//! Property-based tests on the access-control engine's core invariants.
+//! Property-style tests on the access-control engine's core invariants,
+//! driven by seeded [`SecureRng`] iteration (the workspace builds fully
+//! offline, so no external property-testing framework is used).
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use websec_core::prelude::*;
 
-/// Strategy: a random document over a small name alphabet.
-fn arb_document() -> impl Strategy<Value = Document> {
-    proptest::collection::vec((0u8..4, 0u8..3, any::<bool>()), 1..20).prop_map(|nodes| {
-        let mut doc = Document::new("root");
-        let mut parents = vec![doc.root()];
-        for (name, parent_pick, with_text) in nodes {
-            let parent = parents[parent_pick as usize % parents.len()];
-            let e = doc.add_element(parent, &format!("n{name}"));
-            if with_text {
-                doc.add_text(e, "content");
-            }
-            parents.push(e);
+/// A random document over a small name alphabet.
+fn random_document(rng: &mut SecureRng) -> Document {
+    let mut doc = Document::new("root");
+    let mut parents = vec![doc.root()];
+    let nodes = 1 + rng.gen_range(19) as usize;
+    for _ in 0..nodes {
+        let name = rng.gen_range(4);
+        let parent = parents[rng.gen_range(parents.len() as u64) as usize];
+        let e = doc.add_element(parent, &format!("n{name}"));
+        if rng.gen_range(2) == 0 {
+            doc.add_text(e, "content");
         }
-        doc
-    })
+        parents.push(e);
+    }
+    doc
 }
 
-/// Strategy: a random small policy base over that alphabet.
-fn arb_policies() -> impl Strategy<Value = Vec<(bool, String, u8)>> {
-    // (is_grant, path, subject selector 0..3)
-    proptest::collection::vec(
-        (any::<bool>(), 0u8..4, any::<bool>(), 0u8..3),
-        0..6,
-    )
-    .prop_map(|rules| {
-        rules
-            .into_iter()
-            .map(|(grant, name, descendant, subj)| {
-                let path = if descendant {
-                    format!("//n{name}")
-                } else {
-                    format!("/root/n{name}")
-                };
-                (grant, path, subj)
-            })
-            .collect()
-    })
+/// A random small policy base over that alphabet: (is_grant, path, subject
+/// selector 0..3).
+fn random_policies(rng: &mut SecureRng) -> Vec<(bool, String, u8)> {
+    let n = rng.gen_range(6) as usize;
+    (0..n)
+        .map(|_| {
+            let grant = rng.gen_range(2) == 0;
+            let name = rng.gen_range(4);
+            let path = if rng.gen_range(2) == 0 {
+                format!("//n{name}")
+            } else {
+                format!("/root/n{name}")
+            };
+            (grant, path, rng.gen_range(3) as u8)
+        })
+        .collect()
 }
 
 fn build_store(rules: &[(bool, String, u8)]) -> PolicyStore {
@@ -72,33 +69,43 @@ fn text_set(doc: &Document) -> HashSet<String> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A view never contains an element name absent from the original.
-    #[test]
-    fn view_is_subset_of_document(doc in arb_document(), rules in arb_policies()) {
+/// A view never contains an element name absent from the original.
+#[test]
+fn view_is_subset_of_document() {
+    let mut rng = SecureRng::seeded(0x71e1);
+    for _ in 0..64 {
+        let doc = random_document(&mut rng);
+        let rules = random_policies(&mut rng);
         let store = build_store(&rules);
         let engine = PolicyEngine::default();
         let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
         let view = engine.compute_view(&store, &profile, "d.xml", &doc);
-        prop_assert!(view.node_count() <= doc.node_count());
-        prop_assert!(text_set(&view).is_subset(&text_set(&doc)));
+        assert!(view.node_count() <= doc.node_count());
+        assert!(text_set(&view).is_subset(&text_set(&doc)));
     }
+}
 
-    /// With no policies, the closed-policy default yields an empty view.
-    #[test]
-    fn empty_policy_base_empty_view(doc in arb_document()) {
+/// With no policies, the closed-policy default yields an empty view.
+#[test]
+fn empty_policy_base_empty_view() {
+    let mut rng = SecureRng::seeded(0x71e2);
+    for _ in 0..64 {
+        let doc = random_document(&mut rng);
         let store = PolicyStore::new();
         let engine = PolicyEngine::default();
         let view = engine.compute_view(&store, &SubjectProfile::new("x"), "d.xml", &doc);
-        prop_assert_eq!(view.node_count(), 0);
+        assert_eq!(view.node_count(), 0);
     }
+}
 
-    /// Denials-take-precedence views are contained in
-    /// permissions-take-precedence views.
-    #[test]
-    fn dtp_view_subset_of_ptp_view(doc in arb_document(), rules in arb_policies()) {
+/// Denials-take-precedence views are contained in
+/// permissions-take-precedence views.
+#[test]
+fn dtp_view_subset_of_ptp_view() {
+    let mut rng = SecureRng::seeded(0x71e3);
+    for _ in 0..64 {
+        let doc = random_document(&mut rng);
+        let rules = random_policies(&mut rng);
         let store = build_store(&rules);
         let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
         let dtp = PolicyEngine::new(ConflictStrategy::DenialsTakePrecedence)
@@ -107,14 +114,19 @@ proptest! {
             .evaluate_document(&store, &profile, "d.xml", &doc, Privilege::Read);
         for node in doc.all_nodes() {
             if dtp.is_allowed(node) {
-                prop_assert!(ptp.is_allowed(node), "node {node:?} allowed by DTP but not PTP");
+                assert!(ptp.is_allowed(node), "node {node:?} allowed by DTP but not PTP");
             }
         }
     }
+}
 
-    /// Adding a grant never shrinks a DTP view; adding a denial never grows it.
-    #[test]
-    fn monotonicity(doc in arb_document(), rules in arb_policies()) {
+/// Adding a grant never shrinks a DTP view; adding a denial never grows it.
+#[test]
+fn monotonicity() {
+    let mut rng = SecureRng::seeded(0x71e4);
+    for _ in 0..64 {
+        let doc = random_document(&mut rng);
+        let rules = random_policies(&mut rng);
         let engine = PolicyEngine::default();
         let profile = SubjectProfile::new("alice").with_role(Role::new("staff"));
 
@@ -134,7 +146,7 @@ proptest! {
         let more = engine
             .evaluate_document(&grown, &profile, "d.xml", &doc, Privilege::Read)
             .allowed_count();
-        prop_assert!(more >= base);
+        assert!(more >= base);
 
         // Add a universal denial.
         let mut shrunk = build_store(&rules);
@@ -147,19 +159,31 @@ proptest! {
         let less = engine
             .evaluate_document(&shrunk, &profile, "d.xml", &doc, Privilege::Read)
             .allowed_count();
-        prop_assert_eq!(less, 0); // universal cascade denial wipes everything under DTP
+        assert_eq!(less, 0); // universal cascade denial wipes everything under DTP
     }
+}
 
-    /// The flexible enforcer's empirical rate tracks its level.
-    #[test]
-    fn flexible_rate_tracks_level(level in 0u8..=100) {
+/// The flexible enforcer's empirical rate tracks its level.
+#[test]
+fn flexible_rate_tracks_level() {
+    let mut rng = SecureRng::seeded(0x71e5);
+    for case in 0..16u64 {
+        let level = if case == 0 {
+            0
+        } else if case == 1 {
+            100
+        } else {
+            rng.gen_range(101) as u8
+        };
         let mut gate = FlexibleEnforcer::new(level, [9u8; 32]);
         for i in 0..2000u32 {
             gate.gate(&i.to_le_bytes());
         }
         let (enforced, _) = gate.stats();
         let rate = enforced as f64 / 2000.0;
-        prop_assert!((rate - level as f64 / 100.0).abs() < 0.06,
-            "level {level}: rate {rate}");
+        assert!(
+            (rate - level as f64 / 100.0).abs() < 0.06,
+            "level {level}: rate {rate}"
+        );
     }
 }
