@@ -14,4 +14,7 @@ cargo test -q --offline
 echo "==> websec-lint --deny-warnings"
 cargo run --release --offline --bin websec-lint -- --deny-warnings
 
+echo "==> serving-layer throughput smoke (BENCH_serving.json)"
+cargo run --release --offline -p websec-examples --bin serving_bench
+
 echo "check.sh: all gates passed"

@@ -1,0 +1,147 @@
+//! The unified error type of the serving layer.
+//!
+//! Every failure a caller can observe through the request API —
+//! stack-processing errors, transport failures, and malformed requests —
+//! is wrapped in one `#[non_exhaustive]` [`Error`] carrying a **stable
+//! error code**. Codes extend the analyzer's `WSxxx` scheme (static
+//! findings use `WS001`–`WS005`; runtime serving errors use the `WS1xx`
+//! series) so callers and tooling match on [`Error::code`] instead of
+//! display strings.
+//!
+//! | code  | variant                      | meaning                              |
+//! |-------|------------------------------|--------------------------------------|
+//! | WS101 | [`Error::UnknownDocument`]   | no document under the requested name |
+//! | WS102 | [`Error::ClearanceViolation`]| document label dominates clearance   |
+//! | WS103 | [`Error::Channel`]           | secure-channel transit failure       |
+//! | WS104 | [`Error::Misconfigured`]     | strict boot gate found error findings|
+//! | WS105 | [`Error::InvalidRequest`]    | request missing/invalid a field      |
+
+use crate::stack::StackError;
+use websec_services::channel::ChannelError;
+
+/// Unified serving-layer error with stable `WS1xx` codes.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add variants (e.g. shard
+/// routing failures) without a breaking change, so downstream `match`es
+/// must carry a wildcard arm — typically dispatching on [`Error::code`].
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `WS101`: the requested document is not under management.
+    UnknownDocument(String),
+    /// `WS102`: the document's effective label dominates the subject's
+    /// clearance (RDF metadata layer refusal).
+    ClearanceViolation,
+    /// `WS103`: secure-channel transport failure (tampering, replay, wrong
+    /// session key, or non-UTF-8 payload).
+    Channel(String),
+    /// `WS104`: static analysis found error-severity misconfigurations
+    /// (strict mode); carries the machine rendering of the findings.
+    Misconfigured(String),
+    /// `WS105`: the request was malformed (e.g. no query path set).
+    InvalidRequest(String),
+}
+
+impl Error {
+    /// The stable error code (`WS101`..`WS105`), aligned with the
+    /// analyzer's `WSxxx` diagnostic scheme.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::UnknownDocument(_) => "WS101",
+            Error::ClearanceViolation => "WS102",
+            Error::Channel(_) => "WS103",
+            Error::Misconfigured(_) => "WS104",
+            Error::InvalidRequest(_) => "WS105",
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let code = self.code();
+        match self {
+            Error::UnknownDocument(d) => write!(f, "[{code}] unknown document '{d}'"),
+            Error::ClearanceViolation => {
+                write!(f, "[{code}] document label exceeds clearance")
+            }
+            Error::Channel(m) => write!(f, "[{code}] channel failure: {m}"),
+            Error::Misconfigured(m) => write!(f, "[{code}] stack misconfigured:\n{m}"),
+            Error::InvalidRequest(m) => write!(f, "[{code}] invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<StackError> for Error {
+    fn from(e: StackError) -> Self {
+        match e {
+            StackError::UnknownDocument(d) => Error::UnknownDocument(d),
+            StackError::ClearanceViolation => Error::ClearanceViolation,
+            StackError::Channel(m) => Error::Channel(m),
+            StackError::Misconfigured(m) => Error::Misconfigured(m),
+        }
+    }
+}
+
+impl From<ChannelError> for Error {
+    fn from(e: ChannelError) -> Self {
+        Error::Channel(e.to_string())
+    }
+}
+
+/// Lossy back-conversion for the deprecated [`crate::stack::SecureWebStack::query`]
+/// shim ([`Error::InvalidRequest`] has no legacy counterpart and maps to
+/// [`StackError::Channel`]).
+impl From<Error> for StackError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::UnknownDocument(d) => StackError::UnknownDocument(d),
+            Error::ClearanceViolation => StackError::ClearanceViolation,
+            Error::Channel(m) => StackError::Channel(m),
+            Error::Misconfigured(m) => StackError::Misconfigured(m),
+            Error::InvalidRequest(m) => StackError::Channel(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            Error::UnknownDocument("d".into()),
+            Error::ClearanceViolation,
+            Error::Channel("x".into()),
+            Error::Misconfigured("y".into()),
+            Error::InvalidRequest("z".into()),
+        ];
+        let codes: Vec<&str> = errors.iter().map(Error::code).collect();
+        assert_eq!(codes, vec!["WS101", "WS102", "WS103", "WS104", "WS105"]);
+    }
+
+    #[test]
+    fn display_leads_with_code() {
+        assert!(Error::ClearanceViolation.to_string().starts_with("[WS102]"));
+        assert!(Error::UnknownDocument("a".into())
+            .to_string()
+            .contains("unknown document 'a'"));
+    }
+
+    #[test]
+    fn stack_error_roundtrip() {
+        let e: Error = StackError::UnknownDocument("d".into()).into();
+        assert_eq!(e.code(), "WS101");
+        let back: StackError = e.into();
+        assert_eq!(back, StackError::UnknownDocument("d".into()));
+    }
+
+    #[test]
+    fn channel_error_wraps() {
+        let e: Error = ChannelError::BadRecord.into();
+        assert_eq!(e.code(), "WS103");
+    }
+}

@@ -8,7 +8,14 @@
 //!
 //! * [`stack`] — the layered **secure semantic web stack** of §5 ("security
 //!   cuts across all layers… one needs secure TCP/IP… next layer is XML…
-//!   the next step is securing RDF"), with per-layer instrumentation (E12);
+//!   the next step is securing RDF"), with per-layer instrumentation (E12),
+//!   split into mutable configuration and read-only evaluation;
+//! * [`server`] — the **concurrent serving layer**: per-subject channel
+//!   sessions (handshake once), an epoch-keyed policy-view cache, parallel
+//!   batch execution over an `Arc` snapshot, and [`server::ServerMetrics`];
+//! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] API every query
+//!   flows through;
+//! * [`error`] — the unified [`Error`] with stable `WS1xx` codes;
 //! * [`query`] — security-aware query processing (§3.1: "query processing
 //!   algorithms may need to take into consideration the access control
 //!   policies"), with view-first and filter-after strategies;
@@ -51,9 +58,12 @@
 #![deny(missing_docs)]
 
 pub mod blobs;
+pub mod error;
 pub mod federation;
 pub mod metadata;
 pub mod query;
+pub mod request;
+pub mod server;
 pub mod stack;
 pub mod trust;
 
@@ -70,16 +80,22 @@ pub use websec_uddi as uddi;
 pub use websec_xml as xml;
 
 pub use blobs::{attach_blob, fetch_authorized, BlobError, BlobRef, BlobStore};
+pub use error::Error;
 pub use federation::{FederatedHit, Federation, Site};
 pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
+pub use request::{CacheStatus, Decision, QueryRequest, QueryResponse};
+pub use server::{LatencyHistogram, ServerMetrics, StackServer};
 pub use stack::{LayerTimings, SecureWebStack, StackError};
 pub use trust::{issue_voucher, TrustError, TrustStore, Voucher};
 
 /// Convenience glob import for examples and downstream users.
 pub mod prelude {
+    pub use crate::error::Error;
     pub use crate::federation::{FederatedHit, Federation, Site};
     pub use crate::query::{QueryStrategy, SecureQueryProcessor};
+    pub use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
+    pub use crate::server::{LatencyHistogram, ServerMetrics, StackServer};
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
     pub use websec_analyzer::{Analyzer, AnalyzerInput, Diagnostic, Report, Severity};
     pub use websec_crypto::{
@@ -106,8 +122,8 @@ pub mod prelude {
         ClassAuthorization, ClassLabel, EnforcementMode, OntologyGuard, PatternTerm,
         RdfAuthorization, Schema, SecureStore, Term, Triple, TriplePattern, TripleStore,
     };
-    pub use websec_services::{Envelope, SecureChannel, ServiceDescription, ServiceHost,
-        ServiceRequestor};
+    pub use websec_services::{ChannelSession, Envelope, SecureChannel, ServiceDescription,
+        ServiceHost, ServiceRequestor};
     pub use websec_uddi::{
         BusinessEntity, BusinessService, FindQualifier, Registry, ServiceProvider,
         UntrustedAgency,

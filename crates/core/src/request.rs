@@ -1,0 +1,159 @@
+//! The redesigned request/response API of the serving layer.
+//!
+//! A query is described by a [`QueryRequest`] built fluently:
+//!
+//! ```
+//! use websec_core::prelude::*;
+//!
+//! let profile = SubjectProfile::new("doctor");
+//! let request = QueryRequest::for_doc("h.xml")
+//!     .path(Path::parse("//patient").unwrap())
+//!     .subject(&profile)
+//!     .clearance(Clearance(Level::Unclassified));
+//! assert_eq!(request.doc_name(), "h.xml");
+//! ```
+//!
+//! and answered by a [`QueryResponse`] bundling the view XML, the
+//! enforcement [`Decision`], the cache outcome, and per-layer timings —
+//! replacing the positional `query(&mut self, profile, clearance, doc,
+//! path)` signature (kept as a deprecated shim for one release).
+
+use crate::stack::LayerTimings;
+use websec_policy::mls::{Clearance, Level};
+use websec_policy::SubjectProfile;
+use websec_xml::Path;
+
+/// A single document query, built fluently starting from
+/// [`QueryRequest::for_doc`]. Unset fields default to an anonymous subject
+/// with Unclassified clearance; the query path is mandatory (executing a
+/// request without one yields `WS105`).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    doc: String,
+    path: Option<Path>,
+    subject: SubjectProfile,
+    clearance: Clearance,
+}
+
+impl QueryRequest {
+    /// Starts a request against the named document.
+    #[must_use]
+    pub fn for_doc(doc: &str) -> Self {
+        QueryRequest {
+            doc: doc.to_string(),
+            path: None,
+            subject: SubjectProfile::new("anonymous"),
+            clearance: Clearance(Level::Unclassified),
+        }
+    }
+
+    /// Sets the query path (mandatory).
+    #[must_use]
+    pub fn path(mut self, path: Path) -> Self {
+        self.path = Some(path);
+        self
+    }
+
+    /// Sets the requesting subject's profile (identity, roles, credentials).
+    #[must_use]
+    pub fn subject(mut self, profile: &SubjectProfile) -> Self {
+        self.subject = profile.clone();
+        self
+    }
+
+    /// Sets the subject's MLS clearance.
+    #[must_use]
+    pub fn clearance(mut self, clearance: Clearance) -> Self {
+        self.clearance = clearance;
+        self
+    }
+
+    /// The requested document name.
+    #[must_use]
+    pub fn doc_name(&self) -> &str {
+        &self.doc
+    }
+
+    /// The query path, if one has been set.
+    #[must_use]
+    pub fn query_path(&self) -> Option<&Path> {
+        self.path.as_ref()
+    }
+
+    /// The requesting subject.
+    #[must_use]
+    pub fn subject_profile(&self) -> &SubjectProfile {
+        &self.subject
+    }
+
+    /// The subject's clearance.
+    #[must_use]
+    pub fn clearance_level(&self) -> Clearance {
+        self.clearance
+    }
+}
+
+/// How the flexible-enforcement gate treated a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The full policy evaluation ran (clearance check + view computation).
+    Enforced,
+    /// The request was admitted without checks (§5's "thirty percent
+    /// security" fast path — measured exposure).
+    AdmittedUnchecked,
+}
+
+/// Whether the policy-view cache served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A cached view keyed by `(identity, document, policy epoch)` was
+    /// reused.
+    Hit,
+    /// The view was computed (and, under a [`crate::server::StackServer`],
+    /// inserted for later reuse).
+    Miss,
+    /// No view was needed (unchecked fast path) or no cache is attached
+    /// (direct [`crate::stack::SecureWebStack::execute`] call).
+    Bypass,
+}
+
+/// The answer to a [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The serialized view of the matched nodes (empty when nothing is
+    /// visible to the subject).
+    pub xml: String,
+    /// How the enforcement gate treated the request.
+    pub decision: Decision,
+    /// Whether the policy-view cache served the request.
+    pub cache: CacheStatus,
+    /// Per-layer elapsed time.
+    pub timings: LayerTimings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let r = QueryRequest::for_doc("d.xml");
+        assert_eq!(r.doc_name(), "d.xml");
+        assert!(r.query_path().is_none());
+        assert_eq!(r.subject_profile().identity, "anonymous");
+        assert_eq!(r.clearance_level(), Clearance(Level::Unclassified));
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let profile = SubjectProfile::new("alice");
+        let path = Path::parse("//x").unwrap();
+        let r = QueryRequest::for_doc("d.xml")
+            .path(path.clone())
+            .subject(&profile)
+            .clearance(Clearance(Level::Secret));
+        assert_eq!(r.query_path(), Some(&path));
+        assert_eq!(r.subject_profile().identity, "alice");
+        assert_eq!(r.clearance_level(), Clearance(Level::Secret));
+    }
+}

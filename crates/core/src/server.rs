@@ -1,0 +1,595 @@
+//! Concurrent serving layer over an immutable stack snapshot.
+//!
+//! The ROADMAP's north star is a system that "serves heavy traffic from
+//! millions of users"; the paper's §5 stack is the per-request work. This
+//! module supplies the two scaling levers the web-service security
+//! literature treats as fundamental — **per-session security context** and
+//! **policy decision reuse** — plus thread-parallel batch execution:
+//!
+//! * **Session reuse** — one [`ChannelSession`] per subject, established
+//!   (handshake + key derivation) on first contact and reused for every
+//!   later request, instead of two fresh [`websec_services::SecureChannel`]
+//!   constructions per query.
+//! * **Policy-view cache** — the subject's computed view of a document is
+//!   cached under `(subject identity, document, policy epoch)`. A policy
+//!   mutation bumps [`websec_policy::PolicyStore::epoch`], so stale views
+//!   can never be served; entries from older epochs are evicted on the next
+//!   touch, and [`StackServer::update`] / [`StackServer::invalidate_views`]
+//!   clear the cache explicitly when documents, policies, or labels mutate.
+//! * **Parallel batches** — [`StackServer::serve_batch`] fans a slice of
+//!   requests across `std::thread` workers sharing the `Arc` snapshot;
+//!   results are positionally identical to a serial run.
+//!
+//! Everything is observable: [`ServerMetrics`] extends the per-request
+//! [`LayerTimings`] into cumulative per-layer counters, cache/session/gate
+//! statistics, and a log₂ latency histogram.
+//!
+//! The cache key deliberately uses the subject *identity* (not the full
+//! profile): a server maps each authenticated identity to one profile, the
+//! same assumption the per-identity session table makes. Callers that
+//! attach different role/credential sets to one identity must invalidate
+//! between them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::error::Error;
+use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
+use crate::stack::{LayerTimings, SecureWebStack};
+use websec_services::ChannelSession;
+use websec_xml::Document;
+
+/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^{i+1})` ns;
+/// 40 buckets span ~18 minutes, far beyond any sane request).
+const LATENCY_BUCKETS: usize = 40;
+
+/// A snapshot of the server's cumulative latency distribution.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts requests whose total latency fell in
+    /// `[2^i, 2^{i+1})` nanoseconds.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total recorded requests.
+    pub count: u64,
+    /// Sum of recorded latencies in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Mean latency in nanoseconds (0 when nothing was recorded).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, in ns) of the bucket containing quantile `q`
+    /// (e.g. `0.5`, `0.99`). Returns 0 when nothing was recorded.
+    #[must_use]
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Cumulative serving statistics, reported by [`StackServer::metrics`].
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// Total requests received (including failures).
+    pub requests: u64,
+    /// Requests answered with a view (possibly empty).
+    pub allowed: u64,
+    /// Requests refused by the RDF label layer (`WS102`).
+    pub denied: u64,
+    /// Requests failing for any other reason (unknown document, channel,
+    /// malformed request).
+    pub errors: u64,
+    /// Requests that ran the full policy evaluation.
+    pub enforced: u64,
+    /// Requests admitted unchecked by the flexible gate (the measured
+    /// exposure at reduced enforcement levels).
+    pub admitted_unchecked: u64,
+    /// Policy-view cache hits.
+    pub cache_hits: u64,
+    /// Policy-view cache misses (view computed and inserted).
+    pub cache_misses: u64,
+    /// Channel sessions established (one handshake each).
+    pub sessions_established: u64,
+    /// Requests that reused an existing session (handshakes avoided).
+    pub session_reuses: u64,
+    /// Cumulative per-layer time across all successful requests.
+    pub layer_totals: LayerTimings,
+    /// Distribution of total request latency.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Cache hits over cache-eligible (enforced) view lookups.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of gated requests admitted without checking (mirrors
+    /// [`websec_policy::FlexibleEnforcer::exposure`] but aggregated across
+    /// the server's immutable snapshot).
+    #[must_use]
+    pub fn exposure(&self) -> f64 {
+        let total = self.enforced + self.admitted_unchecked;
+        if total == 0 {
+            0.0
+        } else {
+            self.admitted_unchecked as f64 / total as f64
+        }
+    }
+}
+
+/// Lock-free cumulative counters (the mutable twin of [`ServerMetrics`]).
+struct MetricsInner {
+    requests: AtomicU64,
+    allowed: AtomicU64,
+    denied: AtomicU64,
+    errors: AtomicU64,
+    enforced: AtomicU64,
+    admitted_unchecked: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sessions_established: AtomicU64,
+    session_reuses: AtomicU64,
+    channel_ns: AtomicU64,
+    rdf_ns: AtomicU64,
+    xml_ns: AtomicU64,
+    gate_ns: AtomicU64,
+    latency_sum_ns: AtomicU64,
+    latency_count: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            requests: AtomicU64::new(0),
+            allowed: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            enforced: AtomicU64::new(0),
+            admitted_unchecked: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            sessions_established: AtomicU64::new(0),
+            session_reuses: AtomicU64::new(0),
+            channel_ns: AtomicU64::new(0),
+            rdf_ns: AtomicU64::new(0),
+            xml_ns: AtomicU64::new(0),
+            gate_ns: AtomicU64::new(0),
+            latency_sum_ns: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl MetricsInner {
+    fn record_latency(&self, total_ns: u128) {
+        let ns = u64::try_from(total_ns).unwrap_or(u64::MAX);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_outcome(&self, result: &Result<QueryResponse, Error>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(response) => {
+                self.allowed.fetch_add(1, Ordering::Relaxed);
+                match response.decision {
+                    Decision::Enforced => self.enforced.fetch_add(1, Ordering::Relaxed),
+                    Decision::AdmittedUnchecked => {
+                        self.admitted_unchecked.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+                match response.cache {
+                    CacheStatus::Hit => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+                    CacheStatus::Miss => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+                    CacheStatus::Bypass => 0,
+                };
+                let t = &response.timings;
+                let add = |a: &AtomicU64, v: u128| {
+                    a.fetch_add(u64::try_from(v).unwrap_or(u64::MAX), Ordering::Relaxed);
+                };
+                add(&self.channel_ns, t.channel_ns);
+                add(&self.rdf_ns, t.rdf_ns);
+                add(&self.xml_ns, t.xml_ns);
+                add(&self.gate_ns, t.gate_ns);
+                self.record_latency(t.total_ns());
+            }
+            Err(Error::ClearanceViolation) => {
+                self.denied.fetch_add(1, Ordering::Relaxed);
+                // A denial is the *result* of full enforcement.
+                self.enforced.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ServerMetrics {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, counter) in buckets.iter_mut().zip(self.latency.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        ServerMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            allowed: self.allowed.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            enforced: self.enforced.load(Ordering::Relaxed),
+            admitted_unchecked: self.admitted_unchecked.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            sessions_established: self.sessions_established.load(Ordering::Relaxed),
+            session_reuses: self.session_reuses.load(Ordering::Relaxed),
+            layer_totals: LayerTimings {
+                channel_ns: u128::from(self.channel_ns.load(Ordering::Relaxed)),
+                rdf_ns: u128::from(self.rdf_ns.load(Ordering::Relaxed)),
+                xml_ns: u128::from(self.xml_ns.load(Ordering::Relaxed)),
+                gate_ns: u128::from(self.gate_ns.load(Ordering::Relaxed)),
+            },
+            latency: LatencyHistogram {
+                buckets,
+                count: self.latency_count.load(Ordering::Relaxed),
+                sum_ns: self.latency_sum_ns.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Policy-view cache keyed by `(identity, document)` within one policy
+/// epoch; entries from older epochs are evicted wholesale on first touch
+/// after the epoch advances.
+struct ViewCache {
+    inner: RwLock<ViewCacheInner>,
+}
+
+struct ViewCacheInner {
+    epoch: u64,
+    views: HashMap<(String, String), Arc<Document>>,
+}
+
+impl ViewCache {
+    fn new() -> Self {
+        ViewCache {
+            inner: RwLock::new(ViewCacheInner {
+                epoch: 0,
+                views: HashMap::new(),
+            }),
+        }
+    }
+
+    fn view_for(
+        &self,
+        stack: &SecureWebStack,
+        profile: &websec_policy::SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+    ) -> (Arc<Document>, CacheStatus) {
+        let epoch = stack.policies.epoch();
+        {
+            let guard = self.inner.read().expect("view cache poisoned");
+            if guard.epoch == epoch {
+                let key = (profile.identity.clone(), doc_name.to_string());
+                if let Some(view) = guard.views.get(&key) {
+                    return (Arc::clone(view), CacheStatus::Hit);
+                }
+            }
+        }
+        // Compute outside the write lock; a racing thread may duplicate the
+        // work but both produce the same view.
+        let view = Arc::new(
+            stack
+                .engine
+                .compute_view(&stack.policies, profile, doc_name, doc),
+        );
+        let mut guard = self.inner.write().expect("view cache poisoned");
+        if guard.epoch != epoch {
+            // The policy base mutated: evict every stale view.
+            guard.views.clear();
+            guard.epoch = epoch;
+        }
+        guard
+            .views
+            .insert((profile.identity.clone(), doc_name.to_string()), Arc::clone(&view));
+        (view, CacheStatus::Miss)
+    }
+
+    fn clear(&self) {
+        self.inner
+            .write()
+            .expect("view cache poisoned")
+            .views
+            .clear();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().expect("view cache poisoned").views.len()
+    }
+}
+
+/// A concurrent server over an immutable [`SecureWebStack`] snapshot.
+///
+/// `serve` and `serve_batch` take `&self` and are safe to call from many
+/// threads; mutation goes through [`StackServer::update`], which requires
+/// `&mut self` (no concurrent serving) and invalidates cached views.
+pub struct StackServer {
+    snapshot: Arc<SecureWebStack>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<ChannelSession>>>>,
+    cache: ViewCache,
+    metrics: MetricsInner,
+}
+
+impl StackServer {
+    /// Wraps a configured stack into a serving snapshot.
+    #[must_use]
+    pub fn new(stack: SecureWebStack) -> Self {
+        StackServer {
+            snapshot: Arc::new(stack),
+            sessions: Mutex::new(HashMap::new()),
+            cache: ViewCache::new(),
+            metrics: MetricsInner::default(),
+        }
+    }
+
+    /// The current immutable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<SecureWebStack> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Mutates the stack configuration (documents, policies, labels,
+    /// context, gate) through copy-on-write on the snapshot, then
+    /// invalidates every cached view. Requires `&mut self`, so no request
+    /// can observe a half-applied mutation.
+    pub fn update<R>(&mut self, mutate: impl FnOnce(&mut SecureWebStack) -> R) -> R {
+        let result = mutate(Arc::make_mut(&mut self.snapshot));
+        self.cache.clear();
+        result
+    }
+
+    /// Explicitly drops every cached view (e.g. after out-of-band mutation
+    /// of state the policy epoch cannot observe).
+    pub fn invalidate_views(&self) {
+        self.cache.clear();
+    }
+
+    /// Number of views currently cached.
+    #[must_use]
+    pub fn cached_views(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of established subject sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// The session for `identity`, establishing it (one handshake) on first
+    /// contact.
+    fn session_for(&self, identity: &str) -> Arc<Mutex<ChannelSession>> {
+        let mut table = self.sessions.lock().expect("session table poisoned");
+        if let Some(session) = table.get(identity) {
+            self.metrics.session_reuses.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(session);
+        }
+        let session = Arc::new(Mutex::new(ChannelSession::establish(
+            &self.snapshot.session_key,
+            identity,
+            self.snapshot.channel_protected,
+        )));
+        self.metrics
+            .sessions_established
+            .fetch_add(1, Ordering::Relaxed);
+        table.insert(identity.to_string(), Arc::clone(&session));
+        session
+    }
+
+    /// Serves one request: session lookup (handshake only on first
+    /// contact), the four-layer evaluation with the policy-view cache
+    /// plugged in, and metrics accounting.
+    pub fn serve(&self, request: &QueryRequest) -> Result<QueryResponse, Error> {
+        let session = self.session_for(&request.subject_profile().identity);
+        let result = {
+            let mut guard = session.lock().expect("session poisoned");
+            self.snapshot.execute_in_session(
+                request,
+                &mut guard,
+                &mut |stack, profile, name, doc| self.cache.view_for(stack, profile, name, doc),
+            )
+        };
+        self.metrics.record_outcome(&result);
+        result
+    }
+
+    /// Serves a batch of requests across `workers` threads sharing the
+    /// snapshot. Results are positional: `out[i]` answers `requests[i]`,
+    /// and every response is byte-identical to what a serial
+    /// [`StackServer::serve`] loop would produce.
+    pub fn serve_batch(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Vec<Result<QueryResponse, Error>> {
+        let workers = workers.max(1).min(requests.len().max(1));
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Option<Result<QueryResponse, Error>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            local.push((i, self.serve(&requests[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let local = handle.join().expect("worker panicked");
+                for (i, result) in local {
+                    out[i] = Some(result);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every index was assigned to a worker"))
+            .collect()
+    }
+
+    /// A consistent snapshot of the cumulative serving statistics.
+    #[must_use]
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::{Clearance, ContextLabel, Level};
+    use websec_policy::{
+        Authorization, ObjectSpec, Privilege, SubjectProfile, SubjectSpec,
+    };
+    use websec_xml::Path;
+
+    fn stack() -> SecureWebStack {
+        let mut s = SecureWebStack::new([8u8; 32]);
+        s.add_document(
+            "h.xml",
+            Document::parse(
+                "<hospital><patient id=\"p1\"><name>Alice</name></patient><admin><budget>9</budget></admin></hospital>",
+            )
+            .unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        s
+    }
+
+    fn doctor_request() -> QueryRequest {
+        QueryRequest::for_doc("h.xml")
+            .path(Path::parse("//patient").unwrap())
+            .subject(&SubjectProfile::new("doctor"))
+            .clearance(Clearance(Level::Unclassified))
+    }
+
+    #[test]
+    fn serve_reuses_session_and_cache() {
+        let server = StackServer::new(stack());
+        let first = server.serve(&doctor_request()).unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        for _ in 0..9 {
+            let again = server.serve(&doctor_request()).unwrap();
+            assert_eq!(again.cache, CacheStatus::Hit);
+            assert_eq!(again.xml, first.xml);
+        }
+        let m = server.metrics();
+        assert_eq!(m.requests, 10);
+        assert_eq!(m.sessions_established, 1);
+        assert_eq!(m.session_reuses, 9);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 9);
+        assert!(m.cache_hit_rate() > 0.89);
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(server.cached_views(), 1);
+        assert_eq!(m.latency.count, 10);
+        assert!(m.latency.mean_ns() > 0.0);
+        assert!(m.latency.quantile_upper_ns(0.5) > 0);
+    }
+
+    #[test]
+    fn update_invalidates_views_and_epoch_keys_cache() {
+        let mut server = StackServer::new(stack());
+        let before = server.serve(&doctor_request()).unwrap();
+        assert!(before.xml.contains("Alice"));
+        assert_eq!(server.cached_views(), 1);
+        let epoch_before = server.snapshot().policies.epoch();
+        server.update(|s| {
+            s.policies.add(Authorization::deny(
+                0,
+                SubjectSpec::Identity("doctor".into()),
+                ObjectSpec::Document("h.xml".into()),
+                Privilege::Read,
+            ));
+        });
+        assert!(server.snapshot().policies.epoch() > epoch_before);
+        assert_eq!(server.cached_views(), 0, "stale views evicted");
+        let after = server.serve(&doctor_request()).unwrap();
+        assert_eq!(after.cache, CacheStatus::Miss, "view recomputed");
+        assert!(!after.xml.contains("Alice"), "{}", after.xml);
+    }
+
+    #[test]
+    fn batch_results_are_positional() {
+        let server = StackServer::new(stack());
+        let requests: Vec<QueryRequest> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    doctor_request()
+                } else {
+                    QueryRequest::for_doc("nope.xml")
+                        .path(Path::parse("//x").unwrap())
+                        .subject(&SubjectProfile::new("doctor"))
+                }
+            })
+            .collect();
+        let results = server.serve_batch(&requests, 8);
+        assert_eq!(results.len(), 64);
+        for (i, result) in results.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(result.as_ref().unwrap().xml.contains("Alice"));
+            } else {
+                assert_eq!(result.as_ref().unwrap_err().code(), "WS101");
+            }
+        }
+        let m = server.metrics();
+        assert_eq!(m.requests, 64);
+        assert_eq!(m.allowed, 32);
+        assert_eq!(m.errors, 32);
+    }
+}

@@ -1,0 +1,388 @@
+//! Read-only query evaluation over a stack snapshot.
+//!
+//! [`SecureWebStack::execute`] takes `&self`: it never mutates the stack,
+//! so any number of threads may evaluate queries concurrently over a shared
+//! snapshot. The flexible gate is consulted through its pure
+//! [`websec_policy::flexible::FlexibleEnforcer::decide`] path; gate
+//! *statistics* are aggregated by the serving layer
+//! ([`crate::server::ServerMetrics`]) instead of mutating the stack.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::Error;
+use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
+use crate::stack::{SecureWebStack, StackError};
+use websec_policy::mls::Clearance;
+use websec_policy::SubjectProfile;
+use websec_services::ChannelSession;
+use websec_xml::{Document, Path};
+
+/// Per-layer elapsed time for one request, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerTimings {
+    /// Secure-channel transit (both directions).
+    pub channel_ns: u128,
+    /// RDF metadata / label checking.
+    pub rdf_ns: u128,
+    /// Policy evaluation and view computation.
+    pub xml_ns: u128,
+    /// Flexible-enforcement gating.
+    pub gate_ns: u128,
+}
+
+impl LayerTimings {
+    /// Total time across layers.
+    #[must_use]
+    pub fn total_ns(&self) -> u128 {
+        self.channel_ns + self.rdf_ns + self.xml_ns + self.gate_ns
+    }
+}
+
+/// Resolves the subject's view of a document, reporting whether a cache
+/// served it. The serving layer plugs its epoch-keyed cache in here; the
+/// direct [`SecureWebStack::execute`] path always computes fresh.
+pub(crate) type ViewProvider<'a> = dyn FnMut(
+        &SecureWebStack,
+        &SubjectProfile,
+        &str,
+        &Document,
+    ) -> (Arc<Document>, CacheStatus)
+    + 'a;
+
+/// The request key fed to the flexible-enforcement gate (stable across the
+/// legacy shim and the new API so gating decisions agree).
+pub(crate) fn gate_key(identity: &str, doc_name: &str, path: &Path) -> String {
+    format!("{identity}|{doc_name}|{}", path.source())
+}
+
+impl SecureWebStack {
+    /// Processes one request through all four layers.
+    ///
+    /// This is the sessionless convenience path: it performs a one-shot
+    /// channel handshake and computes the subject's view without caching.
+    /// Production traffic should go through a
+    /// [`crate::server::StackServer`], which reuses one session per subject
+    /// and caches policy views across requests.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, Error> {
+        let mut session = ChannelSession::establish(
+            &self.session_key,
+            &request.subject_profile().identity,
+            self.channel_protected,
+        );
+        self.execute_in_session(request, &mut session, &mut |stack, profile, name, doc| {
+            (
+                Arc::new(stack.engine.compute_view(&stack.policies, profile, name, doc)),
+                CacheStatus::Bypass,
+            )
+        })
+    }
+
+    /// The full evaluation pipeline over an established session, with view
+    /// resolution delegated to `view_for` (the serving layer's cache hook).
+    pub(crate) fn execute_in_session(
+        &self,
+        request: &QueryRequest,
+        session: &mut ChannelSession,
+        view_for: &mut ViewProvider<'_>,
+    ) -> Result<QueryResponse, Error> {
+        let path = request
+            .query_path()
+            .ok_or_else(|| Error::InvalidRequest("query path not set".into()))?;
+        let profile = request.subject_profile();
+        let doc_name = request.doc_name();
+        let mut timings = LayerTimings::default();
+
+        // Layer 1 (inbound): the query transits the established session.
+        let t = Instant::now();
+        let _query_bytes = session.transit_to_server(path.source().as_bytes())?;
+        timings.channel_ns += t.elapsed().as_nanos();
+
+        // Layer 4 gate first: is this request fully enforced?
+        let t = Instant::now();
+        let key = gate_key(&profile.identity, doc_name, path);
+        let enforce = matches!(
+            self.gate.decide(key.as_bytes()),
+            websec_policy::flexible::GateOutcome::Enforce
+        );
+        timings.gate_ns += t.elapsed().as_nanos();
+
+        // Layer 3: RDF metadata — label vs clearance.
+        let t = Instant::now();
+        if enforce {
+            if let Some(label) = self.label_of(doc_name) {
+                if !request.clearance_level().can_read(label, &self.context) {
+                    return Err(Error::ClearanceViolation);
+                }
+            }
+        }
+        timings.rdf_ns += t.elapsed().as_nanos();
+
+        // Layer 2: XML security — view resolution and query.
+        let t = Instant::now();
+        let doc = self
+            .documents
+            .get(doc_name)
+            .ok_or_else(|| Error::UnknownDocument(doc_name.to_string()))?;
+        let (result_xml, cache) = if enforce {
+            let (view, cache) = view_for(self, profile, doc_name, doc);
+            let matched = path.select_nodes(&view);
+            let xml = matched
+                .iter()
+                .map(|&n| view.subtree_xml(n))
+                .collect::<Vec<_>>()
+                .join("");
+            (xml, cache)
+        } else {
+            // Unchecked fast path: raw query on the stored document.
+            let xml = path
+                .select_nodes(doc)
+                .iter()
+                .map(|&n| String::from_utf8_lossy(&doc.canonical_bytes(n)).to_string())
+                .collect::<Vec<_>>()
+                .join("");
+            (xml, CacheStatus::Bypass)
+        };
+        timings.xml_ns += t.elapsed().as_nanos();
+
+        // Layer 1 (outbound): response transits the session.
+        let t = Instant::now();
+        let received = session.transit_to_client(result_xml.as_bytes())?;
+        timings.channel_ns += t.elapsed().as_nanos();
+
+        let text = String::from_utf8(received)
+            .map_err(|_| Error::Channel("response not UTF-8".into()))?;
+        Ok(QueryResponse {
+            xml: text,
+            decision: if enforce {
+                Decision::Enforced
+            } else {
+                Decision::AdmittedUnchecked
+            },
+            cache,
+            timings,
+        })
+    }
+
+    /// Processes one query through all four layers, returning the view's
+    /// XML plus the per-layer timings.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a QueryRequest and call SecureWebStack::execute (or serve \
+                through server::StackServer); this positional shim will be \
+                removed next release"
+    )]
+    pub fn query(
+        &mut self,
+        profile: &SubjectProfile,
+        clearance: Clearance,
+        doc_name: &str,
+        path: &Path,
+    ) -> Result<(String, LayerTimings), StackError> {
+        // Preserve the legacy gate statistics (`gate.exposure()`): the
+        // stateful gate() records the same outcome decide() returns inside
+        // execute().
+        let key = gate_key(&profile.identity, doc_name, path);
+        let _ = self.gate.gate(key.as_bytes());
+        let request = QueryRequest::for_doc(doc_name)
+            .path(path.clone())
+            .subject(profile)
+            .clearance(clearance);
+        match self.execute(&request) {
+            Ok(response) => Ok((response.xml, response.timings)),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::{ContextLabel, Level, SecurityContext};
+    use websec_policy::{
+        Authorization, FlexibleEnforcer, ObjectSpec, Privilege, SubjectSpec,
+    };
+
+    fn stack() -> SecureWebStack {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        let doc = Document::parse(
+            "<hospital><patient id=\"p1\"><name>Alice</name></patient><admin><budget>9</budget></admin></hospital>",
+        )
+        .unwrap();
+        s.add_document("h.xml", doc, ContextLabel::fixed(Level::Unclassified));
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        s
+    }
+
+    fn request(identity: &str, clearance: Clearance, doc: &str, path: &str) -> QueryRequest {
+        QueryRequest::for_doc(doc)
+            .path(Path::parse(path).unwrap())
+            .subject(&SubjectProfile::new(identity))
+            .clearance(clearance)
+    }
+
+    #[test]
+    fn query_through_all_layers() {
+        let s = stack();
+        let response = s
+            .execute(&request(
+                "doctor",
+                Clearance(Level::Unclassified),
+                "h.xml",
+                "//patient",
+            ))
+            .unwrap();
+        assert!(response.xml.contains("Alice"), "{}", response.xml);
+        assert!(!response.xml.contains("budget"), "{}", response.xml);
+        assert_eq!(response.decision, Decision::Enforced);
+        assert!(response.timings.total_ns() > 0);
+    }
+
+    #[test]
+    fn policy_denies_unauthorized_subject() {
+        let s = stack();
+        let response = s
+            .execute(&request(
+                "stranger",
+                Clearance(Level::Unclassified),
+                "h.xml",
+                "//patient",
+            ))
+            .unwrap();
+        assert!(!response.xml.contains("Alice"), "{}", response.xml);
+    }
+
+    #[test]
+    fn clearance_violation_blocks() {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        s.add_document(
+            "secret.xml",
+            Document::parse("<ops><plan>x</plan></ops>").unwrap(),
+            ContextLabel::fixed(Level::Secret),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        let err = s
+            .execute(&request(
+                "public",
+                Clearance(Level::Unclassified),
+                "secret.xml",
+                "//plan",
+            ))
+            .unwrap_err();
+        assert_eq!(err, Error::ClearanceViolation);
+        assert_eq!(err.code(), "WS102");
+        // A cleared analyst gets through.
+        assert!(s
+            .execute(&request(
+                "analyst",
+                Clearance(Level::Secret),
+                "secret.xml",
+                "//plan",
+            ))
+            .is_ok());
+    }
+
+    #[test]
+    fn declassification_at_the_stack_level() {
+        let mut s = SecureWebStack::new([4u8; 32]);
+        s.add_document(
+            "war.xml",
+            Document::parse("<ops><plan>x</plan></ops>").unwrap(),
+            ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        s.context = SecurityContext::new().with_condition("wartime");
+        let req = request(
+            "journalist",
+            Clearance(Level::Unclassified),
+            "war.xml",
+            "//plan",
+        );
+        assert_eq!(s.execute(&req).unwrap_err(), Error::ClearanceViolation);
+        // The war ends; the same query now succeeds.
+        s.context = SecurityContext::new();
+        assert!(s.execute(&req).is_ok());
+    }
+
+    #[test]
+    fn unknown_document_error() {
+        let s = stack();
+        let err = s
+            .execute(&request(
+                "doctor",
+                Clearance(Level::TopSecret),
+                "nope.xml",
+                "//x",
+            ))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownDocument("nope.xml".into()));
+        assert_eq!(err.code(), "WS101");
+    }
+
+    #[test]
+    fn missing_path_is_invalid_request() {
+        let s = stack();
+        let err = s.execute(&QueryRequest::for_doc("h.xml")).unwrap_err();
+        assert_eq!(err.code(), "WS105");
+    }
+
+    #[test]
+    fn reduced_enforcement_skips_checks() {
+        let mut s = stack();
+        s.gate = FlexibleEnforcer::new(0, [3u8; 32]);
+        // At 0% enforcement even a stranger gets the fast path (exposure!).
+        let response = s
+            .execute(&request(
+                "stranger",
+                Clearance(Level::Unclassified),
+                "h.xml",
+                "//patient",
+            ))
+            .unwrap();
+        assert!(response.xml.contains("Alice"), "{}", response.xml);
+        assert_eq!(response.decision, Decision::AdmittedUnchecked);
+        assert_eq!(response.cache, CacheStatus::Bypass);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_new_api() {
+        let mut s = stack();
+        let path = Path::parse("//patient").unwrap();
+        let profile = SubjectProfile::new("doctor");
+        let (legacy_xml, legacy_timings) = s
+            .query(&profile, Clearance(Level::Unclassified), "h.xml", &path)
+            .unwrap();
+        let response = s
+            .execute(
+                &QueryRequest::for_doc("h.xml")
+                    .path(path)
+                    .subject(&profile)
+                    .clearance(Clearance(Level::Unclassified)),
+            )
+            .unwrap();
+        assert_eq!(legacy_xml, response.xml);
+        assert!(legacy_timings.total_ns() > 0);
+        // The shim still feeds the legacy gate statistics.
+        let (enforced, _) = s.gate.stats();
+        assert_eq!(enforced, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Mutable configuration of the stack: documents, policies, labels,
+//! catalog, context, and the enforcement gate.
+//!
+//! Everything that *changes* a stack lives here; read-only query
+//! evaluation lives in `eval.rs`. The split is what lets the serving layer
+//! hold an `Arc<SecureWebStack>` snapshot and evaluate queries from many
+//! threads without locks: a snapshot is only mutated through
+//! [`crate::server::StackServer::update`], which also invalidates the
+//! policy-view cache.
+
+use std::collections::HashMap;
+use websec_policy::mls::{ContextLabel, SecurityContext};
+use websec_policy::{FlexibleEnforcer, PolicyEngine, PolicyStore};
+use websec_rdf::{PatternTerm, Term, Triple, TriplePattern, TripleStore};
+use websec_xml::{Document, DocumentStore};
+
+/// Stack processing errors (legacy enum, superseded by [`crate::Error`]
+/// which wraps it with stable `WS1xx` codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackError {
+    /// Unknown document.
+    UnknownDocument(String),
+    /// The document's effective label dominates the subject's clearance.
+    ClearanceViolation,
+    /// Transport failure.
+    Channel(String),
+    /// Static analysis found error-severity misconfigurations (strict mode);
+    /// carries the machine rendering of the findings.
+    Misconfigured(String),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
+            StackError::ClearanceViolation => write!(f, "document label exceeds clearance"),
+            StackError::Channel(m) => write!(f, "channel failure: {m}"),
+            StackError::Misconfigured(m) => write!(f, "stack misconfigured:\n{m}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// Metadata vocabulary for the catalog graph.
+pub mod vocab {
+    /// Links a catalog entry to its document name literal.
+    pub const DOC_NAME: &str = "http://websec.example/cat#documentName";
+    /// Marks a document classified (object: level literal "U"/"C"/"S"/"TS").
+    pub const CLASSIFIED: &str = "http://websec.example/cat#classifiedAs";
+}
+
+/// The layered stack.
+///
+/// Cloning produces an independent snapshot — the serving layer relies on
+/// this for copy-on-write mutation of a shared `Arc` snapshot.
+#[derive(Clone)]
+pub struct SecureWebStack {
+    /// Documents under management.
+    pub documents: DocumentStore,
+    /// XML-layer policy base.
+    pub policies: PolicyStore,
+    /// XML-layer evaluation engine.
+    pub engine: PolicyEngine,
+    /// RDF metadata catalog: one entry per document, with labels.
+    pub catalog: TripleStore,
+    /// Context labels per document name (evaluated against the context).
+    pub(crate) labels: HashMap<String, ContextLabel>,
+    /// The evaluation context (epoch, conditions).
+    pub context: SecurityContext,
+    /// Flexible enforcement gate.
+    pub gate: FlexibleEnforcer,
+    pub(crate) session_key: [u8; 32],
+    /// Toggle for the channel layer (false = plaintext transport baseline).
+    pub channel_protected: bool,
+}
+
+impl SecureWebStack {
+    /// Creates a stack at full (100%) enforcement.
+    #[must_use]
+    pub fn new(session_key: [u8; 32]) -> Self {
+        SecureWebStack {
+            documents: DocumentStore::new(),
+            policies: PolicyStore::new(),
+            engine: PolicyEngine::default(),
+            catalog: TripleStore::new(),
+            labels: HashMap::new(),
+            context: SecurityContext::new(),
+            gate: FlexibleEnforcer::new(100, session_key),
+            session_key,
+            channel_protected: true,
+        }
+    }
+
+    /// Adds a document with a context label, registering catalog metadata.
+    pub fn add_document(&mut self, name: &str, doc: Document, label: ContextLabel) {
+        let entry = self.catalog.fresh_blank();
+        self.catalog.insert(&Triple::new(
+            entry.clone(),
+            Term::iri(vocab::DOC_NAME),
+            Term::lit(name),
+        ));
+        self.catalog.insert(&Triple::new(
+            entry,
+            Term::iri(vocab::CLASSIFIED),
+            Term::lit(&label.effective(&self.context).to_string()),
+        ));
+        self.labels.insert(name.to_string(), label);
+        self.documents.insert(name, doc);
+    }
+
+    /// The context label registered for `name`, if any. Lookup is a hash
+    /// probe — this sits on the per-request RDF-layer hot path.
+    #[must_use]
+    pub fn label_of(&self, name: &str) -> Option<&ContextLabel> {
+        self.labels.get(name)
+    }
+
+    /// Names of catalogued documents (via the RDF layer).
+    #[must_use]
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.catalog
+            .query(&TriplePattern::new(
+                PatternTerm::Any,
+                PatternTerm::Const(Term::iri(vocab::DOC_NAME)),
+                PatternTerm::Any,
+            ))
+            .into_iter()
+            .filter_map(|t| match t.o {
+                Term::Literal(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs the five static-analysis passes (WS001–WS005) over the stack's
+    /// current configuration — policy base, documents, labels and catalog —
+    /// without executing any query.
+    #[must_use]
+    pub fn analyze(&self) -> websec_analyzer::Report {
+        let catalog: Vec<String> = self.catalog_names();
+        let mut input =
+            websec_analyzer::AnalyzerInput::new(&self.policies, self.engine.strategy);
+        for name in self.documents.names() {
+            if let Some(doc) = self.documents.get(name) {
+                input.documents.push((name, doc));
+            }
+        }
+        // Deterministic label order (the map iterates in arbitrary order).
+        let mut labels: Vec<(&str, &ContextLabel)> = self
+            .labels
+            .iter()
+            .map(|(n, l)| (n.as_str(), l))
+            .collect();
+        labels.sort_by_key(|(n, _)| *n);
+        input.labels = labels;
+        input.catalog_names = catalog.iter().map(String::as_str).collect();
+        websec_analyzer::Analyzer::analyze(&input)
+    }
+
+    /// Strict boot gate: refuses service when [`Self::analyze`] reports any
+    /// error-severity finding, returning the report otherwise.
+    pub fn analyze_strict(&self) -> Result<websec_analyzer::Report, StackError> {
+        let report = self.analyze();
+        if report.has_errors() {
+            return Err(StackError::Misconfigured(report.machine()));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::Level;
+
+    #[test]
+    fn catalog_lists_documents() {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        s.add_document(
+            "h.xml",
+            Document::parse("<hospital/>").unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        assert_eq!(s.catalog_names(), vec!["h.xml".to_string()]);
+        assert!(s.label_of("h.xml").is_some());
+        assert!(s.label_of("nope.xml").is_none());
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let mut s = SecureWebStack::new([3u8; 32]);
+        s.add_document(
+            "h.xml",
+            Document::parse("<hospital/>").unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        let snapshot = s.clone();
+        s.add_document(
+            "extra.xml",
+            Document::parse("<x/>").unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        assert_eq!(snapshot.documents.len(), 1);
+        assert_eq!(s.documents.len(), 2);
+    }
+}

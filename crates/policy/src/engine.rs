@@ -11,13 +11,14 @@ use websec_xml::{Document, NodeId, Selection};
 
 /// A policy base: authorizations plus the role hierarchy and collection
 /// membership needed to interpret them.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PolicyStore {
     authorizations: Vec<Authorization>,
     /// Role seniority used for `SubjectSpec::InRole`.
     pub hierarchy: RoleHierarchy,
     collections: BTreeMap<String, BTreeSet<String>>,
     next_id: u32,
+    epoch: u64,
 }
 
 impl PolicyStore {
@@ -27,6 +28,22 @@ impl PolicyStore {
         Self::default()
     }
 
+    /// Monotonic mutation counter: bumped by every change to the policy base
+    /// ([`Self::add`], [`Self::revoke`], [`Self::add_collection_member`]).
+    /// Serving-layer caches key derived artifacts (per-subject views) on this
+    /// epoch so a policy mutation implicitly invalidates them.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Explicitly advances the epoch. Call after mutating state the store
+    /// cannot observe itself (e.g. editing the public `hierarchy` field) so
+    /// epoch-keyed caches are invalidated.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Adds an authorization, assigning it a fresh id (any id set by the
     /// caller is overwritten).
     pub fn add(&mut self, mut authorization: Authorization) -> AuthzId {
@@ -34,6 +51,7 @@ impl PolicyStore {
         self.next_id += 1;
         authorization.id = id;
         self.authorizations.push(authorization);
+        self.epoch += 1;
         id
     }
 
@@ -41,7 +59,11 @@ impl PolicyStore {
     pub fn revoke(&mut self, id: AuthzId) -> bool {
         let before = self.authorizations.len();
         self.authorizations.retain(|a| a.id != id);
-        self.authorizations.len() != before
+        let removed = self.authorizations.len() != before;
+        if removed {
+            self.epoch += 1;
+        }
+        removed
     }
 
     /// The current authorizations.
@@ -68,6 +90,7 @@ impl PolicyStore {
             .entry(collection.to_string())
             .or_default()
             .insert(document.to_string());
+        self.epoch += 1;
     }
 
     /// True when `document` is a registered member of `collection`.
@@ -889,6 +912,28 @@ mod tests {
             ),
             AccessDecision::Denied
         );
+    }
+
+    #[test]
+    fn epoch_tracks_mutations() {
+        let mut store = PolicyStore::new();
+        assert_eq!(store.epoch(), 0);
+        let id = store.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::AllDocuments,
+            Privilege::Read,
+        ));
+        assert_eq!(store.epoch(), 1);
+        store.add_collection_member("wards", "h.xml");
+        assert_eq!(store.epoch(), 2);
+        assert!(store.revoke(id));
+        assert_eq!(store.epoch(), 3);
+        // Revoking a missing id is not a mutation.
+        assert!(!store.revoke(id));
+        assert_eq!(store.epoch(), 3);
+        store.bump_epoch();
+        assert_eq!(store.epoch(), 4);
     }
 
     #[test]

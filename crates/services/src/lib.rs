@@ -35,7 +35,7 @@ pub mod wsdl;
 
 pub use actors::{InvocationError, ServiceHost, ServiceRequestor};
 pub use discovery::{discovery_host, find_business_over_soap, get_business_detail_over_soap};
-pub use channel::SecureChannel;
+pub use channel::{ChannelError, ChannelSession, SecureChannel};
 pub use security::{decrypt_body, encrypt_body, sign_envelope, verify_envelope, SecurityError};
 pub use soap::Envelope;
 pub use wsdl::{Operation, ServiceDescription};

@@ -319,6 +319,39 @@ impl Document {
         view
     }
 
+    /// Serializes the live subtree under `node`, wrapped in its chain of
+    /// ancestor elements (each carrying its attributes but none of its other
+    /// children). The output is byte-identical to
+    /// `prune_to_view(&descendants(node), &HashMap::new()).to_xml_string()`
+    /// but performs no copy of the document — this is the cheap "slice" used
+    /// by the serving layer when projecting matched nodes out of a cached
+    /// policy view. A removed `node` serializes to the empty string.
+    #[must_use]
+    pub fn subtree_xml(&self, node: NodeId) -> String {
+        if self.nodes[node.index()].removed {
+            return String::new();
+        }
+        let mut out = String::new();
+        let mut chain = self.ancestors(node);
+        chain.reverse(); // root first, parent of `node` last
+        for &anc in &chain {
+            if let NodeKind::Element { name, attributes } = &self.nodes[anc.index()].kind {
+                let _ = write!(out, "<{name}");
+                for (k, v) in attributes {
+                    let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+                }
+                out.push('>');
+            }
+        }
+        self.write_node(node, &mut out);
+        for &anc in chain.iter().rev() {
+            if let NodeKind::Element { name, .. } = &self.nodes[anc.index()].kind {
+                let _ = write!(out, "</{name}>");
+            }
+        }
+        out
+    }
+
     /// Serializes the live tree to an XML string.
     #[must_use]
     pub fn to_xml_string(&self) -> String {
@@ -536,6 +569,42 @@ mod tests {
         assert_eq!(
             d1.canonical_bytes(d1.root()),
             d2.canonical_bytes(d2.root())
+        );
+    }
+
+    #[test]
+    fn subtree_xml_matches_prune_to_view() {
+        let (d, patient, name, record) = sample();
+        for node in [d.root(), patient, name, record] {
+            let keep: HashSet<NodeId> = d.descendants(node).into_iter().collect();
+            let via_view = d.prune_to_view(&keep, &HashMap::new()).to_xml_string();
+            assert_eq!(d.subtree_xml(node), via_view, "node {node:?}");
+        }
+    }
+
+    #[test]
+    fn subtree_xml_wraps_in_ancestor_chain() {
+        let (d, _, name, _) = sample();
+        assert_eq!(
+            d.subtree_xml(name),
+            "<hospital><patient id=\"p1\"><name>Alice</name></patient></hospital>"
+        );
+    }
+
+    #[test]
+    fn subtree_xml_of_removed_node_is_empty() {
+        let (mut d, _, _, record) = sample();
+        d.prune(record);
+        assert_eq!(d.subtree_xml(record), "");
+    }
+
+    #[test]
+    fn subtree_xml_skips_removed_descendants() {
+        let (mut d, patient, name, _) = sample();
+        d.prune(name);
+        assert_eq!(
+            d.subtree_xml(patient),
+            "<hospital><patient id=\"p1\"><record>flu</record></patient></hospital>"
         );
     }
 

@@ -10,7 +10,7 @@ use crate::path::Path;
 use std::collections::BTreeMap;
 
 /// A named collection of XML documents.
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DocumentStore {
     docs: BTreeMap<String, Document>,
     collections: BTreeMap<String, Vec<String>>,

@@ -35,20 +35,25 @@ fn stack_demo() {
 
     let journalist = SubjectProfile::new("journalist");
     let clearance = Clearance(Level::Unclassified);
-    let mission = Path::parse("//mission").unwrap();
-    let release = Path::parse("//release").unwrap();
+    let mission = QueryRequest::for_doc("intel.xml")
+        .path(Path::parse("//mission").unwrap())
+        .subject(&journalist)
+        .clearance(clearance);
+    let release = QueryRequest::for_doc("press.xml")
+        .path(Path::parse("//release").unwrap())
+        .subject(&journalist)
+        .clearance(clearance);
 
     // During wartime the intel document is classified.
     stack.context = SecurityContext::new().with_condition("wartime");
     println!("  wartime:");
-    match stack.query(&journalist, clearance, "intel.xml", &mission) {
+    match stack.execute(&mission) {
         Err(e) => println!("    intel.xml: {e}"),
         Ok(_) => unreachable!(),
     }
-    let (xml, t) = stack
-        .query(&journalist, clearance, "press.xml", &release)
-        .expect("public document flows");
-    println!("    press.xml: {xml}");
+    let response = stack.execute(&release).expect("public document flows");
+    println!("    press.xml: {}", response.xml);
+    let t = response.timings;
     println!(
         "    layer timings (ns): channel={} rdf={} xml={} gate={}",
         t.channel_ns, t.rdf_ns, t.xml_ns, t.gate_ns
@@ -57,20 +62,29 @@ fn stack_demo() {
     // "One could declassify an RDF document, once the war is over."
     stack.context = SecurityContext::new();
     println!("  peacetime:");
-    let (xml, _) = stack
-        .query(&journalist, clearance, "intel.xml", &mission)
-        .expect("declassified");
-    println!("    intel.xml (declassified): {xml}");
+    let response = stack.execute(&mission).expect("declassified");
+    println!("    intel.xml (declassified): {}", response.xml);
 
-    // Flexible security: drop to 30% enforcement and measure the exposure.
+    // Flexible security: drop to 30% enforcement, serve a burst of traffic
+    // through the concurrent serving layer, and measure the exposure.
     stack.gate = FlexibleEnforcer::new(30, [11u8; 32]);
-    for i in 0..200 {
-        let p = SubjectProfile::new(&format!("user-{i}"));
-        let _ = stack.query(&p, clearance, "press.xml", &release);
-    }
+    let server = StackServer::new(stack);
+    let burst: Vec<QueryRequest> = (0..200)
+        .map(|i| {
+            QueryRequest::for_doc("press.xml")
+                .path(Path::parse("//release").unwrap())
+                .subject(&SubjectProfile::new(&format!("user-{i}")))
+                .clearance(clearance)
+        })
+        .collect();
+    let _ = server.serve_batch(&burst, 4);
+    let metrics = server.metrics();
     println!(
-        "  at 30% enforcement: residual exposure {:.0}% of requests admitted unchecked\n",
-        stack.gate.exposure() * 100.0
+        "  at 30% enforcement: residual exposure {:.0}% of requests admitted unchecked \
+         ({} sessions established, cache hit rate {:.0}%)\n",
+        metrics.exposure() * 100.0,
+        metrics.sessions_established,
+        metrics.cache_hit_rate() * 100.0
     );
 }
 

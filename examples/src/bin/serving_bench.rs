@@ -1,0 +1,176 @@
+//! Dependency-free serving-layer throughput smoke benchmark.
+//!
+//! Measures queries/sec through three configurations of the same stack:
+//!
+//! * **legacy** — sessionless `SecureWebStack::execute` per query (one
+//!   channel handshake per request, no view cache): the pre-serving-layer
+//!   baseline;
+//! * **serial** — one `StackServer` driven from a single thread (session
+//!   reuse + policy-view cache);
+//! * **parallel** — a fresh `StackServer` driving the same request batch
+//!   across `std::thread` workers.
+//!
+//! Emits `BENCH_serving.json` in the working directory so the bench
+//! trajectory can be tracked across PRs, and asserts nothing — check.sh
+//! runs it as a smoke test; the JSON is the artifact.
+//!
+//! Run with: `cargo run --release -p websec-examples --bin serving_bench`
+
+use std::time::Instant;
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+const PATIENTS: usize = 160;
+const DOCTORS: usize = 16;
+const CLERKS: usize = 8;
+const REQUESTS: usize = 4096;
+
+fn build_stack() -> SecureWebStack {
+    let mut stack = SecureWebStack::new([7u8; 32]);
+    let mut xml = String::from("<hospital>");
+    for i in 0..PATIENTS {
+        xml.push_str(&format!(
+            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
+        ));
+    }
+    xml.push_str("</hospital>");
+    stack.add_document(
+        "records.xml",
+        Document::parse(&xml).expect("well-formed"),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.add_document(
+        "secret.xml",
+        Document::parse("<ops><plan>atlantis</plan></ops>").expect("well-formed"),
+        ContextLabel::fixed(Level::Secret),
+    );
+    for d in 0..DOCTORS {
+        stack.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity(format!("doctor-{d}")),
+            ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").expect("valid path"),
+            },
+            Privilege::Read,
+        ));
+    }
+    stack.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("secret.xml".into()),
+        Privilege::Read,
+    ));
+    stack
+}
+
+/// A mixed workload: authorized doctors, empty-view clerks, and
+/// clearance-denied probes of the classified document.
+fn build_requests() -> Vec<QueryRequest> {
+    (0..REQUESTS)
+        .map(|i| {
+            if i % 7 == 3 {
+                // Denied at the RDF label layer.
+                QueryRequest::for_doc("secret.xml")
+                    .path(Path::parse("//plan").expect("valid path"))
+                    .subject(&SubjectProfile::new(&format!("doctor-{}", i % DOCTORS)))
+                    .clearance(Clearance(Level::Unclassified))
+            } else if i % 5 == 1 {
+                // No grant: allowed through with an empty view.
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse("//patient").expect("valid path"))
+                    .subject(&SubjectProfile::new(&format!("clerk-{}", i % CLERKS)))
+                    .clearance(Clearance(Level::Unclassified))
+            } else {
+                QueryRequest::for_doc("records.xml")
+                    .path(
+                        Path::parse(&format!("//patient[@id='p{}']", i % PATIENTS))
+                            .expect("valid path"),
+                    )
+                    .subject(&SubjectProfile::new(&format!("doctor-{}", i % DOCTORS)))
+                    .clearance(Clearance(Level::Unclassified))
+            }
+        })
+        .collect()
+}
+
+fn qps(n: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        n as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let requests = build_requests();
+    // At least 4 workers so the parallel path is exercised even on small
+    // containers; on real multi-core boxes this matches the core count.
+    let workers = std::thread::available_parallelism().map_or(4, usize::from).max(4);
+
+    // Legacy baseline: handshake per request, no cache, single thread.
+    let stack = build_stack();
+    let t = Instant::now();
+    for request in &requests {
+        let _ = stack.execute(request);
+    }
+    let legacy_secs = t.elapsed().as_secs_f64();
+
+    // Serial serving layer (warm pass populates sessions + view cache).
+    let serial = StackServer::new(build_stack());
+    for request in &requests {
+        let _ = serial.serve(request);
+    }
+    let t = Instant::now();
+    for request in &requests {
+        let _ = serial.serve(request);
+    }
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    // Parallel serving layer, same warmup discipline.
+    let parallel = StackServer::new(build_stack());
+    let _ = parallel.serve_batch(&requests, workers);
+    let t = Instant::now();
+    let _ = parallel.serve_batch(&requests, workers);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    let legacy_qps = qps(REQUESTS, legacy_secs);
+    let serial_qps = qps(REQUESTS, serial_secs);
+    let parallel_qps = qps(REQUESTS, parallel_secs);
+    let speedup = if serial_qps > 0.0 {
+        parallel_qps / serial_qps
+    } else {
+        0.0
+    };
+    let metrics = parallel.metrics();
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \
+         \"legacy_qps\": {legacy_qps:.1},\n  \"serial_qps\": {serial_qps:.1},\n  \
+         \"parallel_qps\": {parallel_qps:.1},\n  \"speedup_parallel_over_serial\": {speedup:.2},\n  \
+         \"speedup_serial_over_legacy\": {:.2},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"sessions_established\": {},\n  \"session_reuses\": {},\n  \"denied\": {},\n  \
+         \"p50_upper_ns\": {},\n  \"p99_upper_ns\": {},\n  \"mean_latency_ns\": {:.0}\n}}\n",
+        if legacy_qps > 0.0 { serial_qps / legacy_qps } else { 0.0 },
+        metrics.cache_hit_rate(),
+        metrics.sessions_established,
+        metrics.session_reuses,
+        metrics.denied,
+        metrics.latency.quantile_upper_ns(0.5),
+        metrics.latency.quantile_upper_ns(0.99),
+        metrics.latency.mean_ns(),
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("== Serving-layer throughput smoke ==");
+    println!(
+        "  legacy (no sessions/cache): {legacy_qps:>10.0} q/s\n  \
+         serial serving layer:       {serial_qps:>10.0} q/s\n  \
+         parallel x{workers} workers:       {parallel_qps:>10.0} q/s  ({speedup:.2}x serial)"
+    );
+    println!(
+        "  cache hit rate {:.1}%  sessions {}  reuses {}",
+        metrics.cache_hit_rate() * 100.0,
+        metrics.sessions_established,
+        metrics.session_reuses
+    );
+    println!("  wrote BENCH_serving.json");
+}

@@ -1,0 +1,213 @@
+//! The concurrent serving layer end to end: parallel batches agree with a
+//! serial run byte-for-byte, the policy-view cache is invalidated by the
+//! policy epoch, sessions are reused across requests, and the unified
+//! error codes are stable at the API boundary.
+
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+const SUBJECTS: usize = 16;
+
+fn build_stack() -> SecureWebStack {
+    let mut stack = SecureWebStack::new([3u8; 32]);
+    let mut xml = String::from("<hospital>");
+    for i in 0..40 {
+        xml.push_str(&format!(
+            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
+        ));
+    }
+    xml.push_str("</hospital>");
+    stack.add_document(
+        "records.xml",
+        Document::parse(&xml).unwrap(),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.add_document(
+        "secret.xml",
+        Document::parse("<ops><plan>atlantis</plan></ops>").unwrap(),
+        ContextLabel::fixed(Level::Secret),
+    );
+    // Half the subjects are doctors with a portion grant; the rest have no
+    // authorization and receive empty views.
+    for d in 0..SUBJECTS / 2 {
+        stack.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity(format!("subject-{d}")),
+            ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+    }
+    stack.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("secret.xml".into()),
+        Privilege::Read,
+    ));
+    stack
+}
+
+/// ≥1k mixed allow/deny/error requests across many subjects.
+fn build_requests(n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            let subject = SubjectProfile::new(&format!("subject-{}", i % SUBJECTS));
+            if i % 9 == 4 {
+                // Clearance-denied probe of the classified document.
+                QueryRequest::for_doc("secret.xml")
+                    .path(Path::parse("//plan").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else if i % 11 == 7 {
+                // Unknown document: a WS101 error.
+                QueryRequest::for_doc("missing.xml")
+                    .path(Path::parse("//x").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else {
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse(&format!("//patient[@id='p{}']", i % 40)).unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            }
+        })
+        .collect()
+}
+
+/// The tentpole's correctness bar: a parallel batch over ≥8 threads returns,
+/// position for position, exactly what a serial run returns.
+#[test]
+fn parallel_batch_matches_serial_run() {
+    let requests = build_requests(1024);
+
+    let serial_server = StackServer::new(build_stack());
+    let serial: Vec<_> = requests.iter().map(|r| serial_server.serve(r)).collect();
+
+    let parallel_server = StackServer::new(build_stack());
+    let parallel = parallel_server.serve_batch(&requests, 8);
+
+    assert_eq!(serial.len(), parallel.len());
+    let mut allowed = 0;
+    let mut denied = 0;
+    let mut errored = 0;
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        match (s, p) {
+            (Ok(sr), Ok(pr)) => {
+                assert_eq!(sr.xml, pr.xml, "request {i}: payload diverged");
+                assert_eq!(sr.decision, pr.decision, "request {i}: decision diverged");
+                allowed += 1;
+            }
+            // Cache status and timings legitimately differ between runs;
+            // errors must agree on the stable code.
+            (Err(se), Err(pe)) => {
+                assert_eq!(se.code(), pe.code(), "request {i}: error code diverged");
+                if se.code() == "WS102" {
+                    denied += 1;
+                } else {
+                    errored += 1;
+                }
+            }
+            _ => panic!("request {i}: serial and parallel disagree on success"),
+        }
+    }
+    // The workload really is mixed.
+    assert!(allowed > 700, "allowed={allowed}");
+    assert!(denied > 80, "denied={denied}");
+    assert!(errored > 60, "errored={errored}");
+
+    let metrics = parallel_server.metrics();
+    assert_eq!(metrics.requests, 1024);
+    assert_eq!(metrics.allowed, allowed);
+    assert_eq!(metrics.denied, denied);
+    assert_eq!(metrics.errors, errored);
+}
+
+/// A policy mutation through `update` bumps the policy epoch and evicts
+/// every cached view; the next request recomputes under the new policy.
+#[test]
+fn policy_mutation_invalidates_cached_views() {
+    let mut server = StackServer::new(build_stack());
+    let request = QueryRequest::for_doc("records.xml")
+        .path(Path::parse("//patient[@id='p1']").unwrap())
+        .subject(&SubjectProfile::new("subject-0"))
+        .clearance(Clearance(Level::Unclassified));
+
+    let first = server.serve(&request).unwrap();
+    assert_eq!(first.cache, CacheStatus::Miss);
+    assert!(first.xml.contains("p1"));
+    let second = server.serve(&request).unwrap();
+    assert_eq!(second.cache, CacheStatus::Hit);
+    assert!(server.cached_views() > 0);
+
+    let epoch_before = server.snapshot().policies.epoch();
+    server.update(|stack| {
+        stack.policies.add(Authorization::deny(
+            1,
+            SubjectSpec::Identity("subject-0".into()),
+            ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+    });
+    assert!(server.snapshot().policies.epoch() > epoch_before);
+    assert_eq!(server.cached_views(), 0, "stale views survived the update");
+
+    let third = server.serve(&request).unwrap();
+    assert_eq!(third.cache, CacheStatus::Miss, "served from a stale view");
+    assert!(
+        !third.xml.contains("p1"),
+        "revoked subject still sees the portion: {}",
+        third.xml
+    );
+}
+
+/// One handshake per subject: a burst from few subjects establishes few
+/// sessions and reuses them for every later request.
+#[test]
+fn sessions_are_established_once_per_subject() {
+    let server = StackServer::new(build_stack());
+    let requests = build_requests(300);
+    for request in &requests {
+        let _ = server.serve(request);
+    }
+    let metrics = server.metrics();
+    assert_eq!(server.session_count(), SUBJECTS);
+    assert_eq!(metrics.sessions_established, SUBJECTS as u64);
+    assert_eq!(
+        metrics.session_reuses,
+        300 - SUBJECTS as u64,
+        "every request after the first per subject must reuse its session"
+    );
+    assert!(metrics.cache_hits > 0);
+    assert!(metrics.latency.count >= metrics.allowed);
+}
+
+/// The unified error type reports stable WS1xx codes at the API boundary.
+#[test]
+fn error_codes_are_stable_at_the_boundary() {
+    let server = StackServer::new(build_stack());
+    let subject = SubjectProfile::new("subject-0");
+
+    let unknown = QueryRequest::for_doc("missing.xml")
+        .path(Path::parse("//x").unwrap())
+        .subject(&subject)
+        .clearance(Clearance(Level::Unclassified));
+    let err = server.serve(&unknown).unwrap_err();
+    assert_eq!(err.code(), "WS101");
+    assert!(err.to_string().starts_with("[WS101]"));
+
+    let overreach = QueryRequest::for_doc("secret.xml")
+        .path(Path::parse("//plan").unwrap())
+        .subject(&subject)
+        .clearance(Clearance(Level::Unclassified));
+    assert_eq!(server.serve(&overreach).unwrap_err().code(), "WS102");
+
+    let pathless = QueryRequest::for_doc("records.xml")
+        .subject(&subject)
+        .clearance(Clearance(Level::Unclassified));
+    assert_eq!(server.serve(&pathless).unwrap_err().code(), "WS105");
+}
