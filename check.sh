@@ -14,7 +14,17 @@ cargo test -q --offline
 echo "==> websec-lint --deny-warnings"
 cargo run --release --offline --bin websec-lint -- --deny-warnings
 
-echo "==> serving-layer throughput smoke (BENCH_serving.json)"
+echo "==> serving-layer worker sweep (BENCH_serving.json)"
 cargo run --release --offline -p websec-examples --bin serving_bench
+
+# Gate: the 4-worker batch engine must not lose to the serial serve() loop.
+serial_qps=$(awk -F': ' '/"serial_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+parallel_qps=$(awk -F': ' '/"parallel_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+ratio=$(awk "BEGIN {printf \"%.2f\", $parallel_qps / $serial_qps}")
+echo "==> parallel/serial ratio: ${ratio}x (parallel ${parallel_qps} q/s vs serial ${serial_qps} q/s)"
+if awk "BEGIN {exit !($parallel_qps < $serial_qps)}"; then
+    echo "check.sh: FAIL — parallel serving (${parallel_qps} q/s) is slower than serial (${serial_qps} q/s)" >&2
+    exit 1
+fi
 
 echo "check.sh: all gates passed"

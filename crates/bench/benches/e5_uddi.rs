@@ -20,8 +20,14 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("two_party", n), &q, |b, q| {
             b.iter(|| {
-                let rows = registry.find_business(black_box(q));
-                let d = registry.get_business_detail(&rows[0].business_key).unwrap();
+                let find = InquiryRequest::find_business().qualifier(black_box(q).clone());
+                let InquiryResponse::Businesses(rows) = registry.inquire(&find).unwrap() else {
+                    unreachable!("find_business answers Businesses");
+                };
+                let get = InquiryRequest::get_business(&rows[0].business_key);
+                let InquiryResponse::BusinessDetail(d) = registry.inquire(&get).unwrap() else {
+                    unreachable!("get_business answers BusinessDetail");
+                };
                 black_box(d.services.len())
             })
         });

@@ -240,8 +240,14 @@ fn e5_uddi() {
         let q = FindQualifier::NameApprox(format!("Business {}", n / 2));
 
         let two_party = time_per_iter(20, || {
-            let rows = registry.find_business(&q);
-            let detail = registry.get_business_detail(&rows[0].business_key).unwrap();
+            let find = InquiryRequest::find_business().qualifier(q.clone());
+            let InquiryResponse::Businesses(rows) = registry.inquire(&find).unwrap() else {
+                unreachable!("find_business answers Businesses");
+            };
+            let get = InquiryRequest::get_business(&rows[0].business_key);
+            let InquiryResponse::BusinessDetail(detail) = registry.inquire(&get).unwrap() else {
+                unreachable!("get_business answers BusinessDetail");
+            };
             std::hint::black_box(detail.services.len());
         });
         let path = Path::parse("/businessEntity").unwrap();

@@ -102,8 +102,8 @@ pub fn matching_profile(mode: SubjectMode) -> SubjectProfile {
 /// Builds a UDDI registry with `n` business entries (each with one service
 /// and binding).
 #[must_use]
-pub fn uddi_registry(n: usize) -> Registry {
-    let mut registry = Registry::new();
+pub fn uddi_registry(n: usize) -> UddiRegistry {
+    let mut registry = UddiRegistry::new();
     for i in 0..n {
         let mut be = BusinessEntity::new(&format!("biz-{i}"), &format!("Business {i}"));
         be.description = format!("services of business {i}");

@@ -15,6 +15,7 @@
 //! | WS103 | [`Error::Channel`]           | secure-channel transit failure       |
 //! | WS104 | [`Error::Misconfigured`]     | strict boot gate found error findings|
 //! | WS105 | [`Error::InvalidRequest`]    | request missing/invalid a field      |
+//! | WS106 | [`Error::ShardPoisoned`]     | shard poisoned / worker panicked     |
 
 use crate::stack::StackError;
 use websec_services::channel::ChannelError;
@@ -40,6 +41,11 @@ pub enum Error {
     Misconfigured(String),
     /// `WS105`: the request was malformed (e.g. no query path set).
     InvalidRequest(String),
+    /// `WS106`: a serving shard was poisoned or a batch worker panicked;
+    /// the affected request was degraded gracefully (the rest of the batch
+    /// and the other shards keep serving). Usually transient — poisoned
+    /// sessions are evicted, so a retry re-establishes cleanly.
+    ShardPoisoned(String),
 }
 
 impl Error {
@@ -53,6 +59,7 @@ impl Error {
             Error::Channel(_) => "WS103",
             Error::Misconfigured(_) => "WS104",
             Error::InvalidRequest(_) => "WS105",
+            Error::ShardPoisoned(_) => "WS106",
         }
     }
 }
@@ -68,6 +75,7 @@ impl std::fmt::Display for Error {
             Error::Channel(m) => write!(f, "[{code}] channel failure: {m}"),
             Error::Misconfigured(m) => write!(f, "[{code}] stack misconfigured:\n{m}"),
             Error::InvalidRequest(m) => write!(f, "[{code}] invalid request: {m}"),
+            Error::ShardPoisoned(m) => write!(f, "[{code}] degraded: {m}"),
         }
     }
 }
@@ -102,6 +110,11 @@ impl From<Error> for StackError {
             Error::Channel(m) => StackError::Channel(m),
             Error::Misconfigured(m) => StackError::Misconfigured(m),
             Error::InvalidRequest(m) => StackError::Channel(m),
+            Error::ShardPoisoned(m) => StackError::Channel(m),
+            // `Error` is non_exhaustive within the crate too: route any
+            // future variant through the transport bucket.
+            #[allow(unreachable_patterns)]
+            other => StackError::Channel(other.to_string()),
         }
     }
 }
@@ -118,9 +131,13 @@ mod tests {
             Error::Channel("x".into()),
             Error::Misconfigured("y".into()),
             Error::InvalidRequest("z".into()),
+            Error::ShardPoisoned("w".into()),
         ];
         let codes: Vec<&str> = errors.iter().map(Error::code).collect();
-        assert_eq!(codes, vec!["WS101", "WS102", "WS103", "WS104", "WS105"]);
+        assert_eq!(
+            codes,
+            vec!["WS101", "WS102", "WS103", "WS104", "WS105", "WS106"]
+        );
     }
 
     #[test]

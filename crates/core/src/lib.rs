@@ -10,9 +10,12 @@
 //!   cuts across all layers… one needs secure TCP/IP… next layer is XML…
 //!   the next step is securing RDF"), with per-layer instrumentation (E12),
 //!   split into mutable configuration and read-only evaluation;
-//! * [`server`] — the **concurrent serving layer**: per-subject channel
-//!   sessions (handshake once), an epoch-keyed policy-view cache, parallel
-//!   batch execution over an `Arc` snapshot, and [`server::ServerMetrics`];
+//! * [`server`] — the **sharded concurrent serving layer**: per-subject
+//!   channel sessions and a two-level token-checked policy-view cache,
+//!   both sharded by identity hash; batch execution with per-worker run
+//!   queues, steal-half balancing, and request coalescing; observable
+//!   through [`server::MetricsSnapshot`] (with per-shard contention
+//!   counters);
 //! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] API every query
 //!   flows through;
 //! * [`error`] — the unified [`Error`] with stable `WS1xx` codes;
@@ -85,7 +88,9 @@ pub use federation::{FederatedHit, Federation, Site};
 pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
 pub use request::{CacheStatus, Decision, QueryRequest, QueryResponse};
-pub use server::{LatencyHistogram, ServerMetrics, StackServer};
+pub use server::{LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
+#[allow(deprecated)]
+pub use server::ServerMetrics;
 pub use stack::{LayerTimings, SecureWebStack, StackError};
 pub use trust::{issue_voucher, TrustError, TrustStore, Voucher};
 
@@ -95,7 +100,9 @@ pub mod prelude {
     pub use crate::federation::{FederatedHit, Federation, Site};
     pub use crate::query::{QueryStrategy, SecureQueryProcessor};
     pub use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
-    pub use crate::server::{LatencyHistogram, ServerMetrics, StackServer};
+    #[allow(deprecated)]
+    pub use crate::server::ServerMetrics;
+    pub use crate::server::{LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
     pub use websec_analyzer::{Analyzer, AnalyzerInput, Diagnostic, Report, Severity};
     pub use websec_crypto::{
@@ -124,9 +131,11 @@ pub mod prelude {
     };
     pub use websec_services::{ChannelSession, Envelope, SecureChannel, ServiceDescription,
         ServiceHost, ServiceRequestor};
+    #[allow(deprecated)]
+    pub use websec_uddi::Registry;
     pub use websec_uddi::{
-        BusinessEntity, BusinessService, FindQualifier, Registry, ServiceProvider,
-        UntrustedAgency,
+        BusinessEntity, BusinessService, FindQualifier, InquiryRequest, InquiryResponse,
+        ServiceProvider, TModelOverview, UddiRegistry, UntrustedAgency,
     };
     pub use websec_xml::{
         Auction, AuctionState, Document, DocumentStore, Dtd, Path, VersionedStore,

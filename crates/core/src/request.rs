@@ -91,6 +91,23 @@ impl QueryRequest {
     pub fn clearance_level(&self) -> Clearance {
         self.clearance
     }
+
+    /// The singleflight key for batch coalescing: two requests with the
+    /// same key are guaranteed the same answer under one validity token
+    /// (evaluation is deterministic in identity, document, path, and
+    /// clearance). `None` for pathless requests — they fail fast and are
+    /// not worth sharing. Uses `\u{1F}` (ASCII unit separator) so field
+    /// values cannot collide into each other's positions.
+    pub(crate) fn coalesce_key(&self) -> Option<String> {
+        let path = self.path.as_ref()?;
+        Some(format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{:?}",
+            self.subject.identity,
+            self.doc,
+            path.source(),
+            self.clearance
+        ))
+    }
 }
 
 /// How the flexible-enforcement gate treated a request.
@@ -115,6 +132,10 @@ pub enum CacheStatus {
     /// No view was needed (unchecked fast path) or no cache is attached
     /// (direct [`crate::stack::SecureWebStack::execute`] call).
     Bypass,
+    /// An identical request in the same batch was evaluated once and this
+    /// response is a clone of that evaluation (singleflight coalescing in
+    /// [`crate::server::StackServer::serve_batch`]).
+    Coalesced,
 }
 
 /// The answer to a [`QueryRequest`].

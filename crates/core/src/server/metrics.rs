@@ -1,0 +1,514 @@
+//! Serving metrics: per-worker local accounting, the lock-free cumulative
+//! store, and the `#[non_exhaustive]` snapshot returned to callers.
+//!
+//! The metrics pipeline is deliberately contention-free:
+//!
+//! * every batch worker accumulates into a plain-`u64` [`LocalMetrics`]
+//!   (no shared cache lines while requests are in flight),
+//! * workers flush once into the atomic [`MetricsInner`] when their queue
+//!   drains ([`MetricsInner::absorb`]),
+//! * callers read a [`MetricsSnapshot`] — a `#[non_exhaustive]` value
+//!   struct, so later PRs can add counters (as this one adds the per-shard
+//!   [`ShardStats`], the L1/L2 hit split, and steal counters) without a
+//!   breaking change.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::Error;
+use crate::request::{CacheStatus, Decision, QueryResponse};
+use crate::stack::LayerTimings;
+
+/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^{i+1})` ns;
+/// 40 buckets span ~18 minutes, far beyond any sane request).
+pub(crate) const LATENCY_BUCKETS: usize = 40;
+
+/// A snapshot of the server's cumulative latency distribution.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts requests whose total latency fell in
+    /// `[2^i, 2^{i+1})` nanoseconds.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total recorded requests.
+    pub count: u64,
+    /// Sum of recorded latencies in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Mean latency in nanoseconds (0 when nothing was recorded).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, in ns) of the bucket containing quantile `q`
+    /// (e.g. `0.5`, `0.99`). Returns 0 when nothing was recorded.
+    #[must_use]
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Point-in-time statistics for one shard of the session table and the L2
+/// view cache (shard `i` of both structures covers the same identity-hash
+/// slice).
+#[non_exhaustive]
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions resident in this shard of the session table.
+    pub sessions_open: u64,
+    /// Contended acquisitions of this shard's session-table lock (the
+    /// acquiring thread found it held and had to block).
+    pub session_lock_waits: u64,
+    /// Contended acquisitions of this shard's L2 view-cache lock.
+    pub cache_lock_waits: u64,
+    /// L2 view-cache hits served from this shard.
+    pub l2_hits: u64,
+    /// L2 view-cache misses (view computed and inserted) in this shard.
+    pub l2_misses: u64,
+    /// Views currently cached in this shard (current token only).
+    pub cached_views: u64,
+}
+
+/// Cumulative serving statistics, reported by
+/// [`crate::server::StackServer::metrics`].
+///
+/// `#[non_exhaustive]`: constructed only by the serving layer, so future
+/// PRs can add counters without breaking downstream pattern matches or
+/// struct literals.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Total requests received (including failures).
+    pub requests: u64,
+    /// Requests answered with a view (possibly empty).
+    pub allowed: u64,
+    /// Requests refused by the RDF label layer (`WS102`).
+    pub denied: u64,
+    /// Requests failing for any other reason (unknown document, channel,
+    /// malformed request, poisoned shard).
+    pub errors: u64,
+    /// Requests that ran the full policy evaluation.
+    pub enforced: u64,
+    /// Requests admitted unchecked by the flexible gate (the measured
+    /// exposure at reduced enforcement levels).
+    pub admitted_unchecked: u64,
+    /// Policy-view cache hits (L1 + L2).
+    pub cache_hits: u64,
+    /// Policy-view cache misses (view computed and inserted).
+    pub cache_misses: u64,
+    /// Hits served by a worker's thread-local L1 view cache (no lock).
+    pub l1_hits: u64,
+    /// Hits served by the sharded L2 view cache (one shard lock).
+    pub l2_hits: u64,
+    /// Batch requests answered by coalescing onto an identical in-batch
+    /// request's evaluation (singleflight).
+    pub coalesced: u64,
+    /// Steal-half operations between batch workers' run queues.
+    pub steals: u64,
+    /// Requests migrated between workers by steal-half operations.
+    pub stolen_requests: u64,
+    /// Requests whose evaluation panicked (each answered with `WS106`
+    /// instead of propagating the panic).
+    pub worker_panics: u64,
+    /// Channel sessions established (one handshake each).
+    pub sessions_established: u64,
+    /// Requests that reused an existing session (handshakes avoided).
+    pub session_reuses: u64,
+    /// Sessions currently resident across all shards.
+    pub sessions_open: u64,
+    /// Views currently cached in the L2 cache across all shards.
+    pub cached_views: u64,
+    /// Contended session-shard lock acquisitions across all shards.
+    pub session_lock_waits: u64,
+    /// Contended L2 cache-shard lock acquisitions across all shards.
+    pub cache_lock_waits: u64,
+    /// Cumulative per-layer time across all successful requests.
+    pub layer_totals: LayerTimings,
+    /// Distribution of total request latency.
+    pub latency: LatencyHistogram,
+    /// Per-shard breakdown of the contention and cache counters.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl MetricsSnapshot {
+    /// Cache hits over cache-eligible (enforced) view lookups, counting
+    /// both L1 and L2 hits.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of cache hits served lock-free from a worker-local L1.
+    #[must_use]
+    pub fn l1_hit_share(&self) -> f64 {
+        if self.cache_hits == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.cache_hits as f64
+        }
+    }
+
+    /// Fraction of gated requests admitted without checking (mirrors
+    /// [`websec_policy::FlexibleEnforcer::exposure`] but aggregated across
+    /// the server's immutable snapshot).
+    #[must_use]
+    pub fn exposure(&self) -> f64 {
+        let total = self.enforced + self.admitted_unchecked;
+        if total == 0 {
+            0.0
+        } else {
+            self.admitted_unchecked as f64 / total as f64
+        }
+    }
+}
+
+/// Legacy name of [`MetricsSnapshot`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to MetricsSnapshot; the snapshot is #[non_exhaustive] so \
+            new counters (per-shard contention, L1/L2 split) are non-breaking"
+)]
+pub type ServerMetrics = MetricsSnapshot;
+
+/// Per-worker metric accumulator: plain integers, owned by one thread, so
+/// recording a request outcome touches no shared cache line. Flushed into
+/// [`MetricsInner`] once per batch (or per request on the single-request
+/// [`crate::server::StackServer::serve`] path).
+#[derive(Debug)]
+pub(crate) struct LocalMetrics {
+    pub requests: u64,
+    pub allowed: u64,
+    pub denied: u64,
+    pub errors: u64,
+    pub enforced: u64,
+    pub admitted_unchecked: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub l1_hits: u64,
+    pub coalesced: u64,
+    pub steals: u64,
+    pub stolen_requests: u64,
+    pub worker_panics: u64,
+    pub sessions_established: u64,
+    pub session_reuses: u64,
+    pub channel_ns: u64,
+    pub rdf_ns: u64,
+    pub xml_ns: u64,
+    pub gate_ns: u64,
+    pub latency_sum_ns: u64,
+    pub latency_count: u64,
+    pub latency: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LocalMetrics {
+    fn default() -> Self {
+        LocalMetrics {
+            requests: 0,
+            allowed: 0,
+            denied: 0,
+            errors: 0,
+            enforced: 0,
+            admitted_unchecked: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            l1_hits: 0,
+            coalesced: 0,
+            steals: 0,
+            stolen_requests: 0,
+            worker_panics: 0,
+            sessions_established: 0,
+            session_reuses: 0,
+            channel_ns: 0,
+            rdf_ns: 0,
+            xml_ns: 0,
+            gate_ns: 0,
+            latency_sum_ns: 0,
+            latency_count: 0,
+            latency: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LocalMetrics {
+    fn record_latency(&mut self, total_ns: u128) {
+        let ns = u64::try_from(total_ns).unwrap_or(u64::MAX);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket] += 1;
+        self.latency_sum_ns = self.latency_sum_ns.saturating_add(ns);
+        self.latency_count += 1;
+    }
+
+    /// Accounts one request outcome (coalesced responses count as requests
+    /// too: every position in a batch is a served request).
+    pub fn record_outcome(&mut self, result: &Result<QueryResponse, Error>) {
+        self.requests += 1;
+        match result {
+            Ok(response) => {
+                self.allowed += 1;
+                match response.decision {
+                    Decision::Enforced => self.enforced += 1,
+                    Decision::AdmittedUnchecked => self.admitted_unchecked += 1,
+                }
+                match response.cache {
+                    CacheStatus::Hit => self.cache_hits += 1,
+                    CacheStatus::Miss => self.cache_misses += 1,
+                    CacheStatus::Coalesced => self.coalesced += 1,
+                    _ => {}
+                }
+                let t = &response.timings;
+                let add = |a: &mut u64, v: u128| {
+                    *a = a.saturating_add(u64::try_from(v).unwrap_or(u64::MAX));
+                };
+                add(&mut self.channel_ns, t.channel_ns);
+                add(&mut self.rdf_ns, t.rdf_ns);
+                add(&mut self.xml_ns, t.xml_ns);
+                add(&mut self.gate_ns, t.gate_ns);
+                self.record_latency(t.total_ns());
+            }
+            Err(Error::ClearanceViolation) => {
+                self.denied += 1;
+                // A denial is the *result* of full enforcement.
+                self.enforced += 1;
+            }
+            Err(_) => {
+                self.errors += 1;
+            }
+        }
+    }
+}
+
+/// Lock-free cumulative counters (the mutable twin of [`MetricsSnapshot`]).
+pub(crate) struct MetricsInner {
+    requests: AtomicU64,
+    allowed: AtomicU64,
+    denied: AtomicU64,
+    errors: AtomicU64,
+    enforced: AtomicU64,
+    admitted_unchecked: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    l1_hits: AtomicU64,
+    coalesced: AtomicU64,
+    steals: AtomicU64,
+    stolen_requests: AtomicU64,
+    worker_panics: AtomicU64,
+    sessions_established: AtomicU64,
+    session_reuses: AtomicU64,
+    channel_ns: AtomicU64,
+    rdf_ns: AtomicU64,
+    xml_ns: AtomicU64,
+    gate_ns: AtomicU64,
+    latency_sum_ns: AtomicU64,
+    latency_count: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            requests: AtomicU64::new(0),
+            allowed: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            enforced: AtomicU64::new(0),
+            admitted_unchecked: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen_requests: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            sessions_established: AtomicU64::new(0),
+            session_reuses: AtomicU64::new(0),
+            channel_ns: AtomicU64::new(0),
+            rdf_ns: AtomicU64::new(0),
+            xml_ns: AtomicU64::new(0),
+            gate_ns: AtomicU64::new(0),
+            latency_sum_ns: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl MetricsInner {
+    /// Folds a worker's local accumulator into the cumulative store.
+    pub fn absorb(&self, local: &LocalMetrics) {
+        let add = |a: &AtomicU64, v: u64| {
+            if v != 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
+        };
+        add(&self.requests, local.requests);
+        add(&self.allowed, local.allowed);
+        add(&self.denied, local.denied);
+        add(&self.errors, local.errors);
+        add(&self.enforced, local.enforced);
+        add(&self.admitted_unchecked, local.admitted_unchecked);
+        add(&self.cache_hits, local.cache_hits);
+        add(&self.cache_misses, local.cache_misses);
+        add(&self.l1_hits, local.l1_hits);
+        add(&self.coalesced, local.coalesced);
+        add(&self.steals, local.steals);
+        add(&self.stolen_requests, local.stolen_requests);
+        add(&self.worker_panics, local.worker_panics);
+        add(&self.sessions_established, local.sessions_established);
+        add(&self.session_reuses, local.session_reuses);
+        add(&self.channel_ns, local.channel_ns);
+        add(&self.rdf_ns, local.rdf_ns);
+        add(&self.xml_ns, local.xml_ns);
+        add(&self.gate_ns, local.gate_ns);
+        add(&self.latency_sum_ns, local.latency_sum_ns);
+        add(&self.latency_count, local.latency_count);
+        for (slot, &v) in self.latency.iter().zip(local.latency.iter()) {
+            add(slot, v);
+        }
+    }
+
+    /// Materializes the snapshot; shard-level counters (and the L2 hit
+    /// total, which lives in the cache shards) are supplied by the caller.
+    pub fn snapshot(&self, per_shard: Vec<ShardStats>) -> MetricsSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, counter) in buckets.iter_mut().zip(self.latency.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        let sum = |f: fn(&ShardStats) -> u64| per_shard.iter().map(f).sum::<u64>();
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            allowed: self.allowed.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            enforced: self.enforced.load(Ordering::Relaxed),
+            admitted_unchecked: self.admitted_unchecked.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            l1_hits: self.l1_hits.load(Ordering::Relaxed),
+            l2_hits: sum(|s| s.l2_hits),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            stolen_requests: self.stolen_requests.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            sessions_established: self.sessions_established.load(Ordering::Relaxed),
+            session_reuses: self.session_reuses.load(Ordering::Relaxed),
+            sessions_open: sum(|s| s.sessions_open),
+            cached_views: sum(|s| s.cached_views),
+            session_lock_waits: sum(|s| s.session_lock_waits),
+            cache_lock_waits: sum(|s| s.cache_lock_waits),
+            layer_totals: LayerTimings {
+                channel_ns: u128::from(self.channel_ns.load(Ordering::Relaxed)),
+                rdf_ns: u128::from(self.rdf_ns.load(Ordering::Relaxed)),
+                xml_ns: u128::from(self.xml_ns.load(Ordering::Relaxed)),
+                gate_ns: u128::from(self.gate_ns.load(Ordering::Relaxed)),
+            },
+            latency: LatencyHistogram {
+                buckets,
+                count: self.latency_count.load(Ordering::Relaxed),
+                sum_ns: self.latency_sum_ns.load(Ordering::Relaxed),
+            },
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CacheStatus, Decision};
+
+    fn ok_response(cache: CacheStatus) -> Result<QueryResponse, Error> {
+        Ok(QueryResponse {
+            xml: String::new(),
+            decision: Decision::Enforced,
+            cache,
+            timings: LayerTimings {
+                channel_ns: 10,
+                rdf_ns: 20,
+                xml_ns: 30,
+                gate_ns: 40,
+            },
+        })
+    }
+
+    #[test]
+    fn local_metrics_roundtrip_through_absorb() {
+        let mut local = LocalMetrics::default();
+        local.record_outcome(&ok_response(CacheStatus::Hit));
+        local.record_outcome(&ok_response(CacheStatus::Miss));
+        local.record_outcome(&ok_response(CacheStatus::Coalesced));
+        local.record_outcome(&Err(Error::ClearanceViolation));
+        local.record_outcome(&Err(Error::UnknownDocument("d".into())));
+        local.l1_hits = 1;
+        local.steals = 2;
+        local.stolen_requests = 5;
+
+        let inner = MetricsInner::default();
+        inner.absorb(&local);
+        let snap = inner.snapshot(vec![ShardStats {
+            shard: 0,
+            sessions_open: 3,
+            session_lock_waits: 1,
+            cache_lock_waits: 2,
+            l2_hits: 7,
+            l2_misses: 1,
+            cached_views: 4,
+        }]);
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.allowed, 3);
+        assert_eq!(snap.denied, 1);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.l1_hits, 1);
+        assert_eq!(snap.l2_hits, 7);
+        assert_eq!(snap.steals, 2);
+        assert_eq!(snap.stolen_requests, 5);
+        assert_eq!(snap.sessions_open, 3);
+        assert_eq!(snap.cached_views, 4);
+        assert_eq!(snap.session_lock_waits, 1);
+        assert_eq!(snap.cache_lock_waits, 2);
+        assert_eq!(snap.latency.count, 3);
+        assert_eq!(snap.layer_totals.total_ns(), 300);
+        assert!(snap.cache_hit_rate() > 0.0);
+        assert!(snap.l1_hit_share() > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut local = LocalMetrics::default();
+        for _ in 0..100 {
+            local.record_outcome(&ok_response(CacheStatus::Hit));
+        }
+        let inner = MetricsInner::default();
+        inner.absorb(&local);
+        let snap = inner.snapshot(Vec::new());
+        assert_eq!(snap.latency.count, 100);
+        assert!(snap.latency.mean_ns() > 0.0);
+        assert!(snap.latency.quantile_upper_ns(0.5) >= 128);
+        assert_eq!(snap.latency.quantile_upper_ns(0.99), 128);
+    }
+}

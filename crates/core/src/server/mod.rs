@@ -1,0 +1,819 @@
+//! Sharded, contention-free serving over an immutable stack snapshot.
+//!
+//! The ROADMAP's north star is a system that "serves heavy traffic from
+//! millions of users". PR 2's serving layer delivered session reuse and a
+//! policy-view cache but serialized every request on one session map and
+//! one cache lock — its own benchmark showed four workers running *slower*
+//! than one. This module restructures the engine so parallel actually
+//! beats serial:
+//!
+//! * **Identity sharding** — the session table and the shared (L2) view
+//!   cache are split into a power-of-two number of shards by
+//!   subject-identity hash. Two requests contend only when their subjects
+//!   collide on a shard ([`shard`], [`cache`]).
+//! * **Worker-local L1** — each batch worker carries a thread-local view
+//!   cache and session-handle table; steady-state requests touch no shared
+//!   lock at all. Every L1 entry is revalidated against a [`cache::Token`]
+//!   (snapshot generation + policy epoch) on read, so a
+//!   [`StackServer::update`] or [`websec_policy::PolicyStore`] mutation
+//!   invalidates worker-local state globally and immediately.
+//! * **Per-worker run queues + steal-half** — a batch is split into one
+//!   run queue per worker; an idle worker steals the back half of a
+//!   victim's queue instead of hammering a single shared injector.
+//! * **Request coalescing (singleflight)** — identical requests inside one
+//!   batch (same identity, document, path, clearance, *and* validity
+//!   token) share a single evaluation; duplicates receive a clone marked
+//!   [`CacheStatus::Coalesced`]. This is the batching win a serial
+//!   request-at-a-time loop cannot express, and it is token-keyed, so a
+//!   coalesced response can never cross a policy-epoch bump.
+//! * **Graceful degradation** — a panicking request evaluation, a poisoned
+//!   shard, or a dead worker degrades to `WS106`
+//!   ([`Error::ShardPoisoned`]) answers for the affected requests; every
+//!   other shard and worker keeps serving.
+//!
+//! Everything is observable through [`MetricsSnapshot`]: per-layer timing
+//! totals, the L1/L2 cache-hit split, steal and coalescing counters, and
+//! per-shard contention statistics ([`ShardStats`]).
+//!
+//! The cache and coalescing keys deliberately use the subject *identity*
+//! (not the full profile): a server maps each authenticated identity to
+//! one profile, the same assumption the per-identity session table makes.
+//! Callers that attach different role/credential sets to one identity must
+//! invalidate between them.
+
+mod cache;
+mod metrics;
+mod shard;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::error::Error;
+use crate::request::{CacheStatus, QueryRequest, QueryResponse};
+use crate::stack::{SecureWebStack, ViewResolver};
+use cache::{L1ViewCache, L2ViewCache, Token, ViewKey};
+use metrics::{LocalMetrics, MetricsInner};
+use shard::SessionShards;
+use websec_policy::SubjectProfile;
+use websec_services::ChannelSession;
+use websec_xml::Document;
+
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardStats};
+#[allow(deprecated)]
+pub use metrics::ServerMetrics;
+
+/// Default shard count for the session table and L2 view cache. Sixteen
+/// shards keep the expected collision rate low for up to ~8 workers while
+/// staying cheap to snapshot; tune with [`StackServer::with_shards`].
+const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent server over an immutable [`SecureWebStack`] snapshot.
+///
+/// `serve`, `serve_batch`, `update`, and `invalidate_views` all take
+/// `&self`: the stack snapshot lives behind a copy-on-write swap, so
+/// configuration can mutate *while a batch is in flight* — in-flight
+/// requests finish against the snapshot they started with, and every
+/// request that starts after [`StackServer::update`] returns observes the
+/// new configuration (cached views are token-checked, so no worker can
+/// serve a stale view past the epoch bump).
+pub struct StackServer {
+    snapshot: RwLock<Arc<SecureWebStack>>,
+    /// Bumped after every snapshot mutation; pairs with the policy epoch
+    /// to form the validity [`Token`] of cached views.
+    generation: AtomicU64,
+    sessions: SessionShards,
+    cache: L2ViewCache,
+    metrics: MetricsInner,
+}
+
+/// Worker-local serving state: the L1 view cache, a session-handle table,
+/// and the last snapshot resolved (revalidated by generation on reuse).
+#[derive(Default)]
+struct WorkerState {
+    l1: L1ViewCache,
+    sessions: HashMap<String, Arc<Mutex<ChannelSession>>>,
+    snapshot: Option<(u64, Arc<SecureWebStack>, Token)>,
+}
+
+impl WorkerState {
+    /// The current `(stack, token)` pair, reusing the cached `Arc` while
+    /// the server's generation is unchanged (one relaxed-ish atomic load on
+    /// the hot path instead of a lock).
+    fn snapshot(&mut self, server: &StackServer) -> Result<(Arc<SecureWebStack>, Token), Error> {
+        if let Some((generation, stack, token)) = &self.snapshot {
+            if *generation == server.generation.load(Ordering::Acquire) {
+                return Ok((Arc::clone(stack), *token));
+            }
+        }
+        let (stack, token) = server.snapshot_with_token()?;
+        self.snapshot = Some((token.generation, Arc::clone(&stack), token));
+        Ok((stack, token))
+    }
+}
+
+/// The server's view resolver: L1 (lock-free) over L2 (one shard lock)
+/// over a fresh computation, all token-checked.
+struct CachedViews<'a> {
+    l2: &'a L2ViewCache,
+    l1: &'a mut L1ViewCache,
+    token: Token,
+    local: &'a mut LocalMetrics,
+}
+
+impl ViewResolver for CachedViews<'_> {
+    fn resolve(
+        &mut self,
+        stack: &SecureWebStack,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+    ) -> (Arc<Document>, CacheStatus) {
+        let key: ViewKey = (profile.identity.clone(), doc_name.to_string());
+        if let Some(view) = self.l1.lookup(&key, self.token) {
+            self.local.l1_hits += 1;
+            return (view, CacheStatus::Hit);
+        }
+        if let Some(view) = self.l2.lookup(&key, self.token) {
+            self.l1.insert(key, self.token, Arc::clone(&view));
+            return (view, CacheStatus::Hit);
+        }
+        // Compute outside any lock; a racing worker may duplicate the work
+        // but both produce the same view.
+        let view = Arc::new(
+            stack
+                .engine
+                .compute_view(&stack.policies, profile, doc_name, doc),
+        );
+        self.l2.insert(key.clone(), self.token, Arc::clone(&view));
+        self.l1.insert(key, self.token, Arc::clone(&view));
+        (view, CacheStatus::Miss)
+    }
+}
+
+/// Batch-local singleflight table: the first worker to claim a coalesce
+/// key evaluates it; duplicates either reuse the finished result or park
+/// their output index on the in-flight slot.
+enum Slot {
+    InFlight(Vec<usize>),
+    Done(Result<QueryResponse, Error>),
+}
+
+enum Claim {
+    /// This worker owns the evaluation.
+    Mine,
+    /// Another worker is evaluating; the index was parked on the slot.
+    Queued,
+    /// The evaluation already finished.
+    Done(Result<QueryResponse, Error>),
+}
+
+struct CoalesceMap {
+    shards: Vec<Mutex<HashMap<(String, Token), Slot>>>,
+    mask: u64,
+}
+
+impl CoalesceMap {
+    fn new(shards: usize) -> Self {
+        CoalesceMap {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<(String, Token), Slot>> {
+        &self.shards[(shard::identity_hash(key) & self.mask) as usize]
+    }
+
+    /// First caller per key wins the evaluation; later callers park. On a
+    /// poisoned shard every caller gets `Mine` — coalescing degrades to
+    /// independent evaluation, never to a wrong or missing answer.
+    fn claim(&self, key: &(String, Token), waiter: usize) -> Claim {
+        let Ok(mut map) = self.shard(&key.0).lock() else {
+            return Claim::Mine;
+        };
+        match map.get_mut(key) {
+            None => {
+                map.insert(key.clone(), Slot::InFlight(Vec::new()));
+                Claim::Mine
+            }
+            Some(Slot::InFlight(waiters)) => {
+                waiters.push(waiter);
+                Claim::Queued
+            }
+            Some(Slot::Done(result)) => Claim::Done(result.clone()),
+        }
+    }
+
+    /// Publishes the result and returns the parked waiter indices.
+    fn complete(&self, key: &(String, Token), result: &Result<QueryResponse, Error>) -> Vec<usize> {
+        let Ok(mut map) = self.shard(&key.0).lock() else {
+            return Vec::new();
+        };
+        match map.insert(key.clone(), Slot::Done(result.clone())) {
+            Some(Slot::InFlight(waiters)) => waiters,
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Re-marks a shared evaluation as coalesced for a duplicate position.
+fn coalesced(result: Result<QueryResponse, Error>) -> Result<QueryResponse, Error> {
+    result.map(|response| QueryResponse {
+        cache: CacheStatus::Coalesced,
+        ..response
+    })
+}
+
+impl StackServer {
+    /// Wraps a configured stack into a serving snapshot with the default
+    /// shard count.
+    #[must_use]
+    pub fn new(stack: SecureWebStack) -> Self {
+        Self::with_shards(stack, DEFAULT_SHARDS)
+    }
+
+    /// Like [`StackServer::new`] with an explicit shard count for the
+    /// session table and L2 view cache (rounded up to a power of two,
+    /// clamped to `1..=4096`).
+    #[must_use]
+    pub fn with_shards(stack: SecureWebStack, shards: usize) -> Self {
+        let shards = shards.clamp(1, 4096).next_power_of_two();
+        StackServer {
+            snapshot: RwLock::new(Arc::new(stack)),
+            generation: AtomicU64::new(0),
+            sessions: SessionShards::new(shards),
+            cache: L2ViewCache::new(shards),
+            metrics: MetricsInner::default(),
+        }
+    }
+
+    /// Number of shards in the session table and L2 view cache.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The current immutable snapshot.
+    ///
+    /// Panics if a concurrent [`StackServer::update`] closure panicked
+    /// while mutating (the snapshot may be half-applied); the serving
+    /// paths degrade to `WS106` instead of panicking.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<SecureWebStack> {
+        self.snapshot
+            .read()
+            .map(|guard| Arc::clone(&guard))
+            .expect("stack snapshot poisoned by a panicked update closure")
+    }
+
+    /// The snapshot plus its validity token, read under a seqlock-style
+    /// generation check so a token can never pair with the wrong snapshot.
+    fn snapshot_with_token(&self) -> Result<(Arc<SecureWebStack>, Token), Error> {
+        loop {
+            let before = self.generation.load(Ordering::Acquire);
+            let stack = match self.snapshot.read() {
+                Ok(guard) => Arc::clone(&guard),
+                Err(_) => {
+                    return Err(Error::ShardPoisoned(
+                        "stack snapshot poisoned by a panicked update closure".into(),
+                    ))
+                }
+            };
+            if self.generation.load(Ordering::Acquire) == before {
+                let epoch = stack.policies.epoch();
+                return Ok((
+                    stack,
+                    Token {
+                        generation: before,
+                        epoch,
+                    },
+                ));
+            }
+            // An update raced between the generation read and the snapshot
+            // read; retry so the token matches the snapshot.
+        }
+    }
+
+    /// Mutates the stack configuration (documents, policies, labels,
+    /// context, gate) through copy-on-write on the snapshot, then bumps
+    /// the generation and drops every cached view.
+    ///
+    /// Takes `&self`: mutation is safe *during* concurrent serving.
+    /// In-flight requests complete against the snapshot they started with;
+    /// any request that starts after `update` returns observes the new
+    /// configuration (L1/L2 entries and coalesced results are
+    /// token-checked, so none can survive the bump).
+    pub fn update<R>(&self, mutate: impl FnOnce(&mut SecureWebStack) -> R) -> R {
+        let result = {
+            let mut guard = self
+                .snapshot
+                .write()
+                .expect("stack snapshot poisoned by a panicked update closure");
+            mutate(Arc::make_mut(&mut guard))
+        };
+        self.generation.fetch_add(1, Ordering::Release);
+        self.cache.clear();
+        result
+    }
+
+    /// Explicitly invalidates every cached view (e.g. after out-of-band
+    /// mutation of state neither the policy epoch nor the snapshot
+    /// generation can observe).
+    pub fn invalidate_views(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+        self.cache.clear();
+    }
+
+    /// Number of views currently cached in the shared L2 cache.
+    #[deprecated(since = "0.2.0", note = "read metrics().cached_views instead")]
+    #[must_use]
+    pub fn cached_views(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of established subject sessions.
+    #[deprecated(since = "0.2.0", note = "read metrics().sessions_open instead")]
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.total_sessions() as usize
+    }
+
+    /// The full evaluation of one request against the current snapshot,
+    /// using (and populating) the worker's local caches.
+    fn serve_one(
+        &self,
+        request: &QueryRequest,
+        worker: &mut WorkerState,
+        local: &mut LocalMetrics,
+    ) -> Result<QueryResponse, Error> {
+        let (stack, token) = worker.snapshot(self)?;
+        let identity = &request.subject_profile().identity;
+        let session = match worker.sessions.get(identity) {
+            Some(session) => Arc::clone(session),
+            None => {
+                let session = self.sessions.get_or_establish(
+                    identity,
+                    &stack.session_key,
+                    stack.channel_protected,
+                    local,
+                )?;
+                worker
+                    .sessions
+                    .insert(identity.clone(), Arc::clone(&session));
+                session
+            }
+        };
+        let mut guard = match self.sessions.lock_session(identity, &session) {
+            Some(guard) => guard,
+            None => {
+                // The session's holder panicked mid-transit: its sequence
+                // state is suspect. Evict so the next request performs a
+                // clean handshake; this request degrades to WS106.
+                worker.sessions.remove(identity);
+                self.sessions.evict(identity);
+                return Err(Error::ShardPoisoned(format!(
+                    "session '{identity}' poisoned mid-request; evicted for re-establishment"
+                )));
+            }
+        };
+        let mut resolver = CachedViews {
+            l2: &self.cache,
+            l1: &mut worker.l1,
+            token,
+            local,
+        };
+        stack.execute_in_session(request, &mut guard, &mut resolver)
+    }
+
+    /// [`StackServer::serve_one`] behind a panic boundary: a panicking
+    /// evaluation answers `WS106` instead of killing the worker.
+    fn serve_caught(
+        &self,
+        request: &QueryRequest,
+        worker: &mut WorkerState,
+        local: &mut LocalMetrics,
+    ) -> Result<QueryResponse, Error> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.serve_one(request, worker, local)
+        }));
+        caught.unwrap_or_else(|_| {
+            local.worker_panics += 1;
+            Err(Error::ShardPoisoned(
+                "request evaluation panicked; the batch degraded this request and continued"
+                    .into(),
+            ))
+        })
+    }
+
+    /// Serves one request: session lookup (handshake only on first
+    /// contact), the four-layer evaluation with the token-checked view
+    /// caches plugged in, and metrics accounting.
+    pub fn serve(&self, request: &QueryRequest) -> Result<QueryResponse, Error> {
+        let mut worker = WorkerState::default();
+        let mut local = LocalMetrics::default();
+        let result = self.serve_one(request, &mut worker, &mut local);
+        local.record_outcome(&result);
+        self.metrics.absorb(&local);
+        result
+    }
+
+    /// Serves a batch of requests across `workers` threads.
+    ///
+    /// Results are positional: `out[i]` answers `requests[i]`, and every
+    /// response payload is byte-identical to what a serial
+    /// [`StackServer::serve`] loop would produce (cache/coalescing status
+    /// and timings legitimately differ). The batch is split into
+    /// per-worker run queues with steal-half balancing, and identical
+    /// requests are coalesced onto one evaluation per validity token.
+    ///
+    /// A panicking evaluation or poisoned shard answers the affected
+    /// requests with `WS106` ([`Error::ShardPoisoned`]); the rest of the
+    /// batch completes normally.
+    pub fn serve_batch(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Vec<Result<QueryResponse, Error>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.max(1).min(requests.len());
+        // Contiguous index chunks, one run queue per worker.
+        let chunk = requests.len().div_euclid(workers).max(1);
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = if w + 1 == workers {
+                    requests.len()
+                } else {
+                    ((w + 1) * chunk).min(requests.len())
+                };
+                Mutex::new((start..end).collect())
+            })
+            .collect();
+        let coalesce = CoalesceMap::new(self.sessions.len());
+
+        let mut out: Vec<Option<Result<QueryResponse, Error>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let coalesce = &coalesce;
+                    scope.spawn(move || self.worker_loop(w, requests, queues, coalesce))
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (i, result) in done {
+                            out[i] = Some(result);
+                        }
+                    }
+                    Err(_) => {
+                        // The worker died outside the per-request panic
+                        // boundary (e.g. a poisoned run queue). Its
+                        // unfinished slots fall through to WS106 below.
+                        let mut local = LocalMetrics::default();
+                        local.worker_panics += 1;
+                        self.metrics.absorb(&local);
+                    }
+                }
+            }
+        });
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    let result = Err(Error::ShardPoisoned(
+                        "worker abandoned this request (panicked outside evaluation)".into(),
+                    ));
+                    let mut local = LocalMetrics::default();
+                    local.record_outcome(&result);
+                    self.metrics.absorb(&local);
+                    result
+                })
+            })
+            .collect()
+    }
+
+    /// One batch worker: drain the own run queue, steal-half when idle,
+    /// coalesce identical requests, flush local metrics once at the end.
+    fn worker_loop(
+        &self,
+        worker_index: usize,
+        requests: &[QueryRequest],
+        queues: &[Mutex<VecDeque<usize>>],
+        coalesce: &CoalesceMap,
+    ) -> Vec<(usize, Result<QueryResponse, Error>)> {
+        let mut worker = WorkerState::default();
+        let mut local = LocalMetrics::default();
+        let mut done = Vec::new();
+        while let Some(i) = Self::next_index(worker_index, queues, &mut local) {
+            let request = &requests[i];
+            let key = match request.coalesce_key() {
+                Some(material) => worker
+                    .snapshot(self)
+                    .ok()
+                    .map(|(_, token)| (material, token)),
+                None => None,
+            };
+            let Some(key) = key else {
+                // Malformed (pathless) requests fail cheaply and snapshot
+                // failures must report per-request errors: neither shares.
+                let result = self.serve_caught(request, &mut worker, &mut local);
+                local.record_outcome(&result);
+                done.push((i, result));
+                continue;
+            };
+            match coalesce.claim(&key, i) {
+                Claim::Done(result) => {
+                    let result = coalesced(result);
+                    local.record_outcome(&result);
+                    done.push((i, result));
+                }
+                Claim::Queued => {} // the evaluating worker will answer `i`
+                Claim::Mine => {
+                    let result = self.serve_caught(request, &mut worker, &mut local);
+                    local.record_outcome(&result);
+                    for waiter in coalesce.complete(&key, &result) {
+                        let shared = coalesced(result.clone());
+                        local.record_outcome(&shared);
+                        done.push((waiter, shared));
+                    }
+                    done.push((i, result));
+                }
+            }
+        }
+        self.metrics.absorb(&local);
+        done
+    }
+
+    /// Pops from the worker's own queue, or steals the back half of the
+    /// first non-empty victim queue. Returns `None` when every queue is
+    /// drained (or the own queue is poisoned).
+    fn next_index(
+        worker_index: usize,
+        queues: &[Mutex<VecDeque<usize>>],
+        local: &mut LocalMetrics,
+    ) -> Option<usize> {
+        match queues[worker_index].lock() {
+            Ok(mut queue) => {
+                if let Some(i) = queue.pop_front() {
+                    return Some(i);
+                }
+            }
+            Err(_) => return None,
+        }
+        for offset in 1..queues.len() {
+            let victim = (worker_index + offset) % queues.len();
+            let mut stolen = {
+                let Ok(mut queue) = queues[victim].lock() else {
+                    continue;
+                };
+                let len = queue.len();
+                if len == 0 {
+                    continue;
+                }
+                queue.split_off(len - (len + 1) / 2)
+            };
+            local.steals += 1;
+            local.stolen_requests += stolen.len() as u64;
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                if let Ok(mut own) = queues[worker_index].lock() {
+                    own.extend(stolen);
+                }
+            }
+            if first.is_some() {
+                return first;
+            }
+        }
+        None
+    }
+
+    /// A consistent snapshot of the cumulative serving statistics,
+    /// including the per-shard contention breakdown.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut stats = vec![ShardStats::default(); self.sessions.len()];
+        self.sessions.fill_stats(&mut stats);
+        self.cache.fill_stats(&mut stats);
+        self.metrics.snapshot(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::mls::{Clearance, ContextLabel, Level};
+    use websec_policy::{Authorization, ObjectSpec, Privilege, SubjectProfile, SubjectSpec};
+    use websec_xml::Path;
+
+    fn stack() -> SecureWebStack {
+        let mut s = SecureWebStack::new([8u8; 32]);
+        s.add_document(
+            "h.xml",
+            Document::parse(
+                "<hospital><patient id=\"p1\"><name>Alice</name></patient><admin><budget>9</budget></admin></hospital>",
+            )
+            .unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        s.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        s
+    }
+
+    fn doctor_request() -> QueryRequest {
+        QueryRequest::for_doc("h.xml")
+            .path(Path::parse("//patient").unwrap())
+            .subject(&SubjectProfile::new("doctor"))
+            .clearance(Clearance(Level::Unclassified))
+    }
+
+    #[test]
+    fn serve_reuses_session_and_cache() {
+        let server = StackServer::new(stack());
+        let first = server.serve(&doctor_request()).unwrap();
+        assert_eq!(first.cache, CacheStatus::Miss);
+        for _ in 0..9 {
+            let again = server.serve(&doctor_request()).unwrap();
+            assert_eq!(again.cache, CacheStatus::Hit);
+            assert_eq!(again.xml, first.xml);
+        }
+        let m = server.metrics();
+        assert_eq!(m.requests, 10);
+        assert_eq!(m.sessions_established, 1);
+        assert_eq!(m.session_reuses, 9);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 9);
+        assert!(m.cache_hit_rate() > 0.89);
+        assert_eq!(m.sessions_open, 1);
+        assert_eq!(m.cached_views, 1);
+        // Single-request serves use a fresh worker state: all hits are L2.
+        assert_eq!(m.l1_hits, 0);
+        assert_eq!(m.l2_hits, 9);
+        assert_eq!(m.latency.count, 10);
+        assert!(m.latency.mean_ns() > 0.0);
+        assert!(m.latency.quantile_upper_ns(0.5) > 0);
+    }
+
+    #[test]
+    fn update_invalidates_views_and_epoch_keys_cache() {
+        let server = StackServer::new(stack());
+        let before = server.serve(&doctor_request()).unwrap();
+        assert!(before.xml.contains("Alice"));
+        assert_eq!(server.metrics().cached_views, 1);
+        let epoch_before = server.snapshot().policies.epoch();
+        server.update(|s| {
+            s.policies.add(Authorization::deny(
+                0,
+                SubjectSpec::Identity("doctor".into()),
+                ObjectSpec::Document("h.xml".into()),
+                Privilege::Read,
+            ));
+        });
+        assert!(server.snapshot().policies.epoch() > epoch_before);
+        assert_eq!(server.metrics().cached_views, 0, "stale views evicted");
+        let after = server.serve(&doctor_request()).unwrap();
+        assert_eq!(after.cache, CacheStatus::Miss, "view recomputed");
+        assert!(!after.xml.contains("Alice"), "{}", after.xml);
+    }
+
+    #[test]
+    fn batch_results_are_positional() {
+        let server = StackServer::new(stack());
+        let requests: Vec<QueryRequest> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    doctor_request()
+                } else {
+                    QueryRequest::for_doc("nope.xml")
+                        .path(Path::parse("//x").unwrap())
+                        .subject(&SubjectProfile::new("doctor"))
+                }
+            })
+            .collect();
+        let results = server.serve_batch(&requests, 8);
+        assert_eq!(results.len(), 64);
+        for (i, result) in results.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(result.as_ref().unwrap().xml.contains("Alice"));
+            } else {
+                assert_eq!(result.as_ref().unwrap_err().code(), "WS101");
+            }
+        }
+        let m = server.metrics();
+        assert_eq!(m.requests, 64);
+        assert_eq!(m.allowed, 32);
+        assert_eq!(m.errors, 32);
+    }
+
+    #[test]
+    fn identical_batch_requests_coalesce_onto_one_evaluation() {
+        let server = StackServer::new(stack());
+        let requests = vec![doctor_request(); 256];
+        let results = server.serve_batch(&requests, 4);
+        let baseline = server.serve(&doctor_request()).unwrap();
+        for result in &results {
+            assert_eq!(result.as_ref().unwrap().xml, baseline.xml);
+        }
+        let m = server.metrics();
+        assert!(
+            m.coalesced > 200,
+            "coalesced only {} of 256 identical requests",
+            m.coalesced
+        );
+        // Evaluations actually run: misses + real hits + coalesced = allowed.
+        assert_eq!(m.cache_hits + m.cache_misses + m.coalesced, m.allowed);
+    }
+
+    #[test]
+    fn steal_half_rebalances_skewed_queues() {
+        let server = StackServer::new(stack());
+        // Many distinct paths so little coalescing is possible, forcing
+        // real per-request work onto the queues.
+        let requests: Vec<QueryRequest> = (0..128)
+            .map(|i| {
+                QueryRequest::for_doc("h.xml")
+                    .path(Path::parse(&format!("//patient[@id='p{}']", i % 64)).unwrap())
+                    .subject(&SubjectProfile::new("doctor"))
+                    .clearance(Clearance(Level::Unclassified))
+            })
+            .collect();
+        let results = server.serve_batch(&requests, 4);
+        assert_eq!(results.len(), 128);
+        assert!(results.iter().all(Result::is_ok));
+        // On a single-core box workers may drain their own queues without
+        // ever idling, so steals are opportunistic — the counter merely
+        // must be consistent.
+        let m = server.metrics();
+        assert!(m.stolen_requests >= m.steals);
+    }
+
+    #[test]
+    fn poisoned_session_degrades_to_ws106_and_recovers() {
+        let server = StackServer::new(stack());
+        server.serve(&doctor_request()).unwrap();
+        // Poison the doctor's session mutex by panicking while holding it.
+        let session = {
+            let mut local = LocalMetrics::default();
+            let (stack, _) = server.snapshot_with_token().unwrap();
+            server
+                .sessions
+                .get_or_establish("doctor", &stack.session_key, stack.channel_protected, &mut local)
+                .unwrap()
+        };
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = session.lock().unwrap();
+                    panic!("poison the session");
+                })
+                .join()
+        });
+        let err = server.serve(&doctor_request()).unwrap_err();
+        assert_eq!(err.code(), "WS106");
+        assert!(err.to_string().contains("WS106"));
+        // The poisoned session was evicted: the next request re-establishes
+        // a clean one and succeeds.
+        let recovered = server.serve(&doctor_request()).unwrap();
+        assert!(recovered.xml.contains("Alice"));
+        let m = server.metrics();
+        assert_eq!(m.errors, 1);
+        assert!(m.sessions_established >= 2);
+    }
+
+    #[test]
+    fn per_shard_stats_cover_all_shards() {
+        let server = StackServer::with_shards(stack(), 8);
+        assert_eq!(server.shard_count(), 8);
+        for i in 0..32 {
+            let request = QueryRequest::for_doc("h.xml")
+                .path(Path::parse("//patient").unwrap())
+                .subject(&SubjectProfile::new(&format!("subject-{i}")))
+                .clearance(Clearance(Level::Unclassified));
+            let _ = server.serve(&request);
+        }
+        let m = server.metrics();
+        assert_eq!(m.per_shard.len(), 8);
+        assert_eq!(m.per_shard.iter().map(|s| s.sessions_open).sum::<u64>(), 32);
+        let used = m.per_shard.iter().filter(|s| s.sessions_open > 0).count();
+        assert!(used > 2, "identities clumped into {used} shards");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(StackServer::with_shards(stack(), 3).shard_count(), 4);
+        assert_eq!(StackServer::with_shards(stack(), 0).shard_count(), 1);
+        assert_eq!(StackServer::with_shards(stack(), 16).shard_count(), 16);
+    }
+}

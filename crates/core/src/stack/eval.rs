@@ -40,15 +40,36 @@ impl LayerTimings {
 }
 
 /// Resolves the subject's view of a document, reporting whether a cache
-/// served it. The serving layer plugs its epoch-keyed cache in here; the
-/// direct [`SecureWebStack::execute`] path always computes fresh.
-pub(crate) type ViewProvider<'a> = dyn FnMut(
-        &SecureWebStack,
-        &SubjectProfile,
-        &str,
-        &Document,
-    ) -> (Arc<Document>, CacheStatus)
-    + 'a;
+/// served it. The serving layer plugs its token-checked L1/L2 caches in
+/// here; the direct [`SecureWebStack::execute`] path uses [`FreshViews`],
+/// which always computes.
+pub(crate) trait ViewResolver {
+    fn resolve(
+        &mut self,
+        stack: &SecureWebStack,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+    ) -> (Arc<Document>, CacheStatus);
+}
+
+/// The cacheless resolver: recomputes the view on every request.
+pub(crate) struct FreshViews;
+
+impl ViewResolver for FreshViews {
+    fn resolve(
+        &mut self,
+        stack: &SecureWebStack,
+        profile: &SubjectProfile,
+        doc_name: &str,
+        doc: &Document,
+    ) -> (Arc<Document>, CacheStatus) {
+        (
+            Arc::new(stack.engine.compute_view(&stack.policies, profile, doc_name, doc)),
+            CacheStatus::Bypass,
+        )
+    }
+}
 
 /// The request key fed to the flexible-enforcement gate (stable across the
 /// legacy shim and the new API so gating decisions agree).
@@ -70,21 +91,16 @@ impl SecureWebStack {
             &request.subject_profile().identity,
             self.channel_protected,
         );
-        self.execute_in_session(request, &mut session, &mut |stack, profile, name, doc| {
-            (
-                Arc::new(stack.engine.compute_view(&stack.policies, profile, name, doc)),
-                CacheStatus::Bypass,
-            )
-        })
+        self.execute_in_session(request, &mut session, &mut FreshViews)
     }
 
     /// The full evaluation pipeline over an established session, with view
-    /// resolution delegated to `view_for` (the serving layer's cache hook).
+    /// resolution delegated to `resolver` (the serving layer's cache hook).
     pub(crate) fn execute_in_session(
         &self,
         request: &QueryRequest,
         session: &mut ChannelSession,
-        view_for: &mut ViewProvider<'_>,
+        resolver: &mut impl ViewResolver,
     ) -> Result<QueryResponse, Error> {
         let path = request
             .query_path()
@@ -125,7 +141,7 @@ impl SecureWebStack {
             .get(doc_name)
             .ok_or_else(|| Error::UnknownDocument(doc_name.to_string()))?;
         let (result_xml, cache) = if enforce {
-            let (view, cache) = view_for(self, profile, doc_name, doc);
+            let (view, cache) = resolver.resolve(self, profile, doc_name, doc);
             let matched = path.select_nodes(&view);
             let xml = matched
                 .iter()

@@ -28,10 +28,11 @@
 //!   shared snapshot ([`crate::server::StackServer`] does exactly that).
 //!
 //! Every layer is timed; [`LayerTimings`] feeds experiment E12 and
-//! aggregates into [`crate::server::ServerMetrics`].
+//! aggregates into [`crate::server::MetricsSnapshot`].
 
 mod eval;
 mod state;
 
 pub use eval::LayerTimings;
+pub(crate) use eval::ViewResolver;
 pub use state::{vocab, SecureWebStack, StackError};

@@ -66,6 +66,20 @@ impl PolicyStore {
         removed
     }
 
+    /// Removes every authorization matching `predicate`, returning how many
+    /// were removed. The epoch advances **once** for the whole sweep (not
+    /// per removal), so epoch-keyed caches see a single invalidation point
+    /// — this is the revocation primitive concurrent serving tests lean on.
+    pub fn revoke_matching(&mut self, predicate: impl Fn(&Authorization) -> bool) -> usize {
+        let before = self.authorizations.len();
+        self.authorizations.retain(|a| !predicate(a));
+        let removed = before - self.authorizations.len();
+        if removed > 0 {
+            self.epoch += 1;
+        }
+        removed
+    }
+
     /// The current authorizations.
     #[must_use]
     pub fn authorizations(&self) -> &[Authorization] {
@@ -431,6 +445,39 @@ mod tests {
             document: "h.xml".into(),
             path: Path::parse(path).unwrap(),
         }
+    }
+
+    #[test]
+    fn revoke_matching_sweeps_and_bumps_epoch_once() {
+        let mut store = PolicyStore::new();
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Document("other.xml".into()),
+            Privilege::Read,
+        ));
+        store.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("clerk".into()),
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        let epoch = store.epoch();
+        let removed = store.revoke_matching(|a| {
+            matches!(&a.subject, SubjectSpec::Identity(id) if id == "doctor")
+        });
+        assert_eq!(removed, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.epoch(), epoch + 1, "one bump for the whole sweep");
+        // A sweep that matches nothing must not invalidate caches.
+        assert_eq!(store.revoke_matching(|_| false), 0);
+        assert_eq!(store.epoch(), epoch + 1);
     }
 
     #[test]

@@ -128,6 +128,7 @@ impl SecureChannel {
 pub struct ChannelSession {
     client: SecureChannel,
     server: SecureChannel,
+    session_id: String,
     requests: u64,
 }
 
@@ -144,8 +145,17 @@ impl ChannelSession {
         ChannelSession {
             client: SecureChannel::new(&key, protected),
             server: SecureChannel::new(&key, protected),
+            session_id: session_id.to_string(),
             requests: 0,
         }
+    }
+
+    /// The id this session's key was derived for (the authenticated subject
+    /// identity under the serving layer) — lets a sharded session table
+    /// audit that a session is filed under the identity it was bound to.
+    #[must_use]
+    pub fn session_id(&self) -> &str {
+        &self.session_id
     }
 
     /// Transits a request payload client → server: seals at the client
@@ -181,6 +191,12 @@ mod tests {
             SecureChannel::new(&key, protected),
             SecureChannel::new(&key, protected),
         )
+    }
+
+    #[test]
+    fn session_remembers_its_id() {
+        let session = ChannelSession::establish(&[5u8; 32], "alice", true);
+        assert_eq!(session.session_id(), "alice");
     }
 
     #[test]

@@ -2,15 +2,15 @@
 //!
 //! §2.2's architecture has the requestor talk to the discovery agency the
 //! same way it talks to any service — over SOAP. This module wraps a
-//! [`Registry`] behind a [`ServiceHost`] exposing the two inquiry patterns
-//! (`find_business`, `get_businessDetail`) as operations, and gives the
-//! requestor typed client calls that parse the XML answers back.
+//! [`UddiRegistry`] behind a [`ServiceHost`] exposing the two inquiry
+//! patterns (`find_business`, `get_businessDetail`) as operations, and
+//! gives the requestor typed client calls that parse the XML answers back.
 
 use crate::actors::{InvocationError, ServiceHost, ServiceRequestor};
 use crate::wsdl::{Operation, ServiceDescription};
 use std::sync::{Arc, Mutex};
 use websec_crypto::sig::Keypair;
-use websec_uddi::{BusinessOverview, FindQualifier, Registry};
+use websec_uddi::{BusinessOverview, InquiryRequest, InquiryResponse, UddiRegistry};
 use websec_xml::{Document, Path};
 
 /// The WSDL for a discovery agency.
@@ -26,21 +26,22 @@ pub fn discovery_description(endpoint: &str) -> ServiceDescription {
 }
 
 /// Builds a SOAP host serving inquiries from `registry`.
-pub fn discovery_host(registry: Arc<Mutex<Registry>>, keypair: Keypair) -> ServiceHost {
+pub fn discovery_host(registry: Arc<Mutex<UddiRegistry>>, keypair: Keypair) -> ServiceHost {
     let mut host = ServiceHost::new(discovery_description("local://uddi"), keypair);
 
     let reg = Arc::clone(&registry);
     host.handle("find_business", move |req| {
         let prefix = req.attribute(req.root(), "name").unwrap_or("");
-        let rows = reg
-            .lock()
-            .expect("registry lock")
-            .find_business(&FindQualifier::NameApprox(prefix.to_string()));
+        let inquiry = InquiryRequest::find_business().name_approx(prefix);
         let mut d = Document::new("overview");
-        for row in rows {
-            let e = d.add_element(d.root(), "businessInfo");
-            d.set_attribute(e, "businessKey", &row.business_key);
-            d.set_attribute(e, "name", &row.name);
+        if let Ok(InquiryResponse::Businesses(rows)) =
+            reg.lock().expect("registry lock").inquire(&inquiry)
+        {
+            for row in rows {
+                let e = d.add_element(d.root(), "businessInfo");
+                d.set_attribute(e, "businessKey", &row.business_key);
+                d.set_attribute(e, "name", &row.name);
+            }
         }
         d
     });
@@ -48,13 +49,16 @@ pub fn discovery_host(registry: Arc<Mutex<Registry>>, keypair: Keypair) -> Servi
     let reg = Arc::clone(&registry);
     host.handle("get_businessDetail", move |req| {
         let key = req.attribute(req.root(), "businessKey").unwrap_or("");
-        match reg.lock().expect("registry lock").get_business_detail(key) {
-            Ok(be) => be.to_document(),
-            Err(e) => {
-                let mut d = Document::new("fault");
-                d.add_text(d.root(), &e.to_string());
-                d
-            }
+        let inquiry = InquiryRequest::get_business(key);
+        let fault = |message: &str| {
+            let mut d = Document::new("fault");
+            d.add_text(d.root(), message);
+            d
+        };
+        match reg.lock().expect("registry lock").inquire(&inquiry) {
+            Ok(InquiryResponse::BusinessDetail(be)) => be.to_document(),
+            Ok(_) => fault("unexpected inquiry response"),
+            Err(e) => fault(&e.to_string()),
         }
     });
 
@@ -115,7 +119,7 @@ mod tests {
     use websec_uddi::{BusinessEntity, BusinessService};
 
     fn setup() -> (ServiceHost, ServiceRequestor) {
-        let mut registry = Registry::new();
+        let mut registry = UddiRegistry::new();
         let mut be = BusinessEntity::new("biz-acme", "Acme Healthcare");
         be.services.push(BusinessService::new("svc-1", "Scheduling"));
         registry.save_business(be);

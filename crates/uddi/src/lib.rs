@@ -10,7 +10,9 @@
 //!   entries plug into the workspace's XML security machinery.
 //! * [`registry`] — the registry proper: publisher API plus the two inquiry
 //!   families, "drill-down pattern inquiries (i.e., get_xxx API functions)"
-//!   and "browse pattern inquiries (i.e., find_xxx API functions)";
+//!   and "browse pattern inquiries (i.e., find_xxx API functions)", all
+//!   flowing through one builder-style entry point
+//!   ([`InquiryRequest`] → [`UddiRegistry::inquire`] → [`InquiryResponse`]);
 //!   two-party deployments enforce access control with `websec-policy`
 //!   ("an access control mechanism can be used to ensure that UDDI entries
 //!   are accessed and modified only according to the specified policies").
@@ -32,4 +34,9 @@ pub use model::{
     BindingTemplate, BusinessEntity, BusinessService, CategoryBag, KeyedReference,
     PublisherAssertion, TModel,
 };
-pub use registry::{BusinessOverview, FindQualifier, Registry, RegistryError, ServiceOverview};
+#[allow(deprecated)]
+pub use registry::Registry;
+pub use registry::{
+    BusinessOverview, FindQualifier, InquiryRequest, InquiryResponse, RegistryError,
+    ServiceOverview, TModelOverview, UddiRegistry,
+};

@@ -8,19 +8,57 @@
 //! and modified only according to the specified access control policies"
 //! (§4.1). Entries are addressed by their business key, so `websec-policy`
 //! object specifications apply directly to entry documents.
+//!
+//! ## The inquiry API
+//!
+//! All inquiries flow through one entry point,
+//! [`UddiRegistry::inquire`], fed by a builder-style [`InquiryRequest`]
+//! mirroring the UDDI inquiry message set (`find_xxx` browse patterns,
+//! `get_xxx` drill-downs):
+//!
+//! ```
+//! use websec_uddi::{BusinessEntity, InquiryRequest, InquiryResponse, UddiRegistry};
+//!
+//! let mut registry = UddiRegistry::new();
+//! registry.save_business(BusinessEntity::new("biz-acme", "Acme Healthcare"));
+//!
+//! let response = registry
+//!     .inquire(&InquiryRequest::find_business().name_approx("acme"))
+//!     .unwrap();
+//! match response {
+//!     InquiryResponse::Businesses(rows) => assert_eq!(rows[0].business_key, "biz-acme"),
+//!     _ => unreachable!(),
+//! }
+//! ```
+//!
+//! Attaching a subject with [`InquiryRequest::on_behalf_of`] runs the same
+//! inquiry under two-party access control: finds hide entries whose name
+//! the subject may not read, and drill-downs answer with the subject's
+//! authorized **view** of the entry document.
+//!
+//! The older positional methods (`find_business(&q)`,
+//! `get_business_detail(key)`, …) survive as `#[deprecated]` shims over
+//! the same implementations and will be removed next release.
 
-use crate::model::{BusinessEntity, PublisherAssertion, TModel};
+use crate::model::{
+    BindingTemplate, BusinessEntity, BusinessService, PublisherAssertion, TModel,
+};
 use std::collections::BTreeMap;
 use websec_policy::{PolicyEngine, PolicyStore, Privilege, SubjectProfile};
 use websec_xml::{Document, Path};
 
 /// Registry operation errors.
+///
+/// `#[non_exhaustive]`: inquiry validation may grow further variants.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
     /// No entry under the given key.
     UnknownKey(String),
     /// The requesting subject may not perform the operation.
     AccessDenied,
+    /// The inquiry was malformed (e.g. a drill-down without a key).
+    InvalidInquiry(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -28,6 +66,7 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::UnknownKey(k) => write!(f, "unknown key '{k}'"),
             RegistryError::AccessDenied => write!(f, "access denied"),
+            RegistryError::InvalidInquiry(m) => write!(f, "invalid inquiry: {m}"),
         }
     }
 }
@@ -51,6 +90,15 @@ pub struct ServiceOverview {
     /// Owning business key.
     pub business_key: String,
     /// Service name.
+    pub name: String,
+}
+
+/// Browse-pattern result row for tModels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TModelOverview {
+    /// tModel key (drill-down handle).
+    pub tmodel_key: String,
+    /// tModel name.
     pub name: String,
 }
 
@@ -81,9 +129,181 @@ impl FindQualifier {
     }
 }
 
+/// Which UDDI inquiry message a request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InquiryKind {
+    FindBusiness,
+    FindService,
+    FindTModel,
+    FindRelated,
+    GetBusiness,
+    GetService,
+    GetBinding,
+    GetTModel,
+}
+
+/// A builder-style UDDI inquiry, executed by [`UddiRegistry::inquire`].
+///
+/// Start from one of the message constructors
+/// ([`InquiryRequest::find_business`], [`InquiryRequest::get_business`],
+/// …), refine browse patterns with [`name_approx`](Self::name_approx) /
+/// [`category`](Self::category) / [`uses_tmodel`](Self::uses_tmodel), and
+/// optionally attach a requesting subject with
+/// [`on_behalf_of`](Self::on_behalf_of) for access-controlled answers.
+/// A find with no qualifier matches every entry (empty-prefix name match).
+#[derive(Debug, Clone)]
+pub struct InquiryRequest {
+    kind: InquiryKind,
+    qualifier: Option<FindQualifier>,
+    key: Option<String>,
+    subject: Option<SubjectProfile>,
+}
+
+impl InquiryRequest {
+    fn new(kind: InquiryKind) -> Self {
+        InquiryRequest {
+            kind,
+            qualifier: None,
+            key: None,
+            subject: None,
+        }
+    }
+
+    /// `find_business`: browse businesses (all of them until a qualifier
+    /// narrows the match).
+    #[must_use]
+    pub fn find_business() -> Self {
+        Self::new(InquiryKind::FindBusiness)
+    }
+
+    /// `find_service`: browse services across all businesses.
+    #[must_use]
+    pub fn find_service() -> Self {
+        Self::new(InquiryKind::FindService)
+    }
+
+    /// `find_tModel`: browse tModels.
+    #[must_use]
+    pub fn find_tmodel() -> Self {
+        Self::new(InquiryKind::FindTModel)
+    }
+
+    /// `find_relatedBusinesses`: businesses related to `business_key` by
+    /// **completed** (reciprocal) publisher assertions.
+    #[must_use]
+    pub fn find_related(business_key: &str) -> Self {
+        Self::new(InquiryKind::FindRelated).key(business_key)
+    }
+
+    /// `get_businessDetail` for `business_key`.
+    #[must_use]
+    pub fn get_business(business_key: &str) -> Self {
+        Self::new(InquiryKind::GetBusiness).key(business_key)
+    }
+
+    /// `get_serviceDetail` for `service_key`.
+    #[must_use]
+    pub fn get_service(service_key: &str) -> Self {
+        Self::new(InquiryKind::GetService).key(service_key)
+    }
+
+    /// `get_bindingDetail` for `binding_key`.
+    #[must_use]
+    pub fn get_binding(binding_key: &str) -> Self {
+        Self::new(InquiryKind::GetBinding).key(binding_key)
+    }
+
+    /// `get_tModelDetail` for `tmodel_key`.
+    #[must_use]
+    pub fn get_tmodel(tmodel_key: &str) -> Self {
+        Self::new(InquiryKind::GetTModel).key(tmodel_key)
+    }
+
+    fn key(mut self, key: &str) -> Self {
+        self.key = Some(key.to_string());
+        self
+    }
+
+    /// Narrows a find to a case-insensitive name prefix (UDDI
+    /// "approximateMatch").
+    #[must_use]
+    pub fn name_approx(mut self, prefix: &str) -> Self {
+        self.qualifier = Some(FindQualifier::NameApprox(prefix.to_string()));
+        self
+    }
+
+    /// Narrows a find to entries carrying `(tmodel_key, key_value)` in
+    /// their category bag.
+    #[must_use]
+    pub fn category(mut self, tmodel_key: &str, key_value: &str) -> Self {
+        self.qualifier = Some(FindQualifier::Category {
+            tmodel_key: tmodel_key.to_string(),
+            key_value: key_value.to_string(),
+        });
+        self
+    }
+
+    /// Narrows a find to entries whose bindings reference `tmodel_key`.
+    #[must_use]
+    pub fn uses_tmodel(mut self, tmodel_key: &str) -> Self {
+        self.qualifier = Some(FindQualifier::UsesTModel(tmodel_key.to_string()));
+        self
+    }
+
+    /// Uses an explicit [`FindQualifier`] value.
+    #[must_use]
+    pub fn qualifier(mut self, qualifier: FindQualifier) -> Self {
+        self.qualifier = Some(qualifier);
+        self
+    }
+
+    /// Runs the inquiry under two-party access control as `subject`:
+    /// finds hide entries whose name the subject may not read, and
+    /// `get_business` answers with the subject's authorized view.
+    #[must_use]
+    pub fn on_behalf_of(mut self, subject: &SubjectProfile) -> Self {
+        self.subject = Some(subject.clone());
+        self
+    }
+}
+
+/// The answer to an [`InquiryRequest`] (owned — detail responses clone the
+/// stored entry, so the registry lock need not outlive the answer).
+///
+/// `#[non_exhaustive]`: future inquiry messages add variants without a
+/// breaking change, so `match`es must carry a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum InquiryResponse {
+    /// `find_business` rows.
+    Businesses(Vec<BusinessOverview>),
+    /// `find_service` rows.
+    Services(Vec<ServiceOverview>),
+    /// `find_tModel` rows.
+    TModels(Vec<TModelOverview>),
+    /// `find_relatedBusinesses` keys.
+    RelatedBusinesses(Vec<String>),
+    /// `get_businessDetail` without a subject: the full stored entry.
+    BusinessDetail(BusinessEntity),
+    /// `get_businessDetail` on behalf of a subject: the authorized view of
+    /// the entry document (portions the subject may not read are pruned).
+    AuthorizedBusinessView(Document),
+    /// `get_serviceDetail`: the service plus its owning business key.
+    ServiceDetail {
+        /// Key of the business owning the service.
+        business_key: String,
+        /// The stored service.
+        service: BusinessService,
+    },
+    /// `get_bindingDetail`.
+    BindingDetail(BindingTemplate),
+    /// `get_tModelDetail`.
+    TModelDetail(TModel),
+}
+
 /// An in-memory UDDI registry.
 #[derive(Default)]
-pub struct Registry {
+pub struct UddiRegistry {
     businesses: BTreeMap<String, BusinessEntity>,
     tmodels: BTreeMap<String, TModel>,
     assertions: Vec<PublisherAssertion>,
@@ -94,7 +314,11 @@ pub struct Registry {
     pub engine: PolicyEngine,
 }
 
-impl Registry {
+/// Pre-redesign name of [`UddiRegistry`].
+#[deprecated(since = "0.2.0", note = "renamed to UddiRegistry")]
+pub type Registry = UddiRegistry;
+
+impl UddiRegistry {
     /// Creates an empty registry with an empty (deny-nothing-to-internal,
     /// closed-to-subjects) policy base.
     #[must_use]
@@ -142,11 +366,72 @@ impl Registry {
         self.businesses.len()
     }
 
-    // --- browse-pattern inquiries (find_xxx) --------------------------------
+    // --- the unified inquiry entry point -------------------------------------
 
-    /// `find_business`: overview rows for entries matching the qualifier.
-    #[must_use]
-    pub fn find_business(&self, q: &FindQualifier) -> Vec<BusinessOverview> {
+    /// Executes a builder-style [`InquiryRequest`].
+    ///
+    /// Browse patterns answer with overview rows, drill-downs with owned
+    /// entry clones; attaching a subject
+    /// ([`InquiryRequest::on_behalf_of`]) applies two-party access
+    /// control. A drill-down under a missing key yields
+    /// [`RegistryError::UnknownKey`]; a browse never errors (it answers
+    /// with an empty row set).
+    pub fn inquire(&self, request: &InquiryRequest) -> Result<InquiryResponse, RegistryError> {
+        // A find with no qualifier matches everything.
+        let qualifier = request
+            .qualifier
+            .clone()
+            .unwrap_or_else(|| FindQualifier::NameApprox(String::new()));
+        let need_key = |field: &Option<String>| {
+            field.clone().ok_or_else(|| {
+                RegistryError::InvalidInquiry("drill-down inquiry requires a key".into())
+            })
+        };
+        match request.kind {
+            InquiryKind::FindBusiness => Ok(InquiryResponse::Businesses(match &request.subject {
+                Some(subject) => self.find_business_for_impl(&qualifier, subject),
+                None => self.find_business_impl(&qualifier),
+            })),
+            InquiryKind::FindService => {
+                Ok(InquiryResponse::Services(self.find_service_impl(&qualifier)))
+            }
+            InquiryKind::FindTModel => {
+                Ok(InquiryResponse::TModels(self.find_tmodel_impl(&qualifier)))
+            }
+            InquiryKind::FindRelated => Ok(InquiryResponse::RelatedBusinesses(
+                self.find_related_impl(&need_key(&request.key)?),
+            )),
+            InquiryKind::GetBusiness => {
+                let key = need_key(&request.key)?;
+                match &request.subject {
+                    Some(subject) => Ok(InquiryResponse::AuthorizedBusinessView(
+                        self.business_view_for_impl(&key, subject)?,
+                    )),
+                    None => Ok(InquiryResponse::BusinessDetail(
+                        self.business_detail_impl(&key)?.clone(),
+                    )),
+                }
+            }
+            InquiryKind::GetService => {
+                let key = need_key(&request.key)?;
+                let (business_key, service) = self.service_detail_impl(&key)?;
+                Ok(InquiryResponse::ServiceDetail {
+                    business_key: business_key.to_string(),
+                    service: service.clone(),
+                })
+            }
+            InquiryKind::GetBinding => Ok(InquiryResponse::BindingDetail(
+                self.binding_detail_impl(&need_key(&request.key)?)?.clone(),
+            )),
+            InquiryKind::GetTModel => Ok(InquiryResponse::TModelDetail(
+                self.tmodel_detail_impl(&need_key(&request.key)?)?.clone(),
+            )),
+        }
+    }
+
+    // --- inquiry implementations ---------------------------------------------
+
+    fn find_business_impl(&self, q: &FindQualifier) -> Vec<BusinessOverview> {
         self.businesses
             .values()
             .filter(|be| match q {
@@ -171,9 +456,7 @@ impl Registry {
             .collect()
     }
 
-    /// `find_service`: overview rows for services matching the qualifier.
-    #[must_use]
-    pub fn find_service(&self, q: &FindQualifier) -> Vec<ServiceOverview> {
+    fn find_service_impl(&self, q: &FindQualifier) -> Vec<ServiceOverview> {
         let mut out = Vec::new();
         for be in self.businesses.values() {
             for s in &be.services {
@@ -203,25 +486,25 @@ impl Registry {
         out
     }
 
-    /// `find_tModel`: keys and names of matching tModels.
-    #[must_use]
-    pub fn find_tmodel(&self, q: &FindQualifier) -> Vec<(String, String)> {
+    fn find_tmodel_impl(&self, q: &FindQualifier) -> Vec<TModelOverview> {
         self.tmodels
             .values()
             .filter(|tm| q.matches_name(&tm.name))
-            .map(|tm| (tm.tmodel_key.clone(), tm.name.clone()))
+            .map(|tm| TModelOverview {
+                tmodel_key: tm.tmodel_key.clone(),
+                name: tm.name.clone(),
+            })
             .collect()
     }
 
-    /// Businesses related to `key` by **completed** publisher assertions
-    /// (asserted in both directions).
-    #[must_use]
-    pub fn find_related_businesses(&self, key: &str) -> Vec<String> {
+    fn find_related_impl(&self, key: &str) -> Vec<String> {
         let mut out = Vec::new();
         for a in &self.assertions {
             if a.from_key == key {
                 let reciprocal = self.assertions.iter().any(|b| {
-                    b.from_key == a.to_key && b.to_key == a.from_key && b.relationship == a.relationship
+                    b.from_key == a.to_key
+                        && b.to_key == a.from_key
+                        && b.relationship == a.relationship
                 });
                 if reciprocal && !out.contains(&a.to_key) {
                     out.push(a.to_key.clone());
@@ -231,21 +514,16 @@ impl Registry {
         out
     }
 
-    // --- drill-down inquiries (get_xxx) --------------------------------------
-
-    /// `get_businessDetail`: the full entry (trusted/internal access).
-    pub fn get_business_detail(&self, key: &str) -> Result<&BusinessEntity, RegistryError> {
+    fn business_detail_impl(&self, key: &str) -> Result<&BusinessEntity, RegistryError> {
         self.businesses
             .get(key)
             .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
     }
 
-    /// `get_serviceDetail`: a service (and its owning business key) by
-    /// service key.
-    pub fn get_service_detail(
+    fn service_detail_impl(
         &self,
         key: &str,
-    ) -> Result<(&str, &crate::model::BusinessService), RegistryError> {
+    ) -> Result<(&str, &BusinessService), RegistryError> {
         for be in self.businesses.values() {
             if let Some(svc) = be.services.iter().find(|s| s.service_key == key) {
                 return Ok((be.business_key.as_str(), svc));
@@ -254,11 +532,7 @@ impl Registry {
         Err(RegistryError::UnknownKey(key.to_string()))
     }
 
-    /// `get_bindingDetail`: a binding template by binding key.
-    pub fn get_binding_detail(
-        &self,
-        key: &str,
-    ) -> Result<&crate::model::BindingTemplate, RegistryError> {
+    fn binding_detail_impl(&self, key: &str) -> Result<&BindingTemplate, RegistryError> {
         for be in self.businesses.values() {
             for svc in &be.services {
                 if let Some(bt) = svc
@@ -273,24 +547,18 @@ impl Registry {
         Err(RegistryError::UnknownKey(key.to_string()))
     }
 
-    /// `get_tModelDetail`.
-    pub fn get_tmodel_detail(&self, key: &str) -> Result<&TModel, RegistryError> {
+    fn tmodel_detail_impl(&self, key: &str) -> Result<&TModel, RegistryError> {
         self.tmodels
             .get(key)
             .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))
     }
 
-    // --- two-party access-controlled inquiries --------------------------------
-
-    /// `get_businessDetail` under access control: the subject receives the
-    /// **authorized view** of the entry document (possibly with portions
-    /// pruned), or `AccessDenied` when nothing is visible.
-    pub fn get_business_detail_for(
+    fn business_view_for_impl(
         &self,
         key: &str,
         profile: &SubjectProfile,
     ) -> Result<Document, RegistryError> {
-        let be = self.get_business_detail(key)?;
+        let be = self.business_detail_impl(key)?;
         let doc = be.to_document();
         let view = self.engine.compute_view(&self.policies, profile, key, &doc);
         if view.node_count() == 0 {
@@ -299,20 +567,16 @@ impl Registry {
         Ok(view)
     }
 
-    /// `find_business` under access control: only entries whose *name* the
-    /// subject may read appear in the overview (confidential listings stay
-    /// hidden).
-    #[must_use]
-    pub fn find_business_for(
+    fn find_business_for_impl(
         &self,
         q: &FindQualifier,
         profile: &SubjectProfile,
     ) -> Vec<BusinessOverview> {
         let name_path = Path::parse("/businessEntity/name").expect("static path");
-        self.find_business(q)
+        self.find_business_impl(q)
             .into_iter()
             .filter(|row| {
-                let Ok(be) = self.get_business_detail(&row.business_key) else {
+                let Ok(be) = self.business_detail_impl(&row.business_key) else {
                     return false;
                 };
                 let doc = be.to_document();
@@ -330,16 +594,133 @@ impl Registry {
             })
             .collect()
     }
+
+    // --- deprecated positional inquiry methods -------------------------------
+
+    /// `find_business`: overview rows for entries matching the qualifier.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::find_business() and call inquire()"
+    )]
+    #[must_use]
+    pub fn find_business(&self, q: &FindQualifier) -> Vec<BusinessOverview> {
+        self.find_business_impl(q)
+    }
+
+    /// `find_service`: overview rows for services matching the qualifier.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::find_service() and call inquire()"
+    )]
+    #[must_use]
+    pub fn find_service(&self, q: &FindQualifier) -> Vec<ServiceOverview> {
+        self.find_service_impl(q)
+    }
+
+    /// `find_tModel`: keys and names of matching tModels.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::find_tmodel() and call inquire()"
+    )]
+    #[must_use]
+    pub fn find_tmodel(&self, q: &FindQualifier) -> Vec<(String, String)> {
+        self.find_tmodel_impl(q)
+            .into_iter()
+            .map(|tm| (tm.tmodel_key, tm.name))
+            .collect()
+    }
+
+    /// Businesses related to `key` by **completed** publisher assertions
+    /// (asserted in both directions).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::find_related(key) and call inquire()"
+    )]
+    #[must_use]
+    pub fn find_related_businesses(&self, key: &str) -> Vec<String> {
+        self.find_related_impl(key)
+    }
+
+    /// `get_businessDetail`: the full entry (trusted/internal access).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::get_business(key) and call inquire()"
+    )]
+    pub fn get_business_detail(&self, key: &str) -> Result<&BusinessEntity, RegistryError> {
+        self.business_detail_impl(key)
+    }
+
+    /// `get_serviceDetail`: a service (and its owning business key) by
+    /// service key.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::get_service(key) and call inquire()"
+    )]
+    pub fn get_service_detail(
+        &self,
+        key: &str,
+    ) -> Result<(&str, &BusinessService), RegistryError> {
+        self.service_detail_impl(key)
+    }
+
+    /// `get_bindingDetail`: a binding template by binding key.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::get_binding(key) and call inquire()"
+    )]
+    pub fn get_binding_detail(&self, key: &str) -> Result<&BindingTemplate, RegistryError> {
+        self.binding_detail_impl(key)
+    }
+
+    /// `get_tModelDetail`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::get_tmodel(key) and call inquire()"
+    )]
+    pub fn get_tmodel_detail(&self, key: &str) -> Result<&TModel, RegistryError> {
+        self.tmodel_detail_impl(key)
+    }
+
+    /// `get_businessDetail` under access control: the subject receives the
+    /// **authorized view** of the entry document (possibly with portions
+    /// pruned), or `AccessDenied` when nothing is visible.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::get_business(key).on_behalf_of(profile) and call inquire()"
+    )]
+    pub fn get_business_detail_for(
+        &self,
+        key: &str,
+        profile: &SubjectProfile,
+    ) -> Result<Document, RegistryError> {
+        self.business_view_for_impl(key, profile)
+    }
+
+    /// `find_business` under access control: only entries whose *name* the
+    /// subject may read appear in the overview (confidential listings stay
+    /// hidden).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build InquiryRequest::find_business().on_behalf_of(profile) and call inquire()"
+    )]
+    #[must_use]
+    pub fn find_business_for(
+        &self,
+        q: &FindQualifier,
+        profile: &SubjectProfile,
+    ) -> Vec<BusinessOverview> {
+        self.find_business_for_impl(q, profile)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{BusinessService, KeyedReference};
+    use crate::model::KeyedReference;
     use websec_policy::{Authorization, ObjectSpec, SubjectSpec};
 
-    fn registry() -> Registry {
-        let mut r = Registry::new();
+    fn registry() -> UddiRegistry {
+        let mut r = UddiRegistry::new();
         let mut acme = BusinessEntity::new("biz-acme", "Acme Healthcare");
         acme.category_bag.push(KeyedReference {
             tmodel_key: "uddi:naics".into(),
@@ -364,31 +745,55 @@ mod tests {
         r
     }
 
+    fn businesses(response: InquiryResponse) -> Vec<BusinessOverview> {
+        match response {
+            InquiryResponse::Businesses(rows) => rows,
+            other => panic!("expected Businesses, got {other:?}"),
+        }
+    }
+
     #[test]
     fn find_business_by_name_prefix() {
         let r = registry();
-        let rows = r.find_business(&FindQualifier::NameApprox("acme".into()));
+        let rows = businesses(
+            r.inquire(&InquiryRequest::find_business().name_approx("acme"))
+                .unwrap(),
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].business_key, "biz-acme");
-        assert!(r
-            .find_business(&FindQualifier::NameApprox("zzz".into()))
-            .is_empty());
+        assert!(businesses(
+            r.inquire(&InquiryRequest::find_business().name_approx("zzz"))
+                .unwrap()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn find_business_unqualified_matches_everything() {
+        let r = registry();
+        assert_eq!(
+            businesses(r.inquire(&InquiryRequest::find_business()).unwrap()).len(),
+            2
+        );
     }
 
     #[test]
     fn find_business_by_category() {
         let r = registry();
-        let rows = r.find_business(&FindQualifier::Category {
-            tmodel_key: "uddi:naics".into(),
-            key_value: "62".into(),
-        });
+        let rows = businesses(
+            r.inquire(&InquiryRequest::find_business().category("uddi:naics", "62"))
+                .unwrap(),
+        );
         assert_eq!(rows.len(), 1);
     }
 
     #[test]
     fn find_business_by_tmodel() {
         let r = registry();
-        let rows = r.find_business(&FindQualifier::UsesTModel("uddi:tm-sched".into()));
+        let rows = businesses(
+            r.inquire(&InquiryRequest::find_business().uses_tmodel("uddi:tm-sched"))
+                .unwrap(),
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].business_key, "biz-acme");
     }
@@ -396,7 +801,12 @@ mod tests {
     #[test]
     fn find_service() {
         let r = registry();
-        let rows = r.find_service(&FindQualifier::NameApprox("track".into()));
+        let InquiryResponse::Services(rows) = r
+            .inquire(&InquiryRequest::find_service().name_approx("track"))
+            .unwrap()
+        else {
+            panic!("expected Services");
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].business_key, "biz-beta");
     }
@@ -404,35 +814,52 @@ mod tests {
     #[test]
     fn find_tmodel() {
         let r = registry();
-        let rows = r.find_tmodel(&FindQualifier::NameApprox("sched".into()));
+        let InquiryResponse::TModels(rows) = r
+            .inquire(&InquiryRequest::find_tmodel().name_approx("sched"))
+            .unwrap()
+        else {
+            panic!("expected TModels");
+        };
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].0, "uddi:tm-sched");
+        assert_eq!(rows[0].tmodel_key, "uddi:tm-sched");
     }
 
     #[test]
     fn drill_down_and_delete() {
         let mut r = registry();
-        assert!(r.get_business_detail("biz-acme").is_ok());
-        assert!(r.get_tmodel_detail("uddi:tm-sched").is_ok());
+        assert!(r.inquire(&InquiryRequest::get_business("biz-acme")).is_ok());
+        assert!(r
+            .inquire(&InquiryRequest::get_tmodel("uddi:tm-sched"))
+            .is_ok());
         assert_eq!(
-            r.get_business_detail("nope"),
-            Err(RegistryError::UnknownKey("nope".into()))
+            r.inquire(&InquiryRequest::get_business("nope")).unwrap_err(),
+            RegistryError::UnknownKey("nope".into())
         );
         r.delete_business("biz-acme").unwrap();
-        assert!(r.get_business_detail("biz-acme").is_err());
+        assert!(r.inquire(&InquiryRequest::get_business("biz-acme")).is_err());
         assert!(r.delete_business("biz-acme").is_err());
     }
 
     #[test]
     fn service_and_binding_drilldown() {
         let r = registry();
-        let (biz, svc) = r.get_service_detail("svc-sched").unwrap();
-        assert_eq!(biz, "biz-acme");
-        assert_eq!(svc.name, "Scheduling");
-        let bt = r.get_binding_detail("b1").unwrap();
+        let InquiryResponse::ServiceDetail {
+            business_key,
+            service,
+        } = r.inquire(&InquiryRequest::get_service("svc-sched")).unwrap()
+        else {
+            panic!("expected ServiceDetail");
+        };
+        assert_eq!(business_key, "biz-acme");
+        assert_eq!(service.name, "Scheduling");
+        let InquiryResponse::BindingDetail(bt) =
+            r.inquire(&InquiryRequest::get_binding("b1")).unwrap()
+        else {
+            panic!("expected BindingDetail");
+        };
         assert_eq!(bt.access_point, "https://acme.example");
-        assert!(r.get_service_detail("nope").is_err());
-        assert!(r.get_binding_detail("nope").is_err());
+        assert!(r.inquire(&InquiryRequest::get_service("nope")).is_err());
+        assert!(r.inquire(&InquiryRequest::get_binding("nope")).is_err());
     }
 
     #[test]
@@ -443,15 +870,21 @@ mod tests {
             to_key: "biz-beta".into(),
             relationship: "peer-peer".into(),
         });
+        let related = |r: &UddiRegistry, key: &str| -> Vec<String> {
+            match r.inquire(&InquiryRequest::find_related(key)).unwrap() {
+                InquiryResponse::RelatedBusinesses(keys) => keys,
+                other => panic!("expected RelatedBusinesses, got {other:?}"),
+            }
+        };
         // One-sided: not visible.
-        assert!(r.find_related_businesses("biz-acme").is_empty());
+        assert!(related(&r, "biz-acme").is_empty());
         r.add_assertion(PublisherAssertion {
             from_key: "biz-beta".into(),
             to_key: "biz-acme".into(),
             relationship: "peer-peer".into(),
         });
-        assert_eq!(r.find_related_businesses("biz-acme"), vec!["biz-beta"]);
-        assert_eq!(r.find_related_businesses("biz-beta"), vec!["biz-acme"]);
+        assert_eq!(related(&r, "biz-acme"), vec!["biz-beta"]);
+        assert_eq!(related(&r, "biz-beta"), vec!["biz-acme"]);
     }
 
     #[test]
@@ -465,10 +898,16 @@ mod tests {
         ));
         let partner = SubjectProfile::new("partner");
         let stranger = SubjectProfile::new("stranger");
-        let view = r.get_business_detail_for("biz-acme", &partner).unwrap();
+        let InquiryResponse::AuthorizedBusinessView(view) = r
+            .inquire(&InquiryRequest::get_business("biz-acme").on_behalf_of(&partner))
+            .unwrap()
+        else {
+            panic!("expected AuthorizedBusinessView");
+        };
         assert!(view.to_xml_string().contains("Acme"));
         assert_eq!(
-            r.get_business_detail_for("biz-acme", &stranger).unwrap_err(),
+            r.inquire(&InquiryRequest::get_business("biz-acme").on_behalf_of(&stranger))
+                .unwrap_err(),
             RegistryError::AccessDenied
         );
     }
@@ -492,9 +931,15 @@ mod tests {
             },
             Privilege::Read,
         ));
-        let view = r
-            .get_business_detail_for("biz-acme", &SubjectProfile::new("partner"))
-            .unwrap();
+        let InquiryResponse::AuthorizedBusinessView(view) = r
+            .inquire(
+                &InquiryRequest::get_business("biz-acme")
+                    .on_behalf_of(&SubjectProfile::new("partner")),
+            )
+            .unwrap()
+        else {
+            panic!("expected AuthorizedBusinessView");
+        };
         let s = view.to_xml_string();
         assert!(!s.contains("accessPoint"), "{s}");
         assert!(s.contains("Scheduling"), "{s}");
@@ -509,15 +954,64 @@ mod tests {
             ObjectSpec::Document("biz-acme".into()),
             Privilege::Read,
         ));
-        let q = FindQualifier::NameApprox("".into());
-        let all = r.find_business(&q);
+        let all = businesses(r.inquire(&InquiryRequest::find_business()).unwrap());
         assert_eq!(all.len(), 2);
-        let partner_rows = r.find_business_for(&q, &SubjectProfile::new("partner"));
+        let partner_rows = businesses(
+            r.inquire(
+                &InquiryRequest::find_business().on_behalf_of(&SubjectProfile::new("partner")),
+            )
+            .unwrap(),
+        );
         assert_eq!(partner_rows.len(), 1);
         assert_eq!(partner_rows[0].business_key, "biz-acme");
-        assert!(r
-            .find_business_for(&q, &SubjectProfile::new("stranger"))
-            .is_empty());
+        assert!(businesses(
+            r.inquire(
+                &InquiryRequest::find_business().on_behalf_of(&SubjectProfile::new("stranger"))
+            )
+            .unwrap()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn drill_down_without_key_is_invalid() {
+        let r = registry();
+        // find_related built without a key (possible only via clone-hackery
+        // in-crate; externally the constructor always sets it) — exercise
+        // the validation through the public surface instead: an empty key
+        // is a well-formed inquiry that finds nothing.
+        let InquiryResponse::RelatedBusinesses(keys) =
+            r.inquire(&InquiryRequest::find_related("")).unwrap()
+        else {
+            panic!("expected RelatedBusinesses");
+        };
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_shims_agree_with_inquire() {
+        let r = registry();
+        let q = FindQualifier::NameApprox("acme".into());
+        assert_eq!(
+            r.find_business(&q),
+            businesses(
+                r.inquire(&InquiryRequest::find_business().name_approx("acme"))
+                    .unwrap()
+            )
+        );
+        assert_eq!(
+            r.get_business_detail("biz-acme").unwrap().name,
+            match r.inquire(&InquiryRequest::get_business("biz-acme")).unwrap() {
+                InquiryResponse::BusinessDetail(be) => be.name,
+                other => panic!("expected BusinessDetail, got {other:?}"),
+            }
+        );
+        let legacy_tmodels = r.find_tmodel(&FindQualifier::NameApprox("sched".into()));
+        assert_eq!(legacy_tmodels, vec![(
+            "uddi:tm-sched".to_string(),
+            "Scheduling Interface".to_string()
+        )]);
     }
 
     #[test]
@@ -527,6 +1021,11 @@ mod tests {
         acme2.description = "v2".into();
         r.save_business(acme2);
         assert_eq!(r.business_count(), 2);
-        assert_eq!(r.get_business_detail("biz-acme").unwrap().name, "Acme Renamed");
+        let InquiryResponse::BusinessDetail(be) =
+            r.inquire(&InquiryRequest::get_business("biz-acme")).unwrap()
+        else {
+            panic!("expected BusinessDetail");
+        };
+        assert_eq!(be.name, "Acme Renamed");
     }
 }

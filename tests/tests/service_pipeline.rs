@@ -26,7 +26,7 @@ fn discover_check_invoke() {
     });
 
     // Publish the business + service to a registry.
-    let mut registry = Registry::new();
+    let mut registry = UddiRegistry::new();
     let mut business = BusinessEntity::new("biz-quotes", "Quotes Inc");
     let mut service = BusinessService::new("svc-quotes", "QuoteService");
     service.binding_templates.push(BindingTemplate {
@@ -47,10 +47,20 @@ fn discover_check_invoke() {
     });
 
     // --- requestor side ------------------------------------------------------
-    // 1. Discover.
-    let found = registry.find_service(&FindQualifier::NameApprox("quote".into()));
+    // 1. Discover (browse then drill down, via the builder inquiry API).
+    let InquiryResponse::Services(found) = registry
+        .inquire(&InquiryRequest::find_service().name_approx("quote"))
+        .unwrap()
+    else {
+        panic!("expected Services");
+    };
     assert_eq!(found.len(), 1);
-    let entry = registry.get_business_detail(&found[0].business_key).unwrap();
+    let InquiryResponse::BusinessDetail(entry) = registry
+        .inquire(&InquiryRequest::get_business(&found[0].business_key))
+        .unwrap()
+    else {
+        panic!("expected BusinessDetail");
+    };
     let endpoint = &entry.services[0].binding_templates[0].access_point;
     assert_eq!(endpoint, "local://quotes");
 
@@ -96,7 +106,7 @@ fn two_party_and_third_party_agree() {
     let mut rng = SecureRng::seeded(502);
     let mut provider = ServiceProvider::new("prov", &mut rng, 3);
     let mut agency = UntrustedAgency::new();
-    let mut registry = Registry::new();
+    let mut registry = UddiRegistry::new();
 
     let mut be = BusinessEntity::new("biz-1", "Example Org");
     be.description = "web services".into();
@@ -106,7 +116,12 @@ fn two_party_and_third_party_agree() {
     provider.publish_to(&mut agency, &be).unwrap();
 
     // Two-party: direct (trusted) drill-down.
-    let direct = registry.get_business_detail("biz-1").unwrap();
+    let InquiryResponse::BusinessDetail(direct) = registry
+        .inquire(&InquiryRequest::get_business("biz-1"))
+        .unwrap()
+    else {
+        panic!("expected BusinessDetail");
+    };
     let direct_xml = direct.to_document().to_xml_string();
 
     // Third-party: verified drill-down against the provider key.

@@ -128,7 +128,7 @@ fn parallel_batch_matches_serial_run() {
 /// every cached view; the next request recomputes under the new policy.
 #[test]
 fn policy_mutation_invalidates_cached_views() {
-    let mut server = StackServer::new(build_stack());
+    let server = StackServer::new(build_stack());
     let request = QueryRequest::for_doc("records.xml")
         .path(Path::parse("//patient[@id='p1']").unwrap())
         .subject(&SubjectProfile::new("subject-0"))
@@ -139,7 +139,7 @@ fn policy_mutation_invalidates_cached_views() {
     assert!(first.xml.contains("p1"));
     let second = server.serve(&request).unwrap();
     assert_eq!(second.cache, CacheStatus::Hit);
-    assert!(server.cached_views() > 0);
+    assert!(server.metrics().cached_views > 0);
 
     let epoch_before = server.snapshot().policies.epoch();
     server.update(|stack| {
@@ -154,7 +154,11 @@ fn policy_mutation_invalidates_cached_views() {
         ));
     });
     assert!(server.snapshot().policies.epoch() > epoch_before);
-    assert_eq!(server.cached_views(), 0, "stale views survived the update");
+    assert_eq!(
+        server.metrics().cached_views,
+        0,
+        "stale views survived the update"
+    );
 
     let third = server.serve(&request).unwrap();
     assert_eq!(third.cache, CacheStatus::Miss, "served from a stale view");
@@ -175,7 +179,7 @@ fn sessions_are_established_once_per_subject() {
         let _ = server.serve(request);
     }
     let metrics = server.metrics();
-    assert_eq!(server.session_count(), SUBJECTS);
+    assert_eq!(metrics.sessions_open, SUBJECTS as u64);
     assert_eq!(metrics.sessions_established, SUBJECTS as u64);
     assert_eq!(
         metrics.session_reuses,
@@ -184,6 +188,127 @@ fn sessions_are_established_once_per_subject() {
     );
     assert!(metrics.cache_hits > 0);
     assert!(metrics.latency.count >= metrics.allowed);
+}
+
+fn doctor_request(d: usize, patient: usize) -> QueryRequest {
+    QueryRequest::for_doc("records.xml")
+        .path(Path::parse(&format!("//patient[@id='p{patient}']")).unwrap())
+        .subject(&SubjectProfile::new(&format!("subject-{d}")))
+        .clearance(Clearance(Level::Unclassified))
+}
+
+/// Revokes every doctor grant in one epoch bump.
+fn revoke_doctors(server: &StackServer) -> usize {
+    server.update(|stack| {
+        stack.policies.revoke_matching(|a| {
+            matches!(&a.subject, SubjectSpec::Identity(id) if id.starts_with("subject-"))
+        })
+    })
+}
+
+/// The revocation race the token-checked caches exist for: policy views
+/// are cached per worker (L1) and per shard (L2), a revocation lands
+/// mid-traffic via `update(&self)`, and **no request that starts after
+/// `update` returns may be served a stale view** — on any shard, from
+/// either cache level. Readers observe a flag the writer sets only after
+/// `update` returns, so "started after the bump" is well-defined.
+#[test]
+fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let server = StackServer::new(build_stack());
+    // Warm every doctor's cached view so revocation has state to invalidate
+    // (the doctors hash across the server's shards).
+    for d in 0..SUBJECTS / 2 {
+        let warm = server.serve(&doctor_request(d, 1)).unwrap();
+        assert!(warm.xml.contains("p1"), "{}", warm.xml);
+    }
+    assert!(server.metrics().cached_views > 0);
+
+    let revoked = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let revoked = &revoked;
+        let readers: Vec<_> = (0..SUBJECTS / 2)
+            .map(|d| {
+                scope.spawn(move || {
+                    let request = doctor_request(d, 1);
+                    let mut stale_after_bump = 0u32;
+                    let mut saw_revoked = false;
+                    for _ in 0..300 {
+                        let bumped_before_start = revoked.load(Ordering::SeqCst);
+                        let response = server.serve(&request).unwrap();
+                        if response.xml.is_empty() {
+                            saw_revoked = true;
+                        } else if bumped_before_start {
+                            stale_after_bump += 1;
+                        }
+                        std::thread::yield_now();
+                    }
+                    (stale_after_bump, saw_revoked)
+                })
+            })
+            .collect();
+        scope.spawn(move || {
+            // Let readers populate their worker-local caches first.
+            std::thread::yield_now();
+            assert_eq!(revoke_doctors(server), SUBJECTS / 2);
+            revoked.store(true, Ordering::SeqCst);
+        });
+        for (d, reader) in readers.into_iter().enumerate() {
+            let (stale_after_bump, saw_revoked) = reader.join().unwrap();
+            assert_eq!(
+                stale_after_bump, 0,
+                "subject-{d} was served a stale cached view after the epoch bump"
+            );
+            assert!(saw_revoked, "subject-{d} never observed the revocation");
+        }
+    });
+
+    // The batch path agrees, across all shards and both cache levels.
+    let requests: Vec<QueryRequest> = (0..SUBJECTS / 2).map(|d| doctor_request(d, 1)).collect();
+    for result in server.serve_batch(&requests, 4) {
+        let response = result.unwrap();
+        assert!(response.xml.is_empty(), "stale view: {}", response.xml);
+    }
+}
+
+/// A revocation landing in the middle of `serve_batch` must partition the
+/// batch into valid answers only: every response is either the full
+/// pre-revocation view or the empty post-revocation view — never a torn or
+/// cache-incoherent mixture — and everything served after the batch sees
+/// the revoked state.
+#[test]
+fn revocation_mid_batch_yields_only_valid_answers() {
+    let server = StackServer::new(build_stack());
+    let requests: Vec<QueryRequest> = (0..2048)
+        .map(|i| doctor_request(i % (SUBJECTS / 2), i % 40))
+        .collect();
+
+    let results = std::thread::scope(|scope| {
+        let server = &server;
+        let writer = scope.spawn(move || {
+            std::thread::yield_now();
+            revoke_doctors(server)
+        });
+        let results = server.serve_batch(&requests, 4);
+        assert_eq!(writer.join().unwrap(), SUBJECTS / 2);
+        results
+    });
+
+    for (i, result) in results.into_iter().enumerate() {
+        let response = result.unwrap();
+        let expected = format!("p{}", i % 40);
+        assert!(
+            response.xml.is_empty() || response.xml.contains(&expected),
+            "request {i}: torn answer: {}",
+            response.xml
+        );
+    }
+    // Post-batch, the revocation is fully visible on every shard.
+    for d in 0..SUBJECTS / 2 {
+        assert!(server.serve(&doctor_request(d, 1)).unwrap().xml.is_empty());
+    }
 }
 
 /// The unified error type reports stable WS1xx codes at the API boundary.
