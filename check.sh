@@ -8,7 +8,12 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test --offline"
+# Chaos sweep width for tests/tests/chaos.rs: 25 seeds keeps tier-1 fast;
+# raise it (e.g. CHAOS_SEEDS=200 ./check.sh) for a deep soak, or pin a
+# single failing seed when reproducing (see README "Testing & chaos").
+export CHAOS_SEEDS="${CHAOS_SEEDS:-25}"
+
+echo "==> cargo test --offline (CHAOS_SEEDS=${CHAOS_SEEDS})"
 cargo test -q --offline
 
 echo "==> websec-lint --deny-warnings"
@@ -24,6 +29,16 @@ ratio=$(awk "BEGIN {printf \"%.2f\", $parallel_qps / $serial_qps}")
 echo "==> parallel/serial ratio: ${ratio}x (parallel ${parallel_qps} q/s vs serial ${serial_qps} q/s)"
 if awk "BEGIN {exit !($parallel_qps < $serial_qps)}"; then
     echo "check.sh: FAIL — parallel serving (${parallel_qps} q/s) is slower than serial (${serial_qps} q/s)" >&2
+    exit 1
+fi
+
+# Gate: the batch engine must keep its edge under the seeded ~10% fault plan.
+f_serial_qps=$(awk -F': ' '/"faulted_serial_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+f_parallel_qps=$(awk -F': ' '/"faulted_parallel_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+f_ratio=$(awk "BEGIN {printf \"%.2f\", $f_parallel_qps / $f_serial_qps}")
+echo "==> faulted parallel/serial ratio: ${f_ratio}x (parallel ${f_parallel_qps} q/s vs serial ${f_serial_qps} q/s)"
+if awk "BEGIN {exit !($f_parallel_qps < $f_serial_qps)}"; then
+    echo "check.sh: FAIL — faulted parallel serving (${f_parallel_qps} q/s) is slower than faulted serial (${f_serial_qps} q/s)" >&2
     exit 1
 fi
 

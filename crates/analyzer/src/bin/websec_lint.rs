@@ -5,7 +5,9 @@
 //!
 //! * `.unwrap()` or `panic!` in non-test library code — fallible paths must
 //!   return `Result` (`.expect("...")` is allowed: it documents an
-//!   invariant);
+//!   invariant). A trailing `// lint:allow(panic)` (or `unwrap`/`unsafe`)
+//!   marker opts a single line out when the banned pattern is the point,
+//!   e.g. the fault injector's deliberate worker panic;
 //! * crate roots (`src/lib.rs`) missing `#![forbid(unsafe_code)]`.
 //!
 //! Test code is exempt: by repository convention the `#[cfg(test)]` module
@@ -175,8 +177,12 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         if in_test_code {
             continue;
         }
+        // An explicit, greppable opt-out for lines where the banned pattern
+        // *is* the behavior (e.g. the fault injector's deliberate panic):
+        // `// lint:allow(panic)`, `// lint:allow(unwrap)`, `// lint:allow(unsafe)`.
+        let allowed = |rule: &str| line.contains(&format!("lint:allow({rule})"));
         let code = strip_comment(line);
-        if code.contains(".unwrap()") {
+        if code.contains(".unwrap()") && !allowed("unwrap") {
             findings.push(Finding {
                 file: file.to_path_buf(),
                 line: idx + 1,
@@ -186,7 +192,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                     .to_string(),
             });
         }
-        if code.contains("panic!") {
+        if code.contains("panic!") && !allowed("panic") {
             findings.push(Finding {
                 file: file.to_path_buf(),
                 line: idx + 1,
@@ -194,7 +200,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                 message: "panic! in non-test code: return an error instead".to_string(),
             });
         }
-        if code.contains("unsafe ") || code.contains("unsafe{") {
+        if (code.contains("unsafe ") || code.contains("unsafe{")) && !allowed("unsafe") {
             findings.push(Finding {
                 file: file.to_path_buf(),
                 line: idx + 1,
@@ -264,6 +270,20 @@ mod tests {
         let src = "#![forbid(unsafe_code)]\n// call .unwrap() never\n/// panic! docs\nfn f() { x.expect(\"invariant\"); }\n";
         lint_file(Path::new("crates/x/src/lib.rs"), src, true, &mut findings);
         assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn lint_allow_markers_suppress_single_lines() {
+        let mut findings = Vec::new();
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn f() { panic!(\"injected\"); } // lint:allow(panic)\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(unwrap)\n";
+        lint_file(Path::new("crates/x/src/lib.rs"), src, true, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+        // The marker is rule-specific: allowing unwrap doesn't allow panic.
+        let src = "#![forbid(unsafe_code)]\nfn f() { panic!(); } // lint:allow(unwrap)\n";
+        lint_file(Path::new("crates/x/src/lib.rs"), src, true, &mut findings);
+        assert_eq!(findings.len(), 1);
     }
 
     #[test]

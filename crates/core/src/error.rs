@@ -16,6 +16,8 @@
 //! | WS104 | [`Error::Misconfigured`]     | strict boot gate found error findings|
 //! | WS105 | [`Error::InvalidRequest`]    | request missing/invalid a field      |
 //! | WS106 | [`Error::ShardPoisoned`]     | shard poisoned / worker panicked     |
+//! | WS107 | [`Error::DeadlineExceeded`]  | per-request deadline budget exhausted|
+//! | WS108 | [`Error::Overloaded`]        | admission control shed the request   |
 
 use crate::stack::StackError;
 use websec_services::channel::ChannelError;
@@ -46,6 +48,19 @@ pub enum Error {
     /// and the other shards keep serving). Usually transient — poisoned
     /// sessions are evicted, so a retry re-establishes cleanly.
     ShardPoisoned(String),
+    /// `WS107`: the request's logical-tick deadline budget (set with
+    /// [`crate::request::QueryRequest::deadline_ticks`]) was exhausted
+    /// before evaluation completed — checked at queue-pop and again
+    /// immediately before evaluation. Not transient: retrying the same
+    /// budget against the same latency will fail the same way; callers
+    /// should widen the budget instead.
+    DeadlineExceeded(String),
+    /// `WS108`: admission control shed the request because the batch
+    /// exceeded the configured queue capacity
+    /// ([`crate::server::StackServer::set_queue_limit`]). Transient by
+    /// definition — the server refused the work without starting it, so a
+    /// retry after backoff is always safe.
+    Overloaded(String),
 }
 
 impl Error {
@@ -60,7 +75,27 @@ impl Error {
             Error::Misconfigured(_) => "WS104",
             Error::InvalidRequest(_) => "WS105",
             Error::ShardPoisoned(_) => "WS106",
+            Error::DeadlineExceeded(_) => "WS107",
+            Error::Overloaded(_) => "WS108",
         }
+    }
+
+    /// Whether a retry with backoff can reasonably succeed.
+    ///
+    /// Transient failures are transport-or-capacity conditions that clear
+    /// on their own: `WS103` (channel transit), `WS106` (poisoned session
+    /// evicted on failure, so the next attempt re-establishes), and
+    /// `WS108` (load shed before any work started). Everything else —
+    /// unknown documents, clearance refusals, malformed requests,
+    /// misconfiguration, exhausted deadlines — is deterministic and
+    /// retrying is wasted work. [`crate::server::StackServer::serve_with_retry`]
+    /// only retries errors for which this returns `true`.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Channel(_) | Error::ShardPoisoned(_) | Error::Overloaded(_)
+        )
     }
 }
 
@@ -76,6 +111,8 @@ impl std::fmt::Display for Error {
             Error::Misconfigured(m) => write!(f, "[{code}] stack misconfigured:\n{m}"),
             Error::InvalidRequest(m) => write!(f, "[{code}] invalid request: {m}"),
             Error::ShardPoisoned(m) => write!(f, "[{code}] degraded: {m}"),
+            Error::DeadlineExceeded(m) => write!(f, "[{code}] deadline exceeded: {m}"),
+            Error::Overloaded(m) => write!(f, "[{code}] overloaded: {m}"),
         }
     }
 }
@@ -111,6 +148,8 @@ impl From<Error> for StackError {
             Error::Misconfigured(m) => StackError::Misconfigured(m),
             Error::InvalidRequest(m) => StackError::Channel(m),
             Error::ShardPoisoned(m) => StackError::Channel(m),
+            Error::DeadlineExceeded(m) => StackError::Channel(m),
+            Error::Overloaded(m) => StackError::Channel(m),
             // `Error` is non_exhaustive within the crate too: route any
             // future variant through the transport bucket.
             #[allow(unreachable_patterns)]
@@ -132,12 +171,26 @@ mod tests {
             Error::Misconfigured("y".into()),
             Error::InvalidRequest("z".into()),
             Error::ShardPoisoned("w".into()),
+            Error::DeadlineExceeded("t".into()),
+            Error::Overloaded("o".into()),
         ];
         let codes: Vec<&str> = errors.iter().map(Error::code).collect();
         assert_eq!(
             codes,
-            vec!["WS101", "WS102", "WS103", "WS104", "WS105", "WS106"]
+            vec!["WS101", "WS102", "WS103", "WS104", "WS105", "WS106", "WS107", "WS108"]
         );
+    }
+
+    #[test]
+    fn transience_is_limited_to_transport_and_capacity() {
+        assert!(Error::Channel("x".into()).is_transient());
+        assert!(Error::ShardPoisoned("x".into()).is_transient());
+        assert!(Error::Overloaded("x".into()).is_transient());
+        assert!(!Error::UnknownDocument("d".into()).is_transient());
+        assert!(!Error::ClearanceViolation.is_transient());
+        assert!(!Error::Misconfigured("m".into()).is_transient());
+        assert!(!Error::InvalidRequest("m".into()).is_transient());
+        assert!(!Error::DeadlineExceeded("m".into()).is_transient());
     }
 
     #[test]

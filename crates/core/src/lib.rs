@@ -19,6 +19,11 @@
 //! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] API every query
 //!   flows through;
 //! * [`error`] — the unified [`Error`] with stable `WS1xx` codes;
+//! * [`faults`] — deterministic **fault injection** ([`FaultPlan`] rules
+//!   firing on seeded schedules at the channel/shard/cache/eval layers)
+//!   plus client-facing resilience policies: [`RetryPolicy`] backoff over
+//!   a logical clock, per-request deadline budgets (`WS107`), and
+//!   admission-control load shedding (`WS108`);
 //! * [`query`] — security-aware query processing (§3.1: "query processing
 //!   algorithms may need to take into consideration the access control
 //!   policies"), with view-first and filter-after strategies;
@@ -62,6 +67,7 @@
 
 pub mod blobs;
 pub mod error;
+pub mod faults;
 pub mod federation;
 pub mod metadata;
 pub mod query;
@@ -84,6 +90,9 @@ pub use websec_xml as xml;
 
 pub use blobs::{attach_blob, fetch_authorized, BlobError, BlobRef, BlobStore};
 pub use error::Error;
+pub use faults::{
+    FaultInjector, FaultKind, FaultLayer, FaultPlan, FaultRule, FaultSchedule, RetryPolicy,
+};
 pub use federation::{FederatedHit, Federation, Site};
 pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
@@ -97,6 +106,9 @@ pub use trust::{issue_voucher, TrustError, TrustStore, Voucher};
 /// Convenience glob import for examples and downstream users.
 pub mod prelude {
     pub use crate::error::Error;
+    pub use crate::faults::{
+        FaultInjector, FaultKind, FaultLayer, FaultPlan, FaultRule, FaultSchedule, RetryPolicy,
+    };
     pub use crate::federation::{FederatedHit, Federation, Site};
     pub use crate::query::{QueryStrategy, SecureQueryProcessor};
     pub use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};

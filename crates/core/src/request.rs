@@ -33,6 +33,7 @@ pub struct QueryRequest {
     path: Option<Path>,
     subject: SubjectProfile,
     clearance: Clearance,
+    deadline: Option<u64>,
 }
 
 impl QueryRequest {
@@ -44,6 +45,7 @@ impl QueryRequest {
             path: None,
             subject: SubjectProfile::new("anonymous"),
             clearance: Clearance(Level::Unclassified),
+            deadline: None,
         }
     }
 
@@ -65,6 +67,19 @@ impl QueryRequest {
     #[must_use]
     pub fn clearance(mut self, clearance: Clearance) -> Self {
         self.clearance = clearance;
+        self
+    }
+
+    /// Gives the request a deadline budget in **logical-clock ticks**
+    /// (see [`crate::server::StackServer::logical_now`]; the clock only
+    /// advances on injected slowdowns and retry backoffs, never on wall
+    /// time, so deadline behavior is deterministic). The budget is
+    /// converted to an absolute deadline when the server admits the
+    /// request and checked at queue-pop and again immediately before
+    /// evaluation; exhaustion yields `WS107`.
+    #[must_use]
+    pub fn deadline_ticks(mut self, budget: u64) -> Self {
+        self.deadline = Some(budget);
         self
     }
 
@@ -92,13 +107,25 @@ impl QueryRequest {
         self.clearance
     }
 
+    /// The deadline budget in logical ticks, if one has been set.
+    #[must_use]
+    pub fn deadline_budget(&self) -> Option<u64> {
+        self.deadline
+    }
+
     /// The singleflight key for batch coalescing: two requests with the
     /// same key are guaranteed the same answer under one validity token
     /// (evaluation is deterministic in identity, document, path, and
     /// clearance). `None` for pathless requests — they fail fast and are
     /// not worth sharing. Uses `\u{1F}` (ASCII unit separator) so field
-    /// values cannot collide into each other's positions.
+    /// values cannot collide into each other's positions. Also `None` for
+    /// deadline-carrying requests: a coalesced clone would inherit the
+    /// leader's timing, silently widening (or narrowing) the follower's
+    /// budget — deadline requests are always evaluated individually.
     pub(crate) fn coalesce_key(&self) -> Option<String> {
+        if self.deadline.is_some() {
+            return None;
+        }
         let path = self.path.as_ref()?;
         Some(format!(
             "{}\u{1f}{}\u{1f}{}\u{1f}{:?}",
@@ -163,6 +190,20 @@ mod tests {
         assert!(r.query_path().is_none());
         assert_eq!(r.subject_profile().identity, "anonymous");
         assert_eq!(r.clearance_level(), Clearance(Level::Unclassified));
+        assert_eq!(r.deadline_budget(), None);
+    }
+
+    #[test]
+    fn deadline_requests_never_coalesce() {
+        let path = Path::parse("//x").unwrap();
+        let plain = QueryRequest::for_doc("d.xml").path(path.clone());
+        assert!(plain.coalesce_key().is_some());
+        let budgeted = QueryRequest::for_doc("d.xml").path(path).deadline_ticks(8);
+        assert_eq!(budgeted.deadline_budget(), Some(8));
+        assert!(
+            budgeted.coalesce_key().is_none(),
+            "a deadline-carrying request must not share another request's evaluation"
+        );
     }
 
     #[test]

@@ -148,6 +148,14 @@ impl L2ViewCache {
         guard.views.insert(key, view);
     }
 
+    /// Drops one cached view (fault-injection `CacheEvict` hook: forces
+    /// the next lookup for `key` to recompute). A no-op when the entry is
+    /// absent.
+    pub fn remove(&self, key: &ViewKey) {
+        let shard = self.shard_for(&key.0);
+        shard.write().views.remove(key);
+    }
+
     /// Drops every cached view in every shard.
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -191,6 +199,11 @@ impl L1ViewCache {
     /// Caches a view locally under `token`.
     pub fn insert(&mut self, key: ViewKey, token: Token, view: Arc<Document>) {
         self.views.insert(key, (token, view));
+    }
+
+    /// Drops one local entry (fault-injection `CacheEvict` hook).
+    pub fn remove(&mut self, key: &ViewKey) {
+        self.views.remove(key);
     }
 }
 
@@ -245,6 +258,23 @@ mod tests {
         l1.insert(key.clone(), T0, doc());
         assert!(l1.lookup(&key, T0).is_some());
         assert!(l1.lookup(&key, T1).is_none(), "stale L1 entry served");
+    }
+
+    #[test]
+    fn remove_evicts_one_entry_from_both_levels() {
+        let l2 = L2ViewCache::new(4);
+        let key = ("alice".to_string(), "d.xml".to_string());
+        let other = ("alice".to_string(), "e.xml".to_string());
+        l2.insert(key.clone(), T0, doc());
+        l2.insert(other.clone(), T0, doc());
+        l2.remove(&key);
+        assert!(l2.lookup(&key, T0).is_none(), "removed L2 entry served");
+        assert!(l2.lookup(&other, T0).is_some(), "remove() evicted a neighbor");
+
+        let mut l1 = L1ViewCache::default();
+        l1.insert(key.clone(), T0, doc());
+        l1.remove(&key);
+        assert!(l1.lookup(&key, T0).is_none(), "removed L1 entry served");
     }
 
     #[test]

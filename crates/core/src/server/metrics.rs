@@ -128,6 +128,19 @@ pub struct MetricsSnapshot {
     /// Requests whose evaluation panicked (each answered with `WS106`
     /// instead of propagating the panic).
     pub worker_panics: u64,
+    /// Requests answered `WS107` because their logical-tick deadline
+    /// budget was exhausted (at queue-pop or immediately before eval).
+    pub deadline_exceeded: u64,
+    /// Requests answered `WS108` by admission control before any work
+    /// started (batch exceeded the configured queue capacity).
+    pub shed: u64,
+    /// Retry attempts performed by
+    /// [`crate::server::StackServer::serve_with_retry`] (each advanced the
+    /// logical clock by its backoff).
+    pub retries: u64,
+    /// Faults fired by the installed [`crate::faults::FaultPlan`] (0 unless
+    /// a plan is armed; one request can absorb several).
+    pub faults_injected: u64,
     /// Channel sessions established (one handshake each).
     pub sessions_established: u64,
     /// Requests that reused an existing session (handshakes avoided).
@@ -212,6 +225,10 @@ pub(crate) struct LocalMetrics {
     pub steals: u64,
     pub stolen_requests: u64,
     pub worker_panics: u64,
+    pub deadline_exceeded: u64,
+    pub shed: u64,
+    pub retries: u64,
+    pub faults_injected: u64,
     pub sessions_established: u64,
     pub session_reuses: u64,
     pub channel_ns: u64,
@@ -239,6 +256,10 @@ impl Default for LocalMetrics {
             steals: 0,
             stolen_requests: 0,
             worker_panics: 0,
+            deadline_exceeded: 0,
+            shed: 0,
+            retries: 0,
+            faults_injected: 0,
             sessions_established: 0,
             session_reuses: 0,
             channel_ns: 0,
@@ -293,6 +314,14 @@ impl LocalMetrics {
                 // A denial is the *result* of full enforcement.
                 self.enforced += 1;
             }
+            Err(Error::DeadlineExceeded(_)) => {
+                self.errors += 1;
+                self.deadline_exceeded += 1;
+            }
+            Err(Error::Overloaded(_)) => {
+                self.errors += 1;
+                self.shed += 1;
+            }
             Err(_) => {
                 self.errors += 1;
             }
@@ -315,6 +344,10 @@ pub(crate) struct MetricsInner {
     steals: AtomicU64,
     stolen_requests: AtomicU64,
     worker_panics: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
     sessions_established: AtomicU64,
     session_reuses: AtomicU64,
     channel_ns: AtomicU64,
@@ -342,6 +375,10 @@ impl Default for MetricsInner {
             steals: AtomicU64::new(0),
             stolen_requests: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             sessions_established: AtomicU64::new(0),
             session_reuses: AtomicU64::new(0),
             channel_ns: AtomicU64::new(0),
@@ -376,6 +413,10 @@ impl MetricsInner {
         add(&self.steals, local.steals);
         add(&self.stolen_requests, local.stolen_requests);
         add(&self.worker_panics, local.worker_panics);
+        add(&self.deadline_exceeded, local.deadline_exceeded);
+        add(&self.shed, local.shed);
+        add(&self.retries, local.retries);
+        add(&self.faults_injected, local.faults_injected);
         add(&self.sessions_established, local.sessions_established);
         add(&self.session_reuses, local.session_reuses);
         add(&self.channel_ns, local.channel_ns);
@@ -412,6 +453,10 @@ impl MetricsInner {
             steals: self.steals.load(Ordering::Relaxed),
             stolen_requests: self.stolen_requests.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             sessions_established: self.sessions_established.load(Ordering::Relaxed),
             session_reuses: self.session_reuses.load(Ordering::Relaxed),
             sessions_open: sum(|s| s.sessions_open),
@@ -461,6 +506,8 @@ mod tests {
         local.record_outcome(&ok_response(CacheStatus::Coalesced));
         local.record_outcome(&Err(Error::ClearanceViolation));
         local.record_outcome(&Err(Error::UnknownDocument("d".into())));
+        local.record_outcome(&Err(Error::DeadlineExceeded("budget".into())));
+        local.record_outcome(&Err(Error::Overloaded("queue full".into())));
         local.l1_hits = 1;
         local.steals = 2;
         local.stolen_requests = 5;
@@ -476,10 +523,12 @@ mod tests {
             l2_misses: 1,
             cached_views: 4,
         }]);
-        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.requests, 7);
         assert_eq!(snap.allowed, 3);
         assert_eq!(snap.denied, 1);
-        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.errors, 3);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.shed, 1);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.coalesced, 1);

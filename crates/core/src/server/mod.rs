@@ -30,6 +30,15 @@
 //!   shard, or a dead worker degrades to `WS106`
 //!   ([`Error::ShardPoisoned`]) answers for the affected requests; every
 //!   other shard and worker keeps serving.
+//! * **Deterministic fault injection & resilience policies** — a seeded
+//!   [`FaultPlan`] armed via [`StackServer::install_faults`] fires at the
+//!   four failure-capable layers (channel transit, shard lock acquisition,
+//!   cache lookup, worker evaluation) on replayable schedules; the no-plan
+//!   default costs one atomic load per request. On top: per-request
+//!   deadline budgets over a **logical clock** (`WS107`), admission-control
+//!   load shedding in [`StackServer::serve_batch`] (`WS108`), and
+//!   [`StackServer::serve_with_retry`] with decorrelated backoff
+//!   ([`RetryPolicy`]). See [`crate::faults`].
 //!
 //! Everything is observable through [`MetricsSnapshot`]: per-layer timing
 //! totals, the L1/L2 cache-hit split, steal and coalescing counters, and
@@ -46,10 +55,11 @@ mod metrics;
 mod shard;
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::error::Error;
+use crate::faults::{FaultContext, FaultInjector, FaultKind, FaultLayer, FaultPlan, RetryPolicy};
 use crate::request::{CacheStatus, QueryRequest, QueryResponse};
 use crate::stack::{SecureWebStack, ViewResolver};
 use cache::{L1ViewCache, L2ViewCache, Token, ViewKey};
@@ -85,6 +95,18 @@ pub struct StackServer {
     sessions: SessionShards,
     cache: L2ViewCache,
     metrics: MetricsInner,
+    /// The armed fault injector, if a chaos plan is installed. Guarded by
+    /// `faults_enabled` so the no-plan serving path pays one atomic load.
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    faults_enabled: AtomicBool,
+    /// The logical clock (ticks, not wall time): advanced only by injected
+    /// `SlowEval` faults, retry backoffs, and explicit
+    /// [`StackServer::advance_clock`] calls, so every deadline decision is
+    /// deterministic and replayable.
+    clock: AtomicU64,
+    /// Admission-control capacity per batch worker (0 = unlimited): a
+    /// batch larger than `limit × workers` has its tail shed with `WS108`.
+    queue_limit: AtomicUsize,
 }
 
 /// Worker-local serving state: the L1 view cache, a session-handle table,
@@ -94,6 +116,9 @@ struct WorkerState {
     l1: L1ViewCache,
     sessions: HashMap<String, Arc<Mutex<ChannelSession>>>,
     snapshot: Option<(u64, Arc<SecureWebStack>, Token)>,
+    /// Batch worker index (`None` on the single-request serve path);
+    /// worker-scoped fault rules match against it.
+    index: Option<usize>,
 }
 
 impl WorkerState {
@@ -119,6 +144,8 @@ struct CachedViews<'a> {
     l1: &'a mut L1ViewCache,
     token: Token,
     local: &'a mut LocalMetrics,
+    /// Cache-layer injection hook (`None` on every non-chaos path).
+    faults: Option<&'a FaultContext<'a>>,
 }
 
 impl ViewResolver for CachedViews<'_> {
@@ -130,6 +157,17 @@ impl ViewResolver for CachedViews<'_> {
         doc: &Document,
     ) -> (Arc<Document>, CacheStatus) {
         let key: ViewKey = (profile.identity.clone(), doc_name.to_string());
+        if let Some(ctx) = self.faults {
+            for kind in ctx.check(FaultLayer::Cache) {
+                if kind == FaultKind::CacheEvict {
+                    // Evict before lookup: the request recomputes its view
+                    // (correctness is unaffected — only hit counters move).
+                    self.local.faults_injected += 1;
+                    self.l1.remove(&key);
+                    self.l2.remove(&key);
+                }
+            }
+        }
         if let Some(view) = self.l1.lookup(&key, self.token) {
             self.local.l1_hits += 1;
             return (view, CacheStatus::Hit);
@@ -245,7 +283,79 @@ impl StackServer {
             sessions: SessionShards::new(shards),
             cache: L2ViewCache::new(shards),
             metrics: MetricsInner::default(),
+            faults: Mutex::new(None),
+            faults_enabled: AtomicBool::new(false),
+            clock: AtomicU64::new(0),
+            queue_limit: AtomicUsize::new(0),
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`] on this server and returns the
+    /// live [`FaultInjector`] so callers can assert the injected schedule
+    /// (per-rule fired counts) exactly. Replaces any previously installed
+    /// plan. While a plan is armed, the worker-local session-handle cache
+    /// is bypassed so every request deterministically traverses the
+    /// shard-layer hook; with no plan the serving path pays exactly one
+    /// atomic load.
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let injector = Arc::new(FaultInjector::new(plan));
+        *self
+            .faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(&injector));
+        self.faults_enabled.store(true, Ordering::Release);
+        injector
+    }
+
+    /// Disarms fault injection: subsequent requests serve normally (the
+    /// self-heal contract — evicted sessions re-establish, evicted views
+    /// recompute — is asserted by the chaos suite).
+    pub fn clear_faults(&self) {
+        self.faults_enabled.store(false, Ordering::Release);
+        *self
+            .faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
+    /// The armed injector, if any (one atomic load when faults are off).
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        if !self.faults_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.faults
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The logical clock, in ticks. It advances only on injected
+    /// `SlowEval` faults, retry backoffs, and [`StackServer::advance_clock`]
+    /// — never on wall time — so deadline behavior replays exactly.
+    #[must_use]
+    pub fn logical_now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the logical clock by `ticks`, returning the new value
+    /// (models elapsed work in tests and simulations).
+    pub fn advance_clock(&self, ticks: u64) -> u64 {
+        self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+
+    /// Caps each batch worker's run-queue depth for admission control: a
+    /// [`StackServer::serve_batch`] call with more than
+    /// `depth × workers` requests sheds the tail with `WS108`
+    /// ([`Error::Overloaded`]) before any work starts. `0` (the default)
+    /// disables shedding.
+    pub fn set_queue_limit(&self, per_worker_depth: usize) {
+        self.queue_limit.store(per_worker_depth, Ordering::Relaxed);
+    }
+
+    /// The configured per-worker admission depth (0 = unlimited).
+    #[must_use]
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit.load(Ordering::Relaxed)
     }
 
     /// Number of shards in the session table and L2 view cache.
@@ -341,27 +451,55 @@ impl StackServer {
 
     /// The full evaluation of one request against the current snapshot,
     /// using (and populating) the worker's local caches.
+    ///
+    /// `deadline` is an absolute logical-clock tick (computed from the
+    /// request's budget when the server admitted it); the budget is
+    /// re-checked here immediately before evaluation so a slow (injected)
+    /// wait between queue-pop and eval still surfaces as `WS107`.
     fn serve_one(
         &self,
         request: &QueryRequest,
         worker: &mut WorkerState,
         local: &mut LocalMetrics,
+        deadline: Option<u64>,
     ) -> Result<QueryResponse, Error> {
         let (stack, token) = worker.snapshot(self)?;
         let identity = &request.subject_profile().identity;
-        let session = match worker.sessions.get(identity) {
-            Some(session) => Arc::clone(session),
-            None => {
-                let session = self.sessions.get_or_establish(
-                    identity,
-                    &stack.session_key,
-                    stack.channel_protected,
-                    local,
-                )?;
-                worker
-                    .sessions
-                    .insert(identity.clone(), Arc::clone(&session));
-                session
+        let injector = self.injector();
+        let ctx = injector.as_ref().map(|inj| FaultContext {
+            injector: inj,
+            subject: identity,
+            doc: request.doc_name(),
+            worker: worker.index,
+        });
+        let session = if let Some(ctx) = &ctx {
+            // Chaos mode: bypass the worker-local session-handle cache so
+            // every request deterministically traverses the shard-layer
+            // hook (the L0 handle cache would otherwise hide the shard
+            // from all but the first request per worker).
+            self.sessions.get_or_establish(
+                identity,
+                &stack.session_key,
+                stack.channel_protected,
+                local,
+                Some(ctx),
+            )?
+        } else {
+            match worker.sessions.get(identity) {
+                Some(session) => Arc::clone(session),
+                None => {
+                    let session = self.sessions.get_or_establish(
+                        identity,
+                        &stack.session_key,
+                        stack.channel_protected,
+                        local,
+                        None,
+                    )?;
+                    worker
+                        .sessions
+                        .insert(identity.clone(), Arc::clone(&session));
+                    session
+                }
             }
         };
         let mut guard = match self.sessions.lock_session(identity, &session) {
@@ -377,11 +515,70 @@ impl StackServer {
                 )));
             }
         };
+        if let Some(ctx) = &ctx {
+            for kind in ctx.check(FaultLayer::Channel) {
+                match kind {
+                    FaultKind::ChannelDrop => {
+                        local.faults_injected += 1;
+                        return Err(Error::Channel(
+                            "injected fault: request record dropped in transit".into(),
+                        ));
+                    }
+                    FaultKind::ChannelTamper => {
+                        // Run the channel's *real* MAC rejection: seal the
+                        // query, flip a wire byte, open at the server end.
+                        local.faults_injected += 1;
+                        let payload = request
+                            .query_path()
+                            .map_or(String::new(), |p| p.source().to_string());
+                        return match guard.transit_to_server_tampered(payload.as_bytes()) {
+                            Err(e) => Err(Error::Channel(format!("injected tamper: {e}"))),
+                            // An unprotected channel has no MAC to refuse
+                            // corrupted bytes; the serving layer must not
+                            // evaluate a tampered query.
+                            Ok(_) => Err(Error::Channel(
+                                "injected tamper: unprotected channel delivered a corrupted \
+                                 record"
+                                    .into(),
+                            )),
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            for kind in ctx.check(FaultLayer::Eval) {
+                match kind {
+                    FaultKind::SlowEval { ticks } => {
+                        local.faults_injected += 1;
+                        self.clock.fetch_add(ticks, Ordering::Relaxed);
+                    }
+                    FaultKind::WorkerPanic => {
+                        local.faults_injected += 1;
+                        // Unwinds through serve_caught's boundary into a
+                        // WS106 answer; the held session guard poisons its
+                        // mutex, exercising the eviction/self-heal path —
+                        // the panic IS the injected fault.
+                        panic!("injected fault: worker panic for '{identity}'"); // lint:allow(panic)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(deadline) = deadline {
+            let now = self.clock.load(Ordering::Relaxed);
+            if now > deadline {
+                return Err(Error::DeadlineExceeded(format!(
+                    "budget exhausted before evaluation (logical clock {now} past deadline \
+                     {deadline})"
+                )));
+            }
+        }
         let mut resolver = CachedViews {
             l2: &self.cache,
             l1: &mut worker.l1,
             token,
             local,
+            faults: ctx.as_ref(),
         };
         stack.execute_in_session(request, &mut guard, &mut resolver)
     }
@@ -393,9 +590,10 @@ impl StackServer {
         request: &QueryRequest,
         worker: &mut WorkerState,
         local: &mut LocalMetrics,
+        deadline: Option<u64>,
     ) -> Result<QueryResponse, Error> {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.serve_one(request, worker, local)
+            self.serve_one(request, worker, local, deadline)
         }));
         caught.unwrap_or_else(|_| {
             local.worker_panics += 1;
@@ -408,14 +606,77 @@ impl StackServer {
 
     /// Serves one request: session lookup (handshake only on first
     /// contact), the four-layer evaluation with the token-checked view
-    /// caches plugged in, and metrics accounting.
+    /// caches plugged in, and metrics accounting. Runs behind the same
+    /// panic boundary as batch workers, so an injected (or real) panic
+    /// degrades to `WS106` instead of unwinding into the caller.
     pub fn serve(&self, request: &QueryRequest) -> Result<QueryResponse, Error> {
         let mut worker = WorkerState::default();
         let mut local = LocalMetrics::default();
-        let result = self.serve_one(request, &mut worker, &mut local);
+        let deadline = request
+            .deadline_budget()
+            .map(|budget| self.clock.load(Ordering::Relaxed).saturating_add(budget));
+        let result = self.serve_caught(request, &mut worker, &mut local, deadline);
         local.record_outcome(&result);
         self.metrics.absorb(&local);
         result
+    }
+
+    /// [`StackServer::serve`] wrapped in the bounded-retry loop of a
+    /// [`RetryPolicy`]: transient failures ([`Error::is_transient`] —
+    /// channel faults, poisoned shards, overload) are retried up to
+    /// `policy.max_attempts` total attempts. Each retry first advances the
+    /// logical clock by a decorrelated-jitter backoff (salted by the
+    /// request's subject and document so distinct requests desynchronize),
+    /// and a request-level deadline budget bounds the whole sequence:
+    /// once the clock passes it, the loop stops with `WS107` without
+    /// issuing another attempt.
+    pub fn serve_with_retry(
+        &self,
+        request: &QueryRequest,
+        policy: &RetryPolicy,
+    ) -> Result<QueryResponse, Error> {
+        let overall = request
+            .deadline_budget()
+            .map(|budget| self.clock.load(Ordering::Relaxed).saturating_add(budget));
+        let salt = shard::identity_hash(&format!(
+            "{}\u{1f}{}",
+            request.subject_profile().identity,
+            request.doc_name()
+        ));
+        let attempts = policy.max_attempts.max(1);
+        let mut prev = policy.base_ticks.max(1);
+        let mut last_transient = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let backoff = policy.backoff_ticks(attempt, prev, salt);
+                prev = backoff;
+                self.clock.fetch_add(backoff, Ordering::Relaxed);
+                let mut local = LocalMetrics::default();
+                local.retries = 1;
+                self.metrics.absorb(&local);
+            }
+            if let Some(deadline) = overall {
+                let now = self.clock.load(Ordering::Relaxed);
+                if now > deadline {
+                    let result = Err(Error::DeadlineExceeded(format!(
+                        "retry budget exhausted after {attempt} attempt(s) (logical clock \
+                         {now} past deadline {deadline})"
+                    )));
+                    let mut local = LocalMetrics::default();
+                    local.record_outcome(&result);
+                    self.metrics.absorb(&local);
+                    return result;
+                }
+            }
+            match self.serve(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_transient() => last_transient = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_transient.unwrap_or_else(|| {
+            Error::InvalidRequest("retry policy allowed zero attempts".into())
+        }))
     }
 
     /// Serves a batch of requests across `workers` threads.
@@ -430,6 +691,17 @@ impl StackServer {
     /// A panicking evaluation or poisoned shard answers the affected
     /// requests with `WS106` ([`Error::ShardPoisoned`]); the rest of the
     /// batch completes normally.
+    ///
+    /// **Admission control**: when a queue limit is configured
+    /// ([`StackServer::set_queue_limit`]), at most `limit × workers`
+    /// requests are admitted; the tail of the batch is shed with `WS108`
+    /// ([`Error::Overloaded`]) before any evaluation starts — shedding is
+    /// positional and deterministic, so the same batch against the same
+    /// limit always sheds the same requests. **Deadlines**: each admitted
+    /// request's budget is converted to an absolute logical-clock deadline
+    /// at batch entry and checked when a worker pops the request (and
+    /// again pre-eval); an exhausted budget answers `WS107` without
+    /// evaluating.
     pub fn serve_batch(
         &self,
         requests: &[QueryRequest],
@@ -438,16 +710,28 @@ impl StackServer {
         if requests.is_empty() {
             return Vec::new();
         }
-        let workers = workers.max(1).min(requests.len());
+        let requested_workers = workers.max(1);
+        let limit = self.queue_limit.load(Ordering::Relaxed);
+        let admitted = if limit == 0 {
+            requests.len()
+        } else {
+            requests.len().min(limit.saturating_mul(requested_workers))
+        };
+        let workers = requested_workers.min(admitted);
+        let entry_tick = self.clock.load(Ordering::Relaxed);
+        let deadlines: Vec<Option<u64>> = requests[..admitted]
+            .iter()
+            .map(|r| r.deadline_budget().map(|b| entry_tick.saturating_add(b)))
+            .collect();
         // Contiguous index chunks, one run queue per worker.
-        let chunk = requests.len().div_euclid(workers).max(1);
+        let chunk = admitted.div_euclid(workers).max(1);
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| {
                 let start = w * chunk;
                 let end = if w + 1 == workers {
-                    requests.len()
+                    admitted
                 } else {
-                    ((w + 1) * chunk).min(requests.len())
+                    ((w + 1) * chunk).min(admitted)
                 };
                 Mutex::new((start..end).collect())
             })
@@ -456,12 +740,26 @@ impl StackServer {
 
         let mut out: Vec<Option<Result<QueryResponse, Error>>> = Vec::new();
         out.resize_with(requests.len(), || None);
+        if admitted < requests.len() {
+            let mut local = LocalMetrics::default();
+            for slot in out.iter_mut().skip(admitted) {
+                let result = Err(Error::Overloaded(format!(
+                    "admission control shed this request: batch of {} exceeds queue capacity \
+                     {admitted} ({workers} worker(s) x depth {limit})",
+                    requests.len()
+                )));
+                local.record_outcome(&result);
+                *slot = Some(result);
+            }
+            self.metrics.absorb(&local);
+        }
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queues = &queues;
                     let coalesce = &coalesce;
-                    scope.spawn(move || self.worker_loop(w, requests, queues, coalesce))
+                    let deadlines = &deadlines;
+                    scope.spawn(move || self.worker_loop(w, requests, deadlines, queues, coalesce))
                 })
                 .collect();
             for handle in handles {
@@ -503,14 +801,32 @@ impl StackServer {
         &self,
         worker_index: usize,
         requests: &[QueryRequest],
+        deadlines: &[Option<u64>],
         queues: &[Mutex<VecDeque<usize>>],
         coalesce: &CoalesceMap,
     ) -> Vec<(usize, Result<QueryResponse, Error>)> {
-        let mut worker = WorkerState::default();
+        let mut worker = WorkerState {
+            index: Some(worker_index),
+            ..WorkerState::default()
+        };
         let mut local = LocalMetrics::default();
         let mut done = Vec::new();
         while let Some(i) = Self::next_index(worker_index, queues, &mut local) {
             let request = &requests[i];
+            // Queue-pop deadline check: work that waited past its budget
+            // is answered WS107 without paying for an evaluation.
+            if let Some(deadline) = deadlines[i] {
+                let now = self.clock.load(Ordering::Relaxed);
+                if now > deadline {
+                    let result = Err(Error::DeadlineExceeded(format!(
+                        "deadline passed while queued (logical clock {now} past deadline \
+                         {deadline})"
+                    )));
+                    local.record_outcome(&result);
+                    done.push((i, result));
+                    continue;
+                }
+            }
             let key = match request.coalesce_key() {
                 Some(material) => worker
                     .snapshot(self)
@@ -519,9 +835,10 @@ impl StackServer {
                 None => None,
             };
             let Some(key) = key else {
-                // Malformed (pathless) requests fail cheaply and snapshot
-                // failures must report per-request errors: neither shares.
-                let result = self.serve_caught(request, &mut worker, &mut local);
+                // Malformed (pathless) requests fail cheaply, snapshot
+                // failures must report per-request errors, and deadline
+                // requests must not inherit a leader's timing: none share.
+                let result = self.serve_caught(request, &mut worker, &mut local, deadlines[i]);
                 local.record_outcome(&result);
                 done.push((i, result));
                 continue;
@@ -534,7 +851,7 @@ impl StackServer {
                 }
                 Claim::Queued => {} // the evaluating worker will answer `i`
                 Claim::Mine => {
-                    let result = self.serve_caught(request, &mut worker, &mut local);
+                    let result = self.serve_caught(request, &mut worker, &mut local, deadlines[i]);
                     local.record_outcome(&result);
                     for waiter in coalesce.complete(&key, &result) {
                         let shared = coalesced(result.clone());
@@ -769,7 +1086,13 @@ mod tests {
             let (stack, _) = server.snapshot_with_token().unwrap();
             server
                 .sessions
-                .get_or_establish("doctor", &stack.session_key, stack.channel_protected, &mut local)
+                .get_or_establish(
+                    "doctor",
+                    &stack.session_key,
+                    stack.channel_protected,
+                    &mut local,
+                    None,
+                )
                 .unwrap()
         };
         let _ = std::thread::scope(|scope| {

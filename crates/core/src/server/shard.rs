@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 use super::metrics::{LocalMetrics, ShardStats};
 use crate::error::Error;
+use crate::faults::{FaultContext, FaultKind, FaultLayer};
 use websec_services::ChannelSession;
 
 /// FNV-1a over the identity bytes: stable, dependency-free, and good
@@ -85,14 +86,34 @@ impl SessionShards {
     /// contact. Only the identity's shard is locked; a poisoned shard
     /// yields `WS106` for identities routed to it while every other shard
     /// keeps serving.
+    ///
+    /// `faults` is the shard-layer injection hook: a firing `LockPoison`
+    /// rule makes this acquisition behave exactly as a genuinely poisoned
+    /// shard (`WS106` + the identity's session evicted so the next request
+    /// re-establishes cleanly). `None` — the default on every non-chaos
+    /// path — is a no-op.
     pub fn get_or_establish(
         &self,
         identity: &str,
         master_key: &[u8; 32],
         protected: bool,
         local: &mut LocalMetrics,
+        faults: Option<&FaultContext<'_>>,
     ) -> Result<Arc<Mutex<ChannelSession>>, Error> {
         let shard = &self.shards[self.shard_index(identity)];
+        if let Some(ctx) = faults {
+            for kind in ctx.check(FaultLayer::Shard) {
+                if kind == FaultKind::LockPoison {
+                    local.faults_injected += 1;
+                    if let Some(mut map) = lock_counting(&shard.map, &shard.lock_waits) {
+                        map.remove(identity);
+                    }
+                    return Err(Error::ShardPoisoned(format!(
+                        "injected fault: session shard lock for identity '{identity}' poisoned"
+                    )));
+                }
+            }
+        }
         let mut map = lock_counting(&shard.map, &shard.lock_waits).ok_or_else(|| {
             Error::ShardPoisoned(format!(
                 "session shard for identity '{identity}' poisoned by a panicked worker"
@@ -174,8 +195,8 @@ mod tests {
         let shards = SessionShards::new(4);
         let mut local = LocalMetrics::default();
         let key = [7u8; 32];
-        let first = shards.get_or_establish("alice", &key, true, &mut local).unwrap();
-        let again = shards.get_or_establish("alice", &key, true, &mut local).unwrap();
+        let first = shards.get_or_establish("alice", &key, true, &mut local, None).unwrap();
+        let again = shards.get_or_establish("alice", &key, true, &mut local, None).unwrap();
         assert!(Arc::ptr_eq(&first, &again));
         assert_eq!(local.sessions_established, 1);
         assert_eq!(local.session_reuses, 1);
@@ -187,9 +208,9 @@ mod tests {
         let shards = SessionShards::new(4);
         let mut local = LocalMetrics::default();
         let key = [7u8; 32];
-        let first = shards.get_or_establish("bob", &key, true, &mut local).unwrap();
+        let first = shards.get_or_establish("bob", &key, true, &mut local, None).unwrap();
         shards.evict("bob");
-        let second = shards.get_or_establish("bob", &key, true, &mut local).unwrap();
+        let second = shards.get_or_establish("bob", &key, true, &mut local, None).unwrap();
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(local.sessions_established, 2);
     }
@@ -199,7 +220,7 @@ mod tests {
         let shards = SessionShards::new(1); // everything routes to shard 0
         let mut local = LocalMetrics::default();
         let key = [7u8; 32];
-        shards.get_or_establish("alice", &key, true, &mut local).unwrap();
+        shards.get_or_establish("alice", &key, true, &mut local, None).unwrap();
         // Poison the shard map mutex by panicking while holding it.
         let shard_map = &shards.shards[0].map;
         let _ = std::thread::scope(|scope| {
@@ -210,7 +231,7 @@ mod tests {
                 })
                 .join()
         });
-        let err = match shards.get_or_establish("carol", &key, true, &mut local) {
+        let err = match shards.get_or_establish("carol", &key, true, &mut local, None) {
             Err(e) => e,
             Ok(_) => panic!("poisoned shard served a session"),
         };

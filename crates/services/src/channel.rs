@@ -167,6 +167,35 @@ impl ChannelSession {
         self.server.open(&wire)
     }
 
+    /// Transits a request payload client → server with the record
+    /// **tampered in flight** (last byte flipped): the fault-injection
+    /// seam for exercising the channel's genuine MAC rejection end to end.
+    ///
+    /// On a protected channel this always returns
+    /// [`ChannelError::BadRecord`] from the real `open` path, and the
+    /// client's send sequence is rewound so the session models a
+    /// retransmission of the authentic record — the session stays usable
+    /// and the tamper is observable-but-recoverable, exactly the
+    /// man-in-the-middle the paper's layer-1 threat model assumes. On an
+    /// unprotected channel there is no MAC to reject the corruption, so
+    /// the corrupted bytes are delivered as `Ok` — callers deciding to
+    /// fail such requests must do so themselves (the serving layer maps
+    /// this to `WS103`).
+    pub fn transit_to_server_tampered(&mut self, payload: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        self.requests += 1;
+        let mut wire = self.client.seal(payload);
+        if let Some(last) = wire.last_mut() {
+            *last ^= 1;
+        }
+        let result = self.server.open(&wire);
+        if result.is_err() && self.client.protected {
+            // The authentic record was never delivered: rewind the client
+            // so its next seal reuses this sequence number (retransmit).
+            self.client.send_seq -= 1;
+        }
+        result
+    }
+
     /// Transits a response payload server → client.
     pub fn transit_to_client(&mut self, payload: &[u8]) -> Result<Vec<u8>, ChannelError> {
         let wire = self.server.seal(payload);
@@ -275,6 +304,28 @@ mod tests {
             assert_eq!(s.transit_to_client(r.as_bytes()).unwrap(), r.as_bytes());
         }
         assert_eq!(s.requests(), 20);
+    }
+
+    #[test]
+    fn tampered_transit_is_rejected_and_session_stays_usable() {
+        let mut s = ChannelSession::establish(&[9u8; 32], "alice", true);
+        assert!(s.transit_to_server(b"first").is_ok());
+        assert_eq!(
+            s.transit_to_server_tampered(b"evil").unwrap_err(),
+            ChannelError::BadRecord
+        );
+        // The rewind models a retransmission: the session keeps serving
+        // with aligned sequence numbers after the tampered record.
+        assert_eq!(s.transit_to_server(b"second").unwrap(), b"second");
+        assert_eq!(s.requests(), 3);
+    }
+
+    #[test]
+    fn tampered_transit_on_unprotected_channel_delivers_corrupted_bytes() {
+        let mut s = ChannelSession::establish(&[9u8; 32], "alice", false);
+        let delivered = s.transit_to_server_tampered(b"clear").unwrap();
+        assert_ne!(delivered, b"clear", "corruption must be visible");
+        assert!(s.transit_to_server(b"next").is_ok());
     }
 
     #[test]

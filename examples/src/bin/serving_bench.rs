@@ -11,7 +11,12 @@
 //!   semantics: each request is answered in isolation);
 //! * **sweep** — `serve_batch` over the sharded engine at 1/2/4/8 workers,
 //!   emitting a scaling curve with the per-run coalescing / steal /
-//!   lock-wait counters.
+//!   lock-wait counters;
+//! * **faulted** — serial vs headline-width batch under a seeded ~10%
+//!   fault-injection plan (channel drops, cache evictions, slow
+//!   evaluations) with admission control engaged: the batch engine must
+//!   keep its edge while faults are landing (`faulted_parallel_qps >=
+//!   faulted_serial_qps` is gated by check.sh).
 //!
 //! The batch engine's edge is architectural, not just core-count: a batch
 //! declares its requests up front, so identical requests coalesce onto one
@@ -37,6 +42,26 @@ const REQUESTS: usize = 4096;
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// The sweep point the headline speedup is read at (ISSUE acceptance bar).
 const HEADLINE_WORKERS: usize = 4;
+/// Seed of the chaos plan the faulted section runs under (replayable).
+const FAULT_SEED: u64 = 0xC0FFEE;
+/// Admission-control depth for the faulted batch run: admits
+/// `FAULTED_QUEUE_DEPTH × HEADLINE_WORKERS` requests per batch and sheds
+/// the rest with `WS108`, so the bench exercises load shedding too.
+const FAULTED_QUEUE_DEPTH: usize = 960;
+
+/// ~10% aggregate injected-fault rate across three layers: dropped channel
+/// records (transient `WS103`), evicted cache entries (forced recompute),
+/// and slow evaluations (logical-clock ticks). All schedules are seeded,
+/// so the faulted numbers replay exactly.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::seeded(FAULT_SEED)
+        .rule(FaultRule::new(FaultKind::ChannelDrop).on(FaultSchedule::Random { permille: 40 }))
+        .rule(FaultRule::new(FaultKind::CacheEvict).on(FaultSchedule::Random { permille: 40 }))
+        .rule(
+            FaultRule::new(FaultKind::SlowEval { ticks: 1 })
+                .on(FaultSchedule::Random { permille: 20 }),
+        )
+}
 
 fn build_stack() -> SecureWebStack {
     let mut stack = SecureWebStack::new([7u8; 32]);
@@ -179,8 +204,39 @@ fn main() {
         sweep.push(point);
     }
 
+    // Faulted section: the same workload under the seeded ~10% chaos plan,
+    // serial vs headline-width batch. The batch engine must keep its edge
+    // when faults are landing — check.sh gates on it.
+    let faulted_serial = StackServer::new(build_stack());
+    faulted_serial.install_faults(fault_plan());
+    for request in &requests {
+        let _ = faulted_serial.serve(request);
+    }
+    let t = Instant::now();
+    for request in &requests {
+        let _ = faulted_serial.serve(request);
+    }
+    let faulted_serial_secs = t.elapsed().as_secs_f64();
+
+    let faulted = StackServer::new(build_stack());
+    let injector = faulted.install_faults(fault_plan());
+    faulted.set_queue_limit(FAULTED_QUEUE_DEPTH);
+    let _ = faulted.serve_batch(&requests, HEADLINE_WORKERS);
+    let t = Instant::now();
+    let _ = faulted.serve_batch(&requests, HEADLINE_WORKERS);
+    let faulted_parallel_secs = t.elapsed().as_secs_f64();
+    let faulted_metrics = faulted.metrics();
+    let faulted_injected = injector.fired_total();
+
     let legacy_qps = qps(REQUESTS, legacy_secs);
     let serial_qps = qps(REQUESTS, serial_secs);
+    let faulted_serial_qps = qps(REQUESTS, faulted_serial_secs);
+    let faulted_parallel_qps = qps(REQUESTS, faulted_parallel_secs);
+    let faulted_speedup = if faulted_serial_qps > 0.0 {
+        faulted_parallel_qps / faulted_serial_qps
+    } else {
+        0.0
+    };
     let (metrics, headline_secs) = headline.expect("sweep contains the headline point");
     let parallel_qps = qps(REQUESTS, headline_secs);
     let speedup = if serial_qps > 0.0 {
@@ -217,6 +273,11 @@ fn main() {
          \"session_lock_waits\": {},\n  \"cache_lock_waits\": {},\n  \"worker_panics\": {},\n  \
          \"sessions_established\": {},\n  \"session_reuses\": {},\n  \"denied\": {},\n  \
          \"p50_upper_ns\": {},\n  \"p99_upper_ns\": {},\n  \"mean_latency_ns\": {:.0},\n  \
+         \"fault_seed\": {FAULT_SEED},\n  \"faulted_serial_qps\": {faulted_serial_qps:.1},\n  \
+         \"faulted_parallel_qps\": {faulted_parallel_qps:.1},\n  \
+         \"faulted_speedup\": {faulted_speedup:.2},\n  \
+         \"faulted_injected\": {faulted_injected},\n  \"faulted_shed\": {},\n  \
+         \"faulted_errors\": {},\n  \"faulted_deadline_exceeded\": {},\n  \
          \"sweep\": [\n{}\n  ]\n}}\n",
         metrics.per_shard.len(),
         if legacy_qps > 0.0 { serial_qps / legacy_qps } else { 0.0 },
@@ -234,6 +295,9 @@ fn main() {
         metrics.latency.quantile_upper_ns(0.5),
         metrics.latency.quantile_upper_ns(0.99),
         metrics.latency.mean_ns(),
+        faulted_metrics.shed,
+        faulted_metrics.errors,
+        faulted_metrics.deadline_exceeded,
         sweep_json.join(",\n")
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
@@ -260,6 +324,13 @@ fn main() {
         metrics.cache_hit_rate() * 100.0,
         metrics.sessions_established,
         metrics.session_reuses
+    );
+    println!(
+        "  faulted (seed {FAULT_SEED:#x}, ~10% injected): serial {faulted_serial_qps:>8.0} q/s, \
+         x{HEADLINE_WORKERS} batch {faulted_parallel_qps:>8.0} q/s = {faulted_speedup:.2}x  \
+         (injected {faulted_injected}, shed {}, errors {})",
+        faulted_metrics.shed,
+        faulted_metrics.errors
     );
     println!("  wrote BENCH_serving.json");
 }

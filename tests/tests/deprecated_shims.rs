@@ -1,0 +1,326 @@
+//! Equivalence tests for every remaining `#[deprecated]` shim: each shim
+//! family gets one module asserting the legacy surface returns exactly
+//! what its replacement returns, so the shims can be deleted next release
+//! with confidence that nothing diverged in the meantime.
+
+#![allow(deprecated)]
+
+/// The positional `SecureWebStack::query()` shim over the
+/// `QueryRequest`/`execute()` API.
+mod stack_query_shim {
+    use websec_core::policy::mls::ContextLabel;
+    use websec_core::prelude::*;
+
+    fn build_stack() -> SecureWebStack {
+        let mut stack = SecureWebStack::new([4u8; 32]);
+        stack.add_document(
+            "h.xml",
+            Document::parse(
+                "<hospital><patient id=\"p1\"><name>Alice</name></patient>\
+                 <admin><budget>9</budget></admin></hospital>",
+            )
+            .unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        stack.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("doctor".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+        stack
+    }
+
+    #[test]
+    fn query_matches_execute_for_allowed_and_empty_views() {
+        let stack = build_stack();
+        let mut legacy = build_stack();
+        for (identity, path_src) in [
+            ("doctor", "//patient"),
+            ("doctor", "//patient/name"),
+            ("doctor", "//admin"),
+            ("outsider", "//patient"),
+        ] {
+            let profile = SubjectProfile::new(identity);
+            let path = Path::parse(path_src).unwrap();
+            let request = QueryRequest::for_doc("h.xml")
+                .path(path.clone())
+                .subject(&profile)
+                .clearance(Clearance(Level::Unclassified));
+            let modern = stack.execute(&request).unwrap();
+            let (legacy_xml, legacy_timings) = legacy
+                .query(&profile, Clearance(Level::Unclassified), "h.xml", &path)
+                .unwrap();
+            assert_eq!(
+                legacy_xml, modern.xml,
+                "query()/execute() diverged for {identity} on {path_src}"
+            );
+            assert!(legacy_timings.total_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn query_matches_execute_on_errors() {
+        let stack = build_stack();
+        let mut legacy = build_stack();
+        let profile = SubjectProfile::new("doctor");
+        let path = Path::parse("//x").unwrap();
+        let request = QueryRequest::for_doc("missing.xml")
+            .path(path.clone())
+            .subject(&profile)
+            .clearance(Clearance(Level::Unclassified));
+        assert_eq!(stack.execute(&request).unwrap_err().code(), "WS101");
+        assert!(legacy
+            .query(&profile, Clearance(Level::Unclassified), "missing.xml", &path)
+            .is_err());
+    }
+}
+
+/// The `ServerMetrics` type alias and the deprecated `cached_views()` /
+/// `session_count()` accessors over `metrics()`.
+mod server_metrics_shims {
+    use websec_core::policy::mls::ContextLabel;
+    use websec_core::prelude::*;
+
+    fn server() -> StackServer {
+        let mut stack = SecureWebStack::new([4u8; 32]);
+        stack.add_document(
+            "h.xml",
+            Document::parse("<h><a id=\"x\">1</a></h>").unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        stack.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        ));
+        StackServer::new(stack)
+    }
+
+    #[test]
+    fn alias_and_accessors_agree_with_the_snapshot() {
+        let server = server();
+        for i in 0..6 {
+            let request = QueryRequest::for_doc("h.xml")
+                .path(Path::parse("//a").unwrap())
+                .subject(&SubjectProfile::new(&format!("reader-{}", i % 3)))
+                .clearance(Clearance(Level::Unclassified));
+            server.serve(&request).unwrap();
+        }
+        // The alias is the same type: a snapshot binds under either name.
+        let snapshot: ServerMetrics = server.metrics();
+        let modern: MetricsSnapshot = server.metrics();
+        assert_eq!(snapshot.requests, modern.requests);
+        assert_eq!(snapshot.requests, 6);
+        // Deprecated counters mirror their snapshot replacements.
+        assert_eq!(server.cached_views() as u64, modern.cached_views);
+        assert_eq!(server.session_count() as u64, modern.sessions_open);
+        assert_eq!(modern.sessions_open, 3);
+        assert_eq!(modern.cached_views, 3);
+    }
+}
+
+/// The `Registry` alias and the positional UDDI inquiry shims over the
+/// `InquiryRequest` builder + `inquire()` entry point.
+mod uddi_inquiry_shims {
+    use websec_core::prelude::*;
+    use websec_core::uddi::{
+        BindingTemplate, BusinessEntity, BusinessService, FindQualifier, InquiryRequest,
+        InquiryResponse, PublisherAssertion, Registry, TModel, UddiRegistry,
+    };
+
+    fn fixture() -> UddiRegistry {
+        let mut registry = UddiRegistry::new();
+        let mut acme = BusinessEntity::new("biz-acme", "Acme Healthcare");
+        let mut scheduling = BusinessService::new("svc-sched", "Appointment Scheduling");
+        scheduling.binding_templates.push(BindingTemplate {
+            binding_key: "bind-1".into(),
+            access_point: "https://acme.example/soap".into(),
+            description: "production".into(),
+            tmodel_keys: vec!["uddi:tm-sched".into()],
+        });
+        acme.services.push(scheduling);
+        registry.save_business(acme);
+        registry.save_business(BusinessEntity::new("biz-beta", "Beta Records"));
+        registry.save_tmodel(TModel::new("uddi:tm-sched", "Scheduling Interface"));
+        registry.add_assertion(PublisherAssertion {
+            from_key: "biz-acme".into(),
+            to_key: "biz-beta".into(),
+            relationship: "peer-peer".into(),
+        });
+        registry.add_assertion(PublisherAssertion {
+            from_key: "biz-beta".into(),
+            to_key: "biz-acme".into(),
+            relationship: "peer-peer".into(),
+        });
+        registry.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity("agent".into()),
+            ObjectSpec::Document("biz-acme".into()),
+            Privilege::Read,
+        ));
+        registry
+    }
+
+    #[test]
+    fn registry_alias_is_the_same_type() {
+        let mut registry: Registry = Registry::new();
+        registry.save_business(BusinessEntity::new("biz-1", "Gamma"));
+        assert_eq!(registry.business_count(), 1);
+        let response = registry
+            .inquire(&InquiryRequest::find_business().name_approx("gam"))
+            .unwrap();
+        match response {
+            InquiryResponse::Businesses(rows) => assert_eq!(rows[0].business_key, "biz-1"),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn find_shims_match_inquire() {
+        let registry = fixture();
+        let q = FindQualifier::NameApprox("acme".into());
+        match registry
+            .inquire(&InquiryRequest::find_business().qualifier(q.clone()))
+            .unwrap()
+        {
+            InquiryResponse::Businesses(rows) => assert_eq!(rows, registry.find_business(&q)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let q = FindQualifier::UsesTModel("uddi:tm-sched".into());
+        match registry
+            .inquire(&InquiryRequest::find_service().qualifier(q.clone()))
+            .unwrap()
+        {
+            InquiryResponse::Services(rows) => assert_eq!(rows, registry.find_service(&q)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let q = FindQualifier::NameApprox("sched".into());
+        match registry
+            .inquire(&InquiryRequest::find_tmodel().qualifier(q.clone()))
+            .unwrap()
+        {
+            InquiryResponse::TModels(rows) => {
+                let legacy = registry.find_tmodel(&q);
+                assert_eq!(
+                    rows.iter()
+                        .map(|tm| (tm.tmodel_key.clone(), tm.name.clone()))
+                        .collect::<Vec<_>>(),
+                    legacy
+                );
+                assert!(!legacy.is_empty());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match registry
+            .inquire(&InquiryRequest::find_related("biz-acme"))
+            .unwrap()
+        {
+            InquiryResponse::RelatedBusinesses(keys) => {
+                assert_eq!(keys, registry.find_related_businesses("biz-acme"));
+                assert_eq!(keys, vec!["biz-beta".to_string()]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drill_down_shims_match_inquire() {
+        let registry = fixture();
+        match registry
+            .inquire(&InquiryRequest::get_business("biz-acme"))
+            .unwrap()
+        {
+            InquiryResponse::BusinessDetail(be) => {
+                assert_eq!(&be, registry.get_business_detail("biz-acme").unwrap());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match registry
+            .inquire(&InquiryRequest::get_service("svc-sched"))
+            .unwrap()
+        {
+            InquiryResponse::ServiceDetail {
+                business_key,
+                service,
+            } => {
+                let (legacy_key, legacy_svc) = registry.get_service_detail("svc-sched").unwrap();
+                assert_eq!(business_key, legacy_key);
+                assert_eq!(&service, legacy_svc);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match registry
+            .inquire(&InquiryRequest::get_binding("bind-1"))
+            .unwrap()
+        {
+            InquiryResponse::BindingDetail(bt) => {
+                assert_eq!(&bt, registry.get_binding_detail("bind-1").unwrap());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match registry
+            .inquire(&InquiryRequest::get_tmodel("uddi:tm-sched"))
+            .unwrap()
+        {
+            InquiryResponse::TModelDetail(tm) => {
+                assert_eq!(&tm, registry.get_tmodel_detail("uddi:tm-sched").unwrap());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Unknown keys err identically through both surfaces.
+        assert_eq!(
+            registry
+                .inquire(&InquiryRequest::get_business("biz-none"))
+                .unwrap_err(),
+            registry.get_business_detail("biz-none").unwrap_err()
+        );
+    }
+
+    #[test]
+    fn access_controlled_shims_match_inquire() {
+        let registry = fixture();
+        let agent = SubjectProfile::new("agent");
+        let outsider = SubjectProfile::new("outsider");
+
+        match registry
+            .inquire(&InquiryRequest::get_business("biz-acme").on_behalf_of(&agent))
+            .unwrap()
+        {
+            InquiryResponse::AuthorizedBusinessView(view) => {
+                let legacy = registry.get_business_detail_for("biz-acme", &agent).unwrap();
+                assert_eq!(view.to_xml_string(), legacy.to_xml_string());
+                assert!(view.to_xml_string().contains("Acme Healthcare"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Denied identically through both surfaces.
+        assert!(registry
+            .inquire(&InquiryRequest::get_business("biz-acme").on_behalf_of(&outsider))
+            .is_err());
+        assert!(registry
+            .get_business_detail_for("biz-acme", &outsider)
+            .is_err());
+
+        let q = FindQualifier::NameApprox(String::new());
+        match registry
+            .inquire(
+                &InquiryRequest::find_business()
+                    .qualifier(q.clone())
+                    .on_behalf_of(&agent),
+            )
+            .unwrap()
+        {
+            InquiryResponse::Businesses(rows) => {
+                assert_eq!(rows, registry.find_business_for(&q, &agent));
+                assert_eq!(rows.len(), 1, "the agent may only read acme's entry");
+                assert_eq!(rows[0].business_key, "biz-acme");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Accounting invariants of [`MetricsSnapshot`]: the cache counters
+//! partition the allowed requests exactly, the L1/L2 split sums to the
+//! hit total, and the per-shard [`ShardStats`] breakdown reconciles with
+//! the global counters — all under a real 8-worker batch run.
+
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+const SUBJECTS: usize = 16;
+const PATIENTS: usize = 40;
+const WORKERS: usize = 8;
+const BATCH: usize = 512;
+
+fn build_stack() -> SecureWebStack {
+    let mut stack = SecureWebStack::new([5u8; 32]);
+    let mut xml = String::from("<hospital>");
+    for i in 0..PATIENTS {
+        xml.push_str(&format!("<patient id=\"p{i}\"><record>r{i}</record></patient>"));
+    }
+    xml.push_str("</hospital>");
+    stack.add_document(
+        "records.xml",
+        Document::parse(&xml).unwrap(),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.add_document(
+        "secret.xml",
+        Document::parse("<ops><plan>atlantis</plan></ops>").unwrap(),
+        ContextLabel::fixed(Level::Secret),
+    );
+    for d in 0..SUBJECTS {
+        stack.policies.add(Authorization::grant(
+            0,
+            SubjectSpec::Identity(format!("subject-{d}")),
+            ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").unwrap(),
+            },
+            Privilege::Read,
+        ));
+    }
+    stack.policies.add(Authorization::grant(
+        0,
+        SubjectSpec::Anyone,
+        ObjectSpec::Document("secret.xml".into()),
+        Privilege::Read,
+    ));
+    stack
+}
+
+/// Mixed workload: authorized queries (many per subject, so L1 and L2 both
+/// see traffic), duplicates (coalescing), denials, and unknown documents.
+fn build_requests(n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            let subject = SubjectProfile::new(&format!("subject-{}", i % SUBJECTS));
+            if i % 9 == 4 {
+                QueryRequest::for_doc("secret.xml")
+                    .path(Path::parse("//plan").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else if i % 11 == 7 {
+                QueryRequest::for_doc("missing.xml")
+                    .path(Path::parse("//x").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else {
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse(&format!("//patient[@id='p{}']", i % PATIENTS)).unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            }
+        })
+        .collect()
+}
+
+/// Every allowed response is served exactly one way — worker-local L1 hit,
+/// shared L2 hit, coalesced onto another evaluation, or a fresh
+/// computation — so the four counters must partition `allowed` with no
+/// request lost or double-counted, across two 8-worker batches.
+#[test]
+fn cache_counters_partition_allowed_requests_exactly() {
+    let server = StackServer::with_shards(build_stack(), 16);
+    let requests = build_requests(BATCH);
+    let first = server.serve_batch(&requests, WORKERS);
+    let second = server.serve_batch(&requests, WORKERS);
+    assert_eq!(first.len(), BATCH);
+    assert_eq!(second.len(), BATCH);
+
+    let m = server.metrics();
+    assert_eq!(m.requests, 2 * BATCH as u64);
+    assert_eq!(
+        m.allowed + m.denied + m.errors,
+        m.requests,
+        "every request resolves to exactly one outcome \
+         (allowed={}, denied={}, errors={}, requests={})",
+        m.allowed,
+        m.denied,
+        m.errors,
+        m.requests
+    );
+    assert_eq!(
+        m.l1_hits + m.l2_hits + m.coalesced + m.cache_misses,
+        m.allowed,
+        "view lookups must partition the allowed requests \
+         (l1={}, l2={}, coalesced={}, misses={}, allowed={})",
+        m.l1_hits,
+        m.l2_hits,
+        m.coalesced,
+        m.cache_misses,
+        m.allowed
+    );
+    assert_eq!(
+        m.cache_hits,
+        m.l1_hits + m.l2_hits,
+        "the hit total must be exactly the L1/L2 split"
+    );
+    // The workload exercises every path: the second batch hits L2 (fresh
+    // worker states), repeated subject/doc pairs hit L1 within a batch,
+    // and exact duplicates coalesce.
+    assert!(m.l1_hits > 0, "no L1 traffic in a {BATCH}-request batch");
+    assert!(m.l2_hits > 0, "no L2 traffic across two batches");
+    assert!(m.coalesced > 0, "duplicate requests never coalesced");
+    assert!(m.cache_misses > 0, "cold views never computed");
+    // Latency is recorded for exactly the allowed responses.
+    assert_eq!(m.latency.count, m.allowed);
+}
+
+/// The per-shard breakdown reconciles with the globals: shard sums equal
+/// the aggregate counters, and the L2 shard hit/miss tallies explain every
+/// L2 lookup (an L2 lookup happens exactly when L1 misses and no coalesced
+/// answer was shared).
+#[test]
+fn per_shard_stats_sum_to_the_global_counters() {
+    let server = StackServer::with_shards(build_stack(), 8);
+    let requests = build_requests(BATCH);
+    let _ = server.serve_batch(&requests, WORKERS);
+    let _ = server.serve_batch(&requests, WORKERS);
+
+    let m = server.metrics();
+    assert_eq!(m.per_shard.len(), 8);
+    let sum = |f: fn(&ShardStats) -> u64| m.per_shard.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|s| s.sessions_open), m.sessions_open);
+    assert_eq!(sum(|s| s.cached_views), m.cached_views);
+    assert_eq!(sum(|s| s.session_lock_waits), m.session_lock_waits);
+    assert_eq!(sum(|s| s.cache_lock_waits), m.cache_lock_waits);
+    assert_eq!(sum(|s| s.l2_hits), m.l2_hits);
+    // Each global cache miss performed exactly one (missing) L2 lookup, so
+    // the shard-level lookup tallies reconcile with the global split.
+    assert_eq!(
+        sum(|s| s.l2_hits) + sum(|s| s.l2_misses),
+        m.l2_hits + m.cache_misses,
+        "L2 shard lookups must equal L2 hits plus computed views"
+    );
+    // One session per subject, hashed across shards.
+    assert_eq!(m.sessions_open, SUBJECTS as u64);
+    assert_eq!(m.sessions_established, SUBJECTS as u64);
+    let used = m.per_shard.iter().filter(|s| s.sessions_open > 0).count();
+    assert!(used > 1, "all {SUBJECTS} subjects clumped into one shard");
+    // Shard indices are positional.
+    for (i, shard) in m.per_shard.iter().enumerate() {
+        assert_eq!(shard.shard, i);
+    }
+}
+
+/// Single-request serves and batch serves feed the same accounting: a
+/// serial tail after a batch keeps every identity intact.
+#[test]
+fn serial_and_batch_paths_share_one_ledger() {
+    let server = StackServer::new(build_stack());
+    let requests = build_requests(128);
+    let _ = server.serve_batch(&requests, WORKERS);
+    for request in requests.iter().take(32) {
+        let _ = server.serve(request);
+    }
+    let m = server.metrics();
+    assert_eq!(m.requests, 160);
+    assert_eq!(m.allowed + m.denied + m.errors, m.requests);
+    assert_eq!(m.l1_hits + m.l2_hits + m.coalesced + m.cache_misses, m.allowed);
+    assert_eq!(m.cache_hits, m.l1_hits + m.l2_hits);
+    assert_eq!(m.latency.count, m.allowed);
+}

@@ -7,9 +7,17 @@ use websec_core::policy::mls::ContextLabel;
 use websec_core::prelude::*;
 
 const SUBJECTS: usize = 16;
+/// Master-key seed byte for the stack under test (`[MASTER_KEY_SEED; 32]`).
+const MASTER_KEY_SEED: u8 = 3;
+/// Concurrency shape of the revocation race tests, named so a failure log
+/// states the exact configuration to reproduce under.
+const RACE_READERS: usize = SUBJECTS / 2;
+const RACE_ITERATIONS: usize = 300;
+const RACE_BATCH: usize = 2048;
+const RACE_WORKERS: usize = 4;
 
 fn build_stack() -> SecureWebStack {
-    let mut stack = SecureWebStack::new([3u8; 32]);
+    let mut stack = SecureWebStack::new([MASTER_KEY_SEED; 32]);
     let mut xml = String::from("<hospital>");
     for i in 0..40 {
         xml.push_str(&format!(
@@ -219,7 +227,7 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
     let server = StackServer::new(build_stack());
     // Warm every doctor's cached view so revocation has state to invalidate
     // (the doctors hash across the server's shards).
-    for d in 0..SUBJECTS / 2 {
+    for d in 0..RACE_READERS {
         let warm = server.serve(&doctor_request(d, 1)).unwrap();
         assert!(warm.xml.contains("p1"), "{}", warm.xml);
     }
@@ -229,13 +237,13 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
     std::thread::scope(|scope| {
         let server = &server;
         let revoked = &revoked;
-        let readers: Vec<_> = (0..SUBJECTS / 2)
+        let readers: Vec<_> = (0..RACE_READERS)
             .map(|d| {
                 scope.spawn(move || {
                     let request = doctor_request(d, 1);
                     let mut stale_after_bump = 0u32;
                     let mut saw_revoked = false;
-                    for _ in 0..300 {
+                    for _ in 0..RACE_ITERATIONS {
                         let bumped_before_start = revoked.load(Ordering::SeqCst);
                         let response = server.serve(&request).unwrap();
                         if response.xml.is_empty() {
@@ -252,22 +260,29 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
         scope.spawn(move || {
             // Let readers populate their worker-local caches first.
             std::thread::yield_now();
-            assert_eq!(revoke_doctors(server), SUBJECTS / 2);
+            assert_eq!(revoke_doctors(server), RACE_READERS);
             revoked.store(true, Ordering::SeqCst);
         });
         for (d, reader) in readers.into_iter().enumerate() {
             let (stale_after_bump, saw_revoked) = reader.join().unwrap();
             assert_eq!(
                 stale_after_bump, 0,
-                "subject-{d} was served a stale cached view after the epoch bump"
+                "subject-{d} was served a stale cached view after the epoch bump \
+                 (readers={RACE_READERS}, iterations={RACE_ITERATIONS}, \
+                  master_key_seed={MASTER_KEY_SEED})"
             );
-            assert!(saw_revoked, "subject-{d} never observed the revocation");
+            assert!(
+                saw_revoked,
+                "subject-{d} never observed the revocation \
+                 (readers={RACE_READERS}, iterations={RACE_ITERATIONS}, \
+                  master_key_seed={MASTER_KEY_SEED})"
+            );
         }
     });
 
     // The batch path agrees, across all shards and both cache levels.
-    let requests: Vec<QueryRequest> = (0..SUBJECTS / 2).map(|d| doctor_request(d, 1)).collect();
-    for result in server.serve_batch(&requests, 4) {
+    let requests: Vec<QueryRequest> = (0..RACE_READERS).map(|d| doctor_request(d, 1)).collect();
+    for result in server.serve_batch(&requests, RACE_WORKERS) {
         let response = result.unwrap();
         assert!(response.xml.is_empty(), "stale view: {}", response.xml);
     }
@@ -281,8 +296,8 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
 #[test]
 fn revocation_mid_batch_yields_only_valid_answers() {
     let server = StackServer::new(build_stack());
-    let requests: Vec<QueryRequest> = (0..2048)
-        .map(|i| doctor_request(i % (SUBJECTS / 2), i % 40))
+    let requests: Vec<QueryRequest> = (0..RACE_BATCH)
+        .map(|i| doctor_request(i % RACE_READERS, i % 40))
         .collect();
 
     let results = std::thread::scope(|scope| {
@@ -291,8 +306,8 @@ fn revocation_mid_batch_yields_only_valid_answers() {
             std::thread::yield_now();
             revoke_doctors(server)
         });
-        let results = server.serve_batch(&requests, 4);
-        assert_eq!(writer.join().unwrap(), SUBJECTS / 2);
+        let results = server.serve_batch(&requests, RACE_WORKERS);
+        assert_eq!(writer.join().unwrap(), RACE_READERS);
         results
     });
 
@@ -301,12 +316,13 @@ fn revocation_mid_batch_yields_only_valid_answers() {
         let expected = format!("p{}", i % 40);
         assert!(
             response.xml.is_empty() || response.xml.contains(&expected),
-            "request {i}: torn answer: {}",
+            "request {i}: torn answer (batch={RACE_BATCH}, workers={RACE_WORKERS}, \
+             master_key_seed={MASTER_KEY_SEED}): {}",
             response.xml
         );
     }
     // Post-batch, the revocation is fully visible on every shard.
-    for d in 0..SUBJECTS / 2 {
+    for d in 0..RACE_READERS {
         assert!(server.serve(&doctor_request(d, 1)).unwrap().xml.is_empty());
     }
 }
