@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repository gate: offline build, full test suite, and the websec-lint
-# static checks (which also run the WS001-WS005 analyzer unit tests as
-# part of the workspace tests). Fails on the first broken step.
+# Repository gate: offline build, full test suite, the websec-lint static
+# checks, the WS001-WS012 analyzer over every example stack (byte-diffed
+# for determinism, failing on error findings), and the serving benchmark
+# with its speedup and incremental-analysis gates. Fails on the first
+# broken step.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,6 +20,17 @@ cargo test -q --offline
 
 echo "==> websec-lint --deny-warnings"
 cargo run --release --offline --bin websec-lint -- --deny-warnings
+
+echo "==> analyzer over example stacks (deterministic, fails on errors)"
+cargo run --release --offline -p websec-examples --bin analyze_examples > ANALYSIS_run1.json
+cargo run --release --offline -p websec-examples --bin analyze_examples > ANALYSIS_run2.json
+if ! cmp -s ANALYSIS_run1.json ANALYSIS_run2.json; then
+    echo "check.sh: FAIL — analyze_examples output is not deterministic" >&2
+    diff ANALYSIS_run1.json ANALYSIS_run2.json >&2 || true
+    exit 1
+fi
+mv ANALYSIS_run1.json ANALYSIS_examples.json
+rm -f ANALYSIS_run2.json
 
 echo "==> serving-layer worker sweep (BENCH_serving.json)"
 cargo run --release --offline -p websec-examples --bin serving_bench
@@ -39,6 +52,16 @@ f_ratio=$(awk "BEGIN {printf \"%.2f\", $f_parallel_qps / $f_serial_qps}")
 echo "==> faulted parallel/serial ratio: ${f_ratio}x (parallel ${f_parallel_qps} q/s vs serial ${f_serial_qps} q/s)"
 if awk "BEGIN {exit !($f_parallel_qps < $f_serial_qps)}"; then
     echo "check.sh: FAIL — faulted parallel serving (${f_parallel_qps} q/s) is slower than faulted serial (${f_serial_qps} q/s)" >&2
+    exit 1
+fi
+
+# Gate: incremental re-analysis after one mutation must not cost more than
+# the cold full fixpoint (it re-runs only the affected passes).
+a_full=$(awk -F': ' '/"analysis_full_us"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+a_incr=$(awk -F': ' '/"analysis_incremental_us"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+echo "==> analysis full ${a_full} us vs incremental ${a_incr} us"
+if awk "BEGIN {exit !($a_incr > $a_full)}"; then
+    echo "check.sh: FAIL — incremental re-analysis (${a_incr} us) is slower than a full run (${a_full} us)" >&2
     exit 1
 fi
 

@@ -8,7 +8,14 @@
 //!   invariant). A trailing `// lint:allow(panic)` (or `unwrap`/`unsafe`)
 //!   marker opts a single line out when the banned pattern is the point,
 //!   e.g. the fault injector's deliberate worker panic;
-//! * crate roots (`src/lib.rs`) missing `#![forbid(unsafe_code)]`.
+//! * crate roots (`src/lib.rs`) missing `#![forbid(unsafe_code)]`;
+//! * lock-order inversions in the sharded serving layer (`server/shard.rs`):
+//!   within one function, locks must be acquired in the canonical
+//!   snapshot → map → session sequence (`// lint:allow(lock-order)` opts a
+//!   line out);
+//! * `Ordering::Relaxed` on counters that feed `check.sh`'s benchmark
+//!   gates (`shed`, `faults_injected`): each site must be an explicit,
+//!   annotated decision (`// lint:allow(relaxed-counter)`).
 //!
 //! Test code is exempt: by repository convention the `#[cfg(test)]` module
 //! sits at the end of each file, so everything after the first `#[cfg(test)]`
@@ -153,6 +160,46 @@ fn is_test_file(file: &Path) -> bool {
     })
 }
 
+/// Canonical lock-acquisition order inside the sharded serving layer: the
+/// snapshot `RwLock`, then a shard's `map` mutex, then an individual
+/// `session` mutex. Acquiring a lower-ranked lock while holding a
+/// higher-ranked one inverts the order and can deadlock against a thread
+/// acquiring canonically.
+const LOCK_ORDER: [&str; 3] = ["snapshot", "map", "session"];
+
+/// Counters that feed `check.sh`'s benchmark/awk gates. Accumulating them
+/// with `Ordering::Relaxed` is fine; *reading* them that way where the
+/// value gates CI must be an explicit, annotated decision.
+const GATE_COUNTERS: [&str; 2] = ["shed", "faults_injected"];
+
+/// The lock rank a line acquires, when it acquires one: the line must
+/// contain an acquisition call and exactly identify a ranked receiver
+/// token (`snapshot`, `map`, `session`).
+fn line_lock_rank(code: &str) -> Option<usize> {
+    let acquires = [".lock()", ".try_lock()", ".read()", ".write()", "lock_counting("];
+    if !acquires.iter().any(|a| code.contains(a)) {
+        return None;
+    }
+    for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        if let Some(rank) = LOCK_ORDER.iter().position(|name| token == *name) {
+            return Some(rank);
+        }
+    }
+    None
+}
+
+/// The first gate-fed counter named (as a whole token) on the line, if any.
+fn gate_counter(code: &str) -> Option<&'static str> {
+    for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        for name in GATE_COUNTERS {
+            if token == name {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
 fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<Finding>) {
     if is_crate_root && !source.contains("#![forbid(unsafe_code)]") {
         findings.push(Finding {
@@ -167,6 +214,11 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         return;
     }
 
+    let lock_order_scope = file
+        .to_string_lossy()
+        .replace('\\', "/")
+        .ends_with("server/shard.rs");
+    let mut last_lock: Option<usize> = None;
     let mut in_test_code = false;
     for (idx, line) in source.lines().enumerate() {
         // Repository convention: the test module is the last item of a file,
@@ -209,6 +261,45 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                           #![forbid(unsafe_code)])"
                     .to_string(),
             });
+        }
+        if lock_order_scope {
+            if code.contains("fn ") {
+                // A new function body starts a fresh acquisition sequence.
+                last_lock = None;
+            }
+            if let Some(rank) = line_lock_rank(code) {
+                if let Some(prev) = last_lock {
+                    if rank < prev && !allowed("lock-order") {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: idx + 1,
+                            warning: true,
+                            message: format!(
+                                "lock order inversion: '{}' acquired after '{}'; the \
+                                 canonical sequence is {}",
+                                LOCK_ORDER[rank],
+                                LOCK_ORDER[prev],
+                                LOCK_ORDER.join(" -> ")
+                            ),
+                        });
+                    }
+                }
+                last_lock = Some(rank);
+            }
+        }
+        if code.contains("Ordering::Relaxed") && !allowed("relaxed-counter") {
+            if let Some(name) = gate_counter(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    warning: true,
+                    message: format!(
+                        "Ordering::Relaxed on gate-fed counter '{name}': check.sh \
+                         gates read this value; confirm monotonic accumulation \
+                         suffices and annotate with // lint:allow(relaxed-counter)"
+                    ),
+                });
+            }
         }
     }
 }
@@ -292,5 +383,78 @@ mod tests {
         let src = "fn f() { x.unwrap(); panic!(); }\n";
         lint_file(Path::new("tests/tests/a.rs"), src, false, &mut findings);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn lock_order_inversion_is_flagged_in_shard_rs() {
+        let shard = Path::new("crates/core/src/server/shard.rs");
+        // session before map inside one function: inversion.
+        let src = "fn bad(&self) {\n\
+                   let g = lock_counting(session, &waits);\n\
+                   let m = lock_counting(&shard.map, &waits);\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(shard, src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("lock order inversion"));
+        assert!(findings[0].warning);
+
+        // The canonical sequence is clean.
+        let src = "fn good(&self) {\n\
+                   let m = lock_counting(&shard.map, &waits);\n\
+                   let g = lock_counting(session, &waits);\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(shard, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // Sequences reset at function boundaries: session in one function,
+        // map in the next is not an inversion.
+        let src = "fn a(&self) { let g = lock_counting(session, &waits); }\n\
+                   fn b(&self) { let m = lock_counting(&shard.map, &waits); }\n";
+        let mut findings = Vec::new();
+        lint_file(shard, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // The opt-out marker silences a deliberate inversion.
+        let src = "fn bad(&self) {\n\
+                   let g = lock_counting(session, &waits);\n\
+                   let m = lock_counting(&shard.map, &waits); // lint:allow(lock-order)\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(shard, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // The rule is path-scoped: the same code elsewhere is not checked.
+        let mut findings = Vec::new();
+        let src = "fn bad(&self) {\n\
+                   let g = lock_counting(session, &waits);\n\
+                   let m = lock_counting(&shard.map, &waits);\n\
+                   }\n";
+        lint_file(Path::new("crates/core/src/server/mod.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn relaxed_gate_counter_is_flagged_with_opt_out() {
+        let file = Path::new("crates/core/src/server/metrics.rs");
+        let src = "fn snap(&self) { let s = self.shed.load(Ordering::Relaxed); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("gate-fed counter 'shed'"));
+
+        // Whole-token matching: 'finished' must not match 'shed'.
+        let src = "fn snap(&self) { let f = self.finished.load(Ordering::Relaxed); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // Annotated sites pass.
+        let src = "fn snap(&self) { let s = self.faults_injected.load(Ordering::Relaxed); } \
+                   // lint:allow(relaxed-counter)\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
     }
 }

@@ -159,6 +159,71 @@ impl Report {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Sorts diagnostics into the canonical emission order — by
+    /// `(code, span, severity, message, suggestion)` — so that two runs over
+    /// the same input produce byte-identical [`Report::machine`] and
+    /// [`Report::to_json`] output regardless of pass scheduling.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, &a.span, a.severity, &a.message, &a.suggestion).cmp(&(
+                b.code,
+                &b.span,
+                b.severity,
+                &b.message,
+                &b.suggestion,
+            ))
+        });
+    }
+
+    /// Stable JSON serialization: an object with a `diagnostics` array whose
+    /// entries carry `code`, `severity`, `span`, `message` and (when present)
+    /// `suggestion`, in normalized field order with deterministic escaping.
+    /// Two byte-identical inputs yield two byte-identical JSON documents, so
+    /// CI can diff runs directly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":");
+            push_json_string(&mut out, d.code);
+            out.push_str(",\"severity\":");
+            push_json_string(&mut out, &d.severity.to_string());
+            out.push_str(",\"span\":");
+            push_json_string(&mut out, &d.span);
+            out.push_str(",\"message\":");
+            push_json_string(&mut out, &d.message);
+            if let Some(s) = &d.suggestion {
+                out.push_str(",\"suggestion\":");
+                push_json_string(&mut out, s);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `value` to `out` as a JSON string literal with standard escaping.
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -198,5 +263,45 @@ mod tests {
         let d = Diagnostic::new("WS005", Severity::Warning, "s", "dangling")
             .with_suggestion("remove the rule");
         assert!(d.to_string().contains("suggestion: remove the rule"));
+    }
+
+    #[test]
+    fn normalize_sorts_by_code_then_span() {
+        let mut r = Report::default();
+        r.diagnostics
+            .push(Diagnostic::new("WS007", Severity::Warning, "b", "m2"));
+        r.diagnostics
+            .push(Diagnostic::new("WS007", Severity::Warning, "a", "m1"));
+        r.diagnostics
+            .push(Diagnostic::new("WS001", Severity::Error, "z", "m0"));
+        r.normalize();
+        let order: Vec<(&str, &str)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.as_str()))
+            .collect();
+        assert_eq!(order, vec![("WS001", "z"), ("WS007", "a"), ("WS007", "b")]);
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Report::default();
+        r.diagnostics.push(
+            Diagnostic::new("WS003", Severity::Info, "label \"x\"", "line1\nline2")
+                .with_suggestion("tab\there"),
+        );
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"diagnostics\":[{\"code\":\"WS003\",\"severity\":\"info\",\
+             \"span\":\"label \\\"x\\\"\",\"message\":\"line1\\nline2\",\
+             \"suggestion\":\"tab\\there\"}]}"
+        );
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn empty_report_json() {
+        assert_eq!(Report::default().to_json(), "{\"diagnostics\":[]}");
     }
 }

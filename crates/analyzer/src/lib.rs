@@ -3,23 +3,42 @@
 //! The analyzer inspects a configured policy/privacy/metadata stack *without
 //! executing any query* and reports misconfigurations as [`Diagnostic`]s:
 //!
-//! | code  | pass                                        |
-//! |-------|---------------------------------------------|
-//! | WS001 | authorization conflict detection            |
-//! | WS002 | shadowed / unreachable rule detection       |
-//! | WS003 | MLS label flow analysis                     |
-//! | WS004 | privacy inference-channel detection         |
-//! | WS005 | dangling reference check                    |
+//! | code  | pass                                                    |
+//! |-------|---------------------------------------------------------|
+//! | WS001 | authorization conflict detection                        |
+//! | WS002 | shadowed / unreachable rule detection                   |
+//! | WS003 | MLS label flow analysis                                 |
+//! | WS004 | privacy inference-channel detection (single table)      |
+//! | WS005 | dangling reference check                                |
+//! | WS006 | RDF schema-entailment label leak                        |
+//! | WS007 | transitive privacy inference closure (cross-table)      |
+//! | WS008 | dissemination key over-coverage                         |
+//! | WS009 | role-hierarchy privilege-escalation cycle               |
+//! | WS010 | declassification without a sanitizer                    |
+//! | WS011 | UDDI binding without a signed tModel chain              |
+//! | WS012 | dead credential type                                    |
 //!
 //! Each pass is a pure function over borrowed stores; the [`Analyzer`]
-//! aggregates them into a [`Report`] with human-readable and line-oriented
-//! machine output.
+//! aggregates them into a [`Report`] with human-readable, line-oriented
+//! machine, and stable-JSON output. Passes WS006–WS012 run over a unified
+//! [`flow::FlowGraph`] — an interned graph of subjects, roles, credential
+//! types, policy objects, RDF statements, privacy attributes, dissemination
+//! regions, and UDDI entities, connected by typed edges (grants,
+//! entailments, joins, key coverage) — with a worklist fixpoint engine for
+//! reachability and cycle detection.
+//!
+//! For incremental re-analysis, every pass declares the input [`Section`]s
+//! it reads via [`PassId::sections`]; a caller that knows which sections
+//! changed can re-run only the affected passes through [`run_pass`] and
+//! reuse cached diagnostics for the rest.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod diagnostics;
+pub mod flow;
 pub mod passes;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
-pub use passes::{Analyzer, AnalyzerInput};
+pub use flow::{EdgeKind, FlowGraph, FlowNode};
+pub use passes::{run_pass, Analyzer, AnalyzerInput, DissemInput, PassId, Section, UddiInput};

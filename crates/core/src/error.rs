@@ -18,6 +18,7 @@
 //! | WS106 | [`Error::ShardPoisoned`]     | shard poisoned / worker panicked     |
 //! | WS107 | [`Error::DeadlineExceeded`]  | per-request deadline budget exhausted|
 //! | WS108 | [`Error::Overloaded`]        | admission control shed the request   |
+//! | WS109 | [`Error::AnalysisRejected`]  | gated update introduced critical findings |
 
 use crate::stack::StackError;
 use websec_services::channel::ChannelError;
@@ -61,6 +62,14 @@ pub enum Error {
     /// definition — the server refused the work without starting it, so a
     /// retry after backoff is always safe.
     Overloaded(String),
+    /// `WS109`: an [`crate::server::AnalysisGate::Deny`]-gated
+    /// [`crate::server::StackServer::try_update`] was rejected because the
+    /// mutated configuration would introduce *new* error-severity analyzer
+    /// findings; carries their machine rendering. The snapshot is
+    /// unchanged. Not transient: the same mutation yields the same
+    /// findings — fix the configuration (or drop the gate to `Warn`)
+    /// instead of retrying.
+    AnalysisRejected(String),
 }
 
 impl Error {
@@ -77,6 +86,7 @@ impl Error {
             Error::ShardPoisoned(_) => "WS106",
             Error::DeadlineExceeded(_) => "WS107",
             Error::Overloaded(_) => "WS108",
+            Error::AnalysisRejected(_) => "WS109",
         }
     }
 
@@ -113,6 +123,9 @@ impl std::fmt::Display for Error {
             Error::ShardPoisoned(m) => write!(f, "[{code}] degraded: {m}"),
             Error::DeadlineExceeded(m) => write!(f, "[{code}] deadline exceeded: {m}"),
             Error::Overloaded(m) => write!(f, "[{code}] overloaded: {m}"),
+            Error::AnalysisRejected(m) => {
+                write!(f, "[{code}] update rejected by analysis gate:\n{m}")
+            }
         }
     }
 }
@@ -150,6 +163,7 @@ impl From<Error> for StackError {
             Error::ShardPoisoned(m) => StackError::Channel(m),
             Error::DeadlineExceeded(m) => StackError::Channel(m),
             Error::Overloaded(m) => StackError::Channel(m),
+            Error::AnalysisRejected(m) => StackError::Misconfigured(m),
             // `Error` is non_exhaustive within the crate too: route any
             // future variant through the transport bucket.
             #[allow(unreachable_patterns)]
@@ -173,11 +187,14 @@ mod tests {
             Error::ShardPoisoned("w".into()),
             Error::DeadlineExceeded("t".into()),
             Error::Overloaded("o".into()),
+            Error::AnalysisRejected("g".into()),
         ];
         let codes: Vec<&str> = errors.iter().map(Error::code).collect();
         assert_eq!(
             codes,
-            vec!["WS101", "WS102", "WS103", "WS104", "WS105", "WS106", "WS107", "WS108"]
+            vec![
+                "WS101", "WS102", "WS103", "WS104", "WS105", "WS106", "WS107", "WS108", "WS109"
+            ]
         );
     }
 
@@ -191,6 +208,7 @@ mod tests {
         assert!(!Error::Misconfigured("m".into()).is_transient());
         assert!(!Error::InvalidRequest("m".into()).is_transient());
         assert!(!Error::DeadlineExceeded("m".into()).is_transient());
+        assert!(!Error::AnalysisRejected("m".into()).is_transient());
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub use federation::{FederatedHit, Federation, Site};
 pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
 pub use request::{CacheStatus, Decision, QueryRequest, QueryResponse};
-pub use server::{LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
+pub use server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
 #[allow(deprecated)]
 pub use server::ServerMetrics;
 pub use stack::{LayerTimings, SecureWebStack, StackError};
@@ -114,9 +114,12 @@ pub mod prelude {
     pub use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
     #[allow(deprecated)]
     pub use crate::server::ServerMetrics;
-    pub use crate::server::{LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
+    pub use crate::server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
-    pub use websec_analyzer::{Analyzer, AnalyzerInput, Diagnostic, Report, Severity};
+    pub use websec_analyzer::{
+        Analyzer, AnalyzerInput, Diagnostic, DissemInput, PassId, Report, Section, Severity,
+        UddiInput,
+    };
     pub use websec_crypto::{
         sha256, wots_verify, ChaCha20, Keypair, MerkleTree, SecureRng, WotsKeypair,
     };

@@ -1,0 +1,344 @@
+//! Incremental, token-keyed re-analysis and the update gate.
+//!
+//! The serving layer caches the most recent analyzer run keyed by the same
+//! `{generation, epoch}` [`Token`] that guards the policy-view caches. On
+//! [`StackServer::analyze`]:
+//!
+//! * an unchanged token returns the cached [`Report`] wholesale (zero
+//!   passes executed);
+//! * a changed token fingerprints every input [`Section`] (FNV-1a over the
+//!   section's deterministic rendering) and re-runs only the passes whose
+//!   declared sections ([`websec_analyzer::PassId::sections`]) actually
+//!   changed, splicing cached diagnostics in for the rest.
+//!
+//! The [`AnalysisGate`] decides what updates do with findings:
+//! [`AnalysisGate::Off`] skips analysis entirely, [`AnalysisGate::Warn`]
+//! analyzes after committing (findings surface through
+//! [`super::MetricsSnapshot`]), and [`AnalysisGate::Deny`] pre-validates the
+//! mutation on a copy of the stack and refuses to commit — with a stable
+//! `WS109` error — when it would introduce *new* error-severity findings.
+//!
+//! Lock order: the snapshot `RwLock` is always taken before the analysis
+//! mutex, never the reverse ([`StackServer::try_update`] holds the write
+//! lock across validation but only touches the analysis cache after
+//! releasing it).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+
+use super::cache::Token;
+use super::StackServer;
+use crate::error::Error;
+use crate::stack::SecureWebStack;
+use websec_analyzer::{run_pass, Diagnostic, PassId, Report, Section, Severity};
+
+/// What [`StackServer::try_update`] does with analyzer findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisGate {
+    /// No analysis on update (the default — updates are infallible).
+    #[default]
+    Off = 0,
+    /// Analyze after committing: findings never block the update but are
+    /// cached and surfaced through [`super::MetricsSnapshot`].
+    Warn = 1,
+    /// Pre-validate on a copy of the stack: an update introducing *new*
+    /// error-severity findings is rejected with `WS109`
+    /// ([`Error::AnalysisRejected`]) and the snapshot stays unchanged.
+    Deny = 2,
+}
+
+/// Number of fingerprinted input sections.
+pub(super) const SECTION_COUNT: usize = Section::ALL.len();
+/// Number of analyzer passes.
+pub(super) const PASS_COUNT: usize = PassId::ALL.len();
+
+/// The cached result of one analyzer run, keyed by its validity token.
+pub(super) struct AnalysisState {
+    /// The `{generation, epoch}` token the run was computed at.
+    token: Token,
+    /// Per-[`Section`] fingerprints (indexed like [`Section::ALL`]).
+    fingerprints: [u64; SECTION_COUNT],
+    /// Per-pass diagnostics (indexed like [`PassId::ALL`]).
+    results: Vec<Vec<Diagnostic>>,
+    /// The assembled, normalized report.
+    report: Report,
+}
+
+/// FNV-1a over a section's deterministic rendering: cheap, dependency-free,
+/// and stable within a process — exactly what a change detector needs.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprints every analyzer input section of `stack`. Renderings use
+/// `Debug` over BTree-backed (deterministically ordered) structures; the
+/// one `HashMap` (document labels) is sorted by name first.
+pub(super) fn section_fingerprints(stack: &SecureWebStack) -> [u64; SECTION_COUNT] {
+    use std::fmt::Write as _;
+    let mut out = [0u64; SECTION_COUNT];
+    for (i, section) in Section::ALL.iter().enumerate() {
+        let mut s = String::new();
+        match section {
+            Section::Policy => {
+                let _ = write!(
+                    s,
+                    "{};{:?};{:?}",
+                    stack.policies.epoch(),
+                    stack.policies.authorizations(),
+                    stack.policies.hierarchy.seniority_pairs()
+                );
+            }
+            Section::Documents => {
+                for name in stack.documents.names() {
+                    if let Some(doc) = stack.documents.get(name) {
+                        let _ = write!(s, "{name}\u{1f}{}\u{1e}", doc.to_xml_string());
+                    }
+                }
+            }
+            Section::Labels => {
+                let mut labels: Vec<(String, String)> = stack
+                    .documents
+                    .names()
+                    .iter()
+                    .filter_map(|n| {
+                        stack.label_of(n).map(|l| (n.to_string(), format!("{l:?}")))
+                    })
+                    .collect();
+                labels.sort();
+                let _ = write!(s, "{labels:?}");
+            }
+            Section::Catalog => {
+                for triple in stack.catalog.all() {
+                    let _ = writeln!(s, "{triple}");
+                }
+            }
+            Section::Privacy => {
+                let _ = write!(
+                    s,
+                    "{:?};{:?};{:?}",
+                    stack.privacy_constraints, stack.table_schemas, stack.sanitized_documents
+                );
+            }
+            Section::Rdf => {
+                let _ = write!(s, "{:?};{:?}", stack.context, stack.semantic_stores);
+            }
+            Section::Dissem => {
+                let _ = write!(s, "{:?}", stack.dissemination_audits);
+            }
+            Section::Uddi => {
+                let _ = write!(s, "{:?}", stack.uddi);
+            }
+            Section::Subjects => {
+                let _ = write!(s, "{:?}", stack.registered_profiles);
+            }
+        }
+        out[i] = fnv1a(&s);
+    }
+    out
+}
+
+/// Machine lines of the error-severity findings in `report`.
+fn error_lines(report: &Report) -> BTreeSet<String> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(Diagnostic::machine_line)
+        .collect()
+}
+
+impl StackServer {
+    /// Sets the [`AnalysisGate`] governing subsequent
+    /// [`StackServer::try_update`] calls.
+    pub fn set_analysis_gate(&self, gate: AnalysisGate) {
+        self.analysis_gate.store(gate as u8, Ordering::Relaxed);
+    }
+
+    /// The currently configured analysis gate.
+    #[must_use]
+    pub fn analysis_gate(&self) -> AnalysisGate {
+        match self.analysis_gate.load(Ordering::Relaxed) {
+            1 => AnalysisGate::Warn,
+            2 => AnalysisGate::Deny,
+            _ => AnalysisGate::Off,
+        }
+    }
+
+    /// Analyzes the current snapshot **incrementally**: results are cached
+    /// keyed by the snapshot's `{generation, epoch}` token, and when the
+    /// token moved, only the passes whose input sections' fingerprints
+    /// changed re-run — cached diagnostics are spliced in for the rest.
+    /// The pass-run/reuse split is observable through
+    /// [`super::MetricsSnapshot`] and [`StackServer::last_passes_run`].
+    #[must_use]
+    pub fn analyze(&self) -> Report {
+        let Ok((stack, token)) = self.snapshot_with_token() else {
+            return Report::default();
+        };
+        self.analyze_snapshot(&stack, token)
+    }
+
+    /// Diagnostic codes of the passes the most recent
+    /// [`StackServer::analyze`] call actually executed, in pass order
+    /// (empty when the cached report was reused wholesale).
+    #[must_use]
+    pub fn last_passes_run(&self) -> Vec<&'static str> {
+        self.last_passes_run
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn analyze_snapshot(&self, stack: &SecureWebStack, token: Token) -> Report {
+        let mut slot = self
+            .analysis
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(state) = slot.as_ref() {
+            if state.token == token {
+                self.analysis_passes_reused
+                    .fetch_add(PASS_COUNT as u64, Ordering::Relaxed);
+                *self
+                    .last_passes_run
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Vec::new();
+                return state.report.clone();
+            }
+        }
+        let fingerprints = section_fingerprints(stack);
+        let prev = slot.take();
+        let mut results: Vec<Vec<Diagnostic>> = Vec::with_capacity(PASS_COUNT);
+        let mut ran: Vec<&'static str> = Vec::new();
+        stack.with_analyzer_input(|input| {
+            for (i, pass) in PassId::ALL.iter().enumerate() {
+                let unchanged = prev.as_ref().is_some_and(|p| {
+                    pass.sections().iter().all(|section| {
+                        Section::ALL
+                            .iter()
+                            .position(|s| s == section)
+                            .is_some_and(|idx| p.fingerprints[idx] == fingerprints[idx])
+                    })
+                });
+                if unchanged {
+                    // `unchanged` implies `prev` is Some; the fallback arm
+                    // is unreachable but keeps the path panic-free.
+                    results.push(
+                        prev.as_ref()
+                            .map(|p| p.results[i].clone())
+                            .unwrap_or_default(),
+                    );
+                } else {
+                    ran.push(pass.code());
+                    results.push(run_pass(input, *pass));
+                }
+            }
+        });
+        let mut report = Report::default();
+        for r in &results {
+            report.diagnostics.extend(r.iter().cloned());
+        }
+        report.normalize();
+        self.analysis_passes_run
+            .fetch_add(ran.len() as u64, Ordering::Relaxed);
+        self.analysis_passes_reused
+            .fetch_add((PASS_COUNT - ran.len()) as u64, Ordering::Relaxed);
+        *self
+            .last_passes_run
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = ran;
+        *slot = Some(AnalysisState {
+            token,
+            fingerprints,
+            results,
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// The cached report's error/warning counts, for the metrics snapshot
+    /// (zeros until the first analyze).
+    pub(super) fn analysis_gauges(&self) -> (u64, u64) {
+        let slot = self
+            .analysis
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match slot.as_ref() {
+            Some(state) => {
+                let errors = state.report.count_at_least(Severity::Error) as u64;
+                let at_least_warning = state.report.count_at_least(Severity::Warning) as u64;
+                (errors, at_least_warning - errors)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Gated counterpart of [`StackServer::update`]:
+    ///
+    /// * [`AnalysisGate::Off`] — behaves exactly like `update` (infallible
+    ///   in practice; always returns `Ok`).
+    /// * [`AnalysisGate::Warn`] — commits the update, then re-analyzes
+    ///   incrementally so findings surface in
+    ///   [`super::MetricsSnapshot`] without blocking anything.
+    /// * [`AnalysisGate::Deny`] — applies the mutation to a *copy* of the
+    ///   stack under the snapshot write lock (so no concurrent update can
+    ///   interleave between validation and commit), analyzes the copy, and
+    ///   commits only when no **new** error-severity finding (relative to
+    ///   the pre-update configuration) appears. A rejected update leaves
+    ///   the snapshot, generation, and caches untouched and returns
+    ///   `WS109` ([`Error::AnalysisRejected`]) carrying the machine lines
+    ///   of the introduced findings.
+    pub fn try_update<R>(
+        &self,
+        mutate: impl FnOnce(&mut SecureWebStack) -> R,
+    ) -> Result<R, Error> {
+        match self.analysis_gate() {
+            AnalysisGate::Off => Ok(self.update(mutate)),
+            AnalysisGate::Warn => {
+                let result = self.update(mutate);
+                let _ = self.analyze();
+                Ok(result)
+            }
+            AnalysisGate::Deny => {
+                let mut guard = match self.snapshot.write() {
+                    Ok(guard) => guard,
+                    Err(_) => {
+                        return Err(Error::ShardPoisoned(
+                            "stack snapshot poisoned by a panicked update closure".into(),
+                        ))
+                    }
+                };
+                // Pre-existing errors are grandfathered: the gate blocks
+                // *regressions*, not stacks that already carried findings
+                // when the gate was enabled.
+                let baseline = error_lines(&guard.analyze());
+                let mut candidate = (**guard).clone();
+                let result = mutate(&mut candidate);
+                let report = candidate.analyze();
+                let introduced: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(Diagnostic::machine_line)
+                    .filter(|line| !baseline.contains(line))
+                    .collect();
+                if !introduced.is_empty() {
+                    drop(guard);
+                    self.gate_denials.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::AnalysisRejected(introduced.join("\n")));
+                }
+                *guard = Arc::new(candidate);
+                drop(guard);
+                self.generation.fetch_add(1, Ordering::Release);
+                self.cache.clear();
+                let _ = self.analyze();
+                Ok(result)
+            }
+        }
+    }
+}

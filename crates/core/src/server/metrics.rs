@@ -153,6 +153,20 @@ pub struct MetricsSnapshot {
     pub session_lock_waits: u64,
     /// Contended L2 cache-shard lock acquisitions across all shards.
     pub cache_lock_waits: u64,
+    /// Analyzer passes actually executed across all
+    /// [`crate::server::StackServer::analyze`] calls.
+    pub analysis_passes_run: u64,
+    /// Analyzer passes answered from the incremental cache (unchanged
+    /// token or unchanged input sections).
+    pub analysis_passes_reused: u64,
+    /// Error-severity findings in the most recent cached analysis report
+    /// (0 until the first analyze).
+    pub analysis_errors: u64,
+    /// Warning-severity findings in the most recent cached analysis report.
+    pub analysis_warnings: u64,
+    /// Updates rejected by [`crate::server::AnalysisGate::Deny`] with
+    /// `WS109`.
+    pub gate_denials: u64,
     /// Cumulative per-layer time across all successful requests.
     pub layer_totals: LayerTimings,
     /// Distribution of total request latency.
@@ -454,15 +468,23 @@ impl MetricsInner {
             stolen_requests: self.stolen_requests.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            // Monotonic totals; a snapshot read needs no stronger order.
+            shed: self.shed.load(Ordering::Relaxed), // lint:allow(relaxed-counter)
             retries: self.retries.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed), // lint:allow(relaxed-counter)
             sessions_established: self.sessions_established.load(Ordering::Relaxed),
             session_reuses: self.session_reuses.load(Ordering::Relaxed),
             sessions_open: sum(|s| s.sessions_open),
             cached_views: sum(|s| s.cached_views),
             session_lock_waits: sum(|s| s.session_lock_waits),
             cache_lock_waits: sum(|s| s.cache_lock_waits),
+            // Overwritten by `StackServer::metrics`, which owns the
+            // analysis cache and gate counters.
+            analysis_passes_run: 0,
+            analysis_passes_reused: 0,
+            analysis_errors: 0,
+            analysis_warnings: 0,
+            gate_denials: 0,
             layer_totals: LayerTimings {
                 channel_ns: u128::from(self.channel_ns.load(Ordering::Relaxed)),
                 rdf_ns: u128::from(self.rdf_ns.load(Ordering::Relaxed)),

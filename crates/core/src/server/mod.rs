@@ -50,12 +50,13 @@
 //! Callers that attach different role/credential sets to one identity must
 //! invalidate between them.
 
+mod analysis;
 mod cache;
 mod metrics;
 mod shard;
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::error::Error;
@@ -69,6 +70,7 @@ use websec_policy::SubjectProfile;
 use websec_services::ChannelSession;
 use websec_xml::Document;
 
+pub use analysis::AnalysisGate;
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardStats};
 #[allow(deprecated)]
 pub use metrics::ServerMetrics;
@@ -107,6 +109,21 @@ pub struct StackServer {
     /// Admission-control capacity per batch worker (0 = unlimited): a
     /// batch larger than `limit × workers` has its tail shed with `WS108`.
     queue_limit: AtomicUsize,
+    /// The cached incremental analysis, keyed by the token it ran at.
+    /// Lock order: the snapshot lock is always taken before this mutex.
+    analysis: Mutex<Option<analysis::AnalysisState>>,
+    /// The configured [`AnalysisGate`] (stored as its discriminant).
+    analysis_gate: AtomicU8,
+    /// Analyzer passes actually executed across all [`StackServer::analyze`]
+    /// calls (the incremental machinery's "work done" counter).
+    analysis_passes_run: AtomicU64,
+    /// Analyzer passes answered from the cache (unchanged token or
+    /// unchanged input sections).
+    analysis_passes_reused: AtomicU64,
+    /// Updates rejected by [`AnalysisGate::Deny`] with `WS109`.
+    gate_denials: AtomicU64,
+    /// Codes of the passes the most recent analyze executed.
+    last_passes_run: Mutex<Vec<&'static str>>,
 }
 
 /// Worker-local serving state: the L1 view cache, a session-handle table,
@@ -287,6 +304,12 @@ impl StackServer {
             faults_enabled: AtomicBool::new(false),
             clock: AtomicU64::new(0),
             queue_limit: AtomicUsize::new(0),
+            analysis: Mutex::new(None),
+            analysis_gate: AtomicU8::new(0),
+            analysis_passes_run: AtomicU64::new(0),
+            analysis_passes_reused: AtomicU64::new(0),
+            gate_denials: AtomicU64::new(0),
+            last_passes_run: Mutex::new(Vec::new()),
         }
     }
 
@@ -916,7 +939,14 @@ impl StackServer {
         let mut stats = vec![ShardStats::default(); self.sessions.len()];
         self.sessions.fill_stats(&mut stats);
         self.cache.fill_stats(&mut stats);
-        self.metrics.snapshot(stats)
+        let mut snap = self.metrics.snapshot(stats);
+        snap.analysis_passes_run = self.analysis_passes_run.load(Ordering::Relaxed);
+        snap.analysis_passes_reused = self.analysis_passes_reused.load(Ordering::Relaxed);
+        snap.gate_denials = self.gate_denials.load(Ordering::Relaxed);
+        let (errors, warnings) = self.analysis_gauges();
+        snap.analysis_errors = errors;
+        snap.analysis_warnings = warnings;
+        snap
     }
 }
 

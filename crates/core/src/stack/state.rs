@@ -8,10 +8,14 @@
 //! [`crate::server::StackServer::update`], which also invalidates the
 //! policy-view cache.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use websec_analyzer::{AnalyzerInput, DissemInput, UddiInput};
+use websec_dissem::{RegionMap, SubjectKeyring};
 use websec_policy::mls::{ContextLabel, SecurityContext};
-use websec_policy::{FlexibleEnforcer, PolicyEngine, PolicyStore};
-use websec_rdf::{PatternTerm, Term, Triple, TriplePattern, TripleStore};
+use websec_policy::{FlexibleEnforcer, PolicyEngine, PolicyStore, SubjectProfile};
+use websec_privacy::PrivacyConstraint;
+use websec_rdf::{PatternTerm, SecureStore, Term, Triple, TriplePattern, TripleStore};
+use websec_uddi::UddiRegistry;
 use websec_xml::{Document, DocumentStore};
 
 /// Stack processing errors (legacy enum, superseded by [`crate::Error`]
@@ -73,6 +77,27 @@ pub struct SecureWebStack {
     pub(crate) session_key: [u8; 32],
     /// Toggle for the channel layer (false = plaintext transport baseline).
     pub channel_protected: bool,
+    /// Named semantic (RDF) stores under management; analyzed by WS006
+    /// (entailment leaks) and WS009 (their role hierarchies join the cycle
+    /// check). Empty by default.
+    pub semantic_stores: Vec<(String, SecureStore)>,
+    /// Privacy constraints guarding tabular releases (WS004, WS007, WS010).
+    pub privacy_constraints: Vec<PrivacyConstraint>,
+    /// Queryable table schemas as `(table name, column names)` feeding the
+    /// privacy inference passes.
+    pub table_schemas: Vec<(String, Vec<String>)>,
+    /// Documents whose declassification path runs through a registered
+    /// sanitizer; exempt from WS010.
+    pub sanitized_documents: BTreeSet<String>,
+    /// Dissemination audits: each entry pairs a document partition with the
+    /// key holders to audit against the current policy base (WS008).
+    pub dissemination_audits: Vec<(RegionMap, Vec<(SubjectProfile, SubjectKeyring)>)>,
+    /// The UDDI registry plus the set of tModel keys carrying a verified
+    /// signature (WS011). `None` skips the pass.
+    pub uddi: Option<(UddiRegistry, BTreeSet<String>)>,
+    /// Registered subject profiles; when non-empty, WS012 flags credential
+    /// types no registered subject holds.
+    pub registered_profiles: Vec<SubjectProfile>,
 }
 
 impl SecureWebStack {
@@ -89,6 +114,13 @@ impl SecureWebStack {
             gate: FlexibleEnforcer::new(100, session_key),
             session_key,
             channel_protected: true,
+            semantic_stores: Vec::new(),
+            privacy_constraints: Vec::new(),
+            table_schemas: Vec::new(),
+            sanitized_documents: BTreeSet::new(),
+            dissemination_audits: Vec::new(),
+            uddi: None,
+            registered_profiles: Vec::new(),
         }
     }
 
@@ -133,14 +165,15 @@ impl SecureWebStack {
             .collect()
     }
 
-    /// Runs the five static-analysis passes (WS001–WS005) over the stack's
-    /// current configuration — policy base, documents, labels and catalog —
-    /// without executing any query.
-    #[must_use]
-    pub fn analyze(&self) -> websec_analyzer::Report {
+    /// Builds the full [`AnalyzerInput`] over every configured layer and
+    /// hands it to `f`. Closure-shaped because the input borrows from
+    /// temporaries (the sorted label list, the catalog names) that must
+    /// outlive the borrow; both [`SecureWebStack::analyze`] and the serving
+    /// layer's incremental re-analysis funnel through here so every caller
+    /// sees the same input.
+    pub(crate) fn with_analyzer_input<R>(&self, f: impl FnOnce(&AnalyzerInput<'_>) -> R) -> R {
         let catalog: Vec<String> = self.catalog_names();
-        let mut input =
-            websec_analyzer::AnalyzerInput::new(&self.policies, self.engine.strategy);
+        let mut input = AnalyzerInput::new(&self.policies, self.engine.strategy);
         for name in self.documents.names() {
             if let Some(doc) = self.documents.get(name) {
                 input.documents.push((name, doc));
@@ -155,7 +188,44 @@ impl SecureWebStack {
         labels.sort_by_key(|(n, _)| *n);
         input.labels = labels;
         input.catalog_names = catalog.iter().map(String::as_str).collect();
-        websec_analyzer::Analyzer::analyze(&input)
+        input.constraints = &self.privacy_constraints;
+        input.schemas = self
+            .table_schemas
+            .iter()
+            .map(|(t, cols)| (t.as_str(), cols.clone()))
+            .collect();
+        input.sanitized_documents = self.sanitized_documents.clone();
+        input.rdf = self
+            .semantic_stores
+            .iter()
+            .map(|(n, s)| (n.as_str(), s))
+            .collect();
+        input.rdf_context = self.context.clone();
+        input.dissem = self
+            .dissemination_audits
+            .iter()
+            .map(|(map, holders)| DissemInput {
+                map,
+                holders: holders.iter().map(|(p, k)| (p, k)).collect(),
+            })
+            .collect();
+        input.uddi = self.uddi.as_ref().map(|(registry, signed)| UddiInput {
+            registry,
+            signed_tmodels: signed.clone(),
+        });
+        if !self.registered_profiles.is_empty() {
+            input.registered_profiles = Some(self.registered_profiles.iter().collect());
+        }
+        f(&input)
+    }
+
+    /// Runs the twelve static-analysis passes (WS001–WS012) over the
+    /// stack's current configuration — policy base, documents, labels,
+    /// catalog, privacy constraints, semantic stores, dissemination audits,
+    /// UDDI registry and subject registry — without executing any query.
+    #[must_use]
+    pub fn analyze(&self) -> websec_analyzer::Report {
+        self.with_analyzer_input(websec_analyzer::Analyzer::analyze)
     }
 
     /// Strict boot gate: refuses service when [`Self::analyze`] reports any

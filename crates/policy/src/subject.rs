@@ -291,6 +291,30 @@ impl RoleHierarchy {
         false
     }
 
+    /// Every role mentioned by a seniority edge, sorted.
+    #[must_use]
+    pub fn roles(&self) -> BTreeSet<Role> {
+        let mut out = BTreeSet::new();
+        for (senior, juniors) in &self.juniors {
+            out.insert(senior.clone());
+            out.extend(juniors.iter().cloned());
+        }
+        out
+    }
+
+    /// The direct `(senior, junior)` edges, sorted (read-only view for
+    /// static analysis and fingerprinting).
+    #[must_use]
+    pub fn seniority_pairs(&self) -> Vec<(&Role, &Role)> {
+        let mut out = Vec::new();
+        for (senior, juniors) in &self.juniors {
+            for junior in juniors {
+                out.push((senior, junior));
+            }
+        }
+        out
+    }
+
     /// All roles dominated by `role` (including itself).
     #[must_use]
     pub fn dominated_by(&self, role: &Role) -> BTreeSet<Role> {

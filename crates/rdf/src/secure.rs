@@ -64,7 +64,7 @@ pub enum EnforcementMode {
 
 /// A triple store with authorizations, optional schema closure, and
 /// context-dependent multilevel labels.
-#[derive(Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SecureStore {
     /// The underlying triples.
     pub store: TripleStore,
@@ -257,6 +257,20 @@ impl SecureStore {
     #[must_use]
     pub fn authorization_count(&self) -> usize {
         self.authorizations.len()
+    }
+
+    /// The loaded authorizations, in insertion order (read-only view for
+    /// static analysis).
+    #[must_use]
+    pub fn authorizations(&self) -> &[RdfAuthorization] {
+        &self.authorizations
+    }
+
+    /// The `(pattern, label)` pairs, in match-priority order (read-only
+    /// view for static analysis and fingerprinting).
+    #[must_use]
+    pub fn labels(&self) -> &[(TriplePattern, ContextLabel)] {
+        &self.labels
     }
 }
 

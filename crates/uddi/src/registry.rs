@@ -302,7 +302,7 @@ pub enum InquiryResponse {
 }
 
 /// An in-memory UDDI registry.
-#[derive(Default)]
+#[derive(Debug, Default, Clone)]
 pub struct UddiRegistry {
     businesses: BTreeMap<String, BusinessEntity>,
     tmodels: BTreeMap<String, TModel>,
@@ -364,6 +364,24 @@ impl UddiRegistry {
     #[must_use]
     pub fn business_count(&self) -> usize {
         self.businesses.len()
+    }
+
+    /// All stored business entries, ascending by key (read-only view for
+    /// static analysis).
+    pub fn businesses(&self) -> impl Iterator<Item = &BusinessEntity> {
+        self.businesses.values()
+    }
+
+    /// True when a tModel is registered under `key`.
+    #[must_use]
+    pub fn has_tmodel(&self, key: &str) -> bool {
+        self.tmodels.contains_key(key)
+    }
+
+    /// All registered tModel keys, ascending (read-only view for static
+    /// analysis and fingerprinting).
+    pub fn tmodel_keys(&self) -> impl Iterator<Item = &str> {
+        self.tmodels.keys().map(String::as_str)
     }
 
     // --- the unified inquiry entry point -------------------------------------

@@ -16,7 +16,11 @@
 //!   fault-injection plan (channel drops, cache evictions, slow
 //!   evaluations) with admission control engaged: the batch engine must
 //!   keep its edge while faults are landing (`faulted_parallel_qps >=
-//!   faulted_serial_qps` is gated by check.sh).
+//!   faulted_serial_qps` is gated by check.sh);
+//! * **analysis** — cold full analyzer run (all twelve passes) vs the
+//!   epoch-keyed incremental re-analysis after a single privacy-section
+//!   mutation (`analysis_incremental_us <= analysis_full_us` is gated by
+//!   check.sh).
 //!
 //! The batch engine's edge is architectural, not just core-count: a batch
 //! declares its requests up front, so identical requests coalesce onto one
@@ -134,6 +138,36 @@ fn build_requests() -> Vec<QueryRequest> {
         .collect()
 }
 
+/// The serving stack with every analyzer input section populated, so the
+/// analysis timings cover all twelve passes end to end.
+fn build_analysis_stack() -> SecureWebStack {
+    let mut stack = build_stack();
+    let mut store = SecureStore::new();
+    for i in 0..64 {
+        store.store.insert(&Triple::new(
+            Term::iri(&format!("urn:staff:{i}")),
+            Term::iri("urn:rel:memberOf"),
+            Term::iri(&format!("urn:ward:{}", i % 8)),
+        ));
+    }
+    stack.semantic_stores.push(("wards".into(), store));
+    stack
+        .privacy_constraints
+        .push(PrivacyConstraint::new(&["name", "record"], PrivacyLevel::Private));
+    stack
+        .table_schemas
+        .push(("admissions".into(), vec!["patient_id".into(), "name".into()]));
+    stack
+        .table_schemas
+        .push(("visits".into(), vec!["visit_id".into(), "record".into()]));
+    for d in 0..DOCTORS {
+        stack
+            .registered_profiles
+            .push(SubjectProfile::new(&format!("doctor-{d}")));
+    }
+    stack
+}
+
 fn qps(n: usize, secs: f64) -> f64 {
     if secs > 0.0 {
         n as f64 / secs
@@ -228,6 +262,26 @@ fn main() {
     let faulted_metrics = faulted.metrics();
     let faulted_injected = injector.fired_total();
 
+    // Analysis section: cold full fixpoint (all twelve passes) vs the
+    // epoch-keyed incremental re-analysis after a single-section mutation
+    // (only the passes reading the Privacy section re-run). check.sh gates
+    // on `analysis_incremental_us <= analysis_full_us`.
+    let analysis = StackServer::new(build_analysis_stack());
+    let t = Instant::now();
+    let _ = analysis.analyze();
+    let analysis_full_us = t.elapsed().as_micros();
+    let analysis_full_passes = analysis.last_passes_run().len();
+    analysis.update(|s| {
+        s.privacy_constraints.push(PrivacyConstraint::new(
+            &["patient_id", "record"],
+            PrivacyLevel::Private,
+        ));
+    });
+    let t = Instant::now();
+    let _ = analysis.analyze();
+    let analysis_incremental_us = t.elapsed().as_micros();
+    let analysis_incremental_passes = analysis.last_passes_run().len();
+
     let legacy_qps = qps(REQUESTS, legacy_secs);
     let serial_qps = qps(REQUESTS, serial_secs);
     let faulted_serial_qps = qps(REQUESTS, faulted_serial_secs);
@@ -278,6 +332,10 @@ fn main() {
          \"faulted_speedup\": {faulted_speedup:.2},\n  \
          \"faulted_injected\": {faulted_injected},\n  \"faulted_shed\": {},\n  \
          \"faulted_errors\": {},\n  \"faulted_deadline_exceeded\": {},\n  \
+         \"analysis_full_us\": {analysis_full_us},\n  \
+         \"analysis_incremental_us\": {analysis_incremental_us},\n  \
+         \"analysis_full_passes\": {analysis_full_passes},\n  \
+         \"analysis_incremental_passes\": {analysis_incremental_passes},\n  \
          \"sweep\": [\n{}\n  ]\n}}\n",
         metrics.per_shard.len(),
         if legacy_qps > 0.0 { serial_qps / legacy_qps } else { 0.0 },
@@ -331,6 +389,10 @@ fn main() {
          (injected {faulted_injected}, shed {}, errors {})",
         faulted_metrics.shed,
         faulted_metrics.errors
+    );
+    println!(
+        "  analysis: full {analysis_full_us} us ({analysis_full_passes} passes), \
+         incremental {analysis_incremental_us} us ({analysis_incremental_passes} passes)"
     );
     println!("  wrote BENCH_serving.json");
 }
