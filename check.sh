@@ -18,6 +18,32 @@ export CHAOS_SEEDS="${CHAOS_SEEDS:-25}"
 echo "==> cargo test --offline (CHAOS_SEEDS=${CHAOS_SEEDS})"
 cargo test -q --offline
 
+# Concurrency-correctness pass: the chaos + serving + lockdep suites rerun
+# with the lock-order/race detector armed; any WS110/WS111 finding fails a
+# test. 200 seeds is the regression oracle for future lock-free refactors
+# (LOCKDEP_CHAOS_SEEDS overrides).
+export LOCKDEP_CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS:-200}"
+echo "==> cargo test with WEBSEC_LOCKDEP=1 (CHAOS_SEEDS=${LOCKDEP_CHAOS_SEEDS})"
+WEBSEC_LOCKDEP=1 CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS}" \
+    cargo test -q --offline -p websec-integration-tests \
+    --test chaos --test serving --test lockdep
+
+echo "==> lock-order graph baseline (LOCKORDER.json)"
+cargo run --release --offline -p websec-examples --bin lockorder_dump LOCKORDER_run1.json
+cargo run --release --offline -p websec-examples --bin lockorder_dump LOCKORDER_run2.json
+if ! cmp -s LOCKORDER_run1.json LOCKORDER_run2.json; then
+    echo "check.sh: FAIL — lockorder_dump output is not deterministic" >&2
+    diff LOCKORDER_run1.json LOCKORDER_run2.json >&2 || true
+    exit 1
+fi
+if ! cmp -s LOCKORDER_run1.json LOCKORDER.json; then
+    echo "check.sh: FAIL — lock-order graph drifted from the committed LOCKORDER.json" >&2
+    echo "  (inspect the diff; if the change is intended, commit the new baseline)" >&2
+    diff LOCKORDER.json LOCKORDER_run1.json >&2 || true
+    exit 1
+fi
+rm -f LOCKORDER_run1.json LOCKORDER_run2.json
+
 echo "==> websec-lint --deny-warnings"
 cargo run --release --offline --bin websec-lint -- --deny-warnings
 
@@ -62,6 +88,17 @@ a_incr=$(awk -F': ' '/"analysis_incremental_us"/ {gsub(/,/, "", $2); print $2}' 
 echo "==> analysis full ${a_full} us vs incremental ${a_incr} us"
 if awk "BEGIN {exit !($a_incr > $a_full)}"; then
     echo "check.sh: FAIL — incremental re-analysis (${a_incr} us) is slower than a full run (${a_full} us)" >&2
+    exit 1
+fi
+
+# Gate: the tracked sync wrappers with the detector compiled in but
+# disabled must stay within 2% of raw std::sync on the parallel probe.
+ld_untracked=$(awk -F': ' '/"lockdep_probe_untracked_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+ld_tracked=$(awk -F': ' '/"lockdep_probe_tracked_off_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+ld_ratio=$(awk -F': ' '/"lockdep_off_ratio"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+echo "==> lockdep detector-off ratio: ${ld_ratio} (tracked-off ${ld_tracked} op/s vs raw ${ld_untracked} op/s)"
+if awk "BEGIN {exit !($ld_ratio < 0.98)}"; then
+    echo "check.sh: FAIL — detector-off overhead exceeds 2% (tracked-off ${ld_tracked} op/s < 0.98 x ${ld_untracked} op/s)" >&2
     exit 1
 fi
 

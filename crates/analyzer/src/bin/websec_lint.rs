@@ -9,13 +9,21 @@
 //!   marker opts a single line out when the banned pattern is the point,
 //!   e.g. the fault injector's deliberate worker panic;
 //! * crate roots (`src/lib.rs`) missing `#![forbid(unsafe_code)]`;
-//! * lock-order inversions in the sharded serving layer (`server/shard.rs`):
-//!   within one function, locks must be acquired in the canonical
-//!   snapshot → map → session sequence (`// lint:allow(lock-order)` opts a
-//!   line out);
+//! * lock-order inversions in the serving and fault layers: a declarative
+//!   per-file ordering table ([`LOCK_ORDER_SPECS`]) assigns each named lock
+//!   a rank; within one function, locks must be acquired in ascending rank
+//!   (`// lint:allow(lock-order)` opts a line out);
+//! * raw `std::sync` primitive construction (`Mutex::new`, `RwLock::new`,
+//!   `Atomic*::new`) in the tracked serving/fault layers, which must use
+//!   the `websec_core::sync` wrappers so the `WEBSEC_LOCKDEP=1` detector
+//!   sees every acquisition (`// lint:allow(raw-sync)` opts a line out);
+//! * `Ordering::Relaxed` on synchronizing atomics (`generation`,
+//!   `faults_enabled`) — their Release/Acquire pairs publish the snapshot
+//!   seqlock and the armed fault plan, so a relaxed access is a real
+//!   publication race, not a style tweak (`// lint:allow(relaxed-sync)`);
 //! * `Ordering::Relaxed` on counters that feed `check.sh`'s benchmark
-//!   gates (`shed`, `faults_injected`): each site must be an explicit,
-//!   annotated decision (`// lint:allow(relaxed-counter)`).
+//!   gates (`shed`, `faults_injected`, `fired`): each site must be an
+//!   explicit, annotated decision (`// lint:allow(relaxed-counter)`).
 //!
 //! Test code is exempt: by repository convention the `#[cfg(test)]` module
 //! sits at the end of each file, so everything after the first `#[cfg(test)]`
@@ -160,29 +168,127 @@ fn is_test_file(file: &Path) -> bool {
     })
 }
 
-/// Canonical lock-acquisition order inside the sharded serving layer: the
-/// snapshot `RwLock`, then a shard's `map` mutex, then an individual
-/// `session` mutex. Acquiring a lower-ranked lock while holding a
+/// One entry of the declarative lock-ordering table: the canonical
+/// acquisition sequence (outermost first) for every file whose path ends
+/// with `path`. Acquiring a lower-ranked lock while holding a
 /// higher-ranked one inverts the order and can deadlock against a thread
 /// acquiring canonically.
-const LOCK_ORDER: [&str; 3] = ["snapshot", "map", "session"];
+struct LockOrderSpec {
+    /// `/`-normalized path suffix the spec applies to.
+    path: &'static str,
+    /// Lock names in canonical acquisition order, outermost first.
+    order: &'static [&'static str],
+}
+
+/// The lock-ordering table for the serving and fault layers. Lock names
+/// are matched as whole tokens on lines that contain an acquisition call,
+/// so field accesses (`self.faults.lock()`) and helper calls
+/// (`lock_counting(&shard.map, ..)`) both resolve to their class.
+const LOCK_ORDER_SPECS: &[LockOrderSpec] = &[
+    LockOrderSpec {
+        path: "server/shard.rs",
+        order: &["snapshot", "map", "session"],
+    },
+    LockOrderSpec {
+        path: "server/mod.rs",
+        order: &["snapshot", "faults", "analysis", "map", "session", "queues"],
+    },
+    LockOrderSpec {
+        path: "server/analysis.rs",
+        order: &["snapshot", "analysis", "last_passes_run"],
+    },
+    LockOrderSpec {
+        path: "server/cache.rs",
+        order: &["snapshot", "inner"],
+    },
+    LockOrderSpec {
+        path: "core/src/faults.rs",
+        order: &["counters"],
+    },
+];
+
+/// The ordering spec that applies to `file`, if any.
+fn lock_order_for(file: &Path) -> Option<&'static LockOrderSpec> {
+    let path = file.to_string_lossy().replace('\\', "/");
+    LOCK_ORDER_SPECS.iter().find(|spec| path.ends_with(spec.path))
+}
+
+/// Atomics whose Release/Acquire pairs publish shared state (the snapshot
+/// seqlock generation and the armed-fault-plan flag). `Ordering::Relaxed`
+/// on these is a publication race, not a performance tweak; the runtime
+/// detector reports the same mistake as `WS111`.
+const SYNC_ATOMICS: [&str; 2] = ["generation", "faults_enabled"];
 
 /// Counters that feed `check.sh`'s benchmark/awk gates. Accumulating them
 /// with `Ordering::Relaxed` is fine; *reading* them that way where the
 /// value gates CI must be an explicit, annotated decision.
-const GATE_COUNTERS: [&str; 2] = ["shed", "faults_injected"];
+const GATE_COUNTERS: [&str; 3] = ["shed", "faults_injected", "fired"];
 
-/// The lock rank a line acquires, when it acquires one: the line must
-/// contain an acquisition call and exactly identify a ranked receiver
-/// token (`snapshot`, `map`, `session`).
-fn line_lock_rank(code: &str) -> Option<usize> {
+/// Raw `std::sync` constructors banned in the tracked serving/fault
+/// layers: every lock and atomic there must be a `websec_core::sync`
+/// wrapper, or the `WEBSEC_LOCKDEP=1` detector is blind to it.
+const RAW_SYNC_CONSTRUCTORS: [&str; 7] = [
+    "Mutex::new(",
+    "RwLock::new(",
+    "Condvar::new(",
+    "AtomicBool::new(",
+    "AtomicU8::new(",
+    "AtomicU64::new(",
+    "AtomicUsize::new(",
+];
+
+/// True for files whose synchronization must go through the tracked
+/// wrappers (the serving engine and the fault injector).
+fn raw_sync_scope(file: &Path) -> bool {
+    let path = file.to_string_lossy().replace('\\', "/");
+    path.contains("core/src/server/") || path.ends_with("core/src/faults.rs")
+}
+
+/// The raw constructor the line calls, if any. A match is rejected when
+/// preceded by an identifier character, so `TrackedMutex::new(` does not
+/// count as `Mutex::new(`.
+fn raw_sync_constructor(code: &str) -> Option<&'static str> {
+    for pattern in RAW_SYNC_CONSTRUCTORS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(pattern) {
+            let at = from + pos;
+            let preceded = at > 0
+                && code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !preceded {
+                return Some(pattern);
+            }
+            from = at + pattern.len();
+        }
+    }
+    None
+}
+
+/// The lock rank a line acquires under `spec`, when it acquires one: the
+/// line must contain an acquisition call and exactly identify a ranked
+/// receiver token.
+fn line_lock_rank(code: &str, spec: &LockOrderSpec) -> Option<usize> {
     let acquires = [".lock()", ".try_lock()", ".read()", ".write()", "lock_counting("];
     if !acquires.iter().any(|a| code.contains(a)) {
         return None;
     }
     for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
-        if let Some(rank) = LOCK_ORDER.iter().position(|name| token == *name) {
+        if let Some(rank) = spec.order.iter().position(|name| token == *name) {
             return Some(rank);
+        }
+    }
+    None
+}
+
+/// The first synchronizing atomic named (as a whole token) on the line.
+fn sync_atomic(code: &str) -> Option<&'static str> {
+    for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        for name in SYNC_ATOMICS {
+            if token == name {
+                return Some(name);
+            }
         }
     }
     None
@@ -214,10 +320,8 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         return;
     }
 
-    let lock_order_scope = file
-        .to_string_lossy()
-        .replace('\\', "/")
-        .ends_with("server/shard.rs");
+    let lock_order_spec = lock_order_for(file);
+    let raw_sync_scope = raw_sync_scope(file);
     let mut last_lock: Option<usize> = None;
     let mut in_test_code = false;
     for (idx, line) in source.lines().enumerate() {
@@ -262,12 +366,27 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                     .to_string(),
             });
         }
-        if lock_order_scope {
+        if raw_sync_scope && !allowed("raw-sync") {
+            if let Some(pattern) = raw_sync_constructor(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    warning: false,
+                    message: format!(
+                        "raw std::sync primitive '{}' in tracked serving/fault code: \
+                         use the websec_core::sync wrapper so the WEBSEC_LOCKDEP=1 \
+                         detector observes it",
+                        pattern.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        if let Some(spec) = lock_order_spec {
             if code.contains("fn ") {
                 // A new function body starts a fresh acquisition sequence.
                 last_lock = None;
             }
-            if let Some(rank) = line_lock_rank(code) {
+            if let Some(rank) = line_lock_rank(code, spec) {
                 if let Some(prev) = last_lock {
                     if rank < prev && !allowed("lock-order") {
                         findings.push(Finding {
@@ -277,9 +396,9 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                             message: format!(
                                 "lock order inversion: '{}' acquired after '{}'; the \
                                  canonical sequence is {}",
-                                LOCK_ORDER[rank],
-                                LOCK_ORDER[prev],
-                                LOCK_ORDER.join(" -> ")
+                                spec.order[rank],
+                                spec.order[prev],
+                                spec.order.join(" -> ")
                             ),
                         });
                     }
@@ -287,18 +406,35 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                 last_lock = Some(rank);
             }
         }
-        if code.contains("Ordering::Relaxed") && !allowed("relaxed-counter") {
-            if let Some(name) = gate_counter(code) {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    warning: true,
-                    message: format!(
-                        "Ordering::Relaxed on gate-fed counter '{name}': check.sh \
-                         gates read this value; confirm monotonic accumulation \
-                         suffices and annotate with // lint:allow(relaxed-counter)"
-                    ),
-                });
+        if code.contains("Ordering::Relaxed") {
+            if let Some(name) = sync_atomic(code) {
+                if !allowed("relaxed-sync") {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: idx + 1,
+                        warning: true,
+                        message: format!(
+                            "Ordering::Relaxed on synchronizing atomic '{name}': its \
+                             Release/Acquire pairs publish shared state, so a relaxed \
+                             access is a data race the runtime detector reports as \
+                             WS111; use Acquire/Release (or annotate with \
+                             // lint:allow(relaxed-sync))"
+                        ),
+                    });
+                }
+            } else if let Some(name) = gate_counter(code) {
+                if !allowed("relaxed-counter") {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: idx + 1,
+                        warning: true,
+                        message: format!(
+                            "Ordering::Relaxed on gate-fed counter '{name}': check.sh \
+                             gates read this value; confirm monotonic accumulation \
+                             suffices and annotate with // lint:allow(relaxed-counter)"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -425,13 +561,102 @@ mod tests {
         lint_file(shard, src, false, &mut findings);
         assert!(findings.is_empty(), "{}", render(&findings));
 
-        // The rule is path-scoped: the same code elsewhere is not checked.
+        // The rule is path-scoped: the same code outside the table is not
+        // checked.
         let mut findings = Vec::new();
         let src = "fn bad(&self) {\n\
                    let g = lock_counting(session, &waits);\n\
                    let m = lock_counting(&shard.map, &waits);\n\
                    }\n";
+        lint_file(Path::new("crates/core/src/stack/eval.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn lock_order_table_covers_mod_and_analysis() {
+        // mod.rs: the faults mutex ranks below the snapshot lock.
+        let src = "fn bad(&self) {\n\
+                   let f = self.faults.lock();\n\
+                   let s = self.snapshot.read();\n\
+                   }\n";
+        let mut findings = Vec::new();
         lint_file(Path::new("crates/core/src/server/mod.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("'snapshot' acquired after 'faults'"));
+
+        // analysis.rs: the analysis mutex after the snapshot lock is the
+        // canonical order...
+        let src = "fn good(&self) {\n\
+                   let s = self.snapshot.write();\n\
+                   let a = self.analysis.lock();\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/server/analysis.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // ...and the reverse is the inversion the module docs warn about.
+        let src = "fn bad(&self) {\n\
+                   let a = self.analysis.lock();\n\
+                   let s = self.snapshot.write();\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/server/analysis.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("lock order inversion"));
+    }
+
+    #[test]
+    fn raw_sync_primitives_are_flagged_in_tracked_scope() {
+        let file = Path::new("crates/core/src/server/mod.rs");
+        let src = "fn f() {\n\
+                   let m = Mutex::new(0);\n\
+                   let a = AtomicU64::new(0);\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert_eq!(findings.len(), 2, "{}", render(&findings));
+        assert!(findings.iter().all(|f| !f.warning));
+        assert!(findings[0].message.contains("raw std::sync primitive 'Mutex::new'"));
+
+        // Tracked wrappers are exactly the point — they must not match.
+        let src = "fn f() { let m = TrackedMutex::new(\"c\", 0); \
+                   let a = TrackedAtomicU64::counter(\"c\", 0); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // Out of scope (not serving/fault code) and opt-outs are clean.
+        let src = "fn f() { let m = Mutex::new(0); }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/stack/mod.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+        let src = "fn f() { let m = Mutex::new(0); } // lint:allow(raw-sync)\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn relaxed_on_synchronizing_atomic_is_flagged() {
+        let file = Path::new("crates/core/src/server/mod.rs");
+        let src = "fn f(&self) { let g = self.generation.load(Ordering::Relaxed); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("synchronizing atomic 'generation'"));
+        assert!(findings[0].message.contains("WS111"));
+
+        // Acquire/Release on the same atomic is the fix, not a finding.
+        let src = "fn f(&self) { let g = self.generation.load(Ordering::Acquire); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // The explicit opt-out still works.
+        let src = "fn f(&self) { let g = self.faults_enabled.load(Ordering::Relaxed); } \
+                   // lint:allow(relaxed-sync)\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
         assert!(findings.is_empty(), "{}", render(&findings));
     }
 

@@ -34,8 +34,10 @@
 //! does not.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+use crate::sync::{TrackedAtomicU64, TrackedMutex};
 
 use websec_crypto::SecureRng;
 
@@ -324,8 +326,8 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rule_seeds: Vec<u64>,
     /// Per rule: event index allocated per `(subject, document)` key hash.
-    counters: Vec<Mutex<HashMap<u64, u64>>>,
-    fired: Vec<AtomicU64>,
+    counters: Vec<TrackedMutex<HashMap<u64, u64>>>,
+    fired: Vec<TrackedAtomicU64>,
 }
 
 impl FaultInjector {
@@ -334,8 +336,16 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         let mut rng = SecureRng::seeded(plan.seed);
         let rule_seeds: Vec<u64> = plan.rules.iter().map(|_| rng.next_u64()).collect();
-        let counters = plan.rules.iter().map(|_| Mutex::new(HashMap::new())).collect();
-        let fired = plan.rules.iter().map(|_| AtomicU64::new(0)).collect();
+        let counters = plan
+            .rules
+            .iter()
+            .map(|_| TrackedMutex::new("faults.counters", HashMap::new()))
+            .collect();
+        let fired = plan
+            .rules
+            .iter()
+            .map(|_| TrackedAtomicU64::counter("faults.fired", 0))
+            .collect();
         FaultInjector {
             plan,
             rule_seeds,
@@ -353,13 +363,15 @@ impl FaultInjector {
     /// How many times rule `index` has fired.
     #[must_use]
     pub fn fired(&self, index: usize) -> u64 {
-        self.fired.get(index).map_or(0, |f| f.load(Ordering::Relaxed))
+        // Monotonic tally read after the run; relaxed readers tolerate lag.
+        self.fired.get(index).map_or(0, |f| f.load(Ordering::Relaxed)) // lint:allow(relaxed-counter)
     }
 
     /// Total fires across all rules.
     #[must_use]
     pub fn fired_total(&self) -> u64 {
-        self.fired.iter().map(|f| f.load(Ordering::Relaxed)).sum()
+        // Monotonic tallies summed for reporting only.
+        self.fired.iter().map(|f| f.load(Ordering::Relaxed)).sum() // lint:allow(relaxed-counter)
     }
 
     /// Per-rule `(kind, fired)` tallies, in rule order.
@@ -369,7 +381,8 @@ impl FaultInjector {
             .rules
             .iter()
             .zip(self.fired.iter())
-            .map(|(rule, fired)| (rule.kind, fired.load(Ordering::Relaxed)))
+            // Per-rule tally read for assertions after the run completes.
+            .map(|(rule, fired)| (rule.kind, fired.load(Ordering::Relaxed))) // lint:allow(relaxed-counter)
             .collect()
     }
 
@@ -385,16 +398,16 @@ impl FaultInjector {
             }
             let key_hash = site.key_hash();
             let index = {
-                let mut map = self.counters[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut map = self.counters[i].lock().unwrap_or_else(PoisonError::into_inner);
                 let slot = map.entry(key_hash).or_insert(0);
                 let current = *slot;
                 *slot += 1;
                 current
             };
             if rule.schedule.fires(self.rule_seeds[i], key_hash, index) {
-                self.fired[i].fetch_add(1, Ordering::Relaxed);
+                // Order-free accumulation: no reader derives other memory
+                // from the tally, so relaxed increments suffice.
+                self.fired[i].fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed-counter)
                 fired.push(rule.kind);
             }
         }

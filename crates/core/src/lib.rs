@@ -37,7 +37,12 @@
 //!   highest layers of the semantic web");
 //! * [`blobs`] — §2.1 multimedia/mass-storage integration: a
 //!   content-addressed, sealed-at-rest blob store whose retrieval is gated
-//!   by the XML-level access decision of the referencing element.
+//!   by the XML-level access decision of the referencing element;
+//! * [`sync`] — the **concurrency-correctness layer**: instrumented
+//!   [`sync::TrackedMutex`]/[`sync::TrackedRwLock`]/`TrackedAtomic*`
+//!   wrappers feeding a lockdep-style lock-order graph (`WS110`) and a
+//!   vector-clock happens-before race checker (`WS111`), enabled via
+//!   `WEBSEC_LOCKDEP=1` at effectively zero cost when off.
 //!
 //! ## Quick start
 //!
@@ -74,6 +79,7 @@ pub mod query;
 pub mod request;
 pub mod server;
 pub mod stack;
+pub mod sync;
 pub mod trust;
 
 pub use websec_analyzer as analyzer;
@@ -101,6 +107,10 @@ pub use server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, St
 #[allow(deprecated)]
 pub use server::ServerMetrics;
 pub use stack::{LayerTimings, SecureWebStack, StackError};
+pub use sync::{
+    lockdep_enabled, lockdep_findings, set_lockdep_enabled, SyncFinding, TrackedAtomicBool,
+    TrackedAtomicU64, TrackedMutex, TrackedRwLock,
+};
 pub use trust::{issue_voucher, TrustError, TrustStore, Voucher};
 
 /// Convenience glob import for examples and downstream users.
@@ -116,6 +126,10 @@ pub mod prelude {
     pub use crate::server::ServerMetrics;
     pub use crate::server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
+    pub use crate::sync::{
+        lockdep_enabled, lockdep_findings, set_lockdep_enabled, SyncFinding, TrackedAtomicBool,
+        TrackedAtomicU64, TrackedMutex, TrackedRwLock,
+    };
     pub use websec_analyzer::{
         Analyzer, AnalyzerInput, Diagnostic, DissemInput, PassId, Report, Section, Severity,
         UddiInput,

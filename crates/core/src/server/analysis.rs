@@ -189,25 +189,16 @@ impl StackServer {
     /// (empty when the cached report was reused wholesale).
     #[must_use]
     pub fn last_passes_run(&self) -> Vec<&'static str> {
-        self.last_passes_run
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.last_passes_run.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     fn analyze_snapshot(&self, stack: &SecureWebStack, token: Token) -> Report {
-        let mut slot = self
-            .analysis
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.analysis.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(state) = slot.as_ref() {
             if state.token == token {
                 self.analysis_passes_reused
                     .fetch_add(PASS_COUNT as u64, Ordering::Relaxed);
-                *self
-                    .last_passes_run
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = Vec::new();
+                *self.last_passes_run.lock().unwrap_or_else(PoisonError::into_inner) = Vec::new();
                 return state.report.clone();
             }
         }
@@ -248,10 +239,7 @@ impl StackServer {
             .fetch_add(ran.len() as u64, Ordering::Relaxed);
         self.analysis_passes_reused
             .fetch_add((PASS_COUNT - ran.len()) as u64, Ordering::Relaxed);
-        *self
-            .last_passes_run
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = ran;
+        *self.last_passes_run.lock().unwrap_or_else(PoisonError::into_inner) = ran;
         *slot = Some(AnalysisState {
             token,
             fingerprints,
@@ -264,10 +252,7 @@ impl StackServer {
     /// The cached report's error/warning counts, for the metrics snapshot
     /// (zeros until the first analyze).
     pub(super) fn analysis_gauges(&self) -> (u64, u64) {
-        let slot = self
-            .analysis
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let slot = self.analysis.lock().unwrap_or_else(PoisonError::into_inner);
         match slot.as_ref() {
             Some(state) => {
                 let errors = state.report.count_at_least(Severity::Error) as u64;

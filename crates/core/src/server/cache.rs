@@ -16,10 +16,11 @@
 //! their shard.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
 
 use super::metrics::ShardStats;
+use crate::sync::{TrackedAtomicU64, TrackedReadGuard, TrackedRwLock, TrackedWriteGuard};
 use super::shard::identity_hash;
 use websec_xml::Document;
 
@@ -48,36 +49,32 @@ struct CacheShardInner {
 }
 
 struct CacheShard {
-    inner: RwLock<CacheShardInner>,
-    lock_waits: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: TrackedRwLock<CacheShardInner>,
+    lock_waits: TrackedAtomicU64,
+    hits: TrackedAtomicU64,
+    misses: TrackedAtomicU64,
 }
 
 impl CacheShard {
     /// Read-locks the shard, counting contention; a poisoned shard heals
     /// itself (cached views are disposable, so recovering the guard is
     /// safe — at worst a view is recomputed).
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, CacheShardInner> {
+    fn read(&self) -> TrackedReadGuard<'_, CacheShardInner> {
         match self.inner.try_read() {
             Ok(guard) => guard,
             Err(_) => {
                 self.lock_waits.fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .read()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                self.inner.read().unwrap_or_else(PoisonError::into_inner)
             }
         }
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, CacheShardInner> {
+    fn write(&self) -> TrackedWriteGuard<'_, CacheShardInner> {
         match self.inner.try_write() {
             Ok(guard) => guard,
             Err(_) => {
                 self.lock_waits.fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .write()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                self.inner.write().unwrap_or_else(PoisonError::into_inner)
             }
         }
     }
@@ -95,16 +92,19 @@ impl L2ViewCache {
         L2ViewCache {
             shards: (0..shards)
                 .map(|_| CacheShard {
-                    inner: RwLock::new(CacheShardInner {
-                        token: Token {
-                            generation: 0,
-                            epoch: 0,
+                    inner: TrackedRwLock::new(
+                        "server.cache_shard",
+                        CacheShardInner {
+                            token: Token {
+                                generation: 0,
+                                epoch: 0,
+                            },
+                            views: HashMap::new(),
                         },
-                        views: HashMap::new(),
-                    }),
-                    lock_waits: AtomicU64::new(0),
-                    hits: AtomicU64::new(0),
-                    misses: AtomicU64::new(0),
+                    ),
+                    lock_waits: TrackedAtomicU64::counter("server.cache_lock_waits", 0),
+                    hits: TrackedAtomicU64::counter("server.cache_hits", 0),
+                    misses: TrackedAtomicU64::counter("server.cache_misses", 0),
                 })
                 .collect(),
             mask: shards as u64 - 1,

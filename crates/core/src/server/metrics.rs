@@ -12,9 +12,10 @@
 //!   [`ShardStats`], the L1/L2 hit split, and steal counters) without a
 //!   breaking change.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 use crate::error::Error;
+use crate::sync::TrackedAtomicU64;
 use crate::request::{CacheStatus, Decision, QueryResponse};
 use crate::stack::LayerTimings;
 
@@ -345,63 +346,65 @@ impl LocalMetrics {
 
 /// Lock-free cumulative counters (the mutable twin of [`MetricsSnapshot`]).
 pub(crate) struct MetricsInner {
-    requests: AtomicU64,
-    allowed: AtomicU64,
-    denied: AtomicU64,
-    errors: AtomicU64,
-    enforced: AtomicU64,
-    admitted_unchecked: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    l1_hits: AtomicU64,
-    coalesced: AtomicU64,
-    steals: AtomicU64,
-    stolen_requests: AtomicU64,
-    worker_panics: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    shed: AtomicU64,
-    retries: AtomicU64,
-    faults_injected: AtomicU64,
-    sessions_established: AtomicU64,
-    session_reuses: AtomicU64,
-    channel_ns: AtomicU64,
-    rdf_ns: AtomicU64,
-    xml_ns: AtomicU64,
-    gate_ns: AtomicU64,
-    latency_sum_ns: AtomicU64,
-    latency_count: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
+    requests: TrackedAtomicU64,
+    allowed: TrackedAtomicU64,
+    denied: TrackedAtomicU64,
+    errors: TrackedAtomicU64,
+    enforced: TrackedAtomicU64,
+    admitted_unchecked: TrackedAtomicU64,
+    cache_hits: TrackedAtomicU64,
+    cache_misses: TrackedAtomicU64,
+    l1_hits: TrackedAtomicU64,
+    coalesced: TrackedAtomicU64,
+    steals: TrackedAtomicU64,
+    stolen_requests: TrackedAtomicU64,
+    worker_panics: TrackedAtomicU64,
+    deadline_exceeded: TrackedAtomicU64,
+    shed: TrackedAtomicU64,
+    retries: TrackedAtomicU64,
+    faults_injected: TrackedAtomicU64,
+    sessions_established: TrackedAtomicU64,
+    session_reuses: TrackedAtomicU64,
+    channel_ns: TrackedAtomicU64,
+    rdf_ns: TrackedAtomicU64,
+    xml_ns: TrackedAtomicU64,
+    gate_ns: TrackedAtomicU64,
+    latency_sum_ns: TrackedAtomicU64,
+    latency_count: TrackedAtomicU64,
+    latency: [TrackedAtomicU64; LATENCY_BUCKETS],
 }
 
 impl Default for MetricsInner {
     fn default() -> Self {
         MetricsInner {
-            requests: AtomicU64::new(0),
-            allowed: AtomicU64::new(0),
-            denied: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            enforced: AtomicU64::new(0),
-            admitted_unchecked: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            l1_hits: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            stolen_requests: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            faults_injected: AtomicU64::new(0),
-            sessions_established: AtomicU64::new(0),
-            session_reuses: AtomicU64::new(0),
-            channel_ns: AtomicU64::new(0),
-            rdf_ns: AtomicU64::new(0),
-            xml_ns: AtomicU64::new(0),
-            gate_ns: AtomicU64::new(0),
-            latency_sum_ns: AtomicU64::new(0),
-            latency_count: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            requests: TrackedAtomicU64::counter("server.metrics.requests", 0),
+            allowed: TrackedAtomicU64::counter("server.metrics.allowed", 0),
+            denied: TrackedAtomicU64::counter("server.metrics.denied", 0),
+            errors: TrackedAtomicU64::counter("server.metrics.errors", 0),
+            enforced: TrackedAtomicU64::counter("server.metrics.enforced", 0),
+            admitted_unchecked: TrackedAtomicU64::counter("server.metrics.admitted_unchecked", 0),
+            cache_hits: TrackedAtomicU64::counter("server.metrics.cache_hits", 0),
+            cache_misses: TrackedAtomicU64::counter("server.metrics.cache_misses", 0),
+            l1_hits: TrackedAtomicU64::counter("server.metrics.l1_hits", 0),
+            coalesced: TrackedAtomicU64::counter("server.metrics.coalesced", 0),
+            steals: TrackedAtomicU64::counter("server.metrics.steals", 0),
+            stolen_requests: TrackedAtomicU64::counter("server.metrics.stolen_requests", 0),
+            worker_panics: TrackedAtomicU64::counter("server.metrics.worker_panics", 0),
+            deadline_exceeded: TrackedAtomicU64::counter("server.metrics.deadline_exceeded", 0),
+            shed: TrackedAtomicU64::counter("server.metrics.shed", 0),
+            retries: TrackedAtomicU64::counter("server.metrics.retries", 0),
+            faults_injected: TrackedAtomicU64::counter("server.metrics.faults_injected", 0),
+            sessions_established: TrackedAtomicU64::counter("server.metrics.sessions_established", 0),
+            session_reuses: TrackedAtomicU64::counter("server.metrics.session_reuses", 0),
+            channel_ns: TrackedAtomicU64::counter("server.metrics.channel_ns", 0),
+            rdf_ns: TrackedAtomicU64::counter("server.metrics.rdf_ns", 0),
+            xml_ns: TrackedAtomicU64::counter("server.metrics.xml_ns", 0),
+            gate_ns: TrackedAtomicU64::counter("server.metrics.gate_ns", 0),
+            latency_sum_ns: TrackedAtomicU64::counter("server.metrics.latency_sum_ns", 0),
+            latency_count: TrackedAtomicU64::counter("server.metrics.latency_count", 0),
+            latency: std::array::from_fn(|_| {
+                TrackedAtomicU64::counter("server.metrics.latency", 0)
+            }),
         }
     }
 }
@@ -409,7 +412,7 @@ impl Default for MetricsInner {
 impl MetricsInner {
     /// Folds a worker's local accumulator into the cumulative store.
     pub fn absorb(&self, local: &LocalMetrics) {
-        let add = |a: &AtomicU64, v: u64| {
+        let add = |a: &TrackedAtomicU64, v: u64| {
             if v != 0 {
                 a.fetch_add(v, Ordering::Relaxed);
             }

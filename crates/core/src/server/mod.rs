@@ -56,13 +56,17 @@ mod metrics;
 mod shard;
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
 
 use crate::error::Error;
 use crate::faults::{FaultContext, FaultInjector, FaultKind, FaultLayer, FaultPlan, RetryPolicy};
 use crate::request::{CacheStatus, QueryRequest, QueryResponse};
 use crate::stack::{SecureWebStack, ViewResolver};
+use crate::sync::{
+    TrackedAtomicBool, TrackedAtomicU8, TrackedAtomicU64, TrackedAtomicUsize, TrackedMutex,
+    TrackedRwLock,
+};
 use cache::{L1ViewCache, L2ViewCache, Token, ViewKey};
 use metrics::{LocalMetrics, MetricsInner};
 use shard::SessionShards;
@@ -90,40 +94,41 @@ const DEFAULT_SHARDS: usize = 16;
 /// new configuration (cached views are token-checked, so no worker can
 /// serve a stale view past the epoch bump).
 pub struct StackServer {
-    snapshot: RwLock<Arc<SecureWebStack>>,
+    snapshot: TrackedRwLock<Arc<SecureWebStack>>,
     /// Bumped after every snapshot mutation; pairs with the policy epoch
-    /// to form the validity [`Token`] of cached views.
-    generation: AtomicU64,
+    /// to form the validity [`Token`] of cached views. A synchronizing
+    /// atomic: its Release/Acquire pairs publish the snapshot seqlock.
+    generation: TrackedAtomicU64,
     sessions: SessionShards,
     cache: L2ViewCache,
     metrics: MetricsInner,
     /// The armed fault injector, if a chaos plan is installed. Guarded by
     /// `faults_enabled` so the no-plan serving path pays one atomic load.
-    faults: Mutex<Option<Arc<FaultInjector>>>,
-    faults_enabled: AtomicBool,
+    faults: TrackedMutex<Option<Arc<FaultInjector>>>,
+    faults_enabled: TrackedAtomicBool,
     /// The logical clock (ticks, not wall time): advanced only by injected
     /// `SlowEval` faults, retry backoffs, and explicit
     /// [`StackServer::advance_clock`] calls, so every deadline decision is
     /// deterministic and replayable.
-    clock: AtomicU64,
+    clock: TrackedAtomicU64,
     /// Admission-control capacity per batch worker (0 = unlimited): a
     /// batch larger than `limit × workers` has its tail shed with `WS108`.
-    queue_limit: AtomicUsize,
+    queue_limit: TrackedAtomicUsize,
     /// The cached incremental analysis, keyed by the token it ran at.
     /// Lock order: the snapshot lock is always taken before this mutex.
-    analysis: Mutex<Option<analysis::AnalysisState>>,
+    analysis: TrackedMutex<Option<analysis::AnalysisState>>,
     /// The configured [`AnalysisGate`] (stored as its discriminant).
-    analysis_gate: AtomicU8,
+    analysis_gate: TrackedAtomicU8,
     /// Analyzer passes actually executed across all [`StackServer::analyze`]
     /// calls (the incremental machinery's "work done" counter).
-    analysis_passes_run: AtomicU64,
+    analysis_passes_run: TrackedAtomicU64,
     /// Analyzer passes answered from the cache (unchanged token or
     /// unchanged input sections).
-    analysis_passes_reused: AtomicU64,
+    analysis_passes_reused: TrackedAtomicU64,
     /// Updates rejected by [`AnalysisGate::Deny`] with `WS109`.
-    gate_denials: AtomicU64,
+    gate_denials: TrackedAtomicU64,
     /// Codes of the passes the most recent analyze executed.
-    last_passes_run: Mutex<Vec<&'static str>>,
+    last_passes_run: TrackedMutex<Vec<&'static str>>,
 }
 
 /// Worker-local serving state: the L1 view cache, a session-handle table,
@@ -131,7 +136,7 @@ pub struct StackServer {
 #[derive(Default)]
 struct WorkerState {
     l1: L1ViewCache,
-    sessions: HashMap<String, Arc<Mutex<ChannelSession>>>,
+    sessions: HashMap<String, Arc<TrackedMutex<ChannelSession>>>,
     snapshot: Option<(u64, Arc<SecureWebStack>, Token)>,
     /// Batch worker index (`None` on the single-request serve path);
     /// worker-scoped fault rules match against it.
@@ -224,19 +229,21 @@ enum Claim {
 }
 
 struct CoalesceMap {
-    shards: Vec<Mutex<HashMap<(String, Token), Slot>>>,
+    shards: Vec<TrackedMutex<HashMap<(String, Token), Slot>>>,
     mask: u64,
 }
 
 impl CoalesceMap {
     fn new(shards: usize) -> Self {
         CoalesceMap {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| TrackedMutex::new("server.coalesce", HashMap::new()))
+                .collect(),
             mask: shards as u64 - 1,
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashMap<(String, Token), Slot>> {
+    fn shard(&self, key: &str) -> &TrackedMutex<HashMap<(String, Token), Slot>> {
         &self.shards[(shard::identity_hash(key) & self.mask) as usize]
     }
 
@@ -295,21 +302,21 @@ impl StackServer {
     pub fn with_shards(stack: SecureWebStack, shards: usize) -> Self {
         let shards = shards.clamp(1, 4096).next_power_of_two();
         StackServer {
-            snapshot: RwLock::new(Arc::new(stack)),
-            generation: AtomicU64::new(0),
+            snapshot: TrackedRwLock::new("server.snapshot", Arc::new(stack)),
+            generation: TrackedAtomicU64::synchronizing("server.generation", 0),
             sessions: SessionShards::new(shards),
             cache: L2ViewCache::new(shards),
             metrics: MetricsInner::default(),
-            faults: Mutex::new(None),
-            faults_enabled: AtomicBool::new(false),
-            clock: AtomicU64::new(0),
-            queue_limit: AtomicUsize::new(0),
-            analysis: Mutex::new(None),
-            analysis_gate: AtomicU8::new(0),
-            analysis_passes_run: AtomicU64::new(0),
-            analysis_passes_reused: AtomicU64::new(0),
-            gate_denials: AtomicU64::new(0),
-            last_passes_run: Mutex::new(Vec::new()),
+            faults: TrackedMutex::new("server.faults", None),
+            faults_enabled: TrackedAtomicBool::synchronizing("server.faults_enabled", false),
+            clock: TrackedAtomicU64::counter("server.clock", 0),
+            queue_limit: TrackedAtomicUsize::counter("server.queue_limit", 0),
+            analysis: TrackedMutex::new("server.analysis", None),
+            analysis_gate: TrackedAtomicU8::counter("server.analysis_gate", 0),
+            analysis_passes_run: TrackedAtomicU64::counter("server.analysis_passes_run", 0),
+            analysis_passes_reused: TrackedAtomicU64::counter("server.analysis_passes_reused", 0),
+            gate_denials: TrackedAtomicU64::counter("server.gate_denials", 0),
+            last_passes_run: TrackedMutex::new("server.analysis_trace", Vec::new()),
         }
     }
 
@@ -322,10 +329,7 @@ impl StackServer {
     /// atomic load.
     pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
         let injector = Arc::new(FaultInjector::new(plan));
-        *self
-            .faults
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(&injector));
+        *self.faults.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&injector));
         self.faults_enabled.store(true, Ordering::Release);
         injector
     }
@@ -335,10 +339,7 @@ impl StackServer {
     /// recompute — is asserted by the chaos suite).
     pub fn clear_faults(&self) {
         self.faults_enabled.store(false, Ordering::Release);
-        *self
-            .faults
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        *self.faults.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// The armed injector, if any (one atomic load when faults are off).
@@ -346,10 +347,7 @@ impl StackServer {
         if !self.faults_enabled.load(Ordering::Acquire) {
             return None;
         }
-        self.faults
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// The logical clock, in ticks. It advances only on injected
@@ -394,8 +392,8 @@ impl StackServer {
     /// paths degrade to `WS106` instead of panicking.
     #[must_use]
     pub fn snapshot(&self) -> Arc<SecureWebStack> {
-        self.snapshot
-            .read()
+        let guard = self.snapshot.read();
+        guard
             .map(|guard| Arc::clone(&guard))
             .expect("stack snapshot poisoned by a panicked update closure")
     }
@@ -439,10 +437,9 @@ impl StackServer {
     /// token-checked, so none can survive the bump).
     pub fn update<R>(&self, mutate: impl FnOnce(&mut SecureWebStack) -> R) -> R {
         let result = {
-            let mut guard = self
-                .snapshot
-                .write()
-                .expect("stack snapshot poisoned by a panicked update closure");
+            let guard = self.snapshot.write();
+            let mut guard =
+                guard.expect("stack snapshot poisoned by a panicked update closure");
             mutate(Arc::make_mut(&mut guard))
         };
         self.generation.fetch_add(1, Ordering::Release);
@@ -748,7 +745,7 @@ impl StackServer {
             .collect();
         // Contiguous index chunks, one run queue per worker.
         let chunk = admitted.div_euclid(workers).max(1);
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        let queues: Vec<TrackedMutex<VecDeque<usize>>> = (0..workers)
             .map(|w| {
                 let start = w * chunk;
                 let end = if w + 1 == workers {
@@ -756,7 +753,7 @@ impl StackServer {
                 } else {
                     ((w + 1) * chunk).min(admitted)
                 };
-                Mutex::new((start..end).collect())
+                TrackedMutex::new("server.queue", (start..end).collect())
             })
             .collect();
         let coalesce = CoalesceMap::new(self.sessions.len());
@@ -825,7 +822,7 @@ impl StackServer {
         worker_index: usize,
         requests: &[QueryRequest],
         deadlines: &[Option<u64>],
-        queues: &[Mutex<VecDeque<usize>>],
+        queues: &[TrackedMutex<VecDeque<usize>>],
         coalesce: &CoalesceMap,
     ) -> Vec<(usize, Result<QueryResponse, Error>)> {
         let mut worker = WorkerState {
@@ -894,7 +891,7 @@ impl StackServer {
     /// drained (or the own queue is poisoned).
     fn next_index(
         worker_index: usize,
-        queues: &[Mutex<VecDeque<usize>>],
+        queues: &[TrackedMutex<VecDeque<usize>>],
         local: &mut LocalMetrics,
     ) -> Option<usize> {
         match queues[worker_index].lock() {

@@ -13,10 +13,11 @@
 //! requests routed to that shard instead of propagating the panic.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, TryLockError};
 
 use super::metrics::{LocalMetrics, ShardStats};
+use crate::sync::{TrackedAtomicU64, TrackedMutex, TrackedMutexGuard};
 use crate::error::Error;
 use crate::faults::{FaultContext, FaultKind, FaultLayer};
 use websec_services::ChannelSession;
@@ -36,9 +37,9 @@ pub(crate) fn identity_hash(identity: &str) -> u64 {
 /// uncontended `try_lock` fast path fails. Returns `None` when the lock is
 /// poisoned (the holder panicked), which callers surface as `WS106`.
 pub(crate) fn lock_counting<'a, T>(
-    mutex: &'a Mutex<T>,
-    waits: &AtomicU64,
-) -> Option<MutexGuard<'a, T>> {
+    mutex: &'a TrackedMutex<T>,
+    waits: &TrackedAtomicU64,
+) -> Option<TrackedMutexGuard<'a, T>> {
     match mutex.try_lock() {
         Ok(guard) => Some(guard),
         Err(TryLockError::WouldBlock) => {
@@ -51,8 +52,8 @@ pub(crate) fn lock_counting<'a, T>(
 
 /// One shard of the session table.
 struct SessionShard {
-    map: Mutex<HashMap<String, Arc<Mutex<ChannelSession>>>>,
-    lock_waits: AtomicU64,
+    map: TrackedMutex<HashMap<String, Arc<TrackedMutex<ChannelSession>>>>,
+    lock_waits: TrackedAtomicU64,
 }
 
 /// The session table, sharded by identity hash. Shard count is a power of
@@ -69,8 +70,8 @@ impl SessionShards {
         SessionShards {
             shards: (0..shards)
                 .map(|_| SessionShard {
-                    map: Mutex::new(HashMap::new()),
-                    lock_waits: AtomicU64::new(0),
+                    map: TrackedMutex::new("server.shard_map", HashMap::new()),
+                    lock_waits: TrackedAtomicU64::counter("server.shard_lock_waits", 0),
                 })
                 .collect(),
             mask: shards as u64 - 1,
@@ -99,7 +100,7 @@ impl SessionShards {
         protected: bool,
         local: &mut LocalMetrics,
         faults: Option<&FaultContext<'_>>,
-    ) -> Result<Arc<Mutex<ChannelSession>>, Error> {
+    ) -> Result<Arc<TrackedMutex<ChannelSession>>, Error> {
         let shard = &self.shards[self.shard_index(identity)];
         if let Some(ctx) = faults {
             for kind in ctx.check(FaultLayer::Shard) {
@@ -123,9 +124,10 @@ impl SessionShards {
             local.session_reuses += 1;
             return Ok(Arc::clone(session));
         }
-        let session = Arc::new(Mutex::new(ChannelSession::establish(
-            master_key, identity, protected,
-        )));
+        let session = Arc::new(TrackedMutex::new(
+            "server.session",
+            ChannelSession::establish(master_key, identity, protected),
+        ));
         local.sessions_established += 1;
         map.insert(identity.to_string(), Arc::clone(&session));
         Ok(session)
@@ -137,8 +139,8 @@ impl SessionShards {
     pub fn lock_session<'a>(
         &self,
         identity: &str,
-        session: &'a Mutex<ChannelSession>,
-    ) -> Option<MutexGuard<'a, ChannelSession>> {
+        session: &'a TrackedMutex<ChannelSession>,
+    ) -> Option<TrackedMutexGuard<'a, ChannelSession>> {
         let shard = &self.shards[self.shard_index(identity)];
         lock_counting(session, &shard.lock_waits)
     }
@@ -240,8 +242,8 @@ mod tests {
 
     #[test]
     fn lock_counting_fast_path_records_no_wait() {
-        let mutex = Mutex::new(0u32);
-        let waits = AtomicU64::new(0);
+        let mutex = TrackedMutex::new("test.shard_fastpath", 0u32);
+        let waits = TrackedAtomicU64::counter("test.shard_fastpath_waits", 0);
         let g = lock_counting(&mutex, &waits).unwrap();
         drop(g);
         assert_eq!(waits.load(Ordering::Relaxed), 0);

@@ -134,6 +134,9 @@ impl Apriori {
                 }
             }
         }
+        // Atomic-ordering audit: this is `std::cmp::Ordering` (a sort
+        // comparator), not `std::sync::atomic::Ordering` — the crate holds
+        // no atomics, so the relaxed-ordering lint has nothing to check.
         rules.sort_by(|a, b| {
             b.confidence
                 .partial_cmp(&a.confidence)

@@ -93,6 +93,9 @@ pub fn reconstruct_records(
                     // Max-posterior bin for randomized value w:
                     // argmax_b fY(w − center_b) · f̂(b).
                     let w = r.values[attr];
+                    // Atomic-ordering audit: `std::cmp::Ordering` in a
+                    // comparator, not an atomic memory ordering — no
+                    // relaxed-atomic sites exist in this crate.
                     let best = (0..bins)
                         .max_by(|&a, &b| {
                             let pa = noise.density(w - centers[a]) * dist[a];

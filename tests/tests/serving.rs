@@ -16,6 +16,23 @@ const RACE_ITERATIONS: usize = 300;
 const RACE_BATCH: usize = 2048;
 const RACE_WORKERS: usize = 4;
 
+/// Regression oracle for the concurrency-correctness layer: when the
+/// suite runs with `WEBSEC_LOCKDEP=1`, every test must finish with zero
+/// `WS110`/`WS111` findings (with detection off the list is empty by
+/// construction, so the assertion is free).
+fn assert_no_sync_findings() {
+    let findings = websec_core::sync::lockdep_findings();
+    assert!(
+        findings.is_empty(),
+        "lockdep/race detector reported findings:\n{}",
+        findings
+            .iter()
+            .map(websec_core::sync::SyncFinding::machine_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 fn build_stack() -> SecureWebStack {
     let mut stack = SecureWebStack::new([MASTER_KEY_SEED; 32]);
     let mut xml = String::from("<hospital>");
@@ -130,6 +147,7 @@ fn parallel_batch_matches_serial_run() {
     assert_eq!(metrics.allowed, allowed);
     assert_eq!(metrics.denied, denied);
     assert_eq!(metrics.errors, errored);
+    assert_no_sync_findings();
 }
 
 /// A policy mutation through `update` bumps the policy epoch and evicts
@@ -175,6 +193,7 @@ fn policy_mutation_invalidates_cached_views() {
         "revoked subject still sees the portion: {}",
         third.xml
     );
+    assert_no_sync_findings();
 }
 
 /// One handshake per subject: a burst from few subjects establishes few
@@ -196,6 +215,7 @@ fn sessions_are_established_once_per_subject() {
     );
     assert!(metrics.cache_hits > 0);
     assert!(metrics.latency.count >= metrics.allowed);
+    assert_no_sync_findings();
 }
 
 fn doctor_request(d: usize, patient: usize) -> QueryRequest {
@@ -286,6 +306,7 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
         let response = result.unwrap();
         assert!(response.xml.is_empty(), "stale view: {}", response.xml);
     }
+    assert_no_sync_findings();
 }
 
 /// A revocation landing in the middle of `serve_batch` must partition the
@@ -325,6 +346,7 @@ fn revocation_mid_batch_yields_only_valid_answers() {
     for d in 0..RACE_READERS {
         assert!(server.serve(&doctor_request(d, 1)).unwrap().xml.is_empty());
     }
+    assert_no_sync_findings();
 }
 
 /// The unified error type reports stable WS1xx codes at the API boundary.
@@ -351,4 +373,5 @@ fn error_codes_are_stable_at_the_boundary() {
         .subject(&subject)
         .clearance(Clearance(Level::Unclassified));
     assert_eq!(server.serve(&pathless).unwrap_err().code(), "WS105");
+    assert_no_sync_findings();
 }
