@@ -26,7 +26,7 @@ export LOCKDEP_CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS:-200}"
 echo "==> cargo test with WEBSEC_LOCKDEP=1 (CHAOS_SEEDS=${LOCKDEP_CHAOS_SEEDS})"
 WEBSEC_LOCKDEP=1 CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS}" \
     cargo test -q --offline -p websec-integration-tests \
-    --test chaos --test serving --test lockdep
+    --test chaos --test serving --test lockdep --test scheduler
 
 echo "==> lock-order graph baseline (LOCKORDER.json)"
 cargo run --release --offline -p websec-examples --bin lockorder_dump LOCKORDER_run1.json
@@ -78,6 +78,20 @@ f_ratio=$(awk "BEGIN {printf \"%.2f\", $f_parallel_qps / $f_serial_qps}")
 echo "==> faulted parallel/serial ratio: ${f_ratio}x (parallel ${f_parallel_qps} q/s vs serial ${f_serial_qps} q/s)"
 if awk "BEGIN {exit !($f_parallel_qps < $f_serial_qps)}"; then
     echo "check.sh: FAIL — faulted parallel serving (${f_parallel_qps} q/s) is slower than faulted serial (${f_serial_qps} q/s)" >&2
+    exit 1
+fi
+
+# Gate: on the worst-case no-duplicate workload (nothing coalesces, no
+# cache level answers twice) an 8-worker batch must beat 1 worker by the
+# core-aware factor the bench computed (3x on >= 8 cores, a no-regression
+# floor on a single-core box).
+nd_1w=$(awk -F': ' '/"nodup_qps_1w"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+nd_8w=$(awk -F': ' '/"nodup_qps_8w"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+nd_speedup=$(awk -F': ' '/"nodup_speedup_8w_over_1w"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+nd_expected=$(awk -F': ' '/"nodup_expected_speedup"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+echo "==> no-dup 8w/1w speedup: ${nd_speedup}x (8w ${nd_8w} q/s vs 1w ${nd_1w} q/s; expected >= ${nd_expected}x)"
+if awk "BEGIN {exit !($nd_speedup < $nd_expected)}"; then
+    echo "check.sh: FAIL — no-dup 8-worker speedup ${nd_speedup}x is below the core-aware bar ${nd_expected}x" >&2
     exit 1
 fi
 

@@ -191,11 +191,11 @@ const LOCK_ORDER_SPECS: &[LockOrderSpec] = &[
     },
     LockOrderSpec {
         path: "server/mod.rs",
-        order: &["snapshot", "faults", "analysis", "map", "session", "queues"],
+        order: &["update_lock", "snapshot", "faults", "analysis", "map", "session"],
     },
     LockOrderSpec {
         path: "server/analysis.rs",
-        order: &["snapshot", "analysis", "last_passes_run"],
+        order: &["update_lock", "snapshot", "analysis", "last_passes_run"],
     },
     LockOrderSpec {
         path: "server/cache.rs",
@@ -213,11 +213,13 @@ fn lock_order_for(file: &Path) -> Option<&'static LockOrderSpec> {
     LOCK_ORDER_SPECS.iter().find(|spec| path.ends_with(spec.path))
 }
 
-/// Atomics whose Release/Acquire pairs publish shared state (the snapshot
-/// seqlock generation and the armed-fault-plan flag). `Ordering::Relaxed`
-/// on these is a publication race, not a performance tweak; the runtime
-/// detector reports the same mistake as `WS111`.
-const SYNC_ATOMICS: [&str; 2] = ["generation", "faults_enabled"];
+/// Atomics whose Release/Acquire (or SeqCst) pairs publish shared state:
+/// the snapshot generation, the armed-fault-plan flag, and the batch
+/// scheduler's deque/injector cursors (`top`/`bottom`/`cursor`), whose
+/// Chase-Lev claim protocol depends on a single total order.
+/// `Ordering::Relaxed` on these is a publication race, not a performance
+/// tweak; the runtime detector reports the same mistake as `WS111`.
+const SYNC_ATOMICS: [&str; 5] = ["generation", "faults_enabled", "top", "bottom", "cursor"];
 
 /// Counters that feed `check.sh`'s benchmark/awk gates. Accumulating them
 /// with `Ordering::Relaxed` is fine; *reading* them that way where the

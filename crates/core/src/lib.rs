@@ -12,10 +12,11 @@
 //!   split into mutable configuration and read-only evaluation;
 //! * [`server`] — the **sharded concurrent serving layer**: per-subject
 //!   channel sessions and a two-level token-checked policy-view cache,
-//!   both sharded by identity hash; batch execution with per-worker run
-//!   queues, steal-half balancing, and request coalescing; observable
-//!   through [`server::MetricsSnapshot`] (with per-shard contention
-//!   counters);
+//!   both sharded by identity hash; lock-free batch execution
+//!   ([`server::StackServer::serve_batch`] over a [`BatchRequest`]) with
+//!   per-worker work-stealing deques, a shared overflow injector, and
+//!   precomputed request coalescing; observable through
+//!   [`server::MetricsSnapshot`] and per-batch [`server::BatchStats`];
 //! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] API every query
 //!   flows through;
 //! * [`error`] — the unified [`Error`] with stable `WS1xx` codes;
@@ -102,8 +103,11 @@ pub use faults::{
 pub use federation::{FederatedHit, Federation, Site};
 pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
-pub use request::{CacheStatus, Decision, QueryRequest, QueryResponse};
-pub use server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
+pub use request::{BatchRequest, CacheStatus, Decision, QueryRequest, QueryResponse};
+pub use server::{
+    AnalysisGate, BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot, ServerConfig,
+    ShardStats, StackServer,
+};
 #[allow(deprecated)]
 pub use server::ServerMetrics;
 pub use stack::{LayerTimings, SecureWebStack, StackError};
@@ -121,10 +125,13 @@ pub mod prelude {
     };
     pub use crate::federation::{FederatedHit, Federation, Site};
     pub use crate::query::{QueryStrategy, SecureQueryProcessor};
-    pub use crate::request::{CacheStatus, Decision, QueryRequest, QueryResponse};
+    pub use crate::request::{BatchRequest, CacheStatus, Decision, QueryRequest, QueryResponse};
     #[allow(deprecated)]
     pub use crate::server::ServerMetrics;
-    pub use crate::server::{AnalysisGate, LatencyHistogram, MetricsSnapshot, ShardStats, StackServer};
+    pub use crate::server::{
+        AnalysisGate, BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot,
+        ServerConfig, ShardStats, StackServer,
+    };
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
     pub use crate::sync::{
         lockdep_enabled, lockdep_findings, set_lockdep_enabled, SyncFinding, TrackedAtomicBool,

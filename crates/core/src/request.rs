@@ -137,6 +137,79 @@ impl QueryRequest {
     }
 }
 
+/// A batch of queries plus its scheduling parameters, built fluently and
+/// handed to [`crate::server::StackServer::serve_batch`]:
+///
+/// ```
+/// use websec_core::prelude::*;
+///
+/// let requests = vec![QueryRequest::for_doc("h.xml")];
+/// let batch = BatchRequest::new(requests).workers(4).deadline_ticks(100);
+/// assert_eq!(batch.worker_count(), 4);
+/// ```
+///
+/// Replaces the positional `serve_batch(&[QueryRequest], usize)` signature
+/// (kept as the deprecated `serve_batch_positional` shim for one release).
+/// The batch-level deadline, when set, caps every member request's budget:
+/// a request's effective deadline is the tighter of its own
+/// [`QueryRequest::deadline_ticks`] budget and the batch's.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    requests: Vec<QueryRequest>,
+    workers: usize,
+    deadline: Option<u64>,
+}
+
+impl BatchRequest {
+    /// Starts a batch over `requests` with a single worker (serial
+    /// evaluation in submission order) and no batch deadline.
+    #[must_use]
+    pub fn new(requests: Vec<QueryRequest>) -> Self {
+        BatchRequest {
+            requests,
+            workers: 1,
+            deadline: None,
+        }
+    }
+
+    /// Sets the number of scheduler workers (clamped to at least 1). The
+    /// server may run fewer when admission control shrinks the batch below
+    /// the requested parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Gives the whole batch a deadline budget in logical-clock ticks,
+    /// measured from batch admission. Each request's effective deadline is
+    /// the tighter of this and its own per-request budget; exhaustion
+    /// yields `WS107` exactly as for per-request deadlines.
+    #[must_use]
+    pub fn deadline_ticks(mut self, budget: u64) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The batch's member requests, in submission order.
+    #[must_use]
+    pub fn requests(&self) -> &[QueryRequest] {
+        &self.requests
+    }
+
+    /// The requested worker count.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The batch-level deadline budget, if one has been set.
+    #[must_use]
+    pub fn deadline_budget(&self) -> Option<u64> {
+        self.deadline
+    }
+}
+
 /// How the flexible-enforcement gate treated a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
@@ -204,6 +277,18 @@ mod tests {
             budgeted.coalesce_key().is_none(),
             "a deadline-carrying request must not share another request's evaluation"
         );
+    }
+
+    #[test]
+    fn batch_builder_defaults_and_setters() {
+        let batch = BatchRequest::new(vec![QueryRequest::for_doc("d.xml")]);
+        assert_eq!(batch.requests().len(), 1);
+        assert_eq!(batch.worker_count(), 1);
+        assert_eq!(batch.deadline_budget(), None);
+        let batch = batch.workers(0).deadline_ticks(9);
+        assert_eq!(batch.worker_count(), 1, "workers clamps to at least 1");
+        assert_eq!(batch.deadline_budget(), Some(9));
+        assert_eq!(BatchRequest::new(Vec::new()).workers(8).worker_count(), 8);
     }
 
     #[test]

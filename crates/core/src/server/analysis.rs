@@ -18,10 +18,12 @@
 //! mutation on a copy of the stack and refuses to commit — with a stable
 //! `WS109` error — when it would introduce *new* error-severity findings.
 //!
-//! Lock order: the snapshot `RwLock` is always taken before the analysis
-//! mutex, never the reverse ([`StackServer::try_update`] holds the write
-//! lock across validation but only touches the analysis cache after
-//! releasing it).
+//! Lock order: the update mutex is the server's outermost lock, taken
+//! before any snapshot slot; the snapshot locks are in turn always taken
+//! before the analysis mutex, never the reverse
+//! ([`StackServer::try_update`] holds the update lock across validation —
+//! so no concurrent writer can interleave between validation and commit —
+//! but only touches the analysis cache after publishing and releasing).
 
 use std::collections::BTreeSet;
 use std::sync::atomic::Ordering;
@@ -271,8 +273,9 @@ impl StackServer {
     ///   incrementally so findings surface in
     ///   [`super::MetricsSnapshot`] without blocking anything.
     /// * [`AnalysisGate::Deny`] — applies the mutation to a *copy* of the
-    ///   stack under the snapshot write lock (so no concurrent update can
-    ///   interleave between validation and commit), analyzes the copy, and
+    ///   stack under the update lock (so no concurrent writer can
+    ///   interleave between validation and commit — readers keep serving
+    ///   from the published snapshot throughout), analyzes the copy, and
     ///   commits only when no **new** error-severity finding (relative to
     ///   the pre-update configuration) appears. A rejected update leaves
     ///   the snapshot, generation, and caches untouched and returns
@@ -290,19 +293,16 @@ impl StackServer {
                 Ok(result)
             }
             AnalysisGate::Deny => {
-                let mut guard = match self.snapshot.write() {
-                    Ok(guard) => guard,
-                    Err(_) => {
-                        return Err(Error::ShardPoisoned(
-                            "stack snapshot poisoned by a panicked update closure".into(),
-                        ))
-                    }
-                };
+                let writer = self
+                    .update_lock
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let current = self.current_snapshot();
                 // Pre-existing errors are grandfathered: the gate blocks
                 // *regressions*, not stacks that already carried findings
                 // when the gate was enabled.
-                let baseline = error_lines(&guard.analyze());
-                let mut candidate = (**guard).clone();
+                let baseline = error_lines(&current.analyze());
+                let mut candidate = (*current).clone();
                 let result = mutate(&mut candidate);
                 let report = candidate.analyze();
                 let introduced: Vec<String> = report
@@ -313,14 +313,12 @@ impl StackServer {
                     .filter(|line| !baseline.contains(line))
                     .collect();
                 if !introduced.is_empty() {
-                    drop(guard);
+                    drop(writer);
                     self.gate_denials.fetch_add(1, Ordering::Relaxed);
                     return Err(Error::AnalysisRejected(introduced.join("\n")));
                 }
-                *guard = Arc::new(candidate);
-                drop(guard);
-                self.generation.fetch_add(1, Ordering::Release);
-                self.cache.clear();
+                self.publish(Arc::new(candidate));
+                drop(writer);
                 let _ = self.analyze();
                 Ok(result)
             }

@@ -112,22 +112,46 @@ impl L2ViewCache {
     }
 
     fn shard_for(&self, identity: &str) -> &CacheShard {
-        &self.shards[(identity_hash(identity) & self.mask) as usize]
+        &self.shards[self.shard_index(identity)]
     }
 
-    /// A valid cached view, or `None` (which also counts a shard miss —
-    /// callers always insert after computing).
+    /// The shard index `identity` hashes to (the key for the per-worker
+    /// hit/miss tallies that
+    /// [`crate::server::StackServer`]'s `absorb_local` flushes back here).
+    pub fn shard_index(&self, identity: &str) -> usize {
+        (identity_hash(identity) & self.mask) as usize
+    }
+
+    /// A valid cached view, or `None`. Deliberately does **not** touch the
+    /// shard's hit/miss counters: the caller tallies the outcome into its
+    /// [`super::metrics::LocalMetrics`] and flushes once per worker via
+    /// [`L2ViewCache::absorb_shard_tallies`], so the hot lookup path
+    /// performs zero shared-cacheline RMWs.
     pub fn lookup(&self, key: &ViewKey, token: Token) -> Option<Arc<Document>> {
-        let shard = self.shard_for(&key.0);
-        let guard = shard.read();
+        let guard = self.shard_for(&key.0).read();
         if guard.token == token {
             if let Some(view) = guard.views.get(key) {
-                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(view));
             }
         }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Folds a worker's per-shard hit/miss tallies into the shard counters:
+    /// at most one `fetch_add` per *touched shard* per worker, replacing
+    /// the old one-per-request scheme. Tally vectors are lazily sized, so
+    /// they may be shorter than the shard count.
+    pub fn absorb_shard_tallies(&self, hits: &[u64], misses: &[u64]) {
+        for (shard, &n) in self.shards.iter().zip(hits.iter()) {
+            if n != 0 {
+                shard.hits.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        for (shard, &n) in self.shards.iter().zip(misses.iter()) {
+            if n != 0 {
+                shard.misses.fetch_add(n, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Inserts a computed view under `token`, evicting the shard wholesale
@@ -275,6 +299,22 @@ mod tests {
         l1.insert(key.clone(), T0, doc());
         l1.remove(&key);
         assert!(l1.lookup(&key, T0).is_none(), "removed L1 entry served");
+    }
+
+    #[test]
+    fn shard_tallies_absorb_into_the_shard_counters() {
+        let l2 = L2ViewCache::new(4);
+        let idx = l2.shard_index("alice");
+        let mut hits = vec![0u64; idx + 1];
+        hits[idx] = 3;
+        // Miss tally shorter than the shard count: lazy sizing is legal.
+        l2.absorb_shard_tallies(&hits, &[2]);
+        let mut stats = vec![ShardStats::default(); 4];
+        l2.fill_stats(&mut stats);
+        assert_eq!(stats[idx].l2_hits, 3);
+        assert_eq!(stats[0].l2_misses, 2);
+        assert_eq!(stats.iter().map(|s| s.l2_hits).sum::<u64>(), 3);
+        assert_eq!(stats.iter().map(|s| s.l2_misses).sum::<u64>(), 2);
     }
 
     #[test]

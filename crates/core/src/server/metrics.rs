@@ -88,6 +88,51 @@ pub struct ShardStats {
     pub cached_views: u64,
 }
 
+/// Per-batch scheduler statistics, returned inside a [`BatchResponse`].
+///
+/// `#[non_exhaustive]`: constructed only by the serving layer, so future
+/// PRs can add counters without breaking downstream struct literals.
+#[non_exhaustive]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Workers the scheduler actually ran (the requested count, shrunk
+    /// when admission control leaves fewer requests than workers).
+    pub workers: usize,
+    /// Requests admitted past the queue-capacity check.
+    pub admitted: usize,
+    /// Requests answered `WS108` by admission control (positions at the
+    /// tail of the batch; no work was started for them).
+    pub shed: usize,
+    /// Requests answered by coalescing onto an identical in-batch leader's
+    /// evaluation.
+    pub coalesced: u64,
+    /// Successful steal operations against other workers' deques.
+    pub steals: u64,
+    /// Requests migrated between workers by stealing (one per steal under
+    /// the deque scheduler; kept separate for continuity with the old
+    /// steal-half counters).
+    pub stolen_requests: u64,
+    /// Requests claimed from the shared overflow injector rather than a
+    /// per-worker deque.
+    pub injector_pops: u64,
+}
+
+/// The answer to a [`crate::request::BatchRequest`]: positional results
+/// (index `i` answers request `i`) plus the batch's scheduler statistics.
+///
+/// `#[non_exhaustive]`: constructed only by
+/// [`crate::server::StackServer::serve_batch`], so later PRs can attach
+/// more per-batch data without a breaking change.
+#[non_exhaustive]
+#[derive(Debug)]
+pub struct BatchResponse {
+    /// Per-request outcomes, index-aligned with the submitted batch.
+    pub results: Vec<Result<QueryResponse, Error>>,
+    /// Scheduler-level statistics for this batch alone (the cumulative
+    /// server totals live in [`MetricsSnapshot`]).
+    pub stats: BatchStats,
+}
+
 /// Cumulative serving statistics, reported by
 /// [`crate::server::StackServer::metrics`].
 ///
@@ -122,10 +167,15 @@ pub struct MetricsSnapshot {
     /// Batch requests answered by coalescing onto an identical in-batch
     /// request's evaluation (singleflight).
     pub coalesced: u64,
-    /// Steal-half operations between batch workers' run queues.
+    /// Successful steals from other workers' deques (one request each
+    /// under the lock-free scheduler; historically one steal-half moved
+    /// several requests, hence the separate `stolen_requests` total).
     pub steals: u64,
-    /// Requests migrated between workers by steal-half operations.
+    /// Requests migrated between workers by stealing.
     pub stolen_requests: u64,
+    /// Requests claimed from the shared overflow injector rather than a
+    /// per-worker deque.
+    pub injector_pops: u64,
     /// Requests whose evaluation panicked (each answered with `WS106`
     /// instead of propagating the panic).
     pub worker_panics: u64,
@@ -239,6 +289,7 @@ pub(crate) struct LocalMetrics {
     pub coalesced: u64,
     pub steals: u64,
     pub stolen_requests: u64,
+    pub injector_pops: u64,
     pub worker_panics: u64,
     pub deadline_exceeded: u64,
     pub shed: u64,
@@ -253,6 +304,13 @@ pub(crate) struct LocalMetrics {
     pub latency_sum_ns: u64,
     pub latency_count: u64,
     pub latency: [u64; LATENCY_BUCKETS],
+    /// Per-L2-shard hit tallies, indexed by shard, lazily sized. Folded
+    /// into the shard counters once per worker by
+    /// [`crate::server::StackServer`]'s `absorb_local` instead of one
+    /// shared-cacheline RMW per request on the lookup path.
+    pub l2_shard_hits: Vec<u64>,
+    /// Per-L2-shard miss tallies (same flush discipline as the hits).
+    pub l2_shard_misses: Vec<u64>,
 }
 
 impl Default for LocalMetrics {
@@ -270,6 +328,7 @@ impl Default for LocalMetrics {
             coalesced: 0,
             steals: 0,
             stolen_requests: 0,
+            injector_pops: 0,
             worker_panics: 0,
             deadline_exceeded: 0,
             shed: 0,
@@ -284,11 +343,30 @@ impl Default for LocalMetrics {
             latency_sum_ns: 0,
             latency_count: 0,
             latency: [0; LATENCY_BUCKETS],
+            l2_shard_hits: Vec::new(),
+            l2_shard_misses: Vec::new(),
         }
     }
 }
 
 impl LocalMetrics {
+    /// Tallies one L2 hit against `shard` locally (flushed to the shard's
+    /// atomic counter once per worker, not once per request).
+    pub fn bump_l2_shard_hit(&mut self, shard: usize) {
+        if self.l2_shard_hits.len() <= shard {
+            self.l2_shard_hits.resize(shard + 1, 0);
+        }
+        self.l2_shard_hits[shard] += 1;
+    }
+
+    /// Tallies one L2 miss against `shard` locally.
+    pub fn bump_l2_shard_miss(&mut self, shard: usize) {
+        if self.l2_shard_misses.len() <= shard {
+            self.l2_shard_misses.resize(shard + 1, 0);
+        }
+        self.l2_shard_misses[shard] += 1;
+    }
+
     fn record_latency(&mut self, total_ns: u128) {
         let ns = u64::try_from(total_ns).unwrap_or(u64::MAX);
         let bucket = (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
@@ -358,6 +436,7 @@ pub(crate) struct MetricsInner {
     coalesced: TrackedAtomicU64,
     steals: TrackedAtomicU64,
     stolen_requests: TrackedAtomicU64,
+    injector_pops: TrackedAtomicU64,
     worker_panics: TrackedAtomicU64,
     deadline_exceeded: TrackedAtomicU64,
     shed: TrackedAtomicU64,
@@ -389,6 +468,7 @@ impl Default for MetricsInner {
             coalesced: TrackedAtomicU64::counter("server.metrics.coalesced", 0),
             steals: TrackedAtomicU64::counter("server.metrics.steals", 0),
             stolen_requests: TrackedAtomicU64::counter("server.metrics.stolen_requests", 0),
+            injector_pops: TrackedAtomicU64::counter("server.metrics.injector_pops", 0),
             worker_panics: TrackedAtomicU64::counter("server.metrics.worker_panics", 0),
             deadline_exceeded: TrackedAtomicU64::counter("server.metrics.deadline_exceeded", 0),
             shed: TrackedAtomicU64::counter("server.metrics.shed", 0),
@@ -429,6 +509,7 @@ impl MetricsInner {
         add(&self.coalesced, local.coalesced);
         add(&self.steals, local.steals);
         add(&self.stolen_requests, local.stolen_requests);
+        add(&self.injector_pops, local.injector_pops);
         add(&self.worker_panics, local.worker_panics);
         add(&self.deadline_exceeded, local.deadline_exceeded);
         add(&self.shed, local.shed);
@@ -469,6 +550,7 @@ impl MetricsInner {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             stolen_requests: self.stolen_requests.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             // Monotonic totals; a snapshot read needs no stronger order.
@@ -536,6 +618,11 @@ mod tests {
         local.l1_hits = 1;
         local.steals = 2;
         local.stolen_requests = 5;
+        local.injector_pops = 4;
+        local.bump_l2_shard_hit(2);
+        local.bump_l2_shard_miss(0);
+        assert_eq!(local.l2_shard_hits, vec![0, 0, 1], "lazy shard sizing");
+        assert_eq!(local.l2_shard_misses, vec![1]);
 
         let inner = MetricsInner::default();
         inner.absorb(&local);
@@ -561,6 +648,7 @@ mod tests {
         assert_eq!(snap.l2_hits, 7);
         assert_eq!(snap.steals, 2);
         assert_eq!(snap.stolen_requests, 5);
+        assert_eq!(snap.injector_pops, 4);
         assert_eq!(snap.sessions_open, 3);
         assert_eq!(snap.cached_views, 4);
         assert_eq!(snap.session_lock_waits, 1);

@@ -17,15 +17,28 @@
 //!   (snapshot generation + policy epoch) on read, so a
 //!   [`StackServer::update`] or [`websec_policy::PolicyStore`] mutation
 //!   invalidates worker-local state globally and immediately.
-//! * **Per-worker run queues + steal-half** — a batch is split into one
-//!   run queue per worker; an idle worker steals the back half of a
-//!   victim's queue instead of hammering a single shared injector.
-//! * **Request coalescing (singleflight)** — identical requests inside one
-//!   batch (same identity, document, path, clearance, *and* validity
-//!   token) share a single evaluation; duplicates receive a clone marked
-//!   [`CacheStatus::Coalesced`]. This is the batching win a serial
-//!   request-at-a-time loop cannot express, and it is token-keyed, so a
-//!   coalesced response can never cross a policy-epoch bump.
+//! * **Lock-free batch scheduler** — a batch is placed round-robin across
+//!   one Chase-Lev-style deque per worker (owner pops LIFO, thieves steal
+//!   FIFO) with a global MPMC injector absorbing the overflow; claiming
+//!   work is a handful of `SeqCst` cursor operations, never a mutex
+//!   ([`scheduler`]). Placement is uniform by construction, so a tiny
+//!   batch never strands all its work on worker 0.
+//! * **Request coalescing (singleflight), off the hot path** — identical
+//!   requests inside one batch (same identity, document, path, clearance)
+//!   are grouped *once, serially, at batch entry*: the first occurrence
+//!   leads and is scheduled; followers are never scheduled at all and
+//!   receive a clone of the leader's evaluation marked
+//!   [`CacheStatus::Coalesced`]. Workers therefore take no shared
+//!   coalescing lock while requests are in flight. Deadline-carrying
+//!   requests never coalesce (a follower must not inherit a leader's
+//!   timing).
+//! * **Wait-free snapshot reads** — the immutable stack snapshot is
+//!   published through two generation-selected slots: readers take the
+//!   current slot (revalidating the generation), writers clone, mutate,
+//!   and publish into the *spare* slot under a dedicated update mutex
+//!   before flipping the generation. Readers never contend with a
+//!   writer's mutation work, and a panicked update closure can no longer
+//!   poison the read path.
 //! * **Graceful degradation** — a panicking request evaluation, a poisoned
 //!   shard, or a dead worker degrades to `WS106`
 //!   ([`Error::ShardPoisoned`]) answers for the affected requests; every
@@ -52,16 +65,19 @@
 
 mod analysis;
 mod cache;
+mod config;
 mod metrics;
+mod scheduler;
 mod shard;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, PoisonError};
+use std::sync::{Arc, PoisonError, TryLockError};
 
 use crate::error::Error;
 use crate::faults::{FaultContext, FaultInjector, FaultKind, FaultLayer, FaultPlan, RetryPolicy};
-use crate::request::{CacheStatus, QueryRequest, QueryResponse};
+use crate::request::{BatchRequest, CacheStatus, QueryRequest, QueryResponse};
 use crate::stack::{SecureWebStack, ViewResolver};
 use crate::sync::{
     TrackedAtomicBool, TrackedAtomicU8, TrackedAtomicU64, TrackedAtomicUsize, TrackedMutex,
@@ -69,13 +85,15 @@ use crate::sync::{
 };
 use cache::{L1ViewCache, L2ViewCache, Token, ViewKey};
 use metrics::{LocalMetrics, MetricsInner};
+use scheduler::Scheduler;
 use shard::SessionShards;
 use websec_policy::SubjectProfile;
 use websec_services::ChannelSession;
 use websec_xml::Document;
 
 pub use analysis::AnalysisGate;
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardStats};
+pub use config::ServerConfig;
+pub use metrics::{BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot, ShardStats};
 #[allow(deprecated)]
 pub use metrics::ServerMetrics;
 
@@ -94,10 +112,22 @@ const DEFAULT_SHARDS: usize = 16;
 /// new configuration (cached views are token-checked, so no worker can
 /// serve a stale view past the epoch bump).
 pub struct StackServer {
-    snapshot: TrackedRwLock<Arc<SecureWebStack>>,
-    /// Bumped after every snapshot mutation; pairs with the policy epoch
-    /// to form the validity [`Token`] of cached views. A synchronizing
-    /// atomic: its Release/Acquire pairs publish the snapshot seqlock.
+    /// Two generation-selected snapshot slots (`generation & 1` indexes
+    /// the current one). Readers take only the current slot; writers
+    /// prepare the new stack *outside* any slot lock, install it into the
+    /// spare slot, then flip the generation — so a reader never waits on
+    /// a writer's clone/mutate/analyze work, only (rarely) on the final
+    /// pointer swap.
+    snapshot: [TrackedRwLock<Arc<SecureWebStack>>; 2],
+    /// Serializes snapshot writers ([`StackServer::update`],
+    /// [`StackServer::try_update`], [`StackServer::invalidate_views`]).
+    /// Outermost lock of the server: taken before any snapshot slot,
+    /// never the reverse. Readers never touch it.
+    update_lock: TrackedMutex<()>,
+    /// Bumped after every snapshot publication; selects the current slot
+    /// and pairs with the policy epoch to form the validity [`Token`] of
+    /// cached views. A synchronizing atomic: its Release/Acquire pairs
+    /// publish the slot flip.
     generation: TrackedAtomicU64,
     sessions: SessionShards,
     cache: L2ViewCache,
@@ -194,10 +224,16 @@ impl ViewResolver for CachedViews<'_> {
             self.local.l1_hits += 1;
             return (view, CacheStatus::Hit);
         }
+        // L2 hit/miss attribution is tallied locally per shard and flushed
+        // once per worker (`StackServer::absorb_local`) — the lookup path
+        // itself performs no shared-counter RMW.
+        let shard = self.l2.shard_index(&key.0);
         if let Some(view) = self.l2.lookup(&key, self.token) {
+            self.local.bump_l2_shard_hit(shard);
             self.l1.insert(key, self.token, Arc::clone(&view));
             return (view, CacheStatus::Hit);
         }
+        self.local.bump_l2_shard_miss(shard);
         // Compute outside any lock; a racing worker may duplicate the work
         // but both produce the same view.
         let view = Arc::new(
@@ -211,70 +247,42 @@ impl ViewResolver for CachedViews<'_> {
     }
 }
 
-/// Batch-local singleflight table: the first worker to claim a coalesce
-/// key evaluates it; duplicates either reuse the finished result or park
-/// their output index on the in-flight slot.
-enum Slot {
-    InFlight(Vec<usize>),
-    Done(Result<QueryResponse, Error>),
+/// The batch's singleflight plan, computed serially at batch entry so no
+/// worker ever takes a coalescing lock: `schedule` lists the request
+/// indices that actually run (coalesce-group leaders plus every
+/// non-coalescable request, in submission order), and `followers[i]` lists
+/// the duplicate positions answered by cloning leader `i`'s evaluation.
+struct CoalescePlan {
+    schedule: Vec<usize>,
+    followers: Vec<Vec<usize>>,
 }
 
-enum Claim {
-    /// This worker owns the evaluation.
-    Mine,
-    /// Another worker is evaluating; the index was parked on the slot.
-    Queued,
-    /// The evaluation already finished.
-    Done(Result<QueryResponse, Error>),
-}
-
-struct CoalesceMap {
-    shards: Vec<TrackedMutex<HashMap<(String, Token), Slot>>>,
-    mask: u64,
-}
-
-impl CoalesceMap {
-    fn new(shards: usize) -> Self {
-        CoalesceMap {
-            shards: (0..shards)
-                .map(|_| TrackedMutex::new("server.coalesce", HashMap::new()))
-                .collect(),
-            mask: shards as u64 - 1,
-        }
-    }
-
-    fn shard(&self, key: &str) -> &TrackedMutex<HashMap<(String, Token), Slot>> {
-        &self.shards[(shard::identity_hash(key) & self.mask) as usize]
-    }
-
-    /// First caller per key wins the evaluation; later callers park. On a
-    /// poisoned shard every caller gets `Mine` — coalescing degrades to
-    /// independent evaluation, never to a wrong or missing answer.
-    fn claim(&self, key: &(String, Token), waiter: usize) -> Claim {
-        let Ok(mut map) = self.shard(&key.0).lock() else {
-            return Claim::Mine;
-        };
-        match map.get_mut(key) {
-            None => {
-                map.insert(key.clone(), Slot::InFlight(Vec::new()));
-                Claim::Mine
+impl CoalescePlan {
+    /// Groups the first `admitted` requests by [`QueryRequest::coalesce_key`]
+    /// in one serial O(n) pass. The first occurrence of a key leads (the
+    /// same position the old claim-racing scheme deterministically favored
+    /// in serial replay); later occurrences become its followers.
+    fn new(requests: &[QueryRequest], admitted: usize) -> Self {
+        let mut leader_of: HashMap<String, usize> = HashMap::new();
+        let mut followers: Vec<Vec<usize>> = vec![Vec::new(); admitted];
+        let mut schedule: Vec<usize> = Vec::with_capacity(admitted);
+        for (i, request) in requests.iter().enumerate().take(admitted) {
+            match request.coalesce_key() {
+                Some(key) => match leader_of.entry(key) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(i);
+                        schedule.push(i);
+                    }
+                    Entry::Occupied(slot) => followers[*slot.get()].push(i),
+                },
+                // Pathless and deadline-carrying requests never share an
+                // evaluation; they are scheduled individually.
+                None => schedule.push(i),
             }
-            Some(Slot::InFlight(waiters)) => {
-                waiters.push(waiter);
-                Claim::Queued
-            }
-            Some(Slot::Done(result)) => Claim::Done(result.clone()),
         }
-    }
-
-    /// Publishes the result and returns the parked waiter indices.
-    fn complete(&self, key: &(String, Token), result: &Result<QueryResponse, Error>) -> Vec<usize> {
-        let Ok(mut map) = self.shard(&key.0).lock() else {
-            return Vec::new();
-        };
-        match map.insert(key.clone(), Slot::Done(result.clone())) {
-            Some(Slot::InFlight(waiters)) => waiters,
-            _ => Vec::new(),
+        CoalescePlan {
+            schedule,
+            followers,
         }
     }
 }
@@ -301,8 +309,15 @@ impl StackServer {
     #[must_use]
     pub fn with_shards(stack: SecureWebStack, shards: usize) -> Self {
         let shards = shards.clamp(1, 4096).next_power_of_two();
+        let stack = Arc::new(stack);
         StackServer {
-            snapshot: TrackedRwLock::new("server.snapshot", Arc::new(stack)),
+            // Both slots start at the initial snapshot so a reader racing
+            // the very first update can never observe an empty slot.
+            snapshot: [
+                TrackedRwLock::new("server.snapshot", Arc::clone(&stack)),
+                TrackedRwLock::new("server.snapshot", stack),
+            ],
+            update_lock: TrackedMutex::new("server.update", ()),
             generation: TrackedAtomicU64::synchronizing("server.generation", 0),
             sessions: SessionShards::new(shards),
             cache: L2ViewCache::new(shards),
@@ -387,72 +402,119 @@ impl StackServer {
 
     /// The current immutable snapshot.
     ///
-    /// Panics if a concurrent [`StackServer::update`] closure panicked
-    /// while mutating (the snapshot may be half-applied); the serving
-    /// paths degrade to `WS106` instead of panicking.
+    /// Never blocks on an in-progress [`StackServer::update`]'s mutation
+    /// work and never panics: writers prepare the new stack privately and
+    /// only swap an `Arc` into the spare slot, so the read path survives
+    /// a panicked update closure untouched.
     #[must_use]
     pub fn snapshot(&self) -> Arc<SecureWebStack> {
-        let guard = self.snapshot.read();
-        guard
-            .map(|guard| Arc::clone(&guard))
-            .expect("stack snapshot poisoned by a panicked update closure")
+        self.current_snapshot()
     }
 
-    /// The snapshot plus its validity token, read under a seqlock-style
-    /// generation check so a token can never pair with the wrong snapshot.
+    /// The current slot's snapshot. A poisoned slot heals itself: slot
+    /// contents are whole-`Arc` swaps, so the value under a poisoned lock
+    /// is always a complete, valid snapshot.
+    fn current_snapshot(&self) -> Arc<SecureWebStack> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let guard = self.snapshot[(generation & 1) as usize]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(&guard)
+    }
+
+    /// The snapshot plus its validity token. Readers are wait-free in the
+    /// uncontended (and every read-read) case: one generation load, one
+    /// uncontended `try_read` of the current slot, one re-check. The only
+    /// retry happens when a writer flips the generation concurrently — the
+    /// re-check guarantees the token can never pair with the wrong
+    /// snapshot.
+    ///
+    /// Infallible in practice; the `Result` is kept so serving paths stay
+    /// future-proof against read-side failure modes.
     fn snapshot_with_token(&self) -> Result<(Arc<SecureWebStack>, Token), Error> {
         loop {
-            let before = self.generation.load(Ordering::Acquire);
-            let stack = match self.snapshot.read() {
+            let generation = self.generation.load(Ordering::Acquire);
+            let slot = &self.snapshot[(generation & 1) as usize];
+            let stack = match slot.try_read() {
                 Ok(guard) => Arc::clone(&guard),
-                Err(_) => {
-                    return Err(Error::ShardPoisoned(
-                        "stack snapshot poisoned by a panicked update closure".into(),
-                    ))
+                Err(TryLockError::Poisoned(poisoned)) => Arc::clone(&poisoned.into_inner()),
+                Err(TryLockError::WouldBlock) => {
+                    // A writer is republishing this slot, which means the
+                    // generation just moved (or is about to): reload it and
+                    // take the new current slot.
+                    std::hint::spin_loop();
+                    continue;
                 }
             };
-            if self.generation.load(Ordering::Acquire) == before {
+            if self.generation.load(Ordering::Acquire) == generation {
                 let epoch = stack.policies.epoch();
                 return Ok((
                     stack,
                     Token {
-                        generation: before,
+                        generation,
                         epoch,
                     },
                 ));
             }
-            // An update raced between the generation read and the snapshot
-            // read; retry so the token matches the snapshot.
+            // An update flipped the slot between the generation read and
+            // the slot read; retry so the token matches the snapshot.
         }
     }
 
+    /// Installs `stack` as the new current snapshot: writes it into the
+    /// spare slot, flips the generation (Release — the publication edge
+    /// readers acquire), and drops every cached view.
+    ///
+    /// Must be called with `update_lock` held — the spare slot is only
+    /// "spare" while no other writer can flip the generation underneath.
+    fn publish(&self, stack: Arc<SecureWebStack>) {
+        let generation = self.generation.load(Ordering::Acquire);
+        let spare = ((generation + 1) & 1) as usize;
+        {
+            let mut guard = self.snapshot[spare]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *guard = stack;
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+        self.cache.clear();
+    }
+
     /// Mutates the stack configuration (documents, policies, labels,
-    /// context, gate) through copy-on-write on the snapshot, then bumps
-    /// the generation and drops every cached view.
+    /// context, gate) on a private clone of the snapshot, then publishes
+    /// the clone into the spare slot and drops every cached view.
     ///
     /// Takes `&self`: mutation is safe *during* concurrent serving.
     /// In-flight requests complete against the snapshot they started with;
     /// any request that starts after `update` returns observes the new
     /// configuration (L1/L2 entries and coalesced results are
-    /// token-checked, so none can survive the bump).
+    /// token-checked, so none can survive the bump). Readers never wait on
+    /// the mutation: `mutate` runs on the private clone, outside every
+    /// slot lock — and if it panics, the current snapshot is untouched and
+    /// serving continues unaffected.
     pub fn update<R>(&self, mutate: impl FnOnce(&mut SecureWebStack) -> R) -> R {
-        let result = {
-            let guard = self.snapshot.write();
-            let mut guard =
-                guard.expect("stack snapshot poisoned by a panicked update closure");
-            mutate(Arc::make_mut(&mut guard))
-        };
-        self.generation.fetch_add(1, Ordering::Release);
-        self.cache.clear();
+        let _writer = self
+            .update_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut candidate = (*self.current_snapshot()).clone();
+        let result = mutate(&mut candidate);
+        self.publish(Arc::new(candidate));
         result
     }
 
     /// Explicitly invalidates every cached view (e.g. after out-of-band
     /// mutation of state neither the policy epoch nor the snapshot
-    /// generation can observe).
+    /// generation can observe). Republishes the *current* snapshot `Arc`
+    /// (no deep clone) so the generation bump moves readers to the other
+    /// slot without changing what they see.
     pub fn invalidate_views(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
-        self.cache.clear();
+        let _writer = self
+            .update_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let current = self.current_snapshot();
+        self.publish(current);
     }
 
     /// Number of views currently cached in the shared L2 cache.
@@ -637,8 +699,18 @@ impl StackServer {
             .map(|budget| self.clock.load(Ordering::Relaxed).saturating_add(budget));
         let result = self.serve_caught(request, &mut worker, &mut local, deadline);
         local.record_outcome(&result);
-        self.metrics.absorb(&local);
+        self.absorb_local(&local);
         result
+    }
+
+    /// Flushes a worker's local accumulator: the cumulative counters in
+    /// one pass, then the per-shard L2 hit/miss tallies (at most one RMW
+    /// per touched shard). The single flush point that replaces the old
+    /// per-request counter traffic.
+    fn absorb_local(&self, local: &LocalMetrics) {
+        self.metrics.absorb(local);
+        self.cache
+            .absorb_shard_tallies(&local.l2_shard_hits, &local.l2_shard_misses);
     }
 
     /// [`StackServer::serve`] wrapped in the bounded-retry loop of a
@@ -673,7 +745,7 @@ impl StackServer {
                 self.clock.fetch_add(backoff, Ordering::Relaxed);
                 let mut local = LocalMetrics::default();
                 local.retries = 1;
-                self.metrics.absorb(&local);
+                self.absorb_local(&local);
             }
             if let Some(deadline) = overall {
                 let now = self.clock.load(Ordering::Relaxed);
@@ -684,7 +756,7 @@ impl StackServer {
                     )));
                     let mut local = LocalMetrics::default();
                     local.record_outcome(&result);
-                    self.metrics.absorb(&local);
+                    self.absorb_local(&local);
                     return result;
                 }
             }
@@ -699,14 +771,15 @@ impl StackServer {
         }))
     }
 
-    /// Serves a batch of requests across `workers` threads.
+    /// Serves a [`BatchRequest`] across its configured workers on the
+    /// lock-free deque/injector scheduler ([`scheduler`]).
     ///
-    /// Results are positional: `out[i]` answers `requests[i]`, and every
-    /// response payload is byte-identical to what a serial
+    /// Results are positional: `results[i]` answers `requests()[i]`, and
+    /// every response payload is byte-identical to what a serial
     /// [`StackServer::serve`] loop would produce (cache/coalescing status
-    /// and timings legitimately differ). The batch is split into
-    /// per-worker run queues with steal-half balancing, and identical
-    /// requests are coalesced onto one evaluation per validity token.
+    /// and timings legitimately differ). Identical requests are grouped
+    /// serially at batch entry and coalesced onto one evaluation; only
+    /// group leaders are scheduled.
     ///
     /// A panicking evaluation or poisoned shard answers the affected
     /// requests with `WS106` ([`Error::ShardPoisoned`]); the rest of the
@@ -718,19 +791,21 @@ impl StackServer {
     /// ([`Error::Overloaded`]) before any evaluation starts — shedding is
     /// positional and deterministic, so the same batch against the same
     /// limit always sheds the same requests. **Deadlines**: each admitted
-    /// request's budget is converted to an absolute logical-clock deadline
-    /// at batch entry and checked when a worker pops the request (and
-    /// again pre-eval); an exhausted budget answers `WS107` without
-    /// evaluating.
-    pub fn serve_batch(
-        &self,
-        requests: &[QueryRequest],
-        workers: usize,
-    ) -> Vec<Result<QueryResponse, Error>> {
+    /// request's budget — the tighter of its own and the batch-level
+    /// [`BatchRequest::deadline_ticks`] — is converted to an absolute
+    /// logical-clock deadline at batch entry and checked when a worker
+    /// claims the request (and again pre-eval); an exhausted budget
+    /// answers `WS107` without evaluating.
+    pub fn serve_batch(&self, batch: &BatchRequest) -> BatchResponse {
+        let requests = batch.requests();
+        let mut stats = BatchStats::default();
         if requests.is_empty() {
-            return Vec::new();
+            return BatchResponse {
+                results: Vec::new(),
+                stats,
+            };
         }
-        let requested_workers = workers.max(1);
+        let requested_workers = batch.worker_count();
         let limit = self.queue_limit.load(Ordering::Relaxed);
         let admitted = if limit == 0 {
             requests.len()
@@ -738,25 +813,30 @@ impl StackServer {
             requests.len().min(limit.saturating_mul(requested_workers))
         };
         let workers = requested_workers.min(admitted);
+        stats.workers = workers;
+        stats.admitted = admitted;
+        stats.shed = requests.len() - admitted;
         let entry_tick = self.clock.load(Ordering::Relaxed);
+        let batch_deadline = batch
+            .deadline_budget()
+            .map(|budget| entry_tick.saturating_add(budget));
         let deadlines: Vec<Option<u64>> = requests[..admitted]
             .iter()
-            .map(|r| r.deadline_budget().map(|b| entry_tick.saturating_add(b)))
-            .collect();
-        // Contiguous index chunks, one run queue per worker.
-        let chunk = admitted.div_euclid(workers).max(1);
-        let queues: Vec<TrackedMutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                let start = w * chunk;
-                let end = if w + 1 == workers {
-                    admitted
-                } else {
-                    ((w + 1) * chunk).min(admitted)
-                };
-                TrackedMutex::new("server.queue", (start..end).collect())
+            .map(|r| {
+                let own = r
+                    .deadline_budget()
+                    .map(|budget| entry_tick.saturating_add(budget));
+                match (own, batch_deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
             })
             .collect();
-        let coalesce = CoalesceMap::new(self.sessions.len());
+        // Singleflight off the hot path: group duplicates serially now, so
+        // workers never touch a coalescing lock while requests are in
+        // flight — followers are answered by cloning their leader.
+        let plan = CoalescePlan::new(requests, admitted);
+        let sched = Scheduler::new(&plan.schedule, workers);
 
         let mut out: Vec<Option<Result<QueryResponse, Error>>> = Vec::new();
         out.resize_with(requests.len(), || None);
@@ -771,36 +851,44 @@ impl StackServer {
                 local.record_outcome(&result);
                 *slot = Some(result);
             }
-            self.metrics.absorb(&local);
+            self.absorb_local(&local);
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    let queues = &queues;
-                    let coalesce = &coalesce;
+                    let sched = &sched;
+                    let plan = &plan;
                     let deadlines = &deadlines;
-                    scope.spawn(move || self.worker_loop(w, requests, deadlines, queues, coalesce))
+                    scope.spawn(move || self.worker_loop(w, requests, deadlines, sched, plan))
                 })
                 .collect();
             for handle in handles {
                 match handle.join() {
-                    Ok(done) => {
+                    Ok((done, local)) => {
+                        stats.coalesced += local.coalesced;
+                        stats.steals += local.steals;
+                        stats.stolen_requests += local.stolen_requests;
+                        stats.injector_pops += local.injector_pops;
+                        self.absorb_local(&local);
                         for (i, result) in done {
                             out[i] = Some(result);
                         }
                     }
                     Err(_) => {
                         // The worker died outside the per-request panic
-                        // boundary (e.g. a poisoned run queue). Its
-                        // unfinished slots fall through to WS106 below.
+                        // boundary. Its unfinished slots fall through to
+                        // WS106 below; its claimed-but-unanswered deque
+                        // items are already past the cursors, so no other
+                        // worker double-answers them.
                         let mut local = LocalMetrics::default();
                         local.worker_panics += 1;
-                        self.metrics.absorb(&local);
+                        self.absorb_local(&local);
                     }
                 }
             }
         });
-        out.into_iter()
+        let results = out
+            .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| {
                     let result = Err(Error::ShardPoisoned(
@@ -808,125 +896,76 @@ impl StackServer {
                     ));
                     let mut local = LocalMetrics::default();
                     local.record_outcome(&result);
-                    self.metrics.absorb(&local);
+                    self.absorb_local(&local);
                     result
                 })
             })
-            .collect()
+            .collect();
+        BatchResponse { results, stats }
     }
 
-    /// One batch worker: drain the own run queue, steal-half when idle,
-    /// coalesce identical requests, flush local metrics once at the end.
+    /// Positional predecessor of [`StackServer::serve_batch`], answering
+    /// with the bare result vector.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a BatchRequest (BatchRequest::new(requests).workers(n)) and call \
+                serve_batch(&batch); the BatchResponse carries the same positional results \
+                plus per-batch scheduler stats"
+    )]
+    pub fn serve_batch_positional(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Vec<Result<QueryResponse, Error>> {
+        self.serve_batch(&BatchRequest::new(requests.to_vec()).workers(workers))
+            .results
+    }
+
+    /// One batch worker: claim indices from the scheduler (own deque, then
+    /// the injector, then stealing), answer each leader and clone its
+    /// result to any coalesced followers, and return the local metrics for
+    /// a single flush at scope exit.
     fn worker_loop(
         &self,
         worker_index: usize,
         requests: &[QueryRequest],
         deadlines: &[Option<u64>],
-        queues: &[TrackedMutex<VecDeque<usize>>],
-        coalesce: &CoalesceMap,
-    ) -> Vec<(usize, Result<QueryResponse, Error>)> {
+        sched: &Scheduler,
+        plan: &CoalescePlan,
+    ) -> (
+        Vec<(usize, Result<QueryResponse, Error>)>,
+        Box<LocalMetrics>,
+    ) {
         let mut worker = WorkerState {
             index: Some(worker_index),
             ..WorkerState::default()
         };
-        let mut local = LocalMetrics::default();
+        let mut local = Box::new(LocalMetrics::default());
         let mut done = Vec::new();
-        while let Some(i) = Self::next_index(worker_index, queues, &mut local) {
+        while let Some(i) = sched.next(worker_index, &mut local) {
             let request = &requests[i];
-            // Queue-pop deadline check: work that waited past its budget
+            // Claim-time deadline check: work that waited past its budget
             // is answered WS107 without paying for an evaluation.
-            if let Some(deadline) = deadlines[i] {
+            let expired = deadlines[i].and_then(|deadline| {
                 let now = self.clock.load(Ordering::Relaxed);
-                if now > deadline {
-                    let result = Err(Error::DeadlineExceeded(format!(
-                        "deadline passed while queued (logical clock {now} past deadline \
-                         {deadline})"
-                    )));
-                    local.record_outcome(&result);
-                    done.push((i, result));
-                    continue;
-                }
-            }
-            let key = match request.coalesce_key() {
-                Some(material) => worker
-                    .snapshot(self)
-                    .ok()
-                    .map(|(_, token)| (material, token)),
-                None => None,
+                (now > deadline).then(|| (now, deadline))
+            });
+            let result = match expired {
+                Some((now, deadline)) => Err(Error::DeadlineExceeded(format!(
+                    "deadline passed while queued (logical clock {now} past deadline \
+                     {deadline})"
+                ))),
+                None => self.serve_caught(request, &mut worker, &mut local, deadlines[i]),
             };
-            let Some(key) = key else {
-                // Malformed (pathless) requests fail cheaply, snapshot
-                // failures must report per-request errors, and deadline
-                // requests must not inherit a leader's timing: none share.
-                let result = self.serve_caught(request, &mut worker, &mut local, deadlines[i]);
-                local.record_outcome(&result);
-                done.push((i, result));
-                continue;
-            };
-            match coalesce.claim(&key, i) {
-                Claim::Done(result) => {
-                    let result = coalesced(result);
-                    local.record_outcome(&result);
-                    done.push((i, result));
-                }
-                Claim::Queued => {} // the evaluating worker will answer `i`
-                Claim::Mine => {
-                    let result = self.serve_caught(request, &mut worker, &mut local, deadlines[i]);
-                    local.record_outcome(&result);
-                    for waiter in coalesce.complete(&key, &result) {
-                        let shared = coalesced(result.clone());
-                        local.record_outcome(&shared);
-                        done.push((waiter, shared));
-                    }
-                    done.push((i, result));
-                }
+            local.record_outcome(&result);
+            for &follower in &plan.followers[i] {
+                let shared = coalesced(result.clone());
+                local.record_outcome(&shared);
+                done.push((follower, shared));
             }
+            done.push((i, result));
         }
-        self.metrics.absorb(&local);
-        done
-    }
-
-    /// Pops from the worker's own queue, or steals the back half of the
-    /// first non-empty victim queue. Returns `None` when every queue is
-    /// drained (or the own queue is poisoned).
-    fn next_index(
-        worker_index: usize,
-        queues: &[TrackedMutex<VecDeque<usize>>],
-        local: &mut LocalMetrics,
-    ) -> Option<usize> {
-        match queues[worker_index].lock() {
-            Ok(mut queue) => {
-                if let Some(i) = queue.pop_front() {
-                    return Some(i);
-                }
-            }
-            Err(_) => return None,
-        }
-        for offset in 1..queues.len() {
-            let victim = (worker_index + offset) % queues.len();
-            let mut stolen = {
-                let Ok(mut queue) = queues[victim].lock() else {
-                    continue;
-                };
-                let len = queue.len();
-                if len == 0 {
-                    continue;
-                }
-                queue.split_off(len - (len + 1) / 2)
-            };
-            local.steals += 1;
-            local.stolen_requests += stolen.len() as u64;
-            let first = stolen.pop_front();
-            if !stolen.is_empty() {
-                if let Ok(mut own) = queues[worker_index].lock() {
-                    own.extend(stolen);
-                }
-            }
-            if first.is_some() {
-                return first;
-            }
-        }
-        None
+        (done, local)
     }
 
     /// A consistent snapshot of the cumulative serving statistics,
@@ -1046,15 +1085,18 @@ mod tests {
                 }
             })
             .collect();
-        let results = server.serve_batch(&requests, 8);
-        assert_eq!(results.len(), 64);
-        for (i, result) in results.iter().enumerate() {
+        let response = server.serve_batch(&BatchRequest::new(requests).workers(8));
+        assert_eq!(response.results.len(), 64);
+        for (i, result) in response.results.iter().enumerate() {
             if i % 2 == 0 {
                 assert!(result.as_ref().unwrap().xml.contains("Alice"));
             } else {
                 assert_eq!(result.as_ref().unwrap_err().code(), "WS101");
             }
         }
+        assert_eq!(response.stats.admitted, 64);
+        assert_eq!(response.stats.shed, 0);
+        assert!(response.stats.workers <= 8);
         let m = server.metrics();
         assert_eq!(m.requests, 64);
         assert_eq!(m.allowed, 32);
@@ -1065,26 +1107,25 @@ mod tests {
     fn identical_batch_requests_coalesce_onto_one_evaluation() {
         let server = StackServer::new(stack());
         let requests = vec![doctor_request(); 256];
-        let results = server.serve_batch(&requests, 4);
+        let response = server.serve_batch(&BatchRequest::new(requests).workers(4));
         let baseline = server.serve(&doctor_request()).unwrap();
-        for result in &results {
+        for result in &response.results {
             assert_eq!(result.as_ref().unwrap().xml, baseline.xml);
         }
+        // The serial precompute groups all 256 identical requests under one
+        // leader: exactly one evaluation, 255 coalesced clones.
+        assert_eq!(response.stats.coalesced, 255);
         let m = server.metrics();
-        assert!(
-            m.coalesced > 200,
-            "coalesced only {} of 256 identical requests",
-            m.coalesced
-        );
+        assert_eq!(m.coalesced, 255);
         // Evaluations actually run: misses + real hits + coalesced = allowed.
         assert_eq!(m.cache_hits + m.cache_misses + m.coalesced, m.allowed);
     }
 
     #[test]
-    fn steal_half_rebalances_skewed_queues() {
+    fn scheduler_completes_skewed_batches_and_counts_consistently() {
         let server = StackServer::new(stack());
         // Many distinct paths so little coalescing is possible, forcing
-        // real per-request work onto the queues.
+        // real per-request work onto the deques.
         let requests: Vec<QueryRequest> = (0..128)
             .map(|i| {
                 QueryRequest::for_doc("h.xml")
@@ -1093,14 +1134,52 @@ mod tests {
                     .clearance(Clearance(Level::Unclassified))
             })
             .collect();
-        let results = server.serve_batch(&requests, 4);
-        assert_eq!(results.len(), 128);
-        assert!(results.iter().all(Result::is_ok));
-        // On a single-core box workers may drain their own queues without
-        // ever idling, so steals are opportunistic — the counter merely
-        // must be consistent.
+        let response = server.serve_batch(&BatchRequest::new(requests).workers(4));
+        assert_eq!(response.results.len(), 128);
+        assert!(response.results.iter().all(Result::is_ok));
+        // On a single-core box workers may drain their own deques without
+        // ever idling, so steals are opportunistic — the counters merely
+        // must be consistent (each deque steal moves exactly one request).
         let m = server.metrics();
         assert!(m.stolen_requests >= m.steals);
+        assert_eq!(response.stats.steals, response.stats.stolen_requests);
+    }
+
+    #[test]
+    fn batch_deadline_caps_every_member_request() {
+        use crate::faults::{FaultKind, FaultRule};
+        // Every evaluation injects a 10-tick slowdown. With a batch budget
+        // of 0 ticks the first evaluation pushes the logical clock past
+        // the batch deadline, so every request — even those carrying a
+        // generous 100-tick budget of their own (the batch's bound is the
+        // tighter one) — answers WS107.
+        let server = StackServer::new(stack());
+        let _ = server.install_faults(
+            FaultPlan::seeded(3).rule(FaultRule::new(FaultKind::SlowEval { ticks: 10 })),
+        );
+        let requests: Vec<QueryRequest> = (0..6)
+            .map(|i| {
+                QueryRequest::for_doc("h.xml")
+                    .path(Path::parse("//patient").unwrap())
+                    .subject(&SubjectProfile::new(&format!("subject-{i}")))
+                    .deadline_ticks(100)
+            })
+            .collect();
+        let batch = BatchRequest::new(requests.clone())
+            .workers(1)
+            .deadline_ticks(0);
+        let response = server.serve_batch(&batch);
+        for result in &response.results {
+            assert_eq!(result.as_ref().unwrap_err().code(), "WS107");
+        }
+        // Without the batch cap the per-request 100-tick budgets absorb
+        // the same slowdowns comfortably.
+        server.clear_faults();
+        let _ = server.install_faults(
+            FaultPlan::seeded(3).rule(FaultRule::new(FaultKind::SlowEval { ticks: 10 })),
+        );
+        let response = server.serve_batch(&BatchRequest::new(requests).workers(1));
+        assert!(response.results.iter().all(Result::is_ok));
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The lock-free batch scheduler: Chase-Lev-style per-worker deques over
+//! an immutable work list, plus a global MPMC overflow injector.
+//!
+//! A batch is scheduled **once, up front**: every admitted request index
+//! is placed round-robin across the per-worker deques (so initial
+//! placement is uniform regardless of batch size — no worker ever starts
+//! with an empty range while another holds the whole batch), and anything
+//! beyond a deque's capacity overflows into the shared injector. Because
+//! the work list never grows after that, each deque reduces to an
+//! **immutable index array plus two atomic cursors**: the owner pops from
+//! the `bottom` end (the LIFO end it would push to), thieves steal from
+//! the `top` end (FIFO — the oldest work, farthest from the owner's hot
+//! end). No mutex, no `unsafe`: the classic Chase-Lev buffer race cannot
+//! occur since slots are never rewritten, leaving only the cursor race,
+//! which the CAS protocol below resolves.
+//!
+//! ## Memory-ordering argument
+//!
+//! Every cursor operation uses `SeqCst`. The one subtle interleaving is
+//! the owner and a thief racing for the same slot:
+//!
+//! * the owner **reserves** by storing `bottom = b-1`, then re-reads
+//!   `top`;
+//! * a thief reads `top` *then* `bottom`, and **commits** by CAS-ing
+//!   `top` forward.
+//!
+//! If the owner's re-read observes `top < b-1`, at least one unstolen
+//! slot separates the two ends, and the single total order of `SeqCst`
+//! operations guarantees any thief that could still reach slot `b-1`
+//! must first observe the reservation (`bottom = b-1`, published before
+//! the owner's re-read) and give up. If the owner observes `top == b-1`,
+//! both sides race for the last slot and exactly one wins the CAS on
+//! `top`. If the owner observes `top > b-1`, a thief holding a
+//! pre-reservation view of `bottom` already committed the slot, and the
+//! owner retreats. Every slot is therefore claimed exactly once, which
+//! the steal-storm suites (here and in `tests/tests/scheduler.rs`)
+//! assert under the WS110/WS111 detector.
+//!
+//! The cursors are `synchronizing`-role [`TrackedAtomicUsize`]s with
+//! their own lock classes (`server.deque_top`, `server.deque_bottom`,
+//! `server.injector_cursor`), so the happens-before checker models every
+//! publication edge; `SeqCst` is Release+Acquire in that model and the
+//! scheduler runs finding-free. The index arrays themselves are written
+//! before the worker threads are spawned and only read afterwards —
+//! plain immutable data, no synchronization needed.
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use super::metrics::LocalMetrics;
+use crate::sync::TrackedAtomicUsize;
+
+/// Per-worker deque capacity. Work beyond `DEQUE_CAP` indices per worker
+/// overflows into the shared [`Injector`]; the cap keeps the owner's hot
+/// end dense while bounding how much work a single slow worker can strand
+/// behind its cursor (stranded work is stolen one index at a time).
+pub(super) const DEQUE_CAP: usize = 256;
+
+/// One worker's deque: an immutable index array bracketed by two cursors.
+/// `items[top..bottom]` is the unclaimed work; the owner decrements
+/// `bottom`, thieves increment `top`.
+///
+/// The array is seeded in *descending* request order so the owner's
+/// LIFO drain visits its assignment in ascending request order — the
+/// serial-replay contract (a one-worker batch evaluates in submission
+/// order) the chaos suite depends on — while thieves strip the opposite,
+/// highest-index end.
+struct WorkerDeque {
+    items: Vec<usize>,
+    top: TrackedAtomicUsize,
+    bottom: TrackedAtomicUsize,
+}
+
+impl WorkerDeque {
+    fn new(mut items: Vec<usize>) -> Self {
+        items.reverse();
+        let len = items.len();
+        WorkerDeque {
+            items,
+            top: TrackedAtomicUsize::synchronizing("server.deque_top", 0),
+            bottom: TrackedAtomicUsize::synchronizing("server.deque_bottom", len),
+        }
+    }
+
+    /// Owner-side pop from the bottom end. **Must only be called by the
+    /// deque's owning worker** — the protocol assumes a single writer of
+    /// `bottom`.
+    fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        if t >= b {
+            return None;
+        }
+        let reserved = b - 1;
+        self.bottom.store(reserved, SeqCst);
+        let t = self.top.load(SeqCst);
+        if t < reserved {
+            // At least one unstolen slot separates the ends: no thief can
+            // reach `reserved` past the published reservation.
+            return Some(self.items[reserved]);
+        }
+        if t == reserved {
+            // Last slot: race the thieves for it via the top cursor.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(t + 1, SeqCst);
+            return won.then(|| self.items[reserved]);
+        }
+        // A thief holding a pre-reservation view of `bottom` committed the
+        // reserved slot; normalize to empty (top == bottom) and retreat.
+        self.bottom.store(t, SeqCst);
+        None
+    }
+
+    /// Thief-side steal from the top (FIFO) end. Any worker may call this;
+    /// the CAS on `top` is the commit point.
+    fn steal(&self) -> Option<usize> {
+        loop {
+            let t = self.top.load(SeqCst);
+            let b = self.bottom.load(SeqCst);
+            if t >= b {
+                return None;
+            }
+            let item = self.items[t];
+            if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+                return Some(item);
+            }
+            // Another thief (or the owner, on the last slot) won; retry.
+        }
+    }
+}
+
+/// The shared MPMC overflow queue: an immutable index array drained by a
+/// single `fetch_add` cursor. Wait-free for every consumer — one RMW per
+/// claimed index, no retry loop, no lock.
+struct Injector {
+    items: Vec<usize>,
+    cursor: TrackedAtomicUsize,
+}
+
+impl Injector {
+    fn new(items: Vec<usize>) -> Self {
+        Injector {
+            items,
+            cursor: TrackedAtomicUsize::synchronizing("server.injector_cursor", 0),
+        }
+    }
+
+    fn pop(&self) -> Option<usize> {
+        // Cheap pre-check so drained-injector polls don't keep bumping the
+        // cursor; the overshoot past `len` is bounded by the worker count.
+        if self.cursor.load(SeqCst) >= self.items.len() {
+            return None;
+        }
+        let at = self.cursor.fetch_add(1, SeqCst);
+        self.items.get(at).copied()
+    }
+}
+
+/// The per-batch scheduler handed to every worker: one deque per worker
+/// plus the shared injector. Built once before the workers are spawned;
+/// after that, all coordination is the three atomic cursors.
+pub(super) struct Scheduler {
+    deques: Vec<WorkerDeque>,
+    injector: Injector,
+}
+
+impl Scheduler {
+    /// Distributes `schedule` (request indices, in batch order) round-robin
+    /// across `workers` deques, overflowing into the injector once a deque
+    /// reaches [`DEQUE_CAP`]. Placement is uniform by construction: with
+    /// fewer items than workers, each item lands on its own deque.
+    pub fn new(schedule: &[usize], workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        let mut overflow = Vec::new();
+        for (position, &index) in schedule.iter().enumerate() {
+            let lane = &mut assigned[position % workers];
+            if lane.len() < DEQUE_CAP {
+                lane.push(index);
+            } else {
+                overflow.push(index);
+            }
+        }
+        Scheduler {
+            deques: assigned.into_iter().map(WorkerDeque::new).collect(),
+            injector: Injector::new(overflow),
+        }
+    }
+
+    /// The next request index for `worker`: its own deque first (LIFO end),
+    /// then the shared injector, then a steal sweep over the other deques
+    /// (FIFO end), rotating from the worker's right-hand neighbor so
+    /// thieves spread instead of mobbing one victim. `None` only when
+    /// every source is drained — the batch is finite, so this terminates.
+    pub fn next(&self, worker: usize, local: &mut LocalMetrics) -> Option<usize> {
+        if let Some(index) = self.deques[worker].pop() {
+            return Some(index);
+        }
+        if let Some(index) = self.injector.pop() {
+            local.injector_pops += 1;
+            return Some(index);
+        }
+        for offset in 1..self.deques.len() {
+            let victim = (worker + offset) % self.deques.len();
+            if let Some(index) = self.deques[victim].steal() {
+                local.steals += 1;
+                local.stolen_requests += 1;
+                return Some(index);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn drain(sched: &Scheduler, worker: usize) -> Vec<usize> {
+        let mut local = LocalMetrics::default();
+        let mut out = Vec::new();
+        while let Some(i) = sched.next(worker, &mut local) {
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn single_worker_drains_in_submission_order() {
+        let schedule: Vec<usize> = (0..500).collect();
+        let sched = Scheduler::new(&schedule, 1);
+        // 0..DEQUE_CAP from the deque, the overflow tail from the injector:
+        // ascending throughout, preserving the serial-replay contract.
+        assert_eq!(drain(&sched, 0), schedule);
+    }
+
+    #[test]
+    fn placement_is_uniform_for_tiny_batches() {
+        // 3 items, 8 workers: every item on its own deque — the old
+        // contiguous-chunk split gave worker 0 everything here.
+        let sched = Scheduler::new(&[0, 1, 2], 8);
+        let mut local = LocalMetrics::default();
+        for w in 0..3 {
+            assert_eq!(sched.deques[w].pop(), Some(w), "worker {w} owns its item");
+        }
+        for w in 0..8 {
+            assert_eq!(sched.next(w, &mut local), None);
+        }
+    }
+
+    #[test]
+    fn overflow_lands_in_the_injector() {
+        let schedule: Vec<usize> = (0..(DEQUE_CAP * 2 + 10)).collect();
+        let sched = Scheduler::new(&schedule, 2);
+        assert_eq!(sched.injector.items.len(), 10);
+        let mut seen: Vec<usize> = (0..2).flat_map(|w| drain(&sched, w)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, schedule, "every index claimed exactly once");
+    }
+
+    #[test]
+    fn steal_storm_claims_every_index_exactly_once() {
+        for _ in 0..50 {
+            let schedule: Vec<usize> = (0..64).collect();
+            let sched = Scheduler::new(&schedule, 8);
+            let claimed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for w in 0..8 {
+                    let sched = &sched;
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        let mut local = LocalMetrics::default();
+                        let mut mine = Vec::new();
+                        while let Some(i) = sched.next(w, &mut local) {
+                            mine.push(i);
+                        }
+                        claimed.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            let mut all = claimed.into_inner().unwrap();
+            all.sort_unstable();
+            assert_eq!(all, schedule, "an index was lost or double-claimed");
+        }
+    }
+
+    #[test]
+    fn last_element_race_has_exactly_one_winner() {
+        for _ in 0..200 {
+            let deque = WorkerDeque::new(vec![7]);
+            let thief_got: Mutex<Option<usize>> = Mutex::new(None);
+            let owner_got = std::thread::scope(|scope| {
+                let handle = {
+                    let deque = &deque;
+                    let thief_got = &thief_got;
+                    scope.spawn(move || {
+                        *thief_got.lock().unwrap() = deque.steal();
+                    })
+                };
+                let owner = deque.pop();
+                handle.join().unwrap();
+                owner
+            });
+            let thief = thief_got.into_inner().unwrap();
+            let winners = usize::from(owner_got.is_some()) + usize::from(thief.is_some());
+            assert_eq!(winners, 1, "owner={owner_got:?} thief={thief:?}");
+            assert_eq!(owner_got.or(thief), Some(7));
+        }
+    }
+
+    #[test]
+    fn thieves_take_the_far_end_first() {
+        let sched = Scheduler::new(&[0, 1, 2, 3], 1);
+        // Owner would drain 0,1,2,3; a thief must take the opposite end.
+        assert_eq!(sched.deques[0].steal(), Some(3));
+        assert_eq!(sched.deques[0].pop(), Some(0));
+        let rest: HashSet<usize> = std::iter::from_fn(|| sched.deques[0].pop()).collect();
+        assert_eq!(rest, HashSet::from([1, 2]));
+    }
+}

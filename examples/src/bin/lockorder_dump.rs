@@ -94,10 +94,11 @@ fn main() {
     let _ = server.analyze();
     let _ = server.analyze();
 
-    // Phase 5 — a one-worker batch: run queues and the coalescing table,
-    // serially so pop/steal counts cannot vary.
-    let batch: Vec<QueryRequest> = (0..6).map(|i| request("doctor", i % 3)).collect();
-    let results = server.serve_batch(&batch, 1);
+    // Phase 5 — a one-worker batch: the scheduler's deque/injector cursors
+    // and the coalescing plan, serially so pop/steal counts cannot vary.
+    let batch =
+        BatchRequest::new((0..6).map(|i| request("doctor", i % 3)).collect()).workers(1);
+    let results = server.serve_batch(&batch).results;
     assert!(results.iter().all(Result::is_ok), "baseline workload failed");
 
     let json = lockorder_json();

@@ -77,7 +77,7 @@ fn stack_demo() {
                 .clearance(clearance)
         })
         .collect();
-    let _ = server.serve_batch(&burst, 4);
+    let _ = server.serve_batch(&BatchRequest::new(burst).workers(4));
     let metrics = server.metrics();
     println!(
         "  at 30% enforcement: residual exposure {:.0}% of requests admitted unchecked \

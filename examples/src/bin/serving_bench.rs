@@ -9,9 +9,16 @@
 //! * **serial** — one `StackServer` driven request-at-a-time from a single
 //!   thread (session reuse + token-checked view cache, but no batch
 //!   semantics: each request is answered in isolation);
-//! * **sweep** — `serve_batch` over the sharded engine at 1/2/4/8 workers,
+//! * **sweep** — `serve_batch` (a [`BatchRequest`] through the lock-free
+//!   deque/injector scheduler) over the sharded engine at 1/2/4/8 workers,
 //!   emitting a scaling curve with the per-run coalescing / steal /
 //!   lock-wait counters;
+//! * **sweep_nodup** — the same sweep over a worst-case **no-duplicate**
+//!   workload (every request a unique subject and portion, so nothing
+//!   coalesces and no cache level can answer twice): pure scheduler +
+//!   evaluation scaling. check.sh gates `nodup_speedup_8w_over_1w >=
+//!   nodup_expected_speedup`, where the expected value is derived from
+//!   the core count (3x on >= 8 cores, a no-regression floor on 1);
 //! * **faulted** — serial vs headline-width batch under a seeded ~10%
 //!   fault-injection plan (channel drops, cache evictions, slow
 //!   evaluations) with admission control engaged: the batch engine must
@@ -54,6 +61,9 @@ const PATIENTS: usize = 160;
 const DOCTORS: usize = 16;
 const CLERKS: usize = 8;
 const REQUESTS: usize = 4096;
+/// Size of the no-duplicate sweep (smaller than the mixed sweep: every
+/// request pays a full handshake and a fresh view computation).
+const NODUP_REQUESTS: usize = 2048;
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// The sweep point the headline speedup is read at (ISSUE acceptance bar).
 const HEADLINE_WORKERS: usize = 4;
@@ -145,6 +155,26 @@ fn build_requests() -> Vec<QueryRequest> {
                     .subject(&SubjectProfile::new(&format!("doctor-{}", i % DOCTORS)))
                     .clearance(Clearance(Level::Unclassified))
             }
+        })
+        .collect()
+}
+
+/// The worst case for every bandwidth saver the batch engine has: each
+/// request carries a unique subject, and the subject identity is part of
+/// the coalescing key, the session key, and both view-cache keys — so no
+/// two requests share an evaluation, a session, or a cache entry. What is
+/// left is pure scheduler + evaluation throughput — the honest measure of
+/// the deque/injector scheduler's scaling.
+fn build_nodup_requests() -> Vec<QueryRequest> {
+    (0..NODUP_REQUESTS)
+        .map(|i| {
+            QueryRequest::for_doc("records.xml")
+                .path(
+                    Path::parse(&format!("//patient[@id='p{}']", i % PATIENTS))
+                        .expect("valid path"),
+                )
+                .subject(&SubjectProfile::new(&format!("solo-{i}")))
+                .clearance(Clearance(Level::Unclassified))
         })
         .collect()
 }
@@ -316,10 +346,11 @@ fn main() {
     let mut headline = None;
     for workers in SWEEP {
         let server = StackServer::new(build_stack());
-        let _ = server.serve_batch(&requests, workers);
+        let batch = BatchRequest::new(requests.clone()).workers(workers);
+        let _ = server.serve_batch(&batch);
         let warm = server.metrics();
         let t = Instant::now();
-        let _ = server.serve_batch(&requests, workers);
+        let _ = server.serve_batch(&batch);
         let secs = t.elapsed().as_secs_f64();
         let m = server.metrics();
         let point = SweepPoint {
@@ -338,6 +369,61 @@ fn main() {
         sweep.push(point);
     }
 
+    // No-duplicate sweep: fresh server per round (the workload must stay
+    // cold — nothing may coalesce and no cache level may answer twice), so
+    // the curve is the scheduler's own; the per-batch BatchStats (rather
+    // than the cross-batch metrics ledger) report the steal/injector
+    // traffic. Each point reports its best of three rounds: a scheduler or
+    // frequency spike poisons at most the round it overlaps, and the gate
+    // below compares two best-case numbers, not two noise samples.
+    let nodup_requests = build_nodup_requests();
+    let mut sweep_nodup = Vec::new();
+    let mut nodup_qps_1w: f64 = 0.0;
+    let mut nodup_qps_8w: f64 = 0.0;
+    for workers in SWEEP {
+        let batch = BatchRequest::new(nodup_requests.clone()).workers(workers);
+        // Unmeasured warmup round: first-touch allocation and ramp-up land
+        // outside the scored rounds.
+        let _ = StackServer::new(build_stack()).serve_batch(&batch);
+        let mut point_qps: f64 = 0.0;
+        let mut point_stats = None;
+        for _ in 0..3 {
+            let server = StackServer::new(build_stack());
+            let t = Instant::now();
+            let response = server.serve_batch(&batch);
+            let secs = t.elapsed().as_secs_f64();
+            let round_qps = qps(NODUP_REQUESTS, secs);
+            if round_qps > point_qps {
+                point_qps = round_qps;
+                point_stats = Some(response.stats);
+            }
+        }
+        if workers == 1 {
+            nodup_qps_1w = point_qps;
+        }
+        if workers == 8 {
+            nodup_qps_8w = point_qps;
+        }
+        sweep_nodup.push((workers, point_qps, point_stats.expect("three rounds ran")));
+    }
+    let nodup_speedup = if nodup_qps_1w > 0.0 {
+        nodup_qps_8w / nodup_qps_1w
+    } else {
+        0.0
+    };
+    // The scaling bar is core-aware: demanding 3x from a single-core box
+    // would measure the CI container, not the scheduler. On wide machines
+    // an 8-worker batch must beat 1 worker by 3x; in between the bar
+    // scales with the cores actually present; on one core the 8-worker run
+    // must merely not regress past scheduler overhead.
+    let nodup_expected_speedup = if cores >= 8 {
+        3.0
+    } else if cores >= 2 {
+        (0.45 * cores as f64).min(3.0)
+    } else {
+        0.80
+    };
+
     // Faulted section: the same workload under the seeded ~10% chaos plan,
     // serial vs headline-width batch. The batch engine must keep its edge
     // when faults are landing — check.sh gates on it.
@@ -355,9 +441,10 @@ fn main() {
     let faulted = StackServer::new(build_stack());
     let injector = faulted.install_faults(fault_plan());
     faulted.set_queue_limit(FAULTED_QUEUE_DEPTH);
-    let _ = faulted.serve_batch(&requests, HEADLINE_WORKERS);
+    let headline_batch = BatchRequest::new(requests.clone()).workers(HEADLINE_WORKERS);
+    let _ = faulted.serve_batch(&headline_batch);
     let t = Instant::now();
-    let _ = faulted.serve_batch(&requests, HEADLINE_WORKERS);
+    let _ = faulted.serve_batch(&headline_batch);
     let faulted_parallel_secs = t.elapsed().as_secs_f64();
     let faulted_metrics = faulted.metrics();
     let faulted_injected = injector.fired_total();
@@ -409,9 +496,9 @@ fn main() {
     }
     set_lockdep_enabled(true);
     let lockdep_on = StackServer::new(build_stack());
-    let _ = lockdep_on.serve_batch(&requests, HEADLINE_WORKERS);
+    let _ = lockdep_on.serve_batch(&headline_batch);
     let t = Instant::now();
-    let _ = lockdep_on.serve_batch(&requests, HEADLINE_WORKERS);
+    let _ = lockdep_on.serve_batch(&headline_batch);
     let lockdep_on_parallel_qps = qps(REQUESTS, t.elapsed().as_secs_f64());
     let lockdep_on_findings = lockdep_findings().len();
     set_lockdep_enabled(false);
@@ -451,6 +538,16 @@ fn main() {
             )
         })
         .collect();
+    let sweep_nodup_json: Vec<String> = sweep_nodup
+        .iter()
+        .map(|(workers, point_qps, stats)| {
+            format!(
+                "    {{\"workers\": {workers}, \"qps\": {point_qps:.1}, \"coalesced\": {}, \
+                 \"steals\": {}, \"stolen_requests\": {}, \"injector_pops\": {}}}",
+                stats.coalesced, stats.steals, stats.stolen_requests, stats.injector_pops
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"requests\": {REQUESTS},\n  \"cores\": {cores},\n  \
          \"workers\": {HEADLINE_WORKERS},\n  \"shards\": {},\n  \
@@ -475,7 +572,12 @@ fn main() {
          \"lockdep_off_ratio\": {lockdep_off_ratio:.4},\n  \
          \"lockdep_on_parallel_qps\": {lockdep_on_parallel_qps:.1},\n  \
          \"lockdep_on_findings\": {lockdep_on_findings},\n  \
-         \"sweep\": [\n{}\n  ]\n}}\n",
+         \"nodup_requests\": {NODUP_REQUESTS},\n  \
+         \"nodup_qps_1w\": {nodup_qps_1w:.1},\n  \
+         \"nodup_qps_8w\": {nodup_qps_8w:.1},\n  \
+         \"nodup_speedup_8w_over_1w\": {nodup_speedup:.2},\n  \
+         \"nodup_expected_speedup\": {nodup_expected_speedup:.2},\n  \
+         \"sweep\": [\n{}\n  ],\n  \"sweep_nodup\": [\n{}\n  ]\n}}\n",
         metrics.per_shard.len(),
         if legacy_qps > 0.0 { serial_qps / legacy_qps } else { 0.0 },
         metrics.cache_hit_rate(),
@@ -495,7 +597,8 @@ fn main() {
         faulted_metrics.shed,
         faulted_metrics.errors,
         faulted_metrics.deadline_exceeded,
-        sweep_json.join(",\n")
+        sweep_json.join(",\n"),
+        sweep_nodup_json.join(",\n")
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
 
@@ -521,6 +624,10 @@ fn main() {
         metrics.cache_hit_rate() * 100.0,
         metrics.sessions_established,
         metrics.session_reuses
+    );
+    println!(
+        "  no-dup sweep: x1 {nodup_qps_1w:>8.0} q/s, x8 {nodup_qps_8w:>8.0} q/s = \
+         {nodup_speedup:.2}x (expected >= {nodup_expected_speedup:.2}x on {cores} core(s))"
     );
     println!(
         "  faulted (seed {FAULT_SEED:#x}, ~10% injected): serial {faulted_serial_qps:>8.0} q/s, \

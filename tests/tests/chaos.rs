@@ -191,7 +191,9 @@ fn seeded_fault_sweep_yields_only_ws1xx_or_correct_answers() {
 
         let server = StackServer::new(build_stack());
         let injector = server.install_faults(plan.clone());
-        let results = server.serve_batch(&requests, workers);
+        let results = server
+            .serve_batch(&BatchRequest::new(requests.clone()).workers(workers))
+            .results;
 
         for (i, (faulted, expected)) in results.iter().zip(reference.iter()).enumerate() {
             match faulted {
@@ -287,7 +289,9 @@ fn seeded_fault_sweep_yields_only_ws1xx_or_correct_answers() {
                 matches!(&a.subject, SubjectSpec::Identity(id) if id.starts_with("subject-"))
             })
         });
-        for (i, result) in server.serve_batch(&doctor_requests, workers).iter().enumerate() {
+        let post_revoke = server
+            .serve_batch(&BatchRequest::new(doctor_requests.clone()).workers(workers));
+        for (i, result) in post_revoke.results.iter().enumerate() {
             match result {
                 Ok(response) => assert!(
                     response.xml.is_empty(),
@@ -383,8 +387,10 @@ fn admission_control_sheds_the_exact_tail() {
     let requests: Vec<QueryRequest> = (0..64)
         .map(|i| ward_request(&format!("subject-{}", i % CHAOS_SUBJECTS), i % CHAOS_PATIENTS))
         .collect();
-    let results = server.serve_batch(&requests, 2);
-    for (i, result) in results.iter().enumerate() {
+    let response = server.serve_batch(&BatchRequest::new(requests.clone()).workers(2));
+    assert_eq!(response.stats.admitted, 8);
+    assert_eq!(response.stats.shed, 56);
+    for (i, result) in response.results.iter().enumerate() {
         if i < 8 {
             assert!(result.is_ok(), "admitted request {i} failed: {result:?}");
         } else {
@@ -401,7 +407,8 @@ fn admission_control_sheds_the_exact_tail() {
     // Lifting the limit re-admits the full batch; the shed counter is
     // cumulative and must not move.
     server.set_queue_limit(0);
-    assert!(server.serve_batch(&requests, 2).iter().all(Result::is_ok));
+    let readmitted = server.serve_batch(&BatchRequest::new(requests).workers(2));
+    assert!(readmitted.results.iter().all(Result::is_ok));
     assert_eq!(server.metrics().shed, 56);
     assert_no_sync_findings();
 }

@@ -124,6 +124,103 @@ mod server_metrics_shims {
     }
 }
 
+/// The positional `StackServer::serve_batch_positional(&[QueryRequest],
+/// workers)` shim over the `BatchRequest` builder + `serve_batch()` API.
+mod serve_batch_positional_shim {
+    use websec_core::policy::mls::ContextLabel;
+    use websec_core::prelude::*;
+
+    fn build_stack() -> SecureWebStack {
+        let mut stack = SecureWebStack::new([4u8; 32]);
+        let mut xml = String::from("<ward>");
+        for i in 0..8 {
+            xml.push_str(&format!("<patient id=\"p{i}\"><name>N{i}</name></patient>"));
+        }
+        xml.push_str("</ward>");
+        stack.add_document(
+            "ward.xml",
+            Document::parse(&xml).unwrap(),
+            ContextLabel::fixed(Level::Unclassified),
+        );
+        for d in 0..4 {
+            stack.policies.add(Authorization::grant(
+                0,
+                SubjectSpec::Identity(format!("doctor-{d}")),
+                ObjectSpec::Portion {
+                    document: "ward.xml".into(),
+                    path: Path::parse("//patient").unwrap(),
+                },
+                Privilege::Read,
+            ));
+        }
+        stack
+    }
+
+    /// Mixed successes (with duplicates, so coalescing engages) and
+    /// unknown-document errors.
+    fn build_requests() -> Vec<QueryRequest> {
+        (0..64)
+            .map(|i| {
+                let doc = if i % 13 == 5 { "missing.xml" } else { "ward.xml" };
+                QueryRequest::for_doc(doc)
+                    .path(Path::parse(&format!("//patient[@id='p{}']", i % 8)).unwrap())
+                    .subject(&SubjectProfile::new(&format!("doctor-{}", i % 4)))
+                    .clearance(Clearance(Level::Unclassified))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn positional_shim_matches_batch_request_for_every_position() {
+        let requests = build_requests();
+        for workers in [1, 4] {
+            let legacy_server = StackServer::new(build_stack());
+            let legacy = legacy_server.serve_batch_positional(&requests, workers);
+
+            let modern_server = StackServer::new(build_stack());
+            let modern = modern_server
+                .serve_batch(&BatchRequest::new(requests.clone()).workers(workers))
+                .results;
+
+            assert_eq!(legacy.len(), modern.len());
+            for (i, (l, m)) in legacy.iter().zip(modern.iter()).enumerate() {
+                match (l, m) {
+                    (Ok(lr), Ok(mr)) => {
+                        assert_eq!(lr.xml, mr.xml, "request {i} ({workers} workers)");
+                        assert_eq!(lr.decision, mr.decision, "request {i}");
+                    }
+                    (Err(le), Err(me)) => {
+                        assert_eq!(le.code(), me.code(), "request {i} ({workers} workers)");
+                    }
+                    _ => panic!("request {i} ({workers} workers): shim and API disagree"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shed_tail_is_identical_through_both_surfaces() {
+        let requests = build_requests();
+        let legacy_server = StackServer::new(build_stack());
+        legacy_server.set_queue_limit(4);
+        let legacy = legacy_server.serve_batch_positional(&requests, 2);
+
+        let modern_server = StackServer::new(build_stack());
+        modern_server.set_queue_limit(4);
+        let modern = modern_server
+            .serve_batch(&BatchRequest::new(requests.clone()).workers(2))
+            .results;
+
+        for (i, (l, m)) in legacy.iter().zip(modern.iter()).enumerate() {
+            assert_eq!(l.is_ok(), m.is_ok(), "request {i}");
+            if i >= 8 {
+                assert_eq!(l.as_ref().unwrap_err().code(), "WS108", "request {i}");
+                assert_eq!(m.as_ref().unwrap_err().code(), "WS108", "request {i}");
+            }
+        }
+    }
+}
+
 /// The `Registry` alias and the positional UDDI inquiry shims over the
 /// `InquiryRequest` builder + `inquire()` entry point.
 mod uddi_inquiry_shims {

@@ -220,7 +220,8 @@ fn serving_engine_runs_clean_under_lockdep() {
                 .clearance(Clearance(Level::Unclassified))
         })
         .collect();
-    let results = server.serve_batch(&requests, 4);
+    let batch = BatchRequest::new(requests).workers(4);
+    let results = server.serve_batch(&batch).results;
     assert!(results.iter().all(Result::is_ok));
     server.update(|s| {
         s.policies.add(Authorization::grant(
@@ -230,7 +231,7 @@ fn serving_engine_runs_clean_under_lockdep() {
             Privilege::Write,
         ));
     });
-    let _ = server.serve_batch(&requests, 4);
+    let _ = server.serve_batch(&batch);
     let _ = server.analyze();
     let findings = lockdep_findings();
     assert!(

@@ -81,11 +81,14 @@ fn build_requests(n: usize) -> Vec<QueryRequest> {
 #[test]
 fn cache_counters_partition_allowed_requests_exactly() {
     let server = StackServer::with_shards(build_stack(), 16);
-    let requests = build_requests(BATCH);
-    let first = server.serve_batch(&requests, WORKERS);
-    let second = server.serve_batch(&requests, WORKERS);
-    assert_eq!(first.len(), BATCH);
-    assert_eq!(second.len(), BATCH);
+    let batch = BatchRequest::new(build_requests(BATCH)).workers(WORKERS);
+    let first = server.serve_batch(&batch);
+    let second = server.serve_batch(&batch);
+    assert_eq!(first.results.len(), BATCH);
+    assert_eq!(second.results.len(), BATCH);
+    // The per-batch stats agree with the global ledger: the two coalesced
+    // tallies sum to the metrics counter checked below.
+    let batch_coalesced = first.stats.coalesced + second.stats.coalesced;
 
     let m = server.metrics();
     assert_eq!(m.requests, 2 * BATCH as u64);
@@ -121,6 +124,7 @@ fn cache_counters_partition_allowed_requests_exactly() {
     assert!(m.l1_hits > 0, "no L1 traffic in a {BATCH}-request batch");
     assert!(m.l2_hits > 0, "no L2 traffic across two batches");
     assert!(m.coalesced > 0, "duplicate requests never coalesced");
+    assert_eq!(m.coalesced, batch_coalesced, "BatchStats disagrees with the ledger");
     assert!(m.cache_misses > 0, "cold views never computed");
     // Latency is recorded for exactly the allowed responses.
     assert_eq!(m.latency.count, m.allowed);
@@ -133,9 +137,9 @@ fn cache_counters_partition_allowed_requests_exactly() {
 #[test]
 fn per_shard_stats_sum_to_the_global_counters() {
     let server = StackServer::with_shards(build_stack(), 8);
-    let requests = build_requests(BATCH);
-    let _ = server.serve_batch(&requests, WORKERS);
-    let _ = server.serve_batch(&requests, WORKERS);
+    let batch = BatchRequest::new(build_requests(BATCH)).workers(WORKERS);
+    let _ = server.serve_batch(&batch);
+    let _ = server.serve_batch(&batch);
 
     let m = server.metrics();
     assert_eq!(m.per_shard.len(), 8);
@@ -169,7 +173,7 @@ fn per_shard_stats_sum_to_the_global_counters() {
 fn serial_and_batch_paths_share_one_ledger() {
     let server = StackServer::new(build_stack());
     let requests = build_requests(128);
-    let _ = server.serve_batch(&requests, WORKERS);
+    let _ = server.serve_batch(&BatchRequest::new(requests.clone()).workers(WORKERS));
     for request in requests.iter().take(32) {
         let _ = server.serve(request);
     }

@@ -111,7 +111,11 @@ fn parallel_batch_matches_serial_run() {
     let serial: Vec<_> = requests.iter().map(|r| serial_server.serve(r)).collect();
 
     let parallel_server = StackServer::new(build_stack());
-    let parallel = parallel_server.serve_batch(&requests, 8);
+    let response = parallel_server.serve_batch(&BatchRequest::new(requests.clone()).workers(8));
+    assert_eq!(response.stats.workers, 8);
+    assert_eq!(response.stats.admitted, requests.len());
+    assert_eq!(response.stats.shed, 0);
+    let parallel = response.results;
 
     assert_eq!(serial.len(), parallel.len());
     let mut allowed = 0;
@@ -302,7 +306,8 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
 
     // The batch path agrees, across all shards and both cache levels.
     let requests: Vec<QueryRequest> = (0..RACE_READERS).map(|d| doctor_request(d, 1)).collect();
-    for result in server.serve_batch(&requests, RACE_WORKERS) {
+    let batch = BatchRequest::new(requests).workers(RACE_WORKERS);
+    for result in server.serve_batch(&batch).results {
         let response = result.unwrap();
         assert!(response.xml.is_empty(), "stale view: {}", response.xml);
     }
@@ -317,9 +322,12 @@ fn concurrent_revocation_never_serves_stale_views_past_the_epoch_bump() {
 #[test]
 fn revocation_mid_batch_yields_only_valid_answers() {
     let server = StackServer::new(build_stack());
-    let requests: Vec<QueryRequest> = (0..RACE_BATCH)
-        .map(|i| doctor_request(i % RACE_READERS, i % 40))
-        .collect();
+    let batch = BatchRequest::new(
+        (0..RACE_BATCH)
+            .map(|i| doctor_request(i % RACE_READERS, i % 40))
+            .collect(),
+    )
+    .workers(RACE_WORKERS);
 
     let results = std::thread::scope(|scope| {
         let server = &server;
@@ -327,7 +335,7 @@ fn revocation_mid_batch_yields_only_valid_answers() {
             std::thread::yield_now();
             revoke_doctors(server)
         });
-        let results = server.serve_batch(&requests, RACE_WORKERS);
+        let results = server.serve_batch(&batch).results;
         assert_eq!(writer.join().unwrap(), RACE_READERS);
         results
     });
