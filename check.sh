@@ -26,7 +26,8 @@ export LOCKDEP_CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS:-200}"
 echo "==> cargo test with WEBSEC_LOCKDEP=1 (CHAOS_SEEDS=${LOCKDEP_CHAOS_SEEDS})"
 WEBSEC_LOCKDEP=1 CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS}" \
     cargo test -q --offline -p websec-integration-tests \
-    --test chaos --test serving --test lockdep --test scheduler
+    --test chaos --test serving --test lockdep --test scheduler \
+    --test compiled_decisions
 
 echo "==> lock-order graph baseline (LOCKORDER.json)"
 cargo run --release --offline -p websec-examples --bin lockorder_dump LOCKORDER_run1.json
@@ -102,6 +103,32 @@ a_incr=$(awk -F': ' '/"analysis_incremental_us"/ {gsub(/,/, "", $2); print $2}' 
 echo "==> analysis full ${a_full} us vs incremental ${a_incr} us"
 if awk "BEGIN {exit !($a_incr > $a_full)}"; then
     echo "check.sh: FAIL — incremental re-analysis (${a_incr} us) is slower than a full run (${a_full} us)" >&2
+    exit 1
+fi
+
+# Gate: the snapshot-compiled decision path must beat the interpreting
+# engine >= 5x on unique-subject cache-miss traffic over the generated
+# large store (100k docs, 10k subjects).
+c_interp=$(awk -F': ' '/"interpreted_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+c_comp=$(awk -F': ' '/"compiled_qps"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+c_speedup=$(awk -F': ' '/"compiled_speedup"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+echo "==> compiled/interpreted ratio: ${c_speedup}x (compiled ${c_comp} v/s vs interpreted ${c_interp} v/s)"
+if awk "BEGIN {exit !($c_speedup < 5.0)}"; then
+    echo "check.sh: FAIL — compiled decision path (${c_comp} v/s) is below 5x the interpreter (${c_interp} v/s)" >&2
+    exit 1
+fi
+
+# Gate: the two decision paths must agree byte-for-byte on the sampled
+# traffic, and the analyzer cross-check (WS001/WS002 + equivalence classes
+# re-run over the compiled form) must accept the published artifact.
+c_equiv=$(awk -F': ' '/"compiled_equivalent"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+c_verify=$(awk -F': ' '/"compiled_verify_ok"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+if [ "${c_equiv}" != "1" ]; then
+    echo "check.sh: FAIL — compiled and interpreted views diverged on sampled traffic" >&2
+    exit 1
+fi
+if [ "${c_verify}" != "1" ]; then
+    echo "check.sh: FAIL — analyzer cross-check rejected the compiled artifact (WS109)" >&2
     exit 1
 fi
 

@@ -23,7 +23,12 @@
 //!   publication race, not a style tweak (`// lint:allow(relaxed-sync)`);
 //! * `Ordering::Relaxed` on counters that feed `check.sh`'s benchmark
 //!   gates (`shed`, `faults_injected`, `fired`): each site must be an
-//!   explicit, annotated decision (`// lint:allow(relaxed-counter)`).
+//!   explicit, annotated decision (`// lint:allow(relaxed-counter)`);
+//! * per-call heap allocation (`format!`, `.to_string()`, `Vec::new`) in
+//!   the compiled decision hot-path modules (`policy/src/compiled.rs`,
+//!   `xml/src/automaton.rs`) — lookups there run on every cache miss, so
+//!   allocation belongs in the one-time snapshot build
+//!   (`// lint:allow(hot-alloc)` opts a line out).
 //!
 //! Test code is exempt: by repository convention the `#[cfg(test)]` module
 //! sits at the end of each file, so everything after the first `#[cfg(test)]`
@@ -246,6 +251,48 @@ fn raw_sync_scope(file: &Path) -> bool {
     path.contains("core/src/server/") || path.ends_with("core/src/faults.rs")
 }
 
+/// Hot-path modules of the compiled decision path: consulted on every
+/// cache miss, so per-call heap allocation there is a performance bug,
+/// not a style choice. Build-time allocation belongs in the snapshot
+/// compilation pass (sized with `with_capacity`) — or carries an explicit
+/// `// lint:allow(hot-alloc)` marker when a one-time path really needs it.
+const HOT_ALLOC_SCOPE: [&str; 2] = ["policy/src/compiled.rs", "xml/src/automaton.rs"];
+
+/// Allocation constructors banned in [`HOT_ALLOC_SCOPE`].
+const HOT_ALLOC_PATTERNS: [&str; 3] = ["format!(", ".to_string()", "Vec::new("];
+
+/// True for files under the compiled hot-path allocation rule.
+fn hot_alloc_scope(file: &Path) -> bool {
+    let path = file.to_string_lossy().replace('\\', "/");
+    HOT_ALLOC_SCOPE.iter().any(|suffix| path.ends_with(suffix))
+}
+
+/// The banned allocation the line performs, if any. Like
+/// [`raw_sync_constructor`], a match preceded by an identifier character is
+/// rejected (`SmallVec::new(` is not `Vec::new(`).
+fn hot_alloc_pattern(code: &str) -> Option<&'static str> {
+    for pattern in HOT_ALLOC_PATTERNS {
+        // Method-call patterns (leading '.') are always preceded by their
+        // receiver; the identifier guard applies only to bare constructors.
+        let guard_prefix = !pattern.starts_with('.');
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(pattern) {
+            let at = from + pos;
+            let preceded = guard_prefix
+                && at > 0
+                && code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !preceded {
+                return Some(pattern);
+            }
+            from = at + pattern.len();
+        }
+    }
+    None
+}
+
 /// The raw constructor the line calls, if any. A match is rejected when
 /// preceded by an identifier character, so `TrackedMutex::new(` does not
 /// count as `Mutex::new(`.
@@ -324,6 +371,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
 
     let lock_order_spec = lock_order_for(file);
     let raw_sync_scope = raw_sync_scope(file);
+    let hot_alloc_scope = hot_alloc_scope(file);
     let mut last_lock: Option<usize> = None;
     let mut in_test_code = false;
     for (idx, line) in source.lines().enumerate() {
@@ -378,6 +426,21 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                         "raw std::sync primitive '{}' in tracked serving/fault code: \
                          use the websec_core::sync wrapper so the WEBSEC_LOCKDEP=1 \
                          detector observes it",
+                        pattern.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        if hot_alloc_scope && !allowed("hot-alloc") {
+            if let Some(pattern) = hot_alloc_pattern(code) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    warning: false,
+                    message: format!(
+                        "heap allocation '{}' in a compiled hot-path module: hoist it \
+                         into the snapshot build (Vec::with_capacity / interning), or \
+                         annotate a one-time path with // lint:allow(hot-alloc)",
                         pattern.trim_end_matches('(')
                     ),
                 });
@@ -659,6 +722,40 @@ mod tests {
                    // lint:allow(relaxed-sync)\n";
         let mut findings = Vec::new();
         lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn hot_alloc_is_flagged_in_compiled_modules() {
+        let file = Path::new("crates/policy/src/compiled.rs");
+        let src = "fn f(name: &str) {\n\
+                   let k = name.to_string();\n\
+                   let v: Vec<u32> = Vec::new();\n\
+                   let s = format!(\"{k}\");\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert_eq!(findings.len(), 3, "{}", render(&findings));
+        assert!(findings.iter().all(|f| !f.warning));
+        assert!(findings[0].message.contains("heap allocation '.to_string()'"));
+
+        // Sized and interned forms are the fix, not findings — and a
+        // non-Vec `::new(` must not match.
+        let src = "fn f() { let v = Vec::with_capacity(4); \
+                   let s = SmallVec::new(); let o = String::from(\"x\"); }\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // The opt-out marks deliberate build-path allocation, and the rule
+        // is path-scoped.
+        let src = "fn f() { let v: Vec<u32> = Vec::new(); } // lint:allow(hot-alloc)\n";
+        let mut findings = Vec::new();
+        lint_file(file, src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+        let src = "fn f() { let s = format!(\"x\"); }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/policy/src/engine.rs"), src, false, &mut findings);
         assert!(findings.is_empty(), "{}", render(&findings));
     }
 

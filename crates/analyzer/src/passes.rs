@@ -1451,12 +1451,7 @@ mod tests {
     #[test]
     fn clean_base_has_no_findings() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doc".into()),
-            portion("//patient"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doc".into())).on(portion("//patient")).privilege(Privilege::Read).grant());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1467,18 +1462,8 @@ mod tests {
     #[test]
     fn ws001_strategy_dependent_conflict() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Identity("eve".into()),
-            portion("/hospital/admin"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("eve".into())).on(portion("/hospital/admin")).privilege(Privilege::Read).deny());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1491,18 +1476,8 @@ mod tests {
     #[test]
     fn ws001_priority_tie_is_error() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).deny());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::ExplicitPriority)
             .with_document("h.xml", &d);
@@ -1520,18 +1495,8 @@ mod tests {
     #[test]
     fn ws001_disjoint_subjects_do_not_conflict() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("alice".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Identity("bob".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Identity("alice".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("bob".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).deny());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1541,12 +1506,7 @@ mod tests {
     #[test]
     fn ws002_unreachable_rule() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            portion("//nonexistent"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("//nonexistent")).privilege(Privilege::Read).grant());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1559,18 +1519,8 @@ mod tests {
     #[test]
     fn ws002_shadowed_grant() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Browse,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("bob".into()),
-            portion("//patient"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Browse).deny());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("bob".into())).on(portion("//patient")).privilege(Privilege::Read).grant());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1660,12 +1610,7 @@ mod tests {
     #[test]
     fn ws005_dangling_document() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("ghost.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("ghost.xml".into())).privilege(Privilege::Read).grant());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1682,12 +1627,7 @@ mod tests {
     #[test]
     fn ws005_unregistered_collection() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Collection("wards".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Collection("wards".into())).privilege(Privilege::Read).grant());
         let d = doc();
         let input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);
@@ -1698,18 +1638,8 @@ mod tests {
     #[test]
     fn ws005_unknown_subject_and_credential() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("ghost".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::WithCredentials(CredentialExpr::OfType("unicorn-wrangler".into())),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Identity("ghost".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::WithCredentials(CredentialExpr::OfType("unicorn-wrangler".into()))).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let d = doc();
         let mut input = AnalyzerInput::new(&store, ConflictStrategy::default())
             .with_document("h.xml", &d);

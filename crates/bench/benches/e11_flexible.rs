@@ -15,12 +15,7 @@ fn make_stack(level: u8) -> SecureWebStack {
         hospital_doc(100),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("h.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
     stack.gate = FlexibleEnforcer::new(level, [5u8; 32]);
     stack
 }

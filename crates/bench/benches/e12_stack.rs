@@ -15,12 +15,7 @@ fn make_stack(protected_channel: bool) -> SecureWebStack {
         hospital_doc(100),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("h.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
     stack
 }
 

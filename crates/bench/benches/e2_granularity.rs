@@ -23,7 +23,7 @@ fn store_for(granularity: &str) -> PolicyStore {
             path: Path::parse("//patient/@id").unwrap(),
         },
     };
-    store.add(Authorization::grant(0, SubjectSpec::Anyone, object, Privilege::Read));
+    store.add(Authorization::for_subject(SubjectSpec::Anyone).on(object).privilege(Privilege::Read).grant());
     store
 }
 

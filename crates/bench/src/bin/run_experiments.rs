@@ -113,17 +113,12 @@ fn e2_granularity() {
             let mut store = PolicyStore::new();
             // Attribute grants need the element visible too.
             if label == "attribute" {
-                store.add(Authorization::grant(
-                    0,
-                    SubjectSpec::Anyone,
-                    ObjectSpec::Portion {
+                store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
                         document: "h.xml".into(),
                         path: Path::parse("//patient").unwrap(),
-                    },
-                    Privilege::Read,
-                ).with_propagation(Propagation::None));
+                    }).privilege(Privilege::Read).grant().with_propagation(Propagation::None));
             }
-            store.add(Authorization::grant(0, SubjectSpec::Anyone, object, Privilege::Read));
+            store.add(Authorization::for_subject(SubjectSpec::Anyone).on(object).privilege(Privilege::Read).grant());
             let engine = PolicyEngine::default();
             let profile = SubjectProfile::new("u");
             let mut view_nodes = 0usize;
@@ -508,12 +503,7 @@ fn e11_flexible() {
     for level in [0u8, 30, 70, 100] {
         let mut stack = SecureWebStack::new([5u8; 32]);
         stack.add_document("h.xml", doc.clone(), ContextLabel::fixed(Level::Unclassified));
-        stack.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         stack.gate = FlexibleEnforcer::new(level, [5u8; 32]);
         let path = Path::parse("//patient[@id='p7']").unwrap();
         let n = 60usize;
@@ -706,12 +696,7 @@ fn e12_stack() {
         let mut stack = SecureWebStack::new([5u8; 32]);
         stack.channel_protected = protected;
         stack.add_document("h.xml", doc.clone(), ContextLabel::fixed(Level::Unclassified));
-        stack.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let path = Path::parse("//patient[@id='p7']").unwrap();
         let profile = SubjectProfile::new("u");
         // Average over repetitions.

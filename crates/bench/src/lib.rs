@@ -75,15 +75,10 @@ pub fn policy_base(n: usize, mode: SubjectMode, doc_name: &str) -> PolicyStore {
             2 => "//patient/name".to_string(),
             _ => "/hospital/patients".to_string(),
         };
-        store.add(Authorization::grant(
-            0,
-            subject,
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(subject).on(ObjectSpec::Portion {
                 document: doc_name.to_string(),
                 path: Path::parse(&path).expect("valid path"),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
     }
     store
 }

@@ -261,12 +261,7 @@ mod tests {
         attach_blob(&mut doc, scan_el, &mut store, b"MRI bytes");
 
         let mut policies = PolicyStore::new();
-        policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
 
         let doctor = SubjectProfile::new("doctor");
@@ -292,22 +287,12 @@ mod tests {
         attach_blob(&mut doc, media, &mut store, b"video");
 
         let mut policies = PolicyStore::new();
-        policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("d".into()),
-            Privilege::Read,
-        ));
+        policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("d".into())).privilege(Privilege::Read).grant());
         // Deny the reference attribute itself: metadata visible, blob not.
-        policies.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Portion {
+        policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
                 document: "d".into(),
                 path: Path::parse("//media/@blobRef").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).deny());
         let engine = PolicyEngine::default();
         assert_eq!(
             fetch_authorized(
@@ -330,12 +315,7 @@ mod tests {
         let doc = Document::parse("<r><media/></r>").unwrap();
         let media = Path::parse("//media").unwrap().select_nodes(&doc)[0];
         let mut policies = PolicyStore::new();
-        policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("d".into()),
-            Privilege::Read,
-        ));
+        policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("d".into())).privilege(Privilege::Read).grant());
         assert_eq!(
             fetch_authorized(
                 &store,

@@ -127,12 +127,7 @@ mod tests {
             "ward.xml",
             Document::parse("<ward><patient><name>Alice</name></patient></ward>").unwrap(),
         );
-        a.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("researcher".into()),
-            ObjectSpec::Document("ward.xml".into()),
-            Privilege::Read,
-        ));
+        a.policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
         fed.add_site(a);
 
         // Site B: grants nothing to researchers, everything to its admin.
@@ -141,12 +136,7 @@ mod tests {
             "ward.xml",
             Document::parse("<ward><patient><name>Bob</name></patient></ward>").unwrap(),
         );
-        b.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("b-admin".into()),
-            ObjectSpec::Document("ward.xml".into()),
-            Privilege::Read,
-        ));
+        b.policies.add(Authorization::for_subject(SubjectSpec::Identity("b-admin".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
         fed.add_site(b);
         fed
     }
@@ -173,12 +163,7 @@ mod tests {
         // A subject granted at both sites sees the union; sites remain the
         // enforcement points.
         for site in &mut fed.sites {
-            site.policies.add(Authorization::grant(
-                0,
-                SubjectSpec::Identity("auditor".into()),
-                ObjectSpec::Document("ward.xml".into()),
-                Privilege::Read,
-            ));
+            site.policies.add(Authorization::for_subject(SubjectSpec::Identity("auditor".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
         }
         let hits = fed.query(
             &SubjectProfile::new("auditor"),

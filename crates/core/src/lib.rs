@@ -55,12 +55,14 @@
 //!     "<hospital><patient id=\"p1\"><name>Alice</name></patient></hospital>",
 //! ).unwrap();
 //! let mut store = PolicyStore::new();
-//! store.add(Authorization::grant(
-//!     0,
-//!     SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into())),
-//!     ObjectSpec::Document("h.xml".into()),
-//!     Privilege::Read,
-//! ));
+//! store.add(
+//!     Authorization::for_subject(SubjectSpec::WithCredentials(
+//!         CredentialExpr::OfType("physician".into()),
+//!     ))
+//!     .on(ObjectSpec::Document("h.xml".into()))
+//!     .privilege(Privilege::Read)
+//!     .grant(),
+//! );
 //! let engine = PolicyEngine::default();
 //! let doctor = SubjectProfile::new("alice")
 //!     .with_credential(Credential::new("physician", "alice"));
@@ -105,8 +107,8 @@ pub use metadata::{DocumentMeta, MetadataRepository, Placement};
 pub use query::{QueryStrategy, SecureHit, SecureQueryProcessor};
 pub use request::{BatchRequest, CacheStatus, Decision, QueryRequest, QueryResponse};
 pub use server::{
-    AnalysisGate, BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot, ServerConfig,
-    ShardStats, StackServer,
+    AnalysisGate, BatchResponse, BatchStats, DecisionMode, LatencyHistogram, MetricsSnapshot,
+    ServerConfig, ShardStats, StackServer,
 };
 #[allow(deprecated)]
 pub use server::ServerMetrics;
@@ -129,8 +131,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::server::ServerMetrics;
     pub use crate::server::{
-        AnalysisGate, BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot,
-        ServerConfig, ShardStats, StackServer,
+        AnalysisGate, BatchResponse, BatchStats, DecisionMode, LatencyHistogram,
+        MetricsSnapshot, ServerConfig, ShardStats, StackServer,
     };
     pub use crate::stack::{LayerTimings, SecureWebStack, StackError};
     pub use crate::sync::{
@@ -150,10 +152,11 @@ pub mod prelude {
         DecisionTree, DistributedMiners, MaskedBaskets, NoiseModel, PrivacyMetric,
     };
     pub use websec_policy::{
-        AccessDecision, AdministeredStore, Authorization, Clearance, ConflictStrategy,
-        Credential, CredentialExpr, CredentialIssuer, FlexibleEnforcer, Level, ObjectSpec,
-        PolicyEngine, PolicyStore, Privilege, Propagation, Role, RoleHierarchy,
-        SecurityContext, Sign, SubjectProfile, SubjectSpec,
+        AccessDecision, AdministeredStore, Authorization, AuthorizationBuilder, Clearance,
+        CompiledPolicies, ConflictStrategy, Credential, CredentialExpr, CredentialIssuer,
+        FlexibleEnforcer, InvalidLevel, Level, ObjectSpec, PolicyEngine, PolicySnapshot,
+        PolicyStore, Privilege, Propagation, Role, RoleHierarchy, SecurityContext, Sign,
+        SubjectProfile, SubjectSpec,
     };
     pub use websec_privacy::{
         AggregateDecision, AggregateQuery, ConsentLedger, InferenceController,

@@ -192,24 +192,14 @@ mod tests {
 
     fn setup() -> (PolicyStore, Document) {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Portion {
+            }).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient/@ssn").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).deny());
         let doc = Document::parse(
             "<hospital>\
                <patient id=\"p1\" ssn=\"123\"><name>Alice</name></patient>\

@@ -33,7 +33,8 @@ use super::cache::Token;
 use super::StackServer;
 use crate::error::Error;
 use crate::stack::SecureWebStack;
-use websec_analyzer::{run_pass, Diagnostic, PassId, Report, Section, Severity};
+use websec_analyzer::{run_pass, AnalyzerInput, Diagnostic, PassId, Report, Section, Severity};
+use websec_policy::{PolicyEngine, PolicyStore, Privilege};
 
 /// What [`StackServer::try_update`] does with analyzer findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -180,7 +181,7 @@ impl StackServer {
     /// [`super::MetricsSnapshot`] and [`StackServer::last_passes_run`].
     #[must_use]
     pub fn analyze(&self) -> Report {
-        let Ok((stack, token)) = self.snapshot_with_token() else {
+        let Ok((stack, _, token)) = self.snapshot_with_token() else {
             return Report::default();
         };
         self.analyze_snapshot(&stack, token)
@@ -265,6 +266,80 @@ impl StackServer {
         }
     }
 
+    /// Proves the current snapshot's compiled decision tables equivalent
+    /// to the live policy base, at the level static analysis can see:
+    ///
+    /// 1. the policy passes — WS001 (conflict detection) and WS002
+    ///    (shadowed/unreachable rules) — are re-run over a
+    ///    [`websec_policy::CompiledPolicies::reconstruct_store`]
+    ///    reconstruction and must produce **byte-identical** machine
+    ///    lines (diagnostics name authorization ids, so identity — not
+    ///    just cardinality — is checked);
+    /// 2. the per-document Browse/Read equivalence classes projected from
+    ///    the compiled tables must match the interpreter's
+    ///    [`PolicyEngine::policy_equivalence_classes`] partition exactly;
+    /// 3. the artifact's baked epoch must match the snapshot's policy
+    ///    epoch (a stale artifact can never pass as current).
+    ///
+    /// Returns the shared machine lines on success.
+    ///
+    /// # Errors
+    /// `WS109` ([`Error::AnalysisRejected`]) describing the first
+    /// divergence found.
+    pub fn verify_compiled(&self) -> Result<Vec<String>, Error> {
+        let (stack, compiled, _) = self.snapshot_with_token()?;
+        if compiled.epoch() != stack.policies.epoch() {
+            return Err(Error::AnalysisRejected(format!(
+                "compiled artifact baked at policy epoch {} but the snapshot is at epoch {}",
+                compiled.epoch(),
+                stack.policies.epoch()
+            )));
+        }
+        let reconstructed = compiled.reconstruct_store();
+        let policy_passes = [PassId::Ws001, PassId::Ws002];
+        let machine_lines = |store: &PolicyStore| -> Vec<String> {
+            let mut input = AnalyzerInput::new(store, stack.engine.strategy);
+            for name in stack.documents.names() {
+                if let Some(doc) = stack.documents.get(name) {
+                    input.documents.push((name, doc));
+                }
+            }
+            policy_passes
+                .iter()
+                .flat_map(|pass| run_pass(&input, *pass))
+                .map(|d| d.machine_line())
+                .collect()
+        };
+        let live = machine_lines(&stack.policies);
+        let rebuilt = machine_lines(&reconstructed);
+        if live != rebuilt {
+            return Err(Error::AnalysisRejected(format!(
+                "WS001/WS002 findings diverge between the live policy base and the compiled \
+                 reconstruction:\nlive: {live:?}\ncompiled: {rebuilt:?}"
+            )));
+        }
+        for name in stack.documents.names() {
+            let Some(doc) = stack.documents.get(name) else {
+                continue;
+            };
+            for privilege in [Privilege::Browse, Privilege::Read] {
+                let interpreted = PolicyEngine::policy_equivalence_classes(
+                    &stack.policies,
+                    name,
+                    doc,
+                    privilege,
+                );
+                if compiled.equivalence_classes(name, privilege).as_ref() != Some(&interpreted) {
+                    return Err(Error::AnalysisRejected(format!(
+                        "{privilege:?} equivalence classes diverge for document '{name}' \
+                         between the interpreter and the compiled tables"
+                    )));
+                }
+            }
+        }
+        Ok(live)
+    }
+
     /// Gated counterpart of [`StackServer::update`]:
     ///
     /// * [`AnalysisGate::Off`] — behaves exactly like `update` (infallible
@@ -317,7 +392,8 @@ impl StackServer {
                     self.gate_denials.fetch_add(1, Ordering::Relaxed);
                     return Err(Error::AnalysisRejected(introduced.join("\n")));
                 }
-                self.publish(Arc::new(candidate));
+                let compiled = self.compile_for_publication(&candidate);
+                self.publish(Arc::new(candidate), compiled);
                 drop(writer);
                 let _ = self.analyze();
                 Ok(result)

@@ -218,6 +218,21 @@ pub struct MetricsSnapshot {
     /// Updates rejected by [`crate::server::AnalysisGate::Deny`] with
     /// `WS109`.
     pub gate_denials: u64,
+    /// Cache-miss views answered by the snapshot-compiled decision tables
+    /// ([`websec_policy::CompiledPolicies`]) rather than the interpreting
+    /// engine (0 under [`crate::server::DecisionMode::Interpreted`]).
+    pub compiled_hits: u64,
+    /// Total nanoseconds spent inside the compiled decision tables across
+    /// all requests (an attribution within `layer_totals.xml_ns`).
+    pub compile_ns: u64,
+    /// Policy compilations performed at snapshot publication: one at
+    /// construction plus one per committed update.
+    /// [`crate::server::StackServer::invalidate_views`] reuses the current
+    /// artifact and does not recompile.
+    pub snapshot_compiles: u64,
+    /// Total nanoseconds spent compiling snapshots (publication-time cost,
+    /// never paid on a request path).
+    pub snapshot_compile_ns: u64,
     /// Cumulative per-layer time across all successful requests.
     pub layer_totals: LayerTimings,
     /// Distribution of total request latency.
@@ -297,10 +312,12 @@ pub(crate) struct LocalMetrics {
     pub faults_injected: u64,
     pub sessions_established: u64,
     pub session_reuses: u64,
+    pub compiled_hits: u64,
     pub channel_ns: u64,
     pub rdf_ns: u64,
     pub xml_ns: u64,
     pub gate_ns: u64,
+    pub compile_ns: u64,
     pub latency_sum_ns: u64,
     pub latency_count: u64,
     pub latency: [u64; LATENCY_BUCKETS],
@@ -336,10 +353,12 @@ impl Default for LocalMetrics {
             faults_injected: 0,
             sessions_established: 0,
             session_reuses: 0,
+            compiled_hits: 0,
             channel_ns: 0,
             rdf_ns: 0,
             xml_ns: 0,
             gate_ns: 0,
+            compile_ns: 0,
             latency_sum_ns: 0,
             latency_count: 0,
             latency: [0; LATENCY_BUCKETS],
@@ -392,6 +411,9 @@ impl LocalMetrics {
                     CacheStatus::Coalesced => self.coalesced += 1,
                     _ => {}
                 }
+                if response.compiled {
+                    self.compiled_hits += 1;
+                }
                 let t = &response.timings;
                 let add = |a: &mut u64, v: u128| {
                     *a = a.saturating_add(u64::try_from(v).unwrap_or(u64::MAX));
@@ -400,6 +422,7 @@ impl LocalMetrics {
                 add(&mut self.rdf_ns, t.rdf_ns);
                 add(&mut self.xml_ns, t.xml_ns);
                 add(&mut self.gate_ns, t.gate_ns);
+                add(&mut self.compile_ns, t.compile_ns);
                 self.record_latency(t.total_ns());
             }
             Err(Error::ClearanceViolation) => {
@@ -444,10 +467,12 @@ pub(crate) struct MetricsInner {
     faults_injected: TrackedAtomicU64,
     sessions_established: TrackedAtomicU64,
     session_reuses: TrackedAtomicU64,
+    compiled_hits: TrackedAtomicU64,
     channel_ns: TrackedAtomicU64,
     rdf_ns: TrackedAtomicU64,
     xml_ns: TrackedAtomicU64,
     gate_ns: TrackedAtomicU64,
+    compile_ns: TrackedAtomicU64,
     latency_sum_ns: TrackedAtomicU64,
     latency_count: TrackedAtomicU64,
     latency: [TrackedAtomicU64; LATENCY_BUCKETS],
@@ -476,10 +501,12 @@ impl Default for MetricsInner {
             faults_injected: TrackedAtomicU64::counter("server.metrics.faults_injected", 0),
             sessions_established: TrackedAtomicU64::counter("server.metrics.sessions_established", 0),
             session_reuses: TrackedAtomicU64::counter("server.metrics.session_reuses", 0),
+            compiled_hits: TrackedAtomicU64::counter("server.metrics.compiled_hits", 0),
             channel_ns: TrackedAtomicU64::counter("server.metrics.channel_ns", 0),
             rdf_ns: TrackedAtomicU64::counter("server.metrics.rdf_ns", 0),
             xml_ns: TrackedAtomicU64::counter("server.metrics.xml_ns", 0),
             gate_ns: TrackedAtomicU64::counter("server.metrics.gate_ns", 0),
+            compile_ns: TrackedAtomicU64::counter("server.metrics.compile_ns", 0),
             latency_sum_ns: TrackedAtomicU64::counter("server.metrics.latency_sum_ns", 0),
             latency_count: TrackedAtomicU64::counter("server.metrics.latency_count", 0),
             latency: std::array::from_fn(|_| {
@@ -517,10 +544,12 @@ impl MetricsInner {
         add(&self.faults_injected, local.faults_injected);
         add(&self.sessions_established, local.sessions_established);
         add(&self.session_reuses, local.session_reuses);
+        add(&self.compiled_hits, local.compiled_hits);
         add(&self.channel_ns, local.channel_ns);
         add(&self.rdf_ns, local.rdf_ns);
         add(&self.xml_ns, local.xml_ns);
         add(&self.gate_ns, local.gate_ns);
+        add(&self.compile_ns, local.compile_ns);
         add(&self.latency_sum_ns, local.latency_sum_ns);
         add(&self.latency_count, local.latency_count);
         for (slot, &v) in self.latency.iter().zip(local.latency.iter()) {
@@ -564,17 +593,22 @@ impl MetricsInner {
             session_lock_waits: sum(|s| s.session_lock_waits),
             cache_lock_waits: sum(|s| s.cache_lock_waits),
             // Overwritten by `StackServer::metrics`, which owns the
-            // analysis cache and gate counters.
+            // analysis cache, gate, and snapshot-compile counters.
             analysis_passes_run: 0,
             analysis_passes_reused: 0,
             analysis_errors: 0,
             analysis_warnings: 0,
             gate_denials: 0,
+            snapshot_compiles: 0,
+            snapshot_compile_ns: 0,
+            compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
+            compile_ns: self.compile_ns.load(Ordering::Relaxed),
             layer_totals: LayerTimings {
                 channel_ns: u128::from(self.channel_ns.load(Ordering::Relaxed)),
                 rdf_ns: u128::from(self.rdf_ns.load(Ordering::Relaxed)),
                 xml_ns: u128::from(self.xml_ns.load(Ordering::Relaxed)),
                 gate_ns: u128::from(self.gate_ns.load(Ordering::Relaxed)),
+                compile_ns: u128::from(self.compile_ns.load(Ordering::Relaxed)),
             },
             latency: LatencyHistogram {
                 buckets,
@@ -596,11 +630,14 @@ mod tests {
             xml: String::new(),
             decision: Decision::Enforced,
             cache,
+            // Compiled tables only ever answer on a miss.
+            compiled: matches!(cache, CacheStatus::Miss),
             timings: LayerTimings {
                 channel_ns: 10,
                 rdf_ns: 20,
                 xml_ns: 30,
                 gate_ns: 40,
+                compile_ns: 7,
             },
         })
     }
@@ -654,7 +691,10 @@ mod tests {
         assert_eq!(snap.session_lock_waits, 1);
         assert_eq!(snap.cache_lock_waits, 2);
         assert_eq!(snap.latency.count, 3);
-        assert_eq!(snap.layer_totals.total_ns(), 300);
+        assert_eq!(snap.layer_totals.total_ns(), 300, "compile_ns attributes, not adds");
+        assert_eq!(snap.compiled_hits, 1, "only the Miss was compiled");
+        assert_eq!(snap.compile_ns, 21);
+        assert_eq!(snap.layer_totals.compile_ns, 21);
         assert!(snap.cache_hit_rate() > 0.0);
         assert!(snap.l1_hit_share() > 0.0);
     }

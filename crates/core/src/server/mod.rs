@@ -74,11 +74,12 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, PoisonError, TryLockError};
+use std::time::Instant;
 
 use crate::error::Error;
 use crate::faults::{FaultContext, FaultInjector, FaultKind, FaultLayer, FaultPlan, RetryPolicy};
 use crate::request::{BatchRequest, CacheStatus, QueryRequest, QueryResponse};
-use crate::stack::{SecureWebStack, ViewResolver};
+use crate::stack::{ResolvedView, SecureWebStack, ViewResolver};
 use crate::sync::{
     TrackedAtomicBool, TrackedAtomicU8, TrackedAtomicU64, TrackedAtomicUsize, TrackedMutex,
     TrackedRwLock,
@@ -87,12 +88,12 @@ use cache::{L1ViewCache, L2ViewCache, Token, ViewKey};
 use metrics::{LocalMetrics, MetricsInner};
 use scheduler::Scheduler;
 use shard::SessionShards;
-use websec_policy::SubjectProfile;
+use websec_policy::{CompiledPolicies, PolicySnapshot, SubjectProfile};
 use websec_services::ChannelSession;
 use websec_xml::Document;
 
 pub use analysis::AnalysisGate;
-pub use config::ServerConfig;
+pub use config::{DecisionMode, ServerConfig};
 pub use metrics::{BatchResponse, BatchStats, LatencyHistogram, MetricsSnapshot, ShardStats};
 #[allow(deprecated)]
 pub use metrics::ServerMetrics;
@@ -101,6 +102,18 @@ pub use metrics::ServerMetrics;
 /// shards keep the expected collision rate low for up to ~8 workers while
 /// staying cheap to snapshot; tune with [`StackServer::with_shards`].
 const DEFAULT_SHARDS: usize = 16;
+
+/// What a snapshot slot holds: the immutable stack plus the decision
+/// tables compiled from it at publication time. The pair is published and
+/// invalidated atomically — a reader can never observe a stack with
+/// another snapshot's compiled artifact.
+type SnapshotPair = (Arc<SecureWebStack>, Arc<CompiledPolicies>);
+
+/// Compiles a stack's policy base into decision tables. Runs once per
+/// snapshot publication (under the update lock), never on a request path.
+fn compile_stack(stack: &SecureWebStack) -> Arc<CompiledPolicies> {
+    PolicySnapshot::new(&stack.policies, stack.engine.strategy, &stack.documents).compile()
+}
 
 /// A concurrent server over an immutable [`SecureWebStack`] snapshot.
 ///
@@ -118,7 +131,7 @@ pub struct StackServer {
     /// spare slot, then flip the generation — so a reader never waits on
     /// a writer's clone/mutate/analyze work, only (rarely) on the final
     /// pointer swap.
-    snapshot: [TrackedRwLock<Arc<SecureWebStack>>; 2],
+    snapshot: [TrackedRwLock<SnapshotPair>; 2],
     /// Serializes snapshot writers ([`StackServer::update`],
     /// [`StackServer::try_update`], [`StackServer::invalidate_views`]).
     /// Outermost lock of the server: taken before any snapshot slot,
@@ -159,6 +172,14 @@ pub struct StackServer {
     gate_denials: TrackedAtomicU64,
     /// Codes of the passes the most recent analyze executed.
     last_passes_run: TrackedMutex<Vec<&'static str>>,
+    /// The configured [`DecisionMode`] (stored as its discriminant).
+    decision_mode: TrackedAtomicU8,
+    /// Policy compilations performed (construction plus one per
+    /// [`StackServer::update`]; [`StackServer::invalidate_views`] reuses
+    /// the current artifact and does *not* recompile).
+    snapshot_compiles: TrackedAtomicU64,
+    /// Total nanoseconds spent compiling snapshots (saturated to u64).
+    snapshot_compile_ns: TrackedAtomicU64,
 }
 
 /// Worker-local serving state: the L1 view cache, a session-handle table,
@@ -167,25 +188,33 @@ pub struct StackServer {
 struct WorkerState {
     l1: L1ViewCache,
     sessions: HashMap<String, Arc<TrackedMutex<ChannelSession>>>,
-    snapshot: Option<(u64, Arc<SecureWebStack>, Token)>,
+    snapshot: Option<(u64, Arc<SecureWebStack>, Arc<CompiledPolicies>, Token)>,
     /// Batch worker index (`None` on the single-request serve path);
     /// worker-scoped fault rules match against it.
     index: Option<usize>,
 }
 
 impl WorkerState {
-    /// The current `(stack, token)` pair, reusing the cached `Arc` while
-    /// the server's generation is unchanged (one relaxed-ish atomic load on
-    /// the hot path instead of a lock).
-    fn snapshot(&mut self, server: &StackServer) -> Result<(Arc<SecureWebStack>, Token), Error> {
-        if let Some((generation, stack, token)) = &self.snapshot {
+    /// The current `(stack, compiled, token)` triple, reusing the cached
+    /// `Arc`s while the server's generation is unchanged (one relaxed-ish
+    /// atomic load on the hot path instead of a lock).
+    fn snapshot(
+        &mut self,
+        server: &StackServer,
+    ) -> Result<(Arc<SecureWebStack>, Arc<CompiledPolicies>, Token), Error> {
+        if let Some((generation, stack, compiled, token)) = &self.snapshot {
             if *generation == server.generation.load(Ordering::Acquire) {
-                return Ok((Arc::clone(stack), *token));
+                return Ok((Arc::clone(stack), Arc::clone(compiled), *token));
             }
         }
-        let (stack, token) = server.snapshot_with_token()?;
-        self.snapshot = Some((token.generation, Arc::clone(&stack), token));
-        Ok((stack, token))
+        let (stack, compiled, token) = server.snapshot_with_token()?;
+        self.snapshot = Some((
+            token.generation,
+            Arc::clone(&stack),
+            Arc::clone(&compiled),
+            token,
+        ));
+        Ok((stack, compiled, token))
     }
 }
 
@@ -198,6 +227,9 @@ struct CachedViews<'a> {
     local: &'a mut LocalMetrics,
     /// Cache-layer injection hook (`None` on every non-chaos path).
     faults: Option<&'a FaultContext<'a>>,
+    /// The snapshot's compiled decision tables, consulted on an L2 miss;
+    /// `None` under [`DecisionMode::Interpreted`].
+    compiled: Option<&'a CompiledPolicies>,
 }
 
 impl ViewResolver for CachedViews<'_> {
@@ -207,7 +239,7 @@ impl ViewResolver for CachedViews<'_> {
         profile: &SubjectProfile,
         doc_name: &str,
         doc: &Document,
-    ) -> (Arc<Document>, CacheStatus) {
+    ) -> ResolvedView {
         let key: ViewKey = (profile.identity.clone(), doc_name.to_string());
         if let Some(ctx) = self.faults {
             for kind in ctx.check(FaultLayer::Cache) {
@@ -222,7 +254,12 @@ impl ViewResolver for CachedViews<'_> {
         }
         if let Some(view) = self.l1.lookup(&key, self.token) {
             self.local.l1_hits += 1;
-            return (view, CacheStatus::Hit);
+            return ResolvedView {
+                view,
+                cache: CacheStatus::Hit,
+                compiled: false,
+                compile_ns: 0,
+            };
         }
         // L2 hit/miss attribution is tallied locally per shard and flushed
         // once per worker (`StackServer::absorb_local`) — the lookup path
@@ -231,19 +268,43 @@ impl ViewResolver for CachedViews<'_> {
         if let Some(view) = self.l2.lookup(&key, self.token) {
             self.local.bump_l2_shard_hit(shard);
             self.l1.insert(key, self.token, Arc::clone(&view));
-            return (view, CacheStatus::Hit);
+            return ResolvedView {
+                view,
+                cache: CacheStatus::Hit,
+                compiled: false,
+                compile_ns: 0,
+            };
         }
         self.local.bump_l2_shard_miss(shard);
         // Compute outside any lock; a racing worker may duplicate the work
-        // but both produce the same view.
-        let view = Arc::new(
-            stack
-                .engine
-                .compute_view(&stack.policies, profile, doc_name, doc),
-        );
+        // but both produce the same view. The compiled tables answer when
+        // armed and the document was part of the compiled snapshot; the
+        // interpreter covers the rest (and the Interpreted mode).
+        let (view, compiled, compile_ns) = match self
+            .compiled
+            .map(|tables| {
+                let t = Instant::now();
+                (tables.compute_view(profile, doc_name, doc), t.elapsed().as_nanos())
+            }) {
+            Some((Some(view), elapsed)) => (Arc::new(view), true, elapsed),
+            _ => (
+                Arc::new(
+                    stack
+                        .engine
+                        .compute_view(&stack.policies, profile, doc_name, doc),
+                ),
+                false,
+                0,
+            ),
+        };
         self.l2.insert(key.clone(), self.token, Arc::clone(&view));
         self.l1.insert(key, self.token, Arc::clone(&view));
-        (view, CacheStatus::Miss)
+        ResolvedView {
+            view,
+            cache: CacheStatus::Miss,
+            compiled,
+            compile_ns,
+        }
     }
 }
 
@@ -310,12 +371,20 @@ impl StackServer {
     pub fn with_shards(stack: SecureWebStack, shards: usize) -> Self {
         let shards = shards.clamp(1, 4096).next_power_of_two();
         let stack = Arc::new(stack);
+        // One compilation serves both slots: the artifact is immutable
+        // and slot contents are whole-pair swaps.
+        let t = Instant::now();
+        let compiled = compile_stack(&stack);
+        let initial_compile_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
         StackServer {
             // Both slots start at the initial snapshot so a reader racing
             // the very first update can never observe an empty slot.
             snapshot: [
-                TrackedRwLock::new("server.snapshot", Arc::clone(&stack)),
-                TrackedRwLock::new("server.snapshot", stack),
+                TrackedRwLock::new(
+                    "server.snapshot",
+                    (Arc::clone(&stack), Arc::clone(&compiled)),
+                ),
+                TrackedRwLock::new("server.snapshot", (stack, compiled)),
             ],
             update_lock: TrackedMutex::new("server.update", ()),
             generation: TrackedAtomicU64::synchronizing("server.generation", 0),
@@ -332,7 +401,51 @@ impl StackServer {
             analysis_passes_reused: TrackedAtomicU64::counter("server.analysis_passes_reused", 0),
             gate_denials: TrackedAtomicU64::counter("server.gate_denials", 0),
             last_passes_run: TrackedMutex::new("server.analysis_trace", Vec::new()),
+            decision_mode: TrackedAtomicU8::counter(
+                "server.decision_mode",
+                DecisionMode::Compiled as u8,
+            ),
+            snapshot_compiles: TrackedAtomicU64::counter("server.snapshot_compiles", 1),
+            snapshot_compile_ns: TrackedAtomicU64::counter(
+                "server.snapshot_compile_ns",
+                initial_compile_ns,
+            ),
         }
+    }
+
+    /// Selects which decision machinery resolves views on a cache miss.
+    /// Takes effect for every request that starts after the store; cached
+    /// views computed under the previous mode stay valid (the two modes
+    /// are equivalence-checked, so the bytes are the same).
+    pub fn set_decision_mode(&self, mode: DecisionMode) {
+        self.decision_mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The configured [`DecisionMode`].
+    #[must_use]
+    pub fn decision_mode(&self) -> DecisionMode {
+        if self.decision_mode.load(Ordering::Relaxed) == DecisionMode::Interpreted as u8 {
+            DecisionMode::Interpreted
+        } else {
+            DecisionMode::Compiled
+        }
+    }
+
+    /// The decision tables compiled from the current snapshot (published
+    /// atomically with it; see [`websec_policy::CompiledPolicies`]).
+    #[must_use]
+    pub fn compiled_policies(&self) -> Arc<CompiledPolicies> {
+        self.current_pair().1
+    }
+
+    /// Policy compilations performed so far: one at construction plus one
+    /// per [`StackServer::update`] / [`StackServer::try_update`]
+    /// publication. [`StackServer::invalidate_views`] republishes the
+    /// existing artifact without recompiling, so the counter lets tests
+    /// pin the compile-exactly-once-per-mutation invariant.
+    #[must_use]
+    pub fn snapshot_compiles(&self) -> u64 {
+        self.snapshot_compiles.load(Ordering::Relaxed)
     }
 
     /// Arms a deterministic [`FaultPlan`] on this server and returns the
@@ -412,14 +525,19 @@ impl StackServer {
     }
 
     /// The current slot's snapshot. A poisoned slot heals itself: slot
-    /// contents are whole-`Arc` swaps, so the value under a poisoned lock
+    /// contents are whole-pair swaps, so the value under a poisoned lock
     /// is always a complete, valid snapshot.
     fn current_snapshot(&self) -> Arc<SecureWebStack> {
+        self.current_pair().0
+    }
+
+    /// The current slot's `(stack, compiled)` pair.
+    fn current_pair(&self) -> SnapshotPair {
         let generation = self.generation.load(Ordering::Acquire);
         let guard = self.snapshot[(generation & 1) as usize]
             .read()
             .unwrap_or_else(PoisonError::into_inner);
-        Arc::clone(&guard)
+        (Arc::clone(&guard.0), Arc::clone(&guard.1))
     }
 
     /// The snapshot plus its validity token. Readers are wait-free in the
@@ -431,13 +549,18 @@ impl StackServer {
     ///
     /// Infallible in practice; the `Result` is kept so serving paths stay
     /// future-proof against read-side failure modes.
-    fn snapshot_with_token(&self) -> Result<(Arc<SecureWebStack>, Token), Error> {
+    fn snapshot_with_token(
+        &self,
+    ) -> Result<(Arc<SecureWebStack>, Arc<CompiledPolicies>, Token), Error> {
         loop {
             let generation = self.generation.load(Ordering::Acquire);
             let slot = &self.snapshot[(generation & 1) as usize];
-            let stack = match slot.try_read() {
-                Ok(guard) => Arc::clone(&guard),
-                Err(TryLockError::Poisoned(poisoned)) => Arc::clone(&poisoned.into_inner()),
+            let (stack, compiled) = match slot.try_read() {
+                Ok(guard) => (Arc::clone(&guard.0), Arc::clone(&guard.1)),
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    let guard = poisoned.into_inner();
+                    (Arc::clone(&guard.0), Arc::clone(&guard.1))
+                }
                 Err(TryLockError::WouldBlock) => {
                     // A writer is republishing this slot, which means the
                     // generation just moved (or is about to): reload it and
@@ -450,6 +573,7 @@ impl StackServer {
                 let epoch = stack.policies.epoch();
                 return Ok((
                     stack,
+                    compiled,
                     Token {
                         generation,
                         epoch,
@@ -461,23 +585,37 @@ impl StackServer {
         }
     }
 
-    /// Installs `stack` as the new current snapshot: writes it into the
-    /// spare slot, flips the generation (Release — the publication edge
-    /// readers acquire), and drops every cached view.
+    /// Installs `stack` (with the decision tables compiled from it) as the
+    /// new current snapshot: writes the pair into the spare slot, flips
+    /// the generation (Release — the publication edge readers acquire),
+    /// and drops every cached view.
     ///
     /// Must be called with `update_lock` held — the spare slot is only
     /// "spare" while no other writer can flip the generation underneath.
-    fn publish(&self, stack: Arc<SecureWebStack>) {
+    fn publish(&self, stack: Arc<SecureWebStack>, compiled: Arc<CompiledPolicies>) {
         let generation = self.generation.load(Ordering::Acquire);
         let spare = ((generation + 1) & 1) as usize;
         {
             let mut guard = self.snapshot[spare]
                 .write()
                 .unwrap_or_else(PoisonError::into_inner);
-            *guard = stack;
+            *guard = (stack, compiled);
         }
         self.generation.fetch_add(1, Ordering::Release);
         self.cache.clear();
+    }
+
+    /// Compiles `stack` under the update lock, attributing the elapsed
+    /// time and bumping the compile counter.
+    fn compile_for_publication(&self, stack: &SecureWebStack) -> Arc<CompiledPolicies> {
+        let t = Instant::now();
+        let compiled = compile_stack(stack);
+        self.snapshot_compile_ns.fetch_add(
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.snapshot_compiles.fetch_add(1, Ordering::Relaxed);
+        compiled
     }
 
     /// Mutates the stack configuration (documents, policies, labels,
@@ -499,22 +637,24 @@ impl StackServer {
             .unwrap_or_else(PoisonError::into_inner);
         let mut candidate = (*self.current_snapshot()).clone();
         let result = mutate(&mut candidate);
-        self.publish(Arc::new(candidate));
+        let compiled = self.compile_for_publication(&candidate);
+        self.publish(Arc::new(candidate), compiled);
         result
     }
 
     /// Explicitly invalidates every cached view (e.g. after out-of-band
     /// mutation of state neither the policy epoch nor the snapshot
     /// generation can observe). Republishes the *current* snapshot `Arc`
-    /// (no deep clone) so the generation bump moves readers to the other
-    /// slot without changing what they see.
+    /// (no deep clone, and no recompilation — the stack is unchanged, so
+    /// the existing compiled artifact stays exact) so the generation bump
+    /// moves readers to the other slot without changing what they see.
     pub fn invalidate_views(&self) {
         let _writer = self
             .update_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let current = self.current_snapshot();
-        self.publish(current);
+        let (stack, compiled) = self.current_pair();
+        self.publish(stack, compiled);
     }
 
     /// Number of views currently cached in the shared L2 cache.
@@ -545,7 +685,7 @@ impl StackServer {
         local: &mut LocalMetrics,
         deadline: Option<u64>,
     ) -> Result<QueryResponse, Error> {
-        let (stack, token) = worker.snapshot(self)?;
+        let (stack, compiled, token) = worker.snapshot(self)?;
         let identity = &request.subject_profile().identity;
         let injector = self.injector();
         let ctx = injector.as_ref().map(|inj| FaultContext {
@@ -661,6 +801,10 @@ impl StackServer {
             token,
             local,
             faults: ctx.as_ref(),
+            compiled: match self.decision_mode() {
+                DecisionMode::Compiled => Some(&*compiled),
+                DecisionMode::Interpreted => None,
+            },
         };
         stack.execute_in_session(request, &mut guard, &mut resolver)
     }
@@ -979,6 +1123,8 @@ impl StackServer {
         snap.analysis_passes_run = self.analysis_passes_run.load(Ordering::Relaxed);
         snap.analysis_passes_reused = self.analysis_passes_reused.load(Ordering::Relaxed);
         snap.gate_denials = self.gate_denials.load(Ordering::Relaxed);
+        snap.snapshot_compiles = self.snapshot_compiles.load(Ordering::Relaxed);
+        snap.snapshot_compile_ns = self.snapshot_compile_ns.load(Ordering::Relaxed);
         let (errors, warnings) = self.analysis_gauges();
         snap.analysis_errors = errors;
         snap.analysis_warnings = warnings;
@@ -1003,15 +1149,10 @@ mod tests {
             .unwrap(),
             ContextLabel::fixed(Level::Unclassified),
         );
-        s.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         s
     }
 
@@ -1057,12 +1198,7 @@ mod tests {
         assert_eq!(server.metrics().cached_views, 1);
         let epoch_before = server.snapshot().policies.epoch();
         server.update(|s| {
-            s.policies.add(Authorization::deny(
-                0,
-                SubjectSpec::Identity("doctor".into()),
-                ObjectSpec::Document("h.xml".into()),
-                Privilege::Read,
-            ));
+            s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).deny());
         });
         assert!(server.snapshot().policies.epoch() > epoch_before);
         assert_eq!(server.metrics().cached_views, 0, "stale views evicted");
@@ -1189,7 +1325,7 @@ mod tests {
         // Poison the doctor's session mutex by panicking while holding it.
         let session = {
             let mut local = LocalMetrics::default();
-            let (stack, _) = server.snapshot_with_token().unwrap();
+            let (stack, _, _) = server.snapshot_with_token().unwrap();
             server
                 .sessions
                 .get_or_establish(

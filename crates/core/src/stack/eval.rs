@@ -29,14 +29,36 @@ pub struct LayerTimings {
     pub xml_ns: u128,
     /// Flexible-enforcement gating.
     pub gate_ns: u128,
+    /// Time spent inside the compiled decision tables
+    /// ([`websec_policy::CompiledPolicies`]) while resolving the view.
+    /// This is an *attribution within* [`LayerTimings::xml_ns`], not an
+    /// additional layer, so [`LayerTimings::total_ns`] does not include it.
+    pub compile_ns: u128,
 }
 
 impl LayerTimings {
-    /// Total time across layers.
+    /// Total time across layers. `compile_ns` is an attribution inside
+    /// `xml_ns` and is deliberately not added again.
     #[must_use]
     pub fn total_ns(&self) -> u128 {
         self.channel_ns + self.rdf_ns + self.xml_ns + self.gate_ns
     }
+}
+
+/// The outcome of view resolution: the authorized view plus how it was
+/// produced — which cache level served it, whether the compiled decision
+/// tables (rather than the interpreting engine) computed it, and how long
+/// the compiled tables took.
+pub(crate) struct ResolvedView {
+    pub(crate) view: Arc<Document>,
+    pub(crate) cache: CacheStatus,
+    /// True when the view came out of [`websec_policy::CompiledPolicies`]
+    /// decision tables on this request (always false on cache hits — the
+    /// stored view's provenance is not re-reported).
+    pub(crate) compiled: bool,
+    /// Nanoseconds spent inside the compiled tables (0 on the interpreted
+    /// path).
+    pub(crate) compile_ns: u128,
 }
 
 /// Resolves the subject's view of a document, reporting whether a cache
@@ -50,7 +72,7 @@ pub(crate) trait ViewResolver {
         profile: &SubjectProfile,
         doc_name: &str,
         doc: &Document,
-    ) -> (Arc<Document>, CacheStatus);
+    ) -> ResolvedView;
 }
 
 /// The cacheless resolver: recomputes the view on every request.
@@ -63,11 +85,15 @@ impl ViewResolver for FreshViews {
         profile: &SubjectProfile,
         doc_name: &str,
         doc: &Document,
-    ) -> (Arc<Document>, CacheStatus) {
-        (
-            Arc::new(stack.engine.compute_view(&stack.policies, profile, doc_name, doc)),
-            CacheStatus::Bypass,
-        )
+    ) -> ResolvedView {
+        ResolvedView {
+            view: Arc::new(
+                stack.engine.compute_view(&stack.policies, profile, doc_name, doc),
+            ),
+            cache: CacheStatus::Bypass,
+            compiled: false,
+            compile_ns: 0,
+        }
     }
 }
 
@@ -140,15 +166,17 @@ impl SecureWebStack {
             .documents
             .get(doc_name)
             .ok_or_else(|| Error::UnknownDocument(doc_name.to_string()))?;
-        let (result_xml, cache) = if enforce {
-            let (view, cache) = resolver.resolve(self, profile, doc_name, doc);
+        let (result_xml, cache, compiled) = if enforce {
+            let resolved = resolver.resolve(self, profile, doc_name, doc);
+            timings.compile_ns += resolved.compile_ns;
+            let view = resolved.view;
             let matched = path.select_nodes(&view);
             let xml = matched
                 .iter()
                 .map(|&n| view.subtree_xml(n))
                 .collect::<Vec<_>>()
                 .join("");
-            (xml, cache)
+            (xml, resolved.cache, resolved.compiled)
         } else {
             // Unchecked fast path: raw query on the stored document.
             let xml = path
@@ -157,7 +185,7 @@ impl SecureWebStack {
                 .map(|&n| String::from_utf8_lossy(&doc.canonical_bytes(n)).to_string())
                 .collect::<Vec<_>>()
                 .join("");
-            (xml, CacheStatus::Bypass)
+            (xml, CacheStatus::Bypass, false)
         };
         timings.xml_ns += t.elapsed().as_nanos();
 
@@ -176,6 +204,7 @@ impl SecureWebStack {
                 Decision::AdmittedUnchecked
             },
             cache,
+            compiled,
             timings,
         })
     }
@@ -226,15 +255,10 @@ mod tests {
         )
         .unwrap();
         s.add_document("h.xml", doc, ContextLabel::fixed(Level::Unclassified));
-        s.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         s
     }
 
@@ -284,12 +308,7 @@ mod tests {
             Document::parse("<ops><plan>x</plan></ops>").unwrap(),
             ContextLabel::fixed(Level::Secret),
         );
-        s.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        ));
+        s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant());
         let err = s
             .execute(&request(
                 "public",
@@ -319,12 +338,7 @@ mod tests {
             Document::parse("<ops><plan>x</plan></ops>").unwrap(),
             ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified),
         );
-        s.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        ));
+        s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant());
         s.context = SecurityContext::new().with_condition("wartime");
         let req = request(
             "journalist",

@@ -34,5 +34,5 @@ mod eval;
 mod state;
 
 pub use eval::LayerTimings;
-pub(crate) use eval::ViewResolver;
+pub(crate) use eval::{ResolvedView, ViewResolver};
 pub use state::{vocab, SecureWebStack, StackError};

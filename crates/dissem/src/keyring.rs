@@ -129,24 +129,14 @@ mod tests {
 
     fn setup() -> (PolicyStore, Document) {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("accountant".into()),
-            ObjectSpec::Portion {
+            }).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("accountant".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//admin").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         let doc = Document::parse(
             "<hospital><patient><name>A</name></patient><admin><budget>1</budget></admin></hospital>",
         )
@@ -211,15 +201,10 @@ mod tests {
 
         // Add a policy on a different subtree; the patient policy set is
         // unchanged, so its key must be too.
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("auditor".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("auditor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//admin").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         let map2 = RegionMap::build(&store, "h.xml", &doc);
         let patient_region_2 = map2
             .regions

@@ -333,24 +333,14 @@ mod tests {
 
     fn setup() -> (PolicyStore, Document, RegionMap, KeyAuthority) {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("accountant".into()),
-            ObjectSpec::Portion {
+            }).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("accountant".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//admin").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         let doc = Document::parse(
             "<hospital><patient><name>Alice</name></patient><admin><budget>100</budget></admin></hospital>",
         )
@@ -489,12 +479,7 @@ mod tests {
         let (mut store, doc, _m, _ka) = setup();
         // A super-user identity granted both portions via a third policy
         // set: grant both paths to "chief".
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("chief".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Identity("chief".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let map = RegionMap::build(&store, "h.xml", &doc);
         let ka = KeyAuthority::new("h.xml", [5u8; 32]);
         let pkg = DissemPackage::seal(&map, b"b2", |r| ka.region_key(&map, r.id));

@@ -127,15 +127,10 @@ mod tests {
 
     fn setup() -> (PolicyStore, Document) {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         let doc = Document::parse(
             "<hospital><patient><name>Alice</name></patient><admin><budget>1</budget></admin></hospital>",
         )

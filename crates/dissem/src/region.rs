@@ -301,24 +301,14 @@ mod tests {
 
     fn store_two_policies() -> PolicyStore {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("accountant".into()),
-            ObjectSpec::Portion {
+            }).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("accountant".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("/hospital/admin").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         store
     }
 
@@ -384,12 +374,7 @@ mod tests {
     fn reconstruct_preserves_sibling_order() {
         let d = Document::parse("<r><a/><b/><c/></r>").unwrap();
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("d".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("d".into())).privilege(Privilege::Read).grant());
         let map = RegionMap::build(&store, "d", &d);
         assert_eq!(map.key_count(), 1);
         let view = reconstruct(&map.regions[0].records).unwrap();
@@ -407,15 +392,10 @@ mod tests {
         // patient region + admin region both shell the root; merging with a
         // full root record (from a root-granting policy) keeps attributes.
         let mut store = store_two_policies();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("root-reader".into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity("root-reader".into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("/hospital").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
         let map = RegionMap::build(&store, "h.xml", &d);
         // Root-granting policy cascades over everything: nodes now have
         // bigger policy sets, still partitioned consistently.

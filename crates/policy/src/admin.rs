@@ -196,12 +196,7 @@ mod tests {
     use crate::authz::{Privilege, SubjectSpec};
 
     fn grant_for(doc: &str) -> Authorization {
-        Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document(doc.into()),
-            Privilege::Read,
-        )
+        Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document(doc.into())).privilege(Privilege::Read).grant()
     }
 
     #[test]
@@ -292,12 +287,7 @@ mod tests {
         let mut admin = AdministeredStore::new();
         admin.register_owner("h.xml", "alice");
         let alice = SubjectProfile::new("alice");
-        let auth = Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        );
+        let auth = Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant();
         assert_eq!(
             admin.try_add(&alice, auth).unwrap_err(),
             AdminError::UnadministrableObject
@@ -309,15 +299,10 @@ mod tests {
         let mut admin = AdministeredStore::new();
         admin.register_owner("h.xml", "alice");
         let alice = SubjectProfile::new("alice");
-        let auth = Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Portion {
+        let auth = Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: websec_xml::Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        );
+            }).privilege(Privilege::Read).grant();
         assert!(admin.try_add(&alice, auth).is_ok());
     }
 }

@@ -147,7 +147,29 @@ pub struct Authorization {
 }
 
 impl Authorization {
+    /// Starts building an authorization for the given subject. The
+    /// builder reads as the paper's tuple does —
+    /// `Authorization::for_subject(s).on(o).privilege(p).grant()` — and
+    /// replaces the old positional four-argument constructors, whose
+    /// `(id, subject, object, privilege)` order was a recurring source
+    /// of transposition bugs.
+    #[must_use]
+    pub fn for_subject(subject: SubjectSpec) -> AuthorizationBuilder {
+        AuthorizationBuilder {
+            id: 0,
+            subject,
+            object: None,
+            privilege: None,
+            propagation: Propagation::Cascade,
+            priority: 0,
+        }
+    }
+
     /// Creates a grant with cascade propagation and priority 0.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Authorization::for_subject(subject).on(object).privilege(privilege).grant()`"
+    )]
     #[must_use]
     pub fn grant(id: u32, subject: SubjectSpec, object: ObjectSpec, privilege: Privilege) -> Self {
         Authorization {
@@ -162,6 +184,10 @@ impl Authorization {
     }
 
     /// Creates a denial with cascade propagation and priority 0.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Authorization::for_subject(subject).on(object).privilege(privilege).deny()`"
+    )]
     #[must_use]
     pub fn deny(id: u32, subject: SubjectSpec, object: ObjectSpec, privilege: Privilege) -> Self {
         Authorization {
@@ -187,6 +213,94 @@ impl Authorization {
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
         self
+    }
+}
+
+/// Builder returned by [`Authorization::for_subject`]. Set the object
+/// with [`Self::on`] and the privilege with [`Self::privilege`], then
+/// finish with [`Self::grant`], [`Self::deny`] or [`Self::sign`].
+///
+/// The terminal methods **panic** if the object or privilege was never
+/// set — an authorization without either is a programming error, not a
+/// runtime condition.
+#[derive(Debug, Clone)]
+pub struct AuthorizationBuilder {
+    id: u32,
+    subject: SubjectSpec,
+    object: Option<ObjectSpec>,
+    privilege: Option<Privilege>,
+    propagation: Propagation,
+    priority: i32,
+}
+
+impl AuthorizationBuilder {
+    /// Sets the protected object.
+    #[must_use]
+    pub fn on(mut self, object: ObjectSpec) -> Self {
+        self.object = Some(object);
+        self
+    }
+
+    /// Sets the privilege.
+    #[must_use]
+    pub fn privilege(mut self, privilege: Privilege) -> Self {
+        self.privilege = Some(privilege);
+        self
+    }
+
+    /// Sets an explicit identifier. Rarely needed: [`PolicyStore::add`]
+    /// assigns sequential ids, overwriting whatever is set here.
+    ///
+    /// [`PolicyStore::add`]: crate::engine::PolicyStore::add
+    #[must_use]
+    pub fn id(mut self, id: u32) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Overrides the propagation mode (default [`Propagation::Cascade`]).
+    #[must_use]
+    pub fn propagation(mut self, propagation: Propagation) -> Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Overrides the priority (default 0).
+    #[must_use]
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Finishes as a permission.
+    #[must_use]
+    pub fn grant(self) -> Authorization {
+        self.sign(Sign::Plus)
+    }
+
+    /// Finishes as a denial.
+    #[must_use]
+    pub fn deny(self) -> Authorization {
+        self.sign(Sign::Minus)
+    }
+
+    /// Finishes with an explicit sign.
+    ///
+    /// # Panics
+    /// If [`Self::on`] or [`Self::privilege`] was never called.
+    #[must_use]
+    pub fn sign(self, sign: Sign) -> Authorization {
+        Authorization {
+            id: AuthzId(self.id),
+            subject: self.subject,
+            object: self.object.expect("AuthorizationBuilder: object not set"),
+            privilege: self
+                .privilege
+                .expect("AuthorizationBuilder: privilege not set"),
+            sign,
+            propagation: self.propagation,
+            priority: self.priority,
+        }
     }
 }
 
@@ -253,23 +367,13 @@ mod tests {
 
     #[test]
     fn builders() {
-        let a = Authorization::grant(
-            1,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        )
+        let a = Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).id(1).grant()
         .with_propagation(Propagation::None)
         .with_priority(5);
         assert_eq!(a.sign, Sign::Plus);
         assert_eq!(a.propagation, Propagation::None);
         assert_eq!(a.priority, 5);
-        let d = Authorization::deny(
-            2,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        );
+        let d = Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).id(2).deny();
         assert_eq!(d.sign, Sign::Minus);
     }
 }

@@ -28,6 +28,31 @@ impl PolicyStore {
         Self::default()
     }
 
+    /// Rebuilds a store from compiled-artifact source material
+    /// ([`crate::compiled::CompiledPolicies::reconstruct_store`]),
+    /// preserving the original authorization ids and epoch so analyzer
+    /// findings over the reconstruction are comparable with the live
+    /// store's.
+    pub(crate) fn from_raw_parts(
+        authorizations: Vec<Authorization>,
+        hierarchy: RoleHierarchy,
+        collections: BTreeMap<String, BTreeSet<String>>,
+        epoch: u64,
+    ) -> Self {
+        let next_id = authorizations
+            .iter()
+            .map(|a| a.id.0 + 1)
+            .max()
+            .unwrap_or(0);
+        PolicyStore {
+            authorizations,
+            hierarchy,
+            collections,
+            next_id,
+            epoch,
+        }
+    }
+
     /// Monotonic mutation counter: bumped by every change to the policy base
     /// ([`Self::add`], [`Self::revoke`], [`Self::add_collection_member`]).
     /// Serving-layer caches key derived artifacts (per-subject views) on this
@@ -450,24 +475,9 @@ mod tests {
     #[test]
     fn revoke_matching_sweeps_and_bumps_epoch_once() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Document("other.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("clerk".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("other.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("clerk".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let epoch = store.epoch();
         let removed = store.revoke_matching(|a| {
             matches!(&a.subject, SubjectSpec::Identity(id) if id == "doctor")
@@ -495,12 +505,7 @@ mod tests {
     #[test]
     fn document_grant_cascades() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let profile = SubjectProfile::new("anyone");
@@ -511,12 +516,7 @@ mod tests {
     #[test]
     fn wrong_document_name_does_not_apply() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("other.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("other.xml".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let decision = engine.evaluate_document(
@@ -533,18 +533,8 @@ mod tests {
     fn portion_grant_with_denial_override() {
         let mut store = PolicyStore::new();
         // Grant the whole document, deny the admin subtree.
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            portion("/hospital/admin"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("/hospital/admin")).privilege(Privilege::Read).deny());
         let engine = PolicyEngine::default();
         let d = doc();
         let view = engine.compute_view(&store, &SubjectProfile::new("x"), "h.xml", &d);
@@ -559,12 +549,7 @@ mod tests {
         store
             .hierarchy
             .add_seniority(Role::new("chief"), Role::new("doctor"));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("doctor")),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let chief = SubjectProfile::new("carol").with_role(Role::new("chief"));
@@ -582,15 +567,10 @@ mod tests {
     #[test]
     fn credential_based_grant() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::WithCredentials(
+        store.add(Authorization::for_subject(SubjectSpec::WithCredentials(
                 CredentialExpr::OfType("physician".into())
                     .and(CredentialExpr::AttrGe("years".into(), 5)),
-            ),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+            )).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let senior = SubjectProfile::new("a")
@@ -616,7 +596,7 @@ mod tests {
         // No propagation: only the patient element itself.
         let mut store = PolicyStore::new();
         store.add(
-            Authorization::grant(0, SubjectSpec::Anyone, portion(patient1_path), Privilege::Read)
+            Authorization::for_subject(SubjectSpec::Anyone).on(portion(patient1_path)).privilege(Privilege::Read).grant()
                 .with_propagation(Propagation::None),
         );
         let dec = engine.evaluate_document(
@@ -631,7 +611,7 @@ mod tests {
         // First level: patient + name + record (not their text children).
         let mut store = PolicyStore::new();
         store.add(
-            Authorization::grant(0, SubjectSpec::Anyone, portion(patient1_path), Privilege::Read)
+            Authorization::for_subject(SubjectSpec::Anyone).on(portion(patient1_path)).privilege(Privilege::Read).grant()
                 .with_propagation(Propagation::FirstLevel),
         );
         let dec = engine.evaluate_document(
@@ -645,12 +625,7 @@ mod tests {
 
         // Cascade: the whole subtree (patient, name, text, record, text).
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            portion(patient1_path),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion(patient1_path)).privilege(Privilege::Read).grant());
         let dec = engine.evaluate_document(
             &store,
             &SubjectProfile::new("x"),
@@ -664,18 +639,8 @@ mod tests {
     #[test]
     fn attribute_level_denial() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            portion("//patient/@ssn"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("//patient/@ssn")).privilege(Privilege::Read).deny());
         let engine = PolicyEngine::default();
         let d = doc();
         let view = engine.compute_view(&store, &SubjectProfile::new("x"), "h.xml", &d);
@@ -688,12 +653,7 @@ mod tests {
     fn attribute_decision_requires_visible_element() {
         let mut store = PolicyStore::new();
         // Only an attribute grant, element itself not readable.
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            portion("//patient/@id"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("//patient/@id")).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let dec = engine.evaluate_document(
@@ -711,12 +671,7 @@ mod tests {
     #[test]
     fn write_grant_implies_read() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Write,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Write).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         assert_eq!(
@@ -732,12 +687,7 @@ mod tests {
         );
         // But a Read grant does not imply Write.
         let mut store2 = PolicyStore::new();
-        store2.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store2.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
         assert_eq!(
             engine.check(
                 &store2,
@@ -754,18 +704,8 @@ mod tests {
     #[test]
     fn read_denial_blocks_write_request() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Admin,
-        ));
-        store.add(Authorization::deny(
-            0,
-            SubjectSpec::Identity("mallory".into()),
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Admin).grant());
+        store.add(Authorization::for_subject(SubjectSpec::Identity("mallory".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).deny());
         let engine = PolicyEngine::default();
         let d = doc();
         let mallory = SubjectProfile::new("mallory");
@@ -784,12 +724,7 @@ mod tests {
     fn collection_grant() {
         let mut store = PolicyStore::new();
         store.add_collection_member("wards", "h.xml");
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Collection("wards".into()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Collection("wards".into())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         assert_eq!(
@@ -819,18 +754,8 @@ mod tests {
     #[test]
     fn equivalence_classes_partition_document() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("doctor")),
-            portion("//patient"),
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("admin")),
-            portion("/hospital/admin"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(portion("//patient")).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("admin"))).on(portion("/hospital/admin")).privilege(Privilege::Read).grant());
         let d = doc();
         let classes =
             PolicyEngine::policy_equivalence_classes(&store, "h.xml", &d, Privilege::Read);
@@ -843,18 +768,8 @@ mod tests {
     #[test]
     fn equivalence_classes_overlapping_policies() {
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("doctor")),
-            portion("//patient"),
-            Privilege::Read,
-        ));
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("auditor")),
-            portion("//patient[@id='p1']"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(portion("//patient")).privilege(Privilege::Read).grant());
+        store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("auditor"))).on(portion("//patient[@id='p1']")).privilege(Privilege::Read).grant());
         let d = doc();
         let classes =
             PolicyEngine::policy_equivalence_classes(&store, "h.xml", &d, Privilege::Read);
@@ -867,12 +782,7 @@ mod tests {
     #[test]
     fn revoke_removes_grant() {
         let mut store = PolicyStore::new();
-        let id = store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        ));
+        let id = store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         assert_eq!(
@@ -905,12 +815,7 @@ mod tests {
     fn portion_all_spans_documents() {
         // A PortionAll grant applies to every document the engine sees.
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::PortionAll(Path::parse("//patient").unwrap()),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::PortionAll(Path::parse("//patient").unwrap())).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         for name in ["h.xml", "other.xml", "third.xml"] {
@@ -929,12 +834,7 @@ mod tests {
     fn browse_privilege_is_distinct() {
         // A Browse-only grant exposes structure checks but not Read.
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("h.xml".into()),
-            Privilege::Browse,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Browse).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         assert_eq!(
@@ -965,12 +865,7 @@ mod tests {
     fn epoch_tracks_mutations() {
         let mut store = PolicyStore::new();
         assert_eq!(store.epoch(), 0);
-        let id = store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::AllDocuments,
-            Privilege::Read,
-        ));
+        let id = store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant());
         assert_eq!(store.epoch(), 1);
         store.add_collection_member("wards", "h.xml");
         assert_eq!(store.epoch(), 2);
@@ -987,12 +882,7 @@ mod tests {
     fn content_dependent_policy() {
         // Content-dependent: only records whose text is 'flu' are readable.
         let mut store = PolicyStore::new();
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            portion("//record[text()='flu']"),
-            Privilege::Read,
-        ));
+        store.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("//record[text()='flu']")).privilege(Privilege::Read).grant());
         let engine = PolicyEngine::default();
         let d = doc();
         let dec = engine.evaluate_document(

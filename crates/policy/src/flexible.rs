@@ -14,7 +14,28 @@
 //! retries) and unpredictable without the instance salt. Experiment E11
 //! measures the throughput/exposure trade-off this buys.
 
+use std::fmt;
 use websec_crypto::sha256::Sha256;
+
+/// Error returned by [`FlexibleEnforcer::try_set_level`] when the
+/// requested enforcement level is not a percentage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLevel(
+    /// The rejected level.
+    pub u8,
+);
+
+impl fmt::Display for InvalidLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "enforcement level {} is not a percentage (expected 0..=100)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidLevel {}
 
 /// Deterministic partial-enforcement gate.
 #[derive(Debug, Clone)]
@@ -58,13 +79,33 @@ impl FlexibleEnforcer {
     }
 
     /// Changes the enforcement level at runtime (the paper's "during some
-    /// situations" switch).
+    /// situations" switch). Rejects levels above 100 without touching the
+    /// current level — enforcement knobs are often driven by operator
+    /// input, where a typo must not take the gate down.
+    ///
+    /// # Errors
+    /// [`InvalidLevel`] when `level > 100`.
+    pub fn try_set_level(&mut self, level: u8) -> Result<(), InvalidLevel> {
+        if level > 100 {
+            return Err(InvalidLevel(level));
+        }
+        self.level = level;
+        Ok(())
+    }
+
+    /// Changes the enforcement level at runtime.
     ///
     /// # Panics
     /// Panics if `level > 100`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `try_set_level`, which rejects invalid levels instead of panicking"
+    )]
     pub fn set_level(&mut self, level: u8) {
-        assert!(level <= 100, "enforcement level is a percentage");
-        self.level = level;
+        assert!(
+            self.try_set_level(level).is_ok(),
+            "enforcement level is a percentage"
+        );
     }
 
     /// Gates a request identified by `request_key` (e.g. subject ‖ object ‖
@@ -176,9 +217,20 @@ mod tests {
     fn level_change_at_runtime() {
         let mut g = FlexibleEnforcer::new(0, [0u8; 32]);
         assert_eq!(g.decide(b"x"), GateOutcome::AdmitUnchecked);
-        g.set_level(100);
+        g.try_set_level(100).unwrap();
         assert_eq!(g.decide(b"x"), GateOutcome::Enforce);
         assert_eq!(g.level(), 100);
+    }
+
+    #[test]
+    fn try_set_level_rejects_without_changing_state() {
+        let mut g = FlexibleEnforcer::new(30, [0u8; 32]);
+        assert_eq!(g.try_set_level(101), Err(InvalidLevel(101)));
+        assert_eq!(g.level(), 30, "rejected update must not change the level");
+        assert_eq!(
+            InvalidLevel(101).to_string(),
+            "enforcement level 101 is not a percentage (expected 0..=100)"
+        );
     }
 
     #[test]

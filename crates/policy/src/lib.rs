@@ -32,6 +32,7 @@
 
 pub mod admin;
 pub mod authz;
+pub mod compiled;
 pub mod conflict;
 pub mod engine;
 pub mod flexible;
@@ -39,10 +40,14 @@ pub mod mls;
 pub mod subject;
 
 pub use admin::{AdminError, AdministeredStore};
-pub use authz::{Authorization, AuthzId, ObjectSpec, Privilege, Propagation, Sign, SubjectSpec};
+pub use authz::{
+    Authorization, AuthorizationBuilder, AuthzId, ObjectSpec, Privilege, Propagation, Sign,
+    SubjectSpec,
+};
+pub use compiled::{CompiledPolicies, PolicySnapshot};
 pub use conflict::ConflictStrategy;
 pub use engine::{AccessDecision, DocumentDecision, PolicyEngine, PolicyStore};
-pub use flexible::FlexibleEnforcer;
+pub use flexible::{FlexibleEnforcer, InvalidLevel};
 pub use mls::{Clearance, Level, SecurityContext};
 pub use subject::{
     AttrValue, Credential, CredentialExpr, CredentialIssuer, Role, RoleHierarchy, SubjectProfile,

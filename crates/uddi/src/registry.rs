@@ -908,12 +908,7 @@ mod tests {
     #[test]
     fn access_controlled_detail() {
         let mut r = registry();
-        r.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("partner".into()),
-            ObjectSpec::Document("biz-acme".into()),
-            Privilege::Read,
-        ));
+        r.policies.add(Authorization::for_subject(SubjectSpec::Identity("partner".into())).on(ObjectSpec::Document("biz-acme".into())).privilege(Privilege::Read).grant());
         let partner = SubjectProfile::new("partner");
         let stranger = SubjectProfile::new("stranger");
         let InquiryResponse::AuthorizedBusinessView(view) = r
@@ -934,21 +929,11 @@ mod tests {
     fn access_controlled_portion_pruning() {
         let mut r = registry();
         // Partner may read everything except binding templates.
-        r.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("partner".into()),
-            ObjectSpec::Document("biz-acme".into()),
-            Privilege::Read,
-        ));
-        r.policies.add(Authorization::deny(
-            0,
-            SubjectSpec::Identity("partner".into()),
-            ObjectSpec::Portion {
+        r.policies.add(Authorization::for_subject(SubjectSpec::Identity("partner".into())).on(ObjectSpec::Document("biz-acme".into())).privilege(Privilege::Read).grant());
+        r.policies.add(Authorization::for_subject(SubjectSpec::Identity("partner".into())).on(ObjectSpec::Portion {
                 document: "biz-acme".into(),
                 path: Path::parse("//bindingTemplates").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).deny());
         let InquiryResponse::AuthorizedBusinessView(view) = r
             .inquire(
                 &InquiryRequest::get_business("biz-acme")
@@ -966,12 +951,7 @@ mod tests {
     #[test]
     fn access_controlled_find_hides_unreadable() {
         let mut r = registry();
-        r.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("partner".into()),
-            ObjectSpec::Document("biz-acme".into()),
-            Privilege::Read,
-        ));
+        r.policies.add(Authorization::for_subject(SubjectSpec::Identity("partner".into())).on(ObjectSpec::Document("biz-acme".into())).privilege(Privilege::Read).grant());
         let all = businesses(r.inquire(&InquiryRequest::find_business()).unwrap());
         assert_eq!(all.len(), 2);
         let partner_rows = businesses(

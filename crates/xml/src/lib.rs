@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod automaton;
 pub mod dtd;
 pub mod index;
 pub mod node;
@@ -23,6 +24,7 @@ pub mod path;
 pub mod store;
 pub mod txn;
 
+pub use automaton::{NameInterner, NodeBitset, PathAutomaton};
 pub use dtd::{Dtd, ElementDecl, Violation};
 pub use index::{IndexedDocument, NameIndex};
 pub use node::{Document, NodeId, NodeKind};

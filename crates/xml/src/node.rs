@@ -83,6 +83,14 @@ impl Document {
         self.nodes.iter().filter(|n| !n.removed).count()
     }
 
+    /// Total arena slots (live + pruned): the exclusive upper bound on
+    /// [`NodeId::index`] for this document, used to size per-document
+    /// symbol tables and bitsets.
+    #[must_use]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     fn push_node(&mut self, node: Node) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("document too large"));
         self.nodes.push(node);
@@ -319,6 +327,42 @@ impl Document {
         view
     }
 
+    /// Bitset twin of [`Document::prune_to_view`]: identical semantics
+    /// (kept nodes retain their ancestors as structural shells; listed
+    /// elements drop unlisted attributes), but membership tests run
+    /// against a [`crate::automaton::NodeBitset`] so the compiled
+    /// decision path never materializes a `HashSet` of kept nodes.
+    /// Byte-for-byte equivalence with `prune_to_view` is pinned by the
+    /// `bitset_view_matches_hashset_view` test.
+    #[must_use]
+    pub fn prune_to_view_bits(
+        &self,
+        keep: &crate::automaton::NodeBitset,
+        keep_attrs: &std::collections::HashMap<NodeId, Vec<String>>,
+    ) -> Document {
+        let mut view = self.clone();
+        let mut keep_full = keep.clone();
+        for id in keep.iter() {
+            for anc in self.ancestors(id) {
+                keep_full.insert(anc);
+            }
+        }
+        for id in self.all_nodes() {
+            if !keep_full.contains(id) {
+                view.nodes[id.index()].removed = true;
+            }
+        }
+        for (id, allowed) in keep_attrs {
+            if view.nodes[id.index()].removed {
+                continue;
+            }
+            if let NodeKind::Element { attributes, .. } = &mut view.nodes[id.index()].kind {
+                attributes.retain(|(n, _)| allowed.iter().any(|a| a == n));
+            }
+        }
+        view
+    }
+
     /// Serializes the live subtree under `node`, wrapped in its chain of
     /// ancestor elements (each carrying its attributes but none of its other
     /// children). The output is byte-identical to
@@ -533,6 +577,30 @@ mod tests {
             view.to_xml_string(),
             "<hospital><patient><name/></patient></hospital>"
         );
+    }
+
+    #[test]
+    fn bitset_view_matches_hashset_view() {
+        use crate::automaton::NodeBitset;
+        let (d, patient, name, record) = sample();
+        let cases: Vec<Vec<NodeId>> = vec![
+            vec![name],
+            vec![patient, name],
+            vec![patient, name, record],
+            d.all_nodes(),
+            vec![],
+        ];
+        for keep_nodes in cases {
+            let keep: HashSet<NodeId> = keep_nodes.iter().copied().collect();
+            let bits: NodeBitset = keep_nodes.iter().copied().collect();
+            let mut keep_attrs = HashMap::new();
+            keep_attrs.insert(patient, vec![]);
+            assert_eq!(
+                d.prune_to_view(&keep, &keep_attrs).to_xml_string(),
+                d.prune_to_view_bits(&bits, &keep_attrs).to_xml_string(),
+                "{keep_nodes:?}"
+            );
+        }
     }
 
     #[test]

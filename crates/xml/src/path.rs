@@ -31,21 +31,21 @@ pub struct Path {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Step {
-    descendant: bool,
-    test: Test,
-    predicates: Vec<Pred>,
+pub(crate) struct Step {
+    pub(crate) descendant: bool,
+    pub(crate) test: Test,
+    pub(crate) predicates: Vec<Pred>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Test {
+pub(crate) enum Test {
     Name(String),
     Wildcard,
     Attribute(String),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Pred {
+pub(crate) enum Pred {
     AttrEq(String, String),
     ChildTextEq(String, String),
     OwnTextEq(String),
@@ -358,6 +358,12 @@ impl Path {
     #[must_use]
     pub fn source(&self) -> &str {
         &self.source
+    }
+
+    /// The parsed steps, for in-crate compilation to automata
+    /// (`crate::automaton`).
+    pub(crate) fn steps(&self) -> &[Step] {
+        &self.steps
     }
 }
 

@@ -29,15 +29,10 @@ fn quickstart_stack() -> SecureWebStack {
         .expect("well-formed"),
         ContextLabel::fixed(Level::Unclassified),
     );
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        ObjectSpec::Portion {
+    s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
             document: "h.xml".into(),
             path: Path::parse("//patient").expect("valid path"),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     s
 }
 
@@ -46,15 +41,10 @@ fn quickstart_stack() -> SecureWebStack {
 /// a dissemination audit, a signed UDDI registry, and enrolled subjects.
 fn hospital_stack() -> SecureWebStack {
     let mut s = quickstart_stack();
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::WithCredentials(CredentialExpr::OfType("auditor".into())),
-        ObjectSpec::Portion {
+    s.policies.add(Authorization::for_subject(SubjectSpec::WithCredentials(CredentialExpr::OfType("auditor".into()))).on(ObjectSpec::Portion {
             document: "h.xml".into(),
             path: Path::parse("//admin").expect("valid path"),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     s.policies
         .hierarchy
         .add_seniority(Role::new("chief"), Role::new("intern"));
@@ -118,12 +108,7 @@ fn intel_stack() -> SecureWebStack {
             .expect("well-formed"),
         ContextLabel::fixed(Level::Secret).unless_condition("peacetime", Level::Confidential),
     );
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::InRole(Role::new("analyst")),
-        ObjectSpec::Document("intel.xml".into()),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("analyst"))).on(ObjectSpec::Document("intel.xml".into())).privilege(Privilege::Read).grant());
     s.sanitized_documents.insert("intel.xml".into());
     s
 }

@@ -31,31 +31,16 @@ fn main() {
         // Each site grants the federation researcher read on patients but
         // denies the diagnosis element (site autonomy: east is stricter and
         // denies names too).
-        site.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("researcher".into()),
-            ObjectSpec::Document("ward.xml".into()),
-            Privilege::Read,
-        ));
-        site.policies.add(Authorization::deny(
-            0,
-            SubjectSpec::Identity("researcher".into()),
-            ObjectSpec::Portion {
+        site.policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
+        site.policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Portion {
                 document: "ward.xml".into(),
                 path: Path::parse("//dx").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).deny());
         if site_name == "east" {
-            site.policies.add(Authorization::deny(
-                0,
-                SubjectSpec::Identity("researcher".into()),
-                ObjectSpec::Portion {
+            site.policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Portion {
                     document: "ward.xml".into(),
                     path: Path::parse("//name").unwrap(),
-                },
-                Privilege::Read,
-            ));
+                }).privilege(Privilege::Read).deny());
         }
         federation.add_site(site);
 

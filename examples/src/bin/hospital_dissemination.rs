@@ -26,43 +26,23 @@ fn main() {
 
     // --- policies define the regions -------------------------------------
     let mut store = PolicyStore::new();
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("dr-smith".into()),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::Identity("dr-smith".into())).on(ObjectSpec::Portion {
             document: "ward.xml".into(),
             path: Path::parse("//patients").unwrap(),
-        },
-        Privilege::Read,
-    ));
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("pharmacist".into()),
-        ObjectSpec::Portion {
+        }).privilege(Privilege::Read).grant());
+    store.add(Authorization::for_subject(SubjectSpec::Identity("pharmacist".into())).on(ObjectSpec::Portion {
             document: "ward.xml".into(),
             path: Path::parse("//pharmacy").unwrap(),
-        },
-        Privilege::Read,
-    ));
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("cfo".into()),
-        ObjectSpec::Portion {
+        }).privilege(Privilege::Read).grant());
+    store.add(Authorization::for_subject(SubjectSpec::Identity("cfo".into())).on(ObjectSpec::Portion {
             document: "ward.xml".into(),
             path: Path::parse("//finance").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     // The CFO also sees pharmacy orders (overlapping region).
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("cfo".into()),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::Identity("cfo".into())).on(ObjectSpec::Portion {
             document: "ward.xml".into(),
             path: Path::parse("//pharmacy").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
 
     // --- partition, derive keys, seal --------------------------------------
     let map = RegionMap::build(&store, "ward.xml", &doc);

@@ -31,12 +31,7 @@ fn build_stack() -> SecureWebStack {
         .expect("well-formed document"),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        ObjectSpec::Document("ward.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
     stack
 }
 
@@ -80,12 +75,7 @@ fn main() {
     // Phase 3 — snapshot mutation: the write lock, the generation bump,
     // and the cache clear.
     server.update(|stack| {
-        stack.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Document("ward.xml".into()),
-            Privilege::Write,
-        ));
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Write).grant());
     });
 
     // Phase 4 — incremental analysis: the analysis and trace mutexes

@@ -43,60 +43,35 @@ fn main() {
 
     // --- policies at different granularities ------------------------------
     // 1. Doctors (and seniors) read all patient subtrees.
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::InRole(Role::new("doctor")),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(ObjectSpec::Portion {
             document: "hospital.xml".into(),
             path: Path::parse("//patient").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     // 2. ...but SSNs are attribute-level denied to everyone except the chief.
-    store.add(Authorization::deny(
-        0,
-        SubjectSpec::InRole(Role::new("doctor")),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(ObjectSpec::Portion {
             document: "hospital.xml".into(),
             path: Path::parse("//patient/@ssn").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).deny());
     store.add(
-        Authorization::grant(
-            0,
-            SubjectSpec::InRole(Role::new("chief-of-medicine")),
-            ObjectSpec::Portion {
+        Authorization::for_subject(SubjectSpec::InRole(Role::new("chief-of-medicine"))).on(ObjectSpec::Portion {
                 document: "hospital.xml".into(),
                 path: Path::parse("//patient/@ssn").unwrap(),
-            },
-            Privilege::Read,
-        )
+            }).privilege(Privilege::Read).grant()
         .with_priority(10),
     );
     // 3. Accountants see the admin subtree only.
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("dana-accounting".into()),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::Identity("dana-accounting".into())).on(ObjectSpec::Portion {
             document: "hospital.xml".into(),
             path: Path::parse("/hospital/admin").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     // 4. Senior physicians (credential-qualified) read high-severity records.
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::WithCredentials(
+    store.add(Authorization::for_subject(SubjectSpec::WithCredentials(
             CredentialExpr::OfType("physician".into())
                 .and(CredentialExpr::AttrGe("years".into(), 10)),
-        ),
-        ObjectSpec::Portion {
+        )).on(ObjectSpec::Portion {
             document: "hospital.xml".into(),
             path: Path::parse("//record[@severity='high']").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
 
     let engine = PolicyEngine::new(ConflictStrategy::ExplicitPriority);
 

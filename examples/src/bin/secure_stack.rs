@@ -26,12 +26,7 @@ fn stack_demo() {
         Document::parse("<press><release>Hospital opens new wing</release></press>").unwrap(),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::AllDocuments,
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::AllDocuments).privilege(Privilege::Read).grant());
 
     let journalist = SubjectProfile::new("journalist");
     let clearance = Clearance(Level::Unclassified);

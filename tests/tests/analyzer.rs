@@ -23,12 +23,7 @@ fn portion(path: &str) -> ObjectSpec {
 fn base_stack() -> SecureWebStack {
     let mut s = SecureWebStack::new([7u8; 32]);
     s.add_document("h.xml", hospital(), ContextLabel::fixed(Level::Unclassified));
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        portion("//patient"),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(portion("//patient")).privilege(Privilege::Read).grant());
     s
 }
 
@@ -43,18 +38,8 @@ fn default_stack_analyzes_clean() {
 #[test]
 fn ws001_conflict_surfaces_through_stack() {
     let mut s = base_stack();
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("h.xml".into()),
-        Privilege::Read,
-    ));
-    s.policies.add(Authorization::deny(
-        0,
-        SubjectSpec::Identity("eve".into()),
-        portion("/hospital/admin"),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+    s.policies.add(Authorization::for_subject(SubjectSpec::Identity("eve".into())).on(portion("/hospital/admin")).privilege(Privilege::Read).deny());
     let report = s.analyze();
     let hits = report.with_code("WS001");
     assert!(!hits.is_empty(), "{}", report.human());
@@ -67,18 +52,8 @@ fn ws001_conflict_surfaces_through_stack() {
 fn ws001_priority_tie_refuses_strict_boot() {
     let mut s = base_stack();
     s.engine = PolicyEngine::new(ConflictStrategy::ExplicitPriority);
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("h.xml".into()),
-        Privilege::Read,
-    ));
-    s.policies.add(Authorization::deny(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("h.xml".into()),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant());
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).deny());
     let report = s.analyze();
     assert!(
         report
@@ -97,12 +72,7 @@ fn ws001_priority_tie_refuses_strict_boot() {
 #[test]
 fn ws002_unreachable_rule_is_flagged() {
     let mut s = base_stack();
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        portion("//cafeteria"),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(portion("//cafeteria")).privilege(Privilege::Read).grant());
     let report = s.analyze();
     let hits = report.with_code("WS002");
     assert_eq!(hits.len(), 1, "{}", report.human());
@@ -119,12 +89,7 @@ fn ws003_context_label_flow_is_flagged() {
         Document::parse("<ops><plan>x</plan></ops>").unwrap(),
         ContextLabel::fixed(Level::Secret).unless_condition("wartime", Level::Unclassified),
     );
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("analyst".into()),
-        ObjectSpec::Document("war.xml".into()),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Identity("analyst".into())).on(ObjectSpec::Document("war.xml".into())).privilege(Privilege::Read).grant());
     let report = s.analyze();
     let hits = report.with_code("WS003");
     assert_eq!(hits.len(), 1, "{}", report.human());
@@ -156,12 +121,7 @@ fn ws004_inference_channel_via_direct_input() {
 #[test]
 fn ws005_dangling_reference_refuses_strict_boot() {
     let mut s = base_stack();
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("ghost.xml".into()),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("ghost.xml".into())).privilege(Privilege::Read).grant());
     let report = s.analyze();
     assert!(
         report
@@ -180,12 +140,7 @@ fn ws005_dangling_reference_refuses_strict_boot() {
 #[test]
 fn machine_output_is_line_oriented() {
     let mut s = base_stack();
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("ghost.xml".into()),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("ghost.xml".into())).privilege(Privilege::Read).grant());
     let machine = s.analyze().machine();
     for line in machine.lines() {
         let fields: Vec<&str> = line.split('|').collect();

@@ -1,0 +1,526 @@
+//! Equivalence of the compiled decision path with the interpreting engine.
+//!
+//! The snapshot-compiled [`CompiledPolicies`] artifact (interned subjects,
+//! per-equivalence-class decision tables, path automata) must be an exact
+//! drop-in for [`PolicyEngine`]: same views byte-for-byte, same per-node
+//! decisions, same equivalence-class partition, under every conflict
+//! strategy. This suite drives that claim with 100 seeded random policy
+//! bases, then checks the server-level wiring: [`DecisionMode`] flips
+//! preserve bytes, revocation storms recompile exactly once per published
+//! mutation, and the analyzer cross-check ([`StackServer::verify_compiled`])
+//! accepts the live artifact.
+
+use std::collections::HashSet;
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+const SUBJECTS: usize = 16;
+/// Master-key seed byte for the server stacks under test.
+const MASTER_KEY_SEED: u8 = 5;
+/// Updates in the revocation-storm test, named so a failure log states the
+/// exact configuration.
+const STORM_UPDATES: u64 = 12;
+
+const STRATEGIES: [ConflictStrategy; 5] = [
+    ConflictStrategy::DenialsTakePrecedence,
+    ConflictStrategy::PermissionsTakePrecedence,
+    ConflictStrategy::MostSpecificSubject,
+    ConflictStrategy::MostSpecificObject,
+    ConflictStrategy::ExplicitPriority,
+];
+
+/// Regression oracle for the concurrency-correctness layer: when the
+/// suite runs with `WEBSEC_LOCKDEP=1`, every test must finish with zero
+/// `WS110`/`WS111` findings (with detection off the list is empty by
+/// construction, so the assertion is free).
+fn assert_no_sync_findings() {
+    let findings = websec_core::sync::lockdep_findings();
+    assert!(
+        findings.is_empty(),
+        "lockdep/race detector reported findings:\n{}",
+        findings
+            .iter()
+            .map(websec_core::sync::SyncFinding::machine_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// A random document over a small name alphabet, with occasional text and
+/// attributes so views exercise attribute serialization too.
+fn random_document(rng: &mut SecureRng) -> Document {
+    let mut doc = Document::new("root");
+    let mut parents = vec![doc.root()];
+    let nodes = 1 + rng.gen_range(19) as usize;
+    for i in 0..nodes {
+        let name = rng.gen_range(4);
+        let parent = parents[rng.gen_range(parents.len() as u64) as usize];
+        let e = doc.add_element(parent, &format!("n{name}"));
+        if rng.gen_range(2) == 0 {
+            doc.add_text(e, "content");
+        }
+        if rng.gen_range(3) == 0 {
+            doc.set_attribute(e, "id", &format!("k{i}"));
+        }
+        parents.push(e);
+    }
+    doc
+}
+
+/// One random authorization: grant/deny, optional portion path (`None` =
+/// whole document), subject selector, propagation, priority, privilege.
+struct RuleSpec {
+    grant: bool,
+    path: Option<String>,
+    subj: u8,
+    prop: u8,
+    priority: i32,
+    browse: bool,
+}
+
+fn random_policies(rng: &mut SecureRng) -> Vec<RuleSpec> {
+    let n = rng.gen_range(7) as usize;
+    (0..n)
+        .map(|_| {
+            let name = rng.gen_range(4);
+            let path = match rng.gen_range(3) {
+                0 => None,
+                1 => Some(format!("//n{name}")),
+                _ => Some(format!("/root/n{name}")),
+            };
+            RuleSpec {
+                grant: rng.gen_range(2) == 0,
+                path,
+                subj: rng.gen_range(5) as u8,
+                prop: rng.gen_range(3) as u8,
+                priority: rng.gen_range(7) as i32 - 3,
+                browse: rng.gen_range(4) == 0,
+            }
+        })
+        .collect()
+}
+
+fn build_store(rules: &[RuleSpec]) -> PolicyStore {
+    let mut store = PolicyStore::new();
+    for rule in rules {
+        let subject = match rule.subj {
+            0 => SubjectSpec::Anyone,
+            1 => SubjectSpec::Identity("alice".into()),
+            2 => SubjectSpec::InRole(Role::new("staff")),
+            3 => SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into())),
+            _ => SubjectSpec::Identity("bob".into()),
+        };
+        let object = match &rule.path {
+            None => ObjectSpec::Document("d.xml".into()),
+            Some(p) => ObjectSpec::Portion {
+                document: "d.xml".into(),
+                path: Path::parse(p).unwrap(),
+            },
+        };
+        let propagation = match rule.prop {
+            0 => Propagation::None,
+            1 => Propagation::FirstLevel,
+            _ => Propagation::Cascade,
+        };
+        let privilege = if rule.browse { Privilege::Browse } else { Privilege::Read };
+        let builder = Authorization::for_subject(subject)
+            .on(object)
+            .privilege(privilege)
+            .propagation(propagation)
+            .priority(rule.priority);
+        store.add(if rule.grant { builder.grant() } else { builder.deny() });
+    }
+    store
+}
+
+/// Profiles chosen so every subject selector in [`build_store`] matches at
+/// least one of them and none matches all of them.
+fn profiles() -> Vec<SubjectProfile> {
+    vec![
+        SubjectProfile::new("alice").with_role(Role::new("staff")),
+        SubjectProfile::new("bob").with_credential(Credential::new("physician", "bob")),
+        SubjectProfile::new("carol"),
+    ]
+}
+
+fn compile_one(
+    store: &PolicyStore,
+    strategy: ConflictStrategy,
+    doc: &Document,
+) -> std::sync::Arc<CompiledPolicies> {
+    let mut docs = DocumentStore::new();
+    docs.insert("d.xml", doc.clone());
+    PolicySnapshot::new(store, strategy, &docs).compile()
+}
+
+/// The tentpole's correctness bar: across 100 seeded random policy bases
+/// (cycling all five conflict strategies), the compiled tables return the
+/// same view byte-for-byte and the same per-node decision as the
+/// interpreting engine, for every profile and privilege.
+#[test]
+fn compiled_matches_interpreter_across_100_seeds() {
+    for seed in 0..100u64 {
+        let mut rng = SecureRng::seeded(0xc0de_0000 + seed);
+        let doc = random_document(&mut rng);
+        let rules = random_policies(&mut rng);
+        let store = build_store(&rules);
+        let strategy = STRATEGIES[(seed % 5) as usize];
+        let compiled = compile_one(&store, strategy, &doc);
+        let engine = PolicyEngine::new(strategy);
+        for profile in profiles() {
+            let interpreted = engine.compute_view(&store, &profile, "d.xml", &doc);
+            let fast = compiled
+                .compute_view(&profile, "d.xml", &doc)
+                .expect("document was part of the compiled snapshot");
+            assert_eq!(
+                interpreted.to_xml_string(),
+                fast.to_xml_string(),
+                "seed {seed} ({strategy:?}): view diverged for {:?}",
+                profile.identity
+            );
+            for node in doc.all_nodes() {
+                for privilege in [Privilege::Browse, Privilege::Read, Privilege::Write] {
+                    assert_eq!(
+                        compiled.check(&profile, "d.xml", node, privilege),
+                        Some(engine.check(&store, &profile, "d.xml", &doc, node, privilege)),
+                        "seed {seed} ({strategy:?}): {privilege:?} decision diverged at {node:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert_no_sync_findings();
+}
+
+/// The equivalence-class partition the analyzer reasons about survives
+/// compilation exactly, for both Browse and Read relevance.
+#[test]
+fn equivalence_classes_survive_compilation() {
+    for seed in 0..100u64 {
+        let mut rng = SecureRng::seeded(0xe9c1_0000 + seed);
+        let doc = random_document(&mut rng);
+        let rules = random_policies(&mut rng);
+        let store = build_store(&rules);
+        let strategy = STRATEGIES[(seed % 5) as usize];
+        let compiled = compile_one(&store, strategy, &doc);
+        for privilege in [Privilege::Browse, Privilege::Read] {
+            let interpreted =
+                PolicyEngine::policy_equivalence_classes(&store, "d.xml", &doc, privilege);
+            assert_eq!(
+                compiled.equivalence_classes("d.xml", privilege),
+                Some(interpreted),
+                "seed {seed} ({strategy:?}): {privilege:?} partition diverged"
+            );
+        }
+    }
+    assert_no_sync_findings();
+}
+
+/// A hand-built conflicting rule set that *does* discriminate between
+/// strategies: each strategy's compiled view matches its interpreter, and
+/// at least two strategies disagree with each other (so the agreement is
+/// not vacuous).
+#[test]
+fn all_strategies_agree_with_their_interpreter_on_conflicts() {
+    let doc = Document::parse(
+        "<root><n0 id=\"a\"><n1>ward</n1></n0><n2><n1>lab</n1></n2></root>",
+    )
+    .unwrap();
+    let mut store = PolicyStore::new();
+    store.add(
+        Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Document("d.xml".into()))
+            .privilege(Privilege::Read)
+            .propagation(Propagation::Cascade)
+            .priority(1)
+            .grant(),
+    );
+    store.add(
+        Authorization::for_subject(SubjectSpec::Identity("alice".into()))
+            .on(ObjectSpec::Portion {
+                document: "d.xml".into(),
+                path: Path::parse("//n1").unwrap(),
+            })
+            .privilege(Privilege::Read)
+            .priority(5)
+            .deny(),
+    );
+    store.add(
+        Authorization::for_subject(SubjectSpec::InRole(Role::new("staff")))
+            .on(ObjectSpec::Portion {
+                document: "d.xml".into(),
+                path: Path::parse("/root/n0").unwrap(),
+            })
+            .privilege(Privilege::Read)
+            .propagation(Propagation::FirstLevel)
+            .priority(3)
+            .grant(),
+    );
+
+    let alice = SubjectProfile::new("alice").with_role(Role::new("staff"));
+    let mut alice_views = HashSet::new();
+    for strategy in STRATEGIES {
+        let compiled = compile_one(&store, strategy, &doc);
+        let engine = PolicyEngine::new(strategy);
+        for profile in profiles() {
+            let interpreted = engine.compute_view(&store, &profile, "d.xml", &doc);
+            let fast = compiled.compute_view(&profile, "d.xml", &doc).unwrap();
+            assert_eq!(
+                interpreted.to_xml_string(),
+                fast.to_xml_string(),
+                "{strategy:?}: view diverged for {:?}",
+                profile.identity
+            );
+        }
+        alice_views.insert(
+            engine.compute_view(&store, &alice, "d.xml", &doc).to_xml_string(),
+        );
+    }
+    assert!(
+        alice_views.len() > 1,
+        "the conflict set must actually discriminate between strategies"
+    );
+    assert_no_sync_findings();
+}
+
+/// A document absent from the compiled snapshot answers `None` (the server
+/// falls back to the interpreter) rather than a wrong decision.
+#[test]
+fn unknown_document_is_none_not_wrong() {
+    let doc = Document::parse("<root><n0>x</n0></root>").unwrap();
+    let store = PolicyStore::new();
+    let docs = DocumentStore::new();
+    let compiled = PolicySnapshot::new(&store, ConflictStrategy::default(), &docs).compile();
+    let profile = SubjectProfile::new("x");
+    assert!(compiled.compute_view(&profile, "d.xml", &doc).is_none());
+    assert!(compiled
+        .check(&profile, "d.xml", doc.root(), Privilege::Read)
+        .is_none());
+    assert!(compiled
+        .attr_allowed(&profile, "d.xml", doc.root(), "id", Privilege::Read)
+        .is_none());
+    assert_no_sync_findings();
+}
+
+// ---------------------------------------------------------------------------
+// Server-level wiring.
+// ---------------------------------------------------------------------------
+
+fn build_stack() -> SecureWebStack {
+    let mut stack = SecureWebStack::new([MASTER_KEY_SEED; 32]);
+    let mut xml = String::from("<hospital>");
+    for i in 0..40 {
+        xml.push_str(&format!(
+            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
+        ));
+    }
+    xml.push_str("</hospital>");
+    stack.add_document(
+        "records.xml",
+        Document::parse(&xml).unwrap(),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.add_document(
+        "secret.xml",
+        Document::parse("<ops><plan>atlantis</plan></ops>").unwrap(),
+        ContextLabel::fixed(Level::Secret),
+    );
+    for d in 0..SUBJECTS / 2 {
+        stack.policies.add(
+            Authorization::for_subject(SubjectSpec::Identity(format!("subject-{d}")))
+                .on(ObjectSpec::Portion {
+                    document: "records.xml".into(),
+                    path: Path::parse("//patient").unwrap(),
+                })
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+    }
+    stack.policies.add(
+        Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Document("secret.xml".into()))
+            .privilege(Privilege::Read)
+            .grant(),
+    );
+    stack
+}
+
+/// Mixed allow/deny/error traffic (same shape as the serving suite).
+fn build_requests(n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            let subject = SubjectProfile::new(&format!("subject-{}", i % SUBJECTS));
+            if i % 9 == 4 {
+                QueryRequest::for_doc("secret.xml")
+                    .path(Path::parse("//plan").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else if i % 11 == 7 {
+                QueryRequest::for_doc("missing.xml")
+                    .path(Path::parse("//x").unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            } else {
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse(&format!("//patient[@id='p{}']", i % 40)).unwrap())
+                    .subject(&subject)
+                    .clearance(Clearance(Level::Unclassified))
+            }
+        })
+        .collect()
+}
+
+/// `DecisionMode::Compiled` and `DecisionMode::Interpreted` serve the same
+/// traffic byte-for-byte; the `compiled` provenance flag is true exactly on
+/// table-answered misses and the metrics counters move accordingly.
+#[test]
+fn decision_modes_serve_identical_bytes() {
+    let requests = build_requests(512);
+    let compiled_server = StackServer::new(build_stack());
+    assert_eq!(compiled_server.decision_mode(), DecisionMode::Compiled);
+    let interpreted_server = StackServer::with_config(
+        build_stack(),
+        ServerConfig::new().decision_mode(DecisionMode::Interpreted),
+    );
+
+    let mut compiled_misses = 0u64;
+    for (i, request) in requests.iter().enumerate() {
+        let fast = compiled_server.serve(request);
+        let slow = interpreted_server.serve(request);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                assert_eq!(f.xml, s.xml, "request {i}: payload diverged");
+                assert_eq!(f.decision, s.decision, "request {i}: decision diverged");
+                assert!(!s.compiled, "request {i}: interpreted mode reported compiled");
+                match f.cache {
+                    CacheStatus::Miss => {
+                        assert!(f.compiled, "request {i}: table-era miss not compiled");
+                        compiled_misses += 1;
+                    }
+                    _ => assert!(
+                        !f.compiled,
+                        "request {i}: compiled provenance re-reported on a non-miss"
+                    ),
+                }
+            }
+            (Err(fe), Err(se)) => {
+                assert_eq!(fe.code(), se.code(), "request {i}: error code diverged");
+            }
+            _ => panic!("request {i}: modes disagree on success"),
+        }
+    }
+    assert!(compiled_misses > 0, "traffic never missed the view cache");
+
+    let fast_metrics = compiled_server.metrics();
+    assert_eq!(fast_metrics.compiled_hits, compiled_misses);
+    assert!(fast_metrics.compile_ns > 0, "table lookups were never timed");
+    let slow_metrics = interpreted_server.metrics();
+    assert_eq!(slow_metrics.compiled_hits, 0);
+    assert_eq!(slow_metrics.compile_ns, 0);
+    assert_no_sync_findings();
+}
+
+/// Flipping the mode at runtime (forcing fresh misses in between) does not
+/// change a single byte of the served view.
+#[test]
+fn runtime_mode_flip_preserves_bytes() {
+    let server = StackServer::new(build_stack());
+    let request = QueryRequest::for_doc("records.xml")
+        .path(Path::parse("//patient[@id='p3']").unwrap())
+        .subject(&SubjectProfile::new("subject-0"))
+        .clearance(Clearance(Level::Unclassified));
+
+    let fast = server.serve(&request).unwrap();
+    assert_eq!(fast.cache, CacheStatus::Miss);
+    assert!(fast.compiled);
+
+    server.set_decision_mode(DecisionMode::Interpreted);
+    server.invalidate_views();
+    let slow = server.serve(&request).unwrap();
+    assert_eq!(slow.cache, CacheStatus::Miss);
+    assert!(!slow.compiled);
+
+    assert_eq!(fast.xml, slow.xml);
+    assert_eq!(fast.decision, slow.decision);
+    assert_no_sync_findings();
+}
+
+/// A revocation storm recompiles exactly once per published mutation:
+/// construction counts as compile #1, every `update` adds one, and cache
+/// invalidation (which republishes the unchanged stack) adds zero.
+#[test]
+fn revocation_storm_recompiles_exactly_once_per_update() {
+    let server = StackServer::new(build_stack());
+    assert_eq!(server.snapshot_compiles(), 1, "construction compiles once");
+    let base_epoch = server.compiled_policies().epoch();
+
+    let request = QueryRequest::for_doc("records.xml")
+        .path(Path::parse("//patient[@id='p1']").unwrap())
+        .subject(&SubjectProfile::new("subject-1"))
+        .clearance(Clearance(Level::Unclassified));
+    let granted = server.serve(&request).unwrap();
+    assert!(granted.xml.contains("N1"), "subject-1 starts with a grant");
+
+    for i in 0..STORM_UPDATES {
+        server.update(|stack| {
+            stack.policies.add(
+                Authorization::for_subject(SubjectSpec::Identity(format!("subject-{i}")))
+                    .on(ObjectSpec::Document("records.xml".into()))
+                    .privilege(Privilege::Read)
+                    .deny(),
+            );
+        });
+    }
+    assert_eq!(
+        server.snapshot_compiles(),
+        1 + STORM_UPDATES,
+        "one compile per update"
+    );
+    assert!(
+        server.compiled_policies().epoch() > base_epoch,
+        "the published artifact tracks the mutated policy epoch"
+    );
+
+    // The revocations are visible through the compiled path immediately.
+    let revoked = server.serve(&request).unwrap();
+    assert_eq!(revoked.cache, CacheStatus::Miss, "epoch bump invalidated the cache");
+    assert!(revoked.compiled, "post-storm miss answered from the new tables");
+    assert!(!revoked.xml.contains("N1"), "the denial must win after the storm");
+
+    for _ in 0..3 {
+        server.invalidate_views();
+    }
+    assert_eq!(
+        server.snapshot_compiles(),
+        1 + STORM_UPDATES,
+        "invalidation republishes without recompiling"
+    );
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.snapshot_compiles, 1 + STORM_UPDATES);
+    assert!(metrics.snapshot_compile_ns > 0, "compiles were never timed");
+    assert_no_sync_findings();
+}
+
+/// The analyzer-level cross-check accepts the live artifact, before and
+/// after a republication.
+#[test]
+fn analyzer_verifies_compiled_artifact() {
+    let server = StackServer::new(build_stack());
+    server
+        .verify_compiled()
+        .expect("freshly constructed artifact matches the live stack");
+
+    server.update(|stack| {
+        stack.policies.add(
+            Authorization::for_subject(SubjectSpec::InRole(Role::new("auditor")))
+                .on(ObjectSpec::Document("records.xml".into()))
+                .privilege(Privilege::Browse)
+                .grant(),
+        );
+    });
+    server
+        .verify_compiled()
+        .expect("republished artifact matches the mutated stack");
+    assert_no_sync_findings();
+}

@@ -221,6 +221,123 @@ mod serve_batch_positional_shim {
     }
 }
 
+/// The positional `Authorization::grant()` / `Authorization::deny()`
+/// constructors over the `Authorization::for_subject(..)` builder.
+mod authorization_positional_shims {
+    use websec_core::prelude::*;
+
+    fn objects() -> Vec<ObjectSpec> {
+        vec![
+            ObjectSpec::AllDocuments,
+            ObjectSpec::Document("h.xml".into()),
+            ObjectSpec::Collection("wards".into()),
+            ObjectSpec::Portion {
+                document: "h.xml".into(),
+                path: Path::parse("//patient/@ssn").unwrap(),
+            },
+            ObjectSpec::PortionAll(Path::parse("//record").unwrap()),
+        ]
+    }
+
+    fn subjects() -> Vec<SubjectSpec> {
+        vec![
+            SubjectSpec::Anyone,
+            SubjectSpec::Identity("alice".into()),
+            SubjectSpec::InRole(Role::new("doctor")),
+            SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into())),
+        ]
+    }
+
+    #[test]
+    fn builder_matches_positional_across_the_matrix() {
+        for subject in subjects() {
+            for object in objects() {
+                for privilege in [
+                    Privilege::Browse,
+                    Privilege::Read,
+                    Privilege::Write,
+                    Privilege::Admin,
+                ] {
+                    for id in [0u32, 7] {
+                        let legacy =
+                            Authorization::grant(id, subject.clone(), object.clone(), privilege);
+                        let modern = Authorization::for_subject(subject.clone())
+                            .on(object.clone())
+                            .privilege(privilege)
+                            .id(id)
+                            .grant();
+                        assert_eq!(format!("{legacy:?}"), format!("{modern:?}"));
+
+                        let legacy =
+                            Authorization::deny(id, subject.clone(), object.clone(), privilege);
+                        let modern = Authorization::for_subject(subject.clone())
+                            .on(object.clone())
+                            .privilege(privilege)
+                            .id(id)
+                            .deny();
+                        assert_eq!(format!("{legacy:?}"), format!("{modern:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_overrides_match_with_style_chains() {
+        let legacy = Authorization::grant(
+            0,
+            SubjectSpec::Anyone,
+            ObjectSpec::Document("h.xml".into()),
+            Privilege::Read,
+        )
+        .with_propagation(Propagation::FirstLevel)
+        .with_priority(9);
+        let modern = Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Document("h.xml".into()))
+            .privilege(Privilege::Read)
+            .propagation(Propagation::FirstLevel)
+            .priority(9)
+            .grant();
+        assert_eq!(format!("{legacy:?}"), format!("{modern:?}"));
+        // The explicit-sign terminal is the grant/deny generalization.
+        let signed = Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Document("h.xml".into()))
+            .privilege(Privilege::Read)
+            .propagation(Propagation::FirstLevel)
+            .priority(9)
+            .sign(Sign::Plus);
+        assert_eq!(format!("{signed:?}"), format!("{modern:?}"));
+    }
+}
+
+/// The panicking `FlexibleEnforcer::set_level` over `try_set_level`.
+mod flexible_set_level_shim {
+    use websec_core::policy::flexible::InvalidLevel;
+    use websec_core::prelude::*;
+
+    #[test]
+    fn valid_updates_agree() {
+        let mut legacy = FlexibleEnforcer::new(10, [6u8; 32]);
+        let mut modern = FlexibleEnforcer::new(10, [6u8; 32]);
+        for level in [0u8, 30, 100] {
+            legacy.set_level(level);
+            modern.try_set_level(level).unwrap();
+            assert_eq!(legacy.level(), modern.level());
+            for key in [b"req-a".as_slice(), b"req-b"] {
+                assert_eq!(legacy.decide(key), modern.decide(key));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn shim_still_panics_where_try_errs() {
+        let mut gate = FlexibleEnforcer::new(10, [6u8; 32]);
+        assert_eq!(gate.try_set_level(200), Err(InvalidLevel(200)));
+        gate.set_level(200);
+    }
+}
+
 /// The `Registry` alias and the positional UDDI inquiry shims over the
 /// `InquiryRequest` builder + `inquire()` entry point.
 mod uddi_inquiry_shims {

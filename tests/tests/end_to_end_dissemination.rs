@@ -20,33 +20,18 @@ fn hospital() -> Document {
 
 fn policies() -> PolicyStore {
     let mut store = PolicyStore::new();
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
             document: "h.xml".into(),
             path: Path::parse("//patient").unwrap(),
-        },
-        Privilege::Read,
-    ));
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        ObjectSpec::Portion {
+        }).privilege(Privilege::Read).grant());
+    store.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Portion {
             document: "h.xml".into(),
             path: Path::parse("//staff").unwrap(),
-        },
-        Privilege::Read,
-    ));
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("accountant".into()),
-        ObjectSpec::Portion {
+        }).privilege(Privilege::Read).grant());
+    store.add(Authorization::for_subject(SubjectSpec::Identity("accountant".into())).on(ObjectSpec::Portion {
             document: "h.xml".into(),
             path: Path::parse("//admin").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     store
 }
 
@@ -115,15 +100,10 @@ fn key_count_is_minimal() {
     let mut store = policies();
     // Add three more identities sharing the same patient policy shape.
     for who in ["d2", "d3", "d4"] {
-        store.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity((*who).into()),
-            ObjectSpec::Portion {
+        store.add(Authorization::for_subject(SubjectSpec::Identity((*who).into())).on(ObjectSpec::Portion {
                 document: "h.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
     }
     let map = RegionMap::build(&store, "h.xml", &doc);
     // Regions: {patients: doctor+d2+d3+d4}, {staff: doctor}, {admin: accountant}.

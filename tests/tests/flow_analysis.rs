@@ -33,12 +33,7 @@ fn portion(path: &str) -> ObjectSpec {
 fn base_stack() -> SecureWebStack {
     let mut s = SecureWebStack::new([7u8; 32]);
     s.add_document("h.xml", hospital(), ContextLabel::fixed(Level::Unclassified));
-    s.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        portion("//patient"),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(portion("//patient")).privilege(Privilege::Read).grant());
     s
 }
 
@@ -109,12 +104,7 @@ fn notary_profile() -> SubjectProfile {
 /// the default-configuration regression for WS001–WS012.
 fn configured_stack() -> SecureWebStack {
     let mut s = base_stack();
-    s.policies.add(Authorization::grant(
-        5,
-        SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into())),
-        portion("//admin"),
-        Privilege::Read,
-    ));
+    s.policies.add(Authorization::for_subject(SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into()))).on(portion("//admin")).privilege(Privilege::Read).id(5).grant());
     s.policies
         .hierarchy
         .add_seniority(Role::new("chief"), Role::new("intern"));
@@ -304,12 +294,7 @@ fn ws011_unsigned_binding_fires_and_signed_tmodel_silences() {
 #[test]
 fn ws012_dead_credential_fires_and_enrolled_holder_silences() {
     let mut s = base_stack();
-    let needs_notary = s.policies.add(Authorization::grant(
-        5,
-        SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into())),
-        portion("//admin"),
-        Privilege::Read,
-    ));
+    let needs_notary = s.policies.add(Authorization::for_subject(SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into()))).on(portion("//admin")).privilege(Privilege::Read).id(5).grant());
     // No registered profiles: the pass has no census to check against.
     assert!(s.analyze().with_code("WS012").is_empty());
 
@@ -372,12 +357,7 @@ fn random_stack(seed: u64) -> SecureWebStack {
         s.uddi = Some((registry_with_binding(), signed));
     }
     if rng.flip() {
-        s.policies.add(Authorization::grant(
-            5,
-            SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into())),
-            portion("//admin"),
-            Privilege::Read,
-        ));
+        s.policies.add(Authorization::for_subject(SubjectSpec::WithCredentials(CredentialExpr::OfType("notary".into()))).on(portion("//admin")).privilege(Privilege::Read).id(5).grant());
         let profile = if rng.flip() {
             notary_profile()
         } else {

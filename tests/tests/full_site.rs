@@ -67,12 +67,7 @@ fn lifecycle_ingest_to_federated_query() {
     // --- the site joins a federation ----------------------------------------
     let mut site = Site::new("hospital-a");
     site.documents.insert("ward.xml", doc.clone());
-    site.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("researcher".into()),
-        ObjectSpec::Document("ward.xml".into()),
-        Privilege::Read,
-    ));
+    site.policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
     let mut federation = Federation::new();
     federation.add_site(site);
     let hits = federation.query(
@@ -85,12 +80,7 @@ fn lifecycle_ingest_to_federated_query() {
 
     // --- blob fetch inherits the document policy ------------------------------
     let mut policies = PolicyStore::new();
-    policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("researcher".into()),
-        ObjectSpec::Document("ward.xml".into()),
-        Privilege::Read,
-    ));
+    policies.add(Authorization::for_subject(SubjectSpec::Identity("researcher".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
     let engine = PolicyEngine::default();
     let researcher = SubjectProfile::new("researcher");
     assert_eq!(

@@ -21,12 +21,7 @@ fn delegated_administration_to_enforcement() {
     admin
         .try_add(
             &bob,
-            Authorization::grant(
-                0,
-                SubjectSpec::InRole(Role::new("doctor")),
-                ObjectSpec::Document("h.xml".into()),
-                Privilege::Read,
-            ),
+            Authorization::for_subject(SubjectSpec::InRole(Role::new("doctor"))).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant(),
         )
         .unwrap();
     // Mallory cannot.
@@ -34,12 +29,7 @@ fn delegated_administration_to_enforcement() {
     assert!(admin
         .try_add(
             &mallory,
-            Authorization::grant(
-                0,
-                SubjectSpec::Identity("mallory".into()),
-                ObjectSpec::Document("h.xml".into()),
-                Privilege::Read,
-            ),
+            Authorization::for_subject(SubjectSpec::Identity("mallory".into())).on(ObjectSpec::Document("h.xml".into())).privilege(Privilege::Read).grant(),
         )
         .is_err());
 
@@ -195,21 +185,11 @@ fn auction_to_dissemination_lifecycle() {
     //    does not.
     let (_, sold_doc) = catalogue.read("lamp").unwrap();
     let mut store = PolicyStore::new();
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("auditor".into()),
-        ObjectSpec::Document("lamp".into()),
-        Privilege::Read,
-    ));
-    store.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Portion {
+    store.add(Authorization::for_subject(SubjectSpec::Identity("auditor".into())).on(ObjectSpec::Document("lamp".into())).privilege(Privilege::Read).grant());
+    store.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
             document: "lamp".into(),
             path: Path::parse("/item/title").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     let map = RegionMap::build(&store, "lamp", &sold_doc);
     let authority = KeyAuthority::new("lamp", [3u8; 32]);
     let package = DissemPackage::seal(&map, b"post-sale", |r| authority.region_key(&map, r.id));

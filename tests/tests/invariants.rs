@@ -76,16 +76,11 @@ fn dissemination_confidentiality() {
 
         let mut store = PolicyStore::new();
         for (k, &s) in granted_subjects.iter().enumerate() {
-            store.add(Authorization::grant(
-                0,
-                SubjectSpec::Identity(format!("user-{s}")),
-                ObjectSpec::Portion {
+            store.add(Authorization::for_subject(SubjectSpec::Identity(format!("user-{s}"))).on(ObjectSpec::Portion {
                     document: "d".into(),
                     path: Path::parse(&format!("//patient[@id='p{}']", k % patient_count))
                         .unwrap(),
-                },
-                Privilege::Read,
-            ));
+                }).privilege(Privilege::Read).grant());
         }
         let map = RegionMap::build(&store, "d", &doc);
         let authority = KeyAuthority::new("d", [9u8; 32]);
@@ -177,9 +172,9 @@ fn query_strategies_agree() {
                 path: Path::parse(&format!("//n{name}")).unwrap(),
             };
             let auth = if *grant {
-                Authorization::grant(0, SubjectSpec::Anyone, object, Privilege::Read)
+                Authorization::for_subject(SubjectSpec::Anyone).on(object).privilege(Privilege::Read).grant()
             } else {
-                Authorization::deny(0, SubjectSpec::Anyone, object, Privilege::Read)
+                Authorization::for_subject(SubjectSpec::Anyone).on(object).privilege(Privilege::Read).deny()
             };
             store.add(auth);
         }

@@ -205,12 +205,7 @@ fn serving_engine_runs_clean_under_lockdep() {
         .expect("well-formed document"),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Identity("doctor".into()),
-        ObjectSpec::Document("ward.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Read).grant());
     let server = StackServer::with_shards(stack, 8);
     let requests: Vec<QueryRequest> = (0..64)
         .map(|i| {
@@ -224,12 +219,7 @@ fn serving_engine_runs_clean_under_lockdep() {
     let results = server.serve_batch(&batch).results;
     assert!(results.iter().all(Result::is_ok));
     server.update(|s| {
-        s.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity("doctor".into()),
-            ObjectSpec::Document("ward.xml".into()),
-            Privilege::Write,
-        ));
+        s.policies.add(Authorization::for_subject(SubjectSpec::Identity("doctor".into())).on(ObjectSpec::Document("ward.xml".into())).privilege(Privilege::Write).grant());
     });
     let _ = server.serve_batch(&batch);
     let _ = server.analyze();

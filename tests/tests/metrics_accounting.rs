@@ -29,22 +29,12 @@ fn build_stack() -> SecureWebStack {
         ContextLabel::fixed(Level::Secret),
     );
     for d in 0..SUBJECTS {
-        stack.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity(format!("subject-{d}")),
-            ObjectSpec::Portion {
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Identity(format!("subject-{d}"))).on(ObjectSpec::Portion {
                 document: "records.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
     }
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("secret.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("secret.xml".into())).privilege(Privilege::Read).grant());
     stack
 }
 

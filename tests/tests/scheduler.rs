@@ -41,15 +41,10 @@ fn build_stack() -> SecureWebStack {
         Document::parse(&xml).unwrap(),
         ContextLabel::fixed(Level::Unclassified),
     );
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Portion {
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Portion {
             document: "ward.xml".into(),
             path: Path::parse("//patient").unwrap(),
-        },
-        Privilege::Read,
-    ));
+        }).privilege(Privilege::Read).grant());
     stack
 }
 

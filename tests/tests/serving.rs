@@ -55,22 +55,12 @@ fn build_stack() -> SecureWebStack {
     // Half the subjects are doctors with a portion grant; the rest have no
     // authorization and receive empty views.
     for d in 0..SUBJECTS / 2 {
-        stack.policies.add(Authorization::grant(
-            0,
-            SubjectSpec::Identity(format!("subject-{d}")),
-            ObjectSpec::Portion {
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Identity(format!("subject-{d}"))).on(ObjectSpec::Portion {
                 document: "records.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).grant());
     }
-    stack.policies.add(Authorization::grant(
-        0,
-        SubjectSpec::Anyone,
-        ObjectSpec::Document("secret.xml".into()),
-        Privilege::Read,
-    ));
+    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("secret.xml".into())).privilege(Privilege::Read).grant());
     stack
 }
 
@@ -173,15 +163,10 @@ fn policy_mutation_invalidates_cached_views() {
 
     let epoch_before = server.snapshot().policies.epoch();
     server.update(|stack| {
-        stack.policies.add(Authorization::deny(
-            1,
-            SubjectSpec::Identity("subject-0".into()),
-            ObjectSpec::Portion {
+        stack.policies.add(Authorization::for_subject(SubjectSpec::Identity("subject-0".into())).on(ObjectSpec::Portion {
                 document: "records.xml".into(),
                 path: Path::parse("//patient").unwrap(),
-            },
-            Privilege::Read,
-        ));
+            }).privilege(Privilege::Read).id(1).deny());
     });
     assert!(server.snapshot().policies.epoch() > epoch_before);
     assert_eq!(

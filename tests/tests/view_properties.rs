@@ -53,9 +53,9 @@ fn build_store(rules: &[(bool, String, u8)]) -> PolicyStore {
             path: Path::parse(path).unwrap(),
         };
         let auth = if *grant {
-            Authorization::grant(0, subject, object, Privilege::Read)
+            Authorization::for_subject(subject).on(object).privilege(Privilege::Read).grant()
         } else {
-            Authorization::deny(0, subject, object, Privilege::Read)
+            Authorization::for_subject(subject).on(object).privilege(Privilege::Read).deny()
         };
         store.add(auth);
     }
@@ -137,12 +137,7 @@ fn monotonicity() {
 
         // Add a universal grant.
         let mut grown = build_store(&rules);
-        grown.add(Authorization::grant(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("d.xml".into()),
-            Privilege::Read,
-        ));
+        grown.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("d.xml".into())).privilege(Privilege::Read).grant());
         let more = engine
             .evaluate_document(&grown, &profile, "d.xml", &doc, Privilege::Read)
             .allowed_count();
@@ -150,12 +145,7 @@ fn monotonicity() {
 
         // Add a universal denial.
         let mut shrunk = build_store(&rules);
-        shrunk.add(Authorization::deny(
-            0,
-            SubjectSpec::Anyone,
-            ObjectSpec::Document("d.xml".into()),
-            Privilege::Read,
-        ));
+        shrunk.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("d.xml".into())).privilege(Privilege::Read).deny());
         let less = engine
             .evaluate_document(&shrunk, &profile, "d.xml", &doc, Privilege::Read)
             .allowed_count();
