@@ -27,7 +27,7 @@ echo "==> cargo test with WEBSEC_LOCKDEP=1 (CHAOS_SEEDS=${LOCKDEP_CHAOS_SEEDS})"
 WEBSEC_LOCKDEP=1 CHAOS_SEEDS="${LOCKDEP_CHAOS_SEEDS}" \
     cargo test -q --offline -p websec-integration-tests \
     --test chaos --test serving --test lockdep --test scheduler \
-    --test compiled_decisions
+    --test compiled_decisions --test scenarios
 
 echo "==> lock-order graph baseline (LOCKORDER.json)"
 cargo run --release --offline -p websec-examples --bin lockorder_dump LOCKORDER_run1.json
@@ -142,5 +142,18 @@ if awk "BEGIN {exit !($ld_ratio < 0.98)}"; then
     echo "check.sh: FAIL — detector-off overhead exceeds 2% (tracked-off ${ld_tracked} op/s < 0.98 x ${ld_untracked} op/s)" >&2
     exit 1
 fi
+
+# Scenario smoke suite: the declared workloads (baseline, no-dup, faulted,
+# revocation storm, adversarial replay/tamper, UDDI churn, mining) run
+# with their invariants checked and their history appended to
+# BENCH_scenarios.json. The fingerprint cache makes unchanged re-runs
+# free; --gate-trend fails a scenario whose headline q/s drops below
+# SCENARIO_TREND_FLOOR (default 0.5) times its history median — both the
+# cache and the trend gate bootstrap cleanly on a missing or short
+# history (first run: everything executes, trend passes). SCENARIO_FILTER
+# narrows the suite by name substring when iterating on one scenario.
+export SCENARIO_FILTER="${SCENARIO_FILTER:-}"
+echo "==> scenario smoke suite (BENCH_scenarios.json, SCENARIO_report.html)"
+cargo run --release --offline -p websec-scenarios -- --suite smoke --gate-trend
 
 echo "check.sh: all gates passed"

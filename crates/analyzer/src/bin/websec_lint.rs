@@ -210,6 +210,14 @@ const LOCK_ORDER_SPECS: &[LockOrderSpec] = &[
         path: "core/src/faults.rs",
         order: &["counters"],
     },
+    // The scenario harness's parallel batch verifier: one violation-
+    // collection mutex (`scenarios.violations`), never nested with any
+    // engine lock — declaring it here keeps the single-class rule
+    // enforced as the harness grows.
+    LockOrderSpec {
+        path: "scenarios/src/runner.rs",
+        order: &["shared"],
+    },
 ];
 
 /// The ordering spec that applies to `file`, if any.
@@ -245,10 +253,14 @@ const RAW_SYNC_CONSTRUCTORS: [&str; 7] = [
 ];
 
 /// True for files whose synchronization must go through the tracked
-/// wrappers (the serving engine and the fault injector).
+/// wrappers (the serving engine, the fault injector, and the scenario
+/// harness's own verifier state — harness bugs must be as visible to the
+/// `WEBSEC_LOCKDEP=1` detector as engine bugs).
 fn raw_sync_scope(file: &Path) -> bool {
     let path = file.to_string_lossy().replace('\\', "/");
-    path.contains("core/src/server/") || path.ends_with("core/src/faults.rs")
+    path.contains("core/src/server/")
+        || path.ends_with("core/src/faults.rs")
+        || path.contains("scenarios/src/")
 }
 
 /// Hot-path modules of the compiled decision path: consulted on every

@@ -264,6 +264,73 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The counter movement between an `earlier` snapshot of the same
+    /// server and this one: every monotonic counter (requests, cache
+    /// tallies, scheduler traffic, fault/shed/retry counts, per-layer and
+    /// latency time) is subtracted pairwise, so callers measuring one
+    /// batch no longer hand-subtract individual fields. Saturating — a
+    /// snapshot from a *different* server yields zeros, not wrap-around
+    /// garbage. Gauges that describe current state rather than
+    /// accumulation (`sessions_open`, `cached_views`, `per_shard`) keep
+    /// this snapshot's values.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut d = self.clone();
+        d.requests = self.requests.saturating_sub(earlier.requests);
+        d.allowed = self.allowed.saturating_sub(earlier.allowed);
+        d.denied = self.denied.saturating_sub(earlier.denied);
+        d.errors = self.errors.saturating_sub(earlier.errors);
+        d.enforced = self.enforced.saturating_sub(earlier.enforced);
+        d.admitted_unchecked = self.admitted_unchecked.saturating_sub(earlier.admitted_unchecked);
+        d.cache_hits = self.cache_hits.saturating_sub(earlier.cache_hits);
+        d.cache_misses = self.cache_misses.saturating_sub(earlier.cache_misses);
+        d.l1_hits = self.l1_hits.saturating_sub(earlier.l1_hits);
+        d.l2_hits = self.l2_hits.saturating_sub(earlier.l2_hits);
+        d.coalesced = self.coalesced.saturating_sub(earlier.coalesced);
+        d.steals = self.steals.saturating_sub(earlier.steals);
+        d.stolen_requests = self.stolen_requests.saturating_sub(earlier.stolen_requests);
+        d.injector_pops = self.injector_pops.saturating_sub(earlier.injector_pops);
+        d.worker_panics = self.worker_panics.saturating_sub(earlier.worker_panics);
+        d.deadline_exceeded = self.deadline_exceeded.saturating_sub(earlier.deadline_exceeded);
+        d.shed = self.shed.saturating_sub(earlier.shed);
+        d.retries = self.retries.saturating_sub(earlier.retries);
+        d.faults_injected = self.faults_injected.saturating_sub(earlier.faults_injected);
+        d.sessions_established =
+            self.sessions_established.saturating_sub(earlier.sessions_established);
+        d.session_reuses = self.session_reuses.saturating_sub(earlier.session_reuses);
+        d.session_lock_waits = self.session_lock_waits.saturating_sub(earlier.session_lock_waits);
+        d.cache_lock_waits = self.cache_lock_waits.saturating_sub(earlier.cache_lock_waits);
+        d.analysis_passes_run =
+            self.analysis_passes_run.saturating_sub(earlier.analysis_passes_run);
+        d.analysis_passes_reused =
+            self.analysis_passes_reused.saturating_sub(earlier.analysis_passes_reused);
+        d.analysis_errors = self.analysis_errors.saturating_sub(earlier.analysis_errors);
+        d.analysis_warnings = self.analysis_warnings.saturating_sub(earlier.analysis_warnings);
+        d.gate_denials = self.gate_denials.saturating_sub(earlier.gate_denials);
+        d.compiled_hits = self.compiled_hits.saturating_sub(earlier.compiled_hits);
+        d.compile_ns = self.compile_ns.saturating_sub(earlier.compile_ns);
+        d.snapshot_compiles = self.snapshot_compiles.saturating_sub(earlier.snapshot_compiles);
+        d.snapshot_compile_ns =
+            self.snapshot_compile_ns.saturating_sub(earlier.snapshot_compile_ns);
+        d.layer_totals = LayerTimings {
+            channel_ns: self.layer_totals.channel_ns.saturating_sub(earlier.layer_totals.channel_ns),
+            rdf_ns: self.layer_totals.rdf_ns.saturating_sub(earlier.layer_totals.rdf_ns),
+            xml_ns: self.layer_totals.xml_ns.saturating_sub(earlier.layer_totals.xml_ns),
+            gate_ns: self.layer_totals.gate_ns.saturating_sub(earlier.layer_totals.gate_ns),
+            compile_ns: self.layer_totals.compile_ns.saturating_sub(earlier.layer_totals.compile_ns),
+        };
+        let mut buckets = self.latency.buckets;
+        for (slot, prior) in buckets.iter_mut().zip(earlier.latency.buckets.iter()) {
+            *slot = slot.saturating_sub(*prior);
+        }
+        d.latency = LatencyHistogram {
+            buckets,
+            count: self.latency.count.saturating_sub(earlier.latency.count),
+            sum_ns: self.latency.sum_ns.saturating_sub(earlier.latency.sum_ns),
+        };
+        d
+    }
+
     /// Fraction of gated requests admitted without checking (mirrors
     /// [`websec_policy::FlexibleEnforcer::exposure`] but aggregated across
     /// the server's immutable snapshot).
@@ -712,5 +779,55 @@ mod tests {
         assert!(snap.latency.mean_ns() > 0.0);
         assert!(snap.latency.quantile_upper_ns(0.5) >= 128);
         assert_eq!(snap.latency.quantile_upper_ns(0.99), 128);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let inner = MetricsInner::default();
+        let mut warm = LocalMetrics::default();
+        warm.record_outcome(&ok_response(CacheStatus::Hit));
+        warm.record_outcome(&ok_response(CacheStatus::Coalesced));
+        warm.steals = 3;
+        inner.absorb(&warm);
+        let earlier = inner.snapshot(vec![ShardStats {
+            shard: 0,
+            sessions_open: 1,
+            session_lock_waits: 0,
+            cache_lock_waits: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            cached_views: 2,
+        }]);
+
+        let mut batch = LocalMetrics::default();
+        batch.record_outcome(&ok_response(CacheStatus::Miss));
+        batch.record_outcome(&ok_response(CacheStatus::Coalesced));
+        batch.record_outcome(&Err(Error::ClearanceViolation));
+        batch.steals = 2;
+        inner.absorb(&batch);
+        let later = inner.snapshot(vec![ShardStats {
+            shard: 0,
+            sessions_open: 4,
+            session_lock_waits: 0,
+            cache_lock_waits: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            cached_views: 5,
+        }]);
+
+        let d = later.delta(&earlier);
+        assert_eq!(d.requests, 3);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.cache_misses, 1);
+        assert_eq!(d.coalesced, 1);
+        assert_eq!(d.denied, 1);
+        assert_eq!(d.steals, 2);
+        assert_eq!(d.latency.count, 2, "errors don't reach the histogram");
+        assert_eq!(d.layer_totals.total_ns(), 200);
+        // Gauges reflect the later snapshot, not a nonsensical difference.
+        assert_eq!(d.sessions_open, 4);
+        assert_eq!(d.cached_views, 5);
+        // Different-server misuse saturates to zero instead of wrapping.
+        assert_eq!(earlier.delta(&later).requests, 0);
     }
 }

@@ -1,0 +1,143 @@
+//! `websec-scenarios` — the declarative scenario orchestrator CLI.
+//!
+//! ```text
+//! cargo run --release -p websec-scenarios -- --suite smoke --gate-trend
+//! ```
+//!
+//! Flags:
+//!
+//! * `--suite NAME`    suite to run (`smoke`, default)
+//! * `--history PATH`  history file (default `BENCH_scenarios.json`)
+//! * `--report PATH`   render the HTML report here (default
+//!   `SCENARIO_report.html`; `--report none` to skip)
+//! * `--filter SUB`    run only scenarios whose name contains `SUB`
+//!   (also honored from the `SCENARIO_FILTER` env var)
+//! * `--gate-trend`    fail when a run regresses past the floor times
+//!   the history median (`SCENARIO_TREND_FLOOR`, default `0.5`)
+//! * `--force`         ignore the fingerprint cache and re-run everything
+//! * `--list`          print the declared scenarios and exit
+//!
+//! Exit code is non-zero when any scenario reports violations or (with
+//! `--gate-trend`) regresses.
+
+use std::path::PathBuf;
+use websec_scenarios::prelude::*;
+
+fn main() {
+    let mut suite_name = "smoke".to_string();
+    let mut opts = SuiteOptions {
+        report_path: Some(PathBuf::from("SCENARIO_report.html")),
+        ..SuiteOptions::default()
+    };
+    let mut list = false;
+
+    if let Ok(filter) = std::env::var("SCENARIO_FILTER") {
+        if !filter.is_empty() {
+            opts.filter = Some(filter);
+        }
+    }
+    if let Ok(floor) = std::env::var("SCENARIO_TREND_FLOOR") {
+        if let Ok(floor) = floor.parse::<f64>() {
+            opts.trend_floor = floor;
+        }
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => suite_name = args.next().unwrap_or_else(|| usage("--suite needs a name")),
+            "--history" => {
+                opts.history_path =
+                    PathBuf::from(args.next().unwrap_or_else(|| usage("--history needs a path")));
+            }
+            "--report" => {
+                let path = args.next().unwrap_or_else(|| usage("--report needs a path"));
+                opts.report_path = if path == "none" { None } else { Some(PathBuf::from(path)) };
+            }
+            "--filter" => {
+                opts.filter =
+                    Some(args.next().unwrap_or_else(|| usage("--filter needs a substring")));
+            }
+            "--gate-trend" => opts.gate_trend = true,
+            "--force" => opts.force = true,
+            "--list" => list = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let scenarios = suite::by_name(&suite_name)
+        .unwrap_or_else(|| usage(&format!("unknown suite '{suite_name}'")));
+
+    if list {
+        println!("suite '{suite_name}' ({} scenario(s)):", scenarios.len());
+        for scenario in &scenarios {
+            println!(
+                "  {:<28} seed {:#x}  {} request(s), workers {:?}, {} invariant(s)",
+                scenario.name,
+                scenario.seed,
+                scenario.requests,
+                scenario.workers,
+                scenario.invariants.len()
+            );
+        }
+        return;
+    }
+
+    let summary = run_suite(&scenarios, &opts);
+    println!(
+        "== scenario suite '{suite_name}' @ {} ==",
+        workspace_rev()
+    );
+    for entry in &summary.entries {
+        let cache = match entry.cache {
+            CacheState::Hit => "cached",
+            CacheState::Miss => "ran   ",
+        };
+        let trend = match &entry.trend {
+            TrendVerdict::Pass { current, median } => {
+                format!("trend ok ({current:.0} vs median {median:.0})")
+            }
+            TrendVerdict::Bootstrap => "trend bootstrap".to_string(),
+            TrendVerdict::Regressed {
+                current,
+                median,
+                floor,
+            } => format!("TREND REGRESSED ({current:.0} < {floor} x median {median:.0})"),
+        };
+        let status = if entry.violations.is_empty() {
+            "pass".to_string()
+        } else {
+            format!("{} VIOLATION(S)", entry.violations.len())
+        };
+        println!(
+            "  {:<28} {cache}  {:>9.0} q/s  {status}  {trend}",
+            entry.name, entry.headline_qps
+        );
+        for violation in &entry.violations {
+            println!("      ! {violation}");
+        }
+    }
+    println!(
+        "  cache: {} hit(s), {} miss(es); history {}",
+        summary.cache_hits,
+        summary.cache_misses,
+        opts.history_path.display()
+    );
+    if let Some(report) = &opts.report_path {
+        println!("  report: {}", report.display());
+    }
+
+    if summary.failed {
+        eprintln!("scenario suite FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("websec-scenarios: {message}");
+    eprintln!(
+        "usage: websec-scenarios [--suite NAME] [--history PATH] [--report PATH|none] \
+         [--filter SUB] [--gate-trend] [--force] [--list]"
+    );
+    std::process::exit(2);
+}

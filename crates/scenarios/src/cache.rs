@@ -1,0 +1,244 @@
+//! The `BENCH_scenarios.json` history: fingerprint cache + trend gate.
+//!
+//! The history file is an append-only log of per-scenario rows:
+//!
+//! ```json
+//! { "bench": "scenarios", "rows": [ { "name": "...", "fingerprint": "...",
+//!   "headline_qps": 123.4, ... } ] }
+//! ```
+//!
+//! Two queries are answered from it:
+//!
+//! * **Cache** — the latest row for a scenario name carries the
+//!   fingerprint of the run that produced it; if an incoming scenario's
+//!   fingerprint matches, its declared data *and* the workspace revision
+//!   are unchanged, so the run is skipped ([`History::cached`]).
+//! * **Trend** — instead of gating on a single prior run (noisy), the
+//!   gate compares the current headline throughput against the **median**
+//!   of the prior rows for that scenario ([`History::trend`]); fewer than
+//!   [`History::MIN_TREND_ROWS`] priors is a bootstrap pass, so a
+//!   missing or first-run history never fails CI.
+
+use crate::json::Json;
+
+/// Trend-gate verdict for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrendVerdict {
+    /// Enough history existed and the current run clears the floor.
+    Pass {
+        /// Current headline queries/sec.
+        current: f64,
+        /// Median headline queries/sec of the prior rows.
+        median: f64,
+    },
+    /// Not enough prior rows to form a trend — passes by construction.
+    Bootstrap,
+    /// The current run fell below `floor × median` of the history.
+    Regressed {
+        /// Current headline queries/sec.
+        current: f64,
+        /// Median headline queries/sec of the prior rows.
+        median: f64,
+        /// The fraction of the median the current run had to clear.
+        floor: f64,
+    },
+}
+
+impl TrendVerdict {
+    /// Whether this verdict fails the gate.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        matches!(self, TrendVerdict::Regressed { .. })
+    }
+}
+
+/// The parsed scenario history.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All rows, oldest first.
+    pub rows: Vec<Json>,
+}
+
+impl History {
+    /// Prior rows needed before the trend gate arms itself.
+    pub const MIN_TREND_ROWS: usize = 3;
+
+    /// Parses a history document; an empty or `null` input yields an
+    /// empty history (the bootstrap case).
+    pub fn parse(text: &str) -> Result<History, String> {
+        if text.trim().is_empty() {
+            return Ok(History::default());
+        }
+        let value = Json::parse(text)?;
+        let rows = value
+            .get("rows")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        Ok(History { rows })
+    }
+
+    /// Loads a history file; a missing or unreadable file yields an empty
+    /// history rather than an error (first-run bootstrap).
+    #[must_use]
+    pub fn load(path: &std::path::Path) -> History {
+        match std::fs::read_to_string(path) {
+            Ok(text) => History::parse(&text).unwrap_or_default(),
+            Err(_) => History::default(),
+        }
+    }
+
+    /// All rows for a scenario name, oldest first.
+    #[must_use]
+    pub fn rows_for(&self, name: &str) -> Vec<&Json> {
+        self.rows
+            .iter()
+            .filter(|row| row.get("name").and_then(Json::as_str) == Some(name))
+            .collect()
+    }
+
+    /// The fingerprint recorded by the latest row for a scenario name.
+    #[must_use]
+    pub fn latest_fingerprint(&self, name: &str) -> Option<&str> {
+        self.rows_for(name)
+            .last()
+            .and_then(|row| row.get("fingerprint"))
+            .and_then(Json::as_str)
+    }
+
+    /// Whether a scenario with this fingerprint is already answered by
+    /// the latest history row (the cache-hit condition).
+    #[must_use]
+    pub fn cached(&self, name: &str, fingerprint: &str) -> bool {
+        self.latest_fingerprint(name) == Some(fingerprint)
+    }
+
+    /// Appends a result row.
+    pub fn append_row(&mut self, row: Json) {
+        self.rows.push(row);
+    }
+
+    /// Gates `current_qps` against the median headline throughput of the
+    /// **prior** rows for `name` (the latest row is excluded when
+    /// `exclude_latest` — pass `true` when the current run has already
+    /// been appended). `floor` is the fraction of the median the current
+    /// run must clear (e.g. `0.5`).
+    #[must_use]
+    pub fn trend(
+        &self,
+        name: &str,
+        current_qps: f64,
+        floor: f64,
+        exclude_latest: bool,
+    ) -> TrendVerdict {
+        let rows = self.rows_for(name);
+        let prior = if exclude_latest && !rows.is_empty() {
+            &rows[..rows.len() - 1]
+        } else {
+            &rows[..]
+        };
+        let mut samples: Vec<f64> = prior
+            .iter()
+            .filter_map(|row| row.get("headline_qps").and_then(Json::as_f64))
+            .filter(|qps| *qps > 0.0)
+            .collect();
+        if samples.len() < Self::MIN_TREND_ROWS {
+            return TrendVerdict::Bootstrap;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = samples.len() / 2;
+        let median = if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        };
+        if current_qps >= median * floor {
+            TrendVerdict::Pass {
+                current: current_qps,
+                median,
+            }
+        } else {
+            TrendVerdict::Regressed {
+                current: current_qps,
+                median,
+                floor,
+            }
+        }
+    }
+
+    /// Renders the history document (pretty, deterministic).
+    #[must_use]
+    pub fn render(&self) -> String {
+        Json::obj(vec![
+            ("bench", Json::str("scenarios")),
+            ("rows", Json::Arr(self.rows.clone())),
+        ])
+        .render_pretty()
+    }
+
+    /// Writes the history document to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, fingerprint: &str, qps: f64) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(name)),
+            ("fingerprint", Json::str(fingerprint)),
+            ("headline_qps", Json::Num(qps)),
+        ])
+    }
+
+    #[test]
+    fn cache_hits_on_latest_fingerprint_only() {
+        let mut history = History::default();
+        history.append_row(row("a", "f1", 100.0));
+        history.append_row(row("a", "f2", 110.0));
+        assert!(history.cached("a", "f2"));
+        assert!(!history.cached("a", "f1"), "stale fingerprints do not hit");
+        assert!(!history.cached("b", "f2"), "other scenarios do not hit");
+    }
+
+    #[test]
+    fn trend_bootstraps_below_three_rows() {
+        let mut history = History::default();
+        assert_eq!(history.trend("a", 1.0, 0.5, false), TrendVerdict::Bootstrap);
+        history.append_row(row("a", "f", 100.0));
+        history.append_row(row("a", "f", 100.0));
+        assert_eq!(history.trend("a", 1.0, 0.5, false), TrendVerdict::Bootstrap);
+    }
+
+    #[test]
+    fn trend_gates_on_the_median() {
+        let mut history = History::default();
+        for qps in [90.0, 100.0, 110.0] {
+            history.append_row(row("a", "f", qps));
+        }
+        assert!(matches!(
+            history.trend("a", 60.0, 0.5, false),
+            TrendVerdict::Pass { median, .. } if (median - 100.0).abs() < 1e-9
+        ));
+        assert!(history.trend("a", 10.0, 0.5, false).regressed());
+        // A huge outlier barely moves the median.
+        history.append_row(row("a", "f", 100_000.0));
+        assert!(matches!(
+            history.trend("a", 60.0, 0.5, false),
+            TrendVerdict::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let mut history = History::default();
+        history.append_row(row("a", "f1", 100.0));
+        let text = history.render();
+        let back = History::parse(&text).expect("parses");
+        assert_eq!(back.rows, history.rows);
+        assert_eq!(History::parse("").expect("empty is empty").rows.len(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Shared store/stack generators.
+//!
+//! Before this crate existed, the "hospital" serving stack was built by
+//! near-identical private `build_stack()` functions in `serving_bench` and
+//! `tests/tests/compiled_decisions.rs`, and the 100k-document large store
+//! lived only in the bench — this module is the single home for both, so
+//! scenarios, benches, and integration tests declare a [`HospitalSpec`] /
+//! [`LargeStoreSpec`] instead of re-rolling the generator.
+
+use websec_core::policy::mls::ContextLabel;
+use websec_core::prelude::*;
+
+/// Shape of the generated hospital serving stack: `patients` records in
+/// `records.xml` (Unclassified), one Secret `secret.xml`, per-identity
+/// `//patient` read grants for `granted` subjects named
+/// `{subject_prefix}{i}`, and an Anyone grant on the secret document
+/// (denied at the RDF label layer instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HospitalSpec {
+    /// Number of `<patient>` records generated into `records.xml`.
+    pub patients: usize,
+    /// Number of subjects granted `//patient` read access.
+    pub granted: usize,
+    /// Ungranted subjects used by clerk-style traffic (empty views).
+    pub clerks: usize,
+    /// Identity prefix of the granted subjects (`doctor-`, `subject-`, …).
+    pub subject_prefix: String,
+    /// Byte replicated into the deployment master key.
+    pub master_seed: u8,
+}
+
+impl HospitalSpec {
+    /// The integration-test corpus: 40 patients, 8 `subject-` grants,
+    /// master key `[5u8; 32]` — the shape
+    /// `tests/tests/compiled_decisions.rs` always used.
+    #[must_use]
+    pub fn small() -> Self {
+        HospitalSpec {
+            patients: 40,
+            granted: 8,
+            clerks: 4,
+            subject_prefix: "subject-".to_string(),
+            master_seed: 5,
+        }
+    }
+
+    /// The bench corpus: 160 patients, 16 `doctor-` grants, 8 clerks,
+    /// master key `[7u8; 32]` — the shape `serving_bench` always used.
+    #[must_use]
+    pub fn bench() -> Self {
+        HospitalSpec {
+            patients: 160,
+            granted: 16,
+            clerks: 8,
+            subject_prefix: "doctor-".to_string(),
+            master_seed: 7,
+        }
+    }
+
+    /// The identity of granted subject `i` (modulo the granted count).
+    #[must_use]
+    pub fn granted_subject(&self, i: usize) -> String {
+        format!("{}{}", self.subject_prefix, i % self.granted.max(1))
+    }
+
+    /// The identity of ungranted clerk `i` (modulo the clerk count).
+    #[must_use]
+    pub fn clerk_subject(&self, i: usize) -> String {
+        format!("clerk-{}", i % self.clerks.max(1))
+    }
+}
+
+/// Builds the hospital serving stack a [`HospitalSpec`] describes.
+#[must_use]
+pub fn hospital_stack(spec: &HospitalSpec) -> SecureWebStack {
+    let mut stack = SecureWebStack::new([spec.master_seed; 32]);
+    let mut xml = String::from("<hospital>");
+    for i in 0..spec.patients {
+        xml.push_str(&format!(
+            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
+        ));
+    }
+    xml.push_str("</hospital>");
+    stack.add_document(
+        "records.xml",
+        Document::parse(&xml).expect("well-formed"),
+        ContextLabel::fixed(Level::Unclassified),
+    );
+    stack.add_document(
+        "secret.xml",
+        Document::parse("<ops><plan>atlantis</plan></ops>").expect("well-formed"),
+        ContextLabel::fixed(Level::Secret),
+    );
+    for d in 0..spec.granted {
+        stack.policies.add(
+            Authorization::for_subject(SubjectSpec::Identity(format!(
+                "{}{d}",
+                spec.subject_prefix
+            )))
+            .on(ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").expect("valid path"),
+            })
+            .privilege(Privilege::Read)
+            .grant(),
+        );
+    }
+    stack.policies.add(
+        Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Document("secret.xml".into()))
+            .privilege(Privilege::Read)
+            .grant(),
+    );
+    stack
+}
+
+/// Shape of the generated large store the compiled decision path is
+/// benchmarked against: `docs` small records in four structural variants,
+/// a four-level role hierarchy, 16 global portion rules, and
+/// `specific_auths` subject-specific per-document grants spread over
+/// `subjects` identities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LargeStoreSpec {
+    /// Number of generated documents (`r{i}.xml`).
+    pub docs: usize,
+    /// Number of distinct subject identities (`subject-{i}`).
+    pub subjects: usize,
+    /// Subject-specific per-document portion grants in the policy base.
+    pub specific_auths: usize,
+}
+
+impl LargeStoreSpec {
+    /// The ISSUE 8 acceptance shape `serving_bench` gates on: 100k
+    /// documents, 10k subjects, 8k specific grants.
+    #[must_use]
+    pub fn bench() -> Self {
+        LargeStoreSpec {
+            docs: 100_000,
+            subjects: 10_000,
+            specific_auths: 8_000,
+        }
+    }
+}
+
+/// Builds the large store: documents, policy base, and the ordered
+/// document-name list traffic strides over.
+///
+/// The policy base mixes the shapes whose per-request cost (path
+/// evaluation, role-dominance walks, credential matching) snapshot
+/// compilation hoists out of the hot path: `PortionAll` rules over every
+/// document, a `chief > attending > resident > staff` hierarchy, physician
+/// credential grants, and `specific_auths` strided per-document grants.
+#[must_use]
+pub fn large_store(spec: &LargeStoreSpec) -> (PolicyStore, DocumentStore, Vec<String>) {
+    let mut docs = DocumentStore::new();
+    let mut names = Vec::with_capacity(spec.docs);
+    for i in 0..spec.docs {
+        let v = i % 4;
+        let xml = format!(
+            "<rec><meta><id>d{i}</id><ts>t{v}</ts></meta><body><entry>e0</entry>\
+             <entry>e1</entry><v{v}>x</v{v}></body><audit><sig>s</sig></audit></rec>"
+        );
+        let name = format!("r{i}.xml");
+        docs.insert(&name, Document::parse(&xml).expect("well-formed"));
+        names.push(name);
+    }
+
+    let mut store = PolicyStore::new();
+    store.hierarchy.add_seniority(Role::new("chief"), Role::new("attending"));
+    store.hierarchy.add_seniority(Role::new("attending"), Role::new("resident"));
+    store.hierarchy.add_seniority(Role::new("resident"), Role::new("staff"));
+
+    let portion_grant = |path: &str, subject: SubjectSpec| {
+        Authorization::for_subject(subject)
+            .on(ObjectSpec::PortionAll(Path::parse(path).expect("valid path")))
+            .privilege(Privilege::Read)
+            .propagation(Propagation::Cascade)
+            .grant()
+    };
+    let portion_deny = |path: &str, subject: SubjectSpec| {
+        Authorization::for_subject(subject)
+            .on(ObjectSpec::PortionAll(Path::parse(path).expect("valid path")))
+            .privilege(Privilege::Read)
+            .propagation(Propagation::Cascade)
+            .deny()
+    };
+    let staff = || SubjectSpec::InRole(Role::new("staff"));
+    let resident = || SubjectSpec::InRole(Role::new("resident"));
+    let attending = || SubjectSpec::InRole(Role::new("attending"));
+    let physician = || SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into()));
+    store.add(portion_grant("//entry", staff()));
+    store.add(portion_grant("//meta", resident()));
+    store.add(portion_grant("//body", attending()));
+    store.add(portion_grant("/rec/body", physician()));
+    store.add(portion_grant("//ts", SubjectSpec::Anyone));
+    store.add(portion_grant("//id", resident()));
+    store.add(portion_grant("/rec/meta", attending()));
+    store.add(portion_grant("//v0", staff()));
+    store.add(portion_grant("//v1", resident()));
+    store.add(portion_grant("//v2", attending()));
+    store.add(portion_grant("//v3", physician()));
+    store.add(portion_grant("//audit", SubjectSpec::InRole(Role::new("chief"))));
+    store.add(portion_deny("//sig", staff()));
+    store.add(portion_deny("/rec/audit/sig", resident()));
+    store.add(portion_deny("//audit", physician()));
+    store.add(
+        Authorization::for_subject(SubjectSpec::InRole(Role::new("chief")))
+            .on(ObjectSpec::AllDocuments)
+            .privilege(Privilege::Read)
+            .grant(),
+    );
+    // The per-document population: individual subjects granted a portion of
+    // one specific record each (strided so they spread over the store).
+    for k in 0..spec.specific_auths {
+        let subject = format!("subject-{}", (k * 3) % spec.subjects.max(1));
+        let doc = format!("r{}.xml", (k * 53) % spec.docs.max(1));
+        let path = if k % 2 == 0 { "//entry" } else { "//meta" };
+        store.add(
+            Authorization::for_subject(SubjectSpec::Identity(subject))
+                .on(ObjectSpec::Portion {
+                    document: doc,
+                    path: Path::parse(path).expect("valid path"),
+                })
+                .privilege(Privilege::Read)
+                .propagation(Propagation::Cascade)
+                .grant(),
+        );
+    }
+    (store, docs, names)
+}
+
+/// One unique subject per request: identity `subject-{i}`, a role from the
+/// hierarchy, and a physician credential for every third subject.
+#[must_use]
+pub fn large_store_profiles(spec: &LargeStoreSpec) -> Vec<SubjectProfile> {
+    let roles = ["staff", "resident", "attending", "chief"];
+    (0..spec.subjects)
+        .map(|i| {
+            let id = format!("subject-{i}");
+            let mut profile = SubjectProfile::new(&id).with_role(Role::new(roles[i % roles.len()]));
+            if i % 3 == 0 {
+                profile = profile.with_credential(Credential::new("physician", &id));
+            }
+            profile
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_stack_serves_the_expected_shapes() {
+        let spec = HospitalSpec::small();
+        let server = StackServer::new(hospital_stack(&spec));
+        let granted = QueryRequest::for_doc("records.xml")
+            .path(Path::parse("//patient[@id='p1']").expect("valid path"))
+            .subject(&SubjectProfile::new(&spec.granted_subject(1)))
+            .clearance(Clearance(Level::Unclassified));
+        let ok = server.serve(&granted).expect("granted subject");
+        assert!(ok.xml.contains("N1"));
+
+        let probe = QueryRequest::for_doc("secret.xml")
+            .path(Path::parse("//plan").expect("valid path"))
+            .subject(&SubjectProfile::new(&spec.granted_subject(0)))
+            .clearance(Clearance(Level::Unclassified));
+        let err = server.serve(&probe).expect_err("clearance violation");
+        assert_eq!(err.code(), "WS102");
+    }
+
+    #[test]
+    fn large_store_compiles_and_agrees_on_a_sample() {
+        let spec = LargeStoreSpec {
+            docs: 64,
+            subjects: 32,
+            specific_auths: 16,
+        };
+        let (store, docs, names) = large_store(&spec);
+        assert_eq!(names.len(), spec.docs);
+        let profiles = large_store_profiles(&spec);
+        assert_eq!(profiles.len(), spec.subjects);
+        let strategy = ConflictStrategy::default();
+        let compiled = PolicySnapshot::new(&store, strategy, &docs).compile();
+        let engine = PolicyEngine::new(strategy);
+        for (i, profile) in profiles.iter().enumerate().step_by(5) {
+            let name = &names[(i * 7) % names.len()];
+            let doc = docs.get(name).expect("generated document");
+            let slow = engine.compute_view(&store, profile, name, doc);
+            let fast = compiled.compute_view(profile, name, doc).expect("compiled doc");
+            assert_eq!(slow.to_xml_string(), fast.to_xml_string(), "subject {i}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Composable traffic recipes.
+//!
+//! A [`Recipe`] is a small enumo-style expression describing *how requests
+//! are made*, not a concrete request list: leaves are request shapes
+//! (authorized patient reads, empty-view clerk queries, clearance-denied
+//! probes, unknown-document errors), combinators weight ([`Recipe::Mix`])
+//! or interleave ([`Recipe::Cycle`]) them, and [`Recipe::generate`]
+//! lowers the expression to a `Vec<QueryRequest>` by drawing every choice
+//! from one seeded `SecureRng` stream — so a `(recipe, seed)` pair is a
+//! bit-reproducible workload.
+
+use crate::corpus::HospitalSpec;
+use websec_core::prelude::*;
+
+/// How a per-request parameter (subject index, patient index) is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pick {
+    /// Always the same index.
+    Fixed(usize),
+    /// The request index modulo the population size (round-robin).
+    Modulo,
+    /// Drawn uniformly from the seeded rng stream.
+    Uniform,
+    /// A fresh identity per request (`solo-{i}`): the no-duplicate worst
+    /// case — nothing coalesces, no cache level answers twice. For
+    /// non-identity parameters this falls back to [`Pick::Modulo`].
+    Unique,
+}
+
+impl Pick {
+    fn index(self, i: usize, population: usize, rng: &mut SecureRng) -> usize {
+        let population = population.max(1);
+        match self {
+            Pick::Fixed(k) => k % population,
+            Pick::Modulo | Pick::Unique => i % population,
+            Pick::Uniform => rng.gen_range(population as u64) as usize,
+        }
+    }
+}
+
+/// A declarative traffic generator over a [`HospitalSpec`] corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recipe {
+    /// An authorized `//patient[@id='p{k}']` read by a granted subject
+    /// (or a unique `solo-{i}` subject when `subject` is [`Pick::Unique`]).
+    PatientRead {
+        /// How the subject identity is chosen.
+        subject: Pick,
+        /// How the patient record is chosen.
+        patient: Pick,
+    },
+    /// An ungranted clerk's `//patient` query: allowed through with an
+    /// empty view (no grant matches).
+    ClerkView {
+        /// How the clerk identity is chosen.
+        subject: Pick,
+    },
+    /// A clearance-denied probe of the Secret document (`WS102`).
+    SecretProbe {
+        /// How the probing subject is chosen.
+        subject: Pick,
+    },
+    /// A request for a document the stack does not hold (`WS101`).
+    MissingDoc {
+        /// How the requesting subject is chosen.
+        subject: Pick,
+    },
+    /// The historical `serving_bench` mixed workload, exactly: request `i`
+    /// is a secret probe when `i % 7 == 3`, a clerk view when `i % 5 == 1`,
+    /// and an authorized patient read otherwise (heavy-tailed repeats —
+    /// the distribution coalescing exploits).
+    HospitalMix,
+    /// Weighted choice between sub-recipes: each request draws one branch
+    /// from the seeded rng with probability proportional to its weight.
+    Mix(Vec<(u32, Recipe)>),
+    /// Deterministic interleave: request `i` uses sub-recipe `i % len`.
+    Cycle(Vec<Recipe>),
+}
+
+impl Recipe {
+    /// The `serving_bench` mixed workload as a recipe value.
+    #[must_use]
+    pub fn mixed_hospital() -> Recipe {
+        Recipe::HospitalMix
+    }
+
+    /// The no-duplicate worst case: every request a unique subject, so no
+    /// two requests share an evaluation, a session, or a cache entry.
+    #[must_use]
+    pub fn nodup_worstcase() -> Recipe {
+        Recipe::PatientRead {
+            subject: Pick::Unique,
+            patient: Pick::Modulo,
+        }
+    }
+
+    /// Lowers the recipe to `n` concrete requests, drawing every choice
+    /// from `rng` (one stream for the whole batch — bit-reproducible for
+    /// a fixed seed).
+    #[must_use]
+    pub fn generate(&self, spec: &HospitalSpec, n: usize, rng: &mut SecureRng) -> Vec<QueryRequest> {
+        (0..n).map(|i| self.request_at(i, spec, rng)).collect()
+    }
+
+    fn subject_for(pick: Pick, i: usize, spec: &HospitalSpec, rng: &mut SecureRng) -> SubjectProfile {
+        match pick {
+            Pick::Unique => SubjectProfile::new(&format!("solo-{i}")),
+            other => {
+                let k = other.index(i, spec.granted, rng);
+                SubjectProfile::new(&spec.granted_subject(k))
+            }
+        }
+    }
+
+    fn request_at(&self, i: usize, spec: &HospitalSpec, rng: &mut SecureRng) -> QueryRequest {
+        match self {
+            Recipe::PatientRead { subject, patient } => {
+                let p = patient.index(i, spec.patients, rng);
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse(&format!("//patient[@id='p{p}']")).expect("valid path"))
+                    .subject(&Self::subject_for(*subject, i, spec, rng))
+                    .clearance(Clearance(Level::Unclassified))
+            }
+            Recipe::ClerkView { subject } => {
+                let k = subject.index(i, spec.clerks, rng);
+                QueryRequest::for_doc("records.xml")
+                    .path(Path::parse("//patient").expect("valid path"))
+                    .subject(&SubjectProfile::new(&spec.clerk_subject(k)))
+                    .clearance(Clearance(Level::Unclassified))
+            }
+            Recipe::SecretProbe { subject } => QueryRequest::for_doc("secret.xml")
+                .path(Path::parse("//plan").expect("valid path"))
+                .subject(&Self::subject_for(*subject, i, spec, rng))
+                .clearance(Clearance(Level::Unclassified)),
+            Recipe::MissingDoc { subject } => QueryRequest::for_doc("missing.xml")
+                .path(Path::parse("//x").expect("valid path"))
+                .subject(&Self::subject_for(*subject, i, spec, rng))
+                .clearance(Clearance(Level::Unclassified)),
+            Recipe::HospitalMix => {
+                if i % 7 == 3 {
+                    Recipe::SecretProbe { subject: Pick::Modulo }.request_at(i, spec, rng)
+                } else if i % 5 == 1 {
+                    Recipe::ClerkView { subject: Pick::Modulo }.request_at(i, spec, rng)
+                } else {
+                    Recipe::PatientRead {
+                        subject: Pick::Modulo,
+                        patient: Pick::Modulo,
+                    }
+                    .request_at(i, spec, rng)
+                }
+            }
+            Recipe::Mix(branches) => {
+                let total: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+                let mut draw = rng.gen_range(total.max(1));
+                for (w, recipe) in branches {
+                    if draw < u64::from(*w) {
+                        return recipe.request_at(i, spec, rng);
+                    }
+                    draw -= u64::from(*w);
+                }
+                // Unreachable for non-empty branches; an empty Mix degrades
+                // to the baseline read rather than panicking in a bench.
+                Recipe::PatientRead {
+                    subject: Pick::Modulo,
+                    patient: Pick::Modulo,
+                }
+                .request_at(i, spec, rng)
+            }
+            Recipe::Cycle(parts) => {
+                if parts.is_empty() {
+                    return Recipe::PatientRead {
+                        subject: Pick::Modulo,
+                        patient: Pick::Modulo,
+                    }
+                    .request_at(i, spec, rng);
+                }
+                parts[i % parts.len()].request_at(i, spec, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> HospitalSpec {
+        HospitalSpec::bench()
+    }
+
+    #[test]
+    fn generation_is_bit_reproducible() {
+        let recipe = Recipe::Mix(vec![
+            (3, Recipe::mixed_hospital()),
+            (1, Recipe::MissingDoc { subject: Pick::Uniform }),
+        ]);
+        let a = recipe.generate(&spec(), 64, &mut SecureRng::seeded(9));
+        let b = recipe.generate(&spec(), 64, &mut SecureRng::seeded(9));
+        let dump = |r: &[QueryRequest]| format!("{r:?}");
+        assert_eq!(dump(&a), dump(&b));
+    }
+
+    #[test]
+    fn hospital_mix_matches_the_bench_pattern() {
+        let requests = Recipe::mixed_hospital().generate(&spec(), 35, &mut SecureRng::seeded(1));
+        assert_eq!(requests[3].doc_name(), "secret.xml");
+        assert_eq!(requests[6].doc_name(), "records.xml");
+        // i == 21 hits i % 5 == 1 (clerk) since 21 % 7 != 3.
+        assert!(requests[21].subject_profile().identity.contains("clerk-"));
+    }
+
+    #[test]
+    fn nodup_subjects_are_unique() {
+        let requests = Recipe::nodup_worstcase().generate(&spec(), 128, &mut SecureRng::seeded(2));
+        let mut subjects: Vec<String> = requests
+            .iter()
+            .map(|r| r.subject_profile().identity.clone())
+            .collect();
+        subjects.sort();
+        subjects.dedup();
+        assert_eq!(subjects.len(), 128, "every request must carry a fresh subject");
+    }
+}

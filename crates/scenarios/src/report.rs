@@ -1,0 +1,210 @@
+//! Static HTML rendering of the scenario history.
+//!
+//! One self-contained page (inline CSS, no scripts, no external assets)
+//! summarizing every scenario in the history: the latest run's counters,
+//! digests, and violations, plus a throughput-trend table whose bars are
+//! plain styled `div`s. The output is a pure function of the history
+//! rows — no timestamps, no environment reads — so a fixed history
+//! renders byte-identically forever (the golden-file test depends on
+//! this).
+
+use crate::cache::History;
+use crate::json::Json;
+use std::fmt::Write as _;
+
+const STYLE: &str = "\
+body{font-family:-apple-system,'Segoe UI',Roboto,sans-serif;margin:2rem auto;\
+max-width:60rem;color:#1b1f24;background:#fff}\
+h1{border-bottom:2px solid #d0d7de;padding-bottom:.4rem}\
+h2{margin-top:2rem}\
+table{border-collapse:collapse;width:100%;margin:.6rem 0}\
+th,td{border:1px solid #d0d7de;padding:.3rem .6rem;text-align:left;\
+font-size:.92rem}\
+th{background:#f6f8fa}\
+.bar{background:#2da44e;height:.8rem;display:inline-block;\
+vertical-align:middle}\
+.ok{color:#1a7f37}.bad{color:#cf222e;font-weight:600}\
+.digest{font-family:ui-monospace,monospace;font-size:.85rem}\
+.meta{color:#57606a;font-size:.9rem}";
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(row: &Json, key: &str) -> f64 {
+    row.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn text<'a>(row: &'a Json, key: &str) -> &'a str {
+    row.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+/// Renders the history into a complete HTML document.
+#[must_use]
+pub fn render_report(history: &History) -> String {
+    let mut names: Vec<&str> = Vec::new();
+    for row in &history.rows {
+        if let Some(name) = row.get("name").and_then(Json::as_str) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<title>websec scenario report</title>\n<style>");
+    out.push_str(STYLE);
+    out.push_str("</style>\n</head>\n<body>\n<h1>Scenario report</h1>\n");
+    let _ = writeln!(
+        out,
+        "<p class=\"meta\">{} scenario(s), {} recorded run(s). Generated from \
+         <code>BENCH_scenarios.json</code>; every number below is a recorded row, \
+         not a live measurement.</p>",
+        names.len(),
+        history.rows.len()
+    );
+
+    for name in names {
+        let rows = history.rows_for(name);
+        let latest = match rows.last() {
+            Some(row) => *row,
+            None => continue,
+        };
+        let violations = latest
+            .get("violations")
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        let _ = writeln!(out, "<h2>{}</h2>", escape(name));
+        let status = if violations.is_empty() {
+            "<span class=\"ok\">passing</span>".to_string()
+        } else {
+            format!("<span class=\"bad\">{} violation(s)</span>", violations.len())
+        };
+        let _ = writeln!(
+            out,
+            "<p class=\"meta\">seed {} &middot; fingerprint <span class=\"digest\">{}</span> \
+             &middot; rev <span class=\"digest\">{}</span> &middot; {}</p>",
+            num(latest, "seed"),
+            escape(text(latest, "fingerprint")),
+            escape(text(latest, "rev")),
+            status
+        );
+
+        out.push_str(
+            "<table><tr><th>requests</th><th>ok</th><th>errors</th>\
+             <th>view digest</th><th>serial q/s</th><th>headline q/s</th></tr>\n",
+        );
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"digest\">{}</td><td>{:.1}</td><td>{:.1}</td></tr>",
+            num(latest, "requests"),
+            num(latest, "ok"),
+            num(latest, "errors"),
+            escape(text(latest, "view_digest")),
+            num(latest, "serial_qps"),
+            num(latest, "headline_qps"),
+        );
+        out.push_str("</table>\n");
+
+        if !violations.is_empty() {
+            out.push_str("<ul>\n");
+            for violation in violations {
+                let _ = writeln!(
+                    out,
+                    "<li class=\"bad\">{}</li>",
+                    escape(violation.as_str().unwrap_or("?"))
+                );
+            }
+            out.push_str("</ul>\n");
+        }
+
+        // Trend table: one bar per recorded run, scaled to the best run.
+        let max_qps = rows
+            .iter()
+            .map(|row| num(row, "headline_qps"))
+            .fold(0.0f64, f64::max);
+        out.push_str("<table><tr><th>run</th><th>headline q/s</th><th>trend</th></tr>\n");
+        for (i, row) in rows.iter().enumerate() {
+            let qps = num(row, "headline_qps");
+            let width = if max_qps > 0.0 {
+                ((qps / max_qps) * 240.0).round() as u64
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "<tr><td>#{}</td><td>{qps:.1}</td>\
+                 <td><span class=\"bar\" style=\"width:{width}px\"></span></td></tr>",
+                i + 1
+            );
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> History {
+        let mut history = History::default();
+        for (name, qps, violation) in [
+            ("alpha", 100.0, None),
+            ("alpha", 120.0, None),
+            ("beta", 50.0, Some("error_free: request 3 failed with WS101")),
+        ] {
+            let violations = violation
+                .map(|v| vec![Json::str(v)])
+                .unwrap_or_default();
+            history.append_row(Json::obj(vec![
+                ("name", Json::str(name)),
+                ("seed", Json::int(7)),
+                ("fingerprint", Json::str("00ff00ff00ff00ff")),
+                ("rev", Json::str("test-rev")),
+                ("requests", Json::int(64)),
+                ("ok", Json::int(60)),
+                ("errors", Json::int(4)),
+                ("view_digest", Json::str("abcd")),
+                ("serial_qps", Json::Num(qps / 2.0)),
+                ("headline_qps", Json::Num(qps)),
+                ("violations", Json::Arr(violations)),
+            ]));
+        }
+        history
+    }
+
+    #[test]
+    fn render_is_byte_stable() {
+        let h = history();
+        assert_eq!(render_report(&h), render_report(&h));
+    }
+
+    #[test]
+    fn render_reflects_content_and_escapes() {
+        let mut h = history();
+        h.append_row(Json::obj(vec![
+            ("name", Json::str("<script>")),
+            ("headline_qps", Json::Num(1.0)),
+        ]));
+        let html = render_report(&h);
+        assert!(html.contains("<h2>alpha</h2>"));
+        assert!(html.contains("violation(s)"));
+        assert!(html.contains("&lt;script&gt;"), "names are escaped");
+        assert!(!html.contains("<script>"), "no raw injection");
+    }
+}

@@ -66,12 +66,11 @@
 //! Run with: `cargo run --release -p websec-examples --bin serving_bench`
 
 use std::time::Instant;
-use websec_core::policy::mls::ContextLabel;
 use websec_core::prelude::*;
+use websec_scenarios::{
+    hospital_stack, large_store, large_store_profiles, suite, HospitalSpec, LargeStoreSpec, Recipe,
+};
 
-const PATIENTS: usize = 160;
-const DOCTORS: usize = 16;
-const CLERKS: usize = 8;
 const REQUESTS: usize = 4096;
 /// Size of the no-duplicate sweep (smaller than the mixed sweep: every
 /// request pays a full handshake and a fresh view computation).
@@ -79,54 +78,28 @@ const NODUP_REQUESTS: usize = 2048;
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// The sweep point the headline speedup is read at (ISSUE acceptance bar).
 const HEADLINE_WORKERS: usize = 4;
-/// Seed of the chaos plan the faulted section runs under (replayable).
-const FAULT_SEED: u64 = 0xC0FFEE;
+/// Seed of the chaos plan the faulted section runs under (replayable; the
+/// same seed the scenario smoke suite's `faulted_10pct` scenario uses).
+const FAULT_SEED: u64 = suite::SMOKE_FAULT_SEED;
 /// Admission-control depth for the faulted batch run: admits
 /// `FAULTED_QUEUE_DEPTH × HEADLINE_WORKERS` requests per batch and sheds
 /// the rest with `WS108`, so the bench exercises load shedding too.
 const FAULTED_QUEUE_DEPTH: usize = 960;
 
-/// ~10% aggregate injected-fault rate across three layers: dropped channel
-/// records (transient `WS103`), evicted cache entries (forced recompute),
-/// and slow evaluations (logical-clock ticks). All schedules are seeded,
-/// so the faulted numbers replay exactly.
-fn fault_plan() -> FaultPlan {
-    FaultPlan::seeded(FAULT_SEED)
-        .rule(FaultRule::new(FaultKind::ChannelDrop).on(FaultSchedule::Random { permille: 40 }))
-        .rule(FaultRule::new(FaultKind::CacheEvict).on(FaultSchedule::Random { permille: 40 }))
-        .rule(
-            FaultRule::new(FaultKind::SlowEval { ticks: 1 })
-                .on(FaultSchedule::Random { permille: 20 }),
-        )
+/// The bench corpus and workloads are **declared data** now: the corpus is
+/// [`HospitalSpec::bench`] (the exact stack the private `build_stack()`
+/// here used to roll by hand), the mixed workload is
+/// [`Recipe::mixed_hospital`], the worst case is
+/// [`Recipe::nodup_worstcase`], and the ~10% chaos plan is
+/// [`suite::smoke_fault_plan`] (same seed, same schedules) — all shared
+/// with the `websec-scenarios` smoke suite and the integration tests, so
+/// the bench and the gated scenarios measure the same declared workloads.
+fn corpus() -> HospitalSpec {
+    HospitalSpec::bench()
 }
 
 fn build_stack() -> SecureWebStack {
-    let mut stack = SecureWebStack::new([7u8; 32]);
-    let mut xml = String::from("<hospital>");
-    for i in 0..PATIENTS {
-        xml.push_str(&format!(
-            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
-        ));
-    }
-    xml.push_str("</hospital>");
-    stack.add_document(
-        "records.xml",
-        Document::parse(&xml).expect("well-formed"),
-        ContextLabel::fixed(Level::Unclassified),
-    );
-    stack.add_document(
-        "secret.xml",
-        Document::parse("<ops><plan>atlantis</plan></ops>").expect("well-formed"),
-        ContextLabel::fixed(Level::Secret),
-    );
-    for d in 0..DOCTORS {
-        stack.policies.add(Authorization::for_subject(SubjectSpec::Identity(format!("doctor-{d}"))).on(ObjectSpec::Portion {
-                document: "records.xml".into(),
-                path: Path::parse("//patient").expect("valid path"),
-            }).privilege(Privilege::Read).grant());
-    }
-    stack.policies.add(Authorization::for_subject(SubjectSpec::Anyone).on(ObjectSpec::Document("secret.xml".into())).privilege(Privilege::Read).grant());
-    stack
+    hospital_stack(&corpus())
 }
 
 /// A mixed workload: authorized doctors, empty-view clerks, and
@@ -134,31 +107,7 @@ fn build_stack() -> SecureWebStack {
 /// traffic, the request distribution is heavy-tailed — the same popular
 /// queries recur across the batch, which is what coalescing exploits.
 fn build_requests() -> Vec<QueryRequest> {
-    (0..REQUESTS)
-        .map(|i| {
-            if i % 7 == 3 {
-                // Denied at the RDF label layer.
-                QueryRequest::for_doc("secret.xml")
-                    .path(Path::parse("//plan").expect("valid path"))
-                    .subject(&SubjectProfile::new(&format!("doctor-{}", i % DOCTORS)))
-                    .clearance(Clearance(Level::Unclassified))
-            } else if i % 5 == 1 {
-                // No grant: allowed through with an empty view.
-                QueryRequest::for_doc("records.xml")
-                    .path(Path::parse("//patient").expect("valid path"))
-                    .subject(&SubjectProfile::new(&format!("clerk-{}", i % CLERKS)))
-                    .clearance(Clearance(Level::Unclassified))
-            } else {
-                QueryRequest::for_doc("records.xml")
-                    .path(
-                        Path::parse(&format!("//patient[@id='p{}']", i % PATIENTS))
-                            .expect("valid path"),
-                    )
-                    .subject(&SubjectProfile::new(&format!("doctor-{}", i % DOCTORS)))
-                    .clearance(Clearance(Level::Unclassified))
-            }
-        })
-        .collect()
+    Recipe::mixed_hospital().generate(&corpus(), REQUESTS, &mut SecureRng::seeded(FAULT_SEED))
 }
 
 /// The worst case for every bandwidth saver the batch engine has: each
@@ -168,17 +117,7 @@ fn build_requests() -> Vec<QueryRequest> {
 /// left is pure scheduler + evaluation throughput — the honest measure of
 /// the deque/injector scheduler's scaling.
 fn build_nodup_requests() -> Vec<QueryRequest> {
-    (0..NODUP_REQUESTS)
-        .map(|i| {
-            QueryRequest::for_doc("records.xml")
-                .path(
-                    Path::parse(&format!("//patient[@id='p{}']", i % PATIENTS))
-                        .expect("valid path"),
-                )
-                .subject(&SubjectProfile::new(&format!("solo-{i}")))
-                .clearance(Clearance(Level::Unclassified))
-        })
-        .collect()
+    Recipe::nodup_worstcase().generate(&corpus(), NODUP_REQUESTS, &mut SecureRng::seeded(FAULT_SEED))
 }
 
 /// The serving stack with every analyzer input section populated, so the
@@ -203,10 +142,11 @@ fn build_analysis_stack() -> SecureWebStack {
     stack
         .table_schemas
         .push(("visits".into(), vec!["visit_id".into(), "record".into()]));
-    for d in 0..DOCTORS {
+    let spec = corpus();
+    for d in 0..spec.granted {
         stack
             .registered_profiles
-            .push(SubjectProfile::new(&format!("doctor-{d}")));
+            .push(SubjectProfile::new(&spec.granted_subject(d)));
     }
     stack
 }
@@ -221,7 +161,8 @@ fn qps(n: usize, secs: f64) -> f64 {
 
 /// Compiled decision-path section: size of the generated large store and
 /// its unique-subject traffic (the ISSUE 8 acceptance shape — ≥ 100k
-/// documents, 10k subjects, nothing cacheable).
+/// documents, 10k subjects, nothing cacheable). The generator itself is
+/// [`websec_scenarios::large_store`] — shared with the integration tests.
 const COMPILED_DOCS: usize = 100_000;
 const COMPILED_SUBJECTS: usize = 10_000;
 /// Requests re-checked for byte equality between the two decision paths
@@ -230,112 +171,15 @@ const COMPILED_EQUIV_SAMPLE: usize = 500;
 /// Prime stride mapping subject index → document index, so the traffic
 /// spreads over the store instead of walking it in insertion order.
 const COMPILED_DOC_STRIDE: usize = 7919;
-/// Subject-specific per-document portion grants in the large policy base.
-/// This is the population that separates the two paths architecturally:
-/// the interpreter rescans every authorization on every request, while
-/// compilation buckets them by target document once, so each compiled
-/// lookup touches only the handful that can apply.
-const COMPILED_SPECIFIC_AUTHS: usize = 8_000;
 
-/// The generated large store: 100k small patient records in four structural
-/// variants, under a policy base of path-portion rules over every document
-/// (`PortionAll`), a four-level role hierarchy, and credential grants — the
-/// shapes whose per-request cost (path evaluation, role-dominance walks,
-/// credential matching) compilation is meant to hoist out of the hot path.
-fn build_compiled_store() -> (PolicyStore, DocumentStore, Vec<String>) {
-    let mut docs = DocumentStore::new();
-    let mut names = Vec::with_capacity(COMPILED_DOCS);
-    for i in 0..COMPILED_DOCS {
-        let v = i % 4;
-        let xml = format!(
-            "<rec><meta><id>d{i}</id><ts>t{v}</ts></meta><body><entry>e0</entry>\
-             <entry>e1</entry><v{v}>x</v{v}></body><audit><sig>s</sig></audit></rec>"
-        );
-        let name = format!("r{i}.xml");
-        docs.insert(&name, Document::parse(&xml).expect("well-formed"));
-        names.push(name);
-    }
-
-    let mut store = PolicyStore::new();
-    store.hierarchy.add_seniority(Role::new("chief"), Role::new("attending"));
-    store.hierarchy.add_seniority(Role::new("attending"), Role::new("resident"));
-    store.hierarchy.add_seniority(Role::new("resident"), Role::new("staff"));
-
-    let portion_grant = |path: &str, subject: SubjectSpec| {
-        Authorization::for_subject(subject)
-            .on(ObjectSpec::PortionAll(Path::parse(path).expect("valid path")))
-            .privilege(Privilege::Read)
-            .propagation(Propagation::Cascade)
-            .grant()
-    };
-    let portion_deny = |path: &str, subject: SubjectSpec| {
-        Authorization::for_subject(subject)
-            .on(ObjectSpec::PortionAll(Path::parse(path).expect("valid path")))
-            .privilege(Privilege::Read)
-            .propagation(Propagation::Cascade)
-            .deny()
-    };
-    let staff = || SubjectSpec::InRole(Role::new("staff"));
-    let resident = || SubjectSpec::InRole(Role::new("resident"));
-    let attending = || SubjectSpec::InRole(Role::new("attending"));
-    let physician =
-        || SubjectSpec::WithCredentials(CredentialExpr::OfType("physician".into()));
-    store.add(portion_grant("//entry", staff()));
-    store.add(portion_grant("//meta", resident()));
-    store.add(portion_grant("//body", attending()));
-    store.add(portion_grant("/rec/body", physician()));
-    store.add(portion_grant("//ts", SubjectSpec::Anyone));
-    store.add(portion_grant("//id", resident()));
-    store.add(portion_grant("/rec/meta", attending()));
-    store.add(portion_grant("//v0", staff()));
-    store.add(portion_grant("//v1", resident()));
-    store.add(portion_grant("//v2", attending()));
-    store.add(portion_grant("//v3", physician()));
-    store.add(portion_grant("//audit", SubjectSpec::InRole(Role::new("chief"))));
-    store.add(portion_deny("//sig", staff()));
-    store.add(portion_deny("/rec/audit/sig", resident()));
-    store.add(portion_deny("//audit", physician()));
-    store.add(
-        Authorization::for_subject(SubjectSpec::InRole(Role::new("chief")))
-            .on(ObjectSpec::AllDocuments)
-            .privilege(Privilege::Read)
-            .grant(),
-    );
-    // The per-document population: individual subjects granted a portion of
-    // one specific record each (strided so they spread over the store).
-    for k in 0..COMPILED_SPECIFIC_AUTHS {
-        let subject = format!("subject-{}", (k * 3) % COMPILED_SUBJECTS);
-        let doc = format!("r{}.xml", (k * 53) % COMPILED_DOCS);
-        let path = if k % 2 == 0 { "//entry" } else { "//meta" };
-        store.add(
-            Authorization::for_subject(SubjectSpec::Identity(subject))
-                .on(ObjectSpec::Portion {
-                    document: doc,
-                    path: Path::parse(path).expect("valid path"),
-                })
-                .privilege(Privilege::Read)
-                .propagation(Propagation::Cascade)
-                .grant(),
-        );
-    }
-    (store, docs, names)
-}
-
-/// One unique subject per request: identity `subject-{i}`, a role from the
-/// hierarchy, and a physician credential for every third subject.
-fn build_compiled_profiles() -> Vec<SubjectProfile> {
-    let roles = ["staff", "resident", "attending", "chief"];
-    (0..COMPILED_SUBJECTS)
-        .map(|i| {
-            let id = format!("subject-{i}");
-            let mut profile =
-                SubjectProfile::new(&id).with_role(Role::new(roles[i % roles.len()]));
-            if i % 3 == 0 {
-                profile = profile.with_credential(Credential::new("physician", &id));
-            }
-            profile
-        })
-        .collect()
+/// The bench's large-store shape (the [`LargeStoreSpec::bench`] acceptance
+/// sizes, asserted here so a drive-by spec edit cannot silently shrink the
+/// gated workload).
+fn compiled_spec() -> LargeStoreSpec {
+    let spec = LargeStoreSpec::bench();
+    assert_eq!(spec.docs, COMPILED_DOCS);
+    assert_eq!(spec.subjects, COMPILED_SUBJECTS);
+    spec
 }
 
 /// Total operations per lockdep-probe round (split across the workers).
@@ -462,7 +306,9 @@ fn main() {
     let serial_secs = t.elapsed().as_secs_f64();
 
     // Worker sweep: fresh server per point so per-point counters are
-    // clean; warm batch first, measure the second.
+    // clean; warm batch first, measure the second. The measured batch's
+    // own counter movement is `MetricsSnapshot::delta` of the two
+    // snapshots (lock waits stay cumulative: near-zero is the claim).
     let mut sweep = Vec::new();
     let mut headline = None;
     for workers in SWEEP {
@@ -474,13 +320,14 @@ fn main() {
         let _ = server.serve_batch(&batch);
         let secs = t.elapsed().as_secs_f64();
         let m = server.metrics();
+        let d = m.delta(&warm);
         let point = SweepPoint {
             workers,
             qps: qps(REQUESTS, secs),
-            coalesced: m.coalesced - warm.coalesced,
-            l1_hits: m.l1_hits - warm.l1_hits,
-            l2_hits: m.l2_hits - warm.l2_hits,
-            steals: m.steals - warm.steals,
+            coalesced: d.coalesced,
+            l1_hits: d.l1_hits,
+            l2_hits: d.l2_hits,
+            steals: d.steals,
             session_lock_waits: m.session_lock_waits,
             cache_lock_waits: m.cache_lock_waits,
         };
@@ -555,7 +402,7 @@ fn main() {
     // serial vs headline-width batch. The batch engine must keep its edge
     // when faults are landing — check.sh gates on it.
     let faulted_serial = StackServer::new(build_stack());
-    faulted_serial.install_faults(fault_plan());
+    faulted_serial.install_faults(suite::smoke_fault_plan());
     for request in &requests {
         let _ = faulted_serial.serve(request);
     }
@@ -566,7 +413,7 @@ fn main() {
     let faulted_serial_secs = t.elapsed().as_secs_f64();
 
     let faulted = StackServer::new(build_stack());
-    let injector = faulted.install_faults(fault_plan());
+    let injector = faulted.install_faults(suite::smoke_fault_plan());
     faulted.set_queue_limit(FAULTED_QUEUE_DEPTH);
     let headline_batch = BatchRequest::new(requests.clone()).workers(HEADLINE_WORKERS);
     let _ = faulted.serve_batch(&headline_batch);
@@ -634,8 +481,9 @@ fn main() {
     // then the same unique-subject cache-miss traffic through both decision
     // paths. The loops call the two `compute_view`s directly — this is the
     // decision path itself, not the channel/serialization layers around it.
-    let (compiled_store, compiled_docs, compiled_names) = build_compiled_store();
-    let profiles = build_compiled_profiles();
+    let spec = compiled_spec();
+    let (compiled_store, compiled_docs, compiled_names) = large_store(&spec);
+    let profiles = large_store_profiles(&spec);
     let strategy = ConflictStrategy::default();
     let t = Instant::now();
     let compiled_tables = PolicySnapshot::new(&compiled_store, strategy, &compiled_docs).compile();

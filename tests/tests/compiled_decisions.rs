@@ -11,8 +11,8 @@
 //! accepts the live artifact.
 
 use std::collections::HashSet;
-use websec_core::policy::mls::ContextLabel;
 use websec_core::prelude::*;
+use websec_scenarios::{hospital_stack, HospitalSpec};
 
 const SUBJECTS: usize = 16;
 /// Master-key seed byte for the server stacks under test.
@@ -306,43 +306,14 @@ fn unknown_document_is_none_not_wrong() {
 // Server-level wiring.
 // ---------------------------------------------------------------------------
 
+/// The server stacks under test come from the shared scenario corpus:
+/// [`HospitalSpec::small`] is exactly the 40-patient, 8-grant,
+/// `[MASTER_KEY_SEED; 32]`-keyed stack this file used to build by hand.
 fn build_stack() -> SecureWebStack {
-    let mut stack = SecureWebStack::new([MASTER_KEY_SEED; 32]);
-    let mut xml = String::from("<hospital>");
-    for i in 0..40 {
-        xml.push_str(&format!(
-            "<patient id=\"p{i}\"><name>N{i}</name><record>r{i}</record></patient>"
-        ));
-    }
-    xml.push_str("</hospital>");
-    stack.add_document(
-        "records.xml",
-        Document::parse(&xml).unwrap(),
-        ContextLabel::fixed(Level::Unclassified),
-    );
-    stack.add_document(
-        "secret.xml",
-        Document::parse("<ops><plan>atlantis</plan></ops>").unwrap(),
-        ContextLabel::fixed(Level::Secret),
-    );
-    for d in 0..SUBJECTS / 2 {
-        stack.policies.add(
-            Authorization::for_subject(SubjectSpec::Identity(format!("subject-{d}")))
-                .on(ObjectSpec::Portion {
-                    document: "records.xml".into(),
-                    path: Path::parse("//patient").unwrap(),
-                })
-                .privilege(Privilege::Read)
-                .grant(),
-        );
-    }
-    stack.policies.add(
-        Authorization::for_subject(SubjectSpec::Anyone)
-            .on(ObjectSpec::Document("secret.xml".into()))
-            .privilege(Privilege::Read)
-            .grant(),
-    );
-    stack
+    let spec = HospitalSpec::small();
+    assert_eq!(spec.master_seed, MASTER_KEY_SEED);
+    assert_eq!(spec.granted, SUBJECTS / 2);
+    hospital_stack(&spec)
 }
 
 /// Mixed allow/deny/error traffic (same shape as the serving suite).

@@ -1,0 +1,91 @@
+//! Golden-file test for the scenario HTML report.
+//!
+//! [`render_report`] is a pure function of the history rows — no
+//! timestamps, no environment reads — so a fixed two-scenario history must
+//! render byte-identically forever. The golden file pins those bytes;
+//! regenerate it with `BLESS=1 cargo test -p websec-integration-tests
+//! --test scenario_report` after an *intentional* report change and review
+//! the diff like any other artifact.
+
+use websec_scenarios::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/scenario_report_golden.html"
+);
+
+/// A fixed two-scenario history: `alpha` with three passing runs (a
+/// visible throughput trend) and `beta` with one failing run whose
+/// violation text exercises HTML escaping.
+fn fixed_history() -> History {
+    let mut history = History::default();
+    for (qps, rev) in [(1000.0, "rev-aaa"), (1100.0, "rev-bbb"), (1250.0, "rev-ccc")] {
+        history.append_row(Json::obj(vec![
+            ("name", Json::str("alpha")),
+            ("seed", Json::int(0x5EED)),
+            ("fingerprint", Json::str("00ff00ff00ff00ff")),
+            ("rev", Json::str(rev)),
+            ("requests", Json::int(1024)),
+            ("ok", Json::int(879)),
+            ("errors", Json::int(145)),
+            ("view_digest", Json::str("8badf00d8badf00d")),
+            ("violations", Json::Arr(Vec::new())),
+            ("serial_qps", Json::Num(qps / 2.0)),
+            ("headline_qps", Json::Num(qps)),
+        ]));
+    }
+    history.append_row(Json::obj(vec![
+        ("name", Json::str("beta")),
+        ("seed", Json::int(7)),
+        ("fingerprint", Json::str("deadbeefdeadbeef")),
+        ("rev", Json::str("rev-ccc")),
+        ("requests", Json::int(64)),
+        ("ok", Json::int(60)),
+        ("errors", Json::int(4)),
+        ("view_digest", Json::str("cafecafecafecafe")),
+        (
+            "violations",
+            Json::Arr(vec![Json::str(
+                "error_free: request 3 failed with WS101 <unknown & unloved>",
+            )]),
+        ),
+        ("serial_qps", Json::Num(321.5)),
+        ("headline_qps", Json::Num(450.0)),
+    ]));
+    history
+}
+
+#[test]
+fn report_matches_golden_bytes() {
+    let html = render_report(&fixed_history());
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &html).expect("bless the golden report");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with BLESS=1)");
+    assert_eq!(
+        html, golden,
+        "report bytes drifted from the golden file; if the change is \
+         intentional, regenerate with BLESS=1 and review the diff"
+    );
+}
+
+/// Sanity on top of the byte pin: the golden file itself contains the
+/// things a human looks for, so a blessed-but-broken report can't sneak
+/// through as "the new golden".
+#[test]
+fn golden_report_content_is_sound() {
+    let html = render_report(&fixed_history());
+    assert!(html.contains("<h2>alpha</h2>"));
+    assert!(html.contains("<h2>beta</h2>"));
+    assert!(html.contains("1 violation(s)"));
+    assert!(
+        html.contains("&lt;unknown &amp; unloved&gt;"),
+        "violation text is HTML-escaped"
+    );
+    assert!(
+        html.contains("width:240px"),
+        "the best run's trend bar spans the full scale"
+    );
+    assert!(!html.contains("<script"), "no scripts in the static report");
+}
