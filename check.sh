@@ -1,11 +1,44 @@
 #!/usr/bin/env bash
 # Repository gate: offline build, full test suite, the websec-lint static
 # checks, the WS001-WS012 analyzer over every example stack (byte-diffed
-# for determinism, failing on error findings), and the serving benchmark
+# for determinism, failing on error findings), the WS013-WS018 static
+# policy verifier over the seed fixtures (byte-diffed against the
+# committed ANALYSIS_policy.json baseline), and the serving benchmark
 # with its speedup and incremental-analysis gates. Fails on the first
-# broken step.
+# broken step. `./check.sh --verify-policies` runs just the policy
+# verifier step.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Static policy verifier (WS013-WS018) over the seed fixtures: rebuilt
+# twice for determinism, then byte-diffed against the committed
+# ANALYSIS_policy.json baseline, exactly like LOCKORDER.json. Runs inside
+# the full gate and standalone via `./check.sh --verify-policies`.
+verify_policies_step() {
+    echo "==> policy verifier baseline (ANALYSIS_policy.json)"
+    cargo run --release --offline -p websec-examples --bin verify_policies > ANALYSIS_policy_run1.json
+    cargo run --release --offline -p websec-examples --bin verify_policies > ANALYSIS_policy_run2.json
+    if ! cmp -s ANALYSIS_policy_run1.json ANALYSIS_policy_run2.json; then
+        echo "check.sh: FAIL — verify_policies output is not deterministic" >&2
+        diff ANALYSIS_policy_run1.json ANALYSIS_policy_run2.json >&2 || true
+        exit 1
+    fi
+    if ! cmp -s ANALYSIS_policy_run1.json ANALYSIS_policy.json; then
+        echo "check.sh: FAIL — policy-verifier findings drifted from the committed ANALYSIS_policy.json" >&2
+        echo "  (inspect the diff; if the change is intended, commit the new baseline)" >&2
+        diff ANALYSIS_policy.json ANALYSIS_policy_run1.json >&2 || true
+        exit 1
+    fi
+    rm -f ANALYSIS_policy_run1.json ANALYSIS_policy_run2.json
+}
+
+if [ "${1:-}" = "--verify-policies" ]; then
+    echo "==> cargo build --release --offline"
+    cargo build --release --offline
+    verify_policies_step
+    echo "check.sh: policy-verifier gate passed"
+    exit 0
+fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -59,6 +92,8 @@ fi
 mv ANALYSIS_run1.json ANALYSIS_examples.json
 rm -f ANALYSIS_run2.json
 
+verify_policies_step
+
 echo "==> serving-layer worker sweep (BENCH_serving.json)"
 cargo run --release --offline -p websec-examples --bin serving_bench
 
@@ -103,6 +138,17 @@ a_incr=$(awk -F': ' '/"analysis_incremental_us"/ {gsub(/,/, "", $2); print $2}' 
 echo "==> analysis full ${a_full} us vs incremental ${a_incr} us"
 if awk "BEGIN {exit !($a_incr > $a_full)}"; then
     echo "check.sh: FAIL — incremental re-analysis (${a_incr} us) is slower than a full run (${a_full} us)" >&2
+    exit 1
+fi
+
+# Gate: the policy verifier's token-keyed incremental re-check after a
+# snapshot republication must not cost more than the cold WS013-WS018 run
+# (it reuses the cached report wholesale when the policy base is unchanged).
+pv_full=$(awk -F': ' '/"policy_verify_full_us"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+pv_incr=$(awk -F': ' '/"policy_verify_incremental_us"/ {gsub(/,/, "", $2); print $2}' BENCH_serving.json)
+echo "==> policy verify full ${pv_full} us vs incremental ${pv_incr} us"
+if awk "BEGIN {exit !($pv_incr > $pv_full)}"; then
+    echo "check.sh: FAIL — incremental policy re-verify (${pv_incr} us) is slower than a full run (${pv_full} us)" >&2
     exit 1
 fi
 

@@ -35,28 +35,54 @@
 //! line is treated as test code. Doc-comment lines (`///`, `//!`) and plain
 //! `//` comments are skipped.
 //!
+//! With `--machine`, findings are emitted in the analyzer's machine
+//! diagnostic format (`code|severity|file:line|message`, one per line,
+//! sorted) so tooling that already parses `Report::machine` output — the
+//! `ANALYSIS_*.json` baselines, grep-based CI gates — consumes lint
+//! findings with the same splitter. Each rule carries a stable `LINT-*`
+//! code.
+//!
 //! Exit status: 0 when clean, 1 on errors (or on warnings with
 //! `--deny-warnings`), 2 on usage/IO failure.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use websec_analyzer::{Diagnostic, Report, Severity};
 
-/// One lint finding.
+/// One lint finding. `rule` is the stable machine code (`LINT-unwrap`,
+/// `LINT-lock-order`, ...) used by `--machine` output.
 struct Finding {
+    rule: &'static str,
     file: PathBuf,
     line: usize,
     warning: bool,
     message: String,
 }
 
+impl Finding {
+    /// The finding as an analyzer diagnostic: `LINT-*` code, lint severity
+    /// mapped onto the shared [`Severity`] scale, `file:line` as the span.
+    fn diagnostic(&self) -> Diagnostic {
+        let severity = if self.warning { Severity::Warning } else { Severity::Error };
+        Diagnostic::new(
+            self.rule,
+            severity,
+            format!("{}:{}", self.file.display(), self.line),
+            self.message.clone(),
+        )
+    }
+}
+
 fn main() -> ExitCode {
     let mut deny_warnings = false;
+    let mut machine = false;
     let mut root = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
+            "--machine" => machine = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -65,7 +91,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: websec-lint [--root DIR] [--deny-warnings]");
+                println!("usage: websec-lint [--root DIR] [--deny-warnings] [--machine]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -105,15 +131,29 @@ fn main() -> ExitCode {
     let mut errors = 0usize;
     let mut warnings = 0usize;
     for f in &findings {
-        let kind = if f.warning { "warning" } else { "error" };
         if f.warning {
             warnings += 1;
         } else {
             errors += 1;
         }
-        println!("{kind}: {}:{}: {}", f.file.display(), f.line, f.message);
     }
-    println!("websec-lint: {errors} error(s), {warnings} warning(s)");
+    if machine {
+        let mut report = Report::default();
+        for f in &findings {
+            report.diagnostics.push(f.diagnostic());
+        }
+        report.normalize();
+        let rendered = report.machine();
+        if !rendered.is_empty() {
+            println!("{rendered}");
+        }
+    } else {
+        for f in &findings {
+            let kind = if f.warning { "warning" } else { "error" };
+            println!("{kind}: {}:{}: {}", f.file.display(), f.line, f.message);
+        }
+        println!("websec-lint: {errors} error(s), {warnings} warning(s)");
+    }
     if errors > 0 || (deny_warnings && warnings > 0) {
         ExitCode::FAILURE
     } else {
@@ -196,11 +236,19 @@ const LOCK_ORDER_SPECS: &[LockOrderSpec] = &[
     },
     LockOrderSpec {
         path: "server/mod.rs",
-        order: &["update_lock", "snapshot", "faults", "analysis", "map", "session"],
+        order: &[
+            "update_lock",
+            "snapshot",
+            "faults",
+            "analysis",
+            "policy_analysis",
+            "map",
+            "session",
+        ],
     },
     LockOrderSpec {
         path: "server/analysis.rs",
-        order: &["update_lock", "snapshot", "analysis", "last_passes_run"],
+        order: &["update_lock", "snapshot", "analysis", "last_passes_run", "policy_analysis"],
     },
     LockOrderSpec {
         path: "server/cache.rs",
@@ -252,15 +300,26 @@ const RAW_SYNC_CONSTRUCTORS: [&str; 7] = [
     "AtomicUsize::new(",
 ];
 
+/// Path fragments of the tracked-synchronization scope, matched uniformly
+/// with `contains` on `/`-normalized paths. One declarative list instead of
+/// per-PR ad-hoc predicates: the serving engine, the fault injector, the
+/// compiled decision plane (`policy/src/compiled.rs` *and* its
+/// `compiled_view.rs` introspection sibling — the fragment deliberately
+/// omits the extension so both match), and the scenario harness — harness
+/// bugs must be as visible to the `WEBSEC_LOCKDEP=1` detector as engine
+/// bugs.
+const RAW_SYNC_SCOPE: [&str; 4] = [
+    "core/src/server/",
+    "core/src/faults.rs",
+    "policy/src/compiled",
+    "scenarios/src/",
+];
+
 /// True for files whose synchronization must go through the tracked
-/// wrappers (the serving engine, the fault injector, and the scenario
-/// harness's own verifier state — harness bugs must be as visible to the
-/// `WEBSEC_LOCKDEP=1` detector as engine bugs).
+/// wrappers (see [`RAW_SYNC_SCOPE`]).
 fn raw_sync_scope(file: &Path) -> bool {
     let path = file.to_string_lossy().replace('\\', "/");
-    path.contains("core/src/server/")
-        || path.ends_with("core/src/faults.rs")
-        || path.contains("scenarios/src/")
+    RAW_SYNC_SCOPE.iter().any(|fragment| path.contains(fragment))
 }
 
 /// Hot-path modules of the compiled decision path: consulted on every
@@ -370,6 +429,7 @@ fn gate_counter(code: &str) -> Option<&'static str> {
 fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<Finding>) {
     if is_crate_root && !source.contains("#![forbid(unsafe_code)]") {
         findings.push(Finding {
+            rule: "LINT-forbid-unsafe",
             file: file.to_path_buf(),
             line: 1,
             warning: false,
@@ -402,6 +462,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         let code = strip_comment(line);
         if code.contains(".unwrap()") && !allowed("unwrap") {
             findings.push(Finding {
+                rule: "LINT-unwrap",
                 file: file.to_path_buf(),
                 line: idx + 1,
                 warning: false,
@@ -412,6 +473,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         }
         if code.contains("panic!") && !allowed("panic") {
             findings.push(Finding {
+                rule: "LINT-panic",
                 file: file.to_path_buf(),
                 line: idx + 1,
                 warning: false,
@@ -420,6 +482,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         }
         if (code.contains("unsafe ") || code.contains("unsafe{")) && !allowed("unsafe") {
             findings.push(Finding {
+                rule: "LINT-unsafe",
                 file: file.to_path_buf(),
                 line: idx + 1,
                 warning: true,
@@ -431,6 +494,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         if raw_sync_scope && !allowed("raw-sync") {
             if let Some(pattern) = raw_sync_constructor(code) {
                 findings.push(Finding {
+                    rule: "LINT-raw-sync",
                     file: file.to_path_buf(),
                     line: idx + 1,
                     warning: false,
@@ -446,6 +510,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
         if hot_alloc_scope && !allowed("hot-alloc") {
             if let Some(pattern) = hot_alloc_pattern(code) {
                 findings.push(Finding {
+                    rule: "LINT-hot-alloc",
                     file: file.to_path_buf(),
                     line: idx + 1,
                     warning: false,
@@ -467,6 +532,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
                 if let Some(prev) = last_lock {
                     if rank < prev && !allowed("lock-order") {
                         findings.push(Finding {
+                            rule: "LINT-lock-order",
                             file: file.to_path_buf(),
                             line: idx + 1,
                             warning: true,
@@ -487,6 +553,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
             if let Some(name) = sync_atomic(code) {
                 if !allowed("relaxed-sync") {
                     findings.push(Finding {
+                        rule: "LINT-relaxed-sync",
                         file: file.to_path_buf(),
                         line: idx + 1,
                         warning: true,
@@ -502,6 +569,7 @@ fn lint_file(file: &Path, source: &str, is_crate_root: bool, findings: &mut Vec<
             } else if let Some(name) = gate_counter(code) {
                 if !allowed("relaxed-counter") {
                     findings.push(Finding {
+                        rule: "LINT-relaxed-counter",
                         file: file.to_path_buf(),
                         line: idx + 1,
                         warning: true,
@@ -769,6 +837,88 @@ mod tests {
         let mut findings = Vec::new();
         lint_file(Path::new("crates/policy/src/engine.rs"), src, false, &mut findings);
         assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn raw_sync_scope_covers_compiled_plane_and_scenarios_uniformly() {
+        // The declarative scope list replaces per-PR ad-hoc predicates:
+        // the compiled decision plane (both `compiled.rs` and its
+        // `compiled_view.rs` sibling — the fragment omits the extension)
+        // and every scenario-harness module are in scope.
+        let src = "fn f() { let m = Mutex::new(0); }\n";
+        for path in [
+            "crates/policy/src/compiled.rs",
+            "crates/policy/src/compiled_view.rs",
+            "crates/scenarios/src/runner.rs",
+            "crates/scenarios/src/suite.rs",
+            "crates/core/src/server/analysis.rs",
+            "crates/core/src/faults.rs",
+        ] {
+            let mut findings = Vec::new();
+            lint_file(Path::new(path), src, false, &mut findings);
+            assert_eq!(findings.len(), 1, "expected raw-sync finding in {path}");
+            assert_eq!(findings[0].rule, "LINT-raw-sync");
+        }
+        // Non-compiled policy modules stay out of scope.
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/policy/src/engine.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+    }
+
+    #[test]
+    fn policy_analysis_mutex_ranks_last_in_the_analysis_order() {
+        // Canonical: the policy-verifier cache is the innermost lock,
+        // taken after the analysis mutex...
+        let src = "fn good(&self) {\n\
+                   let a = self.analysis.lock();\n\
+                   let p = self.policy_analysis.lock();\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/server/analysis.rs"), src, false, &mut findings);
+        assert!(findings.is_empty(), "{}", render(&findings));
+
+        // ...and the reverse inverts. Whole-token matching keeps
+        // 'policy_analysis' distinct from 'analysis'.
+        let src = "fn bad(&self) {\n\
+                   let p = self.policy_analysis.lock();\n\
+                   let a = self.analysis.lock();\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/server/analysis.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("'analysis' acquired after 'policy_analysis'"));
+
+        // mod.rs ranks it between the analysis mutex and the shard locks.
+        let src = "fn bad(&self) {\n\
+                   let g = lock_counting(&shard.map, &waits);\n\
+                   let p = self.policy_analysis.lock();\n\
+                   }\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/server/mod.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1, "{}", render(&findings));
+        assert!(findings[0].message.contains("lock order inversion"));
+    }
+
+    #[test]
+    fn machine_rendering_uses_the_shared_diagnostic_format() {
+        let mut findings = Vec::new();
+        let src = "fn f() { x.unwrap(); }\n";
+        lint_file(Path::new("crates/x/src/a.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1);
+        let line = findings[0].diagnostic().machine_line();
+        let parts: Vec<&str> = line.split('|').collect();
+        assert_eq!(parts[0], "LINT-unwrap");
+        assert_eq!(parts[1], "error");
+        assert_eq!(parts[2], "crates/x/src/a.rs:1");
+        // Warnings map onto the shared severity scale.
+        let mut findings = Vec::new();
+        let src = "fn f(&self) { let g = self.generation.load(Ordering::Relaxed); }\n";
+        lint_file(Path::new("crates/core/src/server/mod.rs"), src, false, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .diagnostic()
+            .machine_line()
+            .starts_with("LINT-relaxed-sync|warning|"));
     }
 
     #[test]

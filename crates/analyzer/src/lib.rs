@@ -17,6 +17,12 @@
 //! | WS010 | declassification without a sanitizer                    |
 //! | WS011 | UDDI binding without a signed tModel chain              |
 //! | WS012 | dead credential type                                    |
+//! | WS013 | compiled-plane rule shadowing                           |
+//! | WS014 | compiled-plane grant/deny conflict                      |
+//! | WS015 | dead policy (matches nothing compiled)                  |
+//! | WS016 | privilege escalation via role dominators                |
+//! | WS017 | revocation gap through a role path                      |
+//! | WS018 | inference channel via view composition                  |
 //!
 //! Each pass is a pure function over borrowed stores; the [`Analyzer`]
 //! aggregates them into a [`Report`] with human-readable, line-oriented
@@ -38,7 +44,11 @@
 pub mod diagnostics;
 pub mod flow;
 pub mod passes;
+pub mod policy_verify;
+pub mod registry;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use flow::{EdgeKind, FlowGraph, FlowNode};
 pub use passes::{run_pass, Analyzer, AnalyzerInput, DissemInput, PassId, Section, UddiInput};
+pub use policy_verify::{run_policy_pass, verify_policies, PolicyPassId, PolicyVerifyInput};
+pub use registry::{lookup, CodeInfo, Phase, REGISTRY};

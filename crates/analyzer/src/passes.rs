@@ -319,11 +319,11 @@ impl Analyzer {
     }
 }
 
-fn auth_span(a: &Authorization) -> String {
+pub(crate) fn auth_span(a: &Authorization) -> String {
     format!("authorization #{}", a.id.0)
 }
 
-fn pair_span(a: &Authorization, b: &Authorization) -> String {
+pub(crate) fn pair_span(a: &Authorization, b: &Authorization) -> String {
     format!("authorizations #{} and #{}", a.id.0, b.id.0)
 }
 
@@ -331,7 +331,11 @@ fn pair_span(a: &Authorization, b: &Authorization) -> String {
 /// *unrelated* roles are treated as disjoint — a profile activating both at
 /// once is possible but rare enough that flagging every role pair would
 /// drown real findings.
-fn subjects_may_overlap(a: &SubjectSpec, b: &SubjectSpec, hierarchy: &RoleHierarchy) -> bool {
+pub(crate) fn subjects_may_overlap(
+    a: &SubjectSpec,
+    b: &SubjectSpec,
+    hierarchy: &RoleHierarchy,
+) -> bool {
     match (a, b) {
         (SubjectSpec::Anyone, _) | (_, SubjectSpec::Anyone) => true,
         (SubjectSpec::Identity(x), SubjectSpec::Identity(y)) => x == y,
@@ -347,7 +351,11 @@ fn subjects_may_overlap(a: &SubjectSpec, b: &SubjectSpec, hierarchy: &RoleHierar
 /// Does every subject matched by `inner` also match `outer`? (Static
 /// under-approximation used to decide which rules are guaranteed to apply
 /// alongside a given rule.)
-fn subject_covers(outer: &SubjectSpec, inner: &SubjectSpec, hierarchy: &RoleHierarchy) -> bool {
+pub(crate) fn subject_covers(
+    outer: &SubjectSpec,
+    inner: &SubjectSpec,
+    hierarchy: &RoleHierarchy,
+) -> bool {
     match (outer, inner) {
         (SubjectSpec::Anyone, _) => true,
         (SubjectSpec::Identity(x), SubjectSpec::Identity(y)) => x == y,

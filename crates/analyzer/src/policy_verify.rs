@@ -1,0 +1,880 @@
+//! Static verification of the compiled policy plane (WS013–WS018).
+//!
+//! PR 8 made the decision path an analyzable artifact: every published
+//! snapshot carries [`CompiledPolicies`] — interned decision tables and
+//! per-document equivalence classes. The passes here reason over that
+//! artifact (falling back to the compiled `check` oracle where static
+//! coverage alone cannot decide) and emit six diagnostics:
+//!
+//! * **WS013 rule shadowing** — an earlier authorization covers a later
+//!   same-signed one everywhere it applies, at a resolution key at
+//!   least as strong, making the later rule unreachable.
+//! * **WS014 conflict** — a grant and a denial for overlapping subjects
+//!   land in the same equivalence class for a shared privilege; an
+//!   exact resolution-key tie under a keyed strategy is an error.
+//! * **WS015 dead policy** — an authorization covers no element and no
+//!   attribute of any compiled document.
+//! * **WS016 privilege-escalation chain** — the role-dominator closure
+//!   grants a senior role access that a direct denial on that role
+//!   would forbid.
+//! * **WS017 revocation gap** — an identity-level denial (a revocation)
+//!   is still reachable through a role the identity can activate.
+//! * **WS018 inference channel** — a subject is denied an element but
+//!   granted every element child, so the permitted views compose to
+//!   the denied element's full content.
+//!
+//! All passes read only the [`Section::Policy`] and
+//! [`Section::Documents`] sections, so the server's epoch-keyed
+//! incremental analysis can skip the whole suite when neither changed.
+//! Reports are normalized: identical inputs yield byte-identical
+//! machine output.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use websec_policy::{
+    AccessDecision, Authorization, CompiledPolicies, Credential, CredentialExpr, PolicyEngine,
+    Privilege, Sign, SubjectProfile, SubjectSpec,
+};
+use websec_xml::Document;
+
+use crate::diagnostics::{Diagnostic, Report, Severity};
+use crate::passes::{pair_span, subject_covers, subjects_may_overlap, Section};
+
+/// Privileges in implication order, with their relevance-mask bits.
+const PRIVILEGES: [(Privilege, u8); 4] = [
+    (Privilege::Browse, 1),
+    (Privilege::Read, 2),
+    (Privilege::Write, 4),
+    (Privilege::Admin, 8),
+];
+
+/// Input to the policy-verifier passes: the compiled artifact plus the
+/// source documents it was compiled over (needed by WS018 to walk
+/// element/child structure).
+#[derive(Clone)]
+pub struct PolicyVerifyInput<'a> {
+    /// The compiled decision plane under verification.
+    pub compiled: &'a CompiledPolicies,
+    /// `(name, document)` pairs; only documents also present in the
+    /// compiled artifact are inspected.
+    pub documents: Vec<(&'a str, &'a Document)>,
+}
+
+impl<'a> PolicyVerifyInput<'a> {
+    /// Creates an input over `compiled` with no documents attached.
+    #[must_use]
+    pub fn new(compiled: &'a CompiledPolicies) -> Self {
+        PolicyVerifyInput {
+            compiled,
+            documents: Vec::new(),
+        }
+    }
+
+    /// Attaches a source document (builder style).
+    #[must_use]
+    pub fn with_document(mut self, name: &'a str, doc: &'a Document) -> Self {
+        self.documents.push((name, doc));
+        self
+    }
+}
+
+/// Identifies one policy-verifier pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolicyPassId {
+    /// WS013 rule shadowing over the compiled plane.
+    Ws013,
+    /// WS014 grant/deny conflict inside an equivalence class.
+    Ws014,
+    /// WS015 dead policy (covers nothing anywhere).
+    Ws015,
+    /// WS016 privilege escalation through the role-dominator closure.
+    Ws016,
+    /// WS017 revocation gap through a dominator path.
+    Ws017,
+    /// WS018 inference channel via view composition.
+    Ws018,
+}
+
+impl PolicyPassId {
+    /// Every policy-verifier pass, in code order.
+    pub const ALL: [PolicyPassId; 6] = [
+        PolicyPassId::Ws013,
+        PolicyPassId::Ws014,
+        PolicyPassId::Ws015,
+        PolicyPassId::Ws016,
+        PolicyPassId::Ws017,
+        PolicyPassId::Ws018,
+    ];
+
+    /// The stable diagnostic code the pass emits.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            PolicyPassId::Ws013 => "WS013",
+            PolicyPassId::Ws014 => "WS014",
+            PolicyPassId::Ws015 => "WS015",
+            PolicyPassId::Ws016 => "WS016",
+            PolicyPassId::Ws017 => "WS017",
+            PolicyPassId::Ws018 => "WS018",
+        }
+    }
+
+    /// One-line description of what the pass proves.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            PolicyPassId::Ws013 => "rule shadowing: an earlier rule makes a later one unreachable",
+            PolicyPassId::Ws014 => {
+                "conflict: overlapping subjects both granted and denied in one equivalence class"
+            }
+            PolicyPassId::Ws015 => "dead policy: authorization matches no element in any document",
+            PolicyPassId::Ws016 => {
+                "privilege escalation: role-dominator closure overrides a direct denial"
+            }
+            PolicyPassId::Ws017 => {
+                "revocation gap: revoked identity still reachable through a role path"
+            }
+            PolicyPassId::Ws018 => {
+                "inference channel: permitted child views compose to a denied element"
+            }
+        }
+    }
+
+    /// The input sections the pass reads; every policy pass depends on
+    /// the policy base and the registered documents, nothing else.
+    #[must_use]
+    pub fn sections(self) -> &'static [Section] {
+        &[Section::Policy, Section::Documents]
+    }
+}
+
+/// Runs a single policy-verifier pass over `input`.
+#[must_use]
+pub fn run_policy_pass(input: &PolicyVerifyInput<'_>, pass: PolicyPassId) -> Vec<Diagnostic> {
+    match pass {
+        PolicyPassId::Ws013 => ws013_shadowing(input),
+        PolicyPassId::Ws014 => ws014_class_conflicts(input),
+        PolicyPassId::Ws015 => ws015_dead_policies(input),
+        PolicyPassId::Ws016 => ws016_escalation_chains(input),
+        PolicyPassId::Ws017 => ws017_revocation_gaps(input),
+        PolicyPassId::Ws018 => ws018_inference_channels(input),
+    }
+}
+
+/// Runs WS013–WS018 and aggregates the findings into a normalized
+/// report (byte-identical for identical inputs).
+#[must_use]
+pub fn verify_policies(input: &PolicyVerifyInput<'_>) -> Report {
+    let mut diagnostics = Vec::new();
+    for pass in PolicyPassId::ALL {
+        diagnostics.extend(run_policy_pass(input, pass));
+    }
+    let mut report = Report { diagnostics };
+    report.normalize();
+    report
+}
+
+/// Bitmask of privileges the authorization is relevant to (grant of `q`
+/// supports any `p ≤ q`; denial of `q` blocks any `p ≥ q`).
+fn relevance_mask(auth: &Authorization) -> u8 {
+    let mut mask = 0u8;
+    for (p, bit) in PRIVILEGES {
+        if PolicyEngine::relevant(auth, p) {
+            mask |= bit;
+        }
+    }
+    mask
+}
+
+/// First (weakest) privilege both masks are relevant to.
+fn first_shared_privilege(a: u8, b: u8) -> Option<Privilege> {
+    PRIVILEGES
+        .iter()
+        .find(|(_, bit)| a & bit != 0 && b & bit != 0)
+        .map(|&(p, _)| p)
+}
+
+/// Equivalence-class membership of every source authorization:
+/// `(doc index in sorted name order, class id)` pairs.
+fn class_memberships(compiled: &CompiledPolicies) -> BTreeMap<u32, BTreeSet<(usize, u32)>> {
+    let mut memberships: BTreeMap<u32, BTreeSet<(usize, u32)>> = BTreeMap::new();
+    for (doc_idx, name) in compiled.document_names().iter().enumerate() {
+        let Some(classes) = compiled.classes_of(name) else {
+            continue;
+        };
+        for cv in classes {
+            for auth in cv.auths {
+                memberships
+                    .entry(auth.id.0)
+                    .or_default()
+                    .insert((doc_idx, cv.class));
+            }
+        }
+    }
+    memberships
+}
+
+/// Ids with attribute-granularity coverage anywhere; WS013 skips these
+/// conservatively (element classes alone cannot prove an attribute rule
+/// unreachable).
+fn attr_level_ids(compiled: &CompiledPolicies) -> BTreeSet<u32> {
+    let mut ids = BTreeSet::new();
+    for name in compiled.document_names() {
+        if let Some(doc_ids) = compiled.attr_auth_ids(name) {
+            ids.extend(doc_ids.into_iter().map(|id| id.0));
+        }
+    }
+    ids
+}
+
+/// WS013: an earlier authorization of the same sign covers a later one
+/// everywhere it applies (same classes, covering subject, superset
+/// relevance) at a resolution key at least as strong — so removing the
+/// later rule cannot change any decision: it is shadowed.
+fn ws013_shadowing(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    let auths = compiled.source_authorizations();
+    let hierarchy = compiled.hierarchy();
+    let memberships = class_memberships(compiled);
+    let attr_ids = attr_level_ids(compiled);
+    let empty = BTreeSet::new();
+    let masks: Vec<u8> = auths.iter().map(relevance_mask).collect();
+
+    let mut out = Vec::new();
+    for (li, later) in auths.iter().enumerate() {
+        if attr_ids.contains(&later.id.0) {
+            continue;
+        }
+        let later_classes = memberships.get(&later.id.0).unwrap_or(&empty);
+        if later_classes.is_empty() {
+            // Covers nothing: WS015 territory, not shadowing.
+            continue;
+        }
+        for (ei, earlier) in auths.iter().enumerate().take(li) {
+            if earlier.sign != later.sign
+                || attr_ids.contains(&earlier.id.0)
+                || masks[ei] & masks[li] != masks[li]
+                || !subject_covers(&earlier.subject, &later.subject, hierarchy)
+                || compiled.resolution_key(earlier) < compiled.resolution_key(later)
+            {
+                continue;
+            }
+            let earlier_classes = memberships.get(&earlier.id.0).unwrap_or(&empty);
+            if !later_classes.is_subset(earlier_classes) {
+                continue;
+            }
+            let sign = match later.sign {
+                Sign::Plus => "grant",
+                Sign::Minus => "denial",
+            };
+            out.push(
+                Diagnostic::new(
+                    "WS013",
+                    Severity::Warning,
+                    pair_span(earlier, later),
+                    format!(
+                        "{sign} #{} is shadowed: #{} applies to every subject, privilege, and \
+                         equivalence class it covers, at a resolution key at least as strong",
+                        later.id.0, earlier.id.0
+                    ),
+                )
+                .with_suggestion(format!(
+                    "remove authorization #{} or narrow #{} so the later rule can take effect",
+                    later.id.0, earlier.id.0
+                )),
+            );
+            break; // one shadower per victim is enough
+        }
+    }
+    out
+}
+
+/// WS014: a grant and a denial for possibly-overlapping subjects cover
+/// the same equivalence class for a shared privilege. Under a keyed
+/// strategy an exact key tie is an error (the outcome rests on the
+/// deny-wins tiebreak, not on anything the author expressed); otherwise
+/// the overlap is reported as a warning.
+fn ws014_class_conflicts(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    let hierarchy = compiled.hierarchy();
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for name in compiled.document_names() {
+        let Some(classes) = compiled.classes_of(name) else {
+            continue;
+        };
+        for cv in classes {
+            for grant in cv.auths.iter().filter(|a| a.sign == Sign::Plus) {
+                for denial in cv.auths.iter().filter(|a| a.sign == Sign::Minus) {
+                    let shared = first_shared_privilege(
+                        relevance_mask(grant),
+                        relevance_mask(denial),
+                    );
+                    let Some(privilege) = shared else { continue };
+                    if !subjects_may_overlap(&grant.subject, &denial.subject, hierarchy)
+                        || !seen.insert((grant.id.0, denial.id.0))
+                    {
+                        continue;
+                    }
+                    let tied = compiled.strategy_is_keyed()
+                        && compiled.resolution_key(grant) == compiled.resolution_key(denial);
+                    let severity = if tied { Severity::Error } else { Severity::Warning };
+                    let tie_note = if tied {
+                        " at an exact resolution-key tie"
+                    } else {
+                        ""
+                    };
+                    out.push(
+                        Diagnostic::new(
+                            "WS014",
+                            severity,
+                            pair_span(grant, denial),
+                            format!(
+                                "grant #{} and denial #{} both cover equivalence class {} of \
+                                 '{}' for privilege {:?} with overlapping subjects{}",
+                                grant.id.0, denial.id.0, cv.class, name, privilege, tie_note
+                            ),
+                        )
+                        .with_suggestion(
+                            "separate the subjects or set distinct resolution keys so the \
+                             intended rule wins",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// WS015: an authorization whose object spec matches no element and no
+/// attribute of any compiled document — dead weight in the policy base,
+/// usually a typo in a path or document name.
+fn ws015_dead_policies(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    if compiled.doc_count() == 0 {
+        // Nothing registered yet: every rule would be trivially "dead".
+        return Vec::new();
+    }
+    let mut live: BTreeSet<u32> = BTreeSet::new();
+    for name in compiled.document_names() {
+        if let Some(ids) = compiled.covered_auth_ids(name) {
+            live.extend(ids.into_iter().map(|id| id.0));
+        }
+    }
+    compiled
+        .source_authorizations()
+        .iter()
+        .filter(|auth| !live.contains(&auth.id.0))
+        .map(|auth| {
+            Diagnostic::new(
+                "WS015",
+                Severity::Warning,
+                crate::passes::auth_span(auth),
+                format!(
+                    "dead policy: authorization #{} on {:?} matches no element or attribute \
+                     in any registered document",
+                    auth.id.0, auth.object
+                ),
+            )
+            .with_suggestion("fix the document name or path, or remove the authorization")
+        })
+        .collect()
+}
+
+/// WS016: inside one equivalence class, a grant to a junior role and a
+/// denial to a senior role — and the dominator closure (senior subjects
+/// activate everything they dominate) makes the senior *pass* anyway.
+/// Confirmed against the compiled oracle before reporting.
+fn ws016_escalation_chains(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    let hierarchy = compiled.hierarchy();
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for name in compiled.document_names() {
+        let Some(classes) = compiled.classes_of(name) else {
+            continue;
+        };
+        for cv in classes {
+            for grant in cv.auths.iter().filter(|a| a.sign == Sign::Plus) {
+                let SubjectSpec::InRole(junior) = &grant.subject else {
+                    continue;
+                };
+                for denial in cv.auths.iter().filter(|a| a.sign == Sign::Minus) {
+                    let SubjectSpec::InRole(senior) = &denial.subject else {
+                        continue;
+                    };
+                    if senior == junior || !hierarchy.dominates(senior, junior) {
+                        continue;
+                    }
+                    let Some(privilege) = first_shared_privilege(
+                        relevance_mask(grant),
+                        relevance_mask(denial),
+                    ) else {
+                        continue;
+                    };
+                    let witness =
+                        SubjectProfile::new("ws016:witness").with_role(senior.clone());
+                    if compiled.check(&witness, name, cv.nodes[0], privilege)
+                        != Some(AccessDecision::Granted)
+                        || !seen.insert((grant.id.0, denial.id.0))
+                    {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            "WS016",
+                            Severity::Warning,
+                            pair_span(grant, denial),
+                            format!(
+                                "privilege escalation: role '{}' dominates '{}', so grant #{} \
+                                 reaches it through the hierarchy and overrides denial #{} for \
+                                 {:?} on class {} of '{}'",
+                                senior.0, junior.0, grant.id.0, denial.id.0, privilege,
+                                cv.class, name
+                            ),
+                        )
+                        .with_suggestion(
+                            "deny at higher priority/specificity, or break the seniority edge \
+                             the escalation rides",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// WS017: an identity-level denial (the revocation idiom) coexists with
+/// a role grant in the same class, and the identity *with the role
+/// activated* still gets through while the bare identity is denied —
+/// the revocation has a gap through the dominator path.
+fn ws017_revocation_gaps(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for name in compiled.document_names() {
+        let Some(classes) = compiled.classes_of(name) else {
+            continue;
+        };
+        for cv in classes {
+            for denial in cv.auths.iter().filter(|a| a.sign == Sign::Minus) {
+                let SubjectSpec::Identity(who) = &denial.subject else {
+                    continue;
+                };
+                for grant in cv.auths.iter().filter(|a| a.sign == Sign::Plus) {
+                    let SubjectSpec::InRole(role) = &grant.subject else {
+                        continue;
+                    };
+                    let Some(privilege) = first_shared_privilege(
+                        relevance_mask(grant),
+                        relevance_mask(denial),
+                    ) else {
+                        continue;
+                    };
+                    let with_role = SubjectProfile::new(who).with_role(role.clone());
+                    let bare = SubjectProfile::new(who);
+                    if compiled.check(&with_role, name, cv.nodes[0], privilege)
+                        != Some(AccessDecision::Granted)
+                        || compiled.check(&bare, name, cv.nodes[0], privilege)
+                            != Some(AccessDecision::Denied)
+                        || !seen.insert((denial.id.0, grant.id.0))
+                    {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            "WS017",
+                            Severity::Warning,
+                            pair_span(denial, grant),
+                            format!(
+                                "revocation gap: '{}' is denied {:?} by #{} but regains it on \
+                                 class {} of '{}' by activating role '{}' (grant #{})",
+                                who, privilege, denial.id.0, cv.class, name, role.0, grant.id.0
+                            ),
+                        )
+                        .with_suggestion(
+                            "revoke at role level too, or raise the denial's priority above \
+                             the role grant",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Best-effort construction of a credential set satisfying `expr`.
+/// `None` when satisfaction cannot be guaranteed statically (negations).
+fn satisfy(expr: &CredentialExpr) -> Option<Vec<Credential>> {
+    match expr {
+        CredentialExpr::OfType(t) => Some(vec![Credential::new(t, "ws018:witness")]),
+        CredentialExpr::AttrEq(name, value) => Some(vec![
+            Credential::new("ws018:cred", "ws018:witness").with_attr(name, value.clone()),
+        ]),
+        CredentialExpr::AttrGe(name, bound) | CredentialExpr::AttrLe(name, bound) => Some(vec![
+            Credential::new("ws018:cred", "ws018:witness").with_attr(name, *bound),
+        ]),
+        CredentialExpr::HasAttr(name) => Some(vec![
+            Credential::new("ws018:cred", "ws018:witness").with_attr(name, 1i64),
+        ]),
+        CredentialExpr::And(a, b) => {
+            let mut creds = satisfy(a)?;
+            creds.extend(satisfy(b)?);
+            Some(creds)
+        }
+        CredentialExpr::Or(a, b) => satisfy(a).or_else(|| satisfy(b)),
+        CredentialExpr::Not(_) => None,
+    }
+}
+
+/// Deterministic witness subjects drawn from the policy base: the
+/// anonymous subject plus one witness per distinct subject spec.
+fn witness_profiles(compiled: &CompiledPolicies) -> Vec<SubjectProfile> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut push = |profile: SubjectProfile, seen: &mut BTreeSet<String>| {
+        if seen.insert(format!("{profile:?}")) {
+            out.push(profile);
+        }
+    };
+    push(SubjectProfile::new("ws018:anonymous"), &mut seen);
+    for auth in compiled.source_authorizations() {
+        match &auth.subject {
+            SubjectSpec::Anyone => {}
+            SubjectSpec::Identity(who) => push(SubjectProfile::new(who), &mut seen),
+            SubjectSpec::InRole(role) => push(
+                SubjectProfile::new(&format!("ws018:role:{}", role.0)).with_role(role.clone()),
+                &mut seen,
+            ),
+            SubjectSpec::WithCredentials(expr) => {
+                if let Some(creds) = satisfy(expr) {
+                    let mut profile = SubjectProfile::new("ws018:credentialed");
+                    for cred in creds {
+                        profile = profile.with_credential(cred);
+                    }
+                    push(profile, &mut seen);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// WS018: for some witness subject, an element is denied `Read` but
+/// every element child is granted it — the union of the permitted child
+/// views reconstructs the denied element's full content. This is a
+/// decision-plane property: per-portion queries answer for each child
+/// regardless of how a single pruned view would be rendered.
+fn ws018_inference_channels(input: &PolicyVerifyInput<'_>) -> Vec<Diagnostic> {
+    let compiled = input.compiled;
+    let witnesses = witness_profiles(compiled);
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &(name, doc) in &input.documents {
+        for (pos, node) in doc.all_nodes().into_iter().enumerate() {
+            let Some(elem) = doc.name(node) else { continue };
+            let children: Vec<_> = doc
+                .children(node)
+                .filter(|&c| doc.name(c).is_some())
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            for witness in &witnesses {
+                if compiled.check(witness, name, node, Privilege::Read)
+                    != Some(AccessDecision::Denied)
+                {
+                    continue;
+                }
+                let all_children_granted = children.iter().all(|&c| {
+                    compiled.check(witness, name, c, Privilege::Read)
+                        == Some(AccessDecision::Granted)
+                });
+                if !all_children_granted || !seen.insert((name.to_string(), pos)) {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        "WS018",
+                        Severity::Warning,
+                        format!("document '{name}' element '{elem}'"),
+                        format!(
+                            "inference channel: subject '{}' is denied Read on <{}> but \
+                             granted all {} element children — the permitted views compose \
+                             to the denied element's content",
+                            witness.identity,
+                            elem,
+                            children.len()
+                        ),
+                    )
+                    .with_suggestion(
+                        "propagate the denial to the children (Cascade) or deny the \
+                         children explicitly",
+                    ),
+                );
+                break; // one witness per element is enough
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websec_policy::{
+        Authorization, ConflictStrategy, ObjectSpec, PolicySnapshot, PolicyStore, Propagation,
+        Role,
+    };
+    use websec_xml::{Document, DocumentStore, Path};
+
+    fn hospital_doc() -> Document {
+        Document::parse(
+            "<hospital><patient id=\"p1\" ssn=\"123\"><name>Ann</name><diagnosis>flu\
+             </diagnosis></patient><admin><budget>100</budget></admin></hospital>",
+        )
+        .expect("fixture parses")
+    }
+
+    fn compile(
+        store: &PolicyStore,
+        strategy: ConflictStrategy,
+        doc: &Document,
+    ) -> std::sync::Arc<CompiledPolicies> {
+        let mut documents = DocumentStore::new();
+        documents.insert("h.xml", doc.clone());
+        PolicySnapshot::new(store, strategy, &documents).compile()
+    }
+
+    fn codes(report: &Report) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn ws013_fires_on_covered_later_rule_and_respects_keys() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Portion {
+                    document: "h.xml".into(),
+                    path: Path::parse("//patient").expect("path"),
+                })
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        let found = run_policy_pass(&input, PolicyPassId::Ws013);
+        assert_eq!(found.len(), 1, "portion rule is shadowed: {found:?}");
+
+        // Under MostSpecificObject the finer portion rule wins ties, so it
+        // is NOT shadowed.
+        let compiled = compile(&store, ConflictStrategy::MostSpecificObject, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert!(run_policy_pass(&input, PolicyPassId::Ws013).is_empty());
+    }
+
+    #[test]
+    fn ws014_tie_is_error_and_disjoint_subjects_are_clean() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .priority(3)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .priority(3)
+                .deny(),
+        );
+        let compiled = compile(&store, ConflictStrategy::ExplicitPriority, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        let found = run_policy_pass(&input, PolicyPassId::Ws014);
+        assert!(
+            found.iter().any(|d| d.severity == Severity::Error),
+            "priority tie must be an error: {found:?}"
+        );
+
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Identity("ann".into()))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Identity("bob".into()))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .deny(),
+        );
+        let compiled = compile(&store, ConflictStrategy::ExplicitPriority, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert!(run_policy_pass(&input, PolicyPassId::Ws014).is_empty());
+    }
+
+    #[test]
+    fn ws015_flags_only_rules_that_cover_nothing() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("ghost.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        let found = run_policy_pass(&input, PolicyPassId::Ws015);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("ghost.xml"));
+    }
+
+    #[test]
+    fn ws016_fires_only_when_the_dominator_actually_passes() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store
+            .hierarchy
+            .add_seniority(Role::new("chief"), Role::new("intern"));
+        store.add(
+            Authorization::for_subject(SubjectSpec::InRole(Role::new("intern")))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::InRole(Role::new("chief")))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .deny(),
+        );
+        let compiled = compile(&store, ConflictStrategy::PermissionsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert_eq!(run_policy_pass(&input, PolicyPassId::Ws016).len(), 1);
+
+        // Deny-wins closes the chain: the chief is denied, no escalation.
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert!(run_policy_pass(&input, PolicyPassId::Ws016).is_empty());
+    }
+
+    #[test]
+    fn ws017_fires_only_when_the_role_path_reopens_access() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Identity("eve".into()))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .deny(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::InRole(Role::new("staff")))
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        let compiled = compile(&store, ConflictStrategy::PermissionsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert_eq!(run_policy_pass(&input, PolicyPassId::Ws017).len(), 1);
+
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert!(run_policy_pass(&input, PolicyPassId::Ws017).is_empty());
+    }
+
+    #[test]
+    fn ws018_fires_on_uncascaded_denial_and_not_on_cascade() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Portion {
+                    document: "h.xml".into(),
+                    path: Path::parse("/hospital/admin").expect("path"),
+                })
+                .privilege(Privilege::Read)
+                .deny()
+                .with_propagation(Propagation::None),
+        );
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        let found = run_policy_pass(&input, PolicyPassId::Ws018);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("admin"), "{found:?}");
+
+        // Cascading the denial closes the channel.
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Portion {
+                    document: "h.xml".into(),
+                    path: Path::parse("/hospital/admin").expect("path"),
+                })
+                .privilege(Privilege::Read)
+                .deny()
+                .with_propagation(Propagation::Cascade),
+        );
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        assert!(run_policy_pass(&input, PolicyPassId::Ws018).is_empty());
+    }
+
+    #[test]
+    fn verify_policies_is_deterministic() {
+        let doc = hospital_doc();
+        let mut store = PolicyStore::new();
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("h.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+        store.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("ghost.xml".into()))
+                .privilege(Privilege::Read)
+                .deny(),
+        );
+        let compiled = compile(&store, ConflictStrategy::DenialsTakePrecedence, &doc);
+        let input = PolicyVerifyInput::new(&compiled).with_document("h.xml", &doc);
+        let a = verify_policies(&input).to_json();
+        let b = verify_policies(&input).to_json();
+        assert_eq!(a, b);
+        assert!(codes(&verify_policies(&input)).contains(&"WS015"));
+    }
+}

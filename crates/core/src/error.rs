@@ -232,4 +232,53 @@ mod tests {
         let e: Error = ChannelError::BadRecord.into();
         assert_eq!(e.code(), "WS103");
     }
+
+    /// Parity with the shared WS-code registry: every `Error` variant's
+    /// code must be registered as a Runtime row, and every Runtime row
+    /// must correspond to a variant. The exhaustive (wildcard-free)
+    /// match below stops compiling when a variant is added, forcing the
+    /// author through this test — and the set equality fails when a
+    /// code is added to the registry without a variant (or vice versa).
+    #[test]
+    fn runtime_codes_match_the_shared_registry() {
+        use std::collections::BTreeSet;
+        use websec_analyzer::registry::{Phase, REGISTRY};
+
+        let variants = [
+            Error::UnknownDocument(String::new()),
+            Error::ClearanceViolation,
+            Error::Channel(String::new()),
+            Error::Misconfigured(String::new()),
+            Error::InvalidRequest(String::new()),
+            Error::ShardPoisoned(String::new()),
+            Error::DeadlineExceeded(String::new()),
+            Error::Overloaded(String::new()),
+            Error::AnalysisRejected(String::new()),
+        ];
+        let mut from_variants = BTreeSet::new();
+        for e in &variants {
+            // Exhaustive in the defining crate: no wildcard arm, so a
+            // new variant is a compile error until listed here AND in
+            // the `variants` array above AND in the registry.
+            let code = match e {
+                Error::UnknownDocument(_) => "WS101",
+                Error::ClearanceViolation => "WS102",
+                Error::Channel(_) => "WS103",
+                Error::Misconfigured(_) => "WS104",
+                Error::InvalidRequest(_) => "WS105",
+                Error::ShardPoisoned(_) => "WS106",
+                Error::DeadlineExceeded(_) => "WS107",
+                Error::Overloaded(_) => "WS108",
+                Error::AnalysisRejected(_) => "WS109",
+            };
+            assert_eq!(code, e.code());
+            from_variants.insert(code);
+        }
+        let registered: BTreeSet<&str> = REGISTRY
+            .iter()
+            .filter(|i| i.phase == Phase::Runtime)
+            .map(|i| i.code)
+            .collect();
+        assert_eq!(registered, from_variants);
+    }
 }

@@ -28,13 +28,15 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, PoisonError};
+use std::time::Instant;
 
 use super::cache::Token;
 use super::StackServer;
 use crate::error::Error;
 use crate::stack::SecureWebStack;
+use websec_analyzer::policy_verify::{self, PolicyPassId, PolicyVerifyInput};
 use websec_analyzer::{run_pass, AnalyzerInput, Diagnostic, PassId, Report, Section, Severity};
-use websec_policy::{PolicyEngine, PolicyStore, Privilege};
+use websec_policy::{CompiledPolicies, PolicyEngine, PolicyStore, Privilege};
 
 /// What [`StackServer::try_update`] does with analyzer findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +70,26 @@ pub(super) struct AnalysisState {
     report: Report,
 }
 
+/// Number of policy-verifier passes (WS013–WS018).
+pub(super) const POLICY_PASS_COUNT: usize = PolicyPassId::ALL.len();
+
+/// The input sections the policy verifier reads. Every WS013–WS018 pass
+/// declares exactly these two ([`PolicyPassId::sections`]), so the suite
+/// caches all-or-nothing: if neither fingerprint moved, the whole run is
+/// reused; if either did, all six passes re-run (they share the compiled
+/// artifact, which any policy or document change invalidates wholesale).
+const POLICY_SECTIONS: [Section; 2] = [Section::Policy, Section::Documents];
+
+/// The cached result of one policy-verifier run.
+pub(super) struct PolicyAnalysisState {
+    /// The `{generation, epoch}` token the run was computed at.
+    token: Token,
+    /// Fingerprints of [`POLICY_SECTIONS`], in that order.
+    fingerprints: [u64; POLICY_SECTIONS.len()],
+    /// The normalized WS013–WS018 report.
+    report: Report,
+}
+
 /// FNV-1a over a section's deterministic rendering: cheap, dependency-free,
 /// and stable within a process — exactly what a change detector needs.
 fn fnv1a(data: &str) -> u64 {
@@ -79,71 +101,98 @@ fn fnv1a(data: &str) -> u64 {
     hash
 }
 
-/// Fingerprints every analyzer input section of `stack`. Renderings use
-/// `Debug` over BTree-backed (deterministically ordered) structures; the
-/// one `HashMap` (document labels) is sorted by name first.
-pub(super) fn section_fingerprints(stack: &SecureWebStack) -> [u64; SECTION_COUNT] {
+/// The deterministic rendering of one analyzer input section of `stack`.
+/// Renderings use `Debug` over BTree-backed (deterministically ordered)
+/// structures; the one `HashMap` (document labels) is sorted by name
+/// first.
+fn render_section(stack: &SecureWebStack, section: Section) -> String {
     use std::fmt::Write as _;
-    let mut out = [0u64; SECTION_COUNT];
-    for (i, section) in Section::ALL.iter().enumerate() {
-        let mut s = String::new();
-        match section {
-            Section::Policy => {
-                let _ = write!(
-                    s,
-                    "{};{:?};{:?}",
-                    stack.policies.epoch(),
-                    stack.policies.authorizations(),
-                    stack.policies.hierarchy.seniority_pairs()
-                );
-            }
-            Section::Documents => {
-                for name in stack.documents.names() {
-                    if let Some(doc) = stack.documents.get(name) {
-                        let _ = write!(s, "{name}\u{1f}{}\u{1e}", doc.to_xml_string());
-                    }
+    let mut s = String::new();
+    match section {
+        Section::Policy => {
+            let _ = write!(
+                s,
+                "{};{:?};{:?}",
+                stack.policies.epoch(),
+                stack.policies.authorizations(),
+                stack.policies.hierarchy.seniority_pairs()
+            );
+        }
+        Section::Documents => {
+            for name in stack.documents.names() {
+                if let Some(doc) = stack.documents.get(name) {
+                    let _ = write!(s, "{name}\u{1f}{}\u{1e}", doc.to_xml_string());
                 }
-            }
-            Section::Labels => {
-                let mut labels: Vec<(String, String)> = stack
-                    .documents
-                    .names()
-                    .iter()
-                    .filter_map(|n| {
-                        stack.label_of(n).map(|l| (n.to_string(), format!("{l:?}")))
-                    })
-                    .collect();
-                labels.sort();
-                let _ = write!(s, "{labels:?}");
-            }
-            Section::Catalog => {
-                for triple in stack.catalog.all() {
-                    let _ = writeln!(s, "{triple}");
-                }
-            }
-            Section::Privacy => {
-                let _ = write!(
-                    s,
-                    "{:?};{:?};{:?}",
-                    stack.privacy_constraints, stack.table_schemas, stack.sanitized_documents
-                );
-            }
-            Section::Rdf => {
-                let _ = write!(s, "{:?};{:?}", stack.context, stack.semantic_stores);
-            }
-            Section::Dissem => {
-                let _ = write!(s, "{:?}", stack.dissemination_audits);
-            }
-            Section::Uddi => {
-                let _ = write!(s, "{:?}", stack.uddi);
-            }
-            Section::Subjects => {
-                let _ = write!(s, "{:?}", stack.registered_profiles);
             }
         }
-        out[i] = fnv1a(&s);
+        Section::Labels => {
+            let mut labels: Vec<(String, String)> = stack
+                .documents
+                .names()
+                .iter()
+                .filter_map(|n| {
+                    stack.label_of(n).map(|l| (n.to_string(), format!("{l:?}")))
+                })
+                .collect();
+            labels.sort();
+            let _ = write!(s, "{labels:?}");
+        }
+        Section::Catalog => {
+            for triple in stack.catalog.all() {
+                let _ = writeln!(s, "{triple}");
+            }
+        }
+        Section::Privacy => {
+            let _ = write!(
+                s,
+                "{:?};{:?};{:?}",
+                stack.privacy_constraints, stack.table_schemas, stack.sanitized_documents
+            );
+        }
+        Section::Rdf => {
+            let _ = write!(s, "{:?};{:?}", stack.context, stack.semantic_stores);
+        }
+        Section::Dissem => {
+            let _ = write!(s, "{:?}", stack.dissemination_audits);
+        }
+        Section::Uddi => {
+            let _ = write!(s, "{:?}", stack.uddi);
+        }
+        Section::Subjects => {
+            let _ = write!(s, "{:?}", stack.registered_profiles);
+        }
+    }
+    s
+}
+
+/// Fingerprints every analyzer input section of `stack`.
+pub(super) fn section_fingerprints(stack: &SecureWebStack) -> [u64; SECTION_COUNT] {
+    let mut out = [0u64; SECTION_COUNT];
+    for (i, section) in Section::ALL.iter().enumerate() {
+        out[i] = fnv1a(&render_section(stack, *section));
     }
     out
+}
+
+/// Fingerprints only the sections the policy verifier reads.
+fn policy_fingerprints(stack: &SecureWebStack) -> [u64; POLICY_SECTIONS.len()] {
+    let mut out = [0u64; POLICY_SECTIONS.len()];
+    for (i, section) in POLICY_SECTIONS.iter().enumerate() {
+        out[i] = fnv1a(&render_section(stack, *section));
+    }
+    out
+}
+
+/// Runs the full WS013–WS018 suite over `stack`'s documents and the
+/// decision plane compiled from it.
+pub(super) fn run_policy_verifier(stack: &SecureWebStack, compiled: &CompiledPolicies) -> Report {
+    let mut input = PolicyVerifyInput::new(compiled);
+    for name in stack.documents.names() {
+        if let Some(doc) = stack.documents.get(name) {
+            input.documents.push((name, doc));
+        }
+    }
+    policy_verify::verify_policies(&input)
 }
 
 /// Machine lines of the error-severity findings in `report`.
@@ -266,6 +315,81 @@ impl StackServer {
         }
     }
 
+    /// Runs the static policy verifier (WS013–WS018,
+    /// [`websec_analyzer::policy_verify`]) over the current snapshot's
+    /// compiled decision plane, **incrementally**: the run is cached
+    /// keyed by the snapshot's `{generation, epoch}` token, and when the
+    /// token moved without the policy base or the documents changing
+    /// (fingerprint-checked — e.g. after
+    /// [`StackServer::invalidate_views`]), the cached report is reused
+    /// wholesale. The run/reuse split is observable through
+    /// [`super::MetricsSnapshot::policy_passes_run`] and
+    /// [`super::MetricsSnapshot::policy_passes_reused`].
+    #[must_use]
+    pub fn verify_policies(&self) -> Report {
+        let Ok((stack, compiled, token)) = self.snapshot_with_token() else {
+            return Report::default();
+        };
+        self.verify_policies_snapshot(&stack, &compiled, token)
+    }
+
+    fn verify_policies_snapshot(
+        &self,
+        stack: &SecureWebStack,
+        compiled: &CompiledPolicies,
+        token: Token,
+    ) -> Report {
+        let mut slot = self
+            .policy_analysis
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(state) = slot.as_ref() {
+            if state.token == token {
+                self.policy_passes_reused
+                    .fetch_add(POLICY_PASS_COUNT as u64, Ordering::Relaxed);
+                return state.report.clone();
+            }
+        }
+        let fingerprints = policy_fingerprints(stack);
+        if let Some(state) = slot.as_mut() {
+            if state.fingerprints == fingerprints {
+                // The token moved (generation bump, unrelated epoch churn)
+                // but neither input section did: refresh the key, reuse
+                // the whole run.
+                state.token = token;
+                self.policy_passes_reused
+                    .fetch_add(POLICY_PASS_COUNT as u64, Ordering::Relaxed);
+                return state.report.clone();
+            }
+        }
+        let report = run_policy_verifier(stack, compiled);
+        self.policy_passes_run
+            .fetch_add(POLICY_PASS_COUNT as u64, Ordering::Relaxed);
+        *slot = Some(PolicyAnalysisState {
+            token,
+            fingerprints,
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// The cached policy-verifier report's error/warning counts, for the
+    /// metrics snapshot (zeros until the first verify).
+    pub(super) fn policy_gauges(&self) -> (u64, u64) {
+        let slot = self
+            .policy_analysis
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match slot.as_ref() {
+            Some(state) => {
+                let errors = state.report.count_at_least(Severity::Error) as u64;
+                let at_least_warning = state.report.count_at_least(Severity::Warning) as u64;
+                (errors, at_least_warning - errors)
+            }
+            None => (0, 0),
+        }
+    }
+
     /// Proves the current snapshot's compiled decision tables equivalent
     /// to the live policy base, at the level static analysis can see:
     ///
@@ -350,12 +474,15 @@ impl StackServer {
     /// * [`AnalysisGate::Deny`] — applies the mutation to a *copy* of the
     ///   stack under the update lock (so no concurrent writer can
     ///   interleave between validation and commit — readers keep serving
-    ///   from the published snapshot throughout), analyzes the copy, and
+    ///   from the published snapshot throughout), analyzes the copy with
+    ///   **both** the AST analyzer and the policy verifier (WS013–WS018
+    ///   over the decision plane compiled from the candidate), and
     ///   commits only when no **new** error-severity finding (relative to
-    ///   the pre-update configuration) appears. A rejected update leaves
-    ///   the snapshot, generation, and caches untouched and returns
-    ///   `WS109` ([`Error::AnalysisRejected`]) carrying the machine lines
-    ///   of the introduced findings.
+    ///   the pre-update configuration) appears on either side. A rejected
+    ///   update leaves the snapshot, generation, and caches untouched and
+    ///   returns `WS109` ([`Error::AnalysisRejected`]) carrying the
+    ///   machine lines of every introduced finding — an update that trips
+    ///   both an AST error and a WS014 tie reports both.
     pub fn try_update<R>(
         &self,
         mutate: impl FnOnce(&mut SecureWebStack) -> R,
@@ -365,6 +492,7 @@ impl StackServer {
             AnalysisGate::Warn => {
                 let result = self.update(mutate);
                 let _ = self.analyze();
+                let _ = self.verify_policies();
                 Ok(result)
             }
             AnalysisGate::Deny => {
@@ -377,25 +505,46 @@ impl StackServer {
                 // *regressions*, not stacks that already carried findings
                 // when the gate was enabled.
                 let baseline = error_lines(&current.analyze());
+                let baseline_policy = error_lines(&self.verify_policies());
                 let mut candidate = (*current).clone();
                 let result = mutate(&mut candidate);
                 let report = candidate.analyze();
-                let introduced: Vec<String> = report
+                let mut introduced: Vec<String> = report
                     .diagnostics
                     .iter()
                     .filter(|d| d.severity == Severity::Error)
                     .map(Diagnostic::machine_line)
                     .filter(|line| !baseline.contains(line))
                     .collect();
+                // The candidate's decision plane is compiled once, here:
+                // validation and (on success) publication share the same
+                // artifact, preserving the compile-once-per-publication
+                // contract. Rejected updates bump no compile counter —
+                // the work happened but nothing was published.
+                let t = Instant::now();
+                let compiled = super::compile_stack(&candidate);
+                let compile_ns =
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let policy_report = run_policy_verifier(&candidate, &compiled);
+                introduced.extend(
+                    policy_report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.severity == Severity::Error)
+                        .map(Diagnostic::machine_line)
+                        .filter(|line| !baseline_policy.contains(line)),
+                );
                 if !introduced.is_empty() {
                     drop(writer);
                     self.gate_denials.fetch_add(1, Ordering::Relaxed);
                     return Err(Error::AnalysisRejected(introduced.join("\n")));
                 }
-                let compiled = self.compile_for_publication(&candidate);
+                self.snapshot_compile_ns.fetch_add(compile_ns, Ordering::Relaxed);
+                self.snapshot_compiles.fetch_add(1, Ordering::Relaxed);
                 self.publish(Arc::new(candidate), compiled);
                 drop(writer);
                 let _ = self.analyze();
+                let _ = self.verify_policies();
                 Ok(result)
             }
         }

@@ -218,6 +218,18 @@ pub struct MetricsSnapshot {
     /// Updates rejected by [`crate::server::AnalysisGate::Deny`] with
     /// `WS109`.
     pub gate_denials: u64,
+    /// Policy-verifier passes (WS013–WS018) actually executed across all
+    /// [`crate::server::StackServer::verify_policies`] calls.
+    pub policy_passes_run: u64,
+    /// Policy-verifier passes answered from the incremental cache
+    /// (unchanged token or unchanged policy/document sections).
+    pub policy_passes_reused: u64,
+    /// Error-severity findings in the most recent cached policy-verifier
+    /// report (0 until the first verify).
+    pub policy_errors: u64,
+    /// Warning-severity findings in the most recent cached policy-verifier
+    /// report.
+    pub policy_warnings: u64,
     /// Cache-miss views answered by the snapshot-compiled decision tables
     /// ([`websec_policy::CompiledPolicies`]) rather than the interpreting
     /// engine (0 under [`crate::server::DecisionMode::Interpreted`]).
@@ -307,6 +319,11 @@ impl MetricsSnapshot {
         d.analysis_errors = self.analysis_errors.saturating_sub(earlier.analysis_errors);
         d.analysis_warnings = self.analysis_warnings.saturating_sub(earlier.analysis_warnings);
         d.gate_denials = self.gate_denials.saturating_sub(earlier.gate_denials);
+        d.policy_passes_run = self.policy_passes_run.saturating_sub(earlier.policy_passes_run);
+        d.policy_passes_reused =
+            self.policy_passes_reused.saturating_sub(earlier.policy_passes_reused);
+        d.policy_errors = self.policy_errors.saturating_sub(earlier.policy_errors);
+        d.policy_warnings = self.policy_warnings.saturating_sub(earlier.policy_warnings);
         d.compiled_hits = self.compiled_hits.saturating_sub(earlier.compiled_hits);
         d.compile_ns = self.compile_ns.saturating_sub(earlier.compile_ns);
         d.snapshot_compiles = self.snapshot_compiles.saturating_sub(earlier.snapshot_compiles);
@@ -666,6 +683,10 @@ impl MetricsInner {
             analysis_errors: 0,
             analysis_warnings: 0,
             gate_denials: 0,
+            policy_passes_run: 0,
+            policy_passes_reused: 0,
+            policy_errors: 0,
+            policy_warnings: 0,
             snapshot_compiles: 0,
             snapshot_compile_ns: 0,
             compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
@@ -829,5 +850,126 @@ mod tests {
         assert_eq!(d.cached_views, 5);
         // Different-server misuse saturates to zero instead of wrapping.
         assert_eq!(earlier.delta(&later).requests, 0);
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_reset() {
+        // A server restart (fresh MetricsInner) resets every cumulative
+        // counter; a delta computed across the reset must saturate to 0
+        // everywhere, never wrap to huge u64 values.
+        let before_restart = {
+            let inner = MetricsInner::default();
+            let mut local = LocalMetrics::default();
+            for _ in 0..10 {
+                local.record_outcome(&ok_response(CacheStatus::Hit));
+            }
+            local.steals = 9;
+            inner.absorb(&local);
+            inner.snapshot(Vec::new())
+        };
+        let after_restart = {
+            let inner = MetricsInner::default();
+            let mut local = LocalMetrics::default();
+            local.record_outcome(&ok_response(CacheStatus::Miss));
+            inner.absorb(&local);
+            inner.snapshot(Vec::new())
+        };
+        assert!(after_restart.requests < before_restart.requests);
+        let d = after_restart.delta(&before_restart);
+        assert_eq!(d.requests, 0);
+        assert_eq!(d.allowed, 0);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.steals, 0);
+        assert_eq!(d.latency.count, 0);
+        assert_eq!(d.latency.sum_ns, 0);
+        assert!(d.latency.buckets.iter().all(|&b| b == 0));
+        assert_eq!(d.layer_totals.total_ns(), 0);
+        // The one direction that did move still reads correctly.
+        assert_eq!(d.cache_misses, 1);
+    }
+
+    #[test]
+    fn delta_against_empty_snapshot_is_identity_on_counters() {
+        let empty = MetricsInner::default().snapshot(Vec::new());
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.latency.count, 0);
+        assert_eq!(empty.latency.mean_ns(), 0.0);
+        assert_eq!(empty.latency.quantile_upper_ns(0.99), 0);
+
+        let inner = MetricsInner::default();
+        let mut local = LocalMetrics::default();
+        local.record_outcome(&ok_response(CacheStatus::Hit));
+        local.record_outcome(&Err(Error::ClearanceViolation));
+        inner.absorb(&local);
+        let populated = inner.snapshot(Vec::new());
+
+        // populated - empty leaves every counter untouched...
+        let d = populated.delta(&empty);
+        assert_eq!(d.requests, populated.requests);
+        assert_eq!(d.denied, populated.denied);
+        assert_eq!(d.enforced, populated.enforced);
+        assert_eq!(d.latency.count, populated.latency.count);
+        assert_eq!(d.latency.sum_ns, populated.latency.sum_ns);
+        assert_eq!(d.layer_totals.total_ns(), populated.layer_totals.total_ns());
+        // ...empty - populated saturates, and empty - empty is still empty.
+        assert_eq!(empty.delta(&populated).requests, 0);
+        assert_eq!(empty.delta(&empty).requests, 0);
+    }
+
+    #[test]
+    fn delta_keeps_later_gauges_even_when_they_shrink() {
+        // Gauges (current state, not accumulation) always read from the
+        // *later* snapshot — including when the value went down, where a
+        // subtraction would report nonsense.
+        let inner = MetricsInner::default();
+        let earlier = inner.snapshot(vec![ShardStats {
+            shard: 0,
+            sessions_open: 9,
+            session_lock_waits: 0,
+            cache_lock_waits: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            cached_views: 12,
+        }]);
+        let later = inner.snapshot(vec![ShardStats {
+            shard: 0,
+            sessions_open: 2,
+            session_lock_waits: 0,
+            cache_lock_waits: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            cached_views: 3,
+        }]);
+        let d = later.delta(&earlier);
+        assert_eq!(d.sessions_open, 2, "gauge keeps the later value");
+        assert_eq!(d.cached_views, 3);
+        assert_eq!(d.per_shard.len(), 1, "per-shard breakdown is a gauge too");
+        assert_eq!(d.per_shard[0].sessions_open, 2);
+        // The finding tallies are subtracted like every other counter, so
+        // a report that *improved* (fewer findings) saturates to 0 rather
+        // than underflowing.
+        let mut later2 = later.clone();
+        let mut earlier2 = earlier.clone();
+        earlier2.analysis_errors = 4;
+        earlier2.policy_warnings = 6;
+        later2.analysis_errors = 1;
+        later2.policy_warnings = 2;
+        let d2 = later2.delta(&earlier2);
+        assert_eq!(d2.analysis_errors, 0, "saturating counter semantics");
+        assert_eq!(d2.policy_warnings, 0);
+    }
+
+    #[test]
+    fn delta_covers_the_policy_verifier_counters() {
+        let inner = MetricsInner::default();
+        let mut earlier = inner.snapshot(Vec::new());
+        earlier.policy_passes_run = 6;
+        earlier.policy_passes_reused = 0;
+        let mut later = inner.snapshot(Vec::new());
+        later.policy_passes_run = 6;
+        later.policy_passes_reused = 12;
+        let d = later.delta(&earlier);
+        assert_eq!(d.policy_passes_run, 0, "no fresh pass executions");
+        assert_eq!(d.policy_passes_reused, 12);
     }
 }

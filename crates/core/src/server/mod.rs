@@ -172,6 +172,14 @@ pub struct StackServer {
     gate_denials: TrackedAtomicU64,
     /// Codes of the passes the most recent analyze executed.
     last_passes_run: TrackedMutex<Vec<&'static str>>,
+    /// The cached policy-verifier run (WS013–WS018), keyed by the token it
+    /// ran at. Lock order: taken after the analysis mutex, never before.
+    policy_analysis: TrackedMutex<Option<analysis::PolicyAnalysisState>>,
+    /// Policy-verifier passes actually executed across all
+    /// [`StackServer::verify_policies`] calls.
+    policy_passes_run: TrackedAtomicU64,
+    /// Policy-verifier passes answered from the incremental cache.
+    policy_passes_reused: TrackedAtomicU64,
     /// The configured [`DecisionMode`] (stored as its discriminant).
     decision_mode: TrackedAtomicU8,
     /// Policy compilations performed (construction plus one per
@@ -401,6 +409,9 @@ impl StackServer {
             analysis_passes_reused: TrackedAtomicU64::counter("server.analysis_passes_reused", 0),
             gate_denials: TrackedAtomicU64::counter("server.gate_denials", 0),
             last_passes_run: TrackedMutex::new("server.analysis_trace", Vec::new()),
+            policy_analysis: TrackedMutex::new("server.policy_analysis", None),
+            policy_passes_run: TrackedAtomicU64::counter("server.policy_passes_run", 0),
+            policy_passes_reused: TrackedAtomicU64::counter("server.policy_passes_reused", 0),
             decision_mode: TrackedAtomicU8::counter(
                 "server.decision_mode",
                 DecisionMode::Compiled as u8,
@@ -1128,6 +1139,11 @@ impl StackServer {
         let (errors, warnings) = self.analysis_gauges();
         snap.analysis_errors = errors;
         snap.analysis_warnings = warnings;
+        snap.policy_passes_run = self.policy_passes_run.load(Ordering::Relaxed);
+        snap.policy_passes_reused = self.policy_passes_reused.load(Ordering::Relaxed);
+        let (errors, warnings) = self.policy_gauges();
+        snap.policy_errors = errors;
+        snap.policy_warnings = warnings;
         snap
     }
 }

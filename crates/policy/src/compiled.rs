@@ -73,22 +73,22 @@ pub struct PolicySnapshot<'a> {
 /// the per-document tables, so the hot path never touches
 /// [`ObjectSpec`] again.
 #[derive(Debug, Clone)]
-struct CompiledAuth {
-    id: AuthzId,
-    subject: CompiledSubject,
-    sign: Sign,
+pub(crate) struct CompiledAuth {
+    pub(crate) id: AuthzId,
+    pub(crate) subject: CompiledSubject,
+    pub(crate) sign: Sign,
     /// Bit `privilege_bit(p)` set when the authorization bears on a
     /// request for `p` (grant of `q` supports `p ≤ q`; denial of `q`
     /// blocks `p ≥ q`).
-    relevance: u8,
-    specificity: u8,
-    granularity: u8,
-    priority: i32,
+    pub(crate) relevance: u8,
+    pub(crate) specificity: u8,
+    pub(crate) granularity: u8,
+    pub(crate) priority: i32,
 }
 
 /// Subject specification compiled to interned / precomputed form.
 #[derive(Debug, Clone)]
-enum CompiledSubject {
+pub(crate) enum CompiledSubject {
     Anyone,
     /// Interned identity symbol; a requester whose identity was never
     /// interned cannot match.
@@ -103,29 +103,29 @@ enum CompiledSubject {
 /// Attribute-specific coverage: the authorizations (as local indices)
 /// that address one `(node, attribute)` pair of a document.
 #[derive(Debug, Clone)]
-struct AttrEntry {
-    node_pos: u32,
-    attr_sym: u32,
-    auths: Vec<u32>,
+pub(crate) struct AttrEntry {
+    pub(crate) node_pos: u32,
+    pub(crate) attr_sym: u32,
+    pub(crate) auths: Vec<u32>,
 }
 
 /// Per-document decision tables.
 #[derive(Debug, Clone)]
-struct CompiledDoc {
+pub(crate) struct CompiledDoc {
     /// Indices into [`CompiledPolicies::auths`] of every authorization
     /// that covers at least one node or attribute of this document, in
     /// policy-base order.
-    local_auths: Vec<u32>,
+    pub(crate) local_auths: Vec<u32>,
     /// Live nodes in document order (the interpreter's `all_nodes`
     /// order, which equivalence-class reconstruction must preserve).
-    node_ids: Vec<NodeId>,
-    node_pos: HashMap<NodeId, u32>,
+    pub(crate) node_ids: Vec<NodeId>,
+    pub(crate) node_pos: HashMap<NodeId, u32>,
     /// Equivalence-class id per node, parallel to `node_ids`.
-    node_class: Vec<u32>,
+    pub(crate) node_class: Vec<u32>,
     /// Class → covering local authorization indices (sorted).
-    classes: Vec<Vec<u32>>,
+    pub(crate) classes: Vec<Vec<u32>>,
     /// Attribute-specific coverage, sorted by `(node_pos, attr_sym)`.
-    attr_entries: Vec<AttrEntry>,
+    pub(crate) attr_entries: Vec<AttrEntry>,
 }
 
 /// The compiled artifact: immutable, shared behind an `Arc` inside the
@@ -133,19 +133,19 @@ struct CompiledDoc {
 /// snapshot derivative by the `{generation, epoch}` token.
 #[derive(Debug)]
 pub struct CompiledPolicies {
-    strategy: ConflictStrategy,
-    epoch: u64,
+    pub(crate) strategy: ConflictStrategy,
+    pub(crate) epoch: u64,
     /// Interned subject identities.
-    subjects: NameInterner,
+    pub(crate) subjects: NameInterner,
     /// Interned attribute names.
-    attrs: NameInterner,
-    auths: Vec<CompiledAuth>,
-    docs: HashMap<String, CompiledDoc>,
+    pub(crate) attrs: NameInterner,
+    pub(crate) auths: Vec<CompiledAuth>,
+    pub(crate) docs: HashMap<String, CompiledDoc>,
     // Source material for `reconstruct_store`, kept so the analyzer can
     // prove the compiled form equivalent to the live policy base.
-    source: Vec<Authorization>,
-    hierarchy: crate::subject::RoleHierarchy,
-    collections: BTreeMap<String, BTreeSet<String>>,
+    pub(crate) source: Vec<Authorization>,
+    pub(crate) hierarchy: crate::subject::RoleHierarchy,
+    pub(crate) collections: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl<'a> PolicySnapshot<'a> {
@@ -715,7 +715,7 @@ impl CompiledPolicies {
 mod tests {
     use super::*;
     use crate::authz::SubjectSpec;
-    use crate::subject::{Credential, CredentialExpr, Role, RoleHierarchy, SubjectProfile};
+    use crate::subject::{Credential, CredentialExpr, Role, SubjectProfile};
     use websec_xml::Path;
 
     fn doc() -> Document {

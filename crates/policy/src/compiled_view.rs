@@ -1,0 +1,149 @@
+//! Read-only introspection over [`CompiledPolicies`] for static analysis.
+//!
+//! The compiled decision plane (interned tables + per-document
+//! equivalence classes, see [`crate::compiled`]) is deliberately opaque
+//! at runtime: the serving layer only asks it questions
+//! ([`CompiledPolicies::check`], [`CompiledPolicies::compute_view`]).
+//! The static policy verifier (`websec_analyzer::policy_verify`,
+//! WS013–WS018) instead needs to *enumerate* the plane — which source
+//! authorizations cover which equivalence classes, which are dead,
+//! which pairs collide inside a class. This module exposes exactly
+//! that enumeration surface, keyed back to source [`Authorization`]s
+//! so diagnostics can speak in terms the policy author wrote, without
+//! widening the mutable surface of the compiled artifact itself.
+//!
+//! Everything here is deterministic: documents are visited in sorted
+//! name order and authorizations in policy-base order, so analyzer
+//! reports built on top byte-diff cleanly across runs.
+
+use std::collections::BTreeSet;
+
+use websec_xml::NodeId;
+
+use crate::authz::{Authorization, AuthzId};
+use crate::compiled::CompiledPolicies;
+use crate::conflict::ConflictStrategy;
+use crate::subject::RoleHierarchy;
+
+/// One equivalence class of a compiled document: the set of nodes that
+/// share an identical covering-authorization set, together with the
+/// source authorizations that cover them (in policy-base order).
+#[derive(Debug, Clone)]
+pub struct ClassView<'a> {
+    /// Class index within the document (stable for a given epoch).
+    pub class: u32,
+    /// Source authorizations covering every node of this class, in
+    /// policy-base order.
+    pub auths: Vec<&'a Authorization>,
+    /// Member nodes in document order. Non-empty by construction: a
+    /// class only exists because at least one node landed in it.
+    pub nodes: Vec<NodeId>,
+}
+
+impl CompiledPolicies {
+    /// Names of every compiled document, sorted, so analyzer passes
+    /// iterate the plane in a deterministic order.
+    pub fn document_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.docs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Equivalence classes of `doc` with their covering source
+    /// authorizations, or `None` when the document is not compiled.
+    pub fn classes_of(&self, doc: &str) -> Option<Vec<ClassView<'_>>> {
+        let cd = self.docs.get(doc)?;
+        let mut views: Vec<ClassView<'_>> = cd
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(class, locals)| ClassView {
+                class: class as u32,
+                auths: locals
+                    .iter()
+                    .filter_map(|&l| self.source_by_id(self.auths[cd.local_auths[l as usize] as usize].id))
+                    .collect(),
+                nodes: Vec::new(),
+            })
+            .collect();
+        for (pos, &node) in cd.node_ids.iter().enumerate() {
+            views[cd.node_class[pos] as usize].nodes.push(node);
+        }
+        Some(views)
+    }
+
+    /// Ids of every authorization that covers at least one node *or*
+    /// attribute of `doc` (the liveness oracle for WS015), or `None`
+    /// when the document is not compiled.
+    pub fn covered_auth_ids(&self, doc: &str) -> Option<BTreeSet<AuthzId>> {
+        let cd = self.docs.get(doc)?;
+        let mut ids = BTreeSet::new();
+        for locals in &cd.classes {
+            for &l in locals {
+                ids.insert(self.auths[cd.local_auths[l as usize] as usize].id);
+            }
+        }
+        ids.extend(self.attr_auth_ids_inner(doc)?);
+        Some(ids)
+    }
+
+    /// Ids of authorizations with attribute-specific coverage in `doc`
+    /// (passes that only reason at element granularity skip these
+    /// conservatively), or `None` when the document is not compiled.
+    pub fn attr_auth_ids(&self, doc: &str) -> Option<BTreeSet<AuthzId>> {
+        self.attr_auth_ids_inner(doc)
+    }
+
+    fn attr_auth_ids_inner(&self, doc: &str) -> Option<BTreeSet<AuthzId>> {
+        let cd = self.docs.get(doc)?;
+        let mut ids = BTreeSet::new();
+        for entry in &cd.attr_entries {
+            for &l in &entry.auths {
+                ids.insert(self.auths[cd.local_auths[l as usize] as usize].id);
+            }
+        }
+        Some(ids)
+    }
+
+    /// The source policy base this artifact was compiled from, in
+    /// policy-base order.
+    pub fn source_authorizations(&self) -> &[Authorization] {
+        &self.source
+    }
+
+    /// The role hierarchy the artifact was compiled with.
+    pub fn hierarchy(&self) -> &RoleHierarchy {
+        &self.hierarchy
+    }
+
+    /// The resolution key [`crate::conflict::ConflictStrategy`] compares
+    /// when two relevant authorizations of opposite sign cover the same
+    /// node: subject specificity under `MostSpecificSubject`, object
+    /// granularity under `MostSpecificObject`, explicit priority under
+    /// `ExplicitPriority`, and a constant for the precedence strategies
+    /// (every pair ties; the sign rule alone decides).
+    pub fn resolution_key(&self, auth: &Authorization) -> i64 {
+        match self.strategy {
+            ConflictStrategy::MostSpecificSubject => i64::from(auth.subject.specificity()),
+            ConflictStrategy::MostSpecificObject => i64::from(auth.object.granularity()),
+            ConflictStrategy::ExplicitPriority => i64::from(auth.priority),
+            ConflictStrategy::DenialsTakePrecedence | ConflictStrategy::PermissionsTakePrecedence => 0,
+        }
+    }
+
+    /// Whether the active strategy compares a per-authorization key at
+    /// all (key ties under these strategies make a grant/deny overlap
+    /// genuinely ambiguous rather than resolved by the sign rule).
+    pub fn strategy_is_keyed(&self) -> bool {
+        matches!(
+            self.strategy,
+            ConflictStrategy::MostSpecificSubject
+                | ConflictStrategy::MostSpecificObject
+                | ConflictStrategy::ExplicitPriority
+        )
+    }
+
+    fn source_by_id(&self, id: AuthzId) -> Option<&Authorization> {
+        self.source.iter().find(|a| a.id == id)
+    }
+}

@@ -33,6 +33,7 @@
 pub mod admin;
 pub mod authz;
 pub mod compiled;
+pub mod compiled_view;
 pub mod conflict;
 pub mod engine;
 pub mod flexible;
@@ -45,6 +46,7 @@ pub use authz::{
     SubjectSpec,
 };
 pub use compiled::{CompiledPolicies, PolicySnapshot};
+pub use compiled_view::ClassView;
 pub use conflict::ConflictStrategy;
 pub use engine::{AccessDecision, DocumentDecision, PolicyEngine, PolicyStore};
 pub use flexible::{FlexibleEnforcer, InvalidLevel};

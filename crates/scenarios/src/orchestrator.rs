@@ -165,6 +165,8 @@ pub fn result_row(run: &ScenarioRun, rev: &str) -> Json {
         ("uddi_ops", Json::int(result.uddi_ops)),
         ("mining_rules", Json::int(result.mining_rules)),
         ("mining_digest", Json::str(&result.mining_digest)),
+        ("gate_probes", Json::int(result.gate_probes)),
+        ("gate_rejections", Json::int(result.gate_rejections)),
         ("violations", violations),
         ("serial_qps", Json::Num(round1(run.perf.serial_qps))),
         ("headline_qps", Json::Num(round1(run.perf.headline_qps))),

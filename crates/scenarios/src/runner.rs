@@ -15,7 +15,9 @@
 //!    parallel (violations funnel through the `scenarios.violations`
 //!    tracked lock). Timings feed [`ScenarioPerf`] only.
 //! 5. **Optional phases** — revocation storm, adversarial channel
-//!    attacks, UDDI churn replay, mining pipeline replay.
+//!    attacks, UDDI churn replay, mining pipeline replay, and the
+//!    analysis-gate probe (a WS014-conflicting policy mutation that the
+//!    `Deny` gate must reject without publishing).
 //!
 //! Determinism contract: [`ScenarioResult`] is byte-identical across runs
 //! of the same `(scenario, seed)` for a passing scenario — it draws only
@@ -293,6 +295,9 @@ pub fn run_scenario(scenario: &Scenario, workspace_rev: &str) -> ScenarioRun {
     if let Some(mining) = &scenario.mining {
         run_mining(scenario, mining, &mut result, &mut violations);
     }
+    if scenario.gate_probe {
+        run_gate_probe(scenario, &build_server, &mut result, &mut violations);
+    }
 
     violations.sort();
     violations.dedup();
@@ -545,6 +550,93 @@ fn run_adversarial(
     result.tamper_rejected = tamper_rejected;
     result.replay_rejected = replay_rejected;
     result.adversarial_attempts = (adversarial.tampers + adversarial.replays) as u64;
+}
+
+/// Drives the analysis-gate rejection path end to end: under
+/// `AnalysisGate::Deny`, a policy mutation that flips the stack to
+/// explicit-priority resolution and adds an equal-priority grant/deny
+/// pair on the same portion (a textbook WS014 conflict, and a WS001 tie
+/// at the AST level) must be rejected with `WS109`, the rejection must
+/// name `WS014`, and the published snapshot must keep serving the
+/// pre-mutation bytes.
+fn run_gate_probe(
+    scenario: &Scenario,
+    build_server: &dyn Fn(bool) -> StackServer,
+    result: &mut ScenarioResult,
+    violations: &mut Vec<String>,
+) {
+    let spec = &scenario.corpus;
+    let server = build_server(false);
+    server.set_analysis_gate(AnalysisGate::Deny);
+    result.gate_probes = 1;
+
+    let probe = QueryRequest::for_doc("records.xml")
+        .path(Path::parse("//patient[@id='p0']").expect("valid path"))
+        .subject(&SubjectProfile::new(&spec.granted_subject(0)))
+        .clearance(Clearance(Level::Unclassified));
+    let before = match server.serve(&probe) {
+        Ok(response) => response.xml,
+        Err(error) => {
+            violations.push(format!(
+                "gate_probe: pre-mutation probe failed with {}",
+                error.code()
+            ));
+            return;
+        }
+    };
+
+    let outcome = server.try_update(|stack| {
+        stack.engine.strategy = ConflictStrategy::ExplicitPriority;
+        let conflicted = |sign: bool| {
+            let auth = Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Portion {
+                    document: "records.xml".into(),
+                    path: Path::parse("//patient").expect("valid path"),
+                })
+                .privilege(Privilege::Read)
+                .priority(3);
+            if sign {
+                auth.grant()
+            } else {
+                auth.deny()
+            }
+        };
+        stack.policies.add(conflicted(true));
+        stack.policies.add(conflicted(false));
+    });
+    match outcome {
+        Err(error) => {
+            result.gate_rejections = 1;
+            if error.code() != "WS109" {
+                violations.push(format!(
+                    "gate_probe: rejection carried {} instead of WS109",
+                    error.code()
+                ));
+            }
+            if !error.to_string().contains("WS014") {
+                violations.push(
+                    "gate_probe: rejection did not name the WS014 conflict".to_string(),
+                );
+            }
+        }
+        Ok(()) => violations.push(
+            "gate_probe: the Deny gate accepted a WS014-conflicting mutation".to_string(),
+        ),
+    }
+
+    // The rejected update must not have published anything: the same
+    // probe answers with byte-identical content.
+    match server.serve(&probe) {
+        Ok(response) if response.xml == before => {}
+        Ok(_) => violations.push(
+            "gate_probe: served bytes changed after a rejected update".to_string(),
+        ),
+        Err(error) => violations.push(format!(
+            "gate_probe: post-rejection probe failed with {}",
+            error.code()
+        )),
+    }
+    server.set_analysis_gate(AnalysisGate::Off);
 }
 
 fn uddi_churn_pass(seed: u64, churn: &UddiChurn) -> String {

@@ -143,6 +143,11 @@ pub struct Scenario {
     pub mining: Option<MiningSpec>,
     /// Optional adversarial channel phase.
     pub adversarial: Option<AdversarialSpec>,
+    /// Optional analysis-gate probe phase: under
+    /// `AnalysisGate::Deny`, a seeded policy mutation that introduces a
+    /// WS014 grant/deny conflict must be rejected (`WS109`) and must
+    /// leave the published snapshot untouched.
+    pub gate_probe: bool,
     /// Invariants the run must uphold.
     pub invariants: Vec<Invariant>,
 }
@@ -169,6 +174,7 @@ impl Scenario {
             uddi: None,
             mining: None,
             adversarial: None,
+            gate_probe: false,
             invariants: Vec::new(),
         }
     }
@@ -264,6 +270,14 @@ impl Scenario {
         self
     }
 
+    /// Adds the analysis-gate probe phase (a WS014-conflicting policy
+    /// mutation that the `Deny` gate must reject without publishing).
+    #[must_use]
+    pub fn gate_probe(mut self) -> Self {
+        self.gate_probe = true;
+        self
+    }
+
     /// Declares an invariant the run must uphold.
     #[must_use]
     pub fn invariant(mut self, invariant: Invariant) -> Self {
@@ -350,6 +364,10 @@ pub struct ScenarioResult {
     pub mining_rules: u64,
     /// Digest over the sorted mined rules (empty when undeclared).
     pub mining_digest: String,
+    /// Gate-probe mutations attempted (0 when undeclared).
+    pub gate_probes: u64,
+    /// Gate-probe mutations rejected by the `Deny` gate with `WS109`.
+    pub gate_rejections: u64,
     /// Invariant violations, sorted and deduplicated. Empty means the
     /// scenario passed.
     pub violations: Vec<String>,
@@ -367,6 +385,7 @@ mod tests {
         assert_eq!(fp, base.clone().fingerprint(rev), "fingerprint is stable");
         assert_ne!(fp, base.clone().requests(512).fingerprint(rev));
         assert_ne!(fp, base.clone().interpreted().fingerprint(rev));
+        assert_ne!(fp, base.clone().gate_probe().fingerprint(rev));
         assert_ne!(
             fp,
             base.clone()

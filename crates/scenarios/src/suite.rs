@@ -31,7 +31,7 @@ pub fn smoke_fault_plan() -> FaultPlan {
         )
 }
 
-/// The CI smoke suite: seven scenarios covering the acceptance list.
+/// The CI smoke suite: eight scenarios covering the acceptance list.
 #[must_use]
 pub fn smoke() -> Vec<Scenario> {
     vec![
@@ -136,6 +136,20 @@ pub fn smoke() -> Vec<Scenario> {
             })
             .invariant(Invariant::SerialEquivalence)
             .invariant(Invariant::ErrorsAreWs1xx),
+        // The policy-verifier gate: a seeded mutation that introduces a
+        // WS014 grant/deny conflict must be rejected by the Deny gate
+        // with WS109, naming WS014, without publishing a snapshot.
+        Scenario::named("policy_gate_rejection", 0x5EED_0008)
+            .corpus(HospitalSpec::small())
+            .traffic(Recipe::PatientRead {
+                subject: Pick::Modulo,
+                patient: Pick::Modulo,
+            })
+            .requests(64)
+            .workers(vec![2])
+            .gate_probe()
+            .invariant(Invariant::SerialEquivalence)
+            .invariant(Invariant::ErrorsAreWs1xx),
     ]
 }
 
@@ -197,6 +211,7 @@ mod tests {
             "faulted_10pct",
             "revocation_storm",
             "adversarial_replay_tamper",
+            "policy_gate_rejection",
         ] {
             assert!(names.contains(&required), "missing {required}");
         }

@@ -79,10 +79,13 @@ fn main() {
     });
 
     // Phase 4 — incremental analysis: the analysis and trace mutexes
-    // nested under the snapshot read path.
+    // nested under the snapshot read path, then the policy verifier's
+    // own cache mutex (cold run, cached reuse).
     server.set_analysis_gate(AnalysisGate::Warn);
     let _ = server.analyze();
     let _ = server.analyze();
+    let _ = server.verify_policies();
+    let _ = server.verify_policies();
 
     // Phase 5 — a one-worker batch: the scheduler's deque/injector cursors
     // and the coalescing plan, serially so pop/steal counts cannot vary.

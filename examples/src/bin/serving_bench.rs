@@ -30,7 +30,11 @@
 //! * **analysis** — cold full analyzer run (all twelve passes) vs the
 //!   epoch-keyed incremental re-analysis after a single privacy-section
 //!   mutation (`analysis_incremental_us <= analysis_full_us` is gated by
-//!   check.sh);
+//!   check.sh), plus the static policy verifier (WS013–WS018): a cold
+//!   full run over the compiled decision plane vs the token-keyed
+//!   incremental re-check after a snapshot republication
+//!   (`policy_verify_incremental_us <= policy_verify_full_us` is gated
+//!   by check.sh);
 //! * **compiled** — the snapshot-compiled decision path over a generated
 //!   large store (100k documents, 10k subjects, every request a unique
 //!   subject so no cache level can answer): `CompiledPolicies::compute_view`
@@ -443,6 +447,23 @@ fn main() {
     let analysis_incremental_us = t.elapsed().as_micros();
     let analysis_incremental_passes = analysis.last_passes_run().len();
 
+    // Policy-verifier timings on the same stack: the cold run executes
+    // all six WS013–WS018 passes; `invalidate_views` then republishes the
+    // snapshot (the token moves, the policy base does not), so the second
+    // call must land on the fingerprint-reuse path. check.sh gates
+    // `policy_verify_incremental_us <= policy_verify_full_us`.
+    let t = Instant::now();
+    let policy_report = analysis.verify_policies();
+    let policy_verify_full_us = t.elapsed().as_micros();
+    let policy_verify_findings = policy_report.diagnostics.len();
+    analysis.invalidate_views();
+    let t = Instant::now();
+    let _ = analysis.verify_policies();
+    let policy_verify_incremental_us = t.elapsed().as_micros();
+    let policy_metrics = analysis.metrics();
+    let policy_passes_run = policy_metrics.policy_passes_run;
+    let policy_passes_reused = policy_metrics.policy_passes_reused;
+
     // Lockdep section: the detector-off A/B probe (best of three
     // interleaved rounds so thermal/scheduler drift hits both variants
     // equally), then an informational detector-on batch over the real
@@ -600,6 +621,11 @@ fn main() {
          \"analysis_incremental_us\": {analysis_incremental_us},\n  \
          \"analysis_full_passes\": {analysis_full_passes},\n  \
          \"analysis_incremental_passes\": {analysis_incremental_passes},\n  \
+         \"policy_verify_full_us\": {policy_verify_full_us},\n  \
+         \"policy_verify_incremental_us\": {policy_verify_incremental_us},\n  \
+         \"policy_verify_findings\": {policy_verify_findings},\n  \
+         \"policy_passes_run\": {policy_passes_run},\n  \
+         \"policy_passes_reused\": {policy_passes_reused},\n  \
          \"lockdep_probe_untracked_qps\": {probe_untracked_qps:.1},\n  \
          \"lockdep_probe_tracked_off_qps\": {probe_tracked_off_qps:.1},\n  \
          \"lockdep_off_ratio\": {lockdep_off_ratio:.4},\n  \
@@ -683,6 +709,11 @@ fn main() {
     println!(
         "  analysis: full {analysis_full_us} us ({analysis_full_passes} passes), \
          incremental {analysis_incremental_us} us ({analysis_incremental_passes} passes)"
+    );
+    println!(
+        "  policy verify: full {policy_verify_full_us} us ({policy_verify_findings} finding(s)), \
+         incremental {policy_verify_incremental_us} us \
+         (passes run {policy_passes_run}, reused {policy_passes_reused})"
     );
     println!(
         "  lockdep probe (x{HEADLINE_WORKERS}): raw std {probe_untracked_qps:>9.0} op/s, \

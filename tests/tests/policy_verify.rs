@@ -1,0 +1,168 @@
+//! End-to-end exercise of the static policy verifier (WS013–WS018)
+//! through the serving layer: the [`AnalysisGate`] extension over the
+//! compiled decision plane, token-keyed incremental re-verification
+//! accounting, determinism of the emitted report, and the policy
+//! error/warning gauges in [`MetricsSnapshot`].
+//!
+//! The per-pass positive/negative fixture matrix lives in the analyzer's
+//! unit tests and in `examples/src/bin/verify_policies.rs` (the
+//! `ANALYSIS_policy.json` baseline); these tests cover the serving-layer
+//! integration the baseline cannot see.
+
+use websec_core::prelude::*;
+use websec_scenarios::{hospital_stack, HospitalSpec};
+
+fn spec() -> HospitalSpec {
+    HospitalSpec::small()
+}
+
+fn server() -> StackServer {
+    StackServer::new(hospital_stack(&spec()))
+}
+
+/// A read probe a granted subject can answer — used to pin the served
+/// bytes across a rejected publication.
+fn probe() -> QueryRequest {
+    QueryRequest::for_doc("records.xml")
+        .path(Path::parse("//patient[@id='p0']").expect("valid path"))
+        .subject(&SubjectProfile::new(&spec().granted_subject(0)))
+        .clearance(Clearance(Level::Unclassified))
+}
+
+/// An equal-priority grant/deny pair on the same portion: under
+/// [`ConflictStrategy::ExplicitPriority`] this is the WS014 unresolvable
+/// tie (error severity), which the Deny gate must refuse to publish.
+fn plant_ws014_conflict(stack: &mut SecureWebStack) {
+    stack.engine.strategy = ConflictStrategy::ExplicitPriority;
+    let conflicted = |sign: bool| {
+        let auth = Authorization::for_subject(SubjectSpec::Anyone)
+            .on(ObjectSpec::Portion {
+                document: "records.xml".into(),
+                path: Path::parse("//patient").expect("valid path"),
+            })
+            .privilege(Privilege::Read)
+            .priority(3);
+        if sign {
+            auth.grant()
+        } else {
+            auth.deny()
+        }
+    };
+    stack.policies.add(conflicted(true));
+    stack.policies.add(conflicted(false));
+}
+
+#[test]
+fn deny_gate_rejects_ws014_conflict_without_publishing() {
+    let server = server();
+    server.set_analysis_gate(AnalysisGate::Deny);
+    let before = server.serve(&probe()).expect("granted probe serves").xml;
+
+    let result = server.try_update(plant_ws014_conflict);
+    match result {
+        Err(e) => {
+            assert_eq!(e.code(), "WS109");
+            let rendered = e.to_string();
+            assert!(rendered.contains("WS014"), "{rendered}");
+        }
+        Ok(()) => panic!("WS014-conflicting update was admitted"),
+    }
+
+    // The rejected candidate never became the snapshot: the same probe
+    // serves byte-identically and the denial is accounted.
+    let after = server.serve(&probe()).expect("probe still serves").xml;
+    assert_eq!(before, after, "served bytes changed across a rejected update");
+    let m = server.metrics();
+    assert_eq!(m.gate_denials, 1);
+    assert_eq!(m.policy_errors, 0, "no error published to the live snapshot");
+
+    // A benign policy update passes the same gate.
+    server
+        .try_update(|s| {
+            s.policies.add(
+                Authorization::for_subject(SubjectSpec::Identity("auditor".into()))
+                    .on(ObjectSpec::Document("records.xml".into()))
+                    .privilege(Privilege::Read)
+                    .grant(),
+            );
+        })
+        .expect("benign policy update admitted");
+}
+
+#[test]
+fn warn_gate_admits_conflict_and_surfaces_policy_gauges() {
+    let server = server();
+    server.set_analysis_gate(AnalysisGate::Warn);
+
+    server
+        .try_update(plant_ws014_conflict)
+        .expect("warn gate admits");
+    let m = server.metrics();
+    assert_eq!(m.gate_denials, 0);
+    assert!(m.policy_errors >= 1, "WS014 tie must show as a policy error gauge");
+    let report = server.verify_policies();
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "WS014"),
+        "{}",
+        report.human()
+    );
+}
+
+#[test]
+fn policy_verifier_reuses_across_republication_and_reruns_on_policy_change() {
+    let server = server();
+
+    // Cold run: all six passes execute.
+    let baseline = server.verify_policies();
+    let m = server.metrics();
+    assert_eq!(m.policy_passes_run, 6);
+    assert_eq!(m.policy_passes_reused, 0);
+
+    // Same token: the cached report is reused wholesale.
+    let again = server.verify_policies();
+    assert_eq!(baseline.to_json(), again.to_json());
+    let m = server.metrics();
+    assert_eq!(m.policy_passes_run, 6);
+    assert_eq!(m.policy_passes_reused, 6);
+
+    // A republication moves the token but not the policy base: the
+    // fingerprint check reuses the run (this is the incremental path a
+    // cache flush or unrelated epoch churn takes).
+    server.invalidate_views();
+    let _ = server.verify_policies();
+    let m = server.metrics();
+    assert_eq!(m.policy_passes_run, 6);
+    assert_eq!(m.policy_passes_reused, 12);
+
+    // A policy mutation changes the base fingerprint: the passes re-run
+    // and the new report sees the planted dead rule (WS015: ghost.xml is
+    // served by no document store).
+    server.update(|s| {
+        s.policies.add(
+            Authorization::for_subject(SubjectSpec::Anyone)
+                .on(ObjectSpec::Document("ghost.xml".into()))
+                .privilege(Privilege::Read)
+                .grant(),
+        );
+    });
+    let report = server.verify_policies();
+    let m = server.metrics();
+    assert_eq!(m.policy_passes_run, 12);
+    assert_eq!(m.policy_passes_reused, 12);
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "WS015"),
+        "{}",
+        report.human()
+    );
+}
+
+#[test]
+fn policy_reports_are_deterministic_across_servers() {
+    let first = server().verify_policies();
+    let second = server().verify_policies();
+    assert_eq!(first.to_json(), second.to_json());
+    // Normalization is idempotent: re-normalizing changes nothing.
+    let mut renorm = first.clone();
+    renorm.normalize();
+    assert_eq!(renorm.to_json(), first.to_json());
+}

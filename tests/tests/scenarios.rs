@@ -196,7 +196,7 @@ fn result_row_schema_is_stable() {
     let row = websec_scenarios::orchestrator::result_row(&run, "schema-rev");
     let parsed = Json::parse(&row.render()).expect("row renders as valid JSON");
 
-    const KEYS: [&str; 22] = [
+    const KEYS: [&str; 24] = [
         "name",
         "seed",
         "fingerprint",
@@ -215,6 +215,8 @@ fn result_row_schema_is_stable() {
         "uddi_ops",
         "mining_rules",
         "mining_digest",
+        "gate_probes",
+        "gate_rejections",
         "violations",
         "serial_qps",
         "headline_qps",
